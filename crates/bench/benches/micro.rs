@@ -1,0 +1,137 @@
+//! Criterion micro-benchmarks of the engine primitives: the costs the
+//! macro figures are built from.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sicost_common::Xoshiro256;
+use sicost_core::SfuTreatment;
+use sicost_engine::{Database, EngineConfig};
+use sicost_mvsg::Mvsg;
+use sicost_smallbank::sdg_spec;
+use sicost_storage::{ColumnDef, ColumnType, Row, TableSchema, Value};
+use std::hint::black_box;
+
+fn test_db(rows: i64) -> Database {
+    let db = Database::builder()
+        .table(
+            TableSchema::new(
+                "T",
+                vec![
+                    ColumnDef::new("id", ColumnType::Int),
+                    ColumnDef::new("v", ColumnType::Int),
+                ],
+                0,
+                vec![],
+            )
+            .unwrap(),
+        )
+        .unwrap()
+        .config(EngineConfig::functional())
+        .build();
+    let tid = db.table_id("T").unwrap();
+    db.bulk_load(
+        tid,
+        (0..rows).map(|i| Row::new(vec![Value::int(i), Value::int(i)])),
+    )
+    .unwrap();
+    db
+}
+
+fn bench_engine_ops(c: &mut Criterion) {
+    let db = test_db(10_000);
+    let tid = db.table_id("T").unwrap();
+
+    c.bench_function("engine/read_only_txn_3_reads", |b| {
+        let mut i = 0i64;
+        b.iter(|| {
+            let mut tx = db.begin();
+            for k in 0..3 {
+                black_box(tx.read(tid, &Value::int((i + k) % 10_000)).unwrap());
+            }
+            tx.commit().unwrap();
+            i = (i + 7) % 10_000;
+        })
+    });
+
+    c.bench_function("engine/update_txn_read_write_commit", |b| {
+        let mut i = 0i64;
+        b.iter(|| {
+            let mut tx = db.begin();
+            let key = Value::int(i % 10_000);
+            let row = tx.read(tid, &key).unwrap().unwrap();
+            let v = row.int(1);
+            tx.update(tid, &key, Row::new(vec![key.clone(), Value::int(v + 1)]))
+                .unwrap();
+            black_box(tx.commit().unwrap());
+            i = (i + 13) % 10_000;
+        })
+    });
+}
+
+fn bench_lock_manager(c: &mut Criterion) {
+    use sicost_engine::locks::{LockManager, LockMode, LockTarget};
+    use sicost_common::{TableId, TxnId};
+    let lm = LockManager::new();
+    c.bench_function("locks/acquire_release_uncontended", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            let txn = TxnId(i);
+            let t = LockTarget::row(TableId(0), Value::int((i % 1_000) as i64));
+            lm.acquire(txn, &t, LockMode::X).unwrap();
+            lm.release_all(txn);
+            i += 1;
+        })
+    });
+}
+
+fn bench_mvsg(c: &mut Criterion) {
+    use sicost_common::{TableId, Ts, TxnId};
+    use sicost_engine::HistoryEvent;
+    // A 10k-transaction history over 100 keys.
+    let mut rng = Xoshiro256::seed_from_u64(5);
+    let mut events = Vec::new();
+    for t in 0..10_000u64 {
+        let key = Value::int(rng.next_below(100) as i64);
+        events.push(HistoryEvent::Read {
+            txn: TxnId(t),
+            table: TableId(0),
+            key: key.clone(),
+            observed: if t == 0 { None } else { Some(Ts(t)) },
+        });
+        events.push(HistoryEvent::Commit {
+            txn: TxnId(t),
+            commit_ts: Ts(t + 1),
+            writes: vec![(TableId(0), key)],
+        });
+    }
+    c.bench_function("mvsg/build_and_certify_10k_txns", |b| {
+        b.iter(|| {
+            let g = Mvsg::from_events(black_box(&events));
+            black_box(g.certify().serializable)
+        })
+    });
+}
+
+fn bench_sdg(c: &mut Criterion) {
+    c.bench_function("sdg/analyse_smallbank", |b| {
+        b.iter(|| {
+            let sdg = sdg_spec::smallbank_sdg(black_box(SfuTreatment::AsLockOnly));
+            black_box(sdg.dangerous_structures().len())
+        })
+    });
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    use sicost_smallbank::{SmallBankWorkload, WorkloadParams};
+    let wl = SmallBankWorkload::new(WorkloadParams::paper_default());
+    let mut rng = Xoshiro256::seed_from_u64(9);
+    c.bench_function("workload/sample_request", |b| {
+        b.iter(|| black_box(wl.sample(&mut rng)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_engine_ops, bench_lock_manager, bench_mvsg, bench_sdg, bench_sampling
+}
+criterion_main!(benches);

@@ -1,0 +1,228 @@
+//! Shared figure-running machinery.
+
+use crate::mode::BenchMode;
+use sicost_driver::{
+    ascii_chart, csv_table, render_table, repeat_summary, run_closed, RunConfig, Series,
+};
+use sicost_engine::{CcMode, EngineConfig, SfuSemantics};
+use sicost_smallbank::{
+    SmallBank, SmallBankConfig, SmallBankDriver, SmallBankWorkload, Strategy, WorkloadParams,
+};
+use std::sync::Arc;
+
+/// One line of a figure: a strategy run on an engine configuration.
+#[derive(Clone)]
+pub struct StrategyLine {
+    /// Legend label.
+    pub label: String,
+    /// Program variant.
+    pub strategy: Strategy,
+    /// Engine the line runs on.
+    pub engine: EngineConfig,
+}
+
+/// A figure: several strategy lines swept over MPL on one workload.
+pub struct FigureSpec {
+    /// Figure identifier ("Figure 4", …).
+    pub id: &'static str,
+    /// Human title.
+    pub title: &'static str,
+    /// Workload parameters (population is overridden by the mode).
+    pub params: WorkloadParams,
+    /// The lines.
+    pub lines: Vec<StrategyLine>,
+}
+
+/// Engine preset for a strategy on the given platform profile. (Pure
+/// convenience: sfu strategies need `IdentityWrite` on the commercial
+/// profile, which `commercial_like` already sets.)
+pub fn strategy_engine(platform: &EngineConfig, _strategy: Strategy) -> EngineConfig {
+    platform.clone()
+}
+
+fn build_driver(
+    engine: &EngineConfig,
+    strategy: Strategy,
+    params: &WorkloadParams,
+    seed: u64,
+) -> SmallBankDriver {
+    let mut config = SmallBankConfig::paper();
+    config.customers = params.customers;
+    config.seed ^= seed;
+    let bank = Arc::new(SmallBank::new(&config, engine.clone(), strategy));
+    SmallBankDriver::new(bank, SmallBankWorkload::new(*params))
+}
+
+/// Runs a figure: per line, per MPL, `repeats` independent runs on fresh
+/// databases; returns one [`Series`] per line.
+pub fn run_figure(spec: &FigureSpec, mode: BenchMode) -> Vec<Series> {
+    let mut params = spec.params;
+    // Scale the population with the mode, keeping the hotspot ratio.
+    if params.customers != mode.customers() {
+        let hotspot = (params.hotspot as f64 * mode.customers() as f64
+            / params.customers as f64)
+            .round()
+            .max(2.0) as u64;
+        params = params.scaled(mode.customers(), hotspot);
+    }
+    let mut series = Vec::new();
+    for line in &spec.lines {
+        let mut s = Series::new(line.label.clone());
+        for &mpl in &mode.mpls() {
+            let cfg = RunConfig {
+                mpl,
+                ramp_up: mode.ramp_up(),
+                measure: mode.measure(),
+                seed: 0xF1_60 ^ mpl as u64,
+            };
+            let (summary, _) = repeat_summary(
+                |r| build_driver(&line.engine, line.strategy, &params, r),
+                cfg,
+                mode.repeats(),
+            );
+            s.push(mpl as f64, summary);
+            eprintln!(
+                "  [{}] {} mpl={mpl}: {:.0} ± {:.0} tps",
+                spec.id, line.label, summary.mean, summary.ci95
+            );
+        }
+        series.push(s);
+    }
+    series
+}
+
+/// Prints a completed figure: table, relative-to-first-line table (the
+/// paper's "(b)" panels), CSV, chart.
+pub fn print_figure(spec: &FigureSpec, series: &[Series], expectation: &str) {
+    println!("\n==================================================================");
+    println!("{} — {}", spec.id, spec.title);
+    println!("==================================================================");
+    println!("{}", render_table("MPL", series));
+    if series.len() > 1 {
+        println!("Relative to {} (the paper's (b) panel):", series[0].label);
+        let base = &series[0];
+        let rel: Vec<Series> = series[1..]
+            .iter()
+            .map(|s| {
+                let mut r = Series::new(s.label.clone());
+                for p in &s.points {
+                    if let Some(b) = base.at(p.x) {
+                        if b > 0.0 {
+                            let mut y = p.y;
+                            y.mean = 100.0 * p.y.mean / b;
+                            y.ci95 = 100.0 * p.y.ci95 / b;
+                            r.push(p.x, y);
+                        }
+                    }
+                }
+                r
+            })
+            .collect();
+        println!("{}", render_table("MPL", &rel));
+    }
+    println!("{}", ascii_chart(series, 16));
+    println!("--- CSV ---\n{}", csv_table("mpl", series));
+    println!("Paper expectation: {expectation}");
+}
+
+/// Measures the per-type serialization-failure abort *rates* at one MPL
+/// (Figure 6): returns `(kind name, abort fraction)` pairs.
+pub fn abort_profile(
+    engine: &EngineConfig,
+    strategy: Strategy,
+    params: &WorkloadParams,
+    mode: BenchMode,
+    mpl: usize,
+) -> Vec<(&'static str, f64)> {
+    let driver = build_driver(engine, strategy, params, 7);
+    let metrics = run_closed(
+        &driver,
+        RunConfig {
+            mpl,
+            ramp_up: mode.ramp_up(),
+            measure: mode.measure() * 2,
+            seed: 0xAB0,
+        },
+    );
+    metrics
+        .kind_names
+        .iter()
+        .zip(&metrics.per_kind)
+        .map(|(name, k)| (*name, k.serialization_abort_rate()))
+        .collect()
+}
+
+/// The standard platform profiles used by the figures.
+pub mod platforms {
+    use super::*;
+
+    /// PostgreSQL-like (§IV-A–E).
+    pub fn postgres() -> EngineConfig {
+        EngineConfig::postgres_like()
+    }
+
+    /// Commercial-like (§IV-F).
+    pub fn commercial() -> EngineConfig {
+        EngineConfig::commercial_like()
+    }
+
+    /// SSI engine on the PostgreSQL cost model (ablation A1).
+    pub fn postgres_ssi() -> EngineConfig {
+        EngineConfig::postgres_like().with_cc(CcMode::Ssi)
+    }
+
+    /// S2PL engine on the PostgreSQL cost model (ablation A2).
+    pub fn postgres_s2pl() -> EngineConfig {
+        EngineConfig::postgres_like().with_cc(CcMode::S2pl)
+    }
+
+    /// PostgreSQL profile but with sfu treated as a write — used to show
+    /// what the sfu strategies *would* do if PostgreSQL promoted locks.
+    pub fn postgres_sfu_write() -> EngineConfig {
+        EngineConfig::postgres_like().with_sfu(SfuSemantics::IdentityWrite)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_machinery_smoke() {
+        // One tiny figure, functional engine (no simulated costs), to keep
+        // the test fast while exercising the whole path.
+        let spec = FigureSpec {
+            id: "test",
+            title: "machinery smoke test",
+            params: WorkloadParams::paper_default().scaled(300, 30),
+            lines: vec![StrategyLine {
+                label: "SI".into(),
+                strategy: Strategy::BaseSI,
+                engine: EngineConfig::functional(),
+            }],
+        };
+        let mode = BenchMode::Smoke;
+        let mut params_mode = mode;
+        let _ = &mut params_mode;
+        let series = run_figure(&spec, BenchMode::Smoke);
+        assert_eq!(series.len(), 1);
+        assert_eq!(series[0].points.len(), BenchMode::Smoke.mpls().len());
+        assert!(series[0].peak() > 0.0, "functional engine must commit a lot");
+        print_figure(&spec, &series, "n/a (machinery test)");
+    }
+
+    #[test]
+    fn abort_profile_reports_all_kinds() {
+        let profile = abort_profile(
+            &EngineConfig::functional(),
+            Strategy::BaseSI,
+            &WorkloadParams::paper_default().scaled(100, 10),
+            BenchMode::Smoke,
+            4,
+        );
+        assert_eq!(profile.len(), 5);
+        for (_, rate) in &profile {
+            assert!((0.0..=1.0).contains(rate));
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Bench fidelity modes.
+
+use std::time::Duration;
+
+/// How much wall-clock to spend per figure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BenchMode {
+    /// Sanity-level: 2 MPL points, 1 repeat, sub-second intervals.
+    Smoke,
+    /// Default: full MPL grid, ~1 s measurement, 2 repeats.
+    Quick,
+    /// Paper-fidelity grid: full MPL grid, 4 s measurement, 5 repeats.
+    Full,
+}
+
+impl BenchMode {
+    /// Reads `SICOST_BENCH_MODE` (`smoke` / `quick` / `full`), defaulting
+    /// to `Quick`.
+    pub fn from_env() -> Self {
+        match std::env::var("SICOST_BENCH_MODE").as_deref() {
+            Ok("smoke") => BenchMode::Smoke,
+            Ok("full") => BenchMode::Full,
+            _ => BenchMode::Quick,
+        }
+    }
+
+    /// The MPL sweep (the paper's x axis: 1..30).
+    pub fn mpls(self) -> Vec<usize> {
+        match self {
+            BenchMode::Smoke => vec![1, 10],
+            _ => vec![1, 3, 5, 10, 15, 20, 25, 30],
+        }
+    }
+
+    /// Ramp-up excluded from measurement (paper: 30 s).
+    pub fn ramp_up(self) -> Duration {
+        match self {
+            BenchMode::Smoke => Duration::from_millis(150),
+            BenchMode::Quick => Duration::from_millis(300),
+            BenchMode::Full => Duration::from_millis(1000),
+        }
+    }
+
+    /// Measurement interval (paper: 60 s).
+    pub fn measure(self) -> Duration {
+        match self {
+            BenchMode::Smoke => Duration::from_millis(400),
+            BenchMode::Quick => Duration::from_millis(1200),
+            BenchMode::Full => Duration::from_millis(4000),
+        }
+    }
+
+    /// Repeats per point (paper: 5).
+    pub fn repeats(self) -> u64 {
+        match self {
+            BenchMode::Smoke => 1,
+            BenchMode::Quick => 2,
+            BenchMode::Full => 5,
+        }
+    }
+
+    /// Customer population (paper: 18 000). Quick/full use the paper's;
+    /// smoke shrinks it (hotspot scales with it in the specs).
+    pub fn customers(self) -> u64 {
+        match self {
+            BenchMode::Smoke => 2_000,
+            _ => 18_000,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_to_quick() {
+        // (Environment-dependent, but the test harness does not set the
+        // variable.)
+        if std::env::var("SICOST_BENCH_MODE").is_err() {
+            assert_eq!(BenchMode::from_env(), BenchMode::Quick);
+        }
+    }
+
+    #[test]
+    fn grids_match_the_paper() {
+        assert_eq!(BenchMode::Quick.mpls(), vec![1, 3, 5, 10, 15, 20, 25, 30]);
+        assert_eq!(BenchMode::Full.repeats(), 5);
+        assert_eq!(BenchMode::Full.customers(), 18_000);
+        assert!(BenchMode::Smoke.measure() < BenchMode::Full.measure());
+    }
+}

@@ -1,0 +1,317 @@
+//! Workload sampling distributions.
+//!
+//! The paper's driver picks 90 % of customers uniformly from a *hotspot*
+//! prefix of the table and the remaining 10 % uniformly from the rest
+//! ([`HotspotSampler`]), and picks transaction types from a weighted mix
+//! ([`DiscreteDist`]). [`Zipf`] is provided for skew ablations.
+
+use crate::rng::Xoshiro256;
+
+/// The paper's hotspot access distribution (§IV):
+/// with probability `p_hot` draw uniformly from `[0, hot_size)`,
+/// otherwise draw uniformly from `[hot_size, population)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HotspotSampler {
+    population: u64,
+    hot_size: u64,
+    p_hot: f64,
+}
+
+impl HotspotSampler {
+    /// Creates a sampler over `population` items with a hotspot of
+    /// `hot_size` items hit with probability `p_hot`.
+    ///
+    /// # Panics
+    /// Panics if `population == 0`, `hot_size > population`, or `p_hot`
+    /// is outside `[0, 1]`.
+    pub fn new(population: u64, hot_size: u64, p_hot: f64) -> Self {
+        assert!(population > 0, "population must be non-zero");
+        assert!(hot_size <= population, "hotspot larger than population");
+        assert!((0.0..=1.0).contains(&p_hot), "p_hot must be a probability");
+        Self {
+            population,
+            hot_size,
+            p_hot,
+        }
+    }
+
+    /// The paper's default: 90 % of accesses in the hotspot.
+    pub fn paper_default(population: u64, hot_size: u64) -> Self {
+        Self::new(population, hot_size, 0.9)
+    }
+
+    /// Draws an item index in `[0, population)`.
+    pub fn sample(&self, rng: &mut Xoshiro256) -> u64 {
+        let cold = self.population - self.hot_size;
+        if self.hot_size > 0 && (cold == 0 || rng.next_bool(self.p_hot)) {
+            rng.next_below(self.hot_size)
+        } else {
+            self.hot_size + rng.next_below(cold)
+        }
+    }
+
+    /// Draws two *distinct* item indices (for transactions such as
+    /// Amalgamate that involve two customers).
+    pub fn sample_pair(&self, rng: &mut Xoshiro256) -> (u64, u64) {
+        assert!(self.population >= 2, "need at least two items for a pair");
+        let a = self.sample(rng);
+        loop {
+            let b = self.sample(rng);
+            if b != a {
+                return (a, b);
+            }
+        }
+    }
+
+    /// Total number of items.
+    pub fn population(&self) -> u64 {
+        self.population
+    }
+
+    /// Number of items in the hotspot prefix.
+    pub fn hot_size(&self) -> u64 {
+        self.hot_size
+    }
+}
+
+/// Weighted discrete distribution over `0..weights.len()`, sampled by
+/// inverse-CDF lookup (the support here is ≤ a dozen transaction types, so
+/// a linear scan over the cumulative table beats an alias table).
+#[derive(Debug, Clone)]
+pub struct DiscreteDist {
+    cumulative: Vec<f64>,
+}
+
+impl DiscreteDist {
+    /// Builds the distribution from non-negative weights (not necessarily
+    /// normalised).
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty, contains a negative/NaN weight, or
+    /// sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "weights must be non-empty");
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            assert!(w >= 0.0 && w.is_finite(), "weights must be finite and >= 0");
+            acc += w;
+            cumulative.push(acc);
+        }
+        assert!(acc > 0.0, "weights must not all be zero");
+        for c in &mut cumulative {
+            *c /= acc;
+        }
+        // Guard against floating-point shortfall at the top end.
+        *cumulative.last_mut().expect("non-empty") = 1.0;
+        Self { cumulative }
+    }
+
+    /// Draws an index in `[0, len)`.
+    pub fn sample(&self, rng: &mut Xoshiro256) -> usize {
+        let u = rng.next_f64();
+        self.cumulative
+            .iter()
+            .position(|&c| u < c)
+            .unwrap_or(self.cumulative.len() - 1)
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// True when the distribution has no categories (never: `new` forbids it).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+}
+
+/// Zipf(θ) distribution over `[0, n)` using the Gray et al. (SIGMOD '94)
+/// computation, precomputing the harmonic normaliser.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    zeta2: f64,
+}
+
+impl Zipf {
+    /// Creates a Zipf sampler over `n` items with skew `theta` in `[0, 1)`
+    /// (0 = uniform, 0.99 = the YCSB default heavy skew).
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "n must be non-zero");
+        assert!((0.0..1.0).contains(&theta), "theta must be in [0,1)");
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Self {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+            zeta2: zeta2.max(0.0),
+        }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    }
+
+    /// Draws an item in `[0, n)`; item 0 is the most popular.
+    pub fn sample(&self, rng: &mut Xoshiro256) -> u64 {
+        let _ = self.zeta2; // kept for introspection / debugging
+        let u = rng.next_f64();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let v = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        v.min(self.n - 1)
+    }
+
+    /// Number of items.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256;
+
+    #[test]
+    fn hotspot_ratio_matches_p_hot() {
+        let s = HotspotSampler::paper_default(18_000, 1_000);
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        let n = 100_000;
+        let hot = (0..n)
+            .filter(|_| s.sample(&mut rng) < 1_000)
+            .count() as f64;
+        let frac = hot / n as f64;
+        assert!(
+            (frac - 0.9).abs() < 0.01,
+            "hot fraction {frac} should be ~0.9"
+        );
+    }
+
+    #[test]
+    fn hotspot_cold_items_are_reachable() {
+        let s = HotspotSampler::paper_default(100, 10);
+        let mut rng = Xoshiro256::seed_from_u64(2);
+        let mut cold_seen = false;
+        for _ in 0..10_000 {
+            if s.sample(&mut rng) >= 10 {
+                cold_seen = true;
+                break;
+            }
+        }
+        assert!(cold_seen);
+    }
+
+    #[test]
+    fn hotspot_degenerate_all_hot() {
+        let s = HotspotSampler::new(10, 10, 0.5);
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        for _ in 0..1_000 {
+            assert!(s.sample(&mut rng) < 10);
+        }
+    }
+
+    #[test]
+    fn hotspot_zero_hot_is_uniform() {
+        let s = HotspotSampler::new(10, 0, 0.9);
+        let mut rng = Xoshiro256::seed_from_u64(4);
+        let mut seen = [false; 10];
+        for _ in 0..5_000 {
+            seen[s.sample(&mut rng) as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn sample_pair_distinct() {
+        let s = HotspotSampler::paper_default(10, 2);
+        let mut rng = Xoshiro256::seed_from_u64(5);
+        for _ in 0..1_000 {
+            let (a, b) = s.sample_pair(&mut rng);
+            assert_ne!(a, b);
+        }
+    }
+
+    #[test]
+    fn discrete_respects_weights() {
+        // The paper's high-contention mix: 60% Balance, 10% each other.
+        let d = DiscreteDist::new(&[60.0, 10.0, 10.0, 10.0, 10.0]);
+        let mut rng = Xoshiro256::seed_from_u64(6);
+        let mut counts = [0u64; 5];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[d.sample(&mut rng)] += 1;
+        }
+        let f0 = counts[0] as f64 / n as f64;
+        assert!((f0 - 0.6).abs() < 0.01, "Balance fraction {f0}");
+        for &c in &counts[1..] {
+            let f = c as f64 / n as f64;
+            assert!((f - 0.1).abs() < 0.01, "minor fraction {f}");
+        }
+    }
+
+    #[test]
+    fn discrete_zero_weight_category_never_drawn() {
+        let d = DiscreteDist::new(&[1.0, 0.0, 1.0]);
+        let mut rng = Xoshiro256::seed_from_u64(7);
+        for _ in 0..10_000 {
+            assert_ne!(d.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must not all be zero")]
+    fn discrete_rejects_all_zero() {
+        let _ = DiscreteDist::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_in_range() {
+        let z = Zipf::new(1_000, 0.99);
+        let mut rng = Xoshiro256::seed_from_u64(8);
+        let mut head = 0u64;
+        let n = 50_000;
+        for _ in 0..n {
+            let v = z.sample(&mut rng);
+            assert!(v < 1_000);
+            if v < 10 {
+                head += 1;
+            }
+        }
+        // With theta=0.99 the top-10 of 1000 items should absorb a large
+        // fraction of the mass (analytically ~0.46 of draws).
+        let frac = head as f64 / n as f64;
+        assert!(frac > 0.3, "zipf head fraction {frac} too small");
+    }
+
+    #[test]
+    fn zipf_low_theta_is_flat_ish() {
+        let z = Zipf::new(100, 0.01);
+        let mut rng = Xoshiro256::seed_from_u64(9);
+        let mut top = 0u64;
+        let n = 50_000;
+        for _ in 0..n {
+            if z.sample(&mut rng) == 0 {
+                top += 1;
+            }
+        }
+        let frac = top as f64 / n as f64;
+        assert!(frac < 0.05, "near-uniform zipf head fraction {frac}");
+    }
+}

@@ -1,0 +1,186 @@
+//! Log-bucketed latency histogram.
+//!
+//! The driver records per-transaction response times; an exact reservoir
+//! would be too costly at ~10⁵ commits/s, so we bucket durations into
+//! power-of-√2 bins which bounds relative quantile error at ~±20 %.
+
+use std::time::Duration;
+
+const BUCKETS: usize = 128;
+
+/// Fixed-size logarithmic histogram over durations from 1 µs to ~10 min.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    counts: [u64; BUCKETS],
+    total: u64,
+    sum_micros: u128,
+    max_micros: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: [0; BUCKETS],
+            total: 0,
+            sum_micros: 0,
+            max_micros: 0,
+        }
+    }
+
+    fn bucket_for(micros: u64) -> usize {
+        if micros == 0 {
+            return 0;
+        }
+        // Two buckets per power of two: index = 2*log2(x) (+1 for upper half).
+        let log2 = 63 - micros.leading_zeros() as u64;
+        let half = (micros >> (log2.saturating_sub(1))) & 1;
+        ((2 * log2 + half) as usize).min(BUCKETS - 1)
+    }
+
+    /// Lower bound (µs) of the given bucket; inverse of [`Self::bucket_for`].
+    fn bucket_floor(idx: usize) -> u64 {
+        if idx == 0 {
+            return 0;
+        }
+        let log2 = (idx / 2) as u32;
+        let base = 1u64 << log2;
+        if idx % 2 == 0 {
+            base
+        } else {
+            base + (base >> 1)
+        }
+    }
+
+    /// Records one duration.
+    pub fn record(&mut self, d: Duration) {
+        let micros = d.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.counts[Self::bucket_for(micros)] += 1;
+        self.total += 1;
+        self.sum_micros += u128::from(micros);
+        self.max_micros = self.max_micros.max(micros);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Exact arithmetic mean of recorded durations.
+    pub fn mean(&self) -> Duration {
+        if self.total == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_micros((self.sum_micros / u128::from(self.total)) as u64)
+    }
+
+    /// Largest recorded duration (exact).
+    pub fn max(&self) -> Duration {
+        Duration::from_micros(self.max_micros)
+    }
+
+    /// Approximate quantile (`q` in `[0,1]`), accurate to the bucket width.
+    pub fn quantile(&self, q: f64) -> Duration {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        if self.total == 0 {
+            return Duration::ZERO;
+        }
+        let target = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Duration::from_micros(Self::bucket_floor(i));
+            }
+        }
+        self.max()
+    }
+
+    /// Merges another histogram into this one (used to combine per-thread
+    /// histograms at the end of a run).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += *b;
+        }
+        self.total += other.total;
+        self.sum_micros += other.sum_micros;
+        self.max_micros = self.max_micros.max(other.max_micros);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), Duration::ZERO);
+        assert_eq!(h.quantile(0.5), Duration::ZERO);
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::from_micros(100));
+        h.record(Duration::from_micros(300));
+        assert_eq!(h.mean(), Duration::from_micros(200));
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_roughly_right() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=1000u64 {
+            h.record(Duration::from_micros(i));
+        }
+        let p50 = h.quantile(0.5).as_micros() as f64;
+        let p99 = h.quantile(0.99).as_micros() as f64;
+        assert!(p50 <= p99);
+        // Bucketing allows ~±35% error at these widths.
+        assert!((300.0..=760.0).contains(&p50), "p50={p50}");
+        assert!(p99 >= 700.0, "p99={p99}");
+    }
+
+    #[test]
+    fn max_is_exact() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::from_millis(7));
+        h.record(Duration::from_micros(12));
+        assert_eq!(h.max(), Duration::from_millis(7));
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(Duration::from_micros(10));
+        b.record(Duration::from_micros(1000));
+        b.record(Duration::from_micros(2000));
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max(), Duration::from_micros(2000));
+    }
+
+    #[test]
+    fn bucket_floor_inverts_bucket_for() {
+        for micros in [1u64, 2, 3, 5, 8, 100, 1000, 65_536, 1_000_000] {
+            let b = LatencyHistogram::bucket_for(micros);
+            let floor = LatencyHistogram::bucket_floor(b);
+            assert!(
+                floor <= micros,
+                "floor {floor} should not exceed sample {micros}"
+            );
+            // And the next bucket's floor should exceed the sample.
+            if b + 1 < BUCKETS {
+                assert!(LatencyHistogram::bucket_floor(b + 1) > micros);
+            }
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Identifier newtypes shared across the engine stack.
+
+use std::fmt;
+
+/// A logical timestamp drawn from the engine's global commit counter.
+///
+/// Snapshots and version stamps share one monotonically increasing space:
+/// a version is visible to a snapshot iff `version.ts <= snapshot.ts`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Ts(pub u64);
+
+impl Ts {
+    /// The zero timestamp; initial database population commits at `Ts(0)`'s
+    /// successor and every snapshot sees it.
+    pub const ZERO: Ts = Ts(0);
+
+    /// Next timestamp in the sequence.
+    pub fn next(self) -> Ts {
+        Ts(self.0 + 1)
+    }
+}
+
+impl fmt::Display for Ts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ts{}", self.0)
+    }
+}
+
+/// Unique identifier of one transaction execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TxnId(pub u64);
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Identifier of a table within a [`sicost-storage`] catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TableId(pub u32);
+
+impl fmt::Display for TableId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tbl{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ts_ordering_and_next() {
+        assert!(Ts(1) < Ts(2));
+        assert_eq!(Ts(1).next(), Ts(2));
+        assert_eq!(Ts::ZERO.next(), Ts(1));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Ts(7).to_string(), "ts7");
+        assert_eq!(TxnId(3).to_string(), "T3");
+        assert_eq!(TableId(2).to_string(), "tbl2");
+    }
+}

@@ -1,0 +1,23 @@
+//! Shared utilities for the `sicost` workspace.
+//!
+//! This crate deliberately has **no external dependencies**: everything the
+//! rest of the system needs for deterministic randomness, workload sampling,
+//! summary statistics and money arithmetic lives here, so that experiment
+//! results are reproducible bit-for-bit from a seed.
+
+
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod histogram;
+pub mod ids;
+pub mod money;
+pub mod rng;
+pub mod stats;
+
+pub use dist::{DiscreteDist, HotspotSampler, Zipf};
+pub use ids::{TableId, Ts, TxnId};
+pub use histogram::LatencyHistogram;
+pub use money::Money;
+pub use rng::{SplitMix64, Xoshiro256};
+pub use stats::{ci95_half_width, OnlineStats, Summary};

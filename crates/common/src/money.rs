@@ -1,0 +1,143 @@
+//! Fixed-point money arithmetic.
+//!
+//! SmallBank balances are currency amounts; floating point would make the
+//! conservation-of-money oracle checks flaky, so balances are stored as an
+//! `i64` number of cents with checked arithmetic.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Neg, Sub, SubAssign};
+
+/// An amount of money in integer cents. Supports negative values (overdrawn
+/// accounts are part of the WriteCheck semantics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Money(pub i64);
+
+impl Money {
+    /// Zero dollars.
+    pub const ZERO: Money = Money(0);
+
+    /// Constructs from whole dollars.
+    pub fn dollars(d: i64) -> Self {
+        Money(d.checked_mul(100).expect("money overflow"))
+    }
+
+    /// Constructs from raw cents.
+    pub fn cents(c: i64) -> Self {
+        Money(c)
+    }
+
+    /// Raw cents value.
+    pub fn as_cents(self) -> i64 {
+        self.0
+    }
+
+    /// True when the amount is strictly negative.
+    pub fn is_negative(self) -> bool {
+        self.0 < 0
+    }
+
+    /// Checked addition, `None` on overflow.
+    pub fn checked_add(self, rhs: Money) -> Option<Money> {
+        self.0.checked_add(rhs.0).map(Money)
+    }
+
+    /// Checked subtraction, `None` on overflow.
+    pub fn checked_sub(self, rhs: Money) -> Option<Money> {
+        self.0.checked_sub(rhs.0).map(Money)
+    }
+}
+
+impl Add for Money {
+    type Output = Money;
+    fn add(self, rhs: Money) -> Money {
+        Money(self.0.checked_add(rhs.0).expect("money overflow"))
+    }
+}
+
+impl Sub for Money {
+    type Output = Money;
+    fn sub(self, rhs: Money) -> Money {
+        Money(self.0.checked_sub(rhs.0).expect("money underflow"))
+    }
+}
+
+impl Neg for Money {
+    type Output = Money;
+    fn neg(self) -> Money {
+        Money(self.0.checked_neg().expect("money overflow"))
+    }
+}
+
+impl AddAssign for Money {
+    fn add_assign(&mut self, rhs: Money) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Money {
+    fn sub_assign(&mut self, rhs: Money) {
+        *self = *self - rhs;
+    }
+}
+
+impl Sum for Money {
+    fn sum<I: Iterator<Item = Money>>(iter: I) -> Money {
+        iter.fold(Money::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Money {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sign = if self.0 < 0 { "-" } else { "" };
+        let abs = self.0.unsigned_abs();
+        write!(f, "{sign}${}.{:02}", abs / 100, abs % 100)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_round_trips() {
+        let a = Money::dollars(10);
+        let b = Money::cents(250);
+        assert_eq!(a + b, Money::cents(1250));
+        assert_eq!(a - b, Money::cents(750));
+        assert_eq!(-b, Money::cents(-250));
+        assert_eq!((a + b) - b, a);
+    }
+
+    #[test]
+    fn display_formats_cents() {
+        assert_eq!(Money::cents(1205).to_string(), "$12.05");
+        assert_eq!(Money::cents(-7).to_string(), "-$0.07");
+        assert_eq!(Money::ZERO.to_string(), "$0.00");
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: Money = [Money::dollars(1), Money::dollars(2), Money::cents(50)]
+            .into_iter()
+            .sum();
+        assert_eq!(total, Money::cents(350));
+    }
+
+    #[test]
+    fn checked_ops_catch_overflow() {
+        assert!(Money(i64::MAX).checked_add(Money(1)).is_none());
+        assert!(Money(i64::MIN).checked_sub(Money(1)).is_none());
+        assert_eq!(
+            Money(5).checked_add(Money(6)),
+            Some(Money(11)),
+        );
+    }
+
+    #[test]
+    fn negativity_flag() {
+        assert!(Money::cents(-1).is_negative());
+        assert!(!Money::ZERO.is_negative());
+        assert!(!Money::cents(1).is_negative());
+    }
+}

@@ -1,0 +1,209 @@
+//! Summary statistics for experiment reporting.
+//!
+//! The paper repeats each experiment five times and reports the mean with a
+//! 95 % confidence interval as an error bar. [`OnlineStats`] accumulates
+//! samples with Welford's algorithm and [`ci95_half_width`] applies the
+//! Student-t quantile for small sample counts.
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples observed.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (0 for fewer than two samples).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest sample (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Finalises into a [`Summary`].
+    pub fn summary(&self) -> Summary {
+        Summary {
+            n: self.n,
+            mean: self.mean(),
+            stddev: self.stddev(),
+            min: self.min(),
+            max: self.max(),
+            ci95: ci95_half_width(self.n, self.stddev()),
+        }
+    }
+}
+
+/// Point summary of a repeated measurement: mean ± 95 % CI half-width.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of repeats.
+    pub n: u64,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub stddev: f64,
+    /// Minimum sample.
+    pub min: f64,
+    /// Maximum sample.
+    pub max: f64,
+    /// Half-width of the 95 % confidence interval around the mean.
+    pub ci95: f64,
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.1} ± {:.1} (n={})", self.mean, self.ci95, self.n)
+    }
+}
+
+/// Two-sided 97.5 % Student-t quantiles for ν = 1..=30 degrees of freedom.
+const T_975: [f64; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045, 2.042,
+];
+
+/// Half-width of the 95 % confidence interval for the mean of `n` samples
+/// with sample standard deviation `stddev`. Returns 0 for `n < 2`.
+pub fn ci95_half_width(n: u64, stddev: f64) -> f64 {
+    if n < 2 {
+        return 0.0;
+    }
+    let df = (n - 1) as usize;
+    let t = if df <= T_975.len() {
+        T_975[df - 1]
+    } else {
+        1.96 // normal approximation for large n
+    };
+    t * stddev / (n as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = OnlineStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.stddev(), 0.0);
+        assert_eq!(s.summary().ci95, 0.0);
+    }
+
+    #[test]
+    fn mean_and_variance_match_textbook() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Population variance is 4.0; sample variance = 4.0 * 8/7.
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn ci95_five_repeats_uses_t_quantile() {
+        // The paper's setting: 5 repeats -> t(4) = 2.776.
+        let hw = ci95_half_width(5, 10.0);
+        assert!((hw - 2.776 * 10.0 / 5f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ci95_large_n_uses_normal() {
+        let hw = ci95_half_width(1000, 10.0);
+        assert!((hw - 1.96 * 10.0 / 1000f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ci_shrinks_with_repeats() {
+        assert!(ci95_half_width(3, 5.0) > ci95_half_width(5, 5.0));
+        assert!(ci95_half_width(5, 5.0) > ci95_half_width(10, 5.0));
+    }
+
+    #[test]
+    fn identical_samples_have_zero_ci() {
+        let mut s = OnlineStats::new();
+        for _ in 0..5 {
+            s.push(42.0);
+        }
+        let sum = s.summary();
+        assert_eq!(sum.mean, 42.0);
+        assert_eq!(sum.ci95, 0.0);
+    }
+
+    #[test]
+    fn summary_display_is_compact() {
+        let mut s = OnlineStats::new();
+        s.push(10.0);
+        s.push(12.0);
+        let txt = format!("{}", s.summary());
+        assert!(txt.contains("11.0"));
+        assert!(txt.contains("n=2"));
+    }
+}

@@ -1,0 +1,270 @@
+//! The advisor: end-to-end analysis of an application mix.
+//!
+//! The paper's conclusion wishes for "a tool that can suggest which
+//! vulnerable edges to deal with, for least impact on performance". This
+//! module is that tool, built from the pieces of this crate:
+//!
+//! 1. analyse the mix ([`Sdg::build`]);
+//! 2. if dangerous structures exist, compute a minimum-cost edge set
+//!    ([`minimal_edge_cover`]) under a cost model that encodes the
+//!    paper's measured guidelines (§IV-G: avoid making read-only
+//!    programs updaters);
+//! 3. pick a technique per edge: promotion when the vulnerable reads are
+//!    single-row (cheapest on PostgreSQL, §IV-G #4), materialization when
+//!    a predicate read is involved (§II-C);
+//! 4. apply and re-verify.
+
+use crate::cover::{minimal_edge_cover, CoverSolution, EdgeCost};
+use crate::program::{KeySpec, Program};
+use crate::sdg::{ConflictKind, Sdg, SfuTreatment};
+use crate::strategy::{apply, EdgePick, StrategyPlan, Technique};
+
+/// One recommended fix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Recommendation {
+    /// Reading-side program.
+    pub from: String,
+    /// Writing-side program.
+    pub to: String,
+    /// Chosen technique.
+    pub technique: Technique,
+    /// Why this technique (human-readable).
+    pub rationale: String,
+}
+
+/// Full advisor output.
+#[derive(Debug)]
+pub struct Advice {
+    /// Whether the mix was already safe.
+    pub already_safe: bool,
+    /// Dangerous structures found in the original mix.
+    pub dangerous_structures: usize,
+    /// The edge cover chosen.
+    pub cover: CoverSolution,
+    /// One recommendation per covered edge.
+    pub recommendations: Vec<Recommendation>,
+    /// The modified programs (equal to the input when already safe).
+    pub modified: Vec<Program>,
+    /// Re-analysis of the modified mix (must be safe).
+    pub verified: Sdg,
+}
+
+impl Advice {
+    /// Renders the advice as a report.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        if self.already_safe {
+            out.push_str(
+                "No dangerous structure: every execution on an SI platform is serializable as-is.\n",
+            );
+            return out;
+        }
+        out.push_str(&format!(
+            "{} dangerous structure(s); fixing {} edge(s) (cost {:.0}, {}):\n",
+            self.dangerous_structures,
+            self.recommendations.len(),
+            self.cover.cost,
+            if self.cover.optimal {
+                "provably minimal"
+            } else {
+                "greedy"
+            }
+        ));
+        for r in &self.recommendations {
+            out.push_str(&format!(
+                "  {} --v--> {}: {} ({})\n",
+                r.from, r.to, r.technique, r.rationale
+            ));
+        }
+        out.push_str(&format!(
+            "re-analysis: {} dangerous structures remain\n",
+            self.verified.dangerous_structures().len()
+        ));
+        out
+    }
+}
+
+/// Analyses `programs` and produces a verified fix plan.
+///
+/// # Panics
+/// Never for well-formed inputs: the fallback technique (materialization)
+/// applies to every conflict kind.
+pub fn advise(programs: &[Program], sfu: SfuTreatment, costs: EdgeCost) -> Advice {
+    let sdg = Sdg::build(programs, sfu);
+    let structures = sdg.dangerous_structures();
+    if structures.is_empty() {
+        return Advice {
+            already_safe: true,
+            dangerous_structures: 0,
+            cover: CoverSolution {
+                edges: Vec::new(),
+                cost: 0.0,
+                optimal: true,
+            },
+            recommendations: Vec::new(),
+            modified: programs.to_vec(),
+            verified: sdg,
+        };
+    }
+    let cover = minimal_edge_cover(&sdg, costs);
+    let mut recommendations = Vec::new();
+    let mut picks = Vec::new();
+    for &ei in &cover.edges {
+        let edge = &sdg.edges()[ei];
+        let from = sdg.programs()[edge.from].name.clone();
+        let to = sdg.programs()[edge.to].name.clone();
+        // Promotion applies only when no vulnerable conflict on this edge
+        // anchors on a predicate read (§II-C).
+        let predicate_involved = edge.conflicts.iter().any(|c| {
+            c.kind == ConflictKind::Rw
+                && !c.shielded
+                && matches!(c.from_key, KeySpec::Predicate(_))
+        });
+        let (technique, rationale) = if predicate_involved {
+            (
+                Technique::Materialize,
+                "vulnerable predicate read: promotion inapplicable".to_string(),
+            )
+        } else {
+            (
+                Technique::PromoteUpdate,
+                "single-row reads: identity update is the cheapest fix on \
+                 FUW platforms (§IV-G)"
+                    .to_string(),
+            )
+        };
+        recommendations.push(Recommendation {
+            from: from.clone(),
+            to: to.clone(),
+            technique,
+            rationale,
+        });
+        picks.push(EdgePick {
+            from,
+            to,
+            technique,
+        });
+    }
+    let plan = StrategyPlan { picks };
+    let modified = apply(&sdg, &plan).expect("advisor plans always apply");
+    let verified = Sdg::build(&modified, sfu);
+    Advice {
+        already_safe: false,
+        dangerous_structures: structures.len(),
+        cover,
+        recommendations,
+        modified,
+        verified,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{Access, AccessMode};
+
+    fn smallbank_like() -> Vec<Program> {
+        vec![
+            Program::new(
+                "Bal",
+                ["N"],
+                vec![Access::read("Sav", "N"), Access::read("Chk", "N")],
+            ),
+            Program::new(
+                "WC",
+                ["N"],
+                vec![
+                    Access::read("Sav", "N"),
+                    Access::read("Chk", "N"),
+                    Access::write("Chk", "N"),
+                ],
+            ),
+            Program::new(
+                "TS",
+                ["N"],
+                vec![Access::read("Sav", "N"), Access::write("Sav", "N")],
+            ),
+        ]
+    }
+
+    #[test]
+    fn advises_the_papers_guideline_for_smallbank() {
+        let advice = advise(
+            &smallbank_like(),
+            SfuTreatment::AsLockOnly,
+            EdgeCost::default(),
+        );
+        assert!(!advice.already_safe);
+        assert_eq!(advice.dangerous_structures, 1);
+        assert_eq!(advice.recommendations.len(), 1);
+        let r = &advice.recommendations[0];
+        // Guideline 2: don't touch the read-only Balance; fix WC -> TS.
+        assert_eq!((r.from.as_str(), r.to.as_str()), ("WC", "TS"));
+        assert_eq!(r.technique, Technique::PromoteUpdate);
+        assert!(advice.verified.is_si_serializable());
+        assert!(advice.report().contains("WC --v--> TS"));
+    }
+
+    #[test]
+    fn safe_mix_needs_nothing() {
+        let p = Program::new(
+            "Inc",
+            ["K"],
+            vec![Access::read("X", "K"), Access::write("X", "K")],
+        );
+        let advice = advise(&[p], SfuTreatment::AsLockOnly, EdgeCost::default());
+        assert!(advice.already_safe);
+        assert!(advice.recommendations.is_empty());
+        assert!(advice.report().contains("serializable as-is"));
+    }
+
+    #[test]
+    fn predicate_reads_force_materialization() {
+        let mix = vec![
+            Program::new(
+                "Scan",
+                [],
+                vec![
+                    Access {
+                        table: "X".into(),
+                        key: KeySpec::Predicate("v>0".into()),
+                        mode: AccessMode::Read,
+                    },
+                    Access::write("Y", "K"),
+                ],
+            ),
+            Program::new(
+                "Upd",
+                ["K"],
+                vec![Access::write("X", "K"), Access::read("Y", "K")],
+            ),
+        ];
+        let advice = advise(&mix, SfuTreatment::AsLockOnly, EdgeCost::default());
+        assert!(!advice.already_safe);
+        assert!(advice.verified.is_si_serializable());
+        // Whatever edges it picked, any pick on the Scan side must be
+        // materialization.
+        for r in &advice.recommendations {
+            if r.from == "Scan" {
+                assert_eq!(r.technique, Technique::Materialize);
+            }
+        }
+    }
+
+    #[test]
+    fn advisor_always_verifies_on_random_like_shapes() {
+        // A tangle of programs with multiple dangerous structures.
+        let mix = vec![
+            Program::new("A", ["K"], vec![Access::read("X", "K"), Access::write("Y", "K")]),
+            Program::new("B", ["K"], vec![Access::read("Y", "K"), Access::write("Z", "K")]),
+            Program::new("C", ["K"], vec![Access::read("Z", "K"), Access::write("X", "K")]),
+        ];
+        let advice = advise(&mix, SfuTreatment::AsLockOnly, EdgeCost::default());
+        assert!(!advice.already_safe);
+        assert!(
+            advice.verified.is_si_serializable(),
+            "advisor output must verify: {}",
+            advice.report()
+        );
+    }
+}

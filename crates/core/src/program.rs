@@ -1,0 +1,290 @@
+//! The program model: parameterised data footprints of transaction
+//! programs, the abstraction the SDG theory works on.
+
+use std::fmt;
+
+/// How a program selects the row(s) of one access.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum KeySpec {
+    /// A single row selected by equality with a program parameter
+    /// (`WHERE pk = :N`). Two `Param` accesses of different programs can
+    /// always collide (the parameters may be equal at runtime).
+    Param(String),
+    /// A single fixed row (`WHERE pk = 'hot'`): collides only with the
+    /// same constant.
+    Const(String),
+    /// A predicate read returning a parameter-dependent *set* of rows.
+    /// Promotion does not apply to conflicts on such reads (§II-C: it
+    /// cannot identity-update rows that were *not* returned).
+    Predicate(String),
+}
+
+impl KeySpec {
+    /// Can two accesses with these key specs touch the same row for some
+    /// parameter binding? Conservative (any parameterised specs may
+    /// collide), exact for constants.
+    pub fn may_overlap(&self, other: &KeySpec) -> bool {
+        match (self, other) {
+            (KeySpec::Const(a), KeySpec::Const(b)) => a == b,
+            _ => true,
+        }
+    }
+
+    /// Given the collision scenario `self_key ≡ other_key` between two
+    /// accesses, is a *different* pair of keys (`w_self`, `w_other`)
+    /// guaranteed to denote one common row in every such scenario?
+    ///
+    /// This is the shielding test: the rw edge is not vulnerable when both
+    /// programs are guaranteed to write a common item whenever the rw
+    /// conflict arises (§II-A).
+    pub fn guarantees_equal(
+        w_self: &KeySpec,
+        w_other: &KeySpec,
+        scenario_self: &KeySpec,
+        scenario_other: &KeySpec,
+    ) -> bool {
+        // Same constant row: always equal, no scenario needed.
+        if let (KeySpec::Const(a), KeySpec::Const(b)) = (w_self, w_other) {
+            if a == b {
+                return true;
+            }
+        }
+        // Keys tied through the collision scenario: if each side's write
+        // key is (syntactically) the very key that collided, then every
+        // binding that produces the rw conflict also makes the two writes
+        // hit one common row. This covers Param/Param, Param/Const and
+        // Const/Param scenarios alike. Predicates denote *sets* of rows,
+        // so they guarantee no single common row and are excluded.
+        !matches!(w_self, KeySpec::Predicate(_))
+            && !matches!(w_other, KeySpec::Predicate(_))
+            && w_self == scenario_self
+            && w_other == scenario_other
+    }
+}
+
+impl fmt::Display for KeySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KeySpec::Param(p) => write!(f, "[:{p}]"),
+            KeySpec::Const(c) => write!(f, "['{c}']"),
+            KeySpec::Predicate(p) => write!(f, "[{p}?]"),
+        }
+    }
+}
+
+/// Access mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessMode {
+    /// Plain read.
+    Read,
+    /// `SELECT … FOR UPDATE` read; whether it behaves like a write for
+    /// conflict purposes depends on the platform
+    /// ([`crate::SfuTreatment`]).
+    SfuRead,
+    /// Update / insert / delete / identity update.
+    Write,
+}
+
+/// One access in a program's footprint.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Access {
+    /// Table accessed.
+    pub table: String,
+    /// Row selection.
+    pub key: KeySpec,
+    /// Mode.
+    pub mode: AccessMode,
+}
+
+impl Access {
+    /// Plain read of `table` keyed by parameter `param`.
+    pub fn read(table: impl Into<String>, param: impl Into<String>) -> Self {
+        Self {
+            table: table.into(),
+            key: KeySpec::Param(param.into()),
+            mode: AccessMode::Read,
+        }
+    }
+
+    /// Write of `table` keyed by parameter `param`.
+    pub fn write(table: impl Into<String>, param: impl Into<String>) -> Self {
+        Self {
+            table: table.into(),
+            key: KeySpec::Param(param.into()),
+            mode: AccessMode::Write,
+        }
+    }
+
+    /// `FOR UPDATE` read of `table` keyed by parameter `param`.
+    pub fn sfu(table: impl Into<String>, param: impl Into<String>) -> Self {
+        Self {
+            table: table.into(),
+            key: KeySpec::Param(param.into()),
+            mode: AccessMode::SfuRead,
+        }
+    }
+}
+
+impl fmt::Display for Access {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let m = match self.mode {
+            AccessMode::Read => "r",
+            AccessMode::SfuRead => "r(sfu)",
+            AccessMode::Write => "w",
+        };
+        write!(f, "{m} {}{}", self.table, self.key)
+    }
+}
+
+/// A transaction program: name, parameters, and data footprint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// Program name (unique within an application mix).
+    pub name: String,
+    /// Parameter names (documentation; key specs reference them freely).
+    pub params: Vec<String>,
+    /// The footprint.
+    pub accesses: Vec<Access>,
+}
+
+impl Program {
+    /// Creates a program.
+    pub fn new(
+        name: impl Into<String>,
+        params: impl IntoIterator<Item = &'static str>,
+        accesses: Vec<Access>,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            params: params.into_iter().map(String::from).collect(),
+            accesses,
+        }
+    }
+
+    /// True when the program performs no writes at all (`SfuRead` counts
+    /// as a read here; whether it *behaves* as a write is a platform
+    /// property, not a program property).
+    pub fn is_read_only(&self) -> bool {
+        self.accesses.iter().all(|a| a.mode != AccessMode::Write)
+    }
+
+    /// Tables this program writes.
+    pub fn written_tables(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = self
+            .accesses
+            .iter()
+            .filter(|a| a.mode == AccessMode::Write)
+            .map(|a| a.table.as_str())
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Renames every parameter with a prefix (used when analysing two
+    /// instances of the *same* program against each other).
+    pub fn rename_params(&self, prefix: &str) -> Program {
+        let rename = |k: &KeySpec| match k {
+            KeySpec::Param(p) => KeySpec::Param(format!("{prefix}{p}")),
+            KeySpec::Const(c) => KeySpec::Const(c.clone()),
+            KeySpec::Predicate(p) => KeySpec::Predicate(format!("{prefix}{p}")),
+        };
+        Program {
+            name: self.name.clone(),
+            params: self.params.iter().map(|p| format!("{prefix}{p}")).collect(),
+            accesses: self
+                .accesses
+                .iter()
+                .map(|a| Access {
+                    table: a.table.clone(),
+                    key: rename(&a.key),
+                    mode: a.mode,
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overlap_rules() {
+        let p = KeySpec::Param("N".into());
+        let q = KeySpec::Param("M".into());
+        let c1 = KeySpec::Const("x".into());
+        let c2 = KeySpec::Const("y".into());
+        let pred = KeySpec::Predicate("balance<0".into());
+        assert!(p.may_overlap(&q));
+        assert!(p.may_overlap(&c1));
+        assert!(c1.may_overlap(&c1.clone()));
+        assert!(!c1.may_overlap(&c2));
+        assert!(pred.may_overlap(&p));
+    }
+
+    #[test]
+    fn shielding_requires_tied_parameters() {
+        let n = KeySpec::Param("N".into());
+        let m = KeySpec::Param("M".into());
+        let other = KeySpec::Param("O".into());
+        // Writes on the same params as the collision: shielded.
+        assert!(KeySpec::guarantees_equal(&n, &m, &n, &m));
+        // Writes on unrelated params: not guaranteed.
+        assert!(!KeySpec::guarantees_equal(&other, &m, &n, &m));
+        assert!(!KeySpec::guarantees_equal(&n, &other, &n, &m));
+        // Equal constants always shield.
+        let c = KeySpec::Const("hot".into());
+        assert!(KeySpec::guarantees_equal(&c, &c.clone(), &n, &m));
+        // Predicates never do.
+        let pred = KeySpec::Predicate("p".into());
+        assert!(!KeySpec::guarantees_equal(&pred, &m, &n, &m));
+    }
+
+    #[test]
+    fn read_only_detection() {
+        let bal = Program::new(
+            "Bal",
+            ["N"],
+            vec![Access::read("Account", "N"), Access::read("Saving", "N")],
+        );
+        assert!(bal.is_read_only());
+        let mut with_sfu = bal.clone();
+        with_sfu.accesses.push(Access::sfu("Checking", "N"));
+        assert!(with_sfu.is_read_only(), "sfu alone keeps a program read-only");
+        let mut writer = bal;
+        writer.accesses.push(Access::write("Saving", "N"));
+        assert!(!writer.is_read_only());
+        assert_eq!(writer.written_tables(), vec!["Saving"]);
+    }
+
+    #[test]
+    fn param_renaming_is_consistent() {
+        let p = Program::new(
+            "WC",
+            ["N"],
+            vec![Access::read("Saving", "N"), Access::write("Checking", "N")],
+        );
+        let r = p.rename_params("a_");
+        assert_eq!(r.params, vec!["a_N"]);
+        assert_eq!(r.accesses[0].key, KeySpec::Param("a_N".into()));
+        assert_eq!(r.accesses[1].key, KeySpec::Param("a_N".into()));
+        assert_eq!(r.name, "WC");
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Access::read("T", "N").to_string(), "r T[:N]");
+        assert_eq!(Access::write("T", "N").to_string(), "w T[:N]");
+        assert_eq!(Access::sfu("T", "N").to_string(), "r(sfu) T[:N]");
+        assert_eq!(
+            Access {
+                table: "T".into(),
+                key: KeySpec::Predicate("v>0".into()),
+                mode: AccessMode::Read
+            }
+            .to_string(),
+            "r T[v>0?]"
+        );
+    }
+}

@@ -1,0 +1,150 @@
+//! Rendering SDGs as GraphViz DOT and as ASCII tables (the bench harness
+//! prints these to reproduce the paper's Figures 1–3).
+
+use crate::sdg::{ConflictKind, Sdg};
+
+impl Sdg {
+    /// GraphViz DOT: vulnerable edges dashed (as in the paper's figures),
+    /// update programs shaded.
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("digraph sdg {\n  rankdir=LR;\n");
+        for p in self.programs() {
+            let style = if p.is_read_only() {
+                ""
+            } else {
+                ", style=filled, fillcolor=lightgrey"
+            };
+            out.push_str(&format!("  \"{}\" [shape=ellipse{}];\n", p.name, style));
+        }
+        for e in self.edges() {
+            let from = &self.programs()[e.from].name;
+            let to = &self.programs()[e.to].name;
+            let style = if e.vulnerable { "dashed" } else { "solid" };
+            let kinds = edge_kinds_label(e.conflicts.iter().map(|c| c.kind));
+            out.push_str(&format!(
+                "  \"{from}\" -> \"{to}\" [style={style}, label=\"{kinds}\"];\n"
+            ));
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// A compact, deterministic ASCII edge listing: one line per directed
+    /// edge, `-->` plain, `--v-->` vulnerable. Suitable for golden tests
+    /// and terminal output.
+    pub fn to_ascii(&self) -> String {
+        let mut lines: Vec<String> = self
+            .edges()
+            .iter()
+            .map(|e| {
+                let from = &self.programs()[e.from].name;
+                let to = &self.programs()[e.to].name;
+                let arrow = if e.vulnerable { "--v-->" } else { "----->" };
+                let kinds = edge_kinds_label(e.conflicts.iter().map(|c| c.kind));
+                format!("{from:>12} {arrow} {to:<12} [{kinds}]")
+            })
+            .collect();
+        lines.sort();
+        let mut out = lines.join("\n");
+        out.push('\n');
+        let ds = self.dangerous_structures();
+        if ds.is_empty() {
+            out.push_str("no dangerous structure: SI executions are serializable\n");
+        } else {
+            for s in ds {
+                let a = &self.edges()[s.incoming];
+                let b = &self.edges()[s.outgoing];
+                out.push_str(&format!(
+                    "DANGEROUS: {} --v--> {} --v--> {}\n",
+                    self.programs()[a.from].name,
+                    self.programs()[a.to].name,
+                    self.programs()[b.to].name,
+                ));
+            }
+        }
+        out
+    }
+}
+
+fn edge_kinds_label(kinds: impl Iterator<Item = ConflictKind>) -> String {
+    let mut rw = false;
+    let mut wr = false;
+    let mut ww = false;
+    for k in kinds {
+        match k {
+            ConflictKind::Rw => rw = true,
+            ConflictKind::Wr => wr = true,
+            ConflictKind::Ww => ww = true,
+        }
+    }
+    let mut parts = Vec::new();
+    if rw {
+        parts.push("rw");
+    }
+    if wr {
+        parts.push("wr");
+    }
+    if ww {
+        parts.push("ww");
+    }
+    parts.join(",")
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::program::{Access, Program};
+    use crate::sdg::{Sdg, SfuTreatment};
+
+    fn mix() -> Vec<Program> {
+        vec![
+            Program::new(
+                "Bal",
+                ["N"],
+                vec![Access::read("Sav", "N"), Access::read("Chk", "N")],
+            ),
+            Program::new(
+                "WC",
+                ["N"],
+                vec![
+                    Access::read("Sav", "N"),
+                    Access::read("Chk", "N"),
+                    Access::write("Chk", "N"),
+                ],
+            ),
+            Program::new(
+                "TS",
+                ["N"],
+                vec![Access::read("Sav", "N"), Access::write("Sav", "N")],
+            ),
+        ]
+    }
+
+    #[test]
+    fn dot_marks_vulnerability_and_updaters() {
+        let sdg = Sdg::build(&mix(), SfuTreatment::AsLockOnly);
+        let dot = sdg.to_dot();
+        assert!(dot.contains("digraph"));
+        assert!(dot.contains("style=dashed"), "vulnerable edges dashed");
+        assert!(dot.contains("fillcolor=lightgrey"), "updaters shaded");
+        assert!(dot.contains("\"Bal\" [shape=ellipse];"), "read-only unshaded");
+    }
+
+    #[test]
+    fn ascii_lists_edges_and_structures() {
+        let sdg = Sdg::build(&mix(), SfuTreatment::AsLockOnly);
+        let ascii = sdg.to_ascii();
+        assert!(ascii.contains("--v-->"));
+        assert!(ascii.contains("DANGEROUS: Bal --v--> WC --v--> TS"));
+    }
+
+    #[test]
+    fn ascii_reports_safety_when_safe() {
+        let safe = vec![Program::new(
+            "Inc",
+            ["K"],
+            vec![Access::read("X", "K"), Access::write("X", "K")],
+        )];
+        let sdg = Sdg::build(&safe, SfuTreatment::AsLockOnly);
+        assert!(sdg.to_ascii().contains("serializable"));
+    }
+}

@@ -1,0 +1,453 @@
+//! Static Dependency Graph construction and dangerous-structure analysis.
+
+use crate::program::{Access, AccessMode, KeySpec, Program};
+use std::collections::HashSet;
+
+/// Platform treatment of `SELECT … FOR UPDATE` (§II-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SfuTreatment {
+    /// The commercial platform: an sfu read is a write for concurrency
+    /// control, so it removes vulnerability like an identity update.
+    AsWrite,
+    /// PostgreSQL: the lock dies with the transaction; an sfu read does
+    /// **not** remove vulnerability (one bad interleaving remains).
+    AsLockOnly,
+}
+
+/// The kind of one inter-program conflict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConflictKind {
+    /// `from` reads an item `to` writes (anti-dependency when `from`'s
+    /// read precedes `to`'s version).
+    Rw,
+    /// `from` writes an item `to` reads.
+    Wr,
+    /// Both write a common item.
+    Ww,
+}
+
+/// One concrete conflicting access pair contributing to an edge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Conflict {
+    /// Conflict kind (oriented `from` → `to`).
+    pub kind: ConflictKind,
+    /// Table on which the accesses collide.
+    pub table: String,
+    /// `from`'s key spec.
+    pub from_key: KeySpec,
+    /// `to`'s key spec.
+    pub to_key: KeySpec,
+    /// For `Rw`: whether this conflict is *shielded* by a guaranteed
+    /// write-write conflict (making it non-vulnerable).
+    pub shielded: bool,
+}
+
+/// A directed SDG edge with all its conflicts.
+#[derive(Debug, Clone)]
+pub struct SdgEdge {
+    /// Source program index.
+    pub from: usize,
+    /// Target program index.
+    pub to: usize,
+    /// Every conflicting access pair, oriented `from` → `to`.
+    pub conflicts: Vec<Conflict>,
+    /// Vulnerable: some rw conflict between potentially-concurrent
+    /// instances is unshielded.
+    pub vulnerable: bool,
+}
+
+/// A dangerous structure: two consecutive vulnerable edges that lie on a
+/// cycle — `incoming` into the pivot, `outgoing` out of it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DangerousStructure {
+    /// Index (into [`Sdg::edges`]) of the first vulnerable edge (P → pivot).
+    pub incoming: usize,
+    /// Index of the second vulnerable edge (pivot → R).
+    pub outgoing: usize,
+    /// The pivot program.
+    pub pivot: usize,
+}
+
+/// The static dependency graph of an application mix.
+#[derive(Debug, Clone)]
+pub struct Sdg {
+    programs: Vec<Program>,
+    edges: Vec<SdgEdge>,
+    sfu: SfuTreatment,
+}
+
+fn is_effective_write(mode: AccessMode, sfu: SfuTreatment) -> bool {
+    match mode {
+        AccessMode::Write => true,
+        AccessMode::SfuRead => sfu == SfuTreatment::AsWrite,
+        AccessMode::Read => false,
+    }
+}
+
+fn is_read(mode: AccessMode) -> bool {
+    matches!(mode, AccessMode::Read | AccessMode::SfuRead)
+}
+
+impl Sdg {
+    /// Builds the SDG for a mix of programs.
+    ///
+    /// For each ordered pair — including a program against a
+    /// parameter-renamed copy of itself, since two instances of one
+    /// program can conflict — every pair of accesses is tested for
+    /// overlap, conflicts are classified, and rw conflicts are tested for
+    /// write-write shielding per §II-A.
+    pub fn build(programs: &[Program], sfu: SfuTreatment) -> Sdg {
+        let mut edges = Vec::new();
+        for (i, p) in programs.iter().enumerate() {
+            for (j, q_orig) in programs.iter().enumerate() {
+                // Distinct instances: rename both sides' parameters apart.
+                let p_inst = p.rename_params("a_");
+                let q_inst = q_orig.rename_params("b_");
+                let conflicts = conflicts_between(&p_inst, &q_inst, sfu);
+                if conflicts.is_empty() {
+                    continue;
+                }
+                // Self-pairs produce a self-loop edge only if conflicting.
+                let vulnerable = conflicts
+                    .iter()
+                    .any(|c| c.kind == ConflictKind::Rw && !c.shielded);
+                edges.push(SdgEdge {
+                    from: i,
+                    to: j,
+                    conflicts,
+                    vulnerable,
+                });
+            }
+        }
+        Sdg {
+            programs: programs.to_vec(),
+            edges,
+            sfu,
+        }
+    }
+
+    /// The analysed programs.
+    pub fn programs(&self) -> &[Program] {
+        &self.programs
+    }
+
+    /// All directed edges.
+    pub fn edges(&self) -> &[SdgEdge] {
+        &self.edges
+    }
+
+    /// The sfu treatment this graph was built under.
+    pub fn sfu_treatment(&self) -> SfuTreatment {
+        self.sfu
+    }
+
+    /// The directed edge between two programs, if any.
+    pub fn edge_between(&self, from: usize, to: usize) -> Option<&SdgEdge> {
+        self.edges.iter().find(|e| e.from == from && e.to == to)
+    }
+
+    /// Indices of vulnerable edges.
+    pub fn vulnerable_edges(&self) -> Vec<usize> {
+        (0..self.edges.len())
+            .filter(|&i| self.edges[i].vulnerable)
+            .collect()
+    }
+
+    /// Is `to` reachable from `from` following any directed edges?
+    fn reachable(&self, from: usize, to: usize) -> bool {
+        if from == to {
+            return true;
+        }
+        let mut seen = HashSet::new();
+        let mut stack = vec![from];
+        while let Some(v) = stack.pop() {
+            for e in self.edges.iter().filter(|e| e.from == v) {
+                if e.to == to {
+                    return true;
+                }
+                if seen.insert(e.to) {
+                    stack.push(e.to);
+                }
+            }
+        }
+        false
+    }
+
+    /// Enumerates all dangerous structures: vulnerable `e1: P→Q` followed
+    /// by vulnerable `e2: Q→R` such that the two edges lie on a cycle
+    /// (i.e. `P` is reachable from `R`; `P == R` gives the 2-cycle case).
+    pub fn dangerous_structures(&self) -> Vec<DangerousStructure> {
+        let mut out = Vec::new();
+        for (i1, e1) in self.edges.iter().enumerate() {
+            if !e1.vulnerable {
+                continue;
+            }
+            for (i2, e2) in self.edges.iter().enumerate() {
+                if !e2.vulnerable || e1.to != e2.from {
+                    continue;
+                }
+                // Self-loop edges form degenerate structures; still valid
+                // (two instances of one program chasing each other).
+                if self.reachable(e2.to, e1.from) {
+                    out.push(DangerousStructure {
+                        incoming: i1,
+                        outgoing: i2,
+                        pivot: e1.to,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// The theorem of Fekete et al.: no dangerous structure ⇒ every
+    /// execution of this mix on an SI engine is serializable.
+    pub fn is_si_serializable(&self) -> bool {
+        self.dangerous_structures().is_empty()
+    }
+}
+
+/// All conflicts between (instances of) two programs, oriented p → q.
+fn conflicts_between(p: &Program, q: &Program, sfu: SfuTreatment) -> Vec<Conflict> {
+    let mut out = Vec::new();
+    for pa in &p.accesses {
+        for qa in &q.accesses {
+            if pa.table != qa.table || !pa.key.may_overlap(&qa.key) {
+                continue;
+            }
+            let p_writes = is_effective_write(pa.mode, sfu);
+            let q_writes = is_effective_write(qa.mode, sfu);
+            if p_writes && q_writes {
+                out.push(Conflict {
+                    kind: ConflictKind::Ww,
+                    table: pa.table.clone(),
+                    from_key: pa.key.clone(),
+                    to_key: qa.key.clone(),
+                    shielded: false,
+                });
+            }
+            // rw conflict: p reads, q writes. An access that is itself an
+            // effective write is excluded — the conflict is then ww (SI's
+            // lost-update rule already kills one instance), which is why
+            // read-then-update programs like TS/DC/Amg have no vulnerable
+            // outgoing edges (§III-C).
+            if is_read(pa.mode) && !p_writes && q_writes {
+                let shielded = shielded_by_ww(p, q, pa, qa, sfu);
+                out.push(Conflict {
+                    kind: ConflictKind::Rw,
+                    table: pa.table.clone(),
+                    from_key: pa.key.clone(),
+                    to_key: qa.key.clone(),
+                    shielded,
+                });
+            }
+            if p_writes && is_read(qa.mode) && !q_writes {
+                out.push(Conflict {
+                    kind: ConflictKind::Wr,
+                    table: pa.table.clone(),
+                    from_key: pa.key.clone(),
+                    to_key: qa.key.clone(),
+                    shielded: false,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// §II-A shielding: under the collision scenario `pa.key ≡ qa.key`, do the
+/// two programs *always* write one common item? If so, SI's lost-update
+/// rule forbids the two instances committing concurrently and the rw
+/// conflict cannot become an anti-dependency between concurrent
+/// transactions.
+fn shielded_by_ww(
+    p: &Program,
+    q: &Program,
+    pa: &Access,
+    qa: &Access,
+    sfu: SfuTreatment,
+) -> bool {
+    for pw in &p.accesses {
+        if !is_effective_write(pw.mode, sfu) {
+            continue;
+        }
+        for qw in &q.accesses {
+            if !is_effective_write(qw.mode, sfu) || pw.table != qw.table {
+                continue;
+            }
+            if KeySpec::guarantees_equal(&pw.key, &qw.key, &pa.key, &qa.key) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Access;
+
+    /// A minimal write-skew mix: P reads x,y writes x; Q reads x,y
+    /// writes y. Both edges vulnerable, dangerous structure present.
+    fn skew_mix() -> Vec<Program> {
+        vec![
+            Program::new(
+                "P",
+                ["K"],
+                vec![
+                    Access::read("X", "K"),
+                    Access::read("Y", "K"),
+                    Access::write("X", "K"),
+                ],
+            ),
+            Program::new(
+                "Q",
+                ["K"],
+                vec![
+                    Access::read("X", "K"),
+                    Access::read("Y", "K"),
+                    Access::write("Y", "K"),
+                ],
+            ),
+        ]
+    }
+
+    #[test]
+    fn write_skew_mix_is_dangerous() {
+        let sdg = Sdg::build(&skew_mix(), SfuTreatment::AsLockOnly);
+        let e_pq = sdg.edge_between(0, 1).expect("edge P->Q");
+        let e_qp = sdg.edge_between(1, 0).expect("edge Q->P");
+        assert!(e_pq.vulnerable, "P reads Y which Q writes, unshielded");
+        assert!(e_qp.vulnerable);
+        assert!(!sdg.is_si_serializable());
+        let ds = sdg.dangerous_structures();
+        assert!(!ds.is_empty());
+    }
+
+    #[test]
+    fn rw_that_is_also_ww_is_not_vulnerable() {
+        // Both programs read-then-write the same item: pure ww dynamics.
+        let p = Program::new(
+            "Inc",
+            ["K"],
+            vec![Access::read("X", "K"), Access::write("X", "K")],
+        );
+        let sdg = Sdg::build(&[p.clone(), p], SfuTreatment::AsLockOnly);
+        for e in sdg.edges() {
+            assert!(!e.vulnerable, "read-update programs are shielded");
+        }
+        assert!(sdg.is_si_serializable());
+    }
+
+    #[test]
+    fn shielding_via_companion_write() {
+        // P reads S[N] and writes C[N]; Q writes S[M] *and* C[M]:
+        // any rw collision (N≡M) is accompanied by a ww on C.
+        let p = Program::new(
+            "P",
+            ["N"],
+            vec![Access::read("S", "N"), Access::write("C", "N")],
+        );
+        let q = Program::new(
+            "Q",
+            ["M"],
+            vec![Access::write("S", "M"), Access::write("C", "M")],
+        );
+        let sdg = Sdg::build(&[p, q], SfuTreatment::AsLockOnly);
+        let e = sdg.edge_between(0, 1).unwrap();
+        assert!(!e.vulnerable, "companion ww write shields the rw conflict");
+        // The unshared-direction conflicts still exist.
+        assert!(e.conflicts.iter().any(|c| c.kind == ConflictKind::Rw && c.shielded));
+    }
+
+    #[test]
+    fn no_shield_when_companion_writes_use_unrelated_params() {
+        // Q writes C on a *different* parameter: collision on S[N≡M1]
+        // does not force a C collision.
+        let p = Program::new(
+            "P",
+            ["N"],
+            vec![Access::read("S", "N"), Access::write("C", "N")],
+        );
+        let q = Program::new(
+            "Q",
+            ["M1", "M2"],
+            vec![Access::write("S", "M1"), Access::write("C", "M2")],
+        );
+        let sdg = Sdg::build(&[p, q], SfuTreatment::AsLockOnly);
+        assert!(sdg.edge_between(0, 1).unwrap().vulnerable);
+    }
+
+    #[test]
+    fn read_only_programs_have_no_incoming_vulnerability_effects() {
+        let bal = Program::new("Bal", ["N"], vec![Access::read("S", "N")]);
+        let upd = Program::new("Upd", ["M"], vec![Access::write("S", "M")]);
+        let sdg = Sdg::build(&[bal, upd], SfuTreatment::AsLockOnly);
+        // Bal -> Upd vulnerable (rw), Upd -> Bal is wr only.
+        assert!(sdg.edge_between(0, 1).unwrap().vulnerable);
+        let back = sdg.edge_between(1, 0).unwrap();
+        assert!(!back.vulnerable);
+        assert!(back.conflicts.iter().all(|c| c.kind == ConflictKind::Wr));
+        // A single vulnerable edge into a sink is not dangerous.
+        assert!(sdg.is_si_serializable());
+    }
+
+    #[test]
+    fn sfu_treatment_changes_vulnerability() {
+        // P sfu-reads S and writes nothing; Q writes S.
+        let p = Program::new("P", ["N"], vec![Access::sfu("S", "N")]);
+        let q = Program::new("Q", ["M"], vec![Access::write("S", "M")]);
+        let pg = Sdg::build(&[p.clone(), q.clone()], SfuTreatment::AsLockOnly);
+        assert!(
+            pg.edge_between(0, 1).unwrap().vulnerable,
+            "PostgreSQL: sfu does not remove vulnerability"
+        );
+        let com = Sdg::build(&[p, q], SfuTreatment::AsWrite);
+        assert!(
+            !com.edge_between(0, 1).unwrap().vulnerable,
+            "commercial: sfu behaves as a write (ww shields itself)"
+        );
+    }
+
+    #[test]
+    fn const_keys_limit_conflicts() {
+        let p = Program::new(
+            "P",
+            [],
+            vec![Access {
+                table: "T".into(),
+                key: KeySpec::Const("a".into()),
+                mode: AccessMode::Read,
+            }],
+        );
+        let q = Program::new(
+            "Q",
+            [],
+            vec![Access {
+                table: "T".into(),
+                key: KeySpec::Const("b".into()),
+                mode: AccessMode::Write,
+            }],
+        );
+        let sdg = Sdg::build(&[p, q], SfuTreatment::AsLockOnly);
+        assert!(sdg.edge_between(0, 1).is_none(), "distinct constants never collide");
+    }
+
+    #[test]
+    fn self_loop_edges_are_considered() {
+        // A program whose instances write-skew against each other:
+        // reads X[K1], writes Y[K1] — two instances with K1 != K1' don't
+        // collide... make it: reads X[K], writes X[K2] (different params).
+        let p = Program::new(
+            "P",
+            ["K", "K2"],
+            vec![Access::read("X", "K"), Access::write("X", "K2")],
+        );
+        let sdg = Sdg::build(&[p], SfuTreatment::AsLockOnly);
+        let e = sdg.edge_between(0, 0).expect("self edge");
+        assert!(e.vulnerable);
+        // Self-vulnerable edge twice in a row around the 1-cycle.
+        assert!(!sdg.is_si_serializable());
+    }
+}

@@ -1,0 +1,420 @@
+//! Program transformations that make vulnerable edges safe.
+
+use crate::program::{Access, AccessMode, KeySpec, Program};
+use crate::sdg::{ConflictKind, Sdg, SfuTreatment};
+
+/// Name of the dedicated table used by materialization. Not used by the
+/// application otherwise; one row per potential conflict parameter value.
+pub const CONFLICT_TABLE: &str = "Conflict";
+
+/// How to make one edge non-vulnerable (§II-B/§II-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Technique {
+    /// Materialize the conflict: both programs update the row of
+    /// [`CONFLICT_TABLE`] keyed by the shared parameter, converting the rw
+    /// conflict into ww.
+    Materialize,
+    /// Promotion by identity update: the *reading* program gets
+    /// `UPDATE t SET col = col WHERE …` on the item it reads; the writer
+    /// is untouched. Not applicable to predicate reads.
+    PromoteUpdate,
+    /// Promotion by `SELECT … FOR UPDATE`: the read becomes a locking
+    /// read. Only removes vulnerability on platforms where sfu is treated
+    /// as a write ([`SfuTreatment::AsWrite`]).
+    PromoteSfu,
+}
+
+impl std::fmt::Display for Technique {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Technique::Materialize => write!(f, "materialize"),
+            Technique::PromoteUpdate => write!(f, "promote-upd"),
+            Technique::PromoteSfu => write!(f, "promote-sfu"),
+        }
+    }
+}
+
+/// One edge to fix, by program names.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct EdgePick {
+    /// Reading-side program (edge source).
+    pub from: String,
+    /// Writing-side program (edge target).
+    pub to: String,
+    /// Technique for this edge.
+    pub technique: Technique,
+}
+
+/// A full plan: the edges to fix.
+#[derive(Debug, Clone, Default)]
+pub struct StrategyPlan {
+    /// Edge fixes to apply.
+    pub picks: Vec<EdgePick>,
+}
+
+impl StrategyPlan {
+    /// Plan fixing a single edge.
+    pub fn single(from: &str, to: &str, technique: Technique) -> Self {
+        Self {
+            picks: vec![EdgePick {
+                from: from.into(),
+                to: to.into(),
+                technique,
+            }],
+        }
+    }
+
+    /// Plan fixing **every** vulnerable edge of `sdg` with one technique
+    /// (the paper's MaterializeALL / PromoteALL strategies).
+    pub fn all_vulnerable(sdg: &Sdg, technique: Technique) -> Self {
+        let picks = sdg
+            .vulnerable_edges()
+            .into_iter()
+            .map(|i| {
+                let e = &sdg.edges()[i];
+                EdgePick {
+                    from: sdg.programs()[e.from].name.clone(),
+                    to: sdg.programs()[e.to].name.clone(),
+                    technique,
+                }
+            })
+            .collect();
+        Self { picks }
+    }
+}
+
+/// Errors from applying a plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StrategyError {
+    /// Named program missing from the mix.
+    UnknownProgram(String),
+    /// The named edge is not vulnerable (nothing to fix).
+    EdgeNotVulnerable {
+        /// Reading-side program.
+        from: String,
+        /// Writing-side program.
+        to: String,
+    },
+    /// Promotion requested for a predicate-read conflict (§II-C:
+    /// promotion cannot cover rows the predicate did not return).
+    PromotionInapplicable {
+        /// Reading-side program.
+        from: String,
+        /// Writing-side program.
+        to: String,
+    },
+}
+
+impl std::fmt::Display for StrategyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StrategyError::UnknownProgram(p) => write!(f, "unknown program {p}"),
+            StrategyError::EdgeNotVulnerable { from, to } => {
+                write!(f, "edge {from} -> {to} is not vulnerable")
+            }
+            StrategyError::PromotionInapplicable { from, to } => write!(
+                f,
+                "promotion cannot fix the predicate-read conflict on {from} -> {to}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StrategyError {}
+
+/// Applies a plan to a mix, returning the modified programs.
+///
+/// The input `sdg` must be the analysis of `programs` (it supplies the
+/// vulnerable conflicts per edge). Modified programs keep their names:
+/// the transformation adds statements, never changes semantics.
+pub fn apply(sdg: &Sdg, plan: &StrategyPlan) -> Result<Vec<Program>, StrategyError> {
+    let mut programs = sdg.programs().to_vec();
+    for pick in &plan.picks {
+        let from = index_of(&programs, &pick.from)?;
+        let to = index_of(&programs, &pick.to)?;
+        let edge = sdg
+            .edge_between(from, to)
+            .filter(|e| e.vulnerable)
+            .ok_or_else(|| StrategyError::EdgeNotVulnerable {
+                from: pick.from.clone(),
+                to: pick.to.clone(),
+            })?;
+        // The conflicts to neutralise: unshielded rw on this edge.
+        let conflicts: Vec<_> = edge
+            .conflicts
+            .iter()
+            .filter(|c| c.kind == ConflictKind::Rw && !c.shielded)
+            .cloned()
+            .collect();
+        for c in conflicts {
+            // Keys carry the instance prefixes from analysis; strip them
+            // back to the original parameter names.
+            let from_key = strip_prefix(&c.from_key);
+            let to_key = strip_prefix(&c.to_key);
+            match pick.technique {
+                Technique::Materialize => {
+                    // Predicate conflicts cannot be keyed by a parameter
+                    // that ties the two sides: fall back to one shared
+                    // Conflict row per table (coarse but always safe).
+                    let predicate_involved = matches!(from_key, KeySpec::Predicate(_))
+                        || matches!(to_key, KeySpec::Predicate(_));
+                    let (k_from, k_to) = if predicate_involved {
+                        let shared = KeySpec::Const(format!("pred:{}", c.table));
+                        (shared.clone(), shared)
+                    } else {
+                        (materialize_key(&from_key), materialize_key(&to_key))
+                    };
+                    add_once(
+                        &mut programs[from],
+                        Access {
+                            table: CONFLICT_TABLE.into(),
+                            key: k_from,
+                            mode: AccessMode::Write,
+                        },
+                    );
+                    add_once(
+                        &mut programs[to],
+                        Access {
+                            table: CONFLICT_TABLE.into(),
+                            key: k_to,
+                            mode: AccessMode::Write,
+                        },
+                    );
+                }
+                Technique::PromoteUpdate => {
+                    if matches!(from_key, KeySpec::Predicate(_)) {
+                        return Err(StrategyError::PromotionInapplicable {
+                            from: pick.from.clone(),
+                            to: pick.to.clone(),
+                        });
+                    }
+                    add_once(
+                        &mut programs[from],
+                        Access {
+                            table: c.table.clone(),
+                            key: from_key,
+                            mode: AccessMode::Write,
+                        },
+                    );
+                }
+                Technique::PromoteSfu => {
+                    if matches!(from_key, KeySpec::Predicate(_)) {
+                        return Err(StrategyError::PromotionInapplicable {
+                            from: pick.from.clone(),
+                            to: pick.to.clone(),
+                        });
+                    }
+                    // Upgrade the matching read access in place.
+                    for a in &mut programs[from].accesses {
+                        if a.table == c.table && a.key == from_key && a.mode == AccessMode::Read {
+                            a.mode = AccessMode::SfuRead;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(programs)
+}
+
+/// Convenience: apply the plan and prove (by re-analysis) that the
+/// modified mix has no dangerous structure. Returns the modified programs
+/// and the re-analysis.
+pub fn verify_safe(
+    sdg: &Sdg,
+    plan: &StrategyPlan,
+    sfu: SfuTreatment,
+) -> Result<(Vec<Program>, Sdg), StrategyError> {
+    let modified = apply(sdg, plan)?;
+    let reanalysed = Sdg::build(&modified, sfu);
+    Ok((modified, reanalysed))
+}
+
+fn index_of(programs: &[Program], name: &str) -> Result<usize, StrategyError> {
+    programs
+        .iter()
+        .position(|p| p.name == name)
+        .ok_or_else(|| StrategyError::UnknownProgram(name.to_string()))
+}
+
+/// Materialization keys the `Conflict` row by the conflict parameter so
+/// that contention is introduced only when instances actually share the
+/// parameter (§II-B). A constant key materializes onto a constant row.
+fn materialize_key(k: &KeySpec) -> KeySpec {
+    match k {
+        KeySpec::Param(p) => KeySpec::Param(p.clone()),
+        KeySpec::Const(c) => KeySpec::Const(c.clone()),
+        KeySpec::Predicate(_) => unreachable!("predicate keys use the shared row"),
+    }
+}
+
+fn strip_prefix(k: &KeySpec) -> KeySpec {
+    let strip = |s: &str| {
+        s.strip_prefix("a_")
+            .or_else(|| s.strip_prefix("b_"))
+            .unwrap_or(s)
+            .to_string()
+    };
+    match k {
+        KeySpec::Param(p) => KeySpec::Param(strip(p)),
+        KeySpec::Const(c) => KeySpec::Const(c.clone()),
+        KeySpec::Predicate(p) => KeySpec::Predicate(strip(p)),
+    }
+}
+
+fn add_once(p: &mut Program, a: Access) {
+    if !p.accesses.contains(&a) {
+        p.accesses.push(a);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Access;
+
+    fn skew_mix() -> Vec<Program> {
+        vec![
+            Program::new(
+                "P",
+                ["K"],
+                vec![
+                    Access::read("X", "K"),
+                    Access::read("Y", "K"),
+                    Access::write("X", "K"),
+                ],
+            ),
+            Program::new(
+                "Q",
+                ["K"],
+                vec![
+                    Access::read("X", "K"),
+                    Access::read("Y", "K"),
+                    Access::write("Y", "K"),
+                ],
+            ),
+        ]
+    }
+
+    #[test]
+    fn materialize_fixes_write_skew() {
+        let sdg = Sdg::build(&skew_mix(), SfuTreatment::AsLockOnly);
+        assert!(!sdg.is_si_serializable());
+        let plan = StrategyPlan::single("P", "Q", Technique::Materialize);
+        let (modified, re) = verify_safe(&sdg, &plan, SfuTreatment::AsLockOnly).unwrap();
+        assert!(re.is_si_serializable(), "{:?}", re.dangerous_structures());
+        // Both programs now write Conflict.
+        assert!(modified[0].written_tables().contains(&CONFLICT_TABLE));
+        assert!(modified[1].written_tables().contains(&CONFLICT_TABLE));
+    }
+
+    #[test]
+    fn promote_update_fixes_write_skew_and_touches_only_the_reader() {
+        let sdg = Sdg::build(&skew_mix(), SfuTreatment::AsLockOnly);
+        let plan = StrategyPlan::single("P", "Q", Technique::PromoteUpdate);
+        let (modified, re) = verify_safe(&sdg, &plan, SfuTreatment::AsLockOnly).unwrap();
+        assert!(re.is_si_serializable());
+        // P got an identity write on Y; Q is unchanged.
+        assert!(modified[0].written_tables().contains(&"Y"));
+        assert_eq!(modified[1], skew_mix()[1]);
+    }
+
+    #[test]
+    fn promote_sfu_depends_on_platform() {
+        let sdg = Sdg::build(&skew_mix(), SfuTreatment::AsLockOnly);
+        let plan = StrategyPlan::single("P", "Q", Technique::PromoteSfu);
+        // Commercial platform: safe.
+        let (_, com) = verify_safe(&sdg, &plan, SfuTreatment::AsWrite).unwrap();
+        assert!(com.is_si_serializable());
+        // PostgreSQL: the vulnerability remains.
+        let (_, pg) = verify_safe(&sdg, &plan, SfuTreatment::AsLockOnly).unwrap();
+        assert!(!pg.is_si_serializable());
+    }
+
+    #[test]
+    fn all_vulnerable_plan_covers_everything() {
+        let sdg = Sdg::build(&skew_mix(), SfuTreatment::AsLockOnly);
+        let plan = StrategyPlan::all_vulnerable(&sdg, Technique::Materialize);
+        assert!(plan.picks.len() >= 2);
+        let (_, re) = verify_safe(&sdg, &plan, SfuTreatment::AsLockOnly).unwrap();
+        assert!(re.is_si_serializable());
+        assert!(re.vulnerable_edges().is_empty(), "ALL removes every vulnerability");
+    }
+
+    #[test]
+    fn fixing_a_non_vulnerable_edge_is_an_error() {
+        let mix = vec![
+            Program::new("A", ["K"], vec![Access::write("X", "K")]),
+            Program::new("B", ["K"], vec![Access::write("X", "K")]),
+        ];
+        let sdg = Sdg::build(&mix, SfuTreatment::AsLockOnly);
+        let plan = StrategyPlan::single("A", "B", Technique::Materialize);
+        assert!(matches!(
+            apply(&sdg, &plan),
+            Err(StrategyError::EdgeNotVulnerable { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_program_is_an_error() {
+        let sdg = Sdg::build(&skew_mix(), SfuTreatment::AsLockOnly);
+        let plan = StrategyPlan::single("P", "Nope", Technique::Materialize);
+        assert!(matches!(
+            apply(&sdg, &plan),
+            Err(StrategyError::UnknownProgram(_))
+        ));
+    }
+
+    #[test]
+    fn promotion_rejected_on_predicate_reads() {
+        let mix = vec![
+            Program::new(
+                "Scan",
+                [],
+                vec![Access {
+                    table: "X".into(),
+                    key: KeySpec::Predicate("v>0".into()),
+                    mode: AccessMode::Read,
+                }, Access::write("Y", "K")],
+            ),
+            Program::new("Upd", ["K"], vec![Access::write("X", "K"), Access::read("Y", "K")]),
+        ];
+        let sdg = Sdg::build(&mix, SfuTreatment::AsLockOnly);
+        assert!(!sdg.is_si_serializable());
+        let plan = StrategyPlan::single("Scan", "Upd", Technique::PromoteUpdate);
+        assert!(matches!(
+            apply(&sdg, &plan),
+            Err(StrategyError::PromotionInapplicable { .. })
+        ));
+        // Materialization still works (§II-C: more general).
+        let plan = StrategyPlan::single("Scan", "Upd", Technique::Materialize);
+        let (_, re) = verify_safe(&sdg, &plan, SfuTreatment::AsLockOnly).unwrap();
+        assert!(re.is_si_serializable());
+    }
+
+    #[test]
+    fn materialization_is_idempotent_per_access() {
+        let sdg = Sdg::build(&skew_mix(), SfuTreatment::AsLockOnly);
+        let plan = StrategyPlan {
+            picks: vec![
+                EdgePick {
+                    from: "P".into(),
+                    to: "Q".into(),
+                    technique: Technique::Materialize,
+                },
+                EdgePick {
+                    from: "P".into(),
+                    to: "Q".into(),
+                    technique: Technique::Materialize,
+                },
+            ],
+        };
+        let modified = apply(&sdg, &plan).unwrap();
+        let conflict_writes = modified[0]
+            .accesses
+            .iter()
+            .filter(|a| a.table == CONFLICT_TABLE)
+            .count();
+        assert_eq!(conflict_writes, 1, "no duplicate statements");
+    }
+}

@@ -1,0 +1,22 @@
+//! Closed-system workload driver (§IV methodology).
+//!
+//! Reproduces the paper's measurement discipline: a fixed number of
+//! client threads (the multiprogramming level, MPL), each running one
+//! transaction at a time with no think time; a ramp-up period excluded
+//! from measurement; a measurement interval during which every thread
+//! counts commits, aborts by reason, and response times; repeats with
+//! mean ± 95 % confidence intervals.
+//!
+//! The driver is engine-agnostic: anything implementing [`Workload`] can
+//! be measured. `sicost-smallbank` provides the SmallBank adapter.
+
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod report;
+pub mod runner;
+
+pub use metrics::{KindMetrics, Outcome, RunMetrics};
+pub use report::{ascii_chart, csv_table, render_table, Series, SeriesPoint};
+pub use runner::{repeat_summary, run_closed, RunConfig, Workload};

@@ -1,0 +1,198 @@
+//! Measurement counters.
+
+use sicost_common::LatencyHistogram;
+use std::time::Duration;
+
+/// How one transaction attempt ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Committed.
+    Committed,
+    /// Aborted with a serialization failure (the paper's Figure 6 metric).
+    SerializationFailure,
+    /// Aborted as a deadlock victim.
+    Deadlock,
+    /// Rolled back by an application rule.
+    ApplicationRollback,
+}
+
+/// Counters for one transaction kind.
+#[derive(Debug, Clone, Default)]
+pub struct KindMetrics {
+    /// Commits observed in the measurement interval.
+    pub commits: u64,
+    /// Serialization-failure aborts.
+    pub serialization_failures: u64,
+    /// Deadlock aborts.
+    pub deadlocks: u64,
+    /// Application rollbacks.
+    pub app_rollbacks: u64,
+    /// Response times of *committed* transactions.
+    pub latency: LatencyHistogram,
+}
+
+impl KindMetrics {
+    /// Total attempts.
+    pub fn attempts(&self) -> u64 {
+        self.commits + self.serialization_failures + self.deadlocks + self.app_rollbacks
+    }
+
+    /// Serialization-failure abort rate among attempts (Figure 6's
+    /// y-axis), 0 when nothing ran.
+    pub fn serialization_abort_rate(&self) -> f64 {
+        let attempts = self.attempts();
+        if attempts == 0 {
+            0.0
+        } else {
+            self.serialization_failures as f64 / attempts as f64
+        }
+    }
+
+    /// Records one attempt.
+    pub fn record(&mut self, outcome: Outcome, latency: Duration) {
+        match outcome {
+            Outcome::Committed => {
+                self.commits += 1;
+                self.latency.record(latency);
+            }
+            Outcome::SerializationFailure => self.serialization_failures += 1,
+            Outcome::Deadlock => self.deadlocks += 1,
+            Outcome::ApplicationRollback => self.app_rollbacks += 1,
+        }
+    }
+
+    /// Merges another kind's counters (thread aggregation).
+    pub fn merge(&mut self, other: &KindMetrics) {
+        self.commits += other.commits;
+        self.serialization_failures += other.serialization_failures;
+        self.deadlocks += other.deadlocks;
+        self.app_rollbacks += other.app_rollbacks;
+        self.latency.merge(&other.latency);
+    }
+}
+
+/// Result of one measured run.
+#[derive(Debug, Clone)]
+pub struct RunMetrics {
+    /// Kind names, index-aligned with `per_kind`.
+    pub kind_names: Vec<&'static str>,
+    /// Per-kind counters.
+    pub per_kind: Vec<KindMetrics>,
+    /// Length of the measurement interval.
+    pub measured: Duration,
+    /// MPL the run used.
+    pub mpl: usize,
+}
+
+impl RunMetrics {
+    /// New empty metrics for the given kinds.
+    pub fn new(kind_names: Vec<&'static str>, mpl: usize) -> Self {
+        let per_kind = kind_names.iter().map(|_| KindMetrics::default()).collect();
+        Self {
+            kind_names,
+            per_kind,
+            measured: Duration::ZERO,
+            mpl,
+        }
+    }
+
+    /// Total commits across kinds.
+    pub fn commits(&self) -> u64 {
+        self.per_kind.iter().map(|k| k.commits).sum()
+    }
+
+    /// Total serialization failures across kinds.
+    pub fn serialization_failures(&self) -> u64 {
+        self.per_kind.iter().map(|k| k.serialization_failures).sum()
+    }
+
+    /// Total deadlocks.
+    pub fn deadlocks(&self) -> u64 {
+        self.per_kind.iter().map(|k| k.deadlocks).sum()
+    }
+
+    /// Total application rollbacks.
+    pub fn app_rollbacks(&self) -> u64 {
+        self.per_kind.iter().map(|k| k.app_rollbacks).sum()
+    }
+
+    /// Committed transactions per second over the measurement interval.
+    pub fn tps(&self) -> f64 {
+        if self.measured.is_zero() {
+            return 0.0;
+        }
+        self.commits() as f64 / self.measured.as_secs_f64()
+    }
+
+    /// Mean response time of committed transactions, across kinds.
+    pub fn mean_latency(&self) -> Duration {
+        let total: u64 = self.per_kind.iter().map(|k| k.latency.count()).sum();
+        if total == 0 {
+            return Duration::ZERO;
+        }
+        let sum_micros: u128 = self
+            .per_kind
+            .iter()
+            .map(|k| k.latency.mean().as_micros() * u128::from(k.latency.count()))
+            .sum();
+        Duration::from_micros((sum_micros / u128::from(total)) as u64)
+    }
+
+    /// Metrics for a named kind.
+    pub fn kind(&self, name: &str) -> Option<&KindMetrics> {
+        self.kind_names
+            .iter()
+            .position(|n| *n == name)
+            .map(|i| &self.per_kind[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_rates() {
+        let mut k = KindMetrics::default();
+        k.record(Outcome::Committed, Duration::from_millis(2));
+        k.record(Outcome::Committed, Duration::from_millis(4));
+        k.record(Outcome::SerializationFailure, Duration::ZERO);
+        k.record(Outcome::Deadlock, Duration::ZERO);
+        k.record(Outcome::ApplicationRollback, Duration::ZERO);
+        assert_eq!(k.attempts(), 5);
+        assert_eq!(k.commits, 2);
+        assert!((k.serialization_abort_rate() - 0.2).abs() < 1e-12);
+        assert_eq!(k.latency.count(), 2, "only commits count for latency");
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = KindMetrics::default();
+        let mut b = KindMetrics::default();
+        a.record(Outcome::Committed, Duration::from_millis(1));
+        b.record(Outcome::SerializationFailure, Duration::ZERO);
+        b.record(Outcome::Committed, Duration::from_millis(3));
+        a.merge(&b);
+        assert_eq!(a.commits, 2);
+        assert_eq!(a.serialization_failures, 1);
+    }
+
+    #[test]
+    fn run_metrics_tps() {
+        let mut m = RunMetrics::new(vec!["A", "B"], 4);
+        m.per_kind[0].record(Outcome::Committed, Duration::from_millis(1));
+        m.per_kind[1].record(Outcome::Committed, Duration::from_millis(1));
+        m.measured = Duration::from_secs(2);
+        assert_eq!(m.commits(), 2);
+        assert!((m.tps() - 1.0).abs() < 1e-12);
+        assert!(m.kind("A").is_some());
+        assert!(m.kind("Z").is_none());
+    }
+
+    #[test]
+    fn empty_run_is_zero() {
+        let m = RunMetrics::new(vec!["A"], 1);
+        assert_eq!(m.tps(), 0.0);
+        assert_eq!(m.mean_latency(), Duration::ZERO);
+    }
+}

@@ -1,0 +1,213 @@
+//! Rendering experiment results: ASCII tables, CSV, and terminal charts
+//! (the bench harnesses print these as their reproduction of the paper's
+//! figures).
+
+use sicost_common::Summary;
+
+/// One point of a series: x (e.g. MPL) and a summarised y (e.g. TPS).
+#[derive(Debug, Clone, Copy)]
+pub struct SeriesPoint {
+    /// X coordinate.
+    pub x: f64,
+    /// Summarised Y (mean ± CI).
+    pub y: Summary,
+}
+
+/// A named series (one line of a figure).
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label (e.g. "MaterializeWT").
+    pub label: String,
+    /// Points in ascending x.
+    pub points: Vec<SeriesPoint>,
+}
+
+impl Series {
+    /// Creates a series.
+    pub fn new(label: impl Into<String>) -> Self {
+        Self {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: f64, y: Summary) {
+        self.points.push(SeriesPoint { x, y });
+    }
+
+    /// Peak mean y across points.
+    pub fn peak(&self) -> f64 {
+        self.points.iter().map(|p| p.y.mean).fold(0.0, f64::max)
+    }
+
+    /// Mean y at the given x, if present.
+    pub fn at(&self, x: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| (p.x - x).abs() < 1e-9)
+            .map(|p| p.y.mean)
+    }
+}
+
+/// Renders series as an aligned table: one row per x, one column per
+/// series, cells `mean ±ci`.
+pub fn render_table(x_label: &str, series: &[Series]) -> String {
+    let mut xs: Vec<f64> = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| p.x))
+        .collect();
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite x"));
+    xs.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+
+    let mut out = String::new();
+    out.push_str(&format!("{x_label:>8}"));
+    for s in series {
+        out.push_str(&format!(" | {:>20}", s.label));
+    }
+    out.push('\n');
+    out.push_str(&"-".repeat(8 + series.len() * 23));
+    out.push('\n');
+    for &x in &xs {
+        out.push_str(&format!("{x:>8.0}"));
+        for s in series {
+            match s.points.iter().find(|p| (p.x - x).abs() < 1e-9) {
+                Some(p) => out.push_str(&format!(
+                    " | {:>12.1} ±{:>5.1}",
+                    p.y.mean, p.y.ci95
+                )),
+                None => out.push_str(&format!(" | {:>20}", "-")),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders series as CSV: `x,label,mean,ci95,n` rows.
+pub fn csv_table(x_label: &str, series: &[Series]) -> String {
+    let mut out = format!("{x_label},series,mean,ci95,n\n");
+    for s in series {
+        for p in &s.points {
+            out.push_str(&format!(
+                "{},{},{:.3},{:.3},{}\n",
+                p.x, s.label, p.y.mean, p.y.ci95, p.y.n
+            ));
+        }
+    }
+    out
+}
+
+/// A rough terminal line chart (height rows, one glyph per series),
+/// enough to eyeball the figure shapes in CI logs.
+pub fn ascii_chart(series: &[Series], height: usize) -> String {
+    let glyphs = ['*', 'o', '+', 'x', '#', '@', '%', '&', '~'];
+    let all_points: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| (p.x, p.y.mean)))
+        .collect();
+    if all_points.is_empty() || height < 2 {
+        return String::from("(no data)\n");
+    }
+    let x_min = all_points.iter().map(|p| p.0).fold(f64::INFINITY, f64::min);
+    let x_max = all_points.iter().map(|p| p.0).fold(0.0, f64::max);
+    let y_max = all_points.iter().map(|p| p.1).fold(0.0, f64::max).max(1e-9);
+    let width = 64usize;
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let g = glyphs[si % glyphs.len()];
+        for p in &s.points {
+            let xf = if (x_max - x_min).abs() < 1e-9 {
+                0.0
+            } else {
+                (p.x - x_min) / (x_max - x_min)
+            };
+            let col = ((width - 1) as f64 * xf).round() as usize;
+            let row = ((height - 1) as f64 * (1.0 - p.y.mean / y_max)).round() as usize;
+            grid[row.min(height - 1)][col] = g;
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("{y_max:>10.0} ┤\n"));
+    for row in grid {
+        out.push_str("           │");
+        out.extend(row);
+        out.push('\n');
+    }
+    out.push_str("           └");
+    out.push_str(&"─".repeat(width));
+    out.push('\n');
+    out.push_str(&format!("            {x_min:<10.0}{:>54.0}\n", x_max));
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!(
+            "            {} {}\n",
+            glyphs[si % glyphs.len()],
+            s.label
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sicost_common::OnlineStats;
+
+    fn summary(vals: &[f64]) -> Summary {
+        let mut s = OnlineStats::new();
+        for &v in vals {
+            s.push(v);
+        }
+        s.summary()
+    }
+
+    fn demo_series() -> Vec<Series> {
+        let mut a = Series::new("SI");
+        a.push(1.0, summary(&[150.0, 160.0]));
+        a.push(10.0, summary(&[800.0, 820.0]));
+        a.push(30.0, summary(&[1150.0, 1140.0]));
+        let mut b = Series::new("MaterializeALL");
+        b.push(1.0, summary(&[120.0]));
+        b.push(10.0, summary(&[600.0]));
+        b.push(30.0, summary(&[850.0]));
+        vec![a, b]
+    }
+
+    #[test]
+    fn table_contains_all_points() {
+        let t = render_table("MPL", &demo_series());
+        assert!(t.contains("SI"));
+        assert!(t.contains("MaterializeALL"));
+        assert!(t.contains("1145.0"));
+        assert!(t.lines().count() >= 5);
+    }
+
+    #[test]
+    fn csv_is_machine_readable() {
+        let c = csv_table("mpl", &demo_series());
+        assert!(c.starts_with("mpl,series,mean,ci95,n\n"));
+        assert_eq!(c.lines().count(), 1 + 6);
+        assert!(c.contains("30,SI,1145.000"));
+    }
+
+    #[test]
+    fn chart_renders_glyphs() {
+        let chart = ascii_chart(&demo_series(), 10);
+        assert!(chart.contains('*'));
+        assert!(chart.contains('o'));
+        assert!(chart.contains("SI"));
+    }
+
+    #[test]
+    fn chart_handles_empty() {
+        assert_eq!(ascii_chart(&[], 10), "(no data)\n");
+    }
+
+    #[test]
+    fn series_helpers() {
+        let s = &demo_series()[0];
+        assert_eq!(s.at(10.0), Some(810.0));
+        assert_eq!(s.at(99.0), None);
+        assert!((s.peak() - 1145.0).abs() < 1e-9);
+    }
+}

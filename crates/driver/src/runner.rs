@@ -1,0 +1,217 @@
+//! The closed-system runner.
+
+use crate::metrics::{Outcome, RunMetrics};
+use sicost_common::{OnlineStats, Summary, Xoshiro256};
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::time::{Duration, Instant};
+
+/// Something the driver can measure: a transaction source.
+pub trait Workload: Send + Sync {
+    /// Names of the transaction kinds (stable indexes).
+    fn kinds(&self) -> Vec<&'static str>;
+
+    /// Runs one transaction to completion (commit or abort), returning
+    /// its kind index and outcome. Blocking inside (locks, group commit)
+    /// is expected — that is the system under test.
+    fn run_once(&self, rng: &mut Xoshiro256) -> (usize, Outcome);
+}
+
+/// Parameters of one measured run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// Multiprogramming level: number of closed-loop client threads.
+    pub mpl: usize,
+    /// Warm-up excluded from measurement (paper: 30 s; scaled down here).
+    pub ramp_up: Duration,
+    /// Measurement interval (paper: 60 s).
+    pub measure: Duration,
+    /// Base RNG seed; thread `i` uses an independent stream.
+    pub seed: u64,
+}
+
+impl RunConfig {
+    /// A fast configuration for tests.
+    pub fn quick(mpl: usize) -> Self {
+        Self {
+            mpl,
+            ramp_up: Duration::from_millis(50),
+            measure: Duration::from_millis(300),
+            seed: 0xD1CE,
+        }
+    }
+}
+
+const PHASE_RAMP: u8 = 0;
+const PHASE_MEASURE: u8 = 1;
+const PHASE_DONE: u8 = 2;
+
+/// Runs the closed system: `mpl` threads, each looping
+/// submit-wait-submit with no think time. Returns the merged metrics for
+/// the measurement interval only. Attempts are attributed to the interval
+/// in which they *finish*.
+pub fn run_closed<W: Workload>(workload: &W, config: RunConfig) -> RunMetrics {
+    let kinds = workload.kinds();
+    let phase = AtomicU8::new(PHASE_RAMP);
+    let base_rng = Xoshiro256::seed_from_u64(config.seed);
+
+    let mut merged = RunMetrics::new(kinds.clone(), config.mpl);
+    let measured = std::thread::scope(|s| {
+        let phase_ref = &phase;
+        let handles: Vec<_> = (0..config.mpl)
+            .map(|i| {
+                let mut rng = base_rng.stream(i as u64);
+                let kinds_len = kinds.len();
+                s.spawn(move || {
+                    let mut local = RunMetrics::new(vec![""; kinds_len].clone(), 0);
+                    loop {
+                        match phase_ref.load(Ordering::Acquire) {
+                            PHASE_DONE => break,
+                            current_phase => {
+                                let t0 = Instant::now();
+                                let (kind, outcome) = workload.run_once(&mut rng);
+                                let latency = t0.elapsed();
+                                // Count only if we are *still* measuring
+                                // (or were when we started): attribute to
+                                // finish-time phase.
+                                if phase_ref.load(Ordering::Acquire) == PHASE_MEASURE
+                                    && current_phase != PHASE_DONE
+                                {
+                                    local.per_kind[kind].record(outcome, latency);
+                                }
+                            }
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+
+        std::thread::sleep(config.ramp_up);
+        phase.store(PHASE_MEASURE, Ordering::Release);
+        let t0 = Instant::now();
+        std::thread::sleep(config.measure);
+        phase.store(PHASE_DONE, Ordering::Release);
+        let measured = t0.elapsed();
+
+        for h in handles {
+            let local = h.join().expect("client thread");
+            for (agg, part) in merged.per_kind.iter_mut().zip(&local.per_kind) {
+                agg.merge(part);
+            }
+        }
+        measured
+    });
+    merged.measured = measured;
+    merged
+}
+
+/// Runs `repeats` independent runs (each against a workload freshly built
+/// by `factory`, mirroring the paper's five repetitions) and summarises
+/// throughput.
+pub fn repeat_summary<W: Workload>(
+    mut factory: impl FnMut(u64) -> W,
+    config: RunConfig,
+    repeats: u64,
+) -> (Summary, Vec<RunMetrics>) {
+    let mut stats = OnlineStats::new();
+    let mut runs = Vec::with_capacity(repeats as usize);
+    for r in 0..repeats {
+        let workload = factory(r);
+        let mut cfg = config;
+        cfg.seed = config.seed.wrapping_add(r.wrapping_mul(0x9E37_79B9));
+        let metrics = run_closed(&workload, cfg);
+        stats.push(metrics.tps());
+        runs.push(metrics);
+    }
+    (stats.summary(), runs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    /// A deterministic workload: kind 0 always commits in ~1ms, kind 1
+    /// always serialization-fails.
+    struct Toy {
+        attempts: AtomicU64,
+    }
+
+    impl Workload for Toy {
+        fn kinds(&self) -> Vec<&'static str> {
+            vec!["ok", "fail"]
+        }
+        fn run_once(&self, rng: &mut Xoshiro256) -> (usize, Outcome) {
+            self.attempts.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(Duration::from_micros(500));
+            if rng.next_bool(0.5) {
+                (0, Outcome::Committed)
+            } else {
+                (1, Outcome::SerializationFailure)
+            }
+        }
+    }
+
+    #[test]
+    fn closed_run_counts_only_the_measurement_interval() {
+        let toy = Toy {
+            attempts: AtomicU64::new(0),
+        };
+        let m = run_closed(&toy, RunConfig::quick(4));
+        let counted = m.commits() + m.serialization_failures();
+        let attempted = toy.attempts.load(Ordering::Relaxed);
+        assert!(counted > 0, "something must be measured");
+        assert!(
+            counted < attempted,
+            "ramp-up attempts must be excluded ({counted} vs {attempted})"
+        );
+        assert_eq!(m.deadlocks(), 0);
+        assert!(m.kind("ok").unwrap().commits > 0);
+        assert_eq!(m.kind("fail").unwrap().commits, 0);
+    }
+
+    #[test]
+    fn tps_scales_with_mpl_for_a_sleep_bound_workload() {
+        let toy = Toy {
+            attempts: AtomicU64::new(0),
+        };
+        let m1 = run_closed(&toy, RunConfig::quick(1));
+        let toy2 = Toy {
+            attempts: AtomicU64::new(0),
+        };
+        let m8 = run_closed(&toy2, RunConfig::quick(8));
+        assert!(
+            m8.tps() > m1.tps() * 3.0,
+            "8 threads must far outrun 1 on a sleep-bound load: {} vs {}",
+            m8.tps(),
+            m1.tps()
+        );
+    }
+
+    #[test]
+    fn repeats_summarise_with_ci() {
+        let (summary, runs) = repeat_summary(
+            |_| Toy {
+                attempts: AtomicU64::new(0),
+            },
+            RunConfig::quick(2),
+            3,
+        );
+        assert_eq!(runs.len(), 3);
+        assert_eq!(summary.n, 3);
+        assert!(summary.mean > 0.0);
+    }
+
+    #[test]
+    fn latency_is_recorded_for_commits() {
+        let toy = Toy {
+            attempts: AtomicU64::new(0),
+        };
+        let m = run_closed(&toy, RunConfig::quick(2));
+        let lat = m.mean_latency();
+        assert!(
+            lat >= Duration::from_micros(400),
+            "mean latency must reflect the sleep: {lat:?}"
+        );
+    }
+}

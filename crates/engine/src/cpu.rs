@@ -1,0 +1,138 @@
+//! The simulated CPU station.
+//!
+//! The paper's server is a single 3.0 GHz Pentium 4: at the plateau, its CPU
+//! is the bottleneck that caps throughput regardless of MPL. We model it as
+//! a single serialising service station — each charged operation queues for
+//! the (fair) station mutex and holds it for the service time — so that the
+//! closed system exhibits the same saturation behaviour.
+
+use crate::config::CostModel;
+use parking_lot::FairMutex;
+use std::time::Duration;
+
+/// A serialising CPU with configurable per-operation service times and an
+/// optional load penalty (used by the commercial profile to reproduce its
+/// measured post-peak throughput decline).
+#[derive(Debug)]
+pub struct CpuStation {
+    model: CostModel,
+    station: FairMutex<()>,
+}
+
+impl CpuStation {
+    /// Creates the station.
+    pub fn new(model: CostModel) -> Self {
+        Self {
+            model,
+            station: FairMutex::new(()),
+        }
+    }
+
+    /// Service-time multiplier at `active` concurrent transactions.
+    fn penalty(&self, active: usize) -> f64 {
+        let excess = active.saturating_sub(self.model.contention_knee as usize);
+        1.0 + self.model.cpu_contention_factor * excess as f64
+    }
+
+    fn serve(&self, base: Duration, active: usize) {
+        if base.is_zero() {
+            return;
+        }
+        let t = base.mul_f64(self.penalty(active));
+        let _cpu = self.station.lock();
+        std::thread::sleep(t);
+    }
+
+    /// Charges one data operation (read / write / scanned row).
+    pub fn charge_op(&self, active: usize) {
+        self.serve(self.model.cpu_per_op, active);
+    }
+
+    /// Charges commit bookkeeping.
+    pub fn charge_commit(&self, active: usize) {
+        self.serve(self.model.cpu_per_commit, active);
+    }
+
+    /// The configured model.
+    pub fn model(&self) -> &CostModel {
+        &self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    #[test]
+    fn zero_model_is_free_and_lock_free() {
+        let cpu = CpuStation::new(CostModel::zero());
+        let t0 = Instant::now();
+        for _ in 0..100_000 {
+            cpu.charge_op(50);
+        }
+        assert!(t0.elapsed() < Duration::from_millis(100));
+    }
+
+    #[test]
+    fn service_time_is_charged() {
+        let cpu = CpuStation::new(CostModel {
+            cpu_per_op: Duration::from_millis(2),
+            ..CostModel::zero()
+        });
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            cpu.charge_op(1);
+        }
+        assert!(t0.elapsed() >= Duration::from_millis(6));
+    }
+
+    #[test]
+    fn station_serialises_concurrent_work() {
+        let cpu = Arc::new(CpuStation::new(CostModel {
+            cpu_per_op: Duration::from_millis(3),
+            ..CostModel::zero()
+        }));
+        let t0 = Instant::now();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let cpu = Arc::clone(&cpu);
+                std::thread::spawn(move || cpu.charge_op(4))
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Four 3ms slices on one CPU can't finish in under 12ms.
+        assert!(t0.elapsed() >= Duration::from_millis(12));
+    }
+
+    #[test]
+    fn penalty_kicks_in_above_knee() {
+        let cpu = CpuStation::new(CostModel {
+            cpu_per_op: Duration::from_millis(1),
+            cpu_per_commit: Duration::ZERO,
+            cpu_contention_factor: 0.5,
+            contention_knee: 10,
+        });
+        assert_eq!(cpu.penalty(5), 1.0);
+        assert_eq!(cpu.penalty(10), 1.0);
+        assert!((cpu.penalty(12) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn commit_cost_is_separate() {
+        let cpu = CpuStation::new(CostModel {
+            cpu_per_op: Duration::ZERO,
+            cpu_per_commit: Duration::from_millis(2),
+            cpu_contention_factor: 0.0,
+            contention_knee: 0,
+        });
+        let t0 = Instant::now();
+        cpu.charge_op(1); // free
+        cpu.charge_commit(1); // 2ms
+        let dt = t0.elapsed();
+        assert!(dt >= Duration::from_millis(2) && dt < Duration::from_millis(50));
+    }
+}

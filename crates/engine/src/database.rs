@@ -1,0 +1,295 @@
+//! The database object: shared engine state and the commit pipeline's
+//! global pieces.
+
+use crate::config::EngineConfig;
+use crate::cpu::CpuStation;
+use crate::history::{HistoryEvent, HistoryObserver};
+use crate::locks::LockManager;
+use crate::metrics::{EngineMetrics, EngineMetricsInner};
+use crate::registry::ActiveRegistry;
+use crate::ssi::SsiManager;
+use crate::txn::Transaction;
+use parking_lot::Mutex;
+use sicost_common::{TableId, Ts, TxnId};
+use sicost_storage::{Catalog, Row, SchemaError, TableSchema, Version};
+use sicost_wal::{DeviceStats, Wal, WalStats};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Builder for [`Database`]: declare tables, pick a configuration, attach
+/// an optional history observer, then [`DatabaseBuilder::build`].
+pub struct DatabaseBuilder {
+    catalog: Catalog,
+    config: EngineConfig,
+    observer: Option<Arc<dyn HistoryObserver>>,
+}
+
+impl DatabaseBuilder {
+    /// Adds a table.
+    pub fn table(mut self, schema: TableSchema) -> Result<Self, SchemaError> {
+        self.catalog.create_table(schema)?;
+        Ok(self)
+    }
+
+    /// Sets the engine configuration.
+    pub fn config(mut self, config: EngineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Attaches a history observer (receives every begin/read/commit/abort).
+    pub fn observer(mut self, observer: Arc<dyn HistoryObserver>) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Builds the database.
+    pub fn build(self) -> Database {
+        let wal = Wal::new(self.config.wal);
+        Database {
+            catalog: Arc::new(self.catalog),
+            cpu: CpuStation::new(self.config.cost),
+            config: self.config,
+            wal,
+            locks: LockManager::new(),
+            registry: ActiveRegistry::new(),
+            ssi: SsiManager::new(),
+            clock: AtomicU64::new(0),
+            txn_seq: AtomicU64::new(0),
+            commit_mutex: Mutex::new(()),
+            observer: self.observer,
+            metrics: EngineMetricsInner::default(),
+            commits_since_vacuum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A database instance: catalog + WAL + lock manager + concurrency control.
+///
+/// Cheap to share behind an `Arc`; [`Database::begin`] hands out
+/// [`Transaction`] handles tied to its lifetime.
+pub struct Database {
+    pub(crate) catalog: Arc<Catalog>,
+    pub(crate) config: EngineConfig,
+    pub(crate) wal: Wal,
+    pub(crate) locks: LockManager,
+    pub(crate) cpu: CpuStation,
+    pub(crate) registry: ActiveRegistry,
+    pub(crate) ssi: SsiManager,
+    /// Commit clock: the timestamp of the newest installed commit.
+    pub(crate) clock: AtomicU64,
+    txn_seq: AtomicU64,
+    /// Serialises version installation so snapshots are always
+    /// transaction-consistent (see crate docs).
+    pub(crate) commit_mutex: Mutex<()>,
+    pub(crate) observer: Option<Arc<dyn HistoryObserver>>,
+    pub(crate) metrics: EngineMetricsInner,
+    commits_since_vacuum: AtomicU64,
+}
+
+impl Database {
+    /// Starts building a database.
+    pub fn builder() -> DatabaseBuilder {
+        DatabaseBuilder {
+            catalog: Catalog::new(),
+            config: EngineConfig::functional(),
+            observer: None,
+        }
+    }
+
+    /// Begins a transaction under the configured concurrency control.
+    pub fn begin(&self) -> Transaction<'_> {
+        let id = TxnId(self.txn_seq.fetch_add(1, Ordering::Relaxed));
+        let snapshot = Ts(self.clock.load(Ordering::Acquire));
+        self.registry.register(id, snapshot);
+        if self.config.cc == crate::CcMode::Ssi {
+            self.ssi.begin(id, snapshot);
+        }
+        self.emit(HistoryEvent::Begin { txn: id, snapshot });
+        Transaction::new(self, id, snapshot)
+    }
+
+    /// The catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Id of a named table.
+    pub fn table_id(&self, name: &str) -> Option<TableId> {
+        self.catalog.table_id(name)
+    }
+
+    /// Current commit clock.
+    pub fn clock(&self) -> Ts {
+        Ts(self.clock.load(Ordering::Acquire))
+    }
+
+    /// Engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Bulk-loads rows into a table, bypassing the WAL and concurrency
+    /// control (the moral equivalent of `COPY` into an empty table before
+    /// the benchmark starts). All rows become visible atomically at one
+    /// fresh timestamp.
+    ///
+    /// # Errors
+    /// Propagates schema/unique violations; on error, rows already
+    /// installed in this call remain (bulk load is for setup, not for
+    /// transactional use).
+    pub fn bulk_load(
+        &self,
+        table: TableId,
+        rows: impl IntoIterator<Item = Row>,
+    ) -> Result<Ts, crate::TxnError> {
+        let _commit = self.commit_mutex.lock();
+        let ts = Ts(self.clock.load(Ordering::Acquire)).next();
+        let t = self.catalog.table(table);
+        let pk = t.schema().primary_key;
+        let loader = TxnId(u64::MAX); // sentinel writer id for provenance
+        for row in rows {
+            let key = row.get(pk).clone();
+            t.install(&key, Version::data(ts, loader, row))
+                .map_err(|e| crate::TxnError::Constraint(e.to_string()))?;
+        }
+        self.clock.store(ts.0, Ordering::Release);
+        Ok(ts)
+    }
+
+    /// Garbage-collects versions no active snapshot can see (and SSI
+    /// bookkeeping, in SSI mode). Returns reclaimed version count.
+    pub fn vacuum(&self) -> u64 {
+        let horizon = self
+            .registry
+            .min_active_snapshot(Ts(self.clock.load(Ordering::Acquire)));
+        let mut reclaimed = 0u64;
+        for t in self.catalog.tables() {
+            reclaimed += t.prune(horizon) as u64;
+        }
+        if self.config.cc == crate::CcMode::Ssi {
+            self.ssi.gc(horizon);
+        }
+        self.metrics.record_pruned(reclaimed);
+        reclaimed
+    }
+
+    /// Called by transactions after each commit to drive auto-vacuum.
+    pub(crate) fn note_commit_for_vacuum(&self) {
+        if let Some(every) = self.config.vacuum_every {
+            let n = self.commits_since_vacuum.fetch_add(1, Ordering::Relaxed) + 1;
+            if n % every == 0 {
+                self.vacuum();
+            }
+        }
+    }
+
+    /// Engine counters.
+    pub fn metrics(&self) -> EngineMetrics {
+        self.metrics.snapshot()
+    }
+
+    /// WAL statistics.
+    pub fn wal_stats(&self) -> WalStats {
+        self.wal.stats()
+    }
+
+    /// Log-device statistics.
+    pub fn device_stats(&self) -> DeviceStats {
+        self.wal.device_stats()
+    }
+
+    /// Snapshot of the durable log (recovery / tests).
+    pub fn log_snapshot(&self) -> Vec<sicost_wal::LogRecord> {
+        self.wal.log_snapshot()
+    }
+
+    /// Number of currently active transactions.
+    pub fn active_transactions(&self) -> usize {
+        self.registry.active_count()
+    }
+
+    pub(crate) fn emit(&self, event: HistoryEvent) {
+        if let Some(obs) = &self.observer {
+            obs.on_event(event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sicost_storage::{ColumnDef, ColumnType, Value};
+
+    fn simple_db() -> Database {
+        Database::builder()
+            .table(
+                TableSchema::new(
+                    "T",
+                    vec![
+                        ColumnDef::new("id", ColumnType::Int),
+                        ColumnDef::new("v", ColumnType::Int),
+                    ],
+                    0,
+                    vec![],
+                )
+                .unwrap(),
+            )
+            .unwrap()
+            .build()
+    }
+
+    #[test]
+    fn bulk_load_is_atomic_and_visible() {
+        let db = simple_db();
+        let tid = db.table_id("T").unwrap();
+        let ts = db
+            .bulk_load(
+                tid,
+                (0..100).map(|i| Row::new(vec![Value::int(i), Value::int(i * 10)])),
+            )
+            .unwrap();
+        assert_eq!(ts, Ts(1));
+        assert_eq!(db.clock(), Ts(1));
+        let t = db.catalog().table(tid);
+        assert_eq!(t.count_at(Ts(1)), 100);
+        assert_eq!(t.count_at(Ts(0)), 0, "nothing visible before the load");
+    }
+
+    #[test]
+    fn begin_assigns_snapshot_at_clock() {
+        let db = simple_db();
+        let tid = db.table_id("T").unwrap();
+        db.bulk_load(tid, [Row::new(vec![Value::int(1), Value::int(1)])])
+            .unwrap();
+        let tx = db.begin();
+        assert_eq!(tx.snapshot(), Ts(1));
+        assert_eq!(db.active_transactions(), 1);
+        tx.rollback();
+        assert_eq!(db.active_transactions(), 0);
+    }
+
+    #[test]
+    fn vacuum_prunes_using_active_horizon() {
+        let db = simple_db();
+        let tid = db.table_id("T").unwrap();
+        db.bulk_load(tid, [Row::new(vec![Value::int(1), Value::int(0)])])
+            .unwrap();
+        // An old reader (snapshot = the bulk-load state) pins the horizon.
+        let old_reader = db.begin();
+        // Five committed updates of the same row.
+        for i in 1..=5 {
+            let mut tx = db.begin();
+            tx.update(tid, &Value::int(1), Row::new(vec![Value::int(1), Value::int(i)]))
+                .unwrap();
+            tx.commit().unwrap();
+        }
+        let t = db.catalog().table(tid);
+        assert_eq!(t.version_count(), 6);
+        assert_eq!(db.vacuum(), 0, "old reader pins every version");
+        old_reader.rollback();
+        db.vacuum();
+        assert_eq!(t.version_count(), 1);
+        assert!(db.metrics().versions_pruned >= 5);
+    }
+}

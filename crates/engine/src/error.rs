@@ -1,0 +1,138 @@
+//! The engine's error taxonomy.
+//!
+//! The paper's Figure 6 breaks aborts down by cause ("serialization
+//! failure" errors per transaction type), so the engine is precise about
+//! *why* a transaction died.
+
+use std::fmt;
+
+/// Which concurrency-control rule fired a serialization failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SerializationKind {
+    /// First-Updater-Wins: a write (or `FOR UPDATE`) found the newest
+    /// committed version outside the transaction's snapshot — either
+    /// immediately, or after waiting for a concurrent holder that
+    /// committed. PostgreSQL's `could not serialize access due to
+    /// concurrent update`.
+    FirstUpdaterWins,
+    /// First-Committer-Wins: commit-time validation found a concurrent
+    /// committed writer of an item in the write set.
+    FirstCommitterWins,
+    /// SSI: the transaction was a dangerous-structure pivot (both an
+    /// incoming and an outgoing rw-antidependency with concurrent
+    /// transactions).
+    SsiPivot,
+}
+
+impl fmt::Display for SerializationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SerializationKind::FirstUpdaterWins => write!(f, "first-updater-wins"),
+            SerializationKind::FirstCommitterWins => write!(f, "first-committer-wins"),
+            SerializationKind::SsiPivot => write!(f, "ssi-pivot"),
+        }
+    }
+}
+
+/// Why a transaction aborted (for metrics and the history log).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AbortReason {
+    /// A concurrency-control rule fired.
+    Serialization(SerializationKind),
+    /// The transaction was chosen as a deadlock victim.
+    Deadlock,
+    /// The application rolled back (e.g. WriteCheck on an unknown
+    /// customer, TransactSaving on insufficient funds).
+    Application,
+}
+
+impl fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbortReason::Serialization(k) => write!(f, "serialization failure ({k})"),
+            AbortReason::Deadlock => write!(f, "deadlock"),
+            AbortReason::Application => write!(f, "application rollback"),
+        }
+    }
+}
+
+/// Errors returned by transaction operations.
+///
+/// Any `Serialization`/`Deadlock` error *poisons* the transaction: the
+/// engine has already released its locks and discarded its write set, and
+/// every subsequent operation (including `commit`) fails with
+/// [`TxnError::Inactive`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxnError {
+    /// Aborted by concurrency control.
+    Serialization(SerializationKind),
+    /// Aborted as a deadlock victim.
+    Deadlock,
+    /// A constraint (uniqueness, schema) would be violated.
+    Constraint(String),
+    /// Operation on a transaction that already committed or aborted.
+    Inactive,
+}
+
+impl TxnError {
+    /// Maps the error to the abort reason it implies, if any.
+    pub fn abort_reason(&self) -> Option<AbortReason> {
+        match self {
+            TxnError::Serialization(k) => Some(AbortReason::Serialization(*k)),
+            TxnError::Deadlock => Some(AbortReason::Deadlock),
+            TxnError::Constraint(_) => Some(AbortReason::Application),
+            TxnError::Inactive => None,
+        }
+    }
+
+    /// True for errors the paper counts as "serialization failure" aborts.
+    pub fn is_serialization_failure(&self) -> bool {
+        matches!(self, TxnError::Serialization(_))
+    }
+}
+
+impl fmt::Display for TxnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TxnError::Serialization(k) => write!(f, "could not serialize access ({k})"),
+            TxnError::Deadlock => write!(f, "deadlock detected"),
+            TxnError::Constraint(msg) => write!(f, "constraint violation: {msg}"),
+            TxnError::Inactive => write!(f, "transaction is no longer active"),
+        }
+    }
+}
+
+impl std::error::Error for TxnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abort_reasons_map_correctly() {
+        assert_eq!(
+            TxnError::Serialization(SerializationKind::FirstUpdaterWins).abort_reason(),
+            Some(AbortReason::Serialization(SerializationKind::FirstUpdaterWins))
+        );
+        assert_eq!(TxnError::Deadlock.abort_reason(), Some(AbortReason::Deadlock));
+        assert_eq!(
+            TxnError::Constraint("x".into()).abort_reason(),
+            Some(AbortReason::Application)
+        );
+        assert_eq!(TxnError::Inactive.abort_reason(), None);
+    }
+
+    #[test]
+    fn serialization_failure_classification() {
+        assert!(TxnError::Serialization(SerializationKind::SsiPivot).is_serialization_failure());
+        assert!(!TxnError::Deadlock.is_serialization_failure());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let msg = TxnError::Serialization(SerializationKind::FirstUpdaterWins).to_string();
+        assert!(msg.contains("serialize"));
+        assert!(msg.contains("first-updater-wins"));
+        assert!(TxnError::Deadlock.to_string().contains("deadlock"));
+    }
+}

@@ -1,0 +1,113 @@
+//! Execution-history hooks.
+//!
+//! A [`HistoryObserver`] registered at database build time receives every
+//! begin / read / commit / abort, carrying enough version identity for the
+//! `sicost-mvsg` crate to build a multi-version serialization graph and
+//! certify (non-)serializability of the recorded execution. With no
+//! observer registered the hooks cost one branch.
+
+use crate::error::AbortReason;
+use sicost_common::{TableId, Ts, TxnId};
+use sicost_storage::Value;
+
+/// One observable event in an execution history.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HistoryEvent {
+    /// Transaction started with the given snapshot.
+    Begin {
+        /// Transaction id.
+        txn: TxnId,
+        /// Snapshot timestamp it reads at.
+        snapshot: Ts,
+    },
+    /// Transaction read a record (by key). `observed` is the commit
+    /// timestamp of the version it saw, or `None` when it saw no visible
+    /// version (absent record / visible tombstone).
+    Read {
+        /// Reading transaction.
+        txn: TxnId,
+        /// Table read.
+        table: TableId,
+        /// Primary key read.
+        key: Value,
+        /// Version observed, if any.
+        observed: Option<Ts>,
+    },
+    /// Transaction committed, installing one version per written key at
+    /// `commit_ts`. Read-only commits carry an empty `writes` and a
+    /// `commit_ts` equal to their snapshot.
+    Commit {
+        /// Committing transaction.
+        txn: TxnId,
+        /// Commit timestamp (version stamp of all its writes).
+        commit_ts: Ts,
+        /// Keys written (tables and primary keys), including identity
+        /// writes and deletes.
+        writes: Vec<(TableId, Value)>,
+    },
+    /// Transaction aborted.
+    Abort {
+        /// Aborting transaction.
+        txn: TxnId,
+        /// Why.
+        reason: AbortReason,
+    },
+}
+
+impl HistoryEvent {
+    /// The transaction this event belongs to.
+    pub fn txn(&self) -> TxnId {
+        match self {
+            HistoryEvent::Begin { txn, .. }
+            | HistoryEvent::Read { txn, .. }
+            | HistoryEvent::Commit { txn, .. }
+            | HistoryEvent::Abort { txn, .. } => *txn,
+        }
+    }
+}
+
+/// Receiver of history events. Implementations must be cheap and
+/// thread-safe: events arrive concurrently from every client thread.
+pub trait HistoryObserver: Send + Sync {
+    /// Called for each event, in an order consistent per transaction (a
+    /// transaction's `Begin` precedes its reads, which precede its
+    /// `Commit`/`Abort`). Events of different transactions interleave.
+    fn on_event(&self, event: HistoryEvent);
+}
+
+/// A no-op observer (useful as a default in tests).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullObserver;
+
+impl HistoryObserver for NullObserver {
+    fn on_event(&self, _event: HistoryEvent) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_txn_extraction() {
+        let e = HistoryEvent::Begin {
+            txn: TxnId(7),
+            snapshot: Ts(1),
+        };
+        assert_eq!(e.txn(), TxnId(7));
+        let e = HistoryEvent::Abort {
+            txn: TxnId(9),
+            reason: AbortReason::Deadlock,
+        };
+        assert_eq!(e.txn(), TxnId(9));
+    }
+
+    #[test]
+    fn null_observer_accepts_everything() {
+        let o = NullObserver;
+        o.on_event(HistoryEvent::Commit {
+            txn: TxnId(1),
+            commit_ts: Ts(2),
+            writes: vec![(TableId(0), Value::int(1))],
+        });
+    }
+}

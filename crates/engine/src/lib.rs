@@ -1,0 +1,54 @@
+//! The `sicost` transaction engine.
+//!
+//! A multi-version engine over [`sicost-storage`] with pluggable concurrency
+//! control, built to reproduce the behaviours the paper measures:
+//!
+//! * **SI, First-Updater-Wins** ([`CcMode::SiFirstUpdaterWins`]) — the
+//!   PostgreSQL behaviour described in §II of the paper: writers take row
+//!   write locks; a writer that finds the newest committed version outside
+//!   its snapshot aborts immediately; a writer queued behind a concurrent
+//!   holder aborts when the holder commits and proceeds when it aborts.
+//!   Readers never block.
+//! * **SI, First-Committer-Wins** ([`CcMode::SiFirstCommitterWins`]) — the
+//!   behaviour of the paper's commercial platform (and of the original SI
+//!   definition in Berenson et al.): conflicting writers queue, but
+//!   stale-snapshot validation is deferred to commit, so a doomed
+//!   transaction wastes its whole execution before failing.
+//! * **SSI** ([`CcMode::Ssi`]) — Cahill-style Serializable Snapshot
+//!   Isolation, the engine-side alternative the paper's conclusion points
+//!   toward: tracks rw-antidependencies and aborts a pivot with both an
+//!   incoming and an outgoing antidependency.
+//! * **S2PL** ([`CcMode::S2pl`]) — strict two-phase locking with shared /
+//!   intention / exclusive modes and phantom-safe scans, the classical
+//!   baseline from §II-D.
+//!
+//! `SELECT … FOR UPDATE` honours the platform split from §II-C via
+//! [`SfuSemantics`]: `LockOnly` (PostgreSQL — the lock dies with the
+//! transaction, leaving one vulnerable interleaving) versus `IdentityWrite`
+//! (commercial — treated like an update for concurrency control).
+//!
+//! Simulated resources — a [`cpu::CpuStation`] and the [`sicost-wal`] group
+//! commit disk — give transactions the paper's cost structure: reads are
+//! CPU-only, the first write makes commit pay a disk sync, extra writes are
+//! nearly free.
+
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod cpu;
+pub mod database;
+pub mod error;
+pub mod history;
+pub mod locks;
+pub mod metrics;
+pub mod registry;
+pub mod ssi;
+pub mod txn;
+
+pub use config::{CcMode, CostModel, EngineConfig, SfuSemantics};
+pub use database::{Database, DatabaseBuilder};
+pub use error::{AbortReason, SerializationKind, TxnError};
+pub use history::{HistoryEvent, HistoryObserver};
+pub use metrics::EngineMetrics;
+pub use txn::Transaction;

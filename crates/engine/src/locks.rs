@@ -1,0 +1,539 @@
+//! The lock manager.
+//!
+//! Grants row- and table-granularity locks in three modes — shared (`S`),
+//! intention-exclusive (`IX`), and exclusive (`X`) — with FIFO wait queues,
+//! in-place upgrades, and waits-for-graph deadlock detection that aborts
+//! the requester closing a cycle.
+//!
+//! Usage by concurrency-control mode:
+//!
+//! * SI (both flavours) and SSI take only row `X` locks, at write /
+//!   `FOR UPDATE` time, held to transaction end. Readers never lock.
+//! * S2PL additionally takes row `S` locks for keyed reads, table `S`
+//!   locks for scans (phantom protection), and table `IX` locks for
+//!   writes, all held to transaction end (strictness).
+
+use crate::error::TxnError;
+use parking_lot::{Condvar, Mutex};
+use sicost_common::{TableId, TxnId};
+use sicost_storage::Value;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+
+/// Lock mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LockMode {
+    /// Shared: compatible with other `S`.
+    S,
+    /// Intention-exclusive (table granularity): compatible with other `IX`,
+    /// conflicts with `S` and `X`. Lets row-level writers conflict with
+    /// table-level scanners without locking every row.
+    Ix,
+    /// Exclusive: conflicts with everything.
+    X,
+}
+
+impl LockMode {
+    /// Standard multi-granularity compatibility (no `IS`, which nothing
+    /// here needs: keyed readers lock rows directly).
+    pub fn compatible(self, other: LockMode) -> bool {
+        matches!(
+            (self, other),
+            (LockMode::S, LockMode::S) | (LockMode::Ix, LockMode::Ix)
+        )
+    }
+
+    /// Whether a held `self` already satisfies a request for `other`.
+    pub fn covers(self, other: LockMode) -> bool {
+        self == LockMode::X || self == other
+    }
+}
+
+/// A lockable resource: a whole table (`key: None`) or one row.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LockTarget {
+    /// Table the resource belongs to.
+    pub table: TableId,
+    /// Row key, or `None` for the table itself.
+    pub key: Option<Value>,
+}
+
+impl LockTarget {
+    /// Row-granularity target.
+    pub fn row(table: TableId, key: Value) -> Self {
+        Self {
+            table,
+            key: Some(key),
+        }
+    }
+
+    /// Table-granularity target.
+    pub fn table(table: TableId) -> Self {
+        Self { table, key: None }
+    }
+}
+
+#[derive(Debug, Default)]
+struct LockInner {
+    holders: HashMap<TxnId, LockMode>,
+    queue: VecDeque<(TxnId, LockMode)>,
+    /// Set when the entry has been unlinked from the manager's map. A
+    /// thread that fetched the `Arc` just before the unlink must not use
+    /// it (a fresh entry may already exist for the same target): it
+    /// retries from the map instead.
+    dead: bool,
+}
+
+impl LockInner {
+    fn compatible_with_holders(&self, me: TxnId, mode: LockMode) -> bool {
+        self.holders
+            .iter()
+            .all(|(t, m)| *t == me || mode.compatible(*m))
+    }
+}
+
+#[derive(Debug, Default)]
+struct LockEntry {
+    inner: Mutex<LockInner>,
+    cv: Condvar,
+}
+
+/// Result of one attempt against a specific entry instance.
+enum AcquireOutcome {
+    Done(Result<(), TxnError>),
+    Retry,
+}
+
+/// The lock manager. One per database.
+#[derive(Default)]
+pub struct LockManager {
+    entries: Mutex<HashMap<LockTarget, Arc<LockEntry>>>,
+    waits_for: Mutex<HashMap<TxnId, HashSet<TxnId>>>,
+    held: Mutex<HashMap<TxnId, Vec<LockTarget>>>,
+}
+
+impl LockManager {
+    /// Empty manager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn entry(&self, target: &LockTarget) -> Arc<LockEntry> {
+        let mut map = self.entries.lock();
+        map.entry(target.clone()).or_default().clone()
+    }
+
+    /// Records that `waiter` is blocked on `blockers` and checks for a
+    /// deadlock cycle reachable from `waiter`. Returns `true` when waiting
+    /// is safe, `false` when the wait would close a cycle (in which case
+    /// the edges are rolled back).
+    fn try_wait_edges(&self, waiter: TxnId, blockers: &HashSet<TxnId>) -> bool {
+        let mut graph = self.waits_for.lock();
+        graph.insert(waiter, blockers.clone());
+        // DFS from waiter; cycle iff waiter reachable from its blockers.
+        let mut stack: Vec<TxnId> = blockers.iter().copied().collect();
+        let mut seen: HashSet<TxnId> = HashSet::new();
+        while let Some(t) = stack.pop() {
+            if t == waiter {
+                graph.remove(&waiter);
+                return false;
+            }
+            if seen.insert(t) {
+                if let Some(next) = graph.get(&t) {
+                    stack.extend(next.iter().copied());
+                }
+            }
+        }
+        true
+    }
+
+    fn clear_wait_edges(&self, waiter: TxnId) {
+        self.waits_for.lock().remove(&waiter);
+    }
+
+    fn note_held(&self, txn: TxnId, target: &LockTarget) {
+        self.held.lock().entry(txn).or_default().push(target.clone());
+    }
+
+    /// Acquires `mode` on `target` for `txn`, blocking until granted.
+    ///
+    /// Returns [`TxnError::Deadlock`] when granting would require waiting
+    /// in a cycle; the requester is the victim and its wait is cancelled
+    /// (its other locks remain held — the caller aborts the transaction,
+    /// which releases them).
+    pub fn acquire(&self, txn: TxnId, target: &LockTarget, mode: LockMode) -> Result<(), TxnError> {
+        loop {
+            let entry = self.entry(target);
+            match self.acquire_on_entry(&entry, txn, target, mode) {
+                AcquireOutcome::Done(result) => return result,
+                // Lost a race against a concurrent unlink of the entry;
+                // retry with a fresh one from the map.
+                AcquireOutcome::Retry => continue,
+            }
+        }
+    }
+
+    fn acquire_on_entry(
+        &self,
+        entry: &Arc<LockEntry>,
+        txn: TxnId,
+        target: &LockTarget,
+        mode: LockMode,
+    ) -> AcquireOutcome {
+        let mut inner = entry.inner.lock();
+        if inner.dead {
+            return AcquireOutcome::Retry;
+        }
+
+        // Re-entrant / upgrade handling.
+        if let Some(&held) = inner.holders.get(&txn) {
+            if held.covers(mode) {
+                return AcquireOutcome::Done(Ok(()));
+            }
+            // Upgrade to X: wait until sole holder; upgrades bypass the
+            // FIFO queue (standard, else every upgrade self-deadlocks
+            // behind queued requests).
+            loop {
+                let others: HashSet<TxnId> = inner
+                    .holders
+                    .keys()
+                    .copied()
+                    .filter(|t| *t != txn)
+                    .collect();
+                if others.is_empty() {
+                    inner.holders.insert(txn, LockMode::X);
+                    return AcquireOutcome::Done(Ok(()));
+                }
+                if !self.try_wait_edges(txn, &others) {
+                    return AcquireOutcome::Done(Err(TxnError::Deadlock));
+                }
+                entry.cv.wait(&mut inner);
+                self.clear_wait_edges(txn);
+            }
+        }
+
+        // Fast path: compatible with holders and nobody queued.
+        if inner.queue.is_empty() && inner.compatible_with_holders(txn, mode) {
+            inner.holders.insert(txn, mode);
+            drop(inner);
+            self.note_held(txn, target);
+            return AcquireOutcome::Done(Ok(()));
+        }
+
+        // Queue and wait.
+        inner.queue.push_back((txn, mode));
+        loop {
+            let at_front = inner.queue.front().map(|(t, _)| *t) == Some(txn);
+            if at_front && inner.compatible_with_holders(txn, mode) {
+                inner.queue.pop_front();
+                inner.holders.insert(txn, mode);
+                // Successors may also be grantable (e.g. a run of S).
+                entry.cv.notify_all();
+                drop(inner);
+                self.clear_wait_edges(txn);
+                self.note_held(txn, target);
+                return AcquireOutcome::Done(Ok(()));
+            }
+            // Blockers: incompatible holders + everyone queued ahead.
+            let mut blockers: HashSet<TxnId> = inner
+                .holders
+                .iter()
+                .filter(|(t, m)| **t != txn && !mode.compatible(**m))
+                .map(|(t, _)| *t)
+                .collect();
+            for (t, _) in inner.queue.iter() {
+                if *t == txn {
+                    break;
+                }
+                blockers.insert(*t);
+            }
+            if !self.try_wait_edges(txn, &blockers) {
+                inner.queue.retain(|(t, _)| *t != txn);
+                // Whoever is behind us may now be grantable.
+                entry.cv.notify_all();
+                return AcquireOutcome::Done(Err(TxnError::Deadlock));
+            }
+            entry.cv.wait(&mut inner);
+            self.clear_wait_edges(txn);
+        }
+    }
+
+    /// Releases every lock held by `txn` (strictness: called exactly once,
+    /// at commit or abort).
+    pub fn release_all(&self, txn: TxnId) {
+        let targets = self.held.lock().remove(&txn).unwrap_or_default();
+        self.clear_wait_edges(txn);
+        for target in targets {
+            // Lock ordering: entries map, then entry — same as acquire.
+            let mut map = self.entries.lock();
+            let Some(entry) = map.get(&target).cloned() else {
+                continue;
+            };
+            let mut inner = entry.inner.lock();
+            inner.holders.remove(&txn);
+            if inner.holders.is_empty() && inner.queue.is_empty() {
+                // Tombstone before unlinking: a racer that already cloned
+                // this Arc must retry from the map instead of queueing on
+                // an orphan (see `LockInner::dead`).
+                inner.dead = true;
+                map.remove(&target);
+            }
+            drop(map);
+            entry.cv.notify_all();
+        }
+    }
+
+    /// Whether `txn` currently holds a lock on `target` covering `mode`.
+    pub fn holds(&self, txn: TxnId, target: &LockTarget, mode: LockMode) -> bool {
+        let map = self.entries.lock();
+        let Some(entry) = map.get(target) else {
+            return false;
+        };
+        let entry = entry.clone();
+        drop(map);
+        let inner = entry.inner.lock();
+        inner.holders.get(&txn).is_some_and(|m| m.covers(mode))
+    }
+
+    /// Number of distinct locked targets (diagnostics).
+    pub fn locked_targets(&self) -> usize {
+        self.entries.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::time::Duration;
+
+    fn row(k: i64) -> LockTarget {
+        LockTarget::row(TableId(0), Value::int(k))
+    }
+
+    #[test]
+    fn compatibility_matrix() {
+        use LockMode::*;
+        assert!(S.compatible(S));
+        assert!(Ix.compatible(Ix));
+        assert!(!S.compatible(Ix));
+        assert!(!Ix.compatible(S));
+        assert!(!X.compatible(S));
+        assert!(!S.compatible(X));
+        assert!(!X.compatible(X));
+    }
+
+    #[test]
+    fn covers_rules() {
+        use LockMode::*;
+        assert!(X.covers(S));
+        assert!(X.covers(Ix));
+        assert!(X.covers(X));
+        assert!(S.covers(S));
+        assert!(!S.covers(X));
+        assert!(!Ix.covers(S));
+    }
+
+    #[test]
+    fn exclusive_excludes_and_releases() {
+        let lm = Arc::new(LockManager::new());
+        lm.acquire(TxnId(1), &row(1), LockMode::X).unwrap();
+        assert!(lm.holds(TxnId(1), &row(1), LockMode::X));
+
+        let lm2 = Arc::clone(&lm);
+        let blocked = Arc::new(AtomicU32::new(0));
+        let blocked2 = Arc::clone(&blocked);
+        let h = std::thread::spawn(move || {
+            blocked2.store(1, Ordering::SeqCst);
+            lm2.acquire(TxnId(2), &row(1), LockMode::X).unwrap();
+            blocked2.store(2, Ordering::SeqCst);
+        });
+        while blocked.load(Ordering::SeqCst) == 0 {
+            std::thread::yield_now();
+        }
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(blocked.load(Ordering::SeqCst), 1, "T2 must be waiting");
+        lm.release_all(TxnId(1));
+        h.join().unwrap();
+        assert_eq!(blocked.load(Ordering::SeqCst), 2);
+        assert!(lm.holds(TxnId(2), &row(1), LockMode::X));
+        lm.release_all(TxnId(2));
+        assert_eq!(lm.locked_targets(), 0, "entries cleaned up");
+    }
+
+    #[test]
+    fn shared_locks_coexist() {
+        let lm = LockManager::new();
+        lm.acquire(TxnId(1), &row(1), LockMode::S).unwrap();
+        lm.acquire(TxnId(2), &row(1), LockMode::S).unwrap();
+        assert!(lm.holds(TxnId(1), &row(1), LockMode::S));
+        assert!(lm.holds(TxnId(2), &row(1), LockMode::S));
+        lm.release_all(TxnId(1));
+        lm.release_all(TxnId(2));
+    }
+
+    #[test]
+    fn reentrant_acquire_is_noop() {
+        let lm = LockManager::new();
+        lm.acquire(TxnId(1), &row(1), LockMode::X).unwrap();
+        lm.acquire(TxnId(1), &row(1), LockMode::X).unwrap();
+        lm.acquire(TxnId(1), &row(1), LockMode::S).unwrap(); // covered by X
+        lm.release_all(TxnId(1));
+        assert_eq!(lm.locked_targets(), 0);
+    }
+
+    #[test]
+    fn upgrade_when_sole_holder_is_immediate() {
+        let lm = LockManager::new();
+        lm.acquire(TxnId(1), &row(1), LockMode::S).unwrap();
+        lm.acquire(TxnId(1), &row(1), LockMode::X).unwrap();
+        assert!(lm.holds(TxnId(1), &row(1), LockMode::X));
+        lm.release_all(TxnId(1));
+    }
+
+    #[test]
+    fn table_s_conflicts_with_ix() {
+        let lm = Arc::new(LockManager::new());
+        let t = LockTarget::table(TableId(0));
+        lm.acquire(TxnId(1), &t, LockMode::S).unwrap();
+        let lm2 = Arc::clone(&lm);
+        let t2 = t.clone();
+        let h = std::thread::spawn(move || lm2.acquire(TxnId(2), &t2, LockMode::Ix));
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(!h.is_finished(), "IX must wait behind table S");
+        lm.release_all(TxnId(1));
+        h.join().unwrap().unwrap();
+        lm.release_all(TxnId(2));
+    }
+
+    #[test]
+    fn deadlock_two_txn_cross_acquire() {
+        let lm = Arc::new(LockManager::new());
+        lm.acquire(TxnId(1), &row(1), LockMode::X).unwrap();
+        lm.acquire(TxnId(2), &row(2), LockMode::X).unwrap();
+
+        let lm2 = Arc::clone(&lm);
+        let h = std::thread::spawn(move || {
+            // T1 wants row 2 (held by T2) — will block.
+            let r = lm2.acquire(TxnId(1), &row(2), LockMode::X);
+            if r.is_ok() {
+                lm2.release_all(TxnId(1));
+            }
+            r
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        // T2 wants row 1 (held by T1): closes the cycle, must get Deadlock.
+        let r2 = lm.acquire(TxnId(2), &row(1), LockMode::X);
+        assert_eq!(r2, Err(TxnError::Deadlock));
+        // T2 aborts, releasing its locks, which unblocks T1.
+        lm.release_all(TxnId(2));
+        assert!(h.join().unwrap().is_ok());
+        lm.release_all(TxnId(1));
+    }
+
+    #[test]
+    fn upgrade_deadlock_detected() {
+        let lm = Arc::new(LockManager::new());
+        lm.acquire(TxnId(1), &row(1), LockMode::S).unwrap();
+        lm.acquire(TxnId(2), &row(1), LockMode::S).unwrap();
+        let lm2 = Arc::clone(&lm);
+        let h = std::thread::spawn(move || {
+            let r = lm2.acquire(TxnId(1), &row(1), LockMode::X);
+            if r.is_err() {
+                lm2.release_all(TxnId(1));
+            }
+            r
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        let r2 = lm.acquire(TxnId(2), &row(1), LockMode::X);
+        if r2.is_err() {
+            // The victim's transaction aborts, releasing its locks — this
+            // is what unblocks the surviving upgrader.
+            lm.release_all(TxnId(2));
+        }
+        let r1 = h.join().unwrap();
+        // Exactly one of the two upgraders dies.
+        assert!(
+            r1.is_err() ^ r2.is_err(),
+            "one upgrader must deadlock: r1={r1:?} r2={r2:?}"
+        );
+        lm.release_all(TxnId(1));
+        lm.release_all(TxnId(2));
+    }
+
+    #[test]
+    fn fifo_prevents_starvation() {
+        // T1 holds X; T2 queues for X; T3's S request must not jump T2.
+        let lm = Arc::new(LockManager::new());
+        lm.acquire(TxnId(1), &row(1), LockMode::X).unwrap();
+        let order = Arc::new(Mutex::new(Vec::new()));
+
+        let spawn_waiter = |id: u64, mode: LockMode| {
+            let lm = Arc::clone(&lm);
+            let order = Arc::clone(&order);
+            std::thread::spawn(move || {
+                lm.acquire(TxnId(id), &row(1), mode).unwrap();
+                order.lock().push(id);
+                std::thread::sleep(Duration::from_millis(10));
+                lm.release_all(TxnId(id));
+            })
+        };
+        let h2 = spawn_waiter(2, LockMode::X);
+        std::thread::sleep(Duration::from_millis(20));
+        let h3 = spawn_waiter(3, LockMode::S);
+        std::thread::sleep(Duration::from_millis(20));
+        lm.release_all(TxnId(1));
+        h2.join().unwrap();
+        h3.join().unwrap();
+        assert_eq!(*order.lock(), vec![2, 3], "grants must follow FIFO order");
+    }
+
+    /// Regression: `release_all` unlinks empty entries from the map; a
+    /// concurrent `acquire` that fetched the entry Arc just before the
+    /// unlink must retry on a fresh entry instead of queueing on the
+    /// orphan (which would wait forever). High-churn single-target loop.
+    #[test]
+    fn entry_unlink_race_does_not_orphan_waiters() {
+        let lm = Arc::new(LockManager::new());
+        let handles: Vec<_> = (0..4u64)
+            .map(|i| {
+                let lm = Arc::clone(&lm);
+                std::thread::spawn(move || {
+                    for j in 0..3_000u64 {
+                        let txn = TxnId(i * 1_000_000 + j);
+                        lm.acquire(txn, &row(42), LockMode::X).unwrap();
+                        lm.release_all(txn);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(lm.locked_targets(), 0);
+    }
+
+    #[test]
+    fn concurrent_stress_disjoint_and_hot_keys() {
+        let lm = Arc::new(LockManager::new());
+        let handles: Vec<_> = (0..8u64)
+            .map(|i| {
+                let lm = Arc::clone(&lm);
+                std::thread::spawn(move || {
+                    for j in 0..200 {
+                        let txn = TxnId(i * 1_000 + j);
+                        // One hot row + one private row per thread.
+                        if lm.acquire(txn, &row(0), LockMode::X).is_ok() {
+                            lm.acquire(txn, &row(100 + i as i64), LockMode::X).ok();
+                        }
+                        lm.release_all(txn);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(lm.locked_targets(), 0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Engine-level counters.
+
+use crate::error::{AbortReason, SerializationKind};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic engine counters, cheap enough to bump on every transaction.
+#[derive(Debug, Default)]
+pub struct EngineMetricsInner {
+    commits: AtomicU64,
+    read_only_commits: AtomicU64,
+    aborts_fuw: AtomicU64,
+    aborts_fcw: AtomicU64,
+    aborts_ssi: AtomicU64,
+    aborts_deadlock: AtomicU64,
+    aborts_app: AtomicU64,
+    versions_pruned: AtomicU64,
+}
+
+impl EngineMetricsInner {
+    pub(crate) fn record_commit(&self, read_only: bool) {
+        self.commits.fetch_add(1, Ordering::Relaxed);
+        if read_only {
+            self.read_only_commits.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn record_abort(&self, reason: AbortReason) {
+        let slot = match reason {
+            AbortReason::Serialization(SerializationKind::FirstUpdaterWins) => &self.aborts_fuw,
+            AbortReason::Serialization(SerializationKind::FirstCommitterWins) => &self.aborts_fcw,
+            AbortReason::Serialization(SerializationKind::SsiPivot) => &self.aborts_ssi,
+            AbortReason::Deadlock => &self.aborts_deadlock,
+            AbortReason::Application => &self.aborts_app,
+        };
+        slot.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_pruned(&self, n: u64) {
+        self.versions_pruned.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the counters.
+    pub fn snapshot(&self) -> EngineMetrics {
+        EngineMetrics {
+            commits: self.commits.load(Ordering::Relaxed),
+            read_only_commits: self.read_only_commits.load(Ordering::Relaxed),
+            aborts_first_updater: self.aborts_fuw.load(Ordering::Relaxed),
+            aborts_first_committer: self.aborts_fcw.load(Ordering::Relaxed),
+            aborts_ssi: self.aborts_ssi.load(Ordering::Relaxed),
+            aborts_deadlock: self.aborts_deadlock.load(Ordering::Relaxed),
+            aborts_application: self.aborts_app.load(Ordering::Relaxed),
+            versions_pruned: self.versions_pruned.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time view of the engine counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineMetrics {
+    /// Committed transactions (including read-only).
+    pub commits: u64,
+    /// Committed transactions with an empty write set.
+    pub read_only_commits: u64,
+    /// Aborts by First-Updater-Wins validation.
+    pub aborts_first_updater: u64,
+    /// Aborts by First-Committer-Wins validation.
+    pub aborts_first_committer: u64,
+    /// Aborts by SSI pivot detection.
+    pub aborts_ssi: u64,
+    /// Deadlock-victim aborts.
+    pub aborts_deadlock: u64,
+    /// Application rollbacks.
+    pub aborts_application: u64,
+    /// Versions reclaimed by the garbage collector.
+    pub versions_pruned: u64,
+}
+
+impl EngineMetrics {
+    /// All serialization-failure aborts (the quantity in the paper's
+    /// Figure 6).
+    pub fn serialization_failures(&self) -> u64 {
+        self.aborts_first_updater + self.aborts_first_committer + self.aborts_ssi
+    }
+
+    /// All aborts of any kind.
+    pub fn total_aborts(&self) -> u64 {
+        self.serialization_failures() + self.aborts_deadlock + self.aborts_application
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_by_kind() {
+        let m = EngineMetricsInner::default();
+        m.record_commit(false);
+        m.record_commit(true);
+        m.record_abort(AbortReason::Serialization(SerializationKind::FirstUpdaterWins));
+        m.record_abort(AbortReason::Serialization(SerializationKind::FirstCommitterWins));
+        m.record_abort(AbortReason::Serialization(SerializationKind::SsiPivot));
+        m.record_abort(AbortReason::Deadlock);
+        m.record_abort(AbortReason::Application);
+        m.record_pruned(7);
+        let s = m.snapshot();
+        assert_eq!(s.commits, 2);
+        assert_eq!(s.read_only_commits, 1);
+        assert_eq!(s.aborts_first_updater, 1);
+        assert_eq!(s.aborts_first_committer, 1);
+        assert_eq!(s.aborts_ssi, 1);
+        assert_eq!(s.aborts_deadlock, 1);
+        assert_eq!(s.aborts_application, 1);
+        assert_eq!(s.versions_pruned, 7);
+        assert_eq!(s.serialization_failures(), 3);
+        assert_eq!(s.total_aborts(), 5);
+    }
+}

@@ -1,0 +1,113 @@
+//! Active-transaction registry.
+//!
+//! Tracks which snapshots are in use, for three consumers: the version
+//! garbage collector (safe pruning horizon), the commercial profile's load
+//! penalty (active-transaction count), and SSI (concurrency checks).
+
+use parking_lot::Mutex;
+use sicost_common::{Ts, TxnId};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Registry of running transactions and their snapshots.
+#[derive(Debug, Default)]
+pub struct ActiveRegistry {
+    /// snapshot ts → number of active transactions holding it.
+    snapshots: Mutex<BTreeMap<u64, u32>>,
+    count: AtomicUsize,
+}
+
+impl ActiveRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a transaction's snapshot at begin.
+    pub fn register(&self, _txn: TxnId, snapshot: Ts) {
+        *self.snapshots.lock().entry(snapshot.0).or_insert(0) += 1;
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Unregisters at commit/abort.
+    pub fn unregister(&self, _txn: TxnId, snapshot: Ts) {
+        let mut map = self.snapshots.lock();
+        match map.get_mut(&snapshot.0) {
+            Some(n) if *n > 1 => *n -= 1,
+            Some(_) => {
+                map.remove(&snapshot.0);
+            }
+            None => debug_assert!(false, "unregister of unknown snapshot {snapshot}"),
+        }
+        self.count.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Number of currently active transactions (approximate under races,
+    /// which is fine for a load penalty).
+    pub fn active_count(&self) -> usize {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Oldest snapshot still in use; `fallback` (typically the current
+    /// clock) when no transaction is active. Versions older than the newest
+    /// version at or below this horizon are unreachable.
+    pub fn min_active_snapshot(&self, fallback: Ts) -> Ts {
+        self.snapshots
+            .lock()
+            .keys()
+            .next()
+            .map(|&ts| Ts(ts))
+            .unwrap_or(fallback)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_count_and_min_snapshot() {
+        let r = ActiveRegistry::new();
+        assert_eq!(r.active_count(), 0);
+        assert_eq!(r.min_active_snapshot(Ts(99)), Ts(99));
+
+        r.register(TxnId(1), Ts(10));
+        r.register(TxnId(2), Ts(5));
+        r.register(TxnId(3), Ts(10));
+        assert_eq!(r.active_count(), 3);
+        assert_eq!(r.min_active_snapshot(Ts(99)), Ts(5));
+
+        r.unregister(TxnId(2), Ts(5));
+        assert_eq!(r.min_active_snapshot(Ts(99)), Ts(10));
+
+        // Duplicate snapshots ref-count correctly.
+        r.unregister(TxnId(1), Ts(10));
+        assert_eq!(r.min_active_snapshot(Ts(99)), Ts(10));
+        r.unregister(TxnId(3), Ts(10));
+        assert_eq!(r.active_count(), 0);
+        assert_eq!(r.min_active_snapshot(Ts(42)), Ts(42));
+    }
+
+    #[test]
+    fn concurrent_register_unregister() {
+        use std::sync::Arc;
+        let r = Arc::new(ActiveRegistry::new());
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let r = Arc::clone(&r);
+                std::thread::spawn(move || {
+                    for j in 0..1000 {
+                        let ts = Ts(1 + (i * 1000 + j) % 7);
+                        r.register(TxnId(i), ts);
+                        r.unregister(TxnId(i), ts);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(r.active_count(), 0);
+        assert_eq!(r.min_active_snapshot(Ts(1)), Ts(1));
+    }
+}

@@ -1,0 +1,524 @@
+//! Serializable Snapshot Isolation (Cahill, Röhm & Fekete).
+//!
+//! The paper's conclusion asks for an engine-side mechanism instead of
+//! hand-modifying programs; Cahill's SSI (published by an overlapping
+//! author set shortly after) is that mechanism, and this module implements
+//! its essential algorithm so the benchmark harness can compare it against
+//! the program-modification strategies.
+//!
+//! The rule: under SI, every non-serializable execution contains a *pivot*
+//! transaction with both an incoming and an outgoing rw-antidependency to
+//! concurrent transactions (Fekete et al., TODS 2005). SSI tracks, per
+//! transaction, `in_conflict` / `out_conflict` flags; when both are set on
+//! a transaction, some transaction in the structure is aborted. This admits
+//! false positives (the two edges need not lie on a cycle) but never false
+//! negatives.
+//!
+//! Mechanics mirrored from the SSI paper:
+//! * readers leave **SIREAD** marks on the keys they read; marks outlive
+//!   commit and are garbage-collected only when no concurrent transaction
+//!   remains;
+//! * a writer marks `reader ──rw──▶ writer` edges against every concurrent
+//!   SIREAD holder, both at write time and again at commit;
+//! * a reader that observes a version older than the newest committed one
+//!   marks `reader ──rw──▶ newer-writer` edges using the version chain's
+//!   writer provenance;
+//! * to close the validation→install window (the engine writes the WAL
+//!   between the two), a committing writer **announces** its write set at
+//!   validation time; readers check announcements under the same mutex
+//!   that registers their SIREAD marks, so every rw edge is discovered by
+//!   exactly one side whatever the interleaving.
+//!
+//! Doomed transactions discover their fate at their next operation or at
+//! commit, returning [`SerializationKind::SsiPivot`]. A transaction that
+//! is already past validation (`committing`) is never doomed — the
+//! discovering side aborts instead.
+
+use crate::error::{SerializationKind, TxnError};
+use parking_lot::Mutex;
+use sicost_common::{TableId, Ts, TxnId};
+use sicost_storage::Value;
+use std::collections::HashMap;
+
+/// Key granularity at which SIREAD marks are kept.
+pub type ReadKey = (TableId, Value);
+
+/// The relation-granularity SIREAD key for a table: predicate reads
+/// (scans) mark the whole relation, and every writer of the table checks
+/// it — Cahill's coarse-but-sound answer to phantoms (`Value::Null` is
+/// not a legal primary key, so the sentinel cannot collide with rows).
+pub fn table_read_key(table: TableId) -> ReadKey {
+    (table, Value::Null)
+}
+
+#[derive(Debug)]
+struct SsiTxn {
+    start_ts: Ts,
+    commit_ts: Option<Ts>,
+    /// Past validation: its commit is inevitable; never doom it.
+    committing: bool,
+    in_conflict: bool,
+    out_conflict: bool,
+    doomed: bool,
+    read_keys: Vec<ReadKey>,
+    announced_keys: Vec<ReadKey>,
+}
+
+impl SsiTxn {
+    /// Can this transaction still be asked to abort?
+    fn abortable(&self) -> bool {
+        self.commit_ts.is_none() && !self.committing
+    }
+}
+
+#[derive(Debug, Default)]
+struct SsiState {
+    txns: HashMap<TxnId, SsiTxn>,
+    /// SIREAD marks: key → readers (active or committed-but-relevant).
+    readers: HashMap<ReadKey, Vec<TxnId>>,
+    /// Writers past validation, keyed by the items they are installing.
+    announced: HashMap<ReadKey, Vec<TxnId>>,
+}
+
+impl SsiState {
+    /// Is `other` concurrent with a transaction that started at `start`?
+    /// Committed transactions stay "concurrent" with anything that started
+    /// before their commit; committing ones are treated as concurrent.
+    /// The comparison is inclusive because read-only transactions commit
+    /// at their snapshot timestamp: a reader and a writer beginning on the
+    /// same clock tick genuinely overlap even though their timestamps tie
+    /// (conservative: ties may add false aborts, never unsoundness).
+    fn concurrent_with(&self, other: TxnId, start: Ts) -> bool {
+        match self.txns.get(&other) {
+            Some(t) => t.commit_ts.map(|c| c >= start).unwrap_or(true),
+            None => false, // unknown ⇒ long gone ⇒ not concurrent
+        }
+    }
+
+    /// Records the rw-antidependency `reader → writer` and applies the
+    /// pivot rule. Returns the error if `me` must abort now.
+    fn mark_rw(&mut self, reader: TxnId, writer: TxnId, me: TxnId) -> Result<(), TxnError> {
+        if reader == writer {
+            return Ok(());
+        }
+        if let Some(r) = self.txns.get_mut(&reader) {
+            r.out_conflict = true;
+        }
+        if let Some(w) = self.txns.get_mut(&writer) {
+            w.in_conflict = true;
+        }
+        // Pivot rule: any transaction with both flags makes the structure
+        // dangerous; abort one abortable participant.
+        for t in [reader, writer] {
+            let Some(rec) = self.txns.get(&t) else { continue };
+            if rec.in_conflict && rec.out_conflict {
+                if t == me {
+                    return Err(TxnError::Serialization(SerializationKind::SsiPivot));
+                }
+                if rec.abortable() {
+                    // Active pivot elsewhere: doom it, it will notice.
+                    self.txns.get_mut(&t).expect("present").doomed = true;
+                } else {
+                    // Committed/committing pivot: the only abortable
+                    // participant here is me.
+                    return Err(TxnError::Serialization(SerializationKind::SsiPivot));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn unregister_reads(&mut self, txn: TxnId, keys: &[ReadKey]) {
+        for key in keys {
+            if let Some(marks) = self.readers.get_mut(key) {
+                marks.retain(|r| *r != txn);
+                if marks.is_empty() {
+                    self.readers.remove(key);
+                }
+            }
+        }
+    }
+
+    fn unannounce(&mut self, txn: TxnId, keys: &[ReadKey]) {
+        for key in keys {
+            if let Some(ws) = self.announced.get_mut(key) {
+                ws.retain(|w| *w != txn);
+                if ws.is_empty() {
+                    self.announced.remove(key);
+                }
+            }
+        }
+    }
+}
+
+/// The SSI conflict tracker. One per database; inert unless the engine
+/// runs in [`crate::CcMode::Ssi`].
+#[derive(Debug, Default)]
+pub struct SsiManager {
+    state: Mutex<SsiState>,
+}
+
+impl SsiManager {
+    /// Empty manager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a transaction at begin (or re-registers it after a
+    /// snapshot refresh, which is only legal before any reads).
+    pub fn begin(&self, txn: TxnId, start_ts: Ts) {
+        self.state.lock().txns.insert(
+            txn,
+            SsiTxn {
+                start_ts,
+                commit_ts: None,
+                committing: false,
+                in_conflict: false,
+                out_conflict: false,
+                doomed: false,
+                read_keys: Vec::new(),
+                announced_keys: Vec::new(),
+            },
+        );
+    }
+
+    /// Fails if `txn` has been doomed by a concurrent pivot detection.
+    pub fn check_doomed(&self, txn: TxnId) -> Result<(), TxnError> {
+        let state = self.state.lock();
+        match state.txns.get(&txn) {
+            Some(t) if t.doomed => Err(TxnError::Serialization(SerializationKind::SsiPivot)),
+            _ => Ok(()),
+        }
+    }
+
+    /// Records a read: leaves an SIREAD mark and marks `txn → writer`
+    /// antidependencies against (a) the writers of committed versions
+    /// newer than the one observed (`newer_writers`, from the version
+    /// chain), and (b) writers currently announced as installing this key
+    /// — all under one lock acquisition, so a concurrent committer either
+    /// sees our SIREAD mark or we see its announcement.
+    pub fn on_read(
+        &self,
+        txn: TxnId,
+        key: ReadKey,
+        newer_writers: &[TxnId],
+    ) -> Result<(), TxnError> {
+        let mut state = self.state.lock();
+        if let Some(t) = state.txns.get_mut(&txn) {
+            if t.doomed {
+                return Err(TxnError::Serialization(SerializationKind::SsiPivot));
+            }
+            t.read_keys.push(key.clone());
+        }
+        let marks = state.readers.entry(key.clone()).or_default();
+        if !marks.contains(&txn) {
+            marks.push(txn);
+        }
+        for &w in newer_writers {
+            state.mark_rw(txn, w, txn)?;
+        }
+        let announced: Vec<TxnId> = state
+            .announced
+            .get(&key)
+            .map(|ws| ws.iter().copied().filter(|w| *w != txn).collect())
+            .unwrap_or_default();
+        for w in announced {
+            state.mark_rw(txn, w, txn)?;
+        }
+        Ok(())
+    }
+
+    /// Records a write: marks `reader → txn` antidependencies against every
+    /// concurrent SIREAD holder of the key.
+    pub fn on_write(&self, txn: TxnId, key: &ReadKey) -> Result<(), TxnError> {
+        let mut state = self.state.lock();
+        let my_start = match state.txns.get(&txn) {
+            Some(t) if t.doomed => {
+                return Err(TxnError::Serialization(SerializationKind::SsiPivot))
+            }
+            Some(t) => t.start_ts,
+            None => return Ok(()),
+        };
+        let readers: Vec<TxnId> = state
+            .readers
+            .get(key)
+            .map(|v| {
+                v.iter()
+                    .copied()
+                    .filter(|r| *r != txn && state.concurrent_with(*r, my_start))
+                    .collect()
+            })
+            .unwrap_or_default();
+        for r in readers {
+            state.mark_rw(r, txn, txn)?;
+        }
+        Ok(())
+    }
+
+    /// Commit-time validation: re-marks reader edges for the write set,
+    /// applies the pivot rule to the committer, and — on success —
+    /// transitions it to `committing` and announces its write set. After
+    /// `Ok(())` the transaction must proceed to install and
+    /// [`SsiManager::finish_commit`]; it will never be doomed.
+    pub fn pre_commit(&self, txn: TxnId, write_keys: &[ReadKey]) -> Result<(), TxnError> {
+        let mut state = self.state.lock();
+        let Some(me) = state.txns.get(&txn) else {
+            return Ok(());
+        };
+        if me.doomed || (me.in_conflict && me.out_conflict) {
+            return Err(TxnError::Serialization(SerializationKind::SsiPivot));
+        }
+        let my_start = me.start_ts;
+        for key in write_keys {
+            let readers: Vec<TxnId> = state
+                .readers
+                .get(key)
+                .map(|v| {
+                    v.iter()
+                        .copied()
+                        .filter(|r| *r != txn && state.concurrent_with(*r, my_start))
+                        .collect()
+                })
+                .unwrap_or_default();
+            for r in readers {
+                state.mark_rw(r, txn, txn)?;
+            }
+        }
+        // Validation passed: commit is now inevitable. Announce.
+        for key in write_keys {
+            state.announced.entry(key.clone()).or_default().push(txn);
+        }
+        let me = state.txns.get_mut(&txn).expect("present");
+        me.committing = true;
+        me.announced_keys = write_keys.to_vec();
+        Ok(())
+    }
+
+    /// Marks the transaction committed and retracts its announcements
+    /// (SIREAD marks survive until GC).
+    pub fn finish_commit(&self, txn: TxnId, commit_ts: Ts) {
+        let mut state = self.state.lock();
+        let announced = match state.txns.get_mut(&txn) {
+            Some(t) => {
+                t.commit_ts = Some(commit_ts);
+                t.committing = false;
+                std::mem::take(&mut t.announced_keys)
+            }
+            None => Vec::new(),
+        };
+        state.unannounce(txn, &announced);
+    }
+
+    /// Drops all trace of an aborted transaction.
+    pub fn on_abort(&self, txn: TxnId) {
+        let mut state = self.state.lock();
+        if let Some(t) = state.txns.remove(&txn) {
+            state.unregister_reads(txn, &t.read_keys);
+            state.unannounce(txn, &t.announced_keys);
+        }
+    }
+
+    /// Garbage-collects committed transactions no longer concurrent with
+    /// anything active (commit timestamp at or before the oldest active
+    /// snapshot). Returns the number of transaction records reclaimed.
+    pub fn gc(&self, min_active_start: Ts) -> usize {
+        let mut state = self.state.lock();
+        let dead: Vec<TxnId> = state
+            .txns
+            .iter()
+            .filter(|(_, t)| t.commit_ts.map(|c| c <= min_active_start).unwrap_or(false))
+            .map(|(id, _)| *id)
+            .collect();
+        for id in &dead {
+            if let Some(t) = state.txns.remove(id) {
+                state.unregister_reads(*id, &t.read_keys);
+                state.unannounce(*id, &t.announced_keys);
+            }
+        }
+        dead.len()
+    }
+
+    /// Number of transaction records currently tracked (tests/diagnostics).
+    pub fn tracked(&self) -> usize {
+        self.state.lock().txns.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(k: i64) -> ReadKey {
+        (TableId(0), Value::int(k))
+    }
+
+    /// Classic write skew: T1 reads x,y writes x; T2 reads x,y writes y.
+    /// Under plain SI both commit; SSI must abort one.
+    #[test]
+    fn write_skew_is_blocked() {
+        let ssi = SsiManager::new();
+        ssi.begin(TxnId(1), Ts(10));
+        ssi.begin(TxnId(2), Ts(10));
+        ssi.on_read(TxnId(1), key(1), &[]).unwrap();
+        ssi.on_read(TxnId(1), key(2), &[]).unwrap();
+        ssi.on_read(TxnId(2), key(1), &[]).unwrap();
+        ssi.on_read(TxnId(2), key(2), &[]).unwrap();
+        let r1 = ssi.on_write(TxnId(1), &key(1));
+        let r2 = ssi.on_write(TxnId(2), &key(2));
+        let c1 = r1.and_then(|_| ssi.pre_commit(TxnId(1), &[key(1)]));
+        let c2 = r2.and_then(|_| ssi.pre_commit(TxnId(2), &[key(2)]));
+        assert!(
+            c1.is_err() || c2.is_err(),
+            "SSI must abort at least one of the write-skew pair"
+        );
+    }
+
+    #[test]
+    fn disjoint_transactions_commit() {
+        let ssi = SsiManager::new();
+        ssi.begin(TxnId(1), Ts(10));
+        ssi.begin(TxnId(2), Ts(10));
+        ssi.on_read(TxnId(1), key(1), &[]).unwrap();
+        ssi.on_write(TxnId(1), &key(1)).unwrap();
+        ssi.on_read(TxnId(2), key(2), &[]).unwrap();
+        ssi.on_write(TxnId(2), &key(2)).unwrap();
+        ssi.pre_commit(TxnId(1), &[key(1)]).unwrap();
+        ssi.pre_commit(TxnId(2), &[key(2)]).unwrap();
+        ssi.finish_commit(TxnId(1), Ts(11));
+        ssi.finish_commit(TxnId(2), Ts(12));
+    }
+
+    #[test]
+    fn single_antidependency_is_allowed() {
+        let ssi = SsiManager::new();
+        ssi.begin(TxnId(1), Ts(10));
+        ssi.begin(TxnId(2), Ts(10));
+        ssi.on_read(TxnId(1), key(1), &[]).unwrap();
+        ssi.on_write(TxnId(2), &key(1)).unwrap();
+        ssi.pre_commit(TxnId(2), &[key(1)]).unwrap();
+        ssi.finish_commit(TxnId(2), Ts(11));
+        ssi.pre_commit(TxnId(1), &[]).unwrap();
+        ssi.finish_commit(TxnId(1), Ts(12));
+    }
+
+    #[test]
+    fn read_of_stale_version_marks_edge() {
+        let ssi = SsiManager::new();
+        ssi.begin(TxnId(2), Ts(5));
+        ssi.finish_commit(TxnId(2), Ts(11)); // T2 committed a new version of k1
+        ssi.begin(TxnId(1), Ts(10));
+        // T1 (snapshot 10) reads k1, seeing the pre-T2 version.
+        ssi.on_read(TxnId(1), key(1), &[TxnId(2)]).unwrap();
+        // Now give T1 an in-edge too: T3 reads something T1 writes.
+        ssi.begin(TxnId(3), Ts(10));
+        ssi.on_read(TxnId(3), key(2), &[]).unwrap();
+        let w = ssi.on_write(TxnId(1), &key(2));
+        let c = w.and_then(|_| ssi.pre_commit(TxnId(1), &[key(2)]));
+        assert_eq!(
+            c,
+            Err(TxnError::Serialization(SerializationKind::SsiPivot))
+        );
+    }
+
+    /// The validation→install window: a reader arriving *after* the
+    /// writer's pre-commit marking must still find the edge via the
+    /// announcement, and — because the writer can no longer abort — the
+    /// reader must be the one to die when the structure is dangerous.
+    #[test]
+    fn announcement_closes_the_commit_window() {
+        let ssi = SsiManager::new();
+        // W is a pivot-in-waiting: give it an out-edge first (W read k2,
+        // X wrote k2 — three-party setup).
+        ssi.begin(TxnId(7), Ts(10)); // W
+        ssi.begin(TxnId(8), Ts(10)); // X
+        ssi.on_read(TxnId(7), key(2), &[]).unwrap();
+        ssi.on_write(TxnId(8), &key(2)).unwrap(); // W.out = true
+        ssi.pre_commit(TxnId(8), &[key(2)]).unwrap();
+        ssi.finish_commit(TxnId(8), Ts(11));
+        // W writes k1 and validates; it is now committing (announced).
+        ssi.on_write(TxnId(7), &key(1)).unwrap();
+        ssi.pre_commit(TxnId(7), &[key(1)]).unwrap();
+        // R begins and reads k1 before W installs: must see the
+        // announcement, creating R→W (W.in), making W a committing pivot
+        // — so R must abort, not W.
+        ssi.begin(TxnId(9), Ts(10)); // concurrent with W
+        let r = ssi.on_read(TxnId(9), key(1), &[]);
+        assert_eq!(
+            r,
+            Err(TxnError::Serialization(SerializationKind::SsiPivot)),
+            "the late reader must die; the committing writer is immutable"
+        );
+        // W can still finish.
+        ssi.finish_commit(TxnId(7), Ts(12));
+    }
+
+    #[test]
+    fn non_concurrent_reader_is_ignored() {
+        let ssi = SsiManager::new();
+        ssi.begin(TxnId(1), Ts(1));
+        ssi.on_read(TxnId(1), key(1), &[]).unwrap();
+        ssi.finish_commit(TxnId(1), Ts(2));
+        ssi.begin(TxnId(2), Ts(5));
+        ssi.on_write(TxnId(2), &key(1)).unwrap();
+        ssi.pre_commit(TxnId(2), &[key(1)]).unwrap();
+        let state = ssi.state.lock();
+        assert!(!state.txns[&TxnId(1)].out_conflict);
+        assert!(!state.txns[&TxnId(2)].in_conflict);
+    }
+
+    #[test]
+    fn doomed_transaction_fails_next_op() {
+        let ssi = SsiManager::new();
+        ssi.begin(TxnId(1), Ts(10));
+        ssi.begin(TxnId(2), Ts(10));
+        ssi.begin(TxnId(3), Ts(10));
+        ssi.on_read(TxnId(1), key(1), &[]).unwrap();
+        ssi.on_read(TxnId(2), key(2), &[]).unwrap();
+        ssi.on_write(TxnId(2), &key(1)).unwrap(); // T2.in = true
+        ssi.on_write(TxnId(3), &key(2)).unwrap(); // T2.out = true -> T2 doomed
+        assert!(ssi.check_doomed(TxnId(2)).is_err());
+        assert!(ssi.on_read(TxnId(2), key(9), &[]).is_err());
+    }
+
+    #[test]
+    fn abort_clears_siread_marks_and_announcements() {
+        let ssi = SsiManager::new();
+        ssi.begin(TxnId(1), Ts(10));
+        ssi.on_read(TxnId(1), key(1), &[]).unwrap();
+        ssi.on_write(TxnId(1), &key(3)).unwrap();
+        ssi.pre_commit(TxnId(1), &[key(3)]).unwrap();
+        ssi.on_abort(TxnId(1));
+        assert_eq!(ssi.tracked(), 0);
+        // A later writer sees no reader, a later reader no announcement.
+        ssi.begin(TxnId(2), Ts(10));
+        ssi.on_write(TxnId(2), &key(1)).unwrap();
+        ssi.on_read(TxnId(2), key(3), &[]).unwrap();
+        let state = ssi.state.lock();
+        assert!(!state.txns[&TxnId(2)].in_conflict);
+        assert!(!state.txns[&TxnId(2)].out_conflict);
+    }
+
+    #[test]
+    fn gc_reclaims_old_committed_txns() {
+        let ssi = SsiManager::new();
+        ssi.begin(TxnId(1), Ts(1));
+        ssi.on_read(TxnId(1), key(1), &[]).unwrap();
+        ssi.finish_commit(TxnId(1), Ts(2));
+        ssi.begin(TxnId(2), Ts(5));
+        assert_eq!(ssi.tracked(), 2);
+        assert_eq!(ssi.gc(Ts(5)), 1);
+        assert_eq!(ssi.tracked(), 1);
+        assert_eq!(ssi.gc(Ts(100)), 0, "active transactions are never collected");
+    }
+
+    #[test]
+    fn committing_transactions_survive_gc() {
+        let ssi = SsiManager::new();
+        ssi.begin(TxnId(1), Ts(1));
+        ssi.on_write(TxnId(1), &key(1)).unwrap();
+        ssi.pre_commit(TxnId(1), &[key(1)]).unwrap();
+        assert_eq!(ssi.gc(Ts(100)), 0, "committing txns must survive GC");
+        ssi.finish_commit(TxnId(1), Ts(2));
+        assert_eq!(ssi.gc(Ts(100)), 1);
+    }
+}

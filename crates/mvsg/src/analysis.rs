@@ -1,0 +1,342 @@
+//! Serializability analysis of an MVSG: cycle detection and anomaly
+//! classification.
+
+use crate::graph::{EdgeKind, Mvsg, MvsgEdge};
+use sicost_common::TxnId;
+use std::collections::HashMap;
+
+/// The anomaly class of a witness cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Anomaly {
+    /// A two-transaction cycle made of two anti-dependencies — the classic
+    /// SI write skew (the hazard the paper's strategies eliminate).
+    WriteSkew,
+    /// A cycle whose anti-dependencies are consecutive somewhere (the
+    /// dangerous-structure signature) but longer than two transactions;
+    /// includes the read-only-transaction anomaly family.
+    DangerousStructure,
+    /// Any other cycle (would indicate an engine bug under SI, which
+    /// forbids cycles without two consecutive rw edges).
+    Other,
+}
+
+impl std::fmt::Display for Anomaly {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Anomaly::WriteSkew => write!(f, "write skew"),
+            Anomaly::DangerousStructure => write!(f, "dangerous structure"),
+            Anomaly::Other => write!(f, "serialization cycle"),
+        }
+    }
+}
+
+/// Result of certifying one execution.
+#[derive(Debug, Clone)]
+pub struct SerializabilityReport {
+    /// `true` when the MVSG is acyclic.
+    pub serializable: bool,
+    /// A witness cycle (edges, in order) when not serializable.
+    pub witness: Vec<MvsgEdge>,
+    /// Classification of the witness.
+    pub anomaly: Option<Anomaly>,
+    /// Number of committed transactions examined.
+    pub transactions: usize,
+}
+
+impl Mvsg {
+    /// Certifies the execution: builds SCCs (iterative Tarjan) and, if any
+    /// SCC has a cycle, extracts one witness and classifies it.
+    pub fn certify(&self) -> SerializabilityReport {
+        let sccs = self.tarjan_sccs();
+        // A cycle exists iff some SCC has >1 node, or a self-loop exists
+        // (self-loops can't occur here: edges never point at their source).
+        let cyclic_scc = sccs.iter().find(|scc| scc.len() > 1);
+        match cyclic_scc {
+            None => SerializabilityReport {
+                serializable: true,
+                witness: Vec::new(),
+                anomaly: None,
+                transactions: self.nodes().len(),
+            },
+            Some(scc) => {
+                let witness = self.cycle_within(scc);
+                let anomaly = Some(classify(&witness));
+                SerializabilityReport {
+                    serializable: false,
+                    witness,
+                    anomaly,
+                    transactions: self.nodes().len(),
+                }
+            }
+        }
+    }
+
+    /// Convenience: is the recorded execution serializable?
+    pub fn is_serializable(&self) -> bool {
+        self.certify().serializable
+    }
+
+    /// Iterative Tarjan SCC (histories can hold 10⁵ transactions; no
+    /// recursion).
+    fn tarjan_sccs(&self) -> Vec<Vec<TxnId>> {
+        #[derive(Clone, Copy)]
+        struct NodeState {
+            index: u32,
+            lowlink: u32,
+            on_stack: bool,
+        }
+        let mut state: HashMap<TxnId, NodeState> = HashMap::new();
+        let mut next_index = 0u32;
+        let mut stack: Vec<TxnId> = Vec::new();
+        let mut sccs: Vec<Vec<TxnId>> = Vec::new();
+
+        for &root in self.nodes() {
+            if state.contains_key(&root) {
+                continue;
+            }
+            // Explicit DFS frame: (node, iterator position over out-edges).
+            let mut frames: Vec<(TxnId, usize)> = Vec::new();
+            state.insert(
+                root,
+                NodeState {
+                    index: next_index,
+                    lowlink: next_index,
+                    on_stack: true,
+                },
+            );
+            next_index += 1;
+            stack.push(root);
+            frames.push((root, 0));
+
+            while let Some(&mut (v, ref mut edge_pos)) = frames.last_mut() {
+                let out: Vec<TxnId> = self.out_edges(v).map(|e| e.to).collect();
+                if *edge_pos < out.len() {
+                    let w = out[*edge_pos];
+                    *edge_pos += 1;
+                    match state.get(&w) {
+                        None => {
+                            state.insert(
+                                w,
+                                NodeState {
+                                    index: next_index,
+                                    lowlink: next_index,
+                                    on_stack: true,
+                                },
+                            );
+                            next_index += 1;
+                            stack.push(w);
+                            frames.push((w, 0));
+                        }
+                        Some(ws) if ws.on_stack => {
+                            let w_index = ws.index;
+                            let vs = state.get_mut(&v).expect("visited");
+                            vs.lowlink = vs.lowlink.min(w_index);
+                        }
+                        Some(_) => {}
+                    }
+                } else {
+                    frames.pop();
+                    let v_state = state[&v];
+                    if let Some(&(parent, _)) = frames.last() {
+                        let pl = state[&parent].lowlink.min(v_state.lowlink);
+                        state.get_mut(&parent).expect("visited").lowlink = pl;
+                    }
+                    if v_state.lowlink == v_state.index {
+                        let mut scc = Vec::new();
+                        while let Some(w) = stack.pop() {
+                            state.get_mut(&w).expect("on stack").on_stack = false;
+                            scc.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        sccs.push(scc);
+                    }
+                }
+            }
+        }
+        sccs
+    }
+
+    /// Finds one concrete cycle inside a (cyclic) SCC by DFS restricted to
+    /// the SCC's nodes.
+    fn cycle_within(&self, scc: &[TxnId]) -> Vec<MvsgEdge> {
+        let members: std::collections::HashSet<TxnId> = scc.iter().copied().collect();
+        let start = scc[0];
+        // DFS tracking the edge path; stop when we return to `start`.
+        let mut path: Vec<MvsgEdge> = Vec::new();
+        let mut visited: std::collections::HashSet<TxnId> = std::collections::HashSet::new();
+
+        fn dfs(
+            g: &Mvsg,
+            members: &std::collections::HashSet<TxnId>,
+            visited: &mut std::collections::HashSet<TxnId>,
+            path: &mut Vec<MvsgEdge>,
+            current: TxnId,
+            start: TxnId,
+        ) -> bool {
+            for e in g.out_edges(current) {
+                if !members.contains(&e.to) {
+                    continue;
+                }
+                if e.to == start {
+                    path.push(e.clone());
+                    return true;
+                }
+                if visited.insert(e.to) {
+                    path.push(e.clone());
+                    if dfs(g, members, visited, path, e.to, start) {
+                        return true;
+                    }
+                    path.pop();
+                }
+            }
+            false
+        }
+
+        visited.insert(start);
+        let found = dfs(self, &members, &mut visited, &mut path, start, start);
+        debug_assert!(found, "SCC of size >1 must contain a cycle");
+        path
+    }
+}
+
+/// Classifies a witness cycle.
+fn classify(cycle: &[MvsgEdge]) -> Anomaly {
+    let rw = cycle.iter().filter(|e| e.kind == EdgeKind::Rw).count();
+    if cycle.len() == 2 && rw == 2 {
+        return Anomaly::WriteSkew;
+    }
+    // Two consecutive rw edges anywhere along the (circular) path?
+    let n = cycle.len();
+    let consecutive = (0..n).any(|i| {
+        cycle[i].kind == EdgeKind::Rw && cycle[(i + 1) % n].kind == EdgeKind::Rw
+    });
+    if consecutive {
+        Anomaly::DangerousStructure
+    } else {
+        Anomaly::Other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sicost_common::{TableId, Ts};
+    use sicost_engine::HistoryEvent;
+    use sicost_storage::Value;
+
+    fn read(t: u64, k: i64, observed: Option<u64>) -> HistoryEvent {
+        HistoryEvent::Read {
+            txn: TxnId(t),
+            table: TableId(0),
+            key: Value::int(k),
+            observed: observed.map(Ts),
+        }
+    }
+
+    fn commit(t: u64, cts: u64, writes: &[i64]) -> HistoryEvent {
+        HistoryEvent::Commit {
+            txn: TxnId(t),
+            commit_ts: Ts(cts),
+            writes: writes.iter().map(|k| (TableId(0), Value::int(*k))).collect(),
+        }
+    }
+
+    #[test]
+    fn serial_history_is_serializable() {
+        let events = vec![
+            commit(1, 5, &[1]),
+            read(2, 1, Some(5)),
+            commit(2, 6, &[1]),
+            read(3, 1, Some(6)),
+            commit(3, 7, &[]),
+        ];
+        let g = Mvsg::from_events(&events);
+        let report = g.certify();
+        assert!(report.serializable);
+        assert!(report.witness.is_empty());
+        assert_eq!(report.transactions, 3);
+    }
+
+    #[test]
+    fn write_skew_detected_and_classified() {
+        let events = vec![
+            read(1, 1, None),
+            read(1, 2, None),
+            read(2, 1, None),
+            read(2, 2, None),
+            commit(1, 5, &[1]),
+            commit(2, 6, &[2]),
+        ];
+        let g = Mvsg::from_events(&events);
+        let report = g.certify();
+        assert!(!report.serializable);
+        assert_eq!(report.anomaly, Some(Anomaly::WriteSkew));
+        assert_eq!(report.witness.len(), 2);
+        assert!(report.witness.iter().all(|e| e.kind == EdgeKind::Rw));
+    }
+
+    /// The SmallBank anomaly from Fekete/O'Neil/O'Neil (the paper's §III-C):
+    /// Bal reads both balances on a snapshot where WC and TS ran
+    /// concurrently — a three-transaction cycle with consecutive rw edges.
+    #[test]
+    fn read_only_anomaly_detected() {
+        // WC (T1): reads sav@0, chk@0, writes chk @5.
+        // TS (T2): reads sav@0 (implied by its update), writes sav @6.
+        // Bal (T3): reads sav@6 and chk@0 (snapshot between the commits).
+        let events = vec![
+            read(1, 1, None), // WC reads Saving (initial)
+            read(1, 2, None), // WC reads Checking (initial)
+            commit(1, 7, &[2]),
+            read(2, 1, None),
+            commit(2, 5, &[1]),
+            read(3, 1, Some(5)), // Bal sees TS's saving write…
+            read(3, 2, None),    // …but not WC's checking write
+            commit(3, 6, &[]),
+        ];
+        let g = Mvsg::from_events(&events);
+        let report = g.certify();
+        assert!(!report.serializable, "read-only anomaly must be caught");
+        assert!(matches!(
+            report.anomaly,
+            Some(Anomaly::DangerousStructure) | Some(Anomaly::WriteSkew)
+        ));
+    }
+
+    #[test]
+    fn long_acyclic_chain_scales() {
+        // 10k transactions in a chain: ww edges only; must be serializable
+        // and must not blow the stack (iterative Tarjan).
+        let mut events = Vec::new();
+        for i in 0..10_000u64 {
+            events.push(commit(i, i + 1, &[1]));
+        }
+        let g = Mvsg::from_events(&events);
+        assert!(g.is_serializable());
+    }
+
+    #[test]
+    fn lost_update_shape_is_a_cycle() {
+        // Both read x@0 then both write x: rw + ww edges form a cycle.
+        // (SI engines prevent this; the certifier must still catch it if
+        // an engine bug ever let it through.)
+        let events = vec![
+            read(1, 1, None),
+            read(2, 1, None),
+            commit(1, 5, &[1]),
+            commit(2, 6, &[1]),
+        ];
+        let g = Mvsg::from_events(&events);
+        let report = g.certify();
+        assert!(!report.serializable);
+    }
+
+    #[test]
+    fn empty_history_is_serializable() {
+        let g = Mvsg::from_events(&[]);
+        let report = g.certify();
+        assert!(report.serializable);
+        assert_eq!(report.transactions, 0);
+    }
+}

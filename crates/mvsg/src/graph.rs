@@ -1,0 +1,356 @@
+//! Building the multi-version serialization graph from an event stream.
+
+use sicost_common::{TableId, Ts, TxnId};
+use sicost_engine::HistoryEvent;
+use sicost_storage::Value;
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// A record identity: table + primary key.
+pub type Item = (TableId, Value);
+
+/// Kind of a serialization-graph edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeKind {
+    /// Version order (write-write).
+    Ww,
+    /// Reads-from (write-read).
+    Wr,
+    /// Anti-dependency (read-write): the tail read a version the head
+    /// overwrote. Dashed in the paper's figures; the *vulnerable* kind.
+    Rw,
+}
+
+impl std::fmt::Display for EdgeKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EdgeKind::Ww => write!(f, "ww"),
+            EdgeKind::Wr => write!(f, "wr"),
+            EdgeKind::Rw => write!(f, "rw"),
+        }
+    }
+}
+
+/// One MVSG edge, with the item that induced it (for diagnostics).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MvsgEdge {
+    /// Serialised-before transaction.
+    pub from: TxnId,
+    /// Serialised-after transaction.
+    pub to: TxnId,
+    /// Dependency kind.
+    pub kind: EdgeKind,
+    /// The record that induced the edge.
+    pub item: Item,
+}
+
+/// The multi-version serialization graph of one recorded execution.
+///
+/// Only **committed** transactions appear; aborted transactions cannot
+/// affect serializability.
+#[derive(Debug, Default)]
+pub struct Mvsg {
+    nodes: Vec<TxnId>,
+    edges: Vec<MvsgEdge>,
+    adjacency: HashMap<TxnId, Vec<usize>>,
+}
+
+impl Mvsg {
+    /// Builds the graph from a recorded event stream.
+    pub fn from_events(events: &[HistoryEvent]) -> Self {
+        // Pass 1: committed transactions, their writes, and reads.
+        let mut committed: HashSet<TxnId> = HashSet::new();
+        let mut commit_ts: HashMap<TxnId, Ts> = HashMap::new();
+        // Per item: version timestamp → writer (BTreeMap gives version order).
+        let mut versions: HashMap<Item, BTreeMap<Ts, TxnId>> = HashMap::new();
+        for ev in events {
+            if let HistoryEvent::Commit {
+                txn,
+                commit_ts: cts,
+                writes,
+            } = ev
+            {
+                committed.insert(*txn);
+                commit_ts.insert(*txn, *cts);
+                for (table, key) in writes {
+                    versions
+                        .entry((*table, key.clone()))
+                        .or_default()
+                        .insert(*cts, *txn);
+                }
+            }
+        }
+        // Pass 2: reads of committed transactions.
+        // (A transaction's reads precede its commit in the stream, but we
+        // filter by the committed set built in pass 1.)
+        let mut reads: HashMap<TxnId, Vec<(Item, Option<Ts>)>> = HashMap::new();
+        for ev in events {
+            if let HistoryEvent::Read {
+                txn,
+                table,
+                key,
+                observed,
+            } = ev
+            {
+                if committed.contains(txn) {
+                    reads
+                        .entry(*txn)
+                        .or_default()
+                        .push(((*table, key.clone()), *observed));
+                }
+            }
+        }
+
+        let mut edges: HashSet<MvsgEdge> = HashSet::new();
+        // ww edges: consecutive versions.
+        for (item, vs) in &versions {
+            let writers: Vec<&TxnId> = vs.values().collect();
+            for pair in writers.windows(2) {
+                if pair[0] != pair[1] {
+                    edges.insert(MvsgEdge {
+                        from: *pair[0],
+                        to: *pair[1],
+                        kind: EdgeKind::Ww,
+                        item: item.clone(),
+                    });
+                }
+            }
+        }
+        // wr and rw edges from reads.
+        for (reader, rs) in &reads {
+            for (item, observed) in rs {
+                let Some(vs) = versions.get(item) else {
+                    continue; // item never written by a committed txn
+                };
+                if let Some(ts) = observed {
+                    // reads-from: the writer of the observed version.
+                    if let Some(writer) = vs.get(ts) {
+                        if writer != reader {
+                            edges.insert(MvsgEdge {
+                                from: *writer,
+                                to: *reader,
+                                kind: EdgeKind::Wr,
+                                item: item.clone(),
+                            });
+                        }
+                    }
+                }
+                // anti-dependency: the writer of the *next* version after
+                // the one observed (Ts::ZERO when the read saw no version).
+                let after = observed.unwrap_or(Ts::ZERO);
+                if let Some((_, next_writer)) = vs.range(after.next()..).next() {
+                    if next_writer != reader {
+                        edges.insert(MvsgEdge {
+                            from: *reader,
+                            to: *next_writer,
+                            kind: EdgeKind::Rw,
+                            item: item.clone(),
+                        });
+                    }
+                }
+            }
+        }
+
+        let mut nodes: Vec<TxnId> = committed.into_iter().collect();
+        nodes.sort();
+        let edges: Vec<MvsgEdge> = edges.into_iter().collect();
+        let mut adjacency: HashMap<TxnId, Vec<usize>> = HashMap::new();
+        for (i, e) in edges.iter().enumerate() {
+            adjacency.entry(e.from).or_default().push(i);
+        }
+        Self {
+            nodes,
+            edges,
+            adjacency,
+        }
+    }
+
+    /// Committed transactions, ascending.
+    pub fn nodes(&self) -> &[TxnId] {
+        &self.nodes
+    }
+
+    /// All edges (deduplicated).
+    pub fn edges(&self) -> &[MvsgEdge] {
+        &self.edges
+    }
+
+    /// Outgoing edges of `txn`.
+    pub fn out_edges(&self, txn: TxnId) -> impl Iterator<Item = &MvsgEdge> {
+        self.adjacency
+            .get(&txn)
+            .into_iter()
+            .flatten()
+            .map(|&i| &self.edges[i])
+    }
+
+    /// Edges of a given kind.
+    pub fn edges_of_kind(&self, kind: EdgeKind) -> impl Iterator<Item = &MvsgEdge> {
+        self.edges.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// GraphViz DOT rendering (rw edges dashed, as in the paper's figures).
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("digraph mvsg {\n  rankdir=LR;\n");
+        for n in &self.nodes {
+            out.push_str(&format!("  \"{n}\";\n"));
+        }
+        for e in &self.edges {
+            let style = match e.kind {
+                EdgeKind::Rw => ", style=dashed",
+                _ => "",
+            };
+            out.push_str(&format!(
+                "  \"{}\" -> \"{}\" [label=\"{}\"{}];\n",
+                e.from, e.to, e.kind, style
+            ));
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+
+    fn begin(t: u64) -> HistoryEvent {
+        HistoryEvent::Begin {
+            txn: TxnId(t),
+            snapshot: Ts(0),
+        }
+    }
+
+    fn read(t: u64, k: i64, observed: Option<u64>) -> HistoryEvent {
+        HistoryEvent::Read {
+            txn: TxnId(t),
+            table: TableId(0),
+            key: Value::int(k),
+            observed: observed.map(Ts),
+        }
+    }
+
+    fn commit(t: u64, cts: u64, writes: &[i64]) -> HistoryEvent {
+        HistoryEvent::Commit {
+            txn: TxnId(t),
+            commit_ts: Ts(cts),
+            writes: writes.iter().map(|k| (TableId(0), Value::int(*k))).collect(),
+        }
+    }
+
+    #[test]
+    fn reads_from_edge() {
+        let events = vec![
+            begin(1),
+            commit(1, 5, &[1]),
+            begin(2),
+            read(2, 1, Some(5)),
+            commit(2, 6, &[]),
+        ];
+        let g = Mvsg::from_events(&events);
+        assert_eq!(g.nodes(), &[TxnId(1), TxnId(2)]);
+        let wr: Vec<_> = g.edges_of_kind(EdgeKind::Wr).collect();
+        assert_eq!(wr.len(), 1);
+        assert_eq!((wr[0].from, wr[0].to), (TxnId(1), TxnId(2)));
+        assert!(g.edges_of_kind(EdgeKind::Rw).next().is_none());
+    }
+
+    #[test]
+    fn version_order_edges_follow_commit_order() {
+        let events = vec![
+            commit(1, 5, &[1]),
+            commit(2, 7, &[1]),
+            commit(3, 9, &[1]),
+        ];
+        let g = Mvsg::from_events(&events);
+        let ww: Vec<_> = g.edges_of_kind(EdgeKind::Ww).collect();
+        assert_eq!(ww.len(), 2);
+        assert!(ww
+            .iter()
+            .any(|e| e.from == TxnId(1) && e.to == TxnId(2)));
+        assert!(ww
+            .iter()
+            .any(|e| e.from == TxnId(2) && e.to == TxnId(3)));
+    }
+
+    #[test]
+    fn antidependency_points_at_next_version_writer() {
+        // T2 reads x@5 while T3 later writes x@9: rw edge T2 -> T3.
+        let events = vec![
+            commit(1, 5, &[1]),
+            read(2, 1, Some(5)),
+            commit(2, 10, &[2]),
+            commit(3, 9, &[1]),
+        ];
+        let g = Mvsg::from_events(&events);
+        let rw: Vec<_> = g.edges_of_kind(EdgeKind::Rw).collect();
+        assert_eq!(rw.len(), 1);
+        assert_eq!((rw[0].from, rw[0].to), (TxnId(2), TxnId(3)));
+    }
+
+    #[test]
+    fn read_of_initial_version_antidepends_on_first_writer() {
+        // T1 reads x before anyone wrote it (observed=None); T2 writes x.
+        let events = vec![read(1, 1, None), commit(1, 8, &[]), commit(2, 9, &[1])];
+        let g = Mvsg::from_events(&events);
+        let rw: Vec<_> = g.edges_of_kind(EdgeKind::Rw).collect();
+        assert_eq!(rw.len(), 1);
+        assert_eq!((rw[0].from, rw[0].to), (TxnId(1), TxnId(2)));
+    }
+
+    #[test]
+    fn aborted_transactions_are_invisible() {
+        let events = vec![
+            begin(1),
+            read(1, 1, None),
+            HistoryEvent::Abort {
+                txn: TxnId(1),
+                reason: sicost_engine::AbortReason::Deadlock,
+            },
+            commit(2, 5, &[1]),
+        ];
+        let g = Mvsg::from_events(&events);
+        assert_eq!(g.nodes(), &[TxnId(2)]);
+        assert!(g.edges().is_empty());
+    }
+
+    #[test]
+    fn self_reads_and_self_overwrites_create_no_edges() {
+        let events = vec![
+            commit(1, 5, &[1]),
+            read(1, 1, Some(5)), // ignored: reads recorded before commit anyway
+        ];
+        let g = Mvsg::from_events(&events);
+        assert!(g.edges().is_empty());
+    }
+
+    #[test]
+    fn write_skew_shape() {
+        // T1 reads x,y writes x; T2 reads x,y writes y; same snapshot.
+        let events = vec![
+            read(1, 1, None),
+            read(1, 2, None),
+            read(2, 1, None),
+            read(2, 2, None),
+            commit(1, 5, &[1]),
+            commit(2, 6, &[2]),
+        ];
+        let g = Mvsg::from_events(&events);
+        let rw: HashSet<(TxnId, TxnId)> = g
+            .edges_of_kind(EdgeKind::Rw)
+            .map(|e| (e.from, e.to))
+            .collect();
+        assert!(rw.contains(&(TxnId(1), TxnId(2))));
+        assert!(rw.contains(&(TxnId(2), TxnId(1))));
+    }
+
+    #[test]
+    fn dot_output_mentions_all_edges() {
+        let events = vec![commit(1, 5, &[1]), read(2, 1, Some(5)), commit(2, 6, &[])];
+        let g = Mvsg::from_events(&events);
+        let dot = g.to_dot();
+        assert!(dot.contains("digraph"));
+        assert!(dot.contains("T1"));
+        assert!(dot.contains("wr"));
+    }
+}

@@ -1,0 +1,90 @@
+//! History capture.
+
+use parking_lot::Mutex;
+use sicost_engine::{HistoryEvent, HistoryObserver};
+use std::sync::Arc;
+
+/// A thread-safe event collector. Register with
+/// `Database::builder().observer(history.clone())` and hand the recorded
+/// events to [`crate::Mvsg::from_events`] afterwards.
+#[derive(Debug, Default)]
+pub struct History {
+    events: Mutex<Vec<HistoryEvent>>,
+}
+
+impl History {
+    /// Creates an empty, shareable history.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Snapshot of all recorded events, in arrival order.
+    pub fn events(&self) -> Vec<HistoryEvent> {
+        self.events.lock().clone()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+
+    /// Forgets everything recorded so far (e.g. to discard a ramp-up
+    /// phase before a measured run).
+    pub fn clear(&self) {
+        self.events.lock().clear();
+    }
+}
+
+impl HistoryObserver for History {
+    fn on_event(&self, event: HistoryEvent) {
+        self.events.lock().push(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sicost_common::{Ts, TxnId};
+
+    #[test]
+    fn records_in_order_and_clears() {
+        let h = History::new();
+        h.on_event(HistoryEvent::Begin {
+            txn: TxnId(1),
+            snapshot: Ts(0),
+        });
+        h.on_event(HistoryEvent::Commit {
+            txn: TxnId(1),
+            commit_ts: Ts(1),
+            writes: vec![],
+        });
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.events()[0].txn(), TxnId(1));
+        h.clear();
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn concurrent_recording_is_safe() {
+        let h = History::new();
+        std::thread::scope(|s| {
+            for i in 0..4u64 {
+                let h = Arc::clone(&h);
+                s.spawn(move || {
+                    for j in 0..250 {
+                        h.on_event(HistoryEvent::Begin {
+                            txn: TxnId(i * 1000 + j),
+                            snapshot: Ts(0),
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(h.len(), 1000);
+    }
+}

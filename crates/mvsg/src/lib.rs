@@ -1,0 +1,37 @@
+//! Multi-Version Serialization Graph analysis.
+//!
+//! The theory behind the paper (Adya's generalized isolation definitions,
+//! Fekete et al.'s SI serializability theorem) characterises serializability
+//! of a multi-version execution by acyclicity of its **MVSG**: nodes are
+//! committed transactions, and edges are
+//!
+//! * **ww** — version order: the writer of version *xᵢ* precedes the writer
+//!   of *xᵢ₊₁*;
+//! * **wr** — reads-from: the writer of *xᵢ* precedes every reader of *xᵢ*;
+//! * **rw** — anti-dependency: a reader of *xᵢ* precedes the writer of
+//!   *xᵢ₊₁* (it must be serialised before the version it did not see).
+//!
+//! This crate captures executions from the engine via
+//! [`sicost_engine::HistoryObserver`] ([`History`]), builds the MVSG
+//! ([`Mvsg`]), decides serializability, extracts witness cycles, and
+//! classifies the anomaly (write skew — the SI hazard the whole paper is
+//! about — versus longer cycles).
+//!
+//! Tests throughout the workspace use this as the *certifier*: plain SI must
+//! produce non-serializable SmallBank executions; every strategy from the
+//! paper (and SSI, and S2PL) must produce only serializable ones.
+//!
+//! Scope note: reads are tracked at record granularity, so pure predicate
+//! phantoms (a scan whose *emptiness* a later insert would change) are not
+//! captured. None of the workloads in this repository depend on them.
+
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod graph;
+pub mod history;
+
+pub use analysis::{Anomaly, SerializabilityReport};
+pub use graph::{EdgeKind, Mvsg, MvsgEdge};
+pub use history::History;

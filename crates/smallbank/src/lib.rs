@@ -1,0 +1,37 @@
+//! The **SmallBank** benchmark (§III of the paper).
+//!
+//! A small banking application contrived to offer a diverse choice of
+//! serializability-ensuring modifications: three tables
+//! (`Account(Name, CustomerId)`, `Saving(CustomerId, Balance)`,
+//! `Checking(CustomerId, Balance)`), five transaction programs
+//! (Balance, DepositChecking, TransactSaving, Amalgamate, WriteCheck),
+//! and — under plain SI — exactly one dangerous structure:
+//! `Bal ──v──▶ WC ──v──▶ TS`.
+//!
+//! [`Strategy`] enumerates the nine program variants measured in the
+//! paper (plain SI, the WT/BW single-edge fixes by materialization and
+//! both promotions, and the MaterializeALL/PromoteALL sledgehammers);
+//! [`SmallBank`] executes the procedures against a
+//! [`sicost_engine::Database`] with the chosen strategy's extra
+//! statements; [`sdg_spec`] declares the same programs for
+//! [`sicost_core`]'s static analysis so the tests can *prove* each
+//! strategy safe (or prove Base SI unsafe) and regenerate Figures 1–3
+//! and Table I; [`anomaly`] scripts the concrete non-serializable
+//! interleaving for the MVSG certifier.
+
+
+#![warn(missing_docs)]
+
+pub mod anomaly;
+pub mod driver_adapter;
+pub mod procs;
+pub mod schema;
+pub mod sdg_spec;
+pub mod strategy;
+pub mod workload;
+
+pub use driver_adapter::SmallBankDriver;
+pub use procs::{SbError, SmallBank};
+pub use schema::SmallBankConfig;
+pub use strategy::Strategy;
+pub use workload::{MixWeights, SmallBankWorkload, TxnKind, WorkloadParams};

@@ -1,0 +1,247 @@
+//! Schema, database construction, and population (§III-A, §IV).
+
+
+use sicost_common::{HotspotSampler, Money, TableId, Xoshiro256};
+use sicost_engine::{Database, EngineConfig, HistoryObserver};
+use sicost_storage::{ColumnDef, ColumnType, Row, TableSchema, Value};
+use std::sync::Arc;
+
+/// Population parameters (§IV: 18 000 customers, hotspot of 1 000 or 10).
+#[derive(Debug, Clone, Copy)]
+pub struct SmallBankConfig {
+    /// Number of customers (Account/Saving/Checking rows each).
+    pub customers: u64,
+    /// Initial savings balance range, inclusive, in cents.
+    pub savings_range: (i64, i64),
+    /// Initial checking balance range, inclusive, in cents.
+    pub checking_range: (i64, i64),
+    /// Seed for the population RNG.
+    pub seed: u64,
+}
+
+impl SmallBankConfig {
+    /// The paper's population: 18 000 randomly generated customers.
+    pub fn paper() -> Self {
+        Self {
+            customers: 18_000,
+            ..Self::small(18_000)
+        }
+    }
+
+    /// A smaller population for tests.
+    pub fn small(customers: u64) -> Self {
+        Self {
+            customers,
+            savings_range: (10_000, 100_000),  // $100 – $1000
+            checking_range: (5_000, 50_000),   // $50 – $500
+            seed: 0x5B_5B_5B,
+        }
+    }
+}
+
+/// The canonical customer name for index `i` (also the Account PK).
+pub fn customer_name(i: u64) -> String {
+    format!("c{i:07}")
+}
+
+/// Table handles resolved once at setup.
+#[derive(Debug, Clone, Copy)]
+pub struct Tables {
+    /// `Account(Name PK, CustomerId UNIQUE)`.
+    pub account: TableId,
+    /// `Saving(CustomerId PK, Balance)`.
+    pub saving: TableId,
+    /// `Checking(CustomerId PK, Balance)`.
+    pub checking: TableId,
+    /// `Conflict(Id PK, Value)` — present in every build (harmless when
+    /// unused) so all strategies run against the same physical schema.
+    pub conflict: TableId,
+}
+
+/// Builds the SmallBank database: schema, engine config, optional history
+/// observer, and full population (including one `Conflict` row per
+/// customer, as §III-D requires for the materialization strategies).
+pub fn build_database(
+    config: &SmallBankConfig,
+    engine: EngineConfig,
+    observer: Option<Arc<dyn HistoryObserver>>,
+) -> (Database, Tables) {
+    let mut builder = Database::builder()
+        .table(
+            TableSchema::new(
+                "Account",
+                vec![
+                    ColumnDef::new("Name", ColumnType::Str),
+                    ColumnDef::new("CustomerId", ColumnType::Int),
+                ],
+                0,
+                vec![1],
+            )
+            .expect("static schema"),
+        )
+        .expect("create Account")
+        .table(
+            TableSchema::new(
+                "Saving",
+                vec![
+                    ColumnDef::new("CustomerId", ColumnType::Int),
+                    ColumnDef::new("Balance", ColumnType::Int),
+                ],
+                0,
+                vec![],
+            )
+            .expect("static schema"),
+        )
+        .expect("create Saving")
+        .table(
+            TableSchema::new(
+                "Checking",
+                vec![
+                    ColumnDef::new("CustomerId", ColumnType::Int),
+                    ColumnDef::new("Balance", ColumnType::Int),
+                ],
+                0,
+                vec![],
+            )
+            .expect("static schema"),
+        )
+        .expect("create Checking")
+        .table(
+            TableSchema::new(
+                "Conflict",
+                vec![
+                    ColumnDef::new("Id", ColumnType::Int),
+                    ColumnDef::new("Value", ColumnType::Int),
+                ],
+                0,
+                vec![],
+            )
+            .expect("static schema"),
+        )
+        .expect("create Conflict")
+        .config(engine);
+    if let Some(obs) = observer {
+        builder = builder.observer(obs);
+    }
+    let db = builder.build();
+    let tables = Tables {
+        account: db.table_id("Account").expect("Account exists"),
+        saving: db.table_id("Saving").expect("Saving exists"),
+        checking: db.table_id("Checking").expect("Checking exists"),
+        conflict: db.table_id("Conflict").expect("Conflict exists"),
+    };
+
+    let mut rng = Xoshiro256::seed_from_u64(config.seed);
+    let n = config.customers;
+    db.bulk_load(
+        tables.account,
+        (0..n).map(|i| Row::new(vec![Value::str(customer_name(i)), Value::int(i as i64)])),
+    )
+    .expect("load Account");
+    let (slo, shi) = config.savings_range;
+    let savings: Vec<Row> = (0..n)
+        .map(|i| Row::new(vec![Value::int(i as i64), Value::int(rng.range_inclusive(slo, shi))]))
+        .collect();
+    db.bulk_load(tables.saving, savings).expect("load Saving");
+    let (clo, chi) = config.checking_range;
+    let checkings: Vec<Row> = (0..n)
+        .map(|i| Row::new(vec![Value::int(i as i64), Value::int(rng.range_inclusive(clo, chi))]))
+        .collect();
+    db.bulk_load(tables.checking, checkings).expect("load Checking");
+    db.bulk_load(
+        tables.conflict,
+        (0..n).map(|i| Row::new(vec![Value::int(i as i64), Value::int(0)])),
+    )
+    .expect("load Conflict");
+    (db, tables)
+}
+
+/// The paper's access pattern (§IV): 90 % of transactions pick a customer
+/// uniformly from the hotspot, 10 % uniformly from the rest.
+pub fn paper_sampler(customers: u64, hotspot: u64) -> HotspotSampler {
+    HotspotSampler::paper_default(customers, hotspot)
+}
+
+/// Scans Saving+Checking, returning total money in the bank (the
+/// conservation oracle used by tests and the audit harness).
+pub fn total_balance(db: &Database, tables: &Tables) -> Money {
+    let ts = db.clock();
+    let mut total = 0i64;
+    for t in [tables.saving, tables.checking] {
+        db.catalog()
+            .table(t)
+            .scan_at(ts, &sicost_storage::Predicate::True, |_, row, _| {
+                total += row.int(1);
+            });
+    }
+    Money::cents(total)
+}
+
+/// Strategy-aware sanity check used by tests: the Conflict table is
+/// required by materialization strategies and must have one row per
+/// customer.
+pub fn conflict_rows(db: &Database, tables: &Tables) -> usize {
+    db.catalog().table(tables.conflict).count_at(db.clock())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Strategy;
+
+    #[test]
+    fn population_counts_and_shapes() {
+        let cfg = SmallBankConfig::small(100);
+        let (db, t) = build_database(&cfg, EngineConfig::functional(), None);
+        let ts = db.clock();
+        assert_eq!(db.catalog().table(t.account).count_at(ts), 100);
+        assert_eq!(db.catalog().table(t.saving).count_at(ts), 100);
+        assert_eq!(db.catalog().table(t.checking).count_at(ts), 100);
+        assert_eq!(conflict_rows(&db, &t), 100);
+    }
+
+    #[test]
+    fn balances_within_configured_ranges() {
+        let cfg = SmallBankConfig::small(50);
+        let (db, t) = build_database(&cfg, EngineConfig::functional(), None);
+        let ts = db.clock();
+        db.catalog()
+            .table(t.saving)
+            .scan_at(ts, &sicost_storage::Predicate::True, |_, row, _| {
+                let b = row.int(1);
+                assert!((10_000..=100_000).contains(&b), "savings {b}");
+            });
+        db.catalog()
+            .table(t.checking)
+            .scan_at(ts, &sicost_storage::Predicate::True, |_, row, _| {
+                let b = row.int(1);
+                assert!((5_000..=50_000).contains(&b), "checking {b}");
+            });
+    }
+
+    #[test]
+    fn population_is_deterministic_per_seed() {
+        let cfg = SmallBankConfig::small(20);
+        let (db1, t1) = build_database(&cfg, EngineConfig::functional(), None);
+        let (db2, t2) = build_database(&cfg, EngineConfig::functional(), None);
+        assert_eq!(total_balance(&db1, &t1), total_balance(&db2, &t2));
+        let mut cfg2 = cfg;
+        cfg2.seed ^= 1;
+        let (db3, t3) = build_database(&cfg2, EngineConfig::functional(), None);
+        assert_ne!(total_balance(&db1, &t1), total_balance(&db3, &t3));
+    }
+
+    #[test]
+    fn customer_names_are_unique_and_ordered() {
+        assert_eq!(customer_name(0), "c0000000");
+        assert_eq!(customer_name(17_999), "c0017999");
+        assert_ne!(customer_name(1), customer_name(10));
+    }
+
+    #[test]
+    fn strategy_presets_exist_for_all() {
+        for s in Strategy::all() {
+            let _ = s.mods();
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! The nine program variants measured in the paper.
+
+use std::fmt;
+
+/// Which serializability-ensuring modification the procedures run with.
+///
+/// Option WT fixes the `WriteCheck → TransactSaving` edge; Option BW fixes
+/// `Balance → WriteCheck`; the ALL variants remove every vulnerable edge
+/// without SDG analysis (§III-D).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Unmodified programs on plain SI — fast, but admits the anomaly.
+    BaseSI,
+    /// Materialize the WT conflict: WC and TS update `Conflict[cid]`.
+    MaterializeWT,
+    /// Promote WC's Saving read with an identity update.
+    PromoteWTUpd,
+    /// Promote WC's Saving read to `SELECT … FOR UPDATE` (effective only
+    /// where sfu is treated as a write — the commercial platform).
+    PromoteWTSfu,
+    /// Materialize the BW conflict: Bal and WC update `Conflict[cid]`.
+    MaterializeBW,
+    /// Promote Bal's Checking read with an identity update.
+    PromoteBWUpd,
+    /// Promote Bal's Checking read to `SELECT … FOR UPDATE`.
+    PromoteBWSfu,
+    /// Materialize every vulnerable edge: every program updates
+    /// `Conflict` (Amalgamate updates two rows).
+    MaterializeALL,
+    /// Promote every vulnerable edge: identity updates on Saving+Checking
+    /// in Bal and on Saving in WC.
+    PromoteALL,
+}
+
+/// Per-procedure modification flags derived from a [`Strategy`]
+/// (the executable form of the paper's Table I).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Mods {
+    /// Bal updates `Conflict[cid]`.
+    pub bal_conflict: bool,
+    /// Bal identity-updates `Checking[cid]`.
+    pub bal_ident_checking: bool,
+    /// Bal identity-updates `Saving[cid]`.
+    pub bal_ident_saving: bool,
+    /// Bal reads `Checking` with `FOR UPDATE`.
+    pub bal_sfu_checking: bool,
+    /// WC updates `Conflict[cid]`.
+    pub wc_conflict: bool,
+    /// WC identity-updates `Saving[cid]`.
+    pub wc_ident_saving: bool,
+    /// WC reads `Saving` with `FOR UPDATE`.
+    pub wc_sfu_saving: bool,
+    /// TS updates `Conflict[cid]`.
+    pub ts_conflict: bool,
+    /// DC updates `Conflict[cid]`.
+    pub dc_conflict: bool,
+    /// Amg updates `Conflict[cid1]` and `Conflict[cid2]`.
+    pub amg_conflict: bool,
+}
+
+impl Strategy {
+    /// All nine variants, in the paper's presentation order.
+    pub fn all() -> [Strategy; 9] {
+        [
+            Strategy::BaseSI,
+            Strategy::MaterializeWT,
+            Strategy::PromoteWTUpd,
+            Strategy::PromoteWTSfu,
+            Strategy::MaterializeBW,
+            Strategy::PromoteBWUpd,
+            Strategy::PromoteBWSfu,
+            Strategy::MaterializeALL,
+            Strategy::PromoteALL,
+        ]
+    }
+
+    /// The paper's name for the variant.
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::BaseSI => "SI",
+            Strategy::MaterializeWT => "MaterializeWT",
+            Strategy::PromoteWTUpd => "PromoteWT-upd",
+            Strategy::PromoteWTSfu => "PromoteWT-sfu",
+            Strategy::MaterializeBW => "MaterializeBW",
+            Strategy::PromoteBWUpd => "PromoteBW-upd",
+            Strategy::PromoteBWSfu => "PromoteBW-sfu",
+            Strategy::MaterializeALL => "MaterializeALL",
+            Strategy::PromoteALL => "PromoteALL",
+        }
+    }
+
+    /// Whether the strategy requires the dedicated `Conflict` table.
+    pub fn needs_conflict_table(self) -> bool {
+        self.mods().bal_conflict
+            || self.mods().wc_conflict
+            || self.mods().ts_conflict
+            || self.mods().dc_conflict
+            || self.mods().amg_conflict
+    }
+
+    /// Whether the strategy relies on `FOR UPDATE` being treated as a
+    /// write (only guaranteed on the commercial platform, §II-C).
+    pub fn uses_sfu(self) -> bool {
+        matches!(self, Strategy::PromoteWTSfu | Strategy::PromoteBWSfu)
+    }
+
+    /// Whether this strategy guarantees serializable executions on a
+    /// platform with the given sfu-as-write property. Base SI never does;
+    /// sfu promotions only when `sfu_is_write`.
+    pub fn guarantees_serializable(self, sfu_is_write: bool) -> bool {
+        match self {
+            Strategy::BaseSI => false,
+            s if s.uses_sfu() => sfu_is_write,
+            _ => true,
+        }
+    }
+
+    /// The executable modification flags (Table I).
+    pub fn mods(self) -> Mods {
+        let mut m = Mods::default();
+        match self {
+            Strategy::BaseSI => {}
+            Strategy::MaterializeWT => {
+                m.wc_conflict = true;
+                m.ts_conflict = true;
+            }
+            Strategy::PromoteWTUpd => m.wc_ident_saving = true,
+            Strategy::PromoteWTSfu => m.wc_sfu_saving = true,
+            Strategy::MaterializeBW => {
+                m.bal_conflict = true;
+                m.wc_conflict = true;
+            }
+            Strategy::PromoteBWUpd => m.bal_ident_checking = true,
+            Strategy::PromoteBWSfu => m.bal_sfu_checking = true,
+            Strategy::MaterializeALL => {
+                m.bal_conflict = true;
+                m.wc_conflict = true;
+                m.ts_conflict = true;
+                m.dc_conflict = true;
+                m.amg_conflict = true;
+            }
+            Strategy::PromoteALL => {
+                m.wc_ident_saving = true;
+                m.bal_ident_checking = true;
+                m.bal_ident_saving = true;
+            }
+        }
+        m
+    }
+
+    /// Does the strategy leave the Balance program read-only? (§IV-D:
+    /// "except for Option WT, all options introduce updates into the
+    /// originally read-only Balance transaction" — the root of the BW
+    /// variants' MPL-1 penalty.)
+    pub fn balance_stays_read_only(self) -> bool {
+        let m = self.mods();
+        !(m.bal_conflict || m.bal_ident_checking || m.bal_ident_saving)
+        // bal_sfu_checking keeps Bal read-only on PostgreSQL but makes it
+        // an updater on the commercial platform; the caller combines this
+        // with the platform's SfuSemantics.
+    }
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_i_flags_match_the_paper() {
+        // MaterializeWT: Conf in WC and TS only.
+        let m = Strategy::MaterializeWT.mods();
+        assert!(m.wc_conflict && m.ts_conflict);
+        assert!(!m.bal_conflict && !m.dc_conflict && !m.amg_conflict);
+        assert!(!m.wc_ident_saving && !m.bal_ident_checking);
+
+        // PromoteWT: Sav identity in WC only.
+        let m = Strategy::PromoteWTUpd.mods();
+        assert!(m.wc_ident_saving);
+        assert_eq!(
+            m,
+            Mods {
+                wc_ident_saving: true,
+                ..Mods::default()
+            }
+        );
+
+        // MaterializeBW: Conf in Bal and WC.
+        let m = Strategy::MaterializeBW.mods();
+        assert!(m.bal_conflict && m.wc_conflict && !m.ts_conflict);
+
+        // PromoteBW: Check identity in Bal only.
+        let m = Strategy::PromoteBWUpd.mods();
+        assert_eq!(
+            m,
+            Mods {
+                bal_ident_checking: true,
+                ..Mods::default()
+            }
+        );
+
+        // MaterializeALL: Conf everywhere.
+        let m = Strategy::MaterializeALL.mods();
+        assert!(m.bal_conflict && m.wc_conflict && m.ts_conflict && m.dc_conflict && m.amg_conflict);
+
+        // PromoteALL: Sav+Check in Bal, Sav in WC.
+        let m = Strategy::PromoteALL.mods();
+        assert!(m.bal_ident_checking && m.bal_ident_saving && m.wc_ident_saving);
+        assert!(!m.bal_conflict && !m.ts_conflict);
+    }
+
+    #[test]
+    fn read_only_balance_classification() {
+        for s in Strategy::all() {
+            let expect = matches!(
+                s,
+                Strategy::BaseSI
+                    | Strategy::MaterializeWT
+                    | Strategy::PromoteWTUpd
+                    | Strategy::PromoteWTSfu
+                    | Strategy::PromoteBWSfu
+            );
+            assert_eq!(s.balance_stays_read_only(), expect, "{s}");
+        }
+    }
+
+    #[test]
+    fn serializability_guarantees() {
+        assert!(!Strategy::BaseSI.guarantees_serializable(true));
+        assert!(Strategy::MaterializeWT.guarantees_serializable(false));
+        assert!(Strategy::PromoteWTSfu.guarantees_serializable(true));
+        assert!(
+            !Strategy::PromoteWTSfu.guarantees_serializable(false),
+            "lock-only sfu leaves the vulnerability (PostgreSQL)"
+        );
+        assert!(Strategy::PromoteALL.guarantees_serializable(false));
+    }
+
+    #[test]
+    fn conflict_table_requirement() {
+        assert!(Strategy::MaterializeWT.needs_conflict_table());
+        assert!(Strategy::MaterializeALL.needs_conflict_table());
+        assert!(!Strategy::PromoteALL.needs_conflict_table());
+        assert!(!Strategy::BaseSI.needs_conflict_table());
+    }
+
+    #[test]
+    fn names_are_the_papers() {
+        assert_eq!(Strategy::BaseSI.name(), "SI");
+        assert_eq!(Strategy::PromoteWTUpd.to_string(), "PromoteWT-upd");
+        assert_eq!(Strategy::all().len(), 9);
+    }
+}

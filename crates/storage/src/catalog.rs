@@ -1,0 +1,116 @@
+//! The catalog: name → table resolution.
+
+use crate::schema::{SchemaError, TableSchema};
+use crate::table::Table;
+use sicost_common::TableId;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// An immutable-after-setup collection of tables. DDL happens once, before
+/// transactions start (as in the benchmarks), so the catalog needs no
+/// internal locking: it is built with `&mut self` and then shared behind an
+/// `Arc` by the engine.
+#[derive(Default)]
+pub struct Catalog {
+    tables: Vec<Arc<Table>>,
+    by_name: HashMap<String, TableId>,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a table, returning its id.
+    pub fn create_table(&mut self, schema: TableSchema) -> Result<TableId, SchemaError> {
+        if self.by_name.contains_key(&schema.name) {
+            return Err(SchemaError::BadDeclaration(format!(
+                "table {} already exists",
+                schema.name
+            )));
+        }
+        let id = TableId(self.tables.len() as u32);
+        self.by_name.insert(schema.name.clone(), id);
+        self.tables.push(Arc::new(Table::new(id, schema)));
+        Ok(id)
+    }
+
+    /// Table by id.
+    ///
+    /// # Panics
+    /// Panics on an unknown id — ids only come from `create_table`.
+    pub fn table(&self, id: TableId) -> &Arc<Table> {
+        &self.tables[id.0 as usize]
+    }
+
+    /// Table by name.
+    pub fn table_by_name(&self, name: &str) -> Option<&Arc<Table>> {
+        self.by_name.get(name).map(|id| self.table(*id))
+    }
+
+    /// Id of a named table.
+    pub fn table_id(&self, name: &str) -> Option<TableId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// All tables, in id order.
+    pub fn tables(&self) -> impl Iterator<Item = &Arc<Table>> {
+        self.tables.iter()
+    }
+
+    /// Number of tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True when no table has been created.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnDef, ColumnType};
+
+    fn schema(name: &str) -> TableSchema {
+        TableSchema::new(
+            name,
+            vec![ColumnDef::new("id", ColumnType::Int)],
+            0,
+            vec![],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn create_and_resolve() {
+        let mut c = Catalog::new();
+        let a = c.create_table(schema("A")).unwrap();
+        let b = c.create_table(schema("B")).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(c.table(a).schema().name, "A");
+        assert_eq!(c.table_by_name("B").unwrap().id(), b);
+        assert_eq!(c.table_id("A"), Some(a));
+        assert_eq!(c.table_id("missing"), None);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut c = Catalog::new();
+        c.create_table(schema("A")).unwrap();
+        assert!(c.create_table(schema("A")).is_err());
+    }
+
+    #[test]
+    fn iteration_in_id_order() {
+        let mut c = Catalog::new();
+        c.create_table(schema("A")).unwrap();
+        c.create_table(schema("B")).unwrap();
+        let names: Vec<_> = c.tables().map(|t| t.schema().name.clone()).collect();
+        assert_eq!(names, vec!["A", "B"]);
+    }
+}

@@ -1,0 +1,36 @@
+//! In-memory multi-version row store.
+//!
+//! This crate is the data plane under [`sicost-engine`]: it stores versioned
+//! rows and answers snapshot-visible reads, but knows nothing about locks,
+//! write sets, or validation — concurrency control policy lives entirely in
+//! the engine. The separation mirrors how PostgreSQL's heap is policy-free
+//! while the executor/lock-manager layers implement isolation.
+//!
+//! # Model
+//!
+//! * A [`Catalog`] holds [`Table`]s created from [`TableSchema`]s.
+//! * Each table maps a primary-key [`Value`] to a [`VersionChain`]: committed
+//!   versions ordered by commit timestamp, newest last.
+//! * A read at snapshot `s` returns the newest version with `ts <= s`.
+//! * Writers never mutate versions in place; the engine *installs* new
+//!   committed versions (or deletion tombstones) at commit.
+//! * [`Table::prune`] garbage-collects versions no active snapshot can see.
+
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod predicate;
+pub mod row;
+pub mod schema;
+pub mod table;
+pub mod value;
+pub mod version;
+
+pub use catalog::Catalog;
+pub use predicate::Predicate;
+pub use row::Row;
+pub use schema::{ColumnDef, ColumnType, SchemaError, TableSchema};
+pub use table::{Table, UniqueViolation};
+pub use value::Value;
+pub use version::{Version, VersionChain, VersionKind};

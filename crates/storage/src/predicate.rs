@@ -1,0 +1,185 @@
+//! Row predicates for scans.
+//!
+//! A tiny condition language standing in for SQL `WHERE` clauses. NULL
+//! follows SQL semantics: any comparison with NULL is not satisfied (and
+//! `Not` of an unsatisfied NULL comparison stays unsatisfied via explicit
+//! three-valued evaluation).
+
+use crate::row::Row;
+use crate::value::Value;
+
+/// Comparison operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// A predicate over a row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Predicate {
+    /// Always true (full scan).
+    True,
+    /// `column <op> literal`
+    Cmp(usize, CmpOp, Value),
+    /// `column IS NULL`
+    IsNull(usize),
+    /// Conjunction.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Disjunction.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// Negation (three-valued: NOT UNKNOWN = UNKNOWN = not satisfied).
+    Not(Box<Predicate>),
+}
+
+/// SQL three-valued truth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Tri {
+    True,
+    False,
+    Unknown,
+}
+
+impl Predicate {
+    /// `column = literal`, the common case.
+    pub fn eq(column: usize, v: impl Into<Value>) -> Predicate {
+        Predicate::Cmp(column, CmpOp::Eq, v.into())
+    }
+
+    /// Conjunction helper.
+    pub fn and(self, other: Predicate) -> Predicate {
+        Predicate::And(Box::new(self), Box::new(other))
+    }
+
+    /// Disjunction helper.
+    pub fn or(self, other: Predicate) -> Predicate {
+        Predicate::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Whether the row satisfies the predicate (UNKNOWN ⇒ false, as in SQL
+    /// `WHERE`).
+    pub fn matches(&self, row: &Row) -> bool {
+        self.eval3(row) == Tri::True
+    }
+
+    fn eval3(&self, row: &Row) -> Tri {
+        match self {
+            Predicate::True => Tri::True,
+            Predicate::IsNull(c) => {
+                if row.get(*c).is_null() {
+                    Tri::True
+                } else {
+                    Tri::False
+                }
+            }
+            Predicate::Cmp(c, op, lit) => {
+                let cell = row.get(*c);
+                if cell.is_null() || lit.is_null() {
+                    return Tri::Unknown;
+                }
+                let ord = cell.cmp(lit);
+                let sat = match op {
+                    CmpOp::Eq => ord.is_eq(),
+                    CmpOp::Ne => ord.is_ne(),
+                    CmpOp::Lt => ord.is_lt(),
+                    CmpOp::Le => ord.is_le(),
+                    CmpOp::Gt => ord.is_gt(),
+                    CmpOp::Ge => ord.is_ge(),
+                };
+                if sat {
+                    Tri::True
+                } else {
+                    Tri::False
+                }
+            }
+            Predicate::And(a, b) => match (a.eval3(row), b.eval3(row)) {
+                (Tri::False, _) | (_, Tri::False) => Tri::False,
+                (Tri::True, Tri::True) => Tri::True,
+                _ => Tri::Unknown,
+            },
+            Predicate::Or(a, b) => match (a.eval3(row), b.eval3(row)) {
+                (Tri::True, _) | (_, Tri::True) => Tri::True,
+                (Tri::False, Tri::False) => Tri::False,
+                _ => Tri::Unknown,
+            },
+            Predicate::Not(p) => match p.eval3(row) {
+                Tri::True => Tri::False,
+                Tri::False => Tri::True,
+                Tri::Unknown => Tri::Unknown,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(a: i64, b: Option<i64>) -> Row {
+        Row::new(vec![
+            Value::int(a),
+            b.map(Value::int).unwrap_or(Value::Null),
+        ])
+    }
+
+    #[test]
+    fn comparisons() {
+        let r = row(5, Some(10));
+        assert!(Predicate::eq(0, 5).matches(&r));
+        assert!(!Predicate::eq(0, 6).matches(&r));
+        assert!(Predicate::Cmp(0, CmpOp::Lt, Value::int(6)).matches(&r));
+        assert!(Predicate::Cmp(0, CmpOp::Ge, Value::int(5)).matches(&r));
+        assert!(Predicate::Cmp(1, CmpOp::Ne, Value::int(3)).matches(&r));
+    }
+
+    #[test]
+    fn null_comparisons_are_unknown() {
+        let r = row(5, None);
+        assert!(!Predicate::eq(1, 10).matches(&r));
+        assert!(!Predicate::Cmp(1, CmpOp::Ne, Value::int(10)).matches(&r));
+        // NOT (NULL = 10) is still UNKNOWN, hence unsatisfied.
+        assert!(!Predicate::Not(Box::new(Predicate::eq(1, 10))).matches(&r));
+        assert!(Predicate::IsNull(1).matches(&r));
+        assert!(!Predicate::IsNull(0).matches(&r));
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let r = row(5, Some(10));
+        assert!(Predicate::eq(0, 5).and(Predicate::eq(1, 10)).matches(&r));
+        assert!(!Predicate::eq(0, 5).and(Predicate::eq(1, 11)).matches(&r));
+        assert!(Predicate::eq(0, 9).or(Predicate::eq(1, 10)).matches(&r));
+        assert!(Predicate::True.matches(&r));
+    }
+
+    #[test]
+    fn three_valued_and_or_shortcuts() {
+        let r = row(5, None);
+        // FALSE AND UNKNOWN = FALSE (not UNKNOWN)
+        let p = Predicate::eq(0, 1).and(Predicate::eq(1, 1));
+        assert!(!p.matches(&r));
+        // TRUE OR UNKNOWN = TRUE
+        let q = Predicate::eq(0, 5).or(Predicate::eq(1, 1));
+        assert!(q.matches(&r));
+        // UNKNOWN OR UNKNOWN stays unsatisfied
+        let u = Predicate::eq(1, 1).or(Predicate::eq(1, 2));
+        assert!(!u.matches(&r));
+    }
+
+    #[test]
+    fn string_comparisons_follow_value_order() {
+        let r = Row::new(vec![Value::str("bob")]);
+        assert!(Predicate::Cmp(0, CmpOp::Gt, Value::str("alice")).matches(&r));
+        assert!(Predicate::eq(0, "bob").matches(&r));
+    }
+}

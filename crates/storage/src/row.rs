@@ -1,0 +1,110 @@
+//! Row representation.
+
+use crate::value::Value;
+use std::fmt;
+use std::sync::Arc;
+
+/// An immutable tuple of cells. Rows are shared between version chains and
+/// readers via `Arc`, so "copying" a row into a transaction's result set or
+/// write set is a pointer bump.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Row {
+    cells: Arc<[Value]>,
+}
+
+impl Row {
+    /// Builds a row from cells.
+    pub fn new(cells: Vec<Value>) -> Self {
+        Self {
+            cells: Arc::from(cells),
+        }
+    }
+
+    /// Cell at column index `i`.
+    ///
+    /// # Panics
+    /// Panics when out of range — schema validation happens at write time,
+    /// so an out-of-range access is a caller bug, not a data error.
+    pub fn get(&self, i: usize) -> &Value {
+        &self.cells[i]
+    }
+
+    /// Integer cell at `i`; panics if the cell is not an `Int`.
+    pub fn int(&self, i: usize) -> i64 {
+        self.cells[i]
+            .as_int()
+            .unwrap_or_else(|| panic!("column {i} is not an Int: {}", self.cells[i]))
+    }
+
+    /// All cells.
+    pub fn cells(&self) -> &[Value] {
+        &self.cells
+    }
+
+    /// Number of cells.
+    pub fn arity(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Returns a new row with cell `i` replaced by `v` (copy-on-write).
+    pub fn with_cell(&self, i: usize, v: Value) -> Row {
+        let mut cells: Vec<Value> = self.cells.to_vec();
+        cells[i] = v;
+        Row::new(cells)
+    }
+}
+
+impl From<Vec<Value>> for Row {
+    fn from(cells: Vec<Value>) -> Row {
+        Row::new(cells)
+    }
+}
+
+impl fmt::Display for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.cells.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_and_display() {
+        let r = Row::new(vec![Value::str("alice"), Value::int(42)]);
+        assert_eq!(r.arity(), 2);
+        assert_eq!(r.get(0), &Value::str("alice"));
+        assert_eq!(r.int(1), 42);
+        assert_eq!(r.to_string(), "('alice', 42)");
+    }
+
+    #[test]
+    fn with_cell_is_copy_on_write() {
+        let r = Row::new(vec![Value::int(1), Value::int(2)]);
+        let r2 = r.with_cell(1, Value::int(99));
+        assert_eq!(r.int(1), 2, "original untouched");
+        assert_eq!(r2.int(1), 99);
+        assert_eq!(r2.int(0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not an Int")]
+    fn int_on_string_panics() {
+        Row::new(vec![Value::str("x")]).int(0);
+    }
+
+    #[test]
+    fn clone_shares_storage() {
+        let r = Row::new(vec![Value::int(1)]);
+        let r2 = r.clone();
+        assert!(Arc::ptr_eq(&r.cells, &r2.cells));
+    }
+}

@@ -1,0 +1,304 @@
+//! Table schemas and row validation.
+
+use crate::value::Value;
+use std::fmt;
+
+/// Declared type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnType {
+    /// 64-bit signed integer (also used for money in cents).
+    Int,
+    /// UTF-8 string.
+    Str,
+}
+
+impl ColumnType {
+    /// Whether `v` inhabits this type (NULL inhabits every type; nullability
+    /// is checked separately).
+    pub fn admits(self, v: &Value) -> bool {
+        matches!(
+            (self, v),
+            (_, Value::Null) | (ColumnType::Int, Value::Int(_)) | (ColumnType::Str, Value::Str(_))
+        )
+    }
+}
+
+/// One column declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    /// Column name (unique within the table).
+    pub name: String,
+    /// Declared type.
+    pub ty: ColumnType,
+    /// Whether NULL is admissible.
+    pub nullable: bool,
+}
+
+impl ColumnDef {
+    /// Non-nullable column of the given type.
+    pub fn new(name: impl Into<String>, ty: ColumnType) -> Self {
+        Self {
+            name: name.into(),
+            ty,
+            nullable: false,
+        }
+    }
+
+    /// Nullable column of the given type.
+    pub fn nullable(name: impl Into<String>, ty: ColumnType) -> Self {
+        Self {
+            name: name.into(),
+            ty,
+            nullable: true,
+        }
+    }
+}
+
+/// Schema of one table: named columns, a single-column primary key, and any
+/// number of single-column DBMS-enforced unique constraints (SmallBank's
+/// `Account.CustomerId` uses one, per §III-A of the paper).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableSchema {
+    /// Table name (unique within the catalog).
+    pub name: String,
+    /// Ordered column declarations.
+    pub columns: Vec<ColumnDef>,
+    /// Index into `columns` of the primary key.
+    pub primary_key: usize,
+    /// Indexes into `columns` with unique constraints (excluding the PK).
+    pub unique: Vec<usize>,
+}
+
+/// Errors raised when a schema declaration or a row is malformed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaError {
+    /// Two columns share a name, or an index is out of bounds.
+    BadDeclaration(String),
+    /// A row's arity does not match the column count.
+    WrongArity {
+        /// Columns declared by the schema.
+        expected: usize,
+        /// Cells supplied by the row.
+        got: usize,
+    },
+    /// A cell violates its column's type.
+    TypeMismatch {
+        /// Offending column name.
+        column: String,
+    },
+    /// A non-nullable cell is NULL.
+    NullViolation {
+        /// Offending column name.
+        column: String,
+    },
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::BadDeclaration(msg) => write!(f, "bad schema declaration: {msg}"),
+            SchemaError::WrongArity { expected, got } => {
+                write!(f, "row has {got} cells, schema has {expected} columns")
+            }
+            SchemaError::TypeMismatch { column } => {
+                write!(f, "value does not match declared type of column {column}")
+            }
+            SchemaError::NullViolation { column } => {
+                write!(f, "NULL in non-nullable column {column}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+impl TableSchema {
+    /// Declares a schema, validating the declaration itself.
+    pub fn new(
+        name: impl Into<String>,
+        columns: Vec<ColumnDef>,
+        primary_key: usize,
+        unique: Vec<usize>,
+    ) -> Result<Self, SchemaError> {
+        let name = name.into();
+        if columns.is_empty() {
+            return Err(SchemaError::BadDeclaration(format!(
+                "table {name} has no columns"
+            )));
+        }
+        for (i, c) in columns.iter().enumerate() {
+            if columns[..i].iter().any(|d| d.name == c.name) {
+                return Err(SchemaError::BadDeclaration(format!(
+                    "duplicate column {} in table {name}",
+                    c.name
+                )));
+            }
+        }
+        if primary_key >= columns.len() {
+            return Err(SchemaError::BadDeclaration(format!(
+                "primary key index {primary_key} out of range in table {name}"
+            )));
+        }
+        if columns[primary_key].nullable {
+            return Err(SchemaError::BadDeclaration(format!(
+                "primary key column {} must be non-nullable",
+                columns[primary_key].name
+            )));
+        }
+        for &u in &unique {
+            if u >= columns.len() {
+                return Err(SchemaError::BadDeclaration(format!(
+                    "unique index {u} out of range in table {name}"
+                )));
+            }
+            if u == primary_key {
+                return Err(SchemaError::BadDeclaration(format!(
+                    "unique constraint duplicates the primary key in table {name}"
+                )));
+            }
+        }
+        Ok(Self {
+            name,
+            columns,
+            primary_key,
+            unique,
+        })
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Resolves a column name to its index.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Validates one row against the schema (arity, types, nullability).
+    pub fn validate(&self, cells: &[Value]) -> Result<(), SchemaError> {
+        if cells.len() != self.columns.len() {
+            return Err(SchemaError::WrongArity {
+                expected: self.columns.len(),
+                got: cells.len(),
+            });
+        }
+        for (c, v) in self.columns.iter().zip(cells) {
+            if v.is_null() {
+                if !c.nullable {
+                    return Err(SchemaError::NullViolation {
+                        column: c.name.clone(),
+                    });
+                }
+            } else if !c.ty.admits(v) {
+                return Err(SchemaError::TypeMismatch {
+                    column: c.name.clone(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn account_schema() -> TableSchema {
+        TableSchema::new(
+            "Account",
+            vec![
+                ColumnDef::new("Name", ColumnType::Str),
+                ColumnDef::new("CustomerId", ColumnType::Int),
+            ],
+            0,
+            vec![1],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn valid_schema_and_lookup() {
+        let s = account_schema();
+        assert_eq!(s.arity(), 2);
+        assert_eq!(s.column_index("CustomerId"), Some(1));
+        assert_eq!(s.column_index("nope"), None);
+    }
+
+    #[test]
+    fn rejects_duplicate_columns() {
+        let err = TableSchema::new(
+            "T",
+            vec![
+                ColumnDef::new("a", ColumnType::Int),
+                ColumnDef::new("a", ColumnType::Int),
+            ],
+            0,
+            vec![],
+        )
+        .unwrap_err();
+        assert!(matches!(err, SchemaError::BadDeclaration(_)));
+    }
+
+    #[test]
+    fn rejects_out_of_range_pk_and_unique() {
+        assert!(TableSchema::new(
+            "T",
+            vec![ColumnDef::new("a", ColumnType::Int)],
+            1,
+            vec![]
+        )
+        .is_err());
+        assert!(TableSchema::new(
+            "T",
+            vec![ColumnDef::new("a", ColumnType::Int)],
+            0,
+            vec![5]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn rejects_nullable_pk_and_unique_on_pk() {
+        assert!(TableSchema::new(
+            "T",
+            vec![ColumnDef::nullable("a", ColumnType::Int)],
+            0,
+            vec![]
+        )
+        .is_err());
+        assert!(TableSchema::new(
+            "T",
+            vec![
+                ColumnDef::new("a", ColumnType::Int),
+                ColumnDef::new("b", ColumnType::Int)
+            ],
+            0,
+            vec![0]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn validate_checks_arity_types_nulls() {
+        let s = account_schema();
+        assert!(s.validate(&[Value::str("alice"), Value::int(1)]).is_ok());
+        assert!(matches!(
+            s.validate(&[Value::str("alice")]),
+            Err(SchemaError::WrongArity { .. })
+        ));
+        assert!(matches!(
+            s.validate(&[Value::int(1), Value::int(1)]),
+            Err(SchemaError::TypeMismatch { .. })
+        ));
+        assert!(matches!(
+            s.validate(&[Value::Null, Value::int(1)]),
+            Err(SchemaError::NullViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_schema_rejected() {
+        assert!(TableSchema::new("T", vec![], 0, vec![]).is_err());
+    }
+}

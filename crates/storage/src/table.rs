@@ -1,0 +1,513 @@
+//! Tables: sharded maps from primary key to version chain, plus unique
+//! secondary indexes.
+
+use crate::predicate::Predicate;
+use crate::row::Row;
+use crate::schema::{SchemaError, TableSchema};
+use crate::value::Value;
+use crate::version::{Version, VersionChain};
+use parking_lot::RwLock;
+use sicost_common::{TableId, Ts};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// Number of hash shards per table. Shards only bound contention on the
+/// key → chain map itself (chain lookups and inserts); per-record state is
+/// protected by each chain's own lock.
+const SHARDS: usize = 64;
+
+/// The outcome of a snapshot read: which version was visible and its image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VisibleRead {
+    /// Commit timestamp of the visible version (the MVSG needs it to draw
+    /// reads-from and anti-dependency edges).
+    pub ts: Ts,
+    /// Row image, or `None` when the visible version is a tombstone.
+    pub row: Option<Row>,
+}
+
+/// A unique-constraint violation detected at version installation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UniqueViolation {
+    /// Table where the conflict happened.
+    pub table: String,
+    /// Column (by name) whose uniqueness was violated.
+    pub column: String,
+    /// The duplicated value.
+    pub value: Value,
+}
+
+impl std::fmt::Display for UniqueViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unique constraint violated on {}.{} for value {}",
+            self.table, self.column, self.value
+        )
+    }
+}
+
+impl std::error::Error for UniqueViolation {}
+
+type Shard = RwLock<HashMap<Value, Arc<RwLock<VersionChain>>>>;
+
+/// A table: schema + sharded primary-key index over version chains +
+/// committed-state unique secondary indexes.
+pub struct Table {
+    id: TableId,
+    schema: TableSchema,
+    shards: Vec<Shard>,
+    /// One map per `schema.unique` entry: indexed-column value → primary key.
+    /// Reflects the *latest committed* state; uniqueness is enforced inside
+    /// the engine's commit critical section, which serialises installs.
+    unique_maps: Vec<RwLock<HashMap<Value, Value>>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(id: TableId, schema: TableSchema) -> Self {
+        let unique_maps = schema
+            .unique
+            .iter()
+            .map(|_| RwLock::new(HashMap::new()))
+            .collect();
+        Self {
+            id,
+            schema,
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            unique_maps,
+        }
+    }
+
+    /// Table id within the catalog.
+    pub fn id(&self) -> TableId {
+        self.id
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    fn shard_for(&self, key: &Value) -> &Shard {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % SHARDS]
+    }
+
+    /// Returns the version chain for `key`, if the record has ever existed.
+    pub fn chain(&self, key: &Value) -> Option<Arc<RwLock<VersionChain>>> {
+        self.shard_for(key).read().get(key).cloned()
+    }
+
+    /// Returns the version chain for `key`, creating an empty one if absent
+    /// (used by inserts).
+    pub fn chain_or_create(&self, key: &Value) -> Arc<RwLock<VersionChain>> {
+        if let Some(c) = self.chain(key) {
+            return c;
+        }
+        let mut shard = self.shard_for(key).write();
+        shard
+            .entry(key.clone())
+            .or_insert_with(|| Arc::new(RwLock::new(VersionChain::new())))
+            .clone()
+    }
+
+    /// Snapshot read of one record by primary key.
+    pub fn read_at(&self, key: &Value, snap: Ts) -> Option<VisibleRead> {
+        let chain = self.chain(key)?;
+        let guard = chain.read();
+        guard.visible(snap).map(|v| VisibleRead {
+            ts: v.ts,
+            row: v.row().cloned(),
+        })
+    }
+
+    /// Commit timestamp of the newest committed version of `key`
+    /// (`None` when the record has never existed). This is what
+    /// First-Updater/First-Committer-Wins validation compares against.
+    pub fn latest_ts(&self, key: &Value) -> Option<Ts> {
+        let chain = self.chain(key)?;
+        let ts = chain.read().latest_ts();
+        ts
+    }
+
+    /// Installs a committed version for `key`, enforcing unique constraints
+    /// and schema validity. Must be called from within the engine's commit
+    /// critical section so that installs follow commit order.
+    pub fn install(&self, key: &Value, version: Version) -> Result<(), InstallError> {
+        // Validate the image against the schema and check PK consistency.
+        if let Some(row) = version.row() {
+            self.schema.validate(row.cells()).map_err(InstallError::Schema)?;
+            let pk_cell = row.get(self.schema.primary_key);
+            if pk_cell != key {
+                return Err(InstallError::Schema(SchemaError::BadDeclaration(format!(
+                    "primary key cell {pk_cell} does not match chain key {key}"
+                ))));
+            }
+        }
+        // Unique maintenance needs the previous image to unlink old entries.
+        let chain = self.chain_or_create(key);
+        let mut guard = chain.write();
+        let old_row = guard.latest().and_then(|v| v.row().cloned());
+        if let Some(new_row) = version.row() {
+            for (slot, &col) in self.schema.unique.iter().enumerate() {
+                let new_val = new_row.get(col);
+                if new_val.is_null() {
+                    continue; // SQL UNIQUE admits multiple NULLs
+                }
+                let map = self.unique_maps[slot].read();
+                if let Some(owner) = map.get(new_val) {
+                    if owner != key {
+                        return Err(InstallError::Unique(UniqueViolation {
+                            table: self.schema.name.clone(),
+                            column: self.schema.columns[col].name.clone(),
+                            value: new_val.clone(),
+                        }));
+                    }
+                }
+            }
+        }
+        // Past the checks: mutate the indexes, then install.
+        for (slot, &col) in self.schema.unique.iter().enumerate() {
+            let mut map = self.unique_maps[slot].write();
+            if let Some(old) = &old_row {
+                let old_val = old.get(col);
+                if !old_val.is_null() {
+                    map.remove(old_val);
+                }
+            }
+            if let Some(new_row) = version.row() {
+                let new_val = new_row.get(col);
+                if !new_val.is_null() {
+                    map.insert(new_val.clone(), key.clone());
+                }
+            }
+        }
+        guard.install(version);
+        Ok(())
+    }
+
+    /// Looks up a primary key through a unique secondary index and verifies
+    /// the hit against the snapshot (the index itself reflects latest
+    /// committed state).
+    ///
+    /// `unique_slot` is the position within `schema.unique`.
+    pub fn lookup_unique(&self, unique_slot: usize, value: &Value, snap: Ts) -> Option<Value> {
+        let col = self.schema.unique[unique_slot];
+        let pk = self.unique_maps[unique_slot].read().get(value).cloned();
+        match pk {
+            Some(pk) => {
+                let vis = self.read_at(&pk, snap)?;
+                let row = vis.row?;
+                (row.get(col) == value).then_some(pk)
+            }
+            // Index miss: the value may still be visible in this snapshot if
+            // it was removed after the snapshot was taken; fall back to scan.
+            None => {
+                let mut found = None;
+                self.scan_at(snap, &Predicate::Cmp(col, crate::predicate::CmpOp::Eq, value.clone()), |pk, _, _| {
+                    found = Some(pk.clone());
+                });
+                found
+            }
+        }
+    }
+
+    /// Snapshot scan: calls `f(pk, row, version_ts)` for every record whose
+    /// visible version is live data matching `pred`. Iteration order is
+    /// unspecified.
+    pub fn scan_at(&self, snap: Ts, pred: &Predicate, mut f: impl FnMut(&Value, &Row, Ts)) {
+        for shard in &self.shards {
+            let guard = shard.read();
+            for (pk, chain) in guard.iter() {
+                let chain = chain.read();
+                if let Some(v) = chain.visible(snap) {
+                    if let Some(row) = v.row() {
+                        if pred.matches(row) {
+                            f(pk, row, v.ts);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of records whose visible version at `snap` is live data.
+    pub fn count_at(&self, snap: Ts) -> usize {
+        let mut n = 0;
+        self.scan_at(snap, &Predicate::True, |_, _, _| n += 1);
+        n
+    }
+
+    /// Garbage-collects versions invisible to every snapshot at or after
+    /// `horizon`; drops records reduced to a dead tombstone. Returns the
+    /// number of versions reclaimed.
+    pub fn prune(&self, horizon: Ts) -> usize {
+        let mut reclaimed = 0;
+        for shard in &self.shards {
+            let mut guard = shard.write();
+            guard.retain(|_, chain| {
+                let mut c = chain.write();
+                reclaimed += c.prune(horizon);
+                if c.is_dead(horizon) {
+                    reclaimed += c.len();
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        reclaimed
+    }
+
+    /// Total stored versions across all records (for GC tests/metrics).
+    pub fn version_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().values().map(|c| c.read().len()).sum::<usize>())
+            .sum()
+    }
+}
+
+/// Errors from [`Table::install`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InstallError {
+    /// The image violated the schema.
+    Schema(SchemaError),
+    /// The image violated a unique constraint.
+    Unique(UniqueViolation),
+}
+
+impl std::fmt::Display for InstallError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InstallError::Schema(e) => write!(f, "{e}"),
+            InstallError::Unique(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for InstallError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnDef, ColumnType};
+    use sicost_common::TxnId;
+
+    fn accounts() -> Table {
+        Table::new(
+            TableId(0),
+            TableSchema::new(
+                "Account",
+                vec![
+                    ColumnDef::new("Name", ColumnType::Str),
+                    ColumnDef::new("CustomerId", ColumnType::Int),
+                ],
+                0,
+                vec![1],
+            )
+            .unwrap(),
+        )
+    }
+
+    fn acct_row(name: &str, id: i64) -> Row {
+        Row::new(vec![Value::str(name), Value::int(id)])
+    }
+
+    #[test]
+    fn install_and_read_round_trip() {
+        let t = accounts();
+        t.install(
+            &Value::str("alice"),
+            Version::data(Ts(1), TxnId(1), acct_row("alice", 7)),
+        )
+        .unwrap();
+        let vis = t.read_at(&Value::str("alice"), Ts(1)).unwrap();
+        assert_eq!(vis.ts, Ts(1));
+        assert_eq!(vis.row.unwrap().int(1), 7);
+        assert!(t.read_at(&Value::str("alice"), Ts(0)).is_none());
+        assert!(t.read_at(&Value::str("bob"), Ts(5)).is_none());
+    }
+
+    #[test]
+    fn install_rejects_wrong_pk_cell() {
+        let t = accounts();
+        let err = t
+            .install(
+                &Value::str("alice"),
+                Version::data(Ts(1), TxnId(1), acct_row("bob", 7)),
+            )
+            .unwrap_err();
+        assert!(matches!(err, InstallError::Schema(_)));
+    }
+
+    #[test]
+    fn unique_constraint_enforced_across_keys() {
+        let t = accounts();
+        t.install(
+            &Value::str("alice"),
+            Version::data(Ts(1), TxnId(1), acct_row("alice", 7)),
+        )
+        .unwrap();
+        let err = t
+            .install(
+                &Value::str("bob"),
+                Version::data(Ts(2), TxnId(2), acct_row("bob", 7)),
+            )
+            .unwrap_err();
+        assert!(matches!(err, InstallError::Unique(_)));
+        // A different id is fine.
+        t.install(
+            &Value::str("bob"),
+            Version::data(Ts(3), TxnId(2), acct_row("bob", 8)),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn unique_value_freed_by_update_and_delete() {
+        let t = accounts();
+        t.install(
+            &Value::str("alice"),
+            Version::data(Ts(1), TxnId(1), acct_row("alice", 7)),
+        )
+        .unwrap();
+        // Alice changes id 7 -> 9; id 7 becomes available.
+        t.install(
+            &Value::str("alice"),
+            Version::data(Ts(2), TxnId(2), acct_row("alice", 9)),
+        )
+        .unwrap();
+        t.install(
+            &Value::str("bob"),
+            Version::data(Ts(3), TxnId(3), acct_row("bob", 7)),
+        )
+        .unwrap();
+        // Deleting bob frees id 7 again.
+        t.install(&Value::str("bob"), Version::tombstone(Ts(4), TxnId(4)))
+            .unwrap();
+        t.install(
+            &Value::str("carol"),
+            Version::data(Ts(5), TxnId(5), acct_row("carol", 7)),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn same_key_reusing_its_own_unique_value_is_fine() {
+        let t = accounts();
+        t.install(
+            &Value::str("alice"),
+            Version::data(Ts(1), TxnId(1), acct_row("alice", 7)),
+        )
+        .unwrap();
+        // Identity write: same image, new version stamp.
+        t.install(
+            &Value::str("alice"),
+            Version::data(Ts(2), TxnId(2), acct_row("alice", 7)),
+        )
+        .unwrap();
+        assert_eq!(t.version_count(), 2);
+    }
+
+    #[test]
+    fn lookup_unique_respects_snapshot() {
+        let t = accounts();
+        t.install(
+            &Value::str("alice"),
+            Version::data(Ts(5), TxnId(1), acct_row("alice", 7)),
+        )
+        .unwrap();
+        assert_eq!(
+            t.lookup_unique(0, &Value::int(7), Ts(5)),
+            Some(Value::str("alice"))
+        );
+        // Before the insert committed, the snapshot must not see it.
+        assert_eq!(t.lookup_unique(0, &Value::int(7), Ts(4)), None);
+    }
+
+    #[test]
+    fn lookup_unique_falls_back_to_scan_for_old_snapshots() {
+        let t = accounts();
+        t.install(
+            &Value::str("alice"),
+            Version::data(Ts(1), TxnId(1), acct_row("alice", 7)),
+        )
+        .unwrap();
+        // id changes to 9 at ts2; a snapshot at ts1 should still find id 7.
+        t.install(
+            &Value::str("alice"),
+            Version::data(Ts(2), TxnId(2), acct_row("alice", 9)),
+        )
+        .unwrap();
+        assert_eq!(
+            t.lookup_unique(0, &Value::int(7), Ts(1)),
+            Some(Value::str("alice"))
+        );
+        assert_eq!(t.lookup_unique(0, &Value::int(7), Ts(2)), None);
+    }
+
+    #[test]
+    fn scan_filters_and_respects_snapshot() {
+        let t = accounts();
+        for (i, name) in ["a", "b", "c"].iter().enumerate() {
+            t.install(
+                &Value::str(*name),
+                Version::data(Ts(i as u64 + 1), TxnId(1), acct_row(name, i as i64)),
+            )
+            .unwrap();
+        }
+        assert_eq!(t.count_at(Ts(2)), 2);
+        assert_eq!(t.count_at(Ts(10)), 3);
+        let mut hits = vec![];
+        t.scan_at(
+            Ts(10),
+            &Predicate::Cmp(1, crate::predicate::CmpOp::Ge, Value::int(1)),
+            |pk, _, _| hits.push(pk.clone()),
+        );
+        hits.sort();
+        assert_eq!(hits, vec![Value::str("b"), Value::str("c")]);
+    }
+
+    #[test]
+    fn prune_reclaims_versions_and_dead_records() {
+        let t = accounts();
+        for ts in 1..=5u64 {
+            t.install(
+                &Value::str("alice"),
+                Version::data(Ts(ts), TxnId(1), acct_row("alice", ts as i64)),
+            )
+            .unwrap();
+        }
+        t.install(&Value::str("bob"), Version::data(Ts(6), TxnId(1), acct_row("bob", 100)))
+            .unwrap();
+        t.install(&Value::str("bob"), Version::tombstone(Ts(7), TxnId(2)))
+            .unwrap();
+        assert_eq!(t.version_count(), 7);
+        let reclaimed = t.prune(Ts(100));
+        // alice: 4 old versions; bob: data version + dead tombstone record.
+        assert_eq!(reclaimed, 4 + 2);
+        assert_eq!(t.version_count(), 1);
+        assert!(t.read_at(&Value::str("bob"), Ts(100)).is_none());
+        assert_eq!(
+            t.read_at(&Value::str("alice"), Ts(100)).unwrap().row.unwrap().int(1),
+            5
+        );
+    }
+
+    #[test]
+    fn latest_ts_tracks_installs() {
+        let t = accounts();
+        assert_eq!(t.latest_ts(&Value::str("alice")), None);
+        t.install(
+            &Value::str("alice"),
+            Version::data(Ts(3), TxnId(1), acct_row("alice", 1)),
+        )
+        .unwrap();
+        assert_eq!(t.latest_ts(&Value::str("alice")), Some(Ts(3)));
+    }
+}

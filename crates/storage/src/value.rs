@@ -1,0 +1,130 @@
+//! Typed cell values.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A single cell value. The workspace's workloads need exactly three types:
+/// SQL `NULL`, 64-bit integers (ids, money-in-cents, counters), and strings
+/// (customer names). Strings are reference-counted so cloning rows during
+/// version installation is cheap.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Value {
+    /// SQL NULL. Ordered before every non-null value; equal to itself (we
+    /// use `Eq` semantics for keys and version bookkeeping, not SQL
+    /// three-valued logic — predicate evaluation handles NULL explicitly).
+    #[default]
+    Null,
+    /// 64-bit signed integer.
+    Int(i64),
+    /// Interned UTF-8 string.
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Builds a string value.
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Builds an integer value.
+    pub fn int(i: i64) -> Value {
+        Value::Int(i)
+    }
+
+    /// Returns the integer payload, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the string payload, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True for `NULL`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Value {
+        Value::Int(i)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::str(s)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::Str(Arc::from(s))
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "'{s}'"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        assert_eq!(Value::int(7).as_int(), Some(7));
+        assert_eq!(Value::str("bob").as_str(), Some("bob"));
+        assert_eq!(Value::Null.as_int(), None);
+        assert_eq!(Value::int(7).as_str(), None);
+        assert!(Value::Null.is_null());
+        assert!(!Value::int(0).is_null());
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(5i64), Value::Int(5));
+        assert_eq!(Value::from("x"), Value::str("x"));
+        assert_eq!(Value::from(String::from("y")), Value::str("y"));
+    }
+
+    #[test]
+    fn ordering_null_first() {
+        assert!(Value::Null < Value::Int(i64::MIN));
+        assert!(Value::Int(3) < Value::Int(4));
+        assert!(Value::Int(i64::MAX) < Value::str(""));
+        assert!(Value::str("a") < Value::str("b"));
+    }
+
+    #[test]
+    fn display_round_trips_visually() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::int(-3).to_string(), "-3");
+        assert_eq!(Value::str("n").to_string(), "'n'");
+    }
+
+    #[test]
+    fn clone_is_cheap_shared_str() {
+        let v = Value::str("shared");
+        let w = v.clone();
+        if let (Value::Str(a), Value::Str(b)) = (&v, &w) {
+            assert!(Arc::ptr_eq(a, b), "clones must share the allocation");
+        } else {
+            unreachable!()
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Anomaly hunting with the MVSG certifier: run a concurrent workload,
+//! record its execution history, and *prove* whether it was serializable.
+//!
+//! ```sh
+//! cargo run --release --example anomaly_hunt
+//! ```
+
+use sicost::driver::{run_closed, RunConfig};
+use sicost::engine::{CcMode, EngineConfig};
+use sicost::mvsg::{History, Mvsg};
+use sicost::smallbank::{
+    SmallBank, SmallBankConfig, SmallBankDriver, SmallBankWorkload, Strategy, WorkloadParams,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn hunt(label: &str, strategy: Strategy, engine: EngineConfig) -> bool {
+    let history = History::new();
+    // A tiny, furiously hot bank: 8 customers, every transaction on the
+    // same handful of rows — write skew bait.
+    let bank = Arc::new(SmallBank::with_observer(
+        &SmallBankConfig::small(8),
+        engine,
+        strategy,
+        Some(history.clone() as Arc<dyn sicost::engine::HistoryObserver>),
+    ));
+    let workload = SmallBankWorkload::new(WorkloadParams {
+        customers: 8,
+        hotspot: 4,
+        p_hot: 0.95,
+        mix: sicost::smallbank::MixWeights::uniform(),
+    });
+    let driver = SmallBankDriver::new(bank, workload);
+    let metrics = run_closed(
+        &driver,
+        RunConfig {
+            mpl: 8,
+            ramp_up: Duration::from_millis(20),
+            measure: Duration::from_millis(700),
+            seed: 0xCAFE,
+        },
+    );
+    let events = history.events();
+    let graph = Mvsg::from_events(&events);
+    let report = graph.certify();
+    println!(
+        "{label:<28} commits={:<6} aborts={:<5} events={:<7} serializable={}",
+        metrics.commits(),
+        metrics.serialization_failures() + metrics.deadlocks(),
+        events.len(),
+        report.serializable
+    );
+    if let Some(anomaly) = report.anomaly {
+        println!("  -> witness: {anomaly}, cycle of {} edges:", report.witness.len());
+        for e in &report.witness {
+            println!("     {} --{}--> {}  (on {:?})", e.from, e.kind, e.to, e.item.1);
+        }
+    }
+    report.serializable
+}
+
+fn main() {
+    println!("hunting anomalies in 0.7s bursts on an 8-customer furnace:\n");
+    // Plain SI: with enough concurrency on a tiny table, write skew
+    // happens fast and the certifier catches it red-handed.
+    let mut caught = false;
+    for attempt in 0..5 {
+        if !hunt(
+            &format!("SI (attempt {})", attempt + 1),
+            Strategy::BaseSI,
+            EngineConfig::functional(),
+        ) {
+            caught = true;
+            break;
+        }
+    }
+    assert!(caught, "plain SI should produce a non-serializable burst");
+
+    println!();
+    // Each fix certifies clean, run after run.
+    for (label, strategy, engine) in [
+        (
+            "PromoteWT-upd",
+            Strategy::PromoteWTUpd,
+            EngineConfig::functional(),
+        ),
+        (
+            "MaterializeALL",
+            Strategy::MaterializeALL,
+            EngineConfig::functional(),
+        ),
+        (
+            "SSI engine (unmodified app)",
+            Strategy::BaseSI,
+            EngineConfig::functional().with_cc(CcMode::Ssi),
+        ),
+        (
+            "S2PL engine (unmodified app)",
+            Strategy::BaseSI,
+            EngineConfig::functional().with_cc(CcMode::S2pl),
+        ),
+    ] {
+        let ok = hunt(label, strategy, engine);
+        assert!(ok, "{label} must certify serializable");
+    }
+    println!("\nAll guaranteed configurations certified serializable.");
+}

@@ -1,0 +1,71 @@
+//! # sicost — The Cost of Serializability on Snapshot Isolation Platforms
+//!
+//! A from-scratch reproduction of Alomari, Cahill, Fekete & Röhm (ICDE
+//! 2008): a multi-version transaction engine with SI / SSI / S2PL
+//! concurrency control, the Static Dependency Graph analysis toolkit
+//! with materialization/promotion program transformations, the SmallBank
+//! benchmark with all nine strategy variants, an MVSG serializability
+//! certifier, and the closed-system driver + harnesses that regenerate
+//! every table and figure of the paper's evaluation.
+//!
+//! This crate is a facade: each subsystem lives in its own crate and is
+//! re-exported here under a module name.
+//!
+//! ```
+//! use sicost::core::{Sdg, SfuTreatment};
+//! use sicost::smallbank::sdg_spec;
+//!
+//! // Analyse SmallBank: exactly one dangerous structure (Bal → WC → TS).
+//! let sdg = sdg_spec::smallbank_sdg(SfuTreatment::AsLockOnly);
+//! assert!(!sdg.is_si_serializable());
+//! assert_eq!(sdg.dangerous_structures().len(), 1);
+//!
+//! // Fix the WT edge by materialization and prove the result safe.
+//! let plan = sdg_spec::plan_for(sicost::smallbank::Strategy::MaterializeWT);
+//! let (_, fixed) =
+//!     sicost::core::verify_safe(&sdg, &plan, SfuTreatment::AsLockOnly).unwrap();
+//! assert!(fixed.is_si_serializable());
+//! ```
+
+
+#![warn(missing_docs)]
+
+/// Shared utilities: PRNGs, samplers, statistics, money.
+pub mod common {
+    pub use sicost_common::*;
+}
+
+/// The multi-version row store.
+pub mod storage {
+    pub use sicost_storage::*;
+}
+
+/// Write-ahead logging with group commit.
+pub mod wal {
+    pub use sicost_wal::*;
+}
+
+/// The transaction engine (SI-FUW, SI-FCW, SSI, S2PL).
+pub mod engine {
+    pub use sicost_engine::*;
+}
+
+/// Execution-history capture and MVSG serializability certification.
+pub mod mvsg {
+    pub use sicost_mvsg::*;
+}
+
+/// SDG analysis and program transformations (the paper's contribution).
+pub mod core {
+    pub use sicost_core::*;
+}
+
+/// The SmallBank benchmark.
+pub mod smallbank {
+    pub use sicost_smallbank::*;
+}
+
+/// The closed-system workload driver.
+pub mod driver {
+    pub use sicost_driver::*;
+}

@@ -1,0 +1,145 @@
+//! Engine-mode × strategy matrix under real concurrency: everything must
+//! make progress, keep the engine's own books straight, and survive
+//! vacuum running mid-flight.
+
+use sicost::driver::{run_closed, RunConfig};
+use sicost::engine::{CcMode, EngineConfig};
+use sicost::smallbank::{
+    SmallBank, SmallBankConfig, SmallBankDriver, SmallBankWorkload, Strategy, WorkloadParams,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn run_cell(cc: CcMode, strategy: Strategy) {
+    let engine = EngineConfig::functional().with_cc(cc);
+    let bank = Arc::new(SmallBank::new(&SmallBankConfig::small(64), engine, strategy));
+    let driver = SmallBankDriver::new(
+        Arc::clone(&bank),
+        SmallBankWorkload::new(WorkloadParams::paper_default().scaled(64, 8)),
+    );
+    let metrics = run_closed(
+        &driver,
+        RunConfig {
+            mpl: 6,
+            ramp_up: Duration::from_millis(20),
+            measure: Duration::from_millis(300),
+            seed: 0x3A7,
+        },
+    );
+    assert!(
+        metrics.commits() > 20,
+        "{cc:?}/{strategy} barely progressed: {} commits",
+        metrics.commits()
+    );
+    let em = bank.db().metrics();
+    // Engine-side commits include setup-free population (bulk load skips
+    // the counter) and ramp-up traffic, so engine >= measured.
+    assert!(em.commits >= metrics.commits(), "{cc:?}/{strategy}");
+    // Abort classification consistency: deadlocks only under lock-ordered
+    // modes; FCW aborts only in FCW mode; FUW aborts only in eager modes.
+    match cc {
+        CcMode::SiFirstUpdaterWins => assert_eq!(em.aborts_first_committer, 0),
+        CcMode::SiFirstCommitterWins => assert_eq!(em.aborts_first_updater, 0),
+        CcMode::Ssi => assert_eq!(em.aborts_first_committer, 0),
+        CcMode::S2pl => {
+            assert_eq!(em.serialization_failures(), 0, "S2PL aborts only by deadlock");
+        }
+    }
+    // No transaction left behind: the registry must drain.
+    assert_eq!(bank.db().active_transactions(), 0, "{cc:?}/{strategy}");
+}
+
+#[test]
+fn matrix_si_fuw() {
+    for strategy in [Strategy::BaseSI, Strategy::MaterializeWT, Strategy::PromoteALL] {
+        run_cell(CcMode::SiFirstUpdaterWins, strategy);
+    }
+}
+
+#[test]
+fn matrix_si_fcw() {
+    for strategy in [Strategy::BaseSI, Strategy::MaterializeBW, Strategy::PromoteWTSfu] {
+        run_cell(CcMode::SiFirstCommitterWins, strategy);
+    }
+}
+
+#[test]
+fn matrix_ssi() {
+    run_cell(CcMode::Ssi, Strategy::BaseSI);
+}
+
+#[test]
+fn matrix_s2pl() {
+    run_cell(CcMode::S2pl, Strategy::BaseSI);
+}
+
+#[test]
+fn vacuum_during_concurrent_traffic_is_safe() {
+    let bank = Arc::new(SmallBank::new(
+        &SmallBankConfig::small(32),
+        EngineConfig::functional(),
+        Strategy::MaterializeALL, // hot Conflict rows -> long chains
+    ));
+    let driver = SmallBankDriver::new(
+        Arc::clone(&bank),
+        SmallBankWorkload::new(WorkloadParams::paper_default().scaled(32, 4)),
+    );
+    let bank2 = Arc::clone(&bank);
+    std::thread::scope(|s| {
+        let vacuumer = s.spawn(move || {
+            let mut reclaimed = 0;
+            for _ in 0..30 {
+                reclaimed += bank2.db().vacuum();
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            reclaimed
+        });
+        let metrics = run_closed(
+            &driver,
+            RunConfig {
+                mpl: 6,
+                ramp_up: Duration::from_millis(20),
+                measure: Duration::from_millis(350),
+                seed: 0x7AC,
+            },
+        );
+        let reclaimed = vacuumer.join().unwrap();
+        assert!(metrics.commits() > 20);
+        assert!(reclaimed > 0, "vacuum should reclaim versions under load");
+    });
+    // Books still balance after GC.
+    assert_eq!(bank.total_balance(), bank.total_balance());
+}
+
+#[test]
+fn paper_profiles_run_end_to_end_briefly() {
+    // The timing-calibrated profiles must work mechanically (short run).
+    for engine in [EngineConfig::postgres_like(), EngineConfig::commercial_like()] {
+        let bank = Arc::new(SmallBank::new(
+            &SmallBankConfig::small(256),
+            engine,
+            Strategy::BaseSI,
+        ));
+        let driver = SmallBankDriver::new(
+            Arc::clone(&bank),
+            SmallBankWorkload::new(WorkloadParams::paper_default().scaled(256, 32)),
+        );
+        let metrics = run_closed(
+            &driver,
+            RunConfig {
+                mpl: 4,
+                ramp_up: Duration::from_millis(50),
+                measure: Duration::from_millis(400),
+                seed: 0x99,
+            },
+        );
+        assert!(metrics.commits() > 0);
+        // With simulated costs, TPS must be modest (sanity check that the
+        // cost model engaged: a functional engine would do 100x more).
+        assert!(
+            metrics.tps() < 5_000.0,
+            "cost model seems disabled: {} tps",
+            metrics.tps()
+        );
+    }
+}

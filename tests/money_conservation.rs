@@ -1,0 +1,125 @@
+//! Conservation-of-money oracles: concurrent executions must move money
+//! exactly as the committed transactions say, on every engine mode.
+
+use sicost::common::{Money, Xoshiro256};
+use sicost::engine::{CcMode, EngineConfig};
+use sicost::smallbank::{schema::customer_name, SmallBank, SmallBankConfig, Strategy};
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+/// Concurrent deposits/transacts/amalgamates (no WriteCheck, whose
+/// penalty depends on internal state): the final audit must equal the
+/// initial total plus the sum of committed deltas.
+fn run_conservation(engine: EngineConfig, strategy: Strategy, seed: u64) {
+    let bank = Arc::new(SmallBank::new(
+        &SmallBankConfig::small(16),
+        engine,
+        strategy,
+    ));
+    let initial = bank.total_balance();
+    let committed_delta = AtomicI64::new(0);
+
+    std::thread::scope(|s| {
+        for t in 0..6u64 {
+            let bank = Arc::clone(&bank);
+            let committed_delta = &committed_delta;
+            s.spawn(move || {
+                let mut rng = Xoshiro256::seed_from_u64(seed ^ (t << 32));
+                for _ in 0..120 {
+                    let who = customer_name(rng.next_below(16));
+                    match rng.next_below(3) {
+                        0 => {
+                            let v = rng.range_inclusive(1, 5_000);
+                            if bank.deposit_checking(&who, Money::cents(v)).is_ok() {
+                                committed_delta.fetch_add(v, Ordering::Relaxed);
+                            }
+                        }
+                        1 => {
+                            let v = rng.range_inclusive(-3_000, 5_000);
+                            if bank.transact_saving(&who, Money::cents(v)).is_ok() {
+                                committed_delta.fetch_add(v, Ordering::Relaxed);
+                            }
+                        }
+                        _ => {
+                            let other = customer_name(rng.next_below(16));
+                            if other != who {
+                                // Amalgamate moves money internally: delta 0.
+                                let _ = bank.amalgamate(&who, &other);
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    let expected = initial + Money::cents(committed_delta.load(Ordering::Relaxed));
+    assert_eq!(
+        bank.total_balance(),
+        expected,
+        "money leaked or was conjured"
+    );
+}
+
+#[test]
+fn conservation_under_si_fuw() {
+    run_conservation(EngineConfig::functional(), Strategy::BaseSI, 0xA);
+}
+
+#[test]
+fn conservation_under_si_fcw() {
+    run_conservation(
+        EngineConfig::functional().with_cc(CcMode::SiFirstCommitterWins),
+        Strategy::BaseSI,
+        0xB,
+    );
+}
+
+#[test]
+fn conservation_under_ssi() {
+    run_conservation(
+        EngineConfig::functional().with_cc(CcMode::Ssi),
+        Strategy::BaseSI,
+        0xC,
+    );
+}
+
+#[test]
+fn conservation_under_s2pl() {
+    run_conservation(
+        EngineConfig::functional().with_cc(CcMode::S2pl),
+        Strategy::BaseSI,
+        0xD,
+    );
+}
+
+#[test]
+fn conservation_with_materialize_all() {
+    run_conservation(EngineConfig::functional(), Strategy::MaterializeALL, 0xE);
+}
+
+#[test]
+fn conservation_with_promote_all() {
+    run_conservation(EngineConfig::functional(), Strategy::PromoteALL, 0xF);
+}
+
+/// WriteCheck-only conservation, single-threaded oracle: we replicate the
+/// penalty decision and verify the audit matches.
+#[test]
+fn write_check_penalty_accounting_is_exact() {
+    let bank = SmallBank::new(
+        &SmallBankConfig::small(4),
+        EngineConfig::functional(),
+        Strategy::BaseSI,
+    );
+    let mut rng = Xoshiro256::seed_from_u64(0x77);
+    let mut expected = bank.total_balance();
+    for _ in 0..200 {
+        let who = customer_name(rng.next_below(4));
+        let v = Money::cents(rng.range_inclusive(100, 50_000));
+        let before = bank.balance(&who).unwrap();
+        bank.write_check(&who, v).unwrap();
+        expected -= if before < v { v + Money::dollars(1) } else { v };
+        assert_eq!(bank.total_balance(), expected);
+    }
+}

@@ -1,0 +1,287 @@
+//! Property-based tests over the core data structures and the central
+//! theorems of the toolkit.
+
+use proptest::prelude::*;
+use sicost::common::{Money, Ts, TxnId};
+use sicost::core::{
+    minimal_edge_cover, verify_safe, Access, AccessMode, EdgeCost, EdgePick, KeySpec, Program,
+    Sdg, SfuTreatment, StrategyPlan, Technique,
+};
+use sicost::engine::HistoryEvent;
+use sicost::mvsg::Mvsg;
+use sicost::storage::{Row, Value, Version, VersionChain};
+use std::collections::HashMap;
+
+// ---------------------------------------------------------------------
+// Version chains behave like a sorted map from timestamp to image.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn version_chain_visibility_matches_model(
+        // Strictly increasing install timestamps with arbitrary gaps.
+        gaps in prop::collection::vec(1u64..5, 1..30),
+        probes in prop::collection::vec(0u64..200, 1..20),
+    ) {
+        let mut chain = VersionChain::new();
+        let mut model: Vec<(u64, i64)> = Vec::new();
+        let mut ts = 0u64;
+        for (i, g) in gaps.iter().enumerate() {
+            ts += g;
+            chain.install(Version::data(
+                Ts(ts),
+                TxnId(i as u64),
+                Row::new(vec![Value::int(i as i64)]),
+            ));
+            model.push((ts, i as i64));
+        }
+        for probe in probes {
+            let expect = model.iter().rev().find(|(t, _)| *t <= probe).map(|(_, v)| *v);
+            let got = chain.visible(Ts(probe)).and_then(|v| v.row()).map(|r| r.int(0));
+            prop_assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn prune_preserves_visibility_at_or_after_horizon(
+        gaps in prop::collection::vec(1u64..5, 2..30),
+        horizon_frac in 0.0f64..1.2,
+    ) {
+        let mut chain = VersionChain::new();
+        let mut ts = 0u64;
+        let mut stamps = Vec::new();
+        for (i, g) in gaps.iter().enumerate() {
+            ts += g;
+            chain.install(Version::data(
+                Ts(ts),
+                TxnId(i as u64),
+                Row::new(vec![Value::int(i as i64)]),
+            ));
+            stamps.push(ts);
+        }
+        let horizon = (ts as f64 * horizon_frac) as u64;
+        let before: Vec<_> = (horizon..=ts + 2)
+            .map(|p| chain.visible(Ts(p)).map(|v| v.ts))
+            .collect();
+        chain.prune(Ts(horizon));
+        let after: Vec<_> = (horizon..=ts + 2)
+            .map(|p| chain.visible(Ts(p)).map(|v| v.ts))
+            .collect();
+        prop_assert_eq!(before, after, "pruning changed visible history");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Money arithmetic.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn money_add_sub_roundtrip(a in -1_000_000_000i64..1_000_000_000, b in -1_000_000_000i64..1_000_000_000) {
+        let (x, y) = (Money::cents(a), Money::cents(b));
+        prop_assert_eq!((x + y) - y, x);
+        prop_assert_eq!(x + y, y + x);
+        prop_assert_eq!(-(-x), x);
+    }
+
+    #[test]
+    fn money_display_shows_cents(a in -1_000_000i64..1_000_000) {
+        let s = Money::cents(a).to_string();
+        prop_assert!(s.contains('.'));
+        prop_assert!(s.contains('$'));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Serial histories are always serializable (MVSG sanity).
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn serial_histories_certify(
+        ops in prop::collection::vec((0u64..6, any::<bool>()), 1..80)
+    ) {
+        // Execute transactions strictly one after another over 6 keys.
+        let mut latest: HashMap<u64, Ts> = HashMap::new();
+        let mut events = Vec::new();
+        let mut clock = 0u64;
+        for (i, (key, writes)) in ops.iter().enumerate() {
+            let txn = TxnId(i as u64);
+            let k = Value::int(*key as i64);
+            events.push(HistoryEvent::Read {
+                txn,
+                table: sicost::common::TableId(0),
+                key: k.clone(),
+                observed: latest.get(key).copied(),
+            });
+            let mut writes_v = Vec::new();
+            if *writes {
+                clock += 1;
+                latest.insert(*key, Ts(clock));
+                writes_v.push((sicost::common::TableId(0), k));
+            }
+            events.push(HistoryEvent::Commit {
+                txn,
+                commit_ts: Ts(clock),
+                writes: writes_v,
+            });
+        }
+        let g = Mvsg::from_events(&events);
+        prop_assert!(g.is_serializable(), "a serial history failed certification");
+    }
+}
+
+// ---------------------------------------------------------------------
+// The central theorem machinery: for ANY random program mix,
+// materializing every vulnerable edge yields a mix with no dangerous
+// structure; and the minimal cover, once applied, does too.
+// ---------------------------------------------------------------------
+
+fn arb_keyspec() -> impl Strategy<Value = KeySpec> {
+    prop_oneof![
+        prop::sample::select(vec!["A", "B"]).prop_map(|p| KeySpec::Param(p.into())),
+        prop::sample::select(vec!["k1", "k2"]).prop_map(|c| KeySpec::Const(c.into())),
+        Just(KeySpec::Predicate("pred".into())),
+    ]
+}
+
+fn arb_access() -> impl Strategy<Value = Access> {
+    (
+        prop::sample::select(vec!["T0", "T1", "T2"]),
+        arb_keyspec(),
+        prop::sample::select(vec![AccessMode::Read, AccessMode::Write, AccessMode::SfuRead]),
+    )
+        .prop_map(|(t, k, m)| Access {
+            table: t.into(),
+            key: k,
+            mode: m,
+        })
+}
+
+fn arb_mix() -> impl Strategy<Value = Vec<Program>> {
+    prop::collection::vec(prop::collection::vec(arb_access(), 1..5), 2..4).prop_map(|pss| {
+        pss.into_iter()
+            .enumerate()
+            .map(|(i, accesses)| Program {
+                name: format!("P{i}"),
+                params: vec!["A".into(), "B".into()],
+                accesses,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn materializing_all_vulnerable_edges_always_makes_mixes_safe(mix in arb_mix()) {
+        for sfu in [SfuTreatment::AsLockOnly, SfuTreatment::AsWrite] {
+            let sdg = Sdg::build(&mix, sfu);
+            let plan = StrategyPlan::all_vulnerable(&sdg, Technique::Materialize);
+            let (_, re) = verify_safe(&sdg, &plan, sfu).expect("materialization always applies");
+            prop_assert!(
+                re.is_si_serializable(),
+                "MaterializeALL left a dangerous structure: {:?}",
+                re.dangerous_structures()
+            );
+        }
+    }
+
+    #[test]
+    fn minimal_cover_applied_via_materialization_is_safe(mix in arb_mix()) {
+        let sfu = SfuTreatment::AsLockOnly;
+        let sdg = Sdg::build(&mix, sfu);
+        let solution = minimal_edge_cover(&sdg, EdgeCost::default());
+        let plan = StrategyPlan {
+            picks: solution
+                .edges
+                .iter()
+                .map(|&ei| {
+                    let e = &sdg.edges()[ei];
+                    EdgePick {
+                        from: sdg.programs()[e.from].name.clone(),
+                        to: sdg.programs()[e.to].name.clone(),
+                        technique: Technique::Materialize,
+                    }
+                })
+                .collect(),
+        };
+        let (_, re) = verify_safe(&sdg, &plan, sfu).expect("cover edges are vulnerable");
+        prop_assert!(
+            re.is_si_serializable(),
+            "cover {:?} did not dissolve all structures",
+            solution.edges
+        );
+    }
+
+    #[test]
+    fn safe_mixes_stay_safe_under_materialization(mix in arb_mix()) {
+        // Monotonicity: adding conflict-table writes never *creates* a
+        // dangerous structure in an already-safe mix.
+        let sfu = SfuTreatment::AsLockOnly;
+        let sdg = Sdg::build(&mix, sfu);
+        if sdg.is_si_serializable() {
+            let plan = StrategyPlan::all_vulnerable(&sdg, Technique::Materialize);
+            let (_, re) = verify_safe(&sdg, &plan, sfu).unwrap();
+            prop_assert!(re.is_si_serializable());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Engine as a key-value store: single-threaded random workloads match a
+// HashMap model exactly.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn engine_matches_model_single_threaded(
+        ops in prop::collection::vec((0i64..20, prop::option::of(0i64..1000)), 1..60)
+    ) {
+        use sicost::engine::{Database, EngineConfig};
+        use sicost::storage::{ColumnDef, ColumnType, TableSchema};
+        let db = Database::builder()
+            .table(TableSchema::new(
+                "T",
+                vec![ColumnDef::new("id", ColumnType::Int), ColumnDef::new("v", ColumnType::Int)],
+                0,
+                vec![],
+            ).unwrap())
+            .unwrap()
+            .config(EngineConfig::functional())
+            .build();
+        let tid = db.table_id("T").unwrap();
+        let mut model: HashMap<i64, i64> = HashMap::new();
+        for (key, val) in ops {
+            let mut tx = db.begin();
+            let k = Value::int(key);
+            match val {
+                Some(v) => {
+                    // upsert
+                    let row = Row::new(vec![k.clone(), Value::int(v)]);
+                    if model.contains_key(&key) {
+                        tx.update(tid, &k, row).unwrap();
+                    } else {
+                        tx.insert(tid, row).unwrap();
+                    }
+                    model.insert(key, v);
+                }
+                None => {
+                    let deleted = tx.delete(tid, &k).unwrap();
+                    prop_assert_eq!(deleted, model.remove(&key).is_some());
+                }
+            }
+            tx.commit().unwrap();
+            // Full check against the model.
+            let mut check = db.begin();
+            for k in 0..20i64 {
+                let got = check.read(tid, &Value::int(k)).unwrap().map(|r| r.int(1));
+                prop_assert_eq!(got, model.get(&k).copied());
+            }
+            check.commit().unwrap();
+        }
+    }
+}
