@@ -6,12 +6,12 @@
 //! (`commit_delay`) at fixed MPL and reports throughput and the mean
 //! sync batch size.
 
-use sicost_driver::{run_closed, RunConfig};
+use sicost_bench::BenchMode;
+use sicost_driver::{run_closed, RetryPolicy, RunConfig};
 use sicost_engine::EngineConfig;
 use sicost_smallbank::{
     SmallBank, SmallBankConfig, SmallBankDriver, SmallBankWorkload, Strategy, WorkloadParams,
 };
-use sicost_bench::BenchMode;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -40,6 +40,7 @@ fn main() {
                 ramp_up: mode.ramp_up(),
                 measure: mode.measure(),
                 seed: 0x6C,
+                retry: RetryPolicy::disabled(),
             },
         );
         let wal = bank.db().wal_stats();

@@ -4,7 +4,7 @@
 
 use sicost_bench::figures::platforms;
 use sicost_bench::BenchMode;
-use sicost_driver::{repeat_summary, RunConfig, Series};
+use sicost_driver::{repeat_summary, RetryPolicy, RunConfig, Series};
 use sicost_smallbank::{
     SmallBank, SmallBankConfig, SmallBankDriver, SmallBankWorkload, Strategy, WorkloadParams,
 };
@@ -37,11 +37,7 @@ fn main() {
                 |r| {
                     let mut cfg = SmallBankConfig::paper();
                     cfg.seed ^= r;
-                    let bank = Arc::new(SmallBank::new(
-                        &cfg,
-                        platforms::postgres(),
-                        strategy,
-                    ));
+                    let bank = Arc::new(SmallBank::new(&cfg, platforms::postgres(), strategy));
                     SmallBankDriver::new(bank, SmallBankWorkload::new(params))
                 },
                 RunConfig {
@@ -49,6 +45,7 @@ fn main() {
                     ramp_up: mode.ramp_up(),
                     measure: mode.measure(),
                     seed: 0x407 ^ hotspot,
+                    retry: RetryPolicy::disabled(),
                 },
                 mode.repeats(),
             );

@@ -8,7 +8,7 @@
 //! "very poor".
 
 use sicost_bench::BenchMode;
-use sicost_driver::{repeat_summary, render_table, RunConfig, Series};
+use sicost_driver::{render_table, repeat_summary, RetryPolicy, RunConfig, Series};
 use sicost_engine::EngineConfig;
 use sicost_smallbank::{
     SmallBank, SmallBankConfig, SmallBankDriver, SmallBankWorkload, Strategy, WorkloadParams,
@@ -17,8 +17,8 @@ use std::sync::Arc;
 
 fn main() {
     let mode = BenchMode::from_env();
-    let params = WorkloadParams::paper_default()
-        .scaled(mode.customers(), (mode.customers() / 18).max(2));
+    let params =
+        WorkloadParams::paper_default().scaled(mode.customers(), (mode.customers() / 18).max(2));
     let mut engine = EngineConfig::postgres_like();
     engine.table_intent_locks = true; // LOCK TABLE has teeth
 
@@ -49,6 +49,7 @@ fn main() {
                     ramp_up: mode.ramp_up(),
                     measure: mode.measure(),
                     seed: 0x2B1 ^ mpl as u64,
+                    retry: RetryPolicy::disabled(),
                 },
                 mode.repeats(),
             );

@@ -20,7 +20,13 @@ fn main() {
     println!("\nFigure 6 — serialization-failure abort rate per transaction type (MPL 20)");
     println!("{:-<100}", "");
     print!("{:<16}", "Strategy");
-    for kind in ["Balance", "WriteCheck", "TransactSaving", "Amalgamate", "DepositChecking"] {
+    for kind in [
+        "Balance",
+        "WriteCheck",
+        "TransactSaving",
+        "Amalgamate",
+        "DepositChecking",
+    ] {
         print!(" | {kind:>16}");
     }
     println!();
@@ -35,7 +41,13 @@ fn main() {
                 .map(|(_, r)| *r)
                 .unwrap_or(0.0)
         };
-        for kind in ["Balance", "WriteCheck", "TransactSaving", "Amalgamate", "DepositChecking"] {
+        for kind in [
+            "Balance",
+            "WriteCheck",
+            "TransactSaving",
+            "Amalgamate",
+            "DepositChecking",
+        ] {
             print!(" | {:>15.2}%", 100.0 * get(kind));
         }
         println!();

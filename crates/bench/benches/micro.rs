@@ -1,7 +1,12 @@
-//! Criterion micro-benchmarks of the engine primitives: the costs the
-//! macro figures are built from.
+//! Micro-benchmarks of the engine primitives: the costs the macro
+//! figures are built from. Self-harnessed (`harness = false`) with a
+//! plain timing loop so the suite builds offline with no external
+//! benchmarking crate.
+//!
+//! ```sh
+//! cargo bench --bench micro
+//! ```
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use sicost_common::Xoshiro256;
 use sicost_core::SfuTreatment;
 use sicost_engine::{Database, EngineConfig};
@@ -9,6 +14,29 @@ use sicost_mvsg::Mvsg;
 use sicost_smallbank::sdg_spec;
 use sicost_storage::{ColumnDef, ColumnType, Row, TableSchema, Value};
 use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Warm up briefly, then time `iters` calls of `f` and report ns/op.
+fn bench(name: &str, mut f: impl FnMut()) {
+    for _ in 0..1_000 {
+        f();
+    }
+    // Grow the batch until a run takes long enough to time reliably.
+    let mut iters = 1_000u64;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let elapsed = start.elapsed();
+        if elapsed >= Duration::from_millis(200) || iters >= 1 << 24 {
+            let ns = elapsed.as_nanos() as f64 / iters as f64;
+            println!("{name:<45} {ns:>12.1} ns/op   ({iters} iters)");
+            return;
+        }
+        iters *= 4;
+    }
+}
 
 fn test_db(rows: i64) -> Database {
     let db = Database::builder()
@@ -36,54 +64,48 @@ fn test_db(rows: i64) -> Database {
     db
 }
 
-fn bench_engine_ops(c: &mut Criterion) {
+fn bench_engine_ops() {
     let db = test_db(10_000);
     let tid = db.table_id("T").unwrap();
 
-    c.bench_function("engine/read_only_txn_3_reads", |b| {
-        let mut i = 0i64;
-        b.iter(|| {
-            let mut tx = db.begin();
-            for k in 0..3 {
-                black_box(tx.read(tid, &Value::int((i + k) % 10_000)).unwrap());
-            }
-            tx.commit().unwrap();
-            i = (i + 7) % 10_000;
-        })
+    let mut i = 0i64;
+    bench("engine/read_only_txn_3_reads", || {
+        let mut tx = db.begin();
+        for k in 0..3 {
+            black_box(tx.read(tid, &Value::int((i + k) % 10_000)).unwrap());
+        }
+        tx.commit().unwrap();
+        i = (i + 7) % 10_000;
     });
 
-    c.bench_function("engine/update_txn_read_write_commit", |b| {
-        let mut i = 0i64;
-        b.iter(|| {
-            let mut tx = db.begin();
-            let key = Value::int(i % 10_000);
-            let row = tx.read(tid, &key).unwrap().unwrap();
-            let v = row.int(1);
-            tx.update(tid, &key, Row::new(vec![key.clone(), Value::int(v + 1)]))
-                .unwrap();
-            black_box(tx.commit().unwrap());
-            i = (i + 13) % 10_000;
-        })
+    let mut i = 0i64;
+    bench("engine/update_txn_read_write_commit", || {
+        let mut tx = db.begin();
+        let key = Value::int(i % 10_000);
+        let row = tx.read(tid, &key).unwrap().unwrap();
+        let v = row.int(1);
+        tx.update(tid, &key, Row::new(vec![key.clone(), Value::int(v + 1)]))
+            .unwrap();
+        black_box(tx.commit().unwrap());
+        i = (i + 13) % 10_000;
     });
 }
 
-fn bench_lock_manager(c: &mut Criterion) {
-    use sicost_engine::locks::{LockManager, LockMode, LockTarget};
+fn bench_lock_manager() {
     use sicost_common::{TableId, TxnId};
+    use sicost_engine::locks::{LockManager, LockMode, LockTarget};
     let lm = LockManager::new();
-    c.bench_function("locks/acquire_release_uncontended", |b| {
-        let mut i = 0u64;
-        b.iter(|| {
-            let txn = TxnId(i);
-            let t = LockTarget::row(TableId(0), Value::int((i % 1_000) as i64));
-            lm.acquire(txn, &t, LockMode::X).unwrap();
-            lm.release_all(txn);
-            i += 1;
-        })
+    let mut i = 0u64;
+    bench("locks/acquire_release_uncontended", || {
+        let txn = TxnId(i);
+        let t = LockTarget::row(TableId(0), Value::int((i % 1_000) as i64));
+        lm.acquire(txn, &t, LockMode::X).unwrap();
+        lm.release_all(txn);
+        i += 1;
     });
 }
 
-fn bench_mvsg(c: &mut Criterion) {
+fn bench_mvsg() {
     use sicost_common::{TableId, Ts, TxnId};
     use sicost_engine::HistoryEvent;
     // A 10k-transaction history over 100 keys.
@@ -103,35 +125,32 @@ fn bench_mvsg(c: &mut Criterion) {
             writes: vec![(TableId(0), key)],
         });
     }
-    c.bench_function("mvsg/build_and_certify_10k_txns", |b| {
-        b.iter(|| {
-            let g = Mvsg::from_events(black_box(&events));
-            black_box(g.certify().serializable)
-        })
+    bench("mvsg/build_and_certify_10k_txns", || {
+        let g = Mvsg::from_events(black_box(&events));
+        black_box(g.certify().serializable);
     });
 }
 
-fn bench_sdg(c: &mut Criterion) {
-    c.bench_function("sdg/analyse_smallbank", |b| {
-        b.iter(|| {
-            let sdg = sdg_spec::smallbank_sdg(black_box(SfuTreatment::AsLockOnly));
-            black_box(sdg.dangerous_structures().len())
-        })
+fn bench_sdg() {
+    bench("sdg/analyse_smallbank", || {
+        let sdg = sdg_spec::smallbank_sdg(black_box(SfuTreatment::AsLockOnly));
+        black_box(sdg.dangerous_structures().len());
     });
 }
 
-fn bench_sampling(c: &mut Criterion) {
+fn bench_sampling() {
     use sicost_smallbank::{SmallBankWorkload, WorkloadParams};
     let wl = SmallBankWorkload::new(WorkloadParams::paper_default());
     let mut rng = Xoshiro256::seed_from_u64(9);
-    c.bench_function("workload/sample_request", |b| {
-        b.iter(|| black_box(wl.sample(&mut rng)))
+    bench("workload/sample_request", || {
+        black_box(wl.sample(&mut rng));
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_engine_ops, bench_lock_manager, bench_mvsg, bench_sdg, bench_sampling
+fn main() {
+    bench_engine_ops();
+    bench_lock_manager();
+    bench_mvsg();
+    bench_sdg();
+    bench_sampling();
 }
-criterion_main!(benches);

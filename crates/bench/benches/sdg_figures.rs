@@ -21,10 +21,22 @@ fn main() {
     show("Figure 1 — SDG for the SmallBank benchmark", &base);
 
     for (figure, strategy) in [
-        ("Figure 2 — SDG for Option WT (MaterializeWT)", Strategy::MaterializeWT),
-        ("Figure 2 — SDG for Option WT (PromoteWT-upd)", Strategy::PromoteWTUpd),
-        ("Figure 3(a) — SDG for MaterializeBW", Strategy::MaterializeBW),
-        ("Figure 3(b) — SDG for PromoteBW-upd", Strategy::PromoteBWUpd),
+        (
+            "Figure 2 — SDG for Option WT (MaterializeWT)",
+            Strategy::MaterializeWT,
+        ),
+        (
+            "Figure 2 — SDG for Option WT (PromoteWT-upd)",
+            Strategy::PromoteWTUpd,
+        ),
+        (
+            "Figure 3(a) — SDG for MaterializeBW",
+            Strategy::MaterializeBW,
+        ),
+        (
+            "Figure 3(b) — SDG for PromoteBW-upd",
+            Strategy::PromoteBWUpd,
+        ),
     ] {
         let (_, re) = verify_safe(&base, &plan_for(strategy), SfuTreatment::AsLockOnly)
             .expect("strategy applies");
@@ -35,8 +47,14 @@ fn main() {
     // The sfu variants, on the platform where they work.
     let base_w = smallbank_sdg(SfuTreatment::AsWrite);
     for (figure, strategy) in [
-        ("Figure 2 (commercial) — PromoteWT-sfu", Strategy::PromoteWTSfu),
-        ("Figure 3 (commercial) — PromoteBW-sfu", Strategy::PromoteBWSfu),
+        (
+            "Figure 2 (commercial) — PromoteWT-sfu",
+            Strategy::PromoteWTSfu,
+        ),
+        (
+            "Figure 3 (commercial) — PromoteBW-sfu",
+            Strategy::PromoteBWSfu,
+        ),
     ] {
         let (_, re) =
             verify_safe(&base_w, &plan_for(strategy), SfuTreatment::AsWrite).expect("applies");

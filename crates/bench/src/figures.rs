@@ -2,7 +2,8 @@
 
 use crate::mode::BenchMode;
 use sicost_driver::{
-    ascii_chart, csv_table, render_table, repeat_summary, run_closed, RunConfig, Series,
+    ascii_chart, csv_table, render_table, repeat_summary, run_closed, RetryPolicy, RunConfig,
+    Series,
 };
 use sicost_engine::{CcMode, EngineConfig, SfuSemantics};
 use sicost_smallbank::{
@@ -59,8 +60,7 @@ pub fn run_figure(spec: &FigureSpec, mode: BenchMode) -> Vec<Series> {
     let mut params = spec.params;
     // Scale the population with the mode, keeping the hotspot ratio.
     if params.customers != mode.customers() {
-        let hotspot = (params.hotspot as f64 * mode.customers() as f64
-            / params.customers as f64)
+        let hotspot = (params.hotspot as f64 * mode.customers() as f64 / params.customers as f64)
             .round()
             .max(2.0) as u64;
         params = params.scaled(mode.customers(), hotspot);
@@ -74,6 +74,7 @@ pub fn run_figure(spec: &FigureSpec, mode: BenchMode) -> Vec<Series> {
                 ramp_up: mode.ramp_up(),
                 measure: mode.measure(),
                 seed: 0xF1_60 ^ mpl as u64,
+                retry: RetryPolicy::disabled(),
             };
             let (summary, _) = repeat_summary(
                 |r| build_driver(&line.engine, line.strategy, &params, r),
@@ -142,6 +143,7 @@ pub fn abort_profile(
             ramp_up: mode.ramp_up(),
             measure: mode.measure() * 2,
             seed: 0xAB0,
+            retry: RetryPolicy::disabled(),
         },
     );
     metrics
@@ -207,7 +209,10 @@ mod tests {
         let series = run_figure(&spec, BenchMode::Smoke);
         assert_eq!(series.len(), 1);
         assert_eq!(series[0].points.len(), BenchMode::Smoke.mpls().len());
-        assert!(series[0].peak() > 0.0, "functional engine must commit a lot");
+        assert!(
+            series[0].peak() > 0.0,
+            "functional engine must commit a lot"
+        );
         print_figure(&spec, &series, "n/a (machinery test)");
     }
 

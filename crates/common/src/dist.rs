@@ -194,9 +194,7 @@ mod tests {
         let s = HotspotSampler::paper_default(18_000, 1_000);
         let mut rng = Xoshiro256::seed_from_u64(1);
         let n = 100_000;
-        let hot = (0..n)
-            .filter(|_| s.sample(&mut rng) < 1_000)
-            .count() as f64;
+        let hot = (0..n).filter(|_| s.sample(&mut rng) < 1_000).count() as f64;
         let frac = hot / n as f64;
         assert!(
             (frac - 0.9).abs() < 0.01,

@@ -1,0 +1,312 @@
+//! Deterministic fault injection.
+//!
+//! A single seeded [`FaultInjector`] is threaded through the WAL's log
+//! device and the engine's commit pipeline, so one configuration drives
+//! every fault in a run and the whole schedule replays from the seed:
+//!
+//! * **Latency spikes** — the log device occasionally stalls for an extra
+//!   configured duration, modelling a drive hiccup.
+//! * **Transient sync errors** — a device sync fails outright; the commit
+//!   batch is not made durable and every waiting committer aborts with a
+//!   transient error the client retry layer absorbs.
+//! * **Forced aborts** — a commit is probabilistically killed before
+//!   validation, modelling an admission-control or OOM kill.
+//! * **Crash points** — on the *n*-th arrival at a chosen pipeline stage
+//!   the simulated process "dies": the injector latches into a crashed
+//!   state, the stage stops mid-flight, and every later operation fails.
+//!   Recovery tests then replay the durable log into a fresh catalog.
+//!
+//! All probabilistic draws come from one internal seeded generator, so a
+//! fault schedule is reproducible up to thread interleaving; crash points
+//! use deterministic countdowns and are exactly reproducible.
+
+use crate::rng::Xoshiro256;
+use crate::sync::Mutex;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Stages of the commit pipeline where a simulated crash can be armed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CrashPoint {
+    /// After validation, before the redo record reaches the WAL: nothing
+    /// durable — the transaction must be absent after recovery.
+    BeforeWalAppend,
+    /// While the device is writing the commit batch: the batch's last
+    /// record is torn (a byte prefix reaches the disk image), which
+    /// recovery must detect by checksum and truncate.
+    DuringWalSync,
+    /// After the redo record is durable, before any version is installed:
+    /// the transaction is committed by the log even though the client saw
+    /// an error — recovery must resurrect it.
+    AfterWalAppend,
+    /// Half-way through version installation: in-memory state is torn,
+    /// but the log is complete — recovery must restore all of it.
+    MidInstall,
+    /// After installation completes: the commit fully happened; recovery
+    /// must preserve it.
+    AfterInstall,
+}
+
+impl fmt::Display for CrashPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            CrashPoint::BeforeWalAppend => "before-wal-append",
+            CrashPoint::DuringWalSync => "during-wal-sync",
+            CrashPoint::AfterWalAppend => "after-wal-append",
+            CrashPoint::MidInstall => "mid-install",
+            CrashPoint::AfterInstall => "after-install",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// Fault-injection parameters. The default injects nothing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Seed for the probabilistic draws.
+    pub seed: u64,
+    /// Probability that one device sync stalls for [`Self::wal_latency_spike`].
+    pub wal_latency_spike_p: f64,
+    /// Extra stall charged when a latency spike fires.
+    pub wal_latency_spike: Duration,
+    /// Probability that one device sync fails transiently.
+    pub wal_sync_error_p: f64,
+    /// Probability that one commit is forcibly aborted before validation.
+    pub forced_abort_p: f64,
+    /// Armed crash: the pipeline stage and the 1-based arrival count at
+    /// which the simulated process dies.
+    pub crash_at: Option<(CrashPoint, u64)>,
+}
+
+impl FaultConfig {
+    /// No faults at all.
+    pub fn none() -> Self {
+        Self {
+            seed: 0,
+            wal_latency_spike_p: 0.0,
+            wal_latency_spike: Duration::ZERO,
+            wal_sync_error_p: 0.0,
+            forced_abort_p: 0.0,
+            crash_at: None,
+        }
+    }
+
+    /// Transient-only faults (no crash): forced aborts and sync errors at
+    /// the given rates, seeded.
+    pub fn transient(seed: u64, forced_abort_p: f64, wal_sync_error_p: f64) -> Self {
+        Self {
+            seed,
+            forced_abort_p,
+            wal_sync_error_p,
+            ..Self::none()
+        }
+    }
+
+    /// A deterministic crash at `point` on its `nth` (1-based) arrival.
+    pub fn crash(point: CrashPoint, nth: u64) -> Self {
+        Self {
+            crash_at: Some((point, nth)),
+            ..Self::none()
+        }
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// Counters of injected faults, for assertions and reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Latency spikes charged to the device.
+    pub latency_spikes: u64,
+    /// Transient sync errors injected.
+    pub sync_errors: u64,
+    /// Commits forcibly aborted.
+    pub forced_aborts: u64,
+    /// 1 once the armed crash point has fired.
+    pub crashes: u64,
+}
+
+/// The seeded fault source. Shared (`Arc`) between the engine and the WAL.
+pub struct FaultInjector {
+    config: FaultConfig,
+    rng: Mutex<Xoshiro256>,
+    crashed: AtomicBool,
+    crash_countdown: AtomicU64,
+    latency_spikes: AtomicU64,
+    sync_errors: AtomicU64,
+    forced_aborts: AtomicU64,
+}
+
+impl fmt::Debug for FaultInjector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FaultInjector")
+            .field("config", &self.config)
+            .field("crashed", &self.crashed.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl FaultInjector {
+    /// Creates an injector from a configuration.
+    pub fn new(config: FaultConfig) -> Self {
+        let countdown = config.crash_at.map(|(_, n)| n.max(1)).unwrap_or(0);
+        Self {
+            rng: Mutex::new(Xoshiro256::seed_from_u64(config.seed)),
+            crashed: AtomicBool::new(false),
+            crash_countdown: AtomicU64::new(countdown),
+            latency_spikes: AtomicU64::new(0),
+            sync_errors: AtomicU64::new(0),
+            forced_aborts: AtomicU64::new(0),
+            config,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// Seeded Bernoulli draw.
+    fn roll(&self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        self.rng.lock().next_bool(p)
+    }
+
+    /// Extra device stall to charge on this sync, if a spike fires.
+    pub fn wal_latency_spike(&self) -> Option<Duration> {
+        if self.roll(self.config.wal_latency_spike_p) {
+            self.latency_spikes.fetch_add(1, Ordering::Relaxed);
+            Some(self.config.wal_latency_spike)
+        } else {
+            None
+        }
+    }
+
+    /// True when this device sync should fail transiently.
+    pub fn wal_sync_error(&self) -> bool {
+        if self.roll(self.config.wal_sync_error_p) {
+            self.sync_errors.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// True when this commit should be forcibly aborted.
+    pub fn forced_abort(&self) -> bool {
+        if self.roll(self.config.forced_abort_p) {
+            self.forced_aborts.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Called by the pipeline on arrival at `point`. Returns `true`
+    /// exactly once — when the armed countdown for this point reaches
+    /// zero — and latches the injector into the crashed state.
+    pub fn at_crash_point(&self, point: CrashPoint) -> bool {
+        let Some((armed, _)) = self.config.crash_at else {
+            return false;
+        };
+        if armed != point || self.crashed() {
+            return false;
+        }
+        // Decrement; the arrival that takes the countdown 1 -> 0 fires.
+        let prev = self.crash_countdown.fetch_sub(1, Ordering::AcqRel);
+        if prev == 1 {
+            self.crashed.store(true, Ordering::Release);
+            true
+        } else {
+            if prev == 0 {
+                // Raced past zero after the crash fired; restore.
+                self.crash_countdown.store(0, Ordering::Release);
+            }
+            false
+        }
+    }
+
+    /// True once the armed crash has fired: the simulated process is dead
+    /// and every subsequent operation must fail.
+    pub fn crashed(&self) -> bool {
+        self.crashed.load(Ordering::Acquire)
+    }
+
+    /// Snapshot of injected-fault counters.
+    pub fn stats(&self) -> FaultStats {
+        FaultStats {
+            latency_spikes: self.latency_spikes.load(Ordering::Relaxed),
+            sync_errors: self.sync_errors.load(Ordering::Relaxed),
+            forced_aborts: self.forced_aborts.load(Ordering::Relaxed),
+            crashes: u64::from(self.crashed()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_fault_config_injects_nothing() {
+        let f = FaultInjector::new(FaultConfig::none());
+        for _ in 0..1000 {
+            assert!(f.wal_latency_spike().is_none());
+            assert!(!f.wal_sync_error());
+            assert!(!f.forced_abort());
+            assert!(!f.at_crash_point(CrashPoint::BeforeWalAppend));
+        }
+        assert!(!f.crashed());
+        assert_eq!(f.stats(), FaultStats::default());
+    }
+
+    #[test]
+    fn rates_are_roughly_respected_and_seeded() {
+        let cfg = FaultConfig::transient(42, 0.3, 0.0);
+        let f = FaultInjector::new(cfg);
+        let fired = (0..10_000).filter(|_| f.forced_abort()).count();
+        let frac = fired as f64 / 10_000.0;
+        assert!((frac - 0.3).abs() < 0.03, "rate {frac}");
+        assert_eq!(f.stats().forced_aborts, fired as u64);
+
+        // Same seed => identical schedule.
+        let a = FaultInjector::new(cfg);
+        let b = FaultInjector::new(cfg);
+        let sa: Vec<bool> = (0..256).map(|_| a.forced_abort()).collect();
+        let sb: Vec<bool> = (0..256).map(|_| b.forced_abort()).collect();
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn crash_fires_exactly_once_at_the_nth_arrival() {
+        let f = FaultInjector::new(FaultConfig::crash(CrashPoint::AfterWalAppend, 3));
+        assert!(!f.at_crash_point(CrashPoint::AfterWalAppend));
+        // Other points never fire.
+        assert!(!f.at_crash_point(CrashPoint::BeforeWalAppend));
+        assert!(!f.at_crash_point(CrashPoint::AfterWalAppend));
+        assert!(!f.crashed());
+        assert!(f.at_crash_point(CrashPoint::AfterWalAppend), "3rd arrival");
+        assert!(f.crashed());
+        assert!(!f.at_crash_point(CrashPoint::AfterWalAppend), "fires once");
+        assert_eq!(f.stats().crashes, 1);
+    }
+
+    #[test]
+    fn latency_spike_returns_the_configured_stall() {
+        let f = FaultInjector::new(FaultConfig {
+            seed: 7,
+            wal_latency_spike_p: 1.0,
+            wal_latency_spike: Duration::from_millis(3),
+            ..FaultConfig::none()
+        });
+        assert_eq!(f.wal_latency_spike(), Some(Duration::from_millis(3)));
+        assert_eq!(f.stats().latency_spikes, 1);
+    }
+}

@@ -114,9 +114,104 @@ impl LatencyHistogram {
     }
 }
 
+/// Small linear histogram over non-negative counts (e.g. attempts needed
+/// per committed transaction). Values at or above `BINS - 1` share the
+/// overflow bin; the exact mean and max are tracked separately.
+#[derive(Debug, Clone)]
+pub struct CountHistogram {
+    bins: [u64; Self::BINS],
+    total: u64,
+    sum: u128,
+    max: u64,
+}
+
+impl CountHistogram {
+    /// Number of bins; the last is the overflow bin.
+    pub const BINS: usize = 32;
+
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            bins: [0; Self::BINS],
+            total: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one count.
+    pub fn record(&mut self, value: u64) {
+        let idx = (value as usize).min(Self::BINS - 1);
+        self.bins[idx] += 1;
+        self.total += 1;
+        self.sum += u128::from(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Exact arithmetic mean of recorded counts (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Largest recorded count.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Samples recorded with exactly this count (the last bin also holds
+    /// every larger value).
+    pub fn bin(&self, value: u64) -> u64 {
+        self.bins[(value as usize).min(Self::BINS - 1)]
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &CountHistogram) {
+        for (a, b) in self.bins.iter_mut().zip(other.bins.iter()) {
+            *a += *b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl Default for CountHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn count_histogram_tracks_mean_max_and_bins() {
+        let mut h = CountHistogram::new();
+        for v in [1u64, 1, 2, 4] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.bin(1), 2);
+        assert_eq!(h.bin(2), 1);
+        assert_eq!(h.max(), 4);
+        assert!((h.mean() - 2.0).abs() < 1e-12);
+        let mut other = CountHistogram::new();
+        other.record(100); // overflow bin
+        h.merge(&other);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.max(), 100);
+        assert_eq!(h.bin(CountHistogram::BINS as u64), 1);
+    }
 
     #[test]
     fn empty_histogram() {

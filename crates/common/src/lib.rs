@@ -5,19 +5,21 @@
 //! summary statistics and money arithmetic lives here, so that experiment
 //! results are reproducible bit-for-bit from a seed.
 
-
 #![warn(missing_docs)]
 
 pub mod dist;
+pub mod fault;
 pub mod histogram;
 pub mod ids;
 pub mod money;
 pub mod rng;
 pub mod stats;
+pub mod sync;
 
 pub use dist::{DiscreteDist, HotspotSampler, Zipf};
+pub use fault::{CrashPoint, FaultConfig, FaultInjector, FaultStats};
+pub use histogram::{CountHistogram, LatencyHistogram};
 pub use ids::{TableId, Ts, TxnId};
-pub use histogram::LatencyHistogram;
 pub use money::Money;
 pub use rng::{SplitMix64, Xoshiro256};
 pub use stats::{ci95_half_width, OnlineStats, Summary};

@@ -128,10 +128,7 @@ mod tests {
     fn checked_ops_catch_overflow() {
         assert!(Money(i64::MAX).checked_add(Money(1)).is_none());
         assert!(Money(i64::MIN).checked_sub(Money(1)).is_none());
-        assert_eq!(
-            Money(5).checked_add(Money(6)),
-            Some(Money(11)),
-        );
+        assert_eq!(Money(5).checked_add(Money(6)), Some(Money(11)),);
     }
 
     #[test]

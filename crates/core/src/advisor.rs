@@ -116,9 +116,7 @@ pub fn advise(programs: &[Program], sfu: SfuTreatment, costs: EdgeCost) -> Advic
         // Promotion applies only when no vulnerable conflict on this edge
         // anchors on a predicate read (§II-C).
         let predicate_involved = edge.conflicts.iter().any(|c| {
-            c.kind == ConflictKind::Rw
-                && !c.shielded
-                && matches!(c.from_key, KeySpec::Predicate(_))
+            c.kind == ConflictKind::Rw && !c.shielded && matches!(c.from_key, KeySpec::Predicate(_))
         });
         let (technique, rationale) = if predicate_involved {
             (
@@ -255,9 +253,21 @@ mod tests {
     fn advisor_always_verifies_on_random_like_shapes() {
         // A tangle of programs with multiple dangerous structures.
         let mix = vec![
-            Program::new("A", ["K"], vec![Access::read("X", "K"), Access::write("Y", "K")]),
-            Program::new("B", ["K"], vec![Access::read("Y", "K"), Access::write("Z", "K")]),
-            Program::new("C", ["K"], vec![Access::read("Z", "K"), Access::write("X", "K")]),
+            Program::new(
+                "A",
+                ["K"],
+                vec![Access::read("X", "K"), Access::write("Y", "K")],
+            ),
+            Program::new(
+                "B",
+                ["K"],
+                vec![Access::read("Y", "K"), Access::write("Z", "K")],
+            ),
+            Program::new(
+                "C",
+                ["K"],
+                vec![Access::read("Z", "K"), Access::write("X", "K")],
+            ),
         ];
         let advice = advise(&mix, SfuTreatment::AsLockOnly, EdgeCost::default());
         assert!(!advice.already_safe);

@@ -127,9 +127,21 @@ fn exact_cover(pairs: &[(usize, usize)], costs: &[f64]) -> (u64, f64) {
             Some(&(a, b)) => {
                 // Branch: cover with a, or with b. Self-pairs (a == b)
                 // branch once.
-                recurse(pairs, costs, chosen | (1 << a), cost_so_far + costs[a], best);
+                recurse(
+                    pairs,
+                    costs,
+                    chosen | (1 << a),
+                    cost_so_far + costs[a],
+                    best,
+                );
                 if a != b {
-                    recurse(pairs, costs, chosen | (1 << b), cost_so_far + costs[b], best);
+                    recurse(
+                        pairs,
+                        costs,
+                        chosen | (1 << b),
+                        cost_so_far + costs[b],
+                        best,
+                    );
                 }
             }
         }
@@ -229,8 +241,7 @@ mod tests {
             &sdg.programs()[e.to].name,
             crate::strategy::Technique::PromoteUpdate,
         );
-        let (_, re) =
-            crate::strategy::verify_safe(&sdg, &plan, SfuTreatment::AsLockOnly).unwrap();
+        let (_, re) = crate::strategy::verify_safe(&sdg, &plan, SfuTreatment::AsLockOnly).unwrap();
         assert!(re.is_si_serializable());
     }
 
@@ -289,9 +300,7 @@ mod tests {
                     )
                 })
                 .collect();
-            let costs: Vec<f64> = (0..n)
-                .map(|_| 1.0 + rng.next_below(5) as f64)
-                .collect();
+            let costs: Vec<f64> = (0..n).map(|_| 1.0 + rng.next_below(5) as f64).collect();
             let (em, ec) = exact_cover(&pairs, &costs);
             let (gm, gc) = greedy_cover(&pairs, &costs);
             // Both must cover everything.

@@ -29,7 +29,6 @@
 //! a mere lock (PostgreSQL), in which case promotion-by-sfu does **not**
 //! remove vulnerability.
 
-
 #![warn(missing_docs)]
 
 pub mod advisor;

@@ -251,7 +251,10 @@ mod tests {
         assert!(bal.is_read_only());
         let mut with_sfu = bal.clone();
         with_sfu.accesses.push(Access::sfu("Checking", "N"));
-        assert!(with_sfu.is_read_only(), "sfu alone keeps a program read-only");
+        assert!(
+            with_sfu.is_read_only(),
+            "sfu alone keeps a program read-only"
+        );
         let mut writer = bal;
         writer.accesses.push(Access::write("Saving", "N"));
         assert!(!writer.is_read_only());

@@ -126,7 +126,10 @@ mod tests {
         assert!(dot.contains("digraph"));
         assert!(dot.contains("style=dashed"), "vulnerable edges dashed");
         assert!(dot.contains("fillcolor=lightgrey"), "updaters shaded");
-        assert!(dot.contains("\"Bal\" [shape=ellipse];"), "read-only unshaded");
+        assert!(
+            dot.contains("\"Bal\" [shape=ellipse];"),
+            "read-only unshaded"
+        );
     }
 
     #[test]

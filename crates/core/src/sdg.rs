@@ -260,13 +260,7 @@ fn conflicts_between(p: &Program, q: &Program, sfu: SfuTreatment) -> Vec<Conflic
 /// rule forbids the two instances committing concurrently and the rw
 /// conflict cannot become an anti-dependency between concurrent
 /// transactions.
-fn shielded_by_ww(
-    p: &Program,
-    q: &Program,
-    pa: &Access,
-    qa: &Access,
-    sfu: SfuTreatment,
-) -> bool {
+fn shielded_by_ww(p: &Program, q: &Program, pa: &Access, qa: &Access, sfu: SfuTreatment) -> bool {
     for pw in &p.accesses {
         if !is_effective_write(pw.mode, sfu) {
             continue;
@@ -358,7 +352,10 @@ mod tests {
         let e = sdg.edge_between(0, 1).unwrap();
         assert!(!e.vulnerable, "companion ww write shields the rw conflict");
         // The unshared-direction conflicts still exist.
-        assert!(e.conflicts.iter().any(|c| c.kind == ConflictKind::Rw && c.shielded));
+        assert!(e
+            .conflicts
+            .iter()
+            .any(|c| c.kind == ConflictKind::Rw && c.shielded));
     }
 
     #[test]
@@ -431,7 +428,10 @@ mod tests {
             }],
         );
         let sdg = Sdg::build(&[p, q], SfuTreatment::AsLockOnly);
-        assert!(sdg.edge_between(0, 1).is_none(), "distinct constants never collide");
+        assert!(
+            sdg.edge_between(0, 1).is_none(),
+            "distinct constants never collide"
+        );
     }
 
     #[test]

@@ -338,7 +338,10 @@ mod tests {
         assert!(plan.picks.len() >= 2);
         let (_, re) = verify_safe(&sdg, &plan, SfuTreatment::AsLockOnly).unwrap();
         assert!(re.is_si_serializable());
-        assert!(re.vulnerable_edges().is_empty(), "ALL removes every vulnerability");
+        assert!(
+            re.vulnerable_edges().is_empty(),
+            "ALL removes every vulnerability"
+        );
     }
 
     #[test]
@@ -371,13 +374,20 @@ mod tests {
             Program::new(
                 "Scan",
                 [],
-                vec![Access {
-                    table: "X".into(),
-                    key: KeySpec::Predicate("v>0".into()),
-                    mode: AccessMode::Read,
-                }, Access::write("Y", "K")],
+                vec![
+                    Access {
+                        table: "X".into(),
+                        key: KeySpec::Predicate("v>0".into()),
+                        mode: AccessMode::Read,
+                    },
+                    Access::write("Y", "K"),
+                ],
             ),
-            Program::new("Upd", ["K"], vec![Access::write("X", "K"), Access::read("Y", "K")]),
+            Program::new(
+                "Upd",
+                ["K"],
+                vec![Access::write("X", "K"), Access::read("Y", "K")],
+            ),
         ];
         let sdg = Sdg::build(&mix, SfuTreatment::AsLockOnly);
         assert!(!sdg.is_si_serializable());

@@ -10,13 +10,14 @@
 //! The driver is engine-agnostic: anything implementing [`Workload`] can
 //! be measured. `sicost-smallbank` provides the SmallBank adapter.
 
-
 #![warn(missing_docs)]
 
 pub mod metrics;
 pub mod report;
+pub mod retry;
 pub mod runner;
 
 pub use metrics::{KindMetrics, Outcome, RunMetrics};
-pub use report::{ascii_chart, csv_table, render_table, Series, SeriesPoint};
+pub use report::{ascii_chart, csv_table, render_table, retry_report, Series, SeriesPoint};
+pub use retry::{RetryDecision, RetryPolicy};
 pub use runner::{repeat_summary, run_closed, RunConfig, Workload};

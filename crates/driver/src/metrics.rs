@@ -1,6 +1,6 @@
 //! Measurement counters.
 
-use sicost_common::LatencyHistogram;
+use sicost_common::{CountHistogram, LatencyHistogram};
 use std::time::Duration;
 
 /// How one transaction attempt ended.
@@ -14,6 +14,10 @@ pub enum Outcome {
     Deadlock,
     /// Rolled back by an application rule.
     ApplicationRollback,
+    /// Aborted by an injected transient fault (forced abort, WAL sync
+    /// failure): retryable, like a serialization failure, but counted
+    /// separately so fault-injection runs can tell the two apart.
+    TransientFault,
 }
 
 /// Counters for one transaction kind.
@@ -27,14 +31,28 @@ pub struct KindMetrics {
     pub deadlocks: u64,
     /// Application rollbacks.
     pub app_rollbacks: u64,
-    /// Response times of *committed* transactions.
+    /// Transient-fault aborts (injected faults absorbed by retry).
+    pub transient_faults: u64,
+    /// Operations abandoned after the retry budget ran out.
+    pub give_ups: u64,
+    /// Attempts each *committed* operation needed (1 = first try).
+    pub attempts_per_commit: CountHistogram,
+    /// Response times of *committed* operations, measured from the first
+    /// attempt's start — so they include retry backoff.
     pub latency: LatencyHistogram,
+    /// Per committed operation that needed more than one attempt: the
+    /// time lost to failed attempts and backoff before the final one.
+    pub retry_latency: LatencyHistogram,
 }
 
 impl KindMetrics {
     /// Total attempts.
     pub fn attempts(&self) -> u64 {
-        self.commits + self.serialization_failures + self.deadlocks + self.app_rollbacks
+        self.commits
+            + self.serialization_failures
+            + self.deadlocks
+            + self.app_rollbacks
+            + self.transient_faults
     }
 
     /// Serialization-failure abort rate among attempts (Figure 6's
@@ -58,6 +76,32 @@ impl KindMetrics {
             Outcome::SerializationFailure => self.serialization_failures += 1,
             Outcome::Deadlock => self.deadlocks += 1,
             Outcome::ApplicationRollback => self.app_rollbacks += 1,
+            Outcome::TransientFault => self.transient_faults += 1,
+        }
+    }
+
+    /// Records the retry profile of one *committed* operation: how many
+    /// attempts it took and how much time the failed ones (plus backoff)
+    /// cost. Call alongside [`Self::record`] of the final attempt.
+    pub fn record_commit_op(&mut self, attempts: u64, retry_lost: Duration) {
+        self.attempts_per_commit.record(attempts);
+        if attempts > 1 {
+            self.retry_latency.record(retry_lost);
+        }
+    }
+
+    /// Records one operation abandoned after exhausting its retry budget.
+    pub fn record_give_up(&mut self) {
+        self.give_ups += 1;
+    }
+
+    /// Mean retries per committed operation (0 when every commit landed
+    /// on the first try).
+    pub fn retries_per_commit(&self) -> f64 {
+        if self.attempts_per_commit.count() == 0 {
+            0.0
+        } else {
+            (self.attempts_per_commit.mean() - 1.0).max(0.0)
         }
     }
 
@@ -67,7 +111,11 @@ impl KindMetrics {
         self.serialization_failures += other.serialization_failures;
         self.deadlocks += other.deadlocks;
         self.app_rollbacks += other.app_rollbacks;
+        self.transient_faults += other.transient_faults;
+        self.give_ups += other.give_ups;
+        self.attempts_per_commit.merge(&other.attempts_per_commit);
         self.latency.merge(&other.latency);
+        self.retry_latency.merge(&other.retry_latency);
     }
 }
 
@@ -114,6 +162,35 @@ impl RunMetrics {
     /// Total application rollbacks.
     pub fn app_rollbacks(&self) -> u64 {
         self.per_kind.iter().map(|k| k.app_rollbacks).sum()
+    }
+
+    /// Total transient-fault aborts.
+    pub fn transient_faults(&self) -> u64 {
+        self.per_kind.iter().map(|k| k.transient_faults).sum()
+    }
+
+    /// Total operations abandoned after exhausting the retry budget.
+    pub fn give_ups(&self) -> u64 {
+        self.per_kind.iter().map(|k| k.give_ups).sum()
+    }
+
+    /// Total attempts across kinds (commits + every abort class).
+    pub fn attempts(&self) -> u64 {
+        self.per_kind.iter().map(|k| k.attempts()).sum()
+    }
+
+    /// Mean retries per committed operation across kinds.
+    pub fn retries_per_commit(&self) -> f64 {
+        let commits = self.commits();
+        if commits == 0 {
+            return 0.0;
+        }
+        let extra: f64 = self
+            .per_kind
+            .iter()
+            .map(|k| k.retries_per_commit() * k.attempts_per_commit.count() as f64)
+            .sum();
+        extra / commits as f64
     }
 
     /// Committed transactions per second over the measurement interval.

@@ -2,6 +2,7 @@
 //! (the bench harnesses print these as their reproduction of the paper's
 //! figures).
 
+use crate::metrics::RunMetrics;
 use sicost_common::Summary;
 
 /// One point of a series: x (e.g. MPL) and a summarised y (e.g. TPS).
@@ -72,10 +73,7 @@ pub fn render_table(x_label: &str, series: &[Series]) -> String {
         out.push_str(&format!("{x:>8.0}"));
         for s in series {
             match s.points.iter().find(|p| (p.x - x).abs() < 1e-9) {
-                Some(p) => out.push_str(&format!(
-                    " | {:>12.1} ±{:>5.1}",
-                    p.y.mean, p.y.ci95
-                )),
+                Some(p) => out.push_str(&format!(" | {:>12.1} ±{:>5.1}", p.y.mean, p.y.ci95)),
                 None => out.push_str(&format!(" | {:>20}", "-")),
             }
         }
@@ -95,6 +93,50 @@ pub fn csv_table(x_label: &str, series: &[Series]) -> String {
             ));
         }
     }
+    out
+}
+
+/// Renders the attempts-vs-goodput profile of one run: per kind, the
+/// commit count, every abort class, mean retries per commit, give-ups and
+/// mean retry time — the view that separates what clients *submitted*
+/// from what the system *got done*.
+pub fn retry_report(m: &RunMetrics) -> String {
+    let mut out = format!(
+        "{:>12} | {:>9} {:>9} {:>7} {:>7} {:>9} {:>8} {:>8} {:>12}\n",
+        "kind",
+        "commits",
+        "serfail",
+        "dlock",
+        "faults",
+        "rollback",
+        "giveups",
+        "retries",
+        "retry-time"
+    );
+    out.push_str(&"-".repeat(out.len()));
+    out.push('\n');
+    for (name, k) in m.kind_names.iter().zip(&m.per_kind) {
+        out.push_str(&format!(
+            "{:>12} | {:>9} {:>9} {:>7} {:>7} {:>9} {:>8} {:>8.2} {:>10.1?}\n",
+            name,
+            k.commits,
+            k.serialization_failures,
+            k.deadlocks,
+            k.transient_faults,
+            k.app_rollbacks,
+            k.give_ups,
+            k.retries_per_commit(),
+            k.retry_latency.mean(),
+        ));
+    }
+    out.push_str(&format!(
+        "goodput {:.1} tps from {} attempts ({} commits, {:.2} retries/commit, {} give-ups)\n",
+        m.tps(),
+        m.attempts(),
+        m.commits(),
+        m.retries_per_commit(),
+        m.give_ups(),
+    ));
     out
 }
 
@@ -201,6 +243,25 @@ mod tests {
     #[test]
     fn chart_handles_empty() {
         assert_eq!(ascii_chart(&[], 10), "(no data)\n");
+    }
+
+    #[test]
+    fn retry_report_shows_attempts_and_goodput() {
+        use crate::metrics::Outcome;
+        use std::time::Duration;
+        let mut m = RunMetrics::new(vec!["bal", "amal"], 2);
+        let k = &mut m.per_kind[0];
+        k.record(Outcome::SerializationFailure, Duration::ZERO);
+        k.record(Outcome::SerializationFailure, Duration::ZERO);
+        k.record(Outcome::Committed, Duration::from_millis(3));
+        k.record_commit_op(3, Duration::from_millis(2));
+        m.per_kind[1].record_give_up();
+        m.measured = Duration::from_secs(1);
+        let r = retry_report(&m);
+        assert!(r.contains("bal"), "{r}");
+        assert!(r.contains("2.00"), "retries/commit column: {r}");
+        assert!(r.contains("goodput 1.0 tps from 3 attempts"), "{r}");
+        assert!(r.contains("1 give-ups"), "{r}");
     }
 
     #[test]

@@ -1,0 +1,217 @@
+//! Client-side retry orchestration.
+//!
+//! Under snapshot isolation and SSI the *system* answer to a conflict is
+//! an abort; the *application* answer is to retry the transaction. The
+//! paper's throughput metric (and ours — see `EXPERIMENTS.md`) is
+//! therefore goodput: committed transactions per second with each client
+//! retrying its current request until it commits or the policy gives up.
+//!
+//! A [`RetryPolicy`] decides, per failed attempt, whether the error class
+//! is worth retrying (serialization failures, deadlocks and transient
+//! faults are; application rollbacks and constraint violations are not —
+//! rerunning those would repeat the same deterministic outcome), and how
+//! long to back off: exponential in the attempt number, capped, with
+//! seeded jitter so two clients that collided do not collide again in
+//! lock-step — yet the whole schedule replays from the run seed.
+
+use crate::metrics::Outcome;
+use sicost_common::Xoshiro256;
+use std::time::Duration;
+
+/// What the retry loop should do after an attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetryDecision {
+    /// The attempt ended the operation (committed, or a non-retryable
+    /// failure the application accepts).
+    Done,
+    /// Back off for the given duration, then re-execute the same request.
+    Retry(Duration),
+    /// The attempt failed retryably but the budget is exhausted: count a
+    /// give-up and move on to a fresh request.
+    GiveUp,
+}
+
+/// Bounded exponential backoff with deterministic jitter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Maximum attempts per request, counting the first (so `1` disables
+    /// retry entirely).
+    pub max_attempts: u32,
+    /// Backoff before the second attempt; doubles each further attempt.
+    pub base_backoff: Duration,
+    /// Cap on any single backoff.
+    pub max_backoff: Duration,
+    /// Jitter fraction in `[0, 1]`: each backoff is drawn uniformly from
+    /// `[d * (1 - jitter), d]` using the client's seeded generator.
+    pub jitter: f64,
+}
+
+impl RetryPolicy {
+    /// No retry: every attempt is final. This reproduces the pre-retry
+    /// driver behaviour exactly.
+    pub fn disabled() -> Self {
+        Self {
+            max_attempts: 1,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+            jitter: 0.0,
+        }
+    }
+
+    /// Defaults matched to the simulated platform's timescale: conflicts
+    /// resolve within a group-commit window or two, so backoffs start well
+    /// below one window and stay bounded at a few of them.
+    pub fn paper_default() -> Self {
+        Self {
+            max_attempts: 10,
+            base_backoff: Duration::from_micros(200),
+            max_backoff: Duration::from_millis(10),
+            jitter: 0.5,
+        }
+    }
+
+    /// True when the retry loop is a no-op.
+    pub fn is_disabled(&self) -> bool {
+        self.max_attempts <= 1
+    }
+
+    /// Whether this outcome class is worth re-executing. Serialization
+    /// failures, deadlocks and transient faults are scheduling accidents —
+    /// the same request can succeed later. Application rollbacks encode a
+    /// business rule (e.g. insufficient funds) that would recur.
+    pub fn retryable(outcome: Outcome) -> bool {
+        matches!(
+            outcome,
+            Outcome::SerializationFailure | Outcome::Deadlock | Outcome::TransientFault
+        )
+    }
+
+    /// The backoff before attempt `attempt + 1`, given that `attempt`
+    /// (1-based) just failed. Exponential, capped, jittered from `rng`.
+    pub fn backoff(&self, attempt: u32, rng: &mut Xoshiro256) -> Duration {
+        if self.base_backoff.is_zero() {
+            return Duration::ZERO;
+        }
+        let exp = attempt.saturating_sub(1).min(20);
+        let raw = self
+            .base_backoff
+            .saturating_mul(1u32 << exp)
+            .min(self.max_backoff);
+        if self.jitter <= 0.0 {
+            return raw;
+        }
+        let scale = 1.0 - self.jitter * rng.next_f64();
+        raw.mul_f64(scale.clamp(0.0, 1.0))
+    }
+
+    /// Full per-attempt decision: `attempt` is 1-based.
+    pub fn decide(&self, outcome: Outcome, attempt: u32, rng: &mut Xoshiro256) -> RetryDecision {
+        if !Self::retryable(outcome) {
+            return RetryDecision::Done;
+        }
+        if attempt >= self.max_attempts {
+            RetryDecision::GiveUp
+        } else {
+            RetryDecision::Retry(self.backoff(attempt, rng))
+        }
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn committed_and_rollback_are_final() {
+        let p = RetryPolicy::paper_default();
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        assert_eq!(
+            p.decide(Outcome::Committed, 1, &mut rng),
+            RetryDecision::Done
+        );
+        assert_eq!(
+            p.decide(Outcome::ApplicationRollback, 1, &mut rng),
+            RetryDecision::Done
+        );
+    }
+
+    #[test]
+    fn retryable_classes_retry_until_the_budget_runs_out() {
+        let p = RetryPolicy {
+            max_attempts: 3,
+            ..RetryPolicy::paper_default()
+        };
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        for outcome in [
+            Outcome::SerializationFailure,
+            Outcome::Deadlock,
+            Outcome::TransientFault,
+        ] {
+            assert!(matches!(
+                p.decide(outcome, 1, &mut rng),
+                RetryDecision::Retry(_)
+            ));
+            assert!(matches!(
+                p.decide(outcome, 2, &mut rng),
+                RetryDecision::Retry(_)
+            ));
+            assert_eq!(p.decide(outcome, 3, &mut rng), RetryDecision::GiveUp);
+        }
+    }
+
+    #[test]
+    fn disabled_policy_never_retries() {
+        let p = RetryPolicy::disabled();
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        assert!(p.is_disabled());
+        assert_eq!(
+            p.decide(Outcome::SerializationFailure, 1, &mut rng),
+            RetryDecision::GiveUp
+        );
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let p = RetryPolicy {
+            max_attempts: 20,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(8),
+            jitter: 0.0,
+        };
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        assert_eq!(p.backoff(1, &mut rng), Duration::from_millis(1));
+        assert_eq!(p.backoff(2, &mut rng), Duration::from_millis(2));
+        assert_eq!(p.backoff(3, &mut rng), Duration::from_millis(4));
+        assert_eq!(p.backoff(4, &mut rng), Duration::from_millis(8));
+        assert_eq!(p.backoff(10, &mut rng), Duration::from_millis(8), "capped");
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_reproducible_from_the_seed() {
+        let p = RetryPolicy {
+            max_attempts: 20,
+            base_backoff: Duration::from_millis(4),
+            max_backoff: Duration::from_millis(100),
+            jitter: 0.5,
+        };
+        let mut a = Xoshiro256::seed_from_u64(99);
+        let seq_a: Vec<Duration> = (1..=8).map(|i| p.backoff(i, &mut a)).collect();
+        let mut b = Xoshiro256::seed_from_u64(99);
+        let seq_b: Vec<Duration> = (1..=8).map(|i| p.backoff(i, &mut b)).collect();
+        assert_eq!(seq_a, seq_b, "same seed, same backoffs");
+        // Each jittered backoff lies in [raw/2, raw].
+        let no_jitter = RetryPolicy { jitter: 0.0, ..p };
+        let mut c = Xoshiro256::seed_from_u64(99);
+        for (i, d) in seq_a.iter().enumerate() {
+            let raw = no_jitter.backoff(i as u32 + 1, &mut c);
+            assert!(*d <= raw, "jitter only shrinks");
+            assert!(d.as_secs_f64() >= raw.as_secs_f64() * 0.5 - 1e-9);
+        }
+    }
+}

@@ -1,19 +1,31 @@
 //! The closed-system runner.
 
 use crate::metrics::{Outcome, RunMetrics};
+use crate::retry::{RetryDecision, RetryPolicy};
 use sicost_common::{OnlineStats, Summary, Xoshiro256};
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::time::{Duration, Instant};
 
 /// Something the driver can measure: a transaction source.
+///
+/// Sampling and execution are split so the retry loop can re-execute the
+/// *same* request after a retryable abort — retrying a SmallBank transfer
+/// must not silently turn it into a different transfer.
 pub trait Workload: Send + Sync {
+    /// One sampled client request, replayable across attempts.
+    type Request: Send;
+
     /// Names of the transaction kinds (stable indexes).
     fn kinds(&self) -> Vec<&'static str>;
 
-    /// Runs one transaction to completion (commit or abort), returning
-    /// its kind index and outcome. Blocking inside (locks, group commit)
-    /// is expected — that is the system under test.
-    fn run_once(&self, rng: &mut Xoshiro256) -> (usize, Outcome);
+    /// Draws the next request and its kind index from the client's RNG.
+    fn sample(&self, rng: &mut Xoshiro256) -> (usize, Self::Request);
+
+    /// Runs one attempt of `request` to completion (commit or abort).
+    /// `attempt` is 1-based and increments on each retry of the same
+    /// request. Blocking inside (locks, group commit) is expected — that
+    /// is the system under test.
+    fn execute(&self, request: &Self::Request, attempt: u32) -> Outcome;
 }
 
 /// Parameters of one measured run.
@@ -27,17 +39,27 @@ pub struct RunConfig {
     pub measure: Duration,
     /// Base RNG seed; thread `i` uses an independent stream.
     pub seed: u64,
+    /// Client retry policy applied to every request.
+    pub retry: RetryPolicy,
 }
 
 impl RunConfig {
-    /// A fast configuration for tests.
+    /// A fast configuration for tests. Retry is disabled so every attempt
+    /// is final, as in the pre-retry driver.
     pub fn quick(mpl: usize) -> Self {
         Self {
             mpl,
             ramp_up: Duration::from_millis(50),
             measure: Duration::from_millis(300),
             seed: 0xD1CE,
+            retry: RetryPolicy::disabled(),
         }
+    }
+
+    /// Sets the retry policy (builder-style).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
     }
 }
 
@@ -46,9 +68,13 @@ const PHASE_MEASURE: u8 = 1;
 const PHASE_DONE: u8 = 2;
 
 /// Runs the closed system: `mpl` threads, each looping
-/// submit-wait-submit with no think time. Returns the merged metrics for
-/// the measurement interval only. Attempts are attributed to the interval
-/// in which they *finish*.
+/// sample–execute–retry with no think time. Each client retries its
+/// current request under [`RunConfig::retry`] until it commits, fails
+/// non-retryably, or exhausts the budget (a give-up). Returns the merged
+/// metrics for the measurement interval only; a whole operation (all of
+/// its attempts) is attributed to the interval in which it *finishes*, so
+/// per-kind attempt counts stay exact multiples of the per-request retry
+/// schedule.
 pub fn run_closed<W: Workload>(workload: &W, config: RunConfig) -> RunMetrics {
     let kinds = workload.kinds();
     let phase = AtomicU8::new(PHASE_RAMP);
@@ -62,23 +88,58 @@ pub fn run_closed<W: Workload>(workload: &W, config: RunConfig) -> RunMetrics {
                 let mut rng = base_rng.stream(i as u64);
                 let kinds_len = kinds.len();
                 s.spawn(move || {
-                    let mut local = RunMetrics::new(vec![""; kinds_len].clone(), 0);
-                    loop {
-                        match phase_ref.load(Ordering::Acquire) {
-                            PHASE_DONE => break,
-                            current_phase => {
-                                let t0 = Instant::now();
-                                let (kind, outcome) = workload.run_once(&mut rng);
-                                let latency = t0.elapsed();
-                                // Count only if we are *still* measuring
-                                // (or were when we started): attribute to
-                                // finish-time phase.
-                                if phase_ref.load(Ordering::Acquire) == PHASE_MEASURE
-                                    && current_phase != PHASE_DONE
-                                {
-                                    local.per_kind[kind].record(outcome, latency);
+                    let mut local = RunMetrics::new(vec![""; kinds_len], 0);
+                    // Attempt outcomes of the in-flight operation, buffered
+                    // so the whole operation is recorded atomically at its
+                    // completion (or discarded outside the interval).
+                    let mut attempts_buf: Vec<Outcome> = Vec::new();
+                    while phase_ref.load(Ordering::Acquire) != PHASE_DONE {
+                        let (kind, request) = workload.sample(&mut rng);
+                        let op_t0 = Instant::now();
+                        let mut attempt = 1u32;
+                        attempts_buf.clear();
+                        let mut last_attempt_time;
+                        let (final_outcome, gave_up) = loop {
+                            let t0 = Instant::now();
+                            let outcome = workload.execute(&request, attempt);
+                            last_attempt_time = t0.elapsed();
+                            attempts_buf.push(outcome);
+                            match config.retry.decide(outcome, attempt, &mut rng) {
+                                RetryDecision::Done => break (outcome, false),
+                                RetryDecision::GiveUp => break (outcome, true),
+                                RetryDecision::Retry(backoff) => {
+                                    // Stop retrying once the run is over so
+                                    // shutdown never waits on a backoff chain.
+                                    if phase_ref.load(Ordering::Acquire) == PHASE_DONE {
+                                        break (outcome, false);
+                                    }
+                                    if !backoff.is_zero() {
+                                        std::thread::sleep(backoff);
+                                    }
+                                    attempt += 1;
                                 }
                             }
+                        };
+                        if phase_ref.load(Ordering::Acquire) != PHASE_MEASURE {
+                            continue;
+                        }
+                        let op_latency = op_t0.elapsed();
+                        let k = &mut local.per_kind[kind];
+                        for outcome in &attempts_buf {
+                            // Commit latency is recorded at operation
+                            // granularity below, not per attempt.
+                            if *outcome != Outcome::Committed {
+                                k.record(*outcome, Duration::ZERO);
+                            }
+                        }
+                        if final_outcome == Outcome::Committed {
+                            k.record(Outcome::Committed, op_latency);
+                            k.record_commit_op(
+                                attempts_buf.len() as u64,
+                                op_latency.saturating_sub(last_attempt_time),
+                            );
+                        } else if gave_up {
+                            k.record_give_up();
                         }
                     }
                     local
@@ -138,16 +199,22 @@ mod tests {
     }
 
     impl Workload for Toy {
+        type Request = bool;
+
         fn kinds(&self) -> Vec<&'static str> {
             vec!["ok", "fail"]
         }
-        fn run_once(&self, rng: &mut Xoshiro256) -> (usize, Outcome) {
+        fn sample(&self, rng: &mut Xoshiro256) -> (usize, bool) {
+            let ok = rng.next_bool(0.5);
+            (usize::from(!ok), ok)
+        }
+        fn execute(&self, ok: &bool, _attempt: u32) -> Outcome {
             self.attempts.fetch_add(1, Ordering::Relaxed);
             std::thread::sleep(Duration::from_micros(500));
-            if rng.next_bool(0.5) {
-                (0, Outcome::Committed)
+            if *ok {
+                Outcome::Committed
             } else {
-                (1, Outcome::SerializationFailure)
+                Outcome::SerializationFailure
             }
         }
     }
@@ -213,5 +280,122 @@ mod tests {
             lat >= Duration::from_micros(400),
             "mean latency must reflect the sleep: {lat:?}"
         );
+    }
+
+    /// A single kind that serialization-fails on every attempt before the
+    /// `succeed_on`-th and then commits — the deterministic retry fixture.
+    struct FlakyN {
+        succeed_on: u32,
+    }
+
+    impl Workload for FlakyN {
+        type Request = ();
+
+        fn kinds(&self) -> Vec<&'static str> {
+            vec!["flaky"]
+        }
+        fn sample(&self, _rng: &mut Xoshiro256) -> (usize, ()) {
+            (0, ())
+        }
+        fn execute(&self, _req: &(), attempt: u32) -> Outcome {
+            if attempt >= self.succeed_on {
+                Outcome::Committed
+            } else {
+                Outcome::SerializationFailure
+            }
+        }
+    }
+
+    #[test]
+    fn retry_separates_attempts_from_goodput() {
+        const N: u32 = 4;
+        let w = FlakyN { succeed_on: N };
+        let cfg = RunConfig {
+            mpl: 2,
+            ramp_up: Duration::from_millis(20),
+            measure: Duration::from_millis(150),
+            seed: 7,
+            retry: RetryPolicy {
+                max_attempts: 8,
+                base_backoff: Duration::from_micros(50),
+                max_backoff: Duration::from_micros(400),
+                jitter: 0.5,
+            },
+        };
+        let m = run_closed(&w, cfg);
+        let k = m.kind("flaky").unwrap();
+        assert!(k.commits > 0, "the workload commits on attempt {N}");
+        // Goodput counts one commit per operation; the metrics must still
+        // show every failed attempt — exactly N-1 per commit.
+        assert_eq!(
+            k.serialization_failures,
+            u64::from(N - 1) * k.commits,
+            "each commit takes exactly {N} attempts"
+        );
+        assert_eq!(k.give_ups, 0);
+        assert_eq!(k.attempts_per_commit.count(), k.commits);
+        assert!((k.attempts_per_commit.mean() - f64::from(N)).abs() < 1e-9);
+        assert!((k.retries_per_commit() - f64::from(N - 1)).abs() < 1e-9);
+        assert_eq!(k.attempts_per_commit.bin(u64::from(N)), k.commits);
+        assert_eq!(
+            k.retry_latency.count(),
+            k.commits,
+            "every commit needed retries, so each records retry time"
+        );
+        assert!(k.retry_latency.mean() >= Duration::from_micros(75));
+    }
+
+    #[test]
+    fn exhausted_budget_counts_a_give_up_not_a_commit() {
+        let w = FlakyN { succeed_on: 100 };
+        let cfg = RunConfig {
+            mpl: 1,
+            ramp_up: Duration::from_millis(10),
+            measure: Duration::from_millis(80),
+            seed: 7,
+            retry: RetryPolicy {
+                max_attempts: 3,
+                base_backoff: Duration::ZERO,
+                max_backoff: Duration::ZERO,
+                jitter: 0.0,
+            },
+        };
+        let m = run_closed(&w, cfg);
+        let k = m.kind("flaky").unwrap();
+        assert_eq!(k.commits, 0);
+        assert!(k.give_ups > 0);
+        assert_eq!(
+            k.serialization_failures,
+            3 * k.give_ups,
+            "each abandoned operation burned its whole 3-attempt budget"
+        );
+        assert_eq!(m.give_ups(), k.give_ups);
+    }
+
+    #[test]
+    fn backoff_schedule_is_reproducible_from_the_seed() {
+        let run = || {
+            let w = FlakyN { succeed_on: 3 };
+            let cfg = RunConfig {
+                mpl: 1,
+                ramp_up: Duration::from_millis(10),
+                measure: Duration::from_millis(100),
+                seed: 0xFEED,
+                retry: RetryPolicy {
+                    max_attempts: 5,
+                    base_backoff: Duration::from_micros(100),
+                    max_backoff: Duration::from_millis(1),
+                    jitter: 0.5,
+                },
+            };
+            let m = run_closed(&w, cfg);
+            let k = m.kind("flaky").unwrap();
+            (k.commits > 0, k.serialization_failures / k.commits.max(1))
+        };
+        let (a_committed, a_ratio) = run();
+        let (b_committed, b_ratio) = run();
+        assert!(a_committed && b_committed);
+        assert_eq!(a_ratio, 2, "always exactly 2 failures per commit");
+        assert_eq!(a_ratio, b_ratio);
     }
 }

@@ -1,7 +1,9 @@
 //! Engine configuration: concurrency-control mode, `FOR UPDATE` semantics,
 //! and the simulated cost model.
 
+use sicost_common::FaultInjector;
 use sicost_wal::WalConfig;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Concurrency-control discipline.
@@ -22,7 +24,10 @@ pub enum CcMode {
 impl CcMode {
     /// True for the two plain-SI modes (which admit write skew).
     pub fn is_snapshot_isolation(self) -> bool {
-        matches!(self, CcMode::SiFirstUpdaterWins | CcMode::SiFirstCommitterWins)
+        matches!(
+            self,
+            CcMode::SiFirstUpdaterWins | CcMode::SiFirstCommitterWins
+        )
     }
 
     /// True when writers validate their snapshot at write time
@@ -113,6 +118,9 @@ pub struct EngineConfig {
     /// writers — the substrate for §II-D's "simulate 2PL with explicit
     /// table-granularity locks" approach (PostgreSQL's `LOCK TABLE`).
     pub table_intent_locks: bool,
+    /// Shared fault injector driving WAL faults and commit-pipeline
+    /// crashes/forced aborts. `None` (the default) injects nothing.
+    pub faults: Option<Arc<FaultInjector>>,
 }
 
 impl EngineConfig {
@@ -126,6 +134,7 @@ impl EngineConfig {
             cost: CostModel::zero(),
             vacuum_every: None,
             table_intent_locks: false,
+            faults: None,
         }
     }
 
@@ -145,6 +154,7 @@ impl EngineConfig {
             },
             vacuum_every: Some(20_000),
             table_intent_locks: false,
+            faults: None,
         }
     }
 
@@ -164,6 +174,7 @@ impl EngineConfig {
             },
             vacuum_every: Some(20_000),
             table_intent_locks: false,
+            faults: None,
         }
     }
 
@@ -188,6 +199,14 @@ impl EngineConfig {
     /// Sets the cost model (builder-style).
     pub fn with_cost(mut self, cost: CostModel) -> Self {
         self.cost = cost;
+        self
+    }
+
+    /// Attaches a fault injector (builder-style). The same injector is
+    /// shared by the WAL device and the commit pipeline, so one seed
+    /// drives the whole fault schedule.
+    pub fn with_faults(mut self, faults: Arc<FaultInjector>) -> Self {
+        self.faults = Some(faults);
         self
     }
 }

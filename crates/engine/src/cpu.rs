@@ -3,11 +3,11 @@
 //! The paper's server is a single 3.0 GHz Pentium 4: at the plateau, its CPU
 //! is the bottleneck that caps throughput regardless of MPL. We model it as
 //! a single serialising service station — each charged operation queues for
-//! the (fair) station mutex and holds it for the service time — so that the
+//! the station mutex and holds it for the service time — so that the
 //! closed system exhibits the same saturation behaviour.
 
 use crate::config::CostModel;
-use parking_lot::FairMutex;
+use sicost_common::sync::Mutex;
 use std::time::Duration;
 
 /// A serialising CPU with configurable per-operation service times and an
@@ -16,7 +16,7 @@ use std::time::Duration;
 #[derive(Debug)]
 pub struct CpuStation {
     model: CostModel,
-    station: FairMutex<()>,
+    station: Mutex<()>,
 }
 
 impl CpuStation {
@@ -24,7 +24,7 @@ impl CpuStation {
     pub fn new(model: CostModel) -> Self {
         Self {
             model,
-            station: FairMutex::new(()),
+            station: Mutex::new(()),
         }
     }
 

@@ -9,8 +9,8 @@ use crate::metrics::{EngineMetrics, EngineMetricsInner};
 use crate::registry::ActiveRegistry;
 use crate::ssi::SsiManager;
 use crate::txn::Transaction;
-use parking_lot::Mutex;
-use sicost_common::{TableId, Ts, TxnId};
+use sicost_common::sync::Mutex;
+use sicost_common::{FaultInjector, TableId, Ts, TxnId};
 use sicost_storage::{Catalog, Row, SchemaError, TableSchema, Version};
 use sicost_wal::{DeviceStats, Wal, WalStats};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -45,7 +45,7 @@ impl DatabaseBuilder {
 
     /// Builds the database.
     pub fn build(self) -> Database {
-        let wal = Wal::new(self.config.wal);
+        let wal = Wal::with_faults(self.config.wal, self.config.faults.clone());
         Database {
             catalog: Arc::new(self.catalog),
             cpu: CpuStation::new(self.config.cost),
@@ -204,6 +204,22 @@ impl Database {
         self.wal.log_snapshot()
     }
 
+    /// Snapshot of the durable WAL byte image — what crash recovery scans.
+    pub fn disk_snapshot(&self) -> Vec<u8> {
+        self.wal.disk_snapshot()
+    }
+
+    /// The configured fault injector, if any.
+    pub fn faults(&self) -> Option<&Arc<FaultInjector>> {
+        self.config.faults.as_ref()
+    }
+
+    /// True once an armed crash point has fired: the simulated process is
+    /// dead and every subsequent commit fails with a transient error.
+    pub fn crashed(&self) -> bool {
+        self.config.faults.as_ref().is_some_and(|f| f.crashed())
+    }
+
     /// Number of currently active transactions.
     pub fn active_transactions(&self) -> usize {
         self.registry.active_count()
@@ -280,8 +296,12 @@ mod tests {
         // Five committed updates of the same row.
         for i in 1..=5 {
             let mut tx = db.begin();
-            tx.update(tid, &Value::int(1), Row::new(vec![Value::int(1), Value::int(i)]))
-                .unwrap();
+            tx.update(
+                tid,
+                &Value::int(1),
+                Row::new(vec![Value::int(1), Value::int(i)]),
+            )
+            .unwrap();
             tx.commit().unwrap();
         }
         let t = db.catalog().table(tid);

@@ -44,6 +44,10 @@ pub enum AbortReason {
     /// The application rolled back (e.g. WriteCheck on an unknown
     /// customer, TransactSaving on insufficient funds).
     Application,
+    /// Killed by a transient environmental fault (injected forced abort,
+    /// failed WAL sync, or a simulated crash) — retryable from the
+    /// client's point of view.
+    Transient,
 }
 
 impl fmt::Display for AbortReason {
@@ -52,6 +56,7 @@ impl fmt::Display for AbortReason {
             AbortReason::Serialization(k) => write!(f, "serialization failure ({k})"),
             AbortReason::Deadlock => write!(f, "deadlock"),
             AbortReason::Application => write!(f, "application rollback"),
+            AbortReason::Transient => write!(f, "transient fault"),
         }
     }
 }
@@ -70,6 +75,12 @@ pub enum TxnError {
     Deadlock,
     /// A constraint (uniqueness, schema) would be violated.
     Constraint(String),
+    /// A transient environmental fault: an injected forced abort, a failed
+    /// WAL sync, or a simulated crash. Like serialization failures this
+    /// poisons the transaction, but the *class* is different — the retry
+    /// layer may resubmit, while a constraint violation must not be
+    /// retried.
+    Transient(String),
     /// Operation on a transaction that already committed or aborted.
     Inactive,
 }
@@ -81,6 +92,7 @@ impl TxnError {
             TxnError::Serialization(k) => Some(AbortReason::Serialization(*k)),
             TxnError::Deadlock => Some(AbortReason::Deadlock),
             TxnError::Constraint(_) => Some(AbortReason::Application),
+            TxnError::Transient(_) => Some(AbortReason::Transient),
             TxnError::Inactive => None,
         }
     }
@@ -88,6 +100,16 @@ impl TxnError {
     /// True for errors the paper counts as "serialization failure" aborts.
     pub fn is_serialization_failure(&self) -> bool {
         matches!(self, TxnError::Serialization(_))
+    }
+
+    /// True for errors a client should retry: serialization failures,
+    /// deadlock victims, and transient faults. Application-level errors
+    /// (constraint violations) and `Inactive` are not retryable.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            TxnError::Serialization(_) | TxnError::Deadlock | TxnError::Transient(_)
+        )
     }
 }
 
@@ -97,6 +119,7 @@ impl fmt::Display for TxnError {
             TxnError::Serialization(k) => write!(f, "could not serialize access ({k})"),
             TxnError::Deadlock => write!(f, "deadlock detected"),
             TxnError::Constraint(msg) => write!(f, "constraint violation: {msg}"),
+            TxnError::Transient(msg) => write!(f, "transient fault: {msg}"),
             TxnError::Inactive => write!(f, "transaction is no longer active"),
         }
     }
@@ -112,14 +135,32 @@ mod tests {
     fn abort_reasons_map_correctly() {
         assert_eq!(
             TxnError::Serialization(SerializationKind::FirstUpdaterWins).abort_reason(),
-            Some(AbortReason::Serialization(SerializationKind::FirstUpdaterWins))
+            Some(AbortReason::Serialization(
+                SerializationKind::FirstUpdaterWins
+            ))
         );
-        assert_eq!(TxnError::Deadlock.abort_reason(), Some(AbortReason::Deadlock));
+        assert_eq!(
+            TxnError::Deadlock.abort_reason(),
+            Some(AbortReason::Deadlock)
+        );
         assert_eq!(
             TxnError::Constraint("x".into()).abort_reason(),
             Some(AbortReason::Application)
         );
+        assert_eq!(
+            TxnError::Transient("wal sync failed".into()).abort_reason(),
+            Some(AbortReason::Transient)
+        );
         assert_eq!(TxnError::Inactive.abort_reason(), None);
+    }
+
+    #[test]
+    fn retryability_classes() {
+        assert!(TxnError::Serialization(SerializationKind::FirstCommitterWins).is_retryable());
+        assert!(TxnError::Deadlock.is_retryable());
+        assert!(TxnError::Transient("injected".into()).is_retryable());
+        assert!(!TxnError::Constraint("dup".into()).is_retryable());
+        assert!(!TxnError::Inactive.is_retryable());
     }
 
     #[test]

@@ -32,7 +32,6 @@
 //! CPU-only, the first write makes commit pay a disk sync, extra writes are
 //! nearly free.
 
-
 #![warn(missing_docs)]
 
 pub mod config;

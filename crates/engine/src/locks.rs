@@ -14,7 +14,7 @@
 //!   writes, all held to transaction end (strictness).
 
 use crate::error::TxnError;
-use parking_lot::{Condvar, Mutex};
+use sicost_common::sync::{Condvar, Mutex};
 use sicost_common::{TableId, TxnId};
 use sicost_storage::Value;
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -152,7 +152,11 @@ impl LockManager {
     }
 
     fn note_held(&self, txn: TxnId, target: &LockTarget) {
-        self.held.lock().entry(txn).or_default().push(target.clone());
+        self.held
+            .lock()
+            .entry(txn)
+            .or_default()
+            .push(target.clone());
     }
 
     /// Acquires `mode` on `target` for `txn`, blocking until granted.

@@ -13,6 +13,7 @@ pub struct EngineMetricsInner {
     aborts_ssi: AtomicU64,
     aborts_deadlock: AtomicU64,
     aborts_app: AtomicU64,
+    aborts_transient: AtomicU64,
     versions_pruned: AtomicU64,
 }
 
@@ -31,6 +32,7 @@ impl EngineMetricsInner {
             AbortReason::Serialization(SerializationKind::SsiPivot) => &self.aborts_ssi,
             AbortReason::Deadlock => &self.aborts_deadlock,
             AbortReason::Application => &self.aborts_app,
+            AbortReason::Transient => &self.aborts_transient,
         };
         slot.fetch_add(1, Ordering::Relaxed);
     }
@@ -49,6 +51,7 @@ impl EngineMetricsInner {
             aborts_ssi: self.aborts_ssi.load(Ordering::Relaxed),
             aborts_deadlock: self.aborts_deadlock.load(Ordering::Relaxed),
             aborts_application: self.aborts_app.load(Ordering::Relaxed),
+            aborts_transient: self.aborts_transient.load(Ordering::Relaxed),
             versions_pruned: self.versions_pruned.load(Ordering::Relaxed),
         }
     }
@@ -71,6 +74,8 @@ pub struct EngineMetrics {
     pub aborts_deadlock: u64,
     /// Application rollbacks.
     pub aborts_application: u64,
+    /// Transient-fault aborts (injected faults, failed WAL syncs, crashes).
+    pub aborts_transient: u64,
     /// Versions reclaimed by the garbage collector.
     pub versions_pruned: u64,
 }
@@ -84,7 +89,10 @@ impl EngineMetrics {
 
     /// All aborts of any kind.
     pub fn total_aborts(&self) -> u64 {
-        self.serialization_failures() + self.aborts_deadlock + self.aborts_application
+        self.serialization_failures()
+            + self.aborts_deadlock
+            + self.aborts_application
+            + self.aborts_transient
     }
 }
 
@@ -97,11 +105,16 @@ mod tests {
         let m = EngineMetricsInner::default();
         m.record_commit(false);
         m.record_commit(true);
-        m.record_abort(AbortReason::Serialization(SerializationKind::FirstUpdaterWins));
-        m.record_abort(AbortReason::Serialization(SerializationKind::FirstCommitterWins));
+        m.record_abort(AbortReason::Serialization(
+            SerializationKind::FirstUpdaterWins,
+        ));
+        m.record_abort(AbortReason::Serialization(
+            SerializationKind::FirstCommitterWins,
+        ));
         m.record_abort(AbortReason::Serialization(SerializationKind::SsiPivot));
         m.record_abort(AbortReason::Deadlock);
         m.record_abort(AbortReason::Application);
+        m.record_abort(AbortReason::Transient);
         m.record_pruned(7);
         let s = m.snapshot();
         assert_eq!(s.commits, 2);
@@ -111,8 +124,9 @@ mod tests {
         assert_eq!(s.aborts_ssi, 1);
         assert_eq!(s.aborts_deadlock, 1);
         assert_eq!(s.aborts_application, 1);
+        assert_eq!(s.aborts_transient, 1);
         assert_eq!(s.versions_pruned, 7);
         assert_eq!(s.serialization_failures(), 3);
-        assert_eq!(s.total_aborts(), 5);
+        assert_eq!(s.total_aborts(), 6);
     }
 }

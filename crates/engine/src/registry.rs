@@ -4,7 +4,7 @@
 //! garbage collector (safe pruning horizon), the commercial profile's load
 //! penalty (active-transaction count), and SSI (concurrency checks).
 
-use parking_lot::Mutex;
+use sicost_common::sync::Mutex;
 use sicost_common::{Ts, TxnId};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};

@@ -35,7 +35,7 @@
 //! discovering side aborts instead.
 
 use crate::error::{SerializationKind, TxnError};
-use parking_lot::Mutex;
+use sicost_common::sync::Mutex;
 use sicost_common::{TableId, Ts, TxnId};
 use sicost_storage::Value;
 use std::collections::HashMap;
@@ -110,7 +110,9 @@ impl SsiState {
         // Pivot rule: any transaction with both flags makes the structure
         // dangerous; abort one abortable participant.
         for t in [reader, writer] {
-            let Some(rec) = self.txns.get(&t) else { continue };
+            let Some(rec) = self.txns.get(&t) else {
+                continue;
+            };
             if rec.in_conflict && rec.out_conflict {
                 if t == me {
                     return Err(TxnError::Serialization(SerializationKind::SsiPivot));
@@ -414,10 +416,7 @@ mod tests {
         ssi.on_read(TxnId(3), key(2), &[]).unwrap();
         let w = ssi.on_write(TxnId(1), &key(2));
         let c = w.and_then(|_| ssi.pre_commit(TxnId(1), &[key(2)]));
-        assert_eq!(
-            c,
-            Err(TxnError::Serialization(SerializationKind::SsiPivot))
-        );
+        assert_eq!(c, Err(TxnError::Serialization(SerializationKind::SsiPivot)));
     }
 
     /// The validation→install window: a reader arriving *after* the
@@ -508,7 +507,11 @@ mod tests {
         assert_eq!(ssi.tracked(), 2);
         assert_eq!(ssi.gc(Ts(5)), 1);
         assert_eq!(ssi.tracked(), 1);
-        assert_eq!(ssi.gc(Ts(100)), 0, "active transactions are never collected");
+        assert_eq!(
+            ssi.gc(Ts(100)),
+            0,
+            "active transactions are never collected"
+        );
     }
 
     #[test]

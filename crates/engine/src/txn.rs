@@ -5,7 +5,7 @@ use crate::error::{AbortReason, SerializationKind, TxnError};
 use crate::history::HistoryEvent;
 use crate::locks::{LockMode, LockTarget};
 use crate::Database;
-use sicost_common::{TableId, Ts, TxnId};
+use sicost_common::{CrashPoint, TableId, Ts, TxnId};
 use sicost_storage::{Predicate, Row, Table, Value, Version};
 use sicost_wal::LogEntry;
 use std::collections::HashMap;
@@ -164,9 +164,9 @@ impl<'db> Transaction<'db> {
     /// key must be within our snapshot.
     fn fuw_check(&mut self, table: &Table, key: &Value) -> Result<(), TxnError> {
         match table.latest_ts(key) {
-            Some(ts) if ts > self.snapshot => Err(self.fail(TxnError::Serialization(
-                SerializationKind::FirstUpdaterWins,
-            ))),
+            Some(ts) if ts > self.snapshot => {
+                Err(self.fail(TxnError::Serialization(SerializationKind::FirstUpdaterWins)))
+            }
             _ => Ok(()),
         }
     }
@@ -522,6 +522,14 @@ impl<'db> Transaction<'db> {
     /// Read-only transactions skip the WAL and install entirely.
     pub fn commit(mut self) -> Result<Ts, TxnError> {
         self.ensure_active()?;
+        if self.db.crashed() {
+            return Err(self.fail(TxnError::Transient("database crashed".into())));
+        }
+        if let Some(f) = &self.db.config.faults {
+            if f.forced_abort() {
+                return Err(self.fail(TxnError::Transient("forced abort".into())));
+            }
+        }
         self.db.cpu.charge_commit(self.db.registry.active_count());
 
         // Deferred validation (First-Committer-Wins). Stable because we
@@ -558,6 +566,14 @@ impl<'db> Transaction<'db> {
         let commit_ts = if self.writes.is_empty() {
             self.snapshot
         } else {
+            let faults = self.db.config.faults.clone();
+            if let Some(f) = &faults {
+                if f.at_crash_point(CrashPoint::BeforeWalAppend) {
+                    // Died after validation, before anything was durable:
+                    // this transaction must be absent after recovery.
+                    return Err(self.fail(TxnError::Transient("crashed before wal append".into())));
+                }
+            }
             // Force the redo log (blocks for the group-commit batch).
             let entries: Vec<LogEntry> = self
                 .writes
@@ -568,12 +584,32 @@ impl<'db> Transaction<'db> {
                     image: w.image.clone(),
                 })
                 .collect();
-            self.db.wal.commit(self.id, entries);
+            if let Err(e) = self.db.wal.commit(self.id, entries) {
+                return Err(self.fail(TxnError::Transient(format!("wal: {e}"))));
+            }
+            if let Some(f) = &faults {
+                if f.at_crash_point(CrashPoint::AfterWalAppend) {
+                    // The redo record is durable but no version was
+                    // installed: the client sees an error, yet recovery
+                    // must resurrect this commit from the log.
+                    return Err(self.fail(TxnError::Transient("crashed after wal append".into())));
+                }
+            }
             // Install at a fresh timestamp; the global section keeps
             // snapshots transaction-consistent.
             let _install = self.db.commit_mutex.lock();
             let ts = Ts(self.db.clock.load(Ordering::Acquire)).next();
-            for w in &self.writes {
+            let crash_mid_install = faults
+                .as_ref()
+                .is_some_and(|f| f.at_crash_point(CrashPoint::MidInstall));
+            for (i, w) in self.writes.iter().enumerate() {
+                if crash_mid_install && i >= self.writes.len().div_ceil(2) {
+                    // Died half-way through installation: in-memory state
+                    // is torn, but the log is complete — recovery restores
+                    // the whole transaction. The clock is never advanced,
+                    // so the torn prefix stays invisible to snapshots.
+                    break;
+                }
                 let t = self.db.catalog.table(w.table);
                 let version = match &w.image {
                     Some(row) => Version::data(ts, self.id, row.clone()),
@@ -584,7 +620,15 @@ impl<'db> Transaction<'db> {
                 t.install(&w.key, version)
                     .expect("post-WAL install must not fail (validated earlier)");
             }
+            if crash_mid_install {
+                return Err(self.fail(TxnError::Transient("crashed mid-install".into())));
+            }
             self.db.clock.store(ts.0, Ordering::Release);
+            if let Some(f) = &faults {
+                // AfterInstall latches the crash but the commit happened:
+                // the caller gets Ok and recovery must preserve it.
+                f.at_crash_point(CrashPoint::AfterInstall);
+            }
             ts
         };
 

@@ -2,9 +2,7 @@
 //! behaviours the paper's analysis relies on.
 
 use sicost_common::Ts;
-use sicost_engine::{
-    CcMode, Database, EngineConfig, SerializationKind, SfuSemantics, TxnError,
-};
+use sicost_engine::{CcMode, Database, EngineConfig, SerializationKind, SfuSemantics, TxnError};
 use sicost_storage::{Catalog, ColumnDef, ColumnType, Predicate, Row, TableSchema, Value};
 use std::sync::mpsc;
 use std::time::Duration;
@@ -87,7 +85,10 @@ fn fuw_aborts_immediately_on_stale_write() {
         TxnError::Serialization(SerializationKind::FirstUpdaterWins)
     );
     // Poisoned: everything else fails with Inactive.
-    assert_eq!(t1.read(tid, &Value::int(2)).unwrap_err(), TxnError::Inactive);
+    assert_eq!(
+        t1.read(tid, &Value::int(2)).unwrap_err(),
+        TxnError::Inactive
+    );
     assert_eq!(t1.commit().unwrap_err(), TxnError::Inactive);
     assert_eq!(db.metrics().aborts_first_updater, 1);
 }
@@ -295,7 +296,10 @@ fn sfu_lock_only_admits_the_paper_interleaving() {
     let mut t = db.begin();
     let mut u = db.begin();
     assert_eq!(
-        t.read_for_update(tid, &Value::int(1)).unwrap().unwrap().int(1),
+        t.read_for_update(tid, &Value::int(1))
+            .unwrap()
+            .unwrap()
+            .int(1),
         100
     );
     // T commits; its lock evaporates without a version stamp.
@@ -554,12 +558,15 @@ fn recovery_replay_reconstructs_committed_state() {
         assert_eq!(live, replayed, "row {i} diverged after replay");
     }
     // The aborted write is nowhere.
-    assert_eq!(ft.read_at(&Value::int(9), end).unwrap().row.unwrap().int(1), 100);
+    assert_eq!(
+        ft.read_at(&Value::int(9), end).unwrap().row.unwrap().int(1),
+        100
+    );
 }
 
 #[test]
 fn observer_receives_a_consistent_event_stream() {
-    use parking_lot::Mutex;
+    use sicost_common::sync::Mutex;
     use sicost_engine::{HistoryEvent, HistoryObserver};
     use std::sync::Arc;
 
@@ -587,7 +594,13 @@ fn observer_receives_a_consistent_event_stream() {
 
     let events = collector.0.lock();
     assert!(matches!(events[0], HistoryEvent::Begin { .. }));
-    assert!(matches!(events[1], HistoryEvent::Read { observed: Some(_), .. }));
+    assert!(matches!(
+        events[1],
+        HistoryEvent::Read {
+            observed: Some(_),
+            ..
+        }
+    ));
     match &events[2] {
         HistoryEvent::Commit {
             commit_ts, writes, ..
@@ -608,13 +621,22 @@ fn inactive_handle_rejects_everything() {
     t2.update(tid, &Value::int(1), row(1, 1)).unwrap();
     t2.commit().unwrap();
     let _ = t1.update(tid, &Value::int(1), row(1, 2)).unwrap_err();
-    assert_eq!(t1.read(tid, &Value::int(1)).unwrap_err(), TxnError::Inactive);
-    assert_eq!(t1.scan(tid, &Predicate::True).unwrap_err(), TxnError::Inactive);
+    assert_eq!(
+        t1.read(tid, &Value::int(1)).unwrap_err(),
+        TxnError::Inactive
+    );
+    assert_eq!(
+        t1.scan(tid, &Predicate::True).unwrap_err(),
+        TxnError::Inactive
+    );
     assert_eq!(
         t1.read_for_update(tid, &Value::int(1)).unwrap_err(),
         TxnError::Inactive
     );
-    assert_eq!(t1.delete(tid, &Value::int(1)).unwrap_err(), TxnError::Inactive);
+    assert_eq!(
+        t1.delete(tid, &Value::int(1)).unwrap_err(),
+        TxnError::Inactive
+    );
 }
 
 #[test]

@@ -209,9 +209,8 @@ fn classify(cycle: &[MvsgEdge]) -> Anomaly {
     }
     // Two consecutive rw edges anywhere along the (circular) path?
     let n = cycle.len();
-    let consecutive = (0..n).any(|i| {
-        cycle[i].kind == EdgeKind::Rw && cycle[(i + 1) % n].kind == EdgeKind::Rw
-    });
+    let consecutive =
+        (0..n).any(|i| cycle[i].kind == EdgeKind::Rw && cycle[(i + 1) % n].kind == EdgeKind::Rw);
     if consecutive {
         Anomaly::DangerousStructure
     } else {
@@ -239,7 +238,10 @@ mod tests {
         HistoryEvent::Commit {
             txn: TxnId(t),
             commit_ts: Ts(cts),
-            writes: writes.iter().map(|k| (TableId(0), Value::int(*k))).collect(),
+            writes: writes
+                .iter()
+                .map(|k| (TableId(0), Value::int(*k)))
+                .collect(),
         }
     }
 

@@ -213,7 +213,6 @@ impl Mvsg {
 mod tests {
     use super::*;
 
-
     fn begin(t: u64) -> HistoryEvent {
         HistoryEvent::Begin {
             txn: TxnId(t),
@@ -234,7 +233,10 @@ mod tests {
         HistoryEvent::Commit {
             txn: TxnId(t),
             commit_ts: Ts(cts),
-            writes: writes.iter().map(|k| (TableId(0), Value::int(*k))).collect(),
+            writes: writes
+                .iter()
+                .map(|k| (TableId(0), Value::int(*k)))
+                .collect(),
         }
     }
 
@@ -257,20 +259,12 @@ mod tests {
 
     #[test]
     fn version_order_edges_follow_commit_order() {
-        let events = vec![
-            commit(1, 5, &[1]),
-            commit(2, 7, &[1]),
-            commit(3, 9, &[1]),
-        ];
+        let events = vec![commit(1, 5, &[1]), commit(2, 7, &[1]), commit(3, 9, &[1])];
         let g = Mvsg::from_events(&events);
         let ww: Vec<_> = g.edges_of_kind(EdgeKind::Ww).collect();
         assert_eq!(ww.len(), 2);
-        assert!(ww
-            .iter()
-            .any(|e| e.from == TxnId(1) && e.to == TxnId(2)));
-        assert!(ww
-            .iter()
-            .any(|e| e.from == TxnId(2) && e.to == TxnId(3)));
+        assert!(ww.iter().any(|e| e.from == TxnId(1) && e.to == TxnId(2)));
+        assert!(ww.iter().any(|e| e.from == TxnId(2) && e.to == TxnId(3)));
     }
 
     #[test]

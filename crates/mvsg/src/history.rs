@@ -1,6 +1,6 @@
 //! History capture.
 
-use parking_lot::Mutex;
+use sicost_common::sync::Mutex;
 use sicost_engine::{HistoryEvent, HistoryObserver};
 use std::sync::Arc;
 

@@ -25,7 +25,6 @@
 //! phantoms (a scan whose *emptiness* a later insert would change) are not
 //! captured. None of the workloads in this repository depend on them.
 
-
 #![warn(missing_docs)]
 
 pub mod analysis;

@@ -95,9 +95,13 @@ pub fn run_write_skew_script(bank: &SmallBank) -> AnomalyOutcome {
             } else {
                 wc.read(tables.saving, &Value::int(cid))?
             };
-            sav_seen = sav_row.map(|r| Money::cents(r.int(1))).unwrap_or(Money::ZERO);
+            sav_seen = sav_row
+                .map(|r| Money::cents(r.int(1)))
+                .unwrap_or(Money::ZERO);
             let chk_row = wc.read(tables.checking, &Value::int(cid))?;
-            chk_seen = chk_row.map(|r| Money::cents(r.int(1))).unwrap_or(Money::ZERO);
+            chk_seen = chk_row
+                .map(|r| Money::cents(r.int(1)))
+                .unwrap_or(Money::ZERO);
             Ok(())
         })();
         if let Err(e) = step {
@@ -164,10 +168,7 @@ pub fn run_write_skew_script(bank: &SmallBank) -> AnomalyOutcome {
             None => wc.commit().map(|_| ()).map_err(SbError::from),
         };
         let ts_result = ts_handle.join().expect("TS thread");
-        (
-            ts_result,
-            (balance_seen, wc_result),
-        )
+        (ts_result, (balance_seen, wc_result))
     });
     let (balance_seen, wc_result) = balance_seen;
 

@@ -1,7 +1,7 @@
 //! Adapter exposing SmallBank to the closed-system driver.
 
 use crate::procs::{SbError, SmallBank};
-use crate::workload::{SmallBankWorkload, TxnKind};
+use crate::workload::{SmallBankWorkload, TxnKind, TxnRequest};
 use sicost_common::Xoshiro256;
 use sicost_driver::{Outcome, Workload};
 use sicost_engine::TxnError;
@@ -29,24 +29,30 @@ fn classify(result: Result<(), SbError>) -> Outcome {
     match result {
         Ok(()) => Outcome::Committed,
         Err(SbError::Txn(TxnError::Deadlock)) => Outcome::Deadlock,
+        Err(SbError::Txn(TxnError::Transient(_))) => Outcome::TransientFault,
         Err(SbError::Txn(e)) if e.is_serialization_failure() => Outcome::SerializationFailure,
         Err(_) => Outcome::ApplicationRollback,
     }
 }
 
 impl Workload for SmallBankDriver {
+    type Request = TxnRequest;
+
     fn kinds(&self) -> Vec<&'static str> {
         TxnKind::ALL.iter().map(|k| k.name()).collect()
     }
 
-    fn run_once(&self, rng: &mut Xoshiro256) -> (usize, Outcome) {
+    fn sample(&self, rng: &mut Xoshiro256) -> (usize, TxnRequest) {
         let req = self.workload.sample(rng);
         let kind_idx = TxnKind::ALL
             .iter()
             .position(|k| *k == req.kind())
             .expect("known kind");
-        let outcome = classify(self.workload.execute(&self.bank, &req));
-        (kind_idx, outcome)
+        (kind_idx, req)
+    }
+
+    fn execute(&self, req: &TxnRequest, _attempt: u32) -> Outcome {
+        classify(self.workload.execute(&self.bank, req))
     }
 }
 

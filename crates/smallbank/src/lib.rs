@@ -19,7 +19,6 @@
 //! and Table I; [`anomaly`] scripts the concrete non-serializable
 //! interleaving for the MVSG certifier.
 
-
 #![warn(missing_docs)]
 
 pub mod anomaly;

@@ -249,10 +249,9 @@ impl SmallBank {
     /// checking account.
     pub fn amalgamate(&self, n1: &str, n2: &str) -> Result<(), SbError> {
         let mut tx = self.db.begin();
-        let (Some(cid1), Some(cid2)) = (
-            self.lookup_cid(&mut tx, n1)?,
-            self.lookup_cid(&mut tx, n2)?,
-        ) else {
+        let (Some(cid1), Some(cid2)) =
+            (self.lookup_cid(&mut tx, n1)?, self.lookup_cid(&mut tx, n2)?)
+        else {
             tx.rollback();
             return Err(SbError::AccountMissing);
         };
@@ -498,7 +497,8 @@ mod tests {
         let n = customer_name(9);
         let total = b.balance(&n).unwrap();
         let before = b.total_balance();
-        b.write_check_with_table_lock(&n, Money::dollars(5)).unwrap();
+        b.write_check_with_table_lock(&n, Money::dollars(5))
+            .unwrap();
         assert_eq!(b.balance(&n).unwrap(), total - Money::dollars(5));
         assert_eq!(b.total_balance(), before - Money::dollars(5));
         // Unknown customer still rolls back.

@@ -1,6 +1,5 @@
 //! Schema, database construction, and population (§III-A, §IV).
 
-
 use sicost_common::{HotspotSampler, Money, TableId, Xoshiro256};
 use sicost_engine::{Database, EngineConfig, HistoryObserver};
 use sicost_storage::{ColumnDef, ColumnType, Row, TableSchema, Value};
@@ -32,8 +31,8 @@ impl SmallBankConfig {
     pub fn small(customers: u64) -> Self {
         Self {
             customers,
-            savings_range: (10_000, 100_000),  // $100 – $1000
-            checking_range: (5_000, 50_000),   // $50 – $500
+            savings_range: (10_000, 100_000), // $100 – $1000
+            checking_range: (5_000, 50_000),  // $50 – $500
             seed: 0x5B_5B_5B,
         }
     }
@@ -140,14 +139,25 @@ pub fn build_database(
     .expect("load Account");
     let (slo, shi) = config.savings_range;
     let savings: Vec<Row> = (0..n)
-        .map(|i| Row::new(vec![Value::int(i as i64), Value::int(rng.range_inclusive(slo, shi))]))
+        .map(|i| {
+            Row::new(vec![
+                Value::int(i as i64),
+                Value::int(rng.range_inclusive(slo, shi)),
+            ])
+        })
         .collect();
     db.bulk_load(tables.saving, savings).expect("load Saving");
     let (clo, chi) = config.checking_range;
     let checkings: Vec<Row> = (0..n)
-        .map(|i| Row::new(vec![Value::int(i as i64), Value::int(rng.range_inclusive(clo, chi))]))
+        .map(|i| {
+            Row::new(vec![
+                Value::int(i as i64),
+                Value::int(rng.range_inclusive(clo, chi)),
+            ])
+        })
         .collect();
-    db.bulk_load(tables.checking, checkings).expect("load Checking");
+    db.bulk_load(tables.checking, checkings)
+        .expect("load Checking");
     db.bulk_load(
         tables.conflict,
         (0..n).map(|i| Row::new(vec![Value::int(i as i64), Value::int(0)])),
@@ -211,12 +221,14 @@ mod tests {
                 let b = row.int(1);
                 assert!((10_000..=100_000).contains(&b), "savings {b}");
             });
-        db.catalog()
-            .table(t.checking)
-            .scan_at(ts, &sicost_storage::Predicate::True, |_, row, _| {
+        db.catalog().table(t.checking).scan_at(
+            ts,
+            &sicost_storage::Predicate::True,
+            |_, row, _| {
                 let b = row.int(1);
                 assert!((5_000..=50_000).contains(&b), "checking {b}");
-            });
+            },
+        );
     }
 
     #[test]

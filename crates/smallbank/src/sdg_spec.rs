@@ -5,9 +5,7 @@
 //! SDGs after each option), and the logic behind Table I.
 
 use crate::strategy::Strategy;
-use sicost_core::{
-    Access, AccessMode, Program, Sdg, SfuTreatment, StrategyPlan, Technique,
-};
+use sicost_core::{Access, AccessMode, Program, Sdg, SfuTreatment, StrategyPlan, Technique};
 
 /// Program names as used in the SDG (the paper's abbreviations).
 pub const BAL: &str = "Bal";
@@ -93,12 +91,14 @@ pub fn plan_for(strategy: Strategy) -> StrategyPlan {
         Strategy::MaterializeBW => StrategyPlan::single(BAL, WC, Technique::Materialize),
         Strategy::PromoteBWUpd => StrategyPlan::single(BAL, WC, Technique::PromoteUpdate),
         Strategy::PromoteBWSfu => StrategyPlan::single(BAL, WC, Technique::PromoteSfu),
-        Strategy::MaterializeALL => {
-            StrategyPlan::all_vulnerable(&smallbank_sdg(SfuTreatment::AsLockOnly), Technique::Materialize)
-        }
-        Strategy::PromoteALL => {
-            StrategyPlan::all_vulnerable(&smallbank_sdg(SfuTreatment::AsLockOnly), Technique::PromoteUpdate)
-        }
+        Strategy::MaterializeALL => StrategyPlan::all_vulnerable(
+            &smallbank_sdg(SfuTreatment::AsLockOnly),
+            Technique::Materialize,
+        ),
+        Strategy::PromoteALL => StrategyPlan::all_vulnerable(
+            &smallbank_sdg(SfuTreatment::AsLockOnly),
+            Technique::PromoteUpdate,
+        ),
     }
 }
 

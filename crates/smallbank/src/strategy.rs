@@ -206,7 +206,9 @@ mod tests {
 
         // MaterializeALL: Conf everywhere.
         let m = Strategy::MaterializeALL.mods();
-        assert!(m.bal_conflict && m.wc_conflict && m.ts_conflict && m.dc_conflict && m.amg_conflict);
+        assert!(
+            m.bal_conflict && m.wc_conflict && m.ts_conflict && m.dc_conflict && m.amg_conflict
+        );
 
         // PromoteALL: Sav+Check in Bal, Sav in WC.
         let m = Strategy::PromoteALL.mods();

@@ -70,7 +70,11 @@ fn promote_bw_makes_balance_contend_with_deposits() {
 
 #[test]
 fn wt_side_fixes_leave_balance_conflict_free() {
-    for strategy in [Strategy::BaseSI, Strategy::MaterializeWT, Strategy::PromoteWTUpd] {
+    for strategy in [
+        Strategy::BaseSI,
+        Strategy::MaterializeWT,
+        Strategy::PromoteWTUpd,
+    ] {
         let (bal, dc) = duel(strategy);
         assert_eq!(
             (bal, dc),
@@ -85,7 +89,11 @@ fn materialize_bw_contends_only_via_the_conflict_table() {
     // MaterializeBW puts Conflict updates in Bal and WC, so Bal–DC stays
     // clean (DC does not touch Conflict in this option)…
     let (bal, dc) = duel(Strategy::MaterializeBW);
-    assert_eq!((bal, dc), (0, 0), "Bal–DC must not conflict under MaterializeBW");
+    assert_eq!(
+        (bal, dc),
+        (0, 0),
+        "Bal–DC must not conflict under MaterializeBW"
+    );
     // …which is exactly why its Figure 6 abort profile is mild compared
     // to PromoteBW-upd even though both fix the same edge.
 }

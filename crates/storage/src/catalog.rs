@@ -76,13 +76,7 @@ mod tests {
     use crate::schema::{ColumnDef, ColumnType};
 
     fn schema(name: &str) -> TableSchema {
-        TableSchema::new(
-            name,
-            vec![ColumnDef::new("id", ColumnType::Int)],
-            0,
-            vec![],
-        )
-        .unwrap()
+        TableSchema::new(name, vec![ColumnDef::new("id", ColumnType::Int)], 0, vec![]).unwrap()
     }
 
     #[test]

@@ -242,20 +242,12 @@ mod tests {
 
     #[test]
     fn rejects_out_of_range_pk_and_unique() {
-        assert!(TableSchema::new(
-            "T",
-            vec![ColumnDef::new("a", ColumnType::Int)],
-            1,
-            vec![]
-        )
-        .is_err());
-        assert!(TableSchema::new(
-            "T",
-            vec![ColumnDef::new("a", ColumnType::Int)],
-            0,
-            vec![5]
-        )
-        .is_err());
+        assert!(
+            TableSchema::new("T", vec![ColumnDef::new("a", ColumnType::Int)], 1, vec![]).is_err()
+        );
+        assert!(
+            TableSchema::new("T", vec![ColumnDef::new("a", ColumnType::Int)], 0, vec![5]).is_err()
+        );
     }
 
     #[test]

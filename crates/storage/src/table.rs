@@ -6,7 +6,7 @@ use crate::row::Row;
 use crate::schema::{SchemaError, TableSchema};
 use crate::value::Value;
 use crate::version::{Version, VersionChain};
-use parking_lot::RwLock;
+use sicost_common::sync::RwLock;
 use sicost_common::{TableId, Ts};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
@@ -140,7 +140,9 @@ impl Table {
     pub fn install(&self, key: &Value, version: Version) -> Result<(), InstallError> {
         // Validate the image against the schema and check PK consistency.
         if let Some(row) = version.row() {
-            self.schema.validate(row.cells()).map_err(InstallError::Schema)?;
+            self.schema
+                .validate(row.cells())
+                .map_err(InstallError::Schema)?;
             let pk_cell = row.get(self.schema.primary_key);
             if pk_cell != key {
                 return Err(InstallError::Schema(SchemaError::BadDeclaration(format!(
@@ -208,9 +210,13 @@ impl Table {
             // it was removed after the snapshot was taken; fall back to scan.
             None => {
                 let mut found = None;
-                self.scan_at(snap, &Predicate::Cmp(col, crate::predicate::CmpOp::Eq, value.clone()), |pk, _, _| {
-                    found = Some(pk.clone());
-                });
+                self.scan_at(
+                    snap,
+                    &Predicate::Cmp(col, crate::predicate::CmpOp::Eq, value.clone()),
+                    |pk, _, _| {
+                        found = Some(pk.clone());
+                    },
+                );
                 found
             }
         }
@@ -483,8 +489,11 @@ mod tests {
             )
             .unwrap();
         }
-        t.install(&Value::str("bob"), Version::data(Ts(6), TxnId(1), acct_row("bob", 100)))
-            .unwrap();
+        t.install(
+            &Value::str("bob"),
+            Version::data(Ts(6), TxnId(1), acct_row("bob", 100)),
+        )
+        .unwrap();
         t.install(&Value::str("bob"), Version::tombstone(Ts(7), TxnId(2)))
             .unwrap();
         assert_eq!(t.version_count(), 7);
@@ -494,7 +503,11 @@ mod tests {
         assert_eq!(t.version_count(), 1);
         assert!(t.read_at(&Value::str("bob"), Ts(100)).is_none());
         assert_eq!(
-            t.read_at(&Value::str("alice"), Ts(100)).unwrap().row.unwrap().int(1),
+            t.read_at(&Value::str("alice"), Ts(100))
+                .unwrap()
+                .row
+                .unwrap()
+                .int(1),
             5
         );
     }

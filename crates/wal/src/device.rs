@@ -1,6 +1,9 @@
 //! The simulated log device.
 
-use parking_lot::Mutex;
+use sicost_common::sync::Mutex;
+use sicost_common::FaultInjector;
+use std::fmt;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Cumulative device statistics.
@@ -14,7 +17,24 @@ pub struct DeviceStats {
     pub bytes: u64,
     /// Largest batch (records per sync) seen.
     pub max_batch: u64,
+    /// Syncs that failed with an injected transient error.
+    pub sync_errors: u64,
+    /// Syncs stretched by an injected latency spike.
+    pub latency_spikes: u64,
 }
+
+/// A device sync failed transiently: the batch did not reach stable
+/// storage and must not be treated as durable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyncError;
+
+impl fmt::Display for SyncError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "log device sync failed")
+    }
+}
+
+impl std::error::Error for SyncError {}
 
 /// A disk whose only operation is a synchronous batched write.
 ///
@@ -26,12 +46,17 @@ pub struct DeviceStats {
 ///
 /// The device serialises its own operations (one head): concurrent `sync`
 /// calls queue on an internal mutex, exactly like a real drive.
+///
+/// With a [`FaultInjector`] attached, a sync may stall for an extra spike
+/// duration or fail outright with [`SyncError`]; both draws come from the
+/// injector's seeded generator.
 #[derive(Debug)]
 pub struct LogDevice {
     sync_latency: Duration,
     per_record_cost: Duration,
     stats: Mutex<DeviceStats>,
     busy: Mutex<()>,
+    faults: Option<Arc<FaultInjector>>,
 }
 
 impl LogDevice {
@@ -42,6 +67,7 @@ impl LogDevice {
             per_record_cost,
             stats: Mutex::new(DeviceStats::default()),
             busy: Mutex::new(()),
+            faults: None,
         }
     }
 
@@ -50,19 +76,46 @@ impl LogDevice {
         Self::new(Duration::ZERO, Duration::ZERO)
     }
 
+    /// Attaches a fault injector (latency spikes, transient sync errors).
+    pub fn with_faults(mut self, faults: Option<Arc<FaultInjector>>) -> Self {
+        self.faults = faults;
+        self
+    }
+
     /// Synchronously writes a batch of `records` records totalling `bytes`
     /// bytes, blocking the caller for the modelled duration.
-    pub fn sync(&self, records: u64, bytes: u64) {
+    ///
+    /// Returns `Err(SyncError)` when the attached fault injector fails this
+    /// sync; the batch then never reached stable storage — the caller must
+    /// not extend the durable image.
+    pub fn sync(&self, records: u64, bytes: u64) -> Result<(), SyncError> {
         let _head = self.busy.lock();
-        let cost = self.sync_latency + self.per_record_cost * (records as u32);
+        let mut cost = self.sync_latency + self.per_record_cost * (records as u32);
+        let mut spiked = false;
+        let mut failed = false;
+        if let Some(f) = &self.faults {
+            if let Some(spike) = f.wal_latency_spike() {
+                cost += spike;
+                spiked = true;
+            }
+            failed = f.wal_sync_error();
+        }
         if !cost.is_zero() {
             std::thread::sleep(cost);
         }
         let mut s = self.stats.lock();
         s.syncs += 1;
+        if spiked {
+            s.latency_spikes += 1;
+        }
+        if failed {
+            s.sync_errors += 1;
+            return Err(SyncError);
+        }
         s.records += records;
         s.bytes += bytes;
         s.max_batch = s.max_batch.max(records);
+        Ok(())
     }
 
     /// Snapshot of cumulative statistics.
@@ -78,7 +131,7 @@ impl LogDevice {
     /// Measures the wall-clock cost of one sync (test helper).
     pub fn timed_sync(&self, records: u64, bytes: u64) -> Duration {
         let t0 = Instant::now();
-        self.sync(records, bytes);
+        self.sync(records, bytes).expect("sync without faults");
         t0.elapsed()
     }
 }
@@ -86,6 +139,7 @@ impl LogDevice {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sicost_common::FaultConfig;
 
     #[test]
     fn instant_device_is_free() {
@@ -103,7 +157,10 @@ mod tests {
     fn latency_is_charged() {
         let d = LogDevice::new(Duration::from_millis(5), Duration::ZERO);
         let dt = d.timed_sync(1, 100);
-        assert!(dt >= Duration::from_millis(5), "sync returned early: {dt:?}");
+        assert!(
+            dt >= Duration::from_millis(5),
+            "sync returned early: {dt:?}"
+        );
     }
 
     #[test]
@@ -116,9 +173,9 @@ mod tests {
     #[test]
     fn stats_accumulate_and_track_max_batch() {
         let d = LogDevice::instant();
-        d.sync(3, 30);
-        d.sync(7, 70);
-        d.sync(2, 20);
+        d.sync(3, 30).unwrap();
+        d.sync(7, 70).unwrap();
+        d.sync(2, 20).unwrap();
         let s = d.stats();
         assert_eq!(s.syncs, 3);
         assert_eq!(s.records, 12);
@@ -128,13 +185,12 @@ mod tests {
 
     #[test]
     fn device_serialises_concurrent_syncs() {
-        use std::sync::Arc;
         let d = Arc::new(LogDevice::new(Duration::from_millis(4), Duration::ZERO));
         let t0 = Instant::now();
         let handles: Vec<_> = (0..3)
             .map(|_| {
                 let d = Arc::clone(&d);
-                std::thread::spawn(move || d.sync(1, 10))
+                std::thread::spawn(move || d.sync(1, 10).unwrap())
             })
             .collect();
         for h in handles {
@@ -142,5 +198,31 @@ mod tests {
         }
         // Three serialised 4ms syncs take >= 12ms even with 3 threads.
         assert!(t0.elapsed() >= Duration::from_millis(12));
+    }
+
+    #[test]
+    fn injected_sync_error_fails_and_excludes_batch_from_stats() {
+        let f = Arc::new(FaultInjector::new(FaultConfig::transient(1, 0.0, 1.0)));
+        let d = LogDevice::instant().with_faults(Some(Arc::clone(&f)));
+        assert_eq!(d.sync(4, 400), Err(SyncError));
+        let s = d.stats();
+        assert_eq!(s.syncs, 1);
+        assert_eq!(s.sync_errors, 1);
+        assert_eq!(s.records, 0, "failed batch must not count as written");
+        assert_eq!(f.stats().sync_errors, 1);
+    }
+
+    #[test]
+    fn injected_latency_spike_stalls_the_sync() {
+        let f = Arc::new(FaultInjector::new(FaultConfig {
+            seed: 2,
+            wal_latency_spike_p: 1.0,
+            wal_latency_spike: Duration::from_millis(6),
+            ..FaultConfig::none()
+        }));
+        let d = LogDevice::instant().with_faults(Some(f));
+        let dt = d.timed_sync(1, 10);
+        assert!(dt >= Duration::from_millis(6), "spike not charged: {dt:?}");
+        assert_eq!(d.stats().latency_spikes, 1);
     }
 }

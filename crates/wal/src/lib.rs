@@ -19,10 +19,14 @@
 //!   strategies that add a write to the read-only Balance program pay the
 //!   paper's ~20 % penalty at MPL 1 without any hard-coding on our side.
 //!
-//! The full record stream is retained in memory so that [`recovery::replay`]
-//! can rebuild a catalog from the log; tests use this to show the WAL
-//! contains exactly the committed effects.
-
+//! Durability is byte-real: every synced record is appended to an
+//! in-memory "disk" image in a checksummed binary frame (see [`record`]),
+//! and [`recovery::recover`] rebuilds a catalog by scanning that image —
+//! truncating any torn tail a crash left behind — and replaying the
+//! surviving records. A shared [`sicost_common::FaultInjector`] can stall
+//! or fail device syncs and crash the process mid-pipeline; tests use this
+//! to show that committed transactions survive recovery and uncommitted
+//! ones vanish.
 
 #![warn(missing_docs)]
 
@@ -31,7 +35,7 @@ pub mod record;
 pub mod recovery;
 pub mod writer;
 
-pub use device::{DeviceStats, LogDevice};
-pub use record::{LogEntry, LogRecord, Lsn};
-pub use recovery::replay;
-pub use writer::{Wal, WalConfig, WalStats};
+pub use device::{DeviceStats, LogDevice, SyncError};
+pub use record::{DecodeError, LogEntry, LogRecord, Lsn, FRAME_HEADER};
+pub use recovery::{recover, replay, scan_log, ScanResult, Truncation};
+pub use writer::{Wal, WalConfig, WalError, WalStats};

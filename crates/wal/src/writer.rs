@@ -2,8 +2,9 @@
 
 use crate::device::{DeviceStats, LogDevice};
 use crate::record::{LogEntry, LogRecord, Lsn};
-use parking_lot::{Condvar, Mutex};
-use sicost_common::TxnId;
+use sicost_common::sync::{Condvar, Mutex};
+use sicost_common::{CrashPoint, FaultInjector, TxnId};
+use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -60,10 +61,34 @@ pub struct WalStats {
     pub batches: u64,
     /// Largest batch.
     pub max_batch: u64,
+    /// Batches whose sync failed transiently (no record durable).
+    pub failed_batches: u64,
 }
 
+/// Why a WAL commit did not make the record durable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalError {
+    /// The device sync for this batch failed transiently. Nothing from the
+    /// batch is durable; the transaction may retry from scratch.
+    SyncFailed,
+    /// The simulated process crashed. The record may or may not be durable
+    /// — only recovery can say.
+    Crashed,
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalError::SyncFailed => write!(f, "wal sync failed"),
+            WalError::Crashed => write!(f, "process crashed during wal write"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
 struct Completion {
-    done: Mutex<bool>,
+    done: Mutex<Option<Result<(), WalError>>>,
     cv: Condvar,
 }
 
@@ -78,9 +103,20 @@ struct Shared {
     queue: Mutex<Vec<Pending>>,
     kick: Condvar,
     shutdown: AtomicBool,
+    /// Durable records, in LSN order — exactly what `disk` decodes to.
     log: Mutex<Vec<LogRecord>>,
+    /// The durable byte image: framed records appended on successful sync.
+    /// This is what crash-recovery scans (and where a torn tail lives).
+    disk: Mutex<Vec<u8>>,
     stats: Mutex<WalStats>,
     next_lsn: Mutex<u64>,
+    faults: Option<Arc<FaultInjector>>,
+}
+
+impl Shared {
+    fn crashed(&self) -> bool {
+        self.faults.as_ref().is_some_and(|f| f.crashed())
+    }
 }
 
 /// The write-ahead log. One instance per database; commits from any number
@@ -93,15 +129,25 @@ pub struct Wal {
 impl Wal {
     /// Starts the WAL and its group-commit daemon.
     pub fn new(config: WalConfig) -> Self {
+        Self::with_faults(config, None)
+    }
+
+    /// Starts the WAL with an optional fault injector shared with the
+    /// engine, so WAL-level faults and commit-pipeline faults draw from one
+    /// seeded schedule.
+    pub fn with_faults(config: WalConfig, faults: Option<Arc<FaultInjector>>) -> Self {
         let shared = Arc::new(Shared {
-            device: LogDevice::new(config.sync_latency, config.per_record_cost),
+            device: LogDevice::new(config.sync_latency, config.per_record_cost)
+                .with_faults(faults.clone()),
             commit_delay: config.commit_delay,
             queue: Mutex::new(Vec::new()),
             kick: Condvar::new(),
             shutdown: AtomicBool::new(false),
             log: Mutex::new(Vec::new()),
+            disk: Mutex::new(Vec::new()),
             stats: Mutex::new(WalStats::default()),
             next_lsn: Mutex::new(0),
+            faults,
         });
         let daemon_shared = Arc::clone(&shared);
         let daemon = std::thread::Builder::new()
@@ -115,17 +161,23 @@ impl Wal {
     }
 
     /// Makes a transaction's redo entries durable, blocking until the sync
-    /// batch containing them completes. Returns the record's LSN.
+    /// batch containing them completes. Returns the record's LSN on
+    /// success; [`WalError::SyncFailed`] when the batch's device sync
+    /// failed transiently (nothing durable), [`WalError::Crashed`] when the
+    /// simulated process died (durability undecided — ask recovery).
     ///
     /// Callers must not invoke this for read-only transactions — an empty
     /// entry list is a caller bug.
-    pub fn commit(&self, txn: TxnId, entries: Vec<LogEntry>) -> Lsn {
+    pub fn commit(&self, txn: TxnId, entries: Vec<LogEntry>) -> Result<Lsn, WalError> {
         assert!(
             !entries.is_empty(),
             "read-only transactions must not write the WAL"
         );
+        if self.shared.crashed() {
+            return Err(WalError::Crashed);
+        }
         let completion = Arc::new(Completion {
-            done: Mutex::new(false),
+            done: Mutex::new(None),
             cv: Condvar::new(),
         });
         let lsn;
@@ -142,15 +194,21 @@ impl Wal {
         }
         self.shared.kick.notify_one();
         let mut done = completion.done.lock();
-        while !*done {
+        while done.is_none() {
             completion.cv.wait(&mut done);
         }
-        lsn
+        done.expect("loop exits only when set").map(|()| lsn)
     }
 
     /// Snapshot of the durable log, in LSN order (recovery and tests).
     pub fn log_snapshot(&self) -> Vec<LogRecord> {
         self.shared.log.lock().clone()
+    }
+
+    /// Snapshot of the durable byte image — the "disk" that crash recovery
+    /// scans. After a mid-sync crash this ends in a torn tail.
+    pub fn disk_snapshot(&self) -> Vec<u8> {
+        self.shared.disk.lock().clone()
     }
 
     /// Cumulative WAL statistics.
@@ -174,6 +232,14 @@ impl Drop for Wal {
     }
 }
 
+fn complete(batch: Vec<Pending>, result: Result<(), WalError>) {
+    for p in batch {
+        let mut done = p.completion.done.lock();
+        *done = Some(result);
+        p.completion.cv.notify_one();
+    }
+}
+
 fn group_commit_loop(shared: &Shared) {
     loop {
         // Wait for work (or shutdown).
@@ -192,30 +258,71 @@ fn group_commit_loop(shared: &Shared) {
         }
         let batch: Vec<Pending> = std::mem::take(&mut *shared.queue.lock());
         debug_assert!(!batch.is_empty());
-        let bytes: u64 = batch.iter().map(|p| p.record.size_bytes() as u64).sum();
-        shared.device.sync(batch.len() as u64, bytes);
-        {
+
+        // A crash armed at DuringWalSync tears the batch: every record but
+        // the last reaches the disk image in full, then the write stops
+        // half-way through the last record's frame. No waiter learns its
+        // fate — they all see Crashed — and recovery must truncate the
+        // partial frame by checksum.
+        let crash_mid_sync = shared
+            .faults
+            .as_ref()
+            .is_some_and(|f| f.at_crash_point(CrashPoint::DuringWalSync));
+        if crash_mid_sync {
+            let mut disk = shared.disk.lock();
             let mut log = shared.log.lock();
-            log.extend(batch.iter().map(|p| p.record.clone()));
+            for (i, p) in batch.iter().enumerate() {
+                let frame = p.record.encode();
+                if i + 1 < batch.len() {
+                    disk.extend_from_slice(&frame);
+                    log.push(p.record.clone());
+                } else {
+                    disk.extend_from_slice(&frame[..frame.len() / 2]);
+                }
+            }
+            drop(log);
+            drop(disk);
+            complete(batch, Err(WalError::Crashed));
+            continue;
         }
+        if shared.crashed() {
+            complete(batch, Err(WalError::Crashed));
+            continue;
+        }
+
+        let bytes: u64 = batch.iter().map(|p| p.record.size_bytes() as u64).sum();
+        let synced = shared.device.sync(batch.len() as u64, bytes);
+        let result = match synced {
+            Ok(()) => {
+                let mut disk = shared.disk.lock();
+                let mut log = shared.log.lock();
+                for p in &batch {
+                    p.record.encode_into(&mut disk);
+                    log.push(p.record.clone());
+                }
+                Ok(())
+            }
+            Err(_) => Err(WalError::SyncFailed),
+        };
         {
             let mut stats = shared.stats.lock();
-            stats.records += batch.len() as u64;
             stats.batches += 1;
-            stats.max_batch = stats.max_batch.max(batch.len() as u64);
+            if result.is_ok() {
+                stats.records += batch.len() as u64;
+                stats.max_batch = stats.max_batch.max(batch.len() as u64);
+            } else {
+                stats.failed_batches += 1;
+            }
         }
-        for p in batch {
-            let mut done = p.completion.done.lock();
-            *done = true;
-            p.completion.cv.notify_one();
-        }
+        complete(batch, result);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sicost_common::TableId;
+    use crate::record::LogRecord;
+    use sicost_common::{FaultConfig, TableId};
     use sicost_storage::{Row, Value};
     use std::time::Instant;
 
@@ -230,8 +337,8 @@ mod tests {
     #[test]
     fn commit_is_durable_and_ordered() {
         let wal = Wal::new(WalConfig::instant());
-        let l1 = wal.commit(TxnId(1), vec![entry(1, 10)]);
-        let l2 = wal.commit(TxnId(2), vec![entry(2, 20)]);
+        let l1 = wal.commit(TxnId(1), vec![entry(1, 10)]).unwrap();
+        let l2 = wal.commit(TxnId(2), vec![entry(2, 20)]).unwrap();
         assert!(l1 < l2);
         let log = wal.log_snapshot();
         assert_eq!(log.len(), 2);
@@ -241,10 +348,27 @@ mod tests {
     }
 
     #[test]
+    fn disk_image_decodes_back_to_the_log() {
+        let wal = Wal::new(WalConfig::instant());
+        wal.commit(TxnId(1), vec![entry(1, 10)]).unwrap();
+        wal.commit(TxnId(2), vec![entry(2, 20), entry(3, 30)])
+            .unwrap();
+        let disk = wal.disk_snapshot();
+        let mut decoded = Vec::new();
+        let mut pos = 0;
+        while pos < disk.len() {
+            let (rec, used) = LogRecord::decode(&disk[pos..]).unwrap();
+            decoded.push(rec);
+            pos += used;
+        }
+        assert_eq!(decoded, wal.log_snapshot());
+    }
+
+    #[test]
     #[should_panic(expected = "read-only")]
     fn empty_commit_rejected() {
         let wal = Wal::new(WalConfig::instant());
-        wal.commit(TxnId(1), vec![]);
+        let _ = wal.commit(TxnId(1), vec![]);
     }
 
     #[test]
@@ -261,7 +385,7 @@ mod tests {
             .map(|i| {
                 let wal = Arc::clone(&wal);
                 std::thread::spawn(move || {
-                    wal.commit(TxnId(i), vec![entry(i as i64, 0)]);
+                    wal.commit(TxnId(i), vec![entry(i as i64, 0)]).unwrap();
                 })
             })
             .collect();
@@ -295,7 +419,7 @@ mod tests {
         let wal = Wal::new(cfg);
         let t0 = Instant::now();
         for i in 0..3 {
-            wal.commit(TxnId(i), vec![entry(i as i64, 0)]);
+            wal.commit(TxnId(i), vec![entry(i as i64, 0)]).unwrap();
         }
         assert!(t0.elapsed() >= Duration::from_millis(9));
         assert_eq!(wal.stats().batches, 3);
@@ -304,7 +428,8 @@ mod tests {
     #[test]
     fn stats_track_device() {
         let wal = Wal::new(WalConfig::instant());
-        wal.commit(TxnId(1), vec![entry(1, 1), entry(2, 2)]);
+        wal.commit(TxnId(1), vec![entry(1, 1), entry(2, 2)])
+            .unwrap();
         let ds = wal.device_stats();
         assert_eq!(ds.syncs, 1);
         assert_eq!(ds.records, 1, "device counts records (commit groups)");
@@ -314,7 +439,59 @@ mod tests {
     #[test]
     fn drop_joins_daemon_cleanly() {
         let wal = Wal::new(WalConfig::instant());
-        wal.commit(TxnId(1), vec![entry(1, 1)]);
+        wal.commit(TxnId(1), vec![entry(1, 1)]).unwrap();
         drop(wal); // must not hang or panic
+    }
+
+    #[test]
+    fn sync_error_fails_every_waiter_and_leaves_disk_untouched() {
+        let f = Arc::new(FaultInjector::new(FaultConfig::transient(3, 0.0, 1.0)));
+        let wal = Wal::with_faults(WalConfig::instant(), Some(f));
+        assert_eq!(
+            wal.commit(TxnId(1), vec![entry(1, 1)]),
+            Err(WalError::SyncFailed)
+        );
+        assert!(wal.disk_snapshot().is_empty());
+        assert!(wal.log_snapshot().is_empty());
+        let stats = wal.stats();
+        assert_eq!(stats.failed_batches, 1);
+        assert_eq!(stats.records, 0);
+    }
+
+    #[test]
+    fn mid_sync_crash_tears_the_tail_record() {
+        let f = Arc::new(FaultInjector::new(FaultConfig::crash(
+            CrashPoint::DuringWalSync,
+            1,
+        )));
+        // Large commit_delay so both commits land in one batch.
+        let cfg = WalConfig {
+            sync_latency: Duration::ZERO,
+            per_record_cost: Duration::ZERO,
+            commit_delay: Duration::from_millis(20),
+        };
+        let wal = Arc::new(Wal::with_faults(cfg, Some(Arc::clone(&f))));
+        let handles: Vec<_> = (0..2)
+            .map(|i| {
+                let wal = Arc::clone(&wal);
+                std::thread::spawn(move || wal.commit(TxnId(i), vec![entry(i as i64, 0)]))
+            })
+            .collect();
+        let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(results.iter().all(|r| *r == Err(WalError::Crashed)));
+        assert!(f.crashed());
+
+        // The first record of the batch is intact, the second is torn.
+        let disk = wal.disk_snapshot();
+        let (first, used) = LogRecord::decode(&disk).expect("head record intact");
+        assert_eq!(wal.log_snapshot(), vec![first]);
+        assert!(used < disk.len(), "a torn tail must remain");
+        assert!(LogRecord::decode(&disk[used..]).is_err());
+
+        // The WAL is dead: later commits fail fast.
+        assert_eq!(
+            wal.commit(TxnId(9), vec![entry(9, 9)]),
+            Err(WalError::Crashed)
+        );
     }
 }

@@ -5,7 +5,7 @@
 //! cargo run --release --example anomaly_hunt
 //! ```
 
-use sicost::driver::{run_closed, RunConfig};
+use sicost::driver::{run_closed, RetryPolicy, RunConfig};
 use sicost::engine::{CcMode, EngineConfig};
 use sicost::mvsg::{History, Mvsg};
 use sicost::smallbank::{
@@ -38,6 +38,7 @@ fn hunt(label: &str, strategy: Strategy, engine: EngineConfig) -> bool {
             ramp_up: Duration::from_millis(20),
             measure: Duration::from_millis(700),
             seed: 0xCAFE,
+            retry: RetryPolicy::disabled(),
         },
     );
     let events = history.events();
@@ -51,9 +52,15 @@ fn hunt(label: &str, strategy: Strategy, engine: EngineConfig) -> bool {
         report.serializable
     );
     if let Some(anomaly) = report.anomaly {
-        println!("  -> witness: {anomaly}, cycle of {} edges:", report.witness.len());
+        println!(
+            "  -> witness: {anomaly}, cycle of {} edges:",
+            report.witness.len()
+        );
         for e in &report.witness {
-            println!("     {} --{}--> {}  (on {:?})", e.from, e.kind, e.to, e.item.1);
+            println!(
+                "     {} --{}--> {}  (on {:?})",
+                e.from, e.kind, e.to, e.item.1
+            );
         }
     }
     report.serializable

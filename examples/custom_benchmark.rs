@@ -7,7 +7,7 @@
 //! ```
 
 use sicost::common::{OnlineStats, Xoshiro256};
-use sicost::driver::{render_table, run_closed, Outcome, RunConfig, Series, Workload};
+use sicost::driver::{render_table, run_closed, Outcome, RetryPolicy, RunConfig, Series, Workload};
 use sicost::engine::{CcMode, CostModel, Database, EngineConfig};
 use sicost::storage::{ColumnDef, ColumnType, Row, TableSchema, Value};
 use sicost::wal::WalConfig;
@@ -39,6 +39,7 @@ impl Counters {
             },
             vacuum_every: Some(10_000),
             table_intent_locks: false,
+            faults: None,
         };
         let db = Database::builder()
             .table(
@@ -68,25 +69,37 @@ impl Counters {
 }
 
 impl Workload for Counters {
+    /// `(is_read, key)`: the sampled request, replayed verbatim on retry.
+    type Request = (bool, Value);
+
     fn kinds(&self) -> Vec<&'static str> {
         vec!["read", "increment"]
     }
 
-    fn run_once(&self, rng: &mut Xoshiro256) -> (usize, Outcome) {
+    fn sample(&self, rng: &mut Xoshiro256) -> (usize, (bool, Value)) {
         let key = Value::int(rng.next_below(self.rows as u64) as i64);
-        if rng.next_bool(0.8) {
+        let is_read = rng.next_bool(0.8);
+        (usize::from(!is_read), (is_read, key))
+    }
+
+    fn execute(&self, (is_read, key): &(bool, Value), _attempt: u32) -> Outcome {
+        if *is_read {
             let mut tx = self.db.begin();
-            let r = tx.read(self.table, &key).and_then(|_| tx.commit());
-            (0, classify(r.map(|_| ())))
+            let r = tx.read(self.table, key).and_then(|_| tx.commit());
+            classify(r.map(|_| ()))
         } else {
             let mut tx = self.db.begin();
             let r = (|| {
-                let row = tx.read(self.table, &key)?.expect("populated");
+                let row = tx.read(self.table, key)?.expect("populated");
                 let n = row.int(1);
-                tx.update(self.table, &key, Row::new(vec![key.clone(), Value::int(n + 1)]))?;
+                tx.update(
+                    self.table,
+                    key,
+                    Row::new(vec![key.clone(), Value::int(n + 1)]),
+                )?;
                 tx.commit().map(|_| ())
             })();
-            (1, classify(r))
+            classify(r)
         }
     }
 }
@@ -114,6 +127,7 @@ fn main() {
                     ramp_up: Duration::from_millis(100),
                     measure: Duration::from_millis(600),
                     seed: 42,
+                    retry: RetryPolicy::disabled(),
                 },
             );
             let mut stats = OnlineStats::new();

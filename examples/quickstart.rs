@@ -8,9 +8,7 @@
 use sicost::common::Money;
 use sicost::core::SfuTreatment;
 use sicost::engine::EngineConfig;
-use sicost::smallbank::{
-    anomaly, sdg_spec, SmallBank, SmallBankConfig, Strategy,
-};
+use sicost::smallbank::{anomaly, sdg_spec, SmallBank, SmallBankConfig, Strategy};
 
 fn main() {
     // ---------------------------------------------------------------
@@ -42,7 +40,10 @@ fn main() {
 
     // And it is not just theory — run the concrete interleaving:
     let outcome = anomaly::run_write_skew_script(&bank);
-    println!("scripted interleaving under plain SI: anomalous = {}", outcome.is_anomalous());
+    println!(
+        "scripted interleaving under plain SI: anomalous = {}",
+        outcome.is_anomalous()
+    );
     println!(
         "  Balance saw {:?}, final checking = {} (a penalty no serial order charges)",
         outcome.balance_seen, outcome.final_checking
@@ -53,8 +54,7 @@ fn main() {
     //    it safe statically, and watch the interleaving get aborted.
     // ---------------------------------------------------------------
     let plan = sdg_spec::plan_for(Strategy::PromoteWTUpd);
-    let (_, fixed_sdg) =
-        sicost::core::verify_safe(&sdg, &plan, SfuTreatment::AsLockOnly).unwrap();
+    let (_, fixed_sdg) = sicost::core::verify_safe(&sdg, &plan, SfuTreatment::AsLockOnly).unwrap();
     println!(
         "after PromoteWT-upd: dangerous structures = {}",
         fixed_sdg.dangerous_structures().len()

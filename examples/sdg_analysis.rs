@@ -51,7 +51,11 @@ fn main() {
     let solution = minimal_edge_cover(&sdg, EdgeCost::default());
     println!(
         "minimal edge cover ({}, cost {:.0}):",
-        if solution.optimal { "optimal" } else { "greedy" },
+        if solution.optimal {
+            "optimal"
+        } else {
+            "greedy"
+        },
         solution.cost
     );
     let mut picks = Vec::new();
@@ -90,8 +94,7 @@ fn main() {
             })
             .collect(),
     };
-    let (modified, fixed) =
-        verify_safe(&sdg, &materialize, SfuTreatment::AsLockOnly).unwrap();
+    let (modified, fixed) = verify_safe(&sdg, &materialize, SfuTreatment::AsLockOnly).unwrap();
     println!("\nafter materialization:");
     println!("{}", fixed.to_ascii());
     assert!(fixed.is_si_serializable());

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Repository check: format, lint, build, test — what CI would run.
+# Usage: scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+if cargo fmt --version >/dev/null 2>&1; then
+    cargo fmt --all -- --check
+else
+    echo "    rustfmt unavailable; skipped"
+fi
+
+echo "==> cargo clippy (workspace, all targets, -D warnings)"
+if cargo clippy --version >/dev/null 2>&1; then
+    cargo clippy --workspace --all-targets -- -D warnings
+else
+    echo "    clippy unavailable; skipped"
+fi
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q (workspace)"
+cargo test --workspace -q
+
+echo "==> all checks passed"

@@ -27,7 +27,6 @@
 //! assert!(fixed.is_si_serializable());
 //! ```
 
-
 #![warn(missing_docs)]
 
 /// Shared utilities: PRNGs, samplers, statistics, money.

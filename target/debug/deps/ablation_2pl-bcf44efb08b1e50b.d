@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_2pl-bcf44efb08b1e50b.d: crates/bench/benches/ablation_2pl.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_2pl-bcf44efb08b1e50b.rmeta: crates/bench/benches/ablation_2pl.rs Cargo.toml
+
+crates/bench/benches/ablation_2pl.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

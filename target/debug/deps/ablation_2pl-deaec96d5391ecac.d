@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_2pl-deaec96d5391ecac.d: crates/bench/benches/ablation_2pl.rs
+
+/root/repo/target/debug/deps/ablation_2pl-deaec96d5391ecac: crates/bench/benches/ablation_2pl.rs
+
+crates/bench/benches/ablation_2pl.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_groupcommit-0d349d54e16f3085.d: crates/bench/benches/ablation_groupcommit.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_groupcommit-0d349d54e16f3085.rmeta: crates/bench/benches/ablation_groupcommit.rs Cargo.toml
+
+crates/bench/benches/ablation_groupcommit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

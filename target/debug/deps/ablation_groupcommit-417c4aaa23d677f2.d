@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_groupcommit-417c4aaa23d677f2.d: crates/bench/benches/ablation_groupcommit.rs
+
+/root/repo/target/debug/deps/ablation_groupcommit-417c4aaa23d677f2: crates/bench/benches/ablation_groupcommit.rs
+
+crates/bench/benches/ablation_groupcommit.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_hotspot-3b3f3ad5eeb6bee2.d: crates/bench/benches/ablation_hotspot.rs
+
+/root/repo/target/debug/deps/ablation_hotspot-3b3f3ad5eeb6bee2: crates/bench/benches/ablation_hotspot.rs
+
+crates/bench/benches/ablation_hotspot.rs:

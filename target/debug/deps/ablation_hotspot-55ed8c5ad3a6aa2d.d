@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_hotspot-55ed8c5ad3a6aa2d.d: crates/bench/benches/ablation_hotspot.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_hotspot-55ed8c5ad3a6aa2d.rmeta: crates/bench/benches/ablation_hotspot.rs Cargo.toml
+
+crates/bench/benches/ablation_hotspot.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_ssi-05963c532ea97d9c.d: crates/bench/benches/ablation_ssi.rs
+
+/root/repo/target/debug/deps/ablation_ssi-05963c532ea97d9c: crates/bench/benches/ablation_ssi.rs
+
+crates/bench/benches/ablation_ssi.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_ssi-440d2dc428d655d9.d: crates/bench/benches/ablation_ssi.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_ssi-440d2dc428d655d9.rmeta: crates/bench/benches/ablation_ssi.rs Cargo.toml
+
+crates/bench/benches/ablation_ssi.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

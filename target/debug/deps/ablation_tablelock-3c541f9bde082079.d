@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_tablelock-3c541f9bde082079.d: crates/bench/benches/ablation_tablelock.rs
+
+/root/repo/target/debug/deps/ablation_tablelock-3c541f9bde082079: crates/bench/benches/ablation_tablelock.rs
+
+crates/bench/benches/ablation_tablelock.rs:

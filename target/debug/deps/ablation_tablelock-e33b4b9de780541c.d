@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_tablelock-e33b4b9de780541c.d: crates/bench/benches/ablation_tablelock.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_tablelock-e33b4b9de780541c.rmeta: crates/bench/benches/ablation_tablelock.rs Cargo.toml
+
+crates/bench/benches/ablation_tablelock.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/contention-3730244eaf406064.d: crates/smallbank/tests/contention.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcontention-3730244eaf406064.rmeta: crates/smallbank/tests/contention.rs Cargo.toml
+
+crates/smallbank/tests/contention.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/contention-b62f286b7ded0f0d.d: crates/smallbank/tests/contention.rs
+
+/root/repo/target/debug/deps/contention-b62f286b7ded0f0d: crates/smallbank/tests/contention.rs
+
+crates/smallbank/tests/contention.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/contention-e002657e81771d98.d: crates/smallbank/tests/contention.rs
+
+/root/repo/target/debug/deps/contention-e002657e81771d98: crates/smallbank/tests/contention.rs
+
+crates/smallbank/tests/contention.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crash_points-37d2808aefa230a2.d: tests/crash_points.rs
+
+/root/repo/target/debug/deps/crash_points-37d2808aefa230a2: tests/crash_points.rs
+
+tests/crash_points.rs:

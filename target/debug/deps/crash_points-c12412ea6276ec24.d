@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crash_points-c12412ea6276ec24.d: tests/crash_points.rs
+
+/root/repo/target/debug/deps/crash_points-c12412ea6276ec24: tests/crash_points.rs
+
+tests/crash_points.rs:

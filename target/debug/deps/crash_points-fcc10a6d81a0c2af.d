@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/crash_points-fcc10a6d81a0c2af.d: tests/crash_points.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrash_points-fcc10a6d81a0c2af.rmeta: tests/crash_points.rs Cargo.toml
+
+tests/crash_points.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

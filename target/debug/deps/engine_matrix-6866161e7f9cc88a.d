@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_matrix-6866161e7f9cc88a.d: tests/engine_matrix.rs
+
+/root/repo/target/debug/deps/engine_matrix-6866161e7f9cc88a: tests/engine_matrix.rs
+
+tests/engine_matrix.rs:

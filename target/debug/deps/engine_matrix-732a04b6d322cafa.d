@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_matrix-732a04b6d322cafa.d: tests/engine_matrix.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_matrix-732a04b6d322cafa.rmeta: tests/engine_matrix.rs Cargo.toml
+
+tests/engine_matrix.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_matrix-99cf7d7ca4744592.d: tests/engine_matrix.rs
+
+/root/repo/target/debug/deps/engine_matrix-99cf7d7ca4744592: tests/engine_matrix.rs
+
+tests/engine_matrix.rs:

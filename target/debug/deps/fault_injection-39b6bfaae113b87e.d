@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_injection-39b6bfaae113b87e.d: tests/fault_injection.rs
+
+/root/repo/target/debug/deps/fault_injection-39b6bfaae113b87e: tests/fault_injection.rs
+
+tests/fault_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_injection-4fedf458ad4a8660.d: tests/fault_injection.rs
+
+/root/repo/target/debug/deps/fault_injection-4fedf458ad4a8660: tests/fault_injection.rs
+
+tests/fault_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-58f63cc5918464f4.d: crates/bench/benches/fig4.rs
+
+/root/repo/target/debug/deps/fig4-58f63cc5918464f4: crates/bench/benches/fig4.rs
+
+crates/bench/benches/fig4.rs:

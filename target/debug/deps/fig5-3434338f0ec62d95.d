@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-3434338f0ec62d95.d: crates/bench/benches/fig5.rs
+
+/root/repo/target/debug/deps/fig5-3434338f0ec62d95: crates/bench/benches/fig5.rs
+
+crates/bench/benches/fig5.rs:

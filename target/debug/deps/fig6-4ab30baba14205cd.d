@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-4ab30baba14205cd.d: crates/bench/benches/fig6.rs
+
+/root/repo/target/debug/deps/fig6-4ab30baba14205cd: crates/bench/benches/fig6.rs
+
+crates/bench/benches/fig6.rs:

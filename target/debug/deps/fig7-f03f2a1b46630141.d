@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-f03f2a1b46630141.d: crates/bench/benches/fig7.rs
+
+/root/repo/target/debug/deps/fig7-f03f2a1b46630141: crates/bench/benches/fig7.rs
+
+crates/bench/benches/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-9c41dc0c46aa6f41.d: crates/bench/benches/fig8.rs
+
+/root/repo/target/debug/deps/fig8-9c41dc0c46aa6f41: crates/bench/benches/fig8.rs
+
+crates/bench/benches/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-1f77564360cf7932.d: crates/bench/benches/fig9.rs
+
+/root/repo/target/debug/deps/fig9-1f77564360cf7932: crates/bench/benches/fig9.rs
+
+crates/bench/benches/fig9.rs:

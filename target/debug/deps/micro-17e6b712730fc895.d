@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/micro-17e6b712730fc895.d: crates/bench/benches/micro.rs
+
+/root/repo/target/debug/deps/micro-17e6b712730fc895: crates/bench/benches/micro.rs
+
+crates/bench/benches/micro.rs:

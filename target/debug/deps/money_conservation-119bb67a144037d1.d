@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/money_conservation-119bb67a144037d1.d: tests/money_conservation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmoney_conservation-119bb67a144037d1.rmeta: tests/money_conservation.rs Cargo.toml
+
+tests/money_conservation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

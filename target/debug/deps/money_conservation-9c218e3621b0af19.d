@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/money_conservation-9c218e3621b0af19.d: tests/money_conservation.rs
+
+/root/repo/target/debug/deps/money_conservation-9c218e3621b0af19: tests/money_conservation.rs
+
+tests/money_conservation.rs:

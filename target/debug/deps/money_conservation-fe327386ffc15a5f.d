@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/money_conservation-fe327386ffc15a5f.d: tests/money_conservation.rs
+
+/root/repo/target/debug/deps/money_conservation-fe327386ffc15a5f: tests/money_conservation.rs
+
+tests/money_conservation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_tests-23033a7efbdf1896.d: tests/property_tests.rs
+
+/root/repo/target/debug/deps/property_tests-23033a7efbdf1896: tests/property_tests.rs
+
+tests/property_tests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_tests-e6eb8dfdcc2d640a.d: tests/property_tests.rs
+
+/root/repo/target/debug/deps/property_tests-e6eb8dfdcc2d640a: tests/property_tests.rs
+
+tests/property_tests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/recovery_integration-38ebd21b2ee70e4d.d: tests/recovery_integration.rs
+
+/root/repo/target/debug/deps/recovery_integration-38ebd21b2ee70e4d: tests/recovery_integration.rs
+
+tests/recovery_integration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/recovery_integration-6b2cdbd1b5cd4260.d: tests/recovery_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/librecovery_integration-6b2cdbd1b5cd4260.rmeta: tests/recovery_integration.rs Cargo.toml
+
+tests/recovery_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/recovery_integration-6c8124ba3d038872.d: tests/recovery_integration.rs
+
+/root/repo/target/debug/deps/recovery_integration-6c8124ba3d038872: tests/recovery_integration.rs
+
+tests/recovery_integration.rs:

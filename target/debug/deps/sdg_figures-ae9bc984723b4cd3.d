@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sdg_figures-ae9bc984723b4cd3.d: crates/bench/benches/sdg_figures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsdg_figures-ae9bc984723b4cd3.rmeta: crates/bench/benches/sdg_figures.rs Cargo.toml
+
+crates/bench/benches/sdg_figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

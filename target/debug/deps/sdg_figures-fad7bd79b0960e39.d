@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sdg_figures-fad7bd79b0960e39.d: crates/bench/benches/sdg_figures.rs
+
+/root/repo/target/debug/deps/sdg_figures-fad7bd79b0960e39: crates/bench/benches/sdg_figures.rs
+
+crates/bench/benches/sdg_figures.rs:

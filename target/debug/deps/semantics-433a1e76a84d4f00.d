@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/semantics-433a1e76a84d4f00.d: crates/engine/tests/semantics.rs
+
+/root/repo/target/debug/deps/semantics-433a1e76a84d4f00: crates/engine/tests/semantics.rs
+
+crates/engine/tests/semantics.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/semantics-a517af009da0523d.d: crates/engine/tests/semantics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsemantics-a517af009da0523d.rmeta: crates/engine/tests/semantics.rs Cargo.toml
+
+crates/engine/tests/semantics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

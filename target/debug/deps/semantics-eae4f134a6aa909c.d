@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/semantics-eae4f134a6aa909c.d: crates/engine/tests/semantics.rs
+
+/root/repo/target/debug/deps/semantics-eae4f134a6aa909c: crates/engine/tests/semantics.rs
+
+crates/engine/tests/semantics.rs:

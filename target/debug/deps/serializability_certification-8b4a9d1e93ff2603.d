@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serializability_certification-8b4a9d1e93ff2603.d: tests/serializability_certification.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserializability_certification-8b4a9d1e93ff2603.rmeta: tests/serializability_certification.rs Cargo.toml
+
+tests/serializability_certification.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serializability_certification-b7c0324305f5a118.d: tests/serializability_certification.rs
+
+/root/repo/target/debug/deps/serializability_certification-b7c0324305f5a118: tests/serializability_certification.rs
+
+tests/serializability_certification.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serializability_certification-e969854a06c12a45.d: tests/serializability_certification.rs
+
+/root/repo/target/debug/deps/serializability_certification-e969854a06c12a45: tests/serializability_certification.rs
+
+tests/serializability_certification.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sicost-2e2452ce934dd26e.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsicost-2e2452ce934dd26e.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libsicost-2e2452ce934dd26e.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sicost-6895d415b31e8f5a.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsicost-6895d415b31e8f5a.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libsicost-6895d415b31e8f5a.rmeta: src/lib.rs
+
+src/lib.rs:

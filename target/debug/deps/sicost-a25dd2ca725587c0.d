@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sicost-a25dd2ca725587c0.d: src/lib.rs
+
+/root/repo/target/debug/deps/sicost-a25dd2ca725587c0: src/lib.rs
+
+src/lib.rs:

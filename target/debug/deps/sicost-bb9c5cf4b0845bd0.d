@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sicost-bb9c5cf4b0845bd0.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsicost-bb9c5cf4b0845bd0.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

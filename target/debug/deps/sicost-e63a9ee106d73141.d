@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sicost-e63a9ee106d73141.d: src/lib.rs
+
+/root/repo/target/debug/deps/sicost-e63a9ee106d73141: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sicost_bench-a1170ddf1bbd91e6.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/mode.rs
+
+/root/repo/target/debug/deps/libsicost_bench-a1170ddf1bbd91e6.rlib: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/mode.rs
+
+/root/repo/target/debug/deps/libsicost_bench-a1170ddf1bbd91e6.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/mode.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/mode.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sicost_bench-bc61f4dce58ebb3c.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/mode.rs
+
+/root/repo/target/debug/deps/sicost_bench-bc61f4dce58ebb3c: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/mode.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/mode.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sicost_bench-bd55a199de51c8c7.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/mode.rs
+
+/root/repo/target/debug/deps/libsicost_bench-bd55a199de51c8c7.rlib: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/mode.rs
+
+/root/repo/target/debug/deps/libsicost_bench-bd55a199de51c8c7.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/mode.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/mode.rs:

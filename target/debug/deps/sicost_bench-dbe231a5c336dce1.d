@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sicost_bench-dbe231a5c336dce1.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/mode.rs
+
+/root/repo/target/debug/deps/sicost_bench-dbe231a5c336dce1: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/mode.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/mode.rs:

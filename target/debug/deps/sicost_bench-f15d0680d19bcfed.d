@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sicost_bench-f15d0680d19bcfed.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/mode.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsicost_bench-f15d0680d19bcfed.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/mode.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/mode.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

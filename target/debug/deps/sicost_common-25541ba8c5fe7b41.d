@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/sicost_common-25541ba8c5fe7b41.d: crates/common/src/lib.rs crates/common/src/dist.rs crates/common/src/fault.rs crates/common/src/histogram.rs crates/common/src/ids.rs crates/common/src/money.rs crates/common/src/rng.rs crates/common/src/stats.rs crates/common/src/sync.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsicost_common-25541ba8c5fe7b41.rmeta: crates/common/src/lib.rs crates/common/src/dist.rs crates/common/src/fault.rs crates/common/src/histogram.rs crates/common/src/ids.rs crates/common/src/money.rs crates/common/src/rng.rs crates/common/src/stats.rs crates/common/src/sync.rs Cargo.toml
+
+crates/common/src/lib.rs:
+crates/common/src/dist.rs:
+crates/common/src/fault.rs:
+crates/common/src/histogram.rs:
+crates/common/src/ids.rs:
+crates/common/src/money.rs:
+crates/common/src/rng.rs:
+crates/common/src/stats.rs:
+crates/common/src/sync.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/sicost_common-841cc4226e03a9d2.d: crates/common/src/lib.rs crates/common/src/dist.rs crates/common/src/fault.rs crates/common/src/histogram.rs crates/common/src/ids.rs crates/common/src/money.rs crates/common/src/rng.rs crates/common/src/stats.rs crates/common/src/sync.rs
+
+/root/repo/target/debug/deps/sicost_common-841cc4226e03a9d2: crates/common/src/lib.rs crates/common/src/dist.rs crates/common/src/fault.rs crates/common/src/histogram.rs crates/common/src/ids.rs crates/common/src/money.rs crates/common/src/rng.rs crates/common/src/stats.rs crates/common/src/sync.rs
+
+crates/common/src/lib.rs:
+crates/common/src/dist.rs:
+crates/common/src/fault.rs:
+crates/common/src/histogram.rs:
+crates/common/src/ids.rs:
+crates/common/src/money.rs:
+crates/common/src/rng.rs:
+crates/common/src/stats.rs:
+crates/common/src/sync.rs:

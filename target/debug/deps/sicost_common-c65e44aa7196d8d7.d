@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/sicost_common-c65e44aa7196d8d7.d: crates/common/src/lib.rs crates/common/src/dist.rs crates/common/src/fault.rs crates/common/src/histogram.rs crates/common/src/ids.rs crates/common/src/money.rs crates/common/src/rng.rs crates/common/src/stats.rs crates/common/src/sync.rs
+
+/root/repo/target/debug/deps/libsicost_common-c65e44aa7196d8d7.rlib: crates/common/src/lib.rs crates/common/src/dist.rs crates/common/src/fault.rs crates/common/src/histogram.rs crates/common/src/ids.rs crates/common/src/money.rs crates/common/src/rng.rs crates/common/src/stats.rs crates/common/src/sync.rs
+
+/root/repo/target/debug/deps/libsicost_common-c65e44aa7196d8d7.rmeta: crates/common/src/lib.rs crates/common/src/dist.rs crates/common/src/fault.rs crates/common/src/histogram.rs crates/common/src/ids.rs crates/common/src/money.rs crates/common/src/rng.rs crates/common/src/stats.rs crates/common/src/sync.rs
+
+crates/common/src/lib.rs:
+crates/common/src/dist.rs:
+crates/common/src/fault.rs:
+crates/common/src/histogram.rs:
+crates/common/src/ids.rs:
+crates/common/src/money.rs:
+crates/common/src/rng.rs:
+crates/common/src/stats.rs:
+crates/common/src/sync.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/sicost_core-33d5293115646cac.d: crates/core/src/lib.rs crates/core/src/advisor.rs crates/core/src/cover.rs crates/core/src/program.rs crates/core/src/render.rs crates/core/src/sdg.rs crates/core/src/strategy.rs
+
+/root/repo/target/debug/deps/libsicost_core-33d5293115646cac.rlib: crates/core/src/lib.rs crates/core/src/advisor.rs crates/core/src/cover.rs crates/core/src/program.rs crates/core/src/render.rs crates/core/src/sdg.rs crates/core/src/strategy.rs
+
+/root/repo/target/debug/deps/libsicost_core-33d5293115646cac.rmeta: crates/core/src/lib.rs crates/core/src/advisor.rs crates/core/src/cover.rs crates/core/src/program.rs crates/core/src/render.rs crates/core/src/sdg.rs crates/core/src/strategy.rs
+
+crates/core/src/lib.rs:
+crates/core/src/advisor.rs:
+crates/core/src/cover.rs:
+crates/core/src/program.rs:
+crates/core/src/render.rs:
+crates/core/src/sdg.rs:
+crates/core/src/strategy.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sicost_core-98348bcc0c4485b8.d: crates/core/src/lib.rs crates/core/src/advisor.rs crates/core/src/cover.rs crates/core/src/program.rs crates/core/src/render.rs crates/core/src/sdg.rs crates/core/src/strategy.rs
+
+/root/repo/target/debug/deps/sicost_core-98348bcc0c4485b8: crates/core/src/lib.rs crates/core/src/advisor.rs crates/core/src/cover.rs crates/core/src/program.rs crates/core/src/render.rs crates/core/src/sdg.rs crates/core/src/strategy.rs
+
+crates/core/src/lib.rs:
+crates/core/src/advisor.rs:
+crates/core/src/cover.rs:
+crates/core/src/program.rs:
+crates/core/src/render.rs:
+crates/core/src/sdg.rs:
+crates/core/src/strategy.rs:

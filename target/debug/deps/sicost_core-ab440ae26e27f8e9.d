@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sicost_core-ab440ae26e27f8e9.d: crates/core/src/lib.rs crates/core/src/advisor.rs crates/core/src/cover.rs crates/core/src/program.rs crates/core/src/render.rs crates/core/src/sdg.rs crates/core/src/strategy.rs
+
+/root/repo/target/debug/deps/sicost_core-ab440ae26e27f8e9: crates/core/src/lib.rs crates/core/src/advisor.rs crates/core/src/cover.rs crates/core/src/program.rs crates/core/src/render.rs crates/core/src/sdg.rs crates/core/src/strategy.rs
+
+crates/core/src/lib.rs:
+crates/core/src/advisor.rs:
+crates/core/src/cover.rs:
+crates/core/src/program.rs:
+crates/core/src/render.rs:
+crates/core/src/sdg.rs:
+crates/core/src/strategy.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/sicost_core-f371ae89ff925b44.d: crates/core/src/lib.rs crates/core/src/advisor.rs crates/core/src/cover.rs crates/core/src/program.rs crates/core/src/render.rs crates/core/src/sdg.rs crates/core/src/strategy.rs
+
+/root/repo/target/debug/deps/libsicost_core-f371ae89ff925b44.rlib: crates/core/src/lib.rs crates/core/src/advisor.rs crates/core/src/cover.rs crates/core/src/program.rs crates/core/src/render.rs crates/core/src/sdg.rs crates/core/src/strategy.rs
+
+/root/repo/target/debug/deps/libsicost_core-f371ae89ff925b44.rmeta: crates/core/src/lib.rs crates/core/src/advisor.rs crates/core/src/cover.rs crates/core/src/program.rs crates/core/src/render.rs crates/core/src/sdg.rs crates/core/src/strategy.rs
+
+crates/core/src/lib.rs:
+crates/core/src/advisor.rs:
+crates/core/src/cover.rs:
+crates/core/src/program.rs:
+crates/core/src/render.rs:
+crates/core/src/sdg.rs:
+crates/core/src/strategy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sicost_driver-052e73d00258b928.d: crates/driver/src/lib.rs crates/driver/src/metrics.rs crates/driver/src/report.rs crates/driver/src/retry.rs crates/driver/src/runner.rs
+
+/root/repo/target/debug/deps/sicost_driver-052e73d00258b928: crates/driver/src/lib.rs crates/driver/src/metrics.rs crates/driver/src/report.rs crates/driver/src/retry.rs crates/driver/src/runner.rs
+
+crates/driver/src/lib.rs:
+crates/driver/src/metrics.rs:
+crates/driver/src/report.rs:
+crates/driver/src/retry.rs:
+crates/driver/src/runner.rs:

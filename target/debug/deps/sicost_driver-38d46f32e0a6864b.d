@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sicost_driver-38d46f32e0a6864b.d: crates/driver/src/lib.rs crates/driver/src/metrics.rs crates/driver/src/report.rs crates/driver/src/retry.rs crates/driver/src/runner.rs
+
+/root/repo/target/debug/deps/libsicost_driver-38d46f32e0a6864b.rlib: crates/driver/src/lib.rs crates/driver/src/metrics.rs crates/driver/src/report.rs crates/driver/src/retry.rs crates/driver/src/runner.rs
+
+/root/repo/target/debug/deps/libsicost_driver-38d46f32e0a6864b.rmeta: crates/driver/src/lib.rs crates/driver/src/metrics.rs crates/driver/src/report.rs crates/driver/src/retry.rs crates/driver/src/runner.rs
+
+crates/driver/src/lib.rs:
+crates/driver/src/metrics.rs:
+crates/driver/src/report.rs:
+crates/driver/src/retry.rs:
+crates/driver/src/runner.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sicost_driver-4ae2d4ef26525c96.d: crates/driver/src/lib.rs crates/driver/src/metrics.rs crates/driver/src/report.rs crates/driver/src/retry.rs crates/driver/src/runner.rs
+
+/root/repo/target/debug/deps/libsicost_driver-4ae2d4ef26525c96.rlib: crates/driver/src/lib.rs crates/driver/src/metrics.rs crates/driver/src/report.rs crates/driver/src/retry.rs crates/driver/src/runner.rs
+
+/root/repo/target/debug/deps/libsicost_driver-4ae2d4ef26525c96.rmeta: crates/driver/src/lib.rs crates/driver/src/metrics.rs crates/driver/src/report.rs crates/driver/src/retry.rs crates/driver/src/runner.rs
+
+crates/driver/src/lib.rs:
+crates/driver/src/metrics.rs:
+crates/driver/src/report.rs:
+crates/driver/src/retry.rs:
+crates/driver/src/runner.rs:

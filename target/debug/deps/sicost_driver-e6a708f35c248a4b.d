@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sicost_driver-e6a708f35c248a4b.d: crates/driver/src/lib.rs crates/driver/src/metrics.rs crates/driver/src/report.rs crates/driver/src/retry.rs crates/driver/src/runner.rs
+
+/root/repo/target/debug/deps/sicost_driver-e6a708f35c248a4b: crates/driver/src/lib.rs crates/driver/src/metrics.rs crates/driver/src/report.rs crates/driver/src/retry.rs crates/driver/src/runner.rs
+
+crates/driver/src/lib.rs:
+crates/driver/src/metrics.rs:
+crates/driver/src/report.rs:
+crates/driver/src/retry.rs:
+crates/driver/src/runner.rs:

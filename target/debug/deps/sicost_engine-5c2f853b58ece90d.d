@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/sicost_engine-5c2f853b58ece90d.d: crates/engine/src/lib.rs crates/engine/src/config.rs crates/engine/src/cpu.rs crates/engine/src/database.rs crates/engine/src/error.rs crates/engine/src/history.rs crates/engine/src/locks.rs crates/engine/src/metrics.rs crates/engine/src/registry.rs crates/engine/src/ssi.rs crates/engine/src/txn.rs
+
+/root/repo/target/debug/deps/libsicost_engine-5c2f853b58ece90d.rlib: crates/engine/src/lib.rs crates/engine/src/config.rs crates/engine/src/cpu.rs crates/engine/src/database.rs crates/engine/src/error.rs crates/engine/src/history.rs crates/engine/src/locks.rs crates/engine/src/metrics.rs crates/engine/src/registry.rs crates/engine/src/ssi.rs crates/engine/src/txn.rs
+
+/root/repo/target/debug/deps/libsicost_engine-5c2f853b58ece90d.rmeta: crates/engine/src/lib.rs crates/engine/src/config.rs crates/engine/src/cpu.rs crates/engine/src/database.rs crates/engine/src/error.rs crates/engine/src/history.rs crates/engine/src/locks.rs crates/engine/src/metrics.rs crates/engine/src/registry.rs crates/engine/src/ssi.rs crates/engine/src/txn.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/config.rs:
+crates/engine/src/cpu.rs:
+crates/engine/src/database.rs:
+crates/engine/src/error.rs:
+crates/engine/src/history.rs:
+crates/engine/src/locks.rs:
+crates/engine/src/metrics.rs:
+crates/engine/src/registry.rs:
+crates/engine/src/ssi.rs:
+crates/engine/src/txn.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/sicost_engine-7928d18da99a9ee9.d: crates/engine/src/lib.rs crates/engine/src/config.rs crates/engine/src/cpu.rs crates/engine/src/database.rs crates/engine/src/error.rs crates/engine/src/history.rs crates/engine/src/locks.rs crates/engine/src/metrics.rs crates/engine/src/registry.rs crates/engine/src/ssi.rs crates/engine/src/txn.rs
+
+/root/repo/target/debug/deps/sicost_engine-7928d18da99a9ee9: crates/engine/src/lib.rs crates/engine/src/config.rs crates/engine/src/cpu.rs crates/engine/src/database.rs crates/engine/src/error.rs crates/engine/src/history.rs crates/engine/src/locks.rs crates/engine/src/metrics.rs crates/engine/src/registry.rs crates/engine/src/ssi.rs crates/engine/src/txn.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/config.rs:
+crates/engine/src/cpu.rs:
+crates/engine/src/database.rs:
+crates/engine/src/error.rs:
+crates/engine/src/history.rs:
+crates/engine/src/locks.rs:
+crates/engine/src/metrics.rs:
+crates/engine/src/registry.rs:
+crates/engine/src/ssi.rs:
+crates/engine/src/txn.rs:

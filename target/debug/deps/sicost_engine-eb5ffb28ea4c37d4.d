@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/sicost_engine-eb5ffb28ea4c37d4.d: crates/engine/src/lib.rs crates/engine/src/config.rs crates/engine/src/cpu.rs crates/engine/src/database.rs crates/engine/src/error.rs crates/engine/src/history.rs crates/engine/src/locks.rs crates/engine/src/metrics.rs crates/engine/src/registry.rs crates/engine/src/ssi.rs crates/engine/src/txn.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsicost_engine-eb5ffb28ea4c37d4.rmeta: crates/engine/src/lib.rs crates/engine/src/config.rs crates/engine/src/cpu.rs crates/engine/src/database.rs crates/engine/src/error.rs crates/engine/src/history.rs crates/engine/src/locks.rs crates/engine/src/metrics.rs crates/engine/src/registry.rs crates/engine/src/ssi.rs crates/engine/src/txn.rs Cargo.toml
+
+crates/engine/src/lib.rs:
+crates/engine/src/config.rs:
+crates/engine/src/cpu.rs:
+crates/engine/src/database.rs:
+crates/engine/src/error.rs:
+crates/engine/src/history.rs:
+crates/engine/src/locks.rs:
+crates/engine/src/metrics.rs:
+crates/engine/src/registry.rs:
+crates/engine/src/ssi.rs:
+crates/engine/src/txn.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sicost_mvsg-13b92fa4517f7507.d: crates/mvsg/src/lib.rs crates/mvsg/src/analysis.rs crates/mvsg/src/graph.rs crates/mvsg/src/history.rs
+
+/root/repo/target/debug/deps/libsicost_mvsg-13b92fa4517f7507.rlib: crates/mvsg/src/lib.rs crates/mvsg/src/analysis.rs crates/mvsg/src/graph.rs crates/mvsg/src/history.rs
+
+/root/repo/target/debug/deps/libsicost_mvsg-13b92fa4517f7507.rmeta: crates/mvsg/src/lib.rs crates/mvsg/src/analysis.rs crates/mvsg/src/graph.rs crates/mvsg/src/history.rs
+
+crates/mvsg/src/lib.rs:
+crates/mvsg/src/analysis.rs:
+crates/mvsg/src/graph.rs:
+crates/mvsg/src/history.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sicost_mvsg-649bcd86735299fc.d: crates/mvsg/src/lib.rs crates/mvsg/src/analysis.rs crates/mvsg/src/graph.rs crates/mvsg/src/history.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsicost_mvsg-649bcd86735299fc.rmeta: crates/mvsg/src/lib.rs crates/mvsg/src/analysis.rs crates/mvsg/src/graph.rs crates/mvsg/src/history.rs Cargo.toml
+
+crates/mvsg/src/lib.rs:
+crates/mvsg/src/analysis.rs:
+crates/mvsg/src/graph.rs:
+crates/mvsg/src/history.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

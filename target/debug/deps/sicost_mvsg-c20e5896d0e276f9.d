@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sicost_mvsg-c20e5896d0e276f9.d: crates/mvsg/src/lib.rs crates/mvsg/src/analysis.rs crates/mvsg/src/graph.rs crates/mvsg/src/history.rs
+
+/root/repo/target/debug/deps/libsicost_mvsg-c20e5896d0e276f9.rlib: crates/mvsg/src/lib.rs crates/mvsg/src/analysis.rs crates/mvsg/src/graph.rs crates/mvsg/src/history.rs
+
+/root/repo/target/debug/deps/libsicost_mvsg-c20e5896d0e276f9.rmeta: crates/mvsg/src/lib.rs crates/mvsg/src/analysis.rs crates/mvsg/src/graph.rs crates/mvsg/src/history.rs
+
+crates/mvsg/src/lib.rs:
+crates/mvsg/src/analysis.rs:
+crates/mvsg/src/graph.rs:
+crates/mvsg/src/history.rs:

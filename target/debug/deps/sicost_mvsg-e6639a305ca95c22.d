@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/sicost_mvsg-e6639a305ca95c22.d: crates/mvsg/src/lib.rs crates/mvsg/src/analysis.rs crates/mvsg/src/graph.rs crates/mvsg/src/history.rs
+
+/root/repo/target/debug/deps/sicost_mvsg-e6639a305ca95c22: crates/mvsg/src/lib.rs crates/mvsg/src/analysis.rs crates/mvsg/src/graph.rs crates/mvsg/src/history.rs
+
+crates/mvsg/src/lib.rs:
+crates/mvsg/src/analysis.rs:
+crates/mvsg/src/graph.rs:
+crates/mvsg/src/history.rs:

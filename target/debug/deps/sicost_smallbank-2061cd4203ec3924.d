@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/sicost_smallbank-2061cd4203ec3924.d: crates/smallbank/src/lib.rs crates/smallbank/src/anomaly.rs crates/smallbank/src/driver_adapter.rs crates/smallbank/src/procs.rs crates/smallbank/src/schema.rs crates/smallbank/src/sdg_spec.rs crates/smallbank/src/strategy.rs crates/smallbank/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsicost_smallbank-2061cd4203ec3924.rmeta: crates/smallbank/src/lib.rs crates/smallbank/src/anomaly.rs crates/smallbank/src/driver_adapter.rs crates/smallbank/src/procs.rs crates/smallbank/src/schema.rs crates/smallbank/src/sdg_spec.rs crates/smallbank/src/strategy.rs crates/smallbank/src/workload.rs Cargo.toml
+
+crates/smallbank/src/lib.rs:
+crates/smallbank/src/anomaly.rs:
+crates/smallbank/src/driver_adapter.rs:
+crates/smallbank/src/procs.rs:
+crates/smallbank/src/schema.rs:
+crates/smallbank/src/sdg_spec.rs:
+crates/smallbank/src/strategy.rs:
+crates/smallbank/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

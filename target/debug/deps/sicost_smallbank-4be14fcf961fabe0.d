@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sicost_smallbank-4be14fcf961fabe0.d: crates/smallbank/src/lib.rs crates/smallbank/src/anomaly.rs crates/smallbank/src/driver_adapter.rs crates/smallbank/src/procs.rs crates/smallbank/src/schema.rs crates/smallbank/src/sdg_spec.rs crates/smallbank/src/strategy.rs crates/smallbank/src/workload.rs
+
+/root/repo/target/debug/deps/sicost_smallbank-4be14fcf961fabe0: crates/smallbank/src/lib.rs crates/smallbank/src/anomaly.rs crates/smallbank/src/driver_adapter.rs crates/smallbank/src/procs.rs crates/smallbank/src/schema.rs crates/smallbank/src/sdg_spec.rs crates/smallbank/src/strategy.rs crates/smallbank/src/workload.rs
+
+crates/smallbank/src/lib.rs:
+crates/smallbank/src/anomaly.rs:
+crates/smallbank/src/driver_adapter.rs:
+crates/smallbank/src/procs.rs:
+crates/smallbank/src/schema.rs:
+crates/smallbank/src/sdg_spec.rs:
+crates/smallbank/src/strategy.rs:
+crates/smallbank/src/workload.rs:

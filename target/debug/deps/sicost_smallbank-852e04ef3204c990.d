@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sicost_smallbank-852e04ef3204c990.d: crates/smallbank/src/lib.rs crates/smallbank/src/anomaly.rs crates/smallbank/src/driver_adapter.rs crates/smallbank/src/procs.rs crates/smallbank/src/schema.rs crates/smallbank/src/sdg_spec.rs crates/smallbank/src/strategy.rs crates/smallbank/src/workload.rs
+
+/root/repo/target/debug/deps/sicost_smallbank-852e04ef3204c990: crates/smallbank/src/lib.rs crates/smallbank/src/anomaly.rs crates/smallbank/src/driver_adapter.rs crates/smallbank/src/procs.rs crates/smallbank/src/schema.rs crates/smallbank/src/sdg_spec.rs crates/smallbank/src/strategy.rs crates/smallbank/src/workload.rs
+
+crates/smallbank/src/lib.rs:
+crates/smallbank/src/anomaly.rs:
+crates/smallbank/src/driver_adapter.rs:
+crates/smallbank/src/procs.rs:
+crates/smallbank/src/schema.rs:
+crates/smallbank/src/sdg_spec.rs:
+crates/smallbank/src/strategy.rs:
+crates/smallbank/src/workload.rs:

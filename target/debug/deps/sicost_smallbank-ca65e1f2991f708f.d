@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/sicost_smallbank-ca65e1f2991f708f.d: crates/smallbank/src/lib.rs crates/smallbank/src/anomaly.rs crates/smallbank/src/driver_adapter.rs crates/smallbank/src/procs.rs crates/smallbank/src/schema.rs crates/smallbank/src/sdg_spec.rs crates/smallbank/src/strategy.rs crates/smallbank/src/workload.rs
+
+/root/repo/target/debug/deps/libsicost_smallbank-ca65e1f2991f708f.rlib: crates/smallbank/src/lib.rs crates/smallbank/src/anomaly.rs crates/smallbank/src/driver_adapter.rs crates/smallbank/src/procs.rs crates/smallbank/src/schema.rs crates/smallbank/src/sdg_spec.rs crates/smallbank/src/strategy.rs crates/smallbank/src/workload.rs
+
+/root/repo/target/debug/deps/libsicost_smallbank-ca65e1f2991f708f.rmeta: crates/smallbank/src/lib.rs crates/smallbank/src/anomaly.rs crates/smallbank/src/driver_adapter.rs crates/smallbank/src/procs.rs crates/smallbank/src/schema.rs crates/smallbank/src/sdg_spec.rs crates/smallbank/src/strategy.rs crates/smallbank/src/workload.rs
+
+crates/smallbank/src/lib.rs:
+crates/smallbank/src/anomaly.rs:
+crates/smallbank/src/driver_adapter.rs:
+crates/smallbank/src/procs.rs:
+crates/smallbank/src/schema.rs:
+crates/smallbank/src/sdg_spec.rs:
+crates/smallbank/src/strategy.rs:
+crates/smallbank/src/workload.rs:

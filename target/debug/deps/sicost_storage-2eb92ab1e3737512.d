@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/sicost_storage-2eb92ab1e3737512.d: crates/storage/src/lib.rs crates/storage/src/catalog.rs crates/storage/src/predicate.rs crates/storage/src/row.rs crates/storage/src/schema.rs crates/storage/src/table.rs crates/storage/src/value.rs crates/storage/src/version.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsicost_storage-2eb92ab1e3737512.rmeta: crates/storage/src/lib.rs crates/storage/src/catalog.rs crates/storage/src/predicate.rs crates/storage/src/row.rs crates/storage/src/schema.rs crates/storage/src/table.rs crates/storage/src/value.rs crates/storage/src/version.rs Cargo.toml
+
+crates/storage/src/lib.rs:
+crates/storage/src/catalog.rs:
+crates/storage/src/predicate.rs:
+crates/storage/src/row.rs:
+crates/storage/src/schema.rs:
+crates/storage/src/table.rs:
+crates/storage/src/value.rs:
+crates/storage/src/version.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sicost_storage-4f4707e49bbce9e4.d: crates/storage/src/lib.rs crates/storage/src/catalog.rs crates/storage/src/predicate.rs crates/storage/src/row.rs crates/storage/src/schema.rs crates/storage/src/table.rs crates/storage/src/value.rs crates/storage/src/version.rs
+
+/root/repo/target/debug/deps/sicost_storage-4f4707e49bbce9e4: crates/storage/src/lib.rs crates/storage/src/catalog.rs crates/storage/src/predicate.rs crates/storage/src/row.rs crates/storage/src/schema.rs crates/storage/src/table.rs crates/storage/src/value.rs crates/storage/src/version.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/catalog.rs:
+crates/storage/src/predicate.rs:
+crates/storage/src/row.rs:
+crates/storage/src/schema.rs:
+crates/storage/src/table.rs:
+crates/storage/src/value.rs:
+crates/storage/src/version.rs:

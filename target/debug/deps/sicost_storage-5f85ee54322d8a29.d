@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/sicost_storage-5f85ee54322d8a29.d: crates/storage/src/lib.rs crates/storage/src/catalog.rs crates/storage/src/predicate.rs crates/storage/src/row.rs crates/storage/src/schema.rs crates/storage/src/table.rs crates/storage/src/value.rs crates/storage/src/version.rs
+
+/root/repo/target/debug/deps/libsicost_storage-5f85ee54322d8a29.rlib: crates/storage/src/lib.rs crates/storage/src/catalog.rs crates/storage/src/predicate.rs crates/storage/src/row.rs crates/storage/src/schema.rs crates/storage/src/table.rs crates/storage/src/value.rs crates/storage/src/version.rs
+
+/root/repo/target/debug/deps/libsicost_storage-5f85ee54322d8a29.rmeta: crates/storage/src/lib.rs crates/storage/src/catalog.rs crates/storage/src/predicate.rs crates/storage/src/row.rs crates/storage/src/schema.rs crates/storage/src/table.rs crates/storage/src/value.rs crates/storage/src/version.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/catalog.rs:
+crates/storage/src/predicate.rs:
+crates/storage/src/row.rs:
+crates/storage/src/schema.rs:
+crates/storage/src/table.rs:
+crates/storage/src/value.rs:
+crates/storage/src/version.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/sicost_wal-3ccc012cafa38e53.d: crates/wal/src/lib.rs crates/wal/src/device.rs crates/wal/src/record.rs crates/wal/src/recovery.rs crates/wal/src/writer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsicost_wal-3ccc012cafa38e53.rmeta: crates/wal/src/lib.rs crates/wal/src/device.rs crates/wal/src/record.rs crates/wal/src/recovery.rs crates/wal/src/writer.rs Cargo.toml
+
+crates/wal/src/lib.rs:
+crates/wal/src/device.rs:
+crates/wal/src/record.rs:
+crates/wal/src/recovery.rs:
+crates/wal/src/writer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sicost_wal-a31588fd7c239bec.d: crates/wal/src/lib.rs crates/wal/src/device.rs crates/wal/src/record.rs crates/wal/src/recovery.rs crates/wal/src/writer.rs
+
+/root/repo/target/debug/deps/libsicost_wal-a31588fd7c239bec.rlib: crates/wal/src/lib.rs crates/wal/src/device.rs crates/wal/src/record.rs crates/wal/src/recovery.rs crates/wal/src/writer.rs
+
+/root/repo/target/debug/deps/libsicost_wal-a31588fd7c239bec.rmeta: crates/wal/src/lib.rs crates/wal/src/device.rs crates/wal/src/record.rs crates/wal/src/recovery.rs crates/wal/src/writer.rs
+
+crates/wal/src/lib.rs:
+crates/wal/src/device.rs:
+crates/wal/src/record.rs:
+crates/wal/src/recovery.rs:
+crates/wal/src/writer.rs:

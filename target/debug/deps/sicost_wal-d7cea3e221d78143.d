@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sicost_wal-d7cea3e221d78143.d: crates/wal/src/lib.rs crates/wal/src/device.rs crates/wal/src/record.rs crates/wal/src/recovery.rs crates/wal/src/writer.rs
+
+/root/repo/target/debug/deps/libsicost_wal-d7cea3e221d78143.rlib: crates/wal/src/lib.rs crates/wal/src/device.rs crates/wal/src/record.rs crates/wal/src/recovery.rs crates/wal/src/writer.rs
+
+/root/repo/target/debug/deps/libsicost_wal-d7cea3e221d78143.rmeta: crates/wal/src/lib.rs crates/wal/src/device.rs crates/wal/src/record.rs crates/wal/src/recovery.rs crates/wal/src/writer.rs
+
+crates/wal/src/lib.rs:
+crates/wal/src/device.rs:
+crates/wal/src/record.rs:
+crates/wal/src/recovery.rs:
+crates/wal/src/writer.rs:

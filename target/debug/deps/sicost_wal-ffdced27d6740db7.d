@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sicost_wal-ffdced27d6740db7.d: crates/wal/src/lib.rs crates/wal/src/device.rs crates/wal/src/record.rs crates/wal/src/recovery.rs crates/wal/src/writer.rs
+
+/root/repo/target/debug/deps/sicost_wal-ffdced27d6740db7: crates/wal/src/lib.rs crates/wal/src/device.rs crates/wal/src/record.rs crates/wal/src/recovery.rs crates/wal/src/writer.rs
+
+crates/wal/src/lib.rs:
+crates/wal/src/device.rs:
+crates/wal/src/record.rs:
+crates/wal/src/recovery.rs:
+crates/wal/src/writer.rs:

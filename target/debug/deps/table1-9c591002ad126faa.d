@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-9c591002ad126faa.d: crates/bench/benches/table1.rs
+
+/root/repo/target/debug/deps/table1-9c591002ad126faa: crates/bench/benches/table1.rs
+
+crates/bench/benches/table1.rs:

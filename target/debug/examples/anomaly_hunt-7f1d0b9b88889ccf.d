@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/anomaly_hunt-7f1d0b9b88889ccf.d: examples/anomaly_hunt.rs
+
+/root/repo/target/debug/examples/anomaly_hunt-7f1d0b9b88889ccf: examples/anomaly_hunt.rs
+
+examples/anomaly_hunt.rs:

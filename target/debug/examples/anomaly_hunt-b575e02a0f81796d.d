@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/anomaly_hunt-b575e02a0f81796d.d: examples/anomaly_hunt.rs
+
+/root/repo/target/debug/examples/anomaly_hunt-b575e02a0f81796d: examples/anomaly_hunt.rs
+
+examples/anomaly_hunt.rs:

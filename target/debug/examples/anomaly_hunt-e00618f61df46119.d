@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/anomaly_hunt-e00618f61df46119.d: examples/anomaly_hunt.rs Cargo.toml
+
+/root/repo/target/debug/examples/libanomaly_hunt-e00618f61df46119.rmeta: examples/anomaly_hunt.rs Cargo.toml
+
+examples/anomaly_hunt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

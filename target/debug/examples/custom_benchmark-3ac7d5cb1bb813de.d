@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_benchmark-3ac7d5cb1bb813de.d: examples/custom_benchmark.rs
+
+/root/repo/target/debug/examples/custom_benchmark-3ac7d5cb1bb813de: examples/custom_benchmark.rs
+
+examples/custom_benchmark.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/custom_benchmark-845b12cad268c25a.d: examples/custom_benchmark.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcustom_benchmark-845b12cad268c25a.rmeta: examples/custom_benchmark.rs Cargo.toml
+
+examples/custom_benchmark.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

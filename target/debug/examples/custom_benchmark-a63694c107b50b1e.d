@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_benchmark-a63694c107b50b1e.d: examples/custom_benchmark.rs
+
+/root/repo/target/debug/examples/custom_benchmark-a63694c107b50b1e: examples/custom_benchmark.rs
+
+examples/custom_benchmark.rs:

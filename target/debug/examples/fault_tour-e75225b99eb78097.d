@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fault_tour-e75225b99eb78097.d: examples/fault_tour.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfault_tour-e75225b99eb78097.rmeta: examples/fault_tour.rs Cargo.toml
+
+examples/fault_tour.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

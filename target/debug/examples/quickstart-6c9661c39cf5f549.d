@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-6c9661c39cf5f549.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-6c9661c39cf5f549: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-9c2df08b0292ccb5.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-9c2df08b0292ccb5: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/sdg_analysis-57cf8c1ce58cc46b.d: examples/sdg_analysis.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsdg_analysis-57cf8c1ce58cc46b.rmeta: examples/sdg_analysis.rs Cargo.toml
+
+examples/sdg_analysis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sdg_analysis-691f8241cec25d67.d: examples/sdg_analysis.rs
+
+/root/repo/target/debug/examples/sdg_analysis-691f8241cec25d67: examples/sdg_analysis.rs
+
+examples/sdg_analysis.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sdg_analysis-aaa252e0b5ed5a0b.d: examples/sdg_analysis.rs
+
+/root/repo/target/debug/examples/sdg_analysis-aaa252e0b5ed5a0b: examples/sdg_analysis.rs
+
+examples/sdg_analysis.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_groupcommit-077a7c9807309428.d: crates/bench/benches/ablation_groupcommit.rs
+
+/root/repo/target/release/deps/ablation_groupcommit-077a7c9807309428: crates/bench/benches/ablation_groupcommit.rs
+
+crates/bench/benches/ablation_groupcommit.rs:

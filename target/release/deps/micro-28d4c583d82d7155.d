@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/micro-28d4c583d82d7155.d: crates/bench/benches/micro.rs
+
+/root/repo/target/release/deps/micro-28d4c583d82d7155: crates/bench/benches/micro.rs
+
+crates/bench/benches/micro.rs:

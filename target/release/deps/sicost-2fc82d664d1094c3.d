@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/sicost-2fc82d664d1094c3.d: src/lib.rs
+
+/root/repo/target/release/deps/libsicost-2fc82d664d1094c3.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libsicost-2fc82d664d1094c3.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/sicost_bench-b536f7452b920da4.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/mode.rs
+
+/root/repo/target/release/deps/libsicost_bench-b536f7452b920da4.rlib: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/mode.rs
+
+/root/repo/target/release/deps/libsicost_bench-b536f7452b920da4.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/mode.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/mode.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/sicost_common-5a6bdee440f9578e.d: crates/common/src/lib.rs crates/common/src/dist.rs crates/common/src/fault.rs crates/common/src/histogram.rs crates/common/src/ids.rs crates/common/src/money.rs crates/common/src/rng.rs crates/common/src/stats.rs crates/common/src/sync.rs
+
+/root/repo/target/release/deps/libsicost_common-5a6bdee440f9578e.rlib: crates/common/src/lib.rs crates/common/src/dist.rs crates/common/src/fault.rs crates/common/src/histogram.rs crates/common/src/ids.rs crates/common/src/money.rs crates/common/src/rng.rs crates/common/src/stats.rs crates/common/src/sync.rs
+
+/root/repo/target/release/deps/libsicost_common-5a6bdee440f9578e.rmeta: crates/common/src/lib.rs crates/common/src/dist.rs crates/common/src/fault.rs crates/common/src/histogram.rs crates/common/src/ids.rs crates/common/src/money.rs crates/common/src/rng.rs crates/common/src/stats.rs crates/common/src/sync.rs
+
+crates/common/src/lib.rs:
+crates/common/src/dist.rs:
+crates/common/src/fault.rs:
+crates/common/src/histogram.rs:
+crates/common/src/ids.rs:
+crates/common/src/money.rs:
+crates/common/src/rng.rs:
+crates/common/src/stats.rs:
+crates/common/src/sync.rs:

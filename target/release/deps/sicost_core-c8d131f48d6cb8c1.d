@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/sicost_core-c8d131f48d6cb8c1.d: crates/core/src/lib.rs crates/core/src/advisor.rs crates/core/src/cover.rs crates/core/src/program.rs crates/core/src/render.rs crates/core/src/sdg.rs crates/core/src/strategy.rs
+
+/root/repo/target/release/deps/libsicost_core-c8d131f48d6cb8c1.rlib: crates/core/src/lib.rs crates/core/src/advisor.rs crates/core/src/cover.rs crates/core/src/program.rs crates/core/src/render.rs crates/core/src/sdg.rs crates/core/src/strategy.rs
+
+/root/repo/target/release/deps/libsicost_core-c8d131f48d6cb8c1.rmeta: crates/core/src/lib.rs crates/core/src/advisor.rs crates/core/src/cover.rs crates/core/src/program.rs crates/core/src/render.rs crates/core/src/sdg.rs crates/core/src/strategy.rs
+
+crates/core/src/lib.rs:
+crates/core/src/advisor.rs:
+crates/core/src/cover.rs:
+crates/core/src/program.rs:
+crates/core/src/render.rs:
+crates/core/src/sdg.rs:
+crates/core/src/strategy.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/sicost_driver-179d59e7135d4fab.d: crates/driver/src/lib.rs crates/driver/src/metrics.rs crates/driver/src/report.rs crates/driver/src/retry.rs crates/driver/src/runner.rs
+
+/root/repo/target/release/deps/libsicost_driver-179d59e7135d4fab.rlib: crates/driver/src/lib.rs crates/driver/src/metrics.rs crates/driver/src/report.rs crates/driver/src/retry.rs crates/driver/src/runner.rs
+
+/root/repo/target/release/deps/libsicost_driver-179d59e7135d4fab.rmeta: crates/driver/src/lib.rs crates/driver/src/metrics.rs crates/driver/src/report.rs crates/driver/src/retry.rs crates/driver/src/runner.rs
+
+crates/driver/src/lib.rs:
+crates/driver/src/metrics.rs:
+crates/driver/src/report.rs:
+crates/driver/src/retry.rs:
+crates/driver/src/runner.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/sicost_mvsg-f907eba8b94cdfcd.d: crates/mvsg/src/lib.rs crates/mvsg/src/analysis.rs crates/mvsg/src/graph.rs crates/mvsg/src/history.rs
+
+/root/repo/target/release/deps/libsicost_mvsg-f907eba8b94cdfcd.rlib: crates/mvsg/src/lib.rs crates/mvsg/src/analysis.rs crates/mvsg/src/graph.rs crates/mvsg/src/history.rs
+
+/root/repo/target/release/deps/libsicost_mvsg-f907eba8b94cdfcd.rmeta: crates/mvsg/src/lib.rs crates/mvsg/src/analysis.rs crates/mvsg/src/graph.rs crates/mvsg/src/history.rs
+
+crates/mvsg/src/lib.rs:
+crates/mvsg/src/analysis.rs:
+crates/mvsg/src/graph.rs:
+crates/mvsg/src/history.rs:

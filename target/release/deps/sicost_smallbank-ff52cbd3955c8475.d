@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/sicost_smallbank-ff52cbd3955c8475.d: crates/smallbank/src/lib.rs crates/smallbank/src/anomaly.rs crates/smallbank/src/driver_adapter.rs crates/smallbank/src/procs.rs crates/smallbank/src/schema.rs crates/smallbank/src/sdg_spec.rs crates/smallbank/src/strategy.rs crates/smallbank/src/workload.rs
+
+/root/repo/target/release/deps/libsicost_smallbank-ff52cbd3955c8475.rlib: crates/smallbank/src/lib.rs crates/smallbank/src/anomaly.rs crates/smallbank/src/driver_adapter.rs crates/smallbank/src/procs.rs crates/smallbank/src/schema.rs crates/smallbank/src/sdg_spec.rs crates/smallbank/src/strategy.rs crates/smallbank/src/workload.rs
+
+/root/repo/target/release/deps/libsicost_smallbank-ff52cbd3955c8475.rmeta: crates/smallbank/src/lib.rs crates/smallbank/src/anomaly.rs crates/smallbank/src/driver_adapter.rs crates/smallbank/src/procs.rs crates/smallbank/src/schema.rs crates/smallbank/src/sdg_spec.rs crates/smallbank/src/strategy.rs crates/smallbank/src/workload.rs
+
+crates/smallbank/src/lib.rs:
+crates/smallbank/src/anomaly.rs:
+crates/smallbank/src/driver_adapter.rs:
+crates/smallbank/src/procs.rs:
+crates/smallbank/src/schema.rs:
+crates/smallbank/src/sdg_spec.rs:
+crates/smallbank/src/strategy.rs:
+crates/smallbank/src/workload.rs:

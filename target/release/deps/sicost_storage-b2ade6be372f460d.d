@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/sicost_storage-b2ade6be372f460d.d: crates/storage/src/lib.rs crates/storage/src/catalog.rs crates/storage/src/predicate.rs crates/storage/src/row.rs crates/storage/src/schema.rs crates/storage/src/table.rs crates/storage/src/value.rs crates/storage/src/version.rs
+
+/root/repo/target/release/deps/libsicost_storage-b2ade6be372f460d.rlib: crates/storage/src/lib.rs crates/storage/src/catalog.rs crates/storage/src/predicate.rs crates/storage/src/row.rs crates/storage/src/schema.rs crates/storage/src/table.rs crates/storage/src/value.rs crates/storage/src/version.rs
+
+/root/repo/target/release/deps/libsicost_storage-b2ade6be372f460d.rmeta: crates/storage/src/lib.rs crates/storage/src/catalog.rs crates/storage/src/predicate.rs crates/storage/src/row.rs crates/storage/src/schema.rs crates/storage/src/table.rs crates/storage/src/value.rs crates/storage/src/version.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/catalog.rs:
+crates/storage/src/predicate.rs:
+crates/storage/src/row.rs:
+crates/storage/src/schema.rs:
+crates/storage/src/table.rs:
+crates/storage/src/value.rs:
+crates/storage/src/version.rs:

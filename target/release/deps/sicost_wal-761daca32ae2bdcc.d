@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/sicost_wal-761daca32ae2bdcc.d: crates/wal/src/lib.rs crates/wal/src/device.rs crates/wal/src/record.rs crates/wal/src/recovery.rs crates/wal/src/writer.rs
+
+/root/repo/target/release/deps/libsicost_wal-761daca32ae2bdcc.rlib: crates/wal/src/lib.rs crates/wal/src/device.rs crates/wal/src/record.rs crates/wal/src/recovery.rs crates/wal/src/writer.rs
+
+/root/repo/target/release/deps/libsicost_wal-761daca32ae2bdcc.rmeta: crates/wal/src/lib.rs crates/wal/src/device.rs crates/wal/src/record.rs crates/wal/src/recovery.rs crates/wal/src/writer.rs
+
+crates/wal/src/lib.rs:
+crates/wal/src/device.rs:
+crates/wal/src/record.rs:
+crates/wal/src/recovery.rs:
+crates/wal/src/writer.rs:

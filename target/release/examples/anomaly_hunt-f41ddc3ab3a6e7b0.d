@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/anomaly_hunt-f41ddc3ab3a6e7b0.d: examples/anomaly_hunt.rs
+
+/root/repo/target/release/examples/anomaly_hunt-f41ddc3ab3a6e7b0: examples/anomaly_hunt.rs
+
+examples/anomaly_hunt.rs:

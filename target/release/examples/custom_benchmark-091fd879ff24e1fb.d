@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/custom_benchmark-091fd879ff24e1fb.d: examples/custom_benchmark.rs
+
+/root/repo/target/release/examples/custom_benchmark-091fd879ff24e1fb: examples/custom_benchmark.rs
+
+examples/custom_benchmark.rs:

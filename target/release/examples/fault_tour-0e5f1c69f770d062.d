@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/fault_tour-0e5f1c69f770d062.d: examples/fault_tour.rs
+
+/root/repo/target/release/examples/fault_tour-0e5f1c69f770d062: examples/fault_tour.rs
+
+examples/fault_tour.rs:

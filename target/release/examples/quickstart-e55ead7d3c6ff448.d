@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-e55ead7d3c6ff448.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-e55ead7d3c6ff448: examples/quickstart.rs
+
+examples/quickstart.rs:

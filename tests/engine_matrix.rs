@@ -2,7 +2,7 @@
 //! make progress, keep the engine's own books straight, and survive
 //! vacuum running mid-flight.
 
-use sicost::driver::{run_closed, RunConfig};
+use sicost::driver::{run_closed, RetryPolicy, RunConfig};
 use sicost::engine::{CcMode, EngineConfig};
 use sicost::smallbank::{
     SmallBank, SmallBankConfig, SmallBankDriver, SmallBankWorkload, Strategy, WorkloadParams,
@@ -12,7 +12,11 @@ use std::time::Duration;
 
 fn run_cell(cc: CcMode, strategy: Strategy) {
     let engine = EngineConfig::functional().with_cc(cc);
-    let bank = Arc::new(SmallBank::new(&SmallBankConfig::small(64), engine, strategy));
+    let bank = Arc::new(SmallBank::new(
+        &SmallBankConfig::small(64),
+        engine,
+        strategy,
+    ));
     let driver = SmallBankDriver::new(
         Arc::clone(&bank),
         SmallBankWorkload::new(WorkloadParams::paper_default().scaled(64, 8)),
@@ -24,6 +28,7 @@ fn run_cell(cc: CcMode, strategy: Strategy) {
             ramp_up: Duration::from_millis(20),
             measure: Duration::from_millis(300),
             seed: 0x3A7,
+            retry: RetryPolicy::disabled(),
         },
     );
     assert!(
@@ -42,7 +47,11 @@ fn run_cell(cc: CcMode, strategy: Strategy) {
         CcMode::SiFirstCommitterWins => assert_eq!(em.aborts_first_updater, 0),
         CcMode::Ssi => assert_eq!(em.aborts_first_committer, 0),
         CcMode::S2pl => {
-            assert_eq!(em.serialization_failures(), 0, "S2PL aborts only by deadlock");
+            assert_eq!(
+                em.serialization_failures(),
+                0,
+                "S2PL aborts only by deadlock"
+            );
         }
     }
     // No transaction left behind: the registry must drain.
@@ -51,14 +60,22 @@ fn run_cell(cc: CcMode, strategy: Strategy) {
 
 #[test]
 fn matrix_si_fuw() {
-    for strategy in [Strategy::BaseSI, Strategy::MaterializeWT, Strategy::PromoteALL] {
+    for strategy in [
+        Strategy::BaseSI,
+        Strategy::MaterializeWT,
+        Strategy::PromoteALL,
+    ] {
         run_cell(CcMode::SiFirstUpdaterWins, strategy);
     }
 }
 
 #[test]
 fn matrix_si_fcw() {
-    for strategy in [Strategy::BaseSI, Strategy::MaterializeBW, Strategy::PromoteWTSfu] {
+    for strategy in [
+        Strategy::BaseSI,
+        Strategy::MaterializeBW,
+        Strategy::PromoteWTSfu,
+    ] {
         run_cell(CcMode::SiFirstCommitterWins, strategy);
     }
 }
@@ -101,6 +118,7 @@ fn vacuum_during_concurrent_traffic_is_safe() {
                 ramp_up: Duration::from_millis(20),
                 measure: Duration::from_millis(350),
                 seed: 0x7AC,
+                retry: RetryPolicy::disabled(),
             },
         );
         let reclaimed = vacuumer.join().unwrap();
@@ -114,7 +132,10 @@ fn vacuum_during_concurrent_traffic_is_safe() {
 #[test]
 fn paper_profiles_run_end_to_end_briefly() {
     // The timing-calibrated profiles must work mechanically (short run).
-    for engine in [EngineConfig::postgres_like(), EngineConfig::commercial_like()] {
+    for engine in [
+        EngineConfig::postgres_like(),
+        EngineConfig::commercial_like(),
+    ] {
         let bank = Arc::new(SmallBank::new(
             &SmallBankConfig::small(256),
             engine,
@@ -131,6 +152,7 @@ fn paper_profiles_run_end_to_end_briefly() {
                 ramp_up: Duration::from_millis(50),
                 measure: Duration::from_millis(400),
                 seed: 0x99,
+                retry: RetryPolicy::disabled(),
             },
         );
         assert!(metrics.commits() > 0);

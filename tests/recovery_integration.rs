@@ -3,12 +3,12 @@
 //! exactly — every balance of every customer.
 
 use sicost::common::{Ts, TxnId, Xoshiro256};
+use sicost::driver::{run_closed, RetryPolicy, RunConfig};
 use sicost::engine::EngineConfig;
 use sicost::smallbank::{
     schema::customer_name, SmallBank, SmallBankConfig, SmallBankDriver, SmallBankWorkload,
     Strategy, WorkloadParams,
 };
-use sicost::driver::{run_closed, RunConfig};
 use sicost::storage::{Catalog, Predicate, Row, Value, Version};
 use std::sync::Arc;
 use std::time::Duration;
@@ -32,6 +32,7 @@ fn wal_replay_reproduces_every_balance() {
             ramp_up: Duration::from_millis(20),
             measure: Duration::from_millis(400),
             seed: 0x4EC,
+            retry: RetryPolicy::disabled(),
         },
     );
     assert!(metrics.commits() > 50, "need a meaningful log");
@@ -72,7 +73,10 @@ fn wal_replay_reproduces_every_balance() {
                 Version::data(
                     Ts(2),
                     TxnId(u64::MAX),
-                    Row::new(vec![Value::int(i as i64), Value::int(rng.range_inclusive(slo, shi))]),
+                    Row::new(vec![
+                        Value::int(i as i64),
+                        Value::int(rng.range_inclusive(slo, shi)),
+                    ]),
                 ),
             )
             .unwrap();
@@ -86,7 +90,10 @@ fn wal_replay_reproduces_every_balance() {
                 Version::data(
                     Ts(3),
                     TxnId(u64::MAX),
-                    Row::new(vec![Value::int(i as i64), Value::int(rng.range_inclusive(clo, chi))]),
+                    Row::new(vec![
+                        Value::int(i as i64),
+                        Value::int(rng.range_inclusive(clo, chi)),
+                    ]),
                 ),
             )
             .unwrap();

@@ -2,8 +2,8 @@
 //! that *should* guarantee serializable executions actually does — under
 //! real concurrency, certified by the MVSG — and plain SI does not.
 
+use sicost::driver::{run_closed, RetryPolicy, RunConfig};
 use sicost::engine::{CcMode, EngineConfig, SfuSemantics};
-use sicost::driver::{run_closed, RunConfig};
 use sicost::mvsg::{History, Mvsg};
 use sicost::smallbank::{
     MixWeights, SmallBank, SmallBankConfig, SmallBankDriver, SmallBankWorkload, Strategy,
@@ -37,6 +37,7 @@ fn certified_burst(strategy: Strategy, engine: EngineConfig, seed: u64) -> (bool
             ramp_up: Duration::from_millis(10),
             measure: Duration::from_millis(400),
             seed,
+            retry: RetryPolicy::disabled(),
         },
     );
     let graph = Mvsg::from_events(&history.events());
@@ -48,11 +49,8 @@ fn plain_si_produces_non_serializable_executions() {
     // With this much contention a handful of bursts reliably catches the
     // anomaly; each burst is independently seeded.
     let caught = (0..6).any(|i| {
-        let (serializable, commits) = certified_burst(
-            Strategy::BaseSI,
-            EngineConfig::functional(),
-            0xBAD + i,
-        );
+        let (serializable, commits) =
+            certified_burst(Strategy::BaseSI, EngineConfig::functional(), 0xBAD + i);
         assert!(commits > 0);
         !serializable
     });
@@ -125,7 +123,10 @@ fn ssi_certifies_with_unmodified_programs() {
             seed,
         );
         assert!(commits > 0, "SSI must make progress");
-        assert!(serializable, "SSI execution failed certification (seed {seed})");
+        assert!(
+            serializable,
+            "SSI execution failed certification (seed {seed})"
+        );
     }
 }
 
@@ -162,6 +163,7 @@ fn table_lock_pivot_certifies_serializable() {
                 ramp_up: Duration::from_millis(10),
                 measure: Duration::from_millis(400),
                 seed,
+                retry: RetryPolicy::disabled(),
             },
         );
         assert!(metrics.commits() > 0);
@@ -182,6 +184,9 @@ fn s2pl_certifies_with_unmodified_programs() {
             seed,
         );
         assert!(commits > 0, "S2PL must make progress despite deadlocks");
-        assert!(serializable, "S2PL execution failed certification (seed {seed})");
+        assert!(
+            serializable,
+            "S2PL execution failed certification (seed {seed})"
+        );
     }
 }
