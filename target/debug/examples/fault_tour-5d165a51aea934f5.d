@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fault_tour-5d165a51aea934f5.d: examples/fault_tour.rs
+
+/root/repo/target/debug/examples/fault_tour-5d165a51aea934f5: examples/fault_tour.rs
+
+examples/fault_tour.rs:
