@@ -23,3 +23,4 @@ pub use ids::{TableId, Ts, TxnId};
 pub use money::Money;
 pub use rng::{SplitMix64, Xoshiro256};
 pub use stats::{ci95_half_width, OnlineStats, Summary};
+pub use sync::{stripe_of, InstrumentedMutex, LockStats, LockWait};

@@ -15,7 +15,9 @@
 
 use std::ops::{Deref, DerefMut};
 use std::sync;
-use std::time::Duration;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// A mutual-exclusion lock. `lock()` returns the guard directly.
 #[derive(Default)]
@@ -47,6 +49,15 @@ impl<T: ?Sized> Mutex<T> {
         MutexGuard(Some(
             self.0.lock().unwrap_or_else(sync::PoisonError::into_inner),
         ))
+    }
+
+    /// Acquires the lock only if it is free right now.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(g) => Some(MutexGuard(Some(g))),
+            Err(sync::TryLockError::Poisoned(p)) => Some(MutexGuard(Some(p.into_inner()))),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
     }
 
     /// Mutable access without locking (requires exclusive ownership).
@@ -163,10 +174,138 @@ impl Condvar {
     }
 }
 
+/// Contention counters for one named lock class, shared (via `Arc`) by
+/// every stripe of that class. Acquisitions through an
+/// [`InstrumentedMutex`] count here; the *contended* ones — where the
+/// fast-path `try_lock` failed and the caller had to block — additionally
+/// accumulate their measured wait time.
+#[derive(Debug, Default)]
+pub struct LockStats {
+    acquisitions: AtomicU64,
+    contended: AtomicU64,
+    wait_nanos: AtomicU64,
+}
+
+impl LockStats {
+    /// Fresh zeroed counters behind an `Arc`, ready to share across the
+    /// stripes of one lock class.
+    pub fn shared() -> Arc<Self> {
+        Arc::default()
+    }
+
+    fn record(&self, wait: Option<Duration>) {
+        self.acquisitions.fetch_add(1, Ordering::Relaxed);
+        if let Some(w) = wait {
+            self.contended.fetch_add(1, Ordering::Relaxed);
+            self.wait_nanos
+                .fetch_add(w.as_nanos() as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Point-in-time view of the counters, labelled with the class name.
+    pub fn snapshot(&self, class: impl Into<String>) -> LockWait {
+        LockWait {
+            class: class.into(),
+            acquisitions: self.acquisitions.load(Ordering::Relaxed),
+            contended: self.contended.load(Ordering::Relaxed),
+            wait: Duration::from_nanos(self.wait_nanos.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// Point-in-time contention profile of one lock class.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LockWait {
+    /// Lock-class name (e.g. `commit.seq`, `ssi.reads`).
+    pub class: String,
+    /// Total acquisitions across every stripe of the class.
+    pub acquisitions: u64,
+    /// Acquisitions that had to block behind another holder.
+    pub contended: u64,
+    /// Wall-clock time accumulated while blocked.
+    pub wait: Duration,
+}
+
+impl LockWait {
+    /// Fraction of acquisitions that blocked (0 when the class is unused).
+    pub fn contention_ratio(&self) -> f64 {
+        if self.acquisitions == 0 {
+            0.0
+        } else {
+            self.contended as f64 / self.acquisitions as f64
+        }
+    }
+
+    /// Mean wait per *contended* acquisition.
+    pub fn mean_wait(&self) -> Duration {
+        if self.contended == 0 {
+            Duration::ZERO
+        } else {
+            self.wait / self.contended as u32
+        }
+    }
+}
+
+/// A [`Mutex`] that reports its acquisitions to a shared [`LockStats`].
+///
+/// The uncontended path costs one `try_lock` plus two relaxed counter
+/// bumps; only when the fast path fails does it take an `Instant` pair
+/// around the blocking `lock()`. Guards are the ordinary [`MutexGuard`],
+/// so [`Condvar`] works unchanged (condvar re-acquisitions after a wake
+/// are *not* counted — they are scheduling, not lock contention).
+pub struct InstrumentedMutex<T: ?Sized> {
+    stats: Arc<LockStats>,
+    inner: Mutex<T>,
+}
+
+impl<T> InstrumentedMutex<T> {
+    /// Creates an instrumented mutex reporting to `stats`.
+    pub fn new(value: T, stats: Arc<LockStats>) -> Self {
+        Self {
+            stats,
+            inner: Mutex::new(value),
+        }
+    }
+}
+
+impl<T: ?Sized> InstrumentedMutex<T> {
+    /// Acquires the lock, recording whether (and how long) it blocked.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        if let Some(guard) = self.inner.try_lock() {
+            self.stats.record(None);
+            return guard;
+        }
+        let t0 = Instant::now();
+        let guard = self.inner.lock();
+        self.stats.record(Some(t0.elapsed()));
+        guard
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut()
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for InstrumentedMutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+/// Maps a hashable key onto one of `n` stripes (`n ≥ 1`). Uses the
+/// standard `DefaultHasher` with its fixed default keys, so the mapping is
+/// deterministic across runs — required for reproducible schedules.
+pub fn stripe_of<K: std::hash::Hash + ?Sized>(key: &K, n: usize) -> usize {
+    use std::hash::Hasher;
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() % n.max(1) as u64) as usize
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
 
     #[test]
     fn mutex_guards_mutation() {
@@ -211,6 +350,68 @@ mod tests {
         let cv = Condvar::new();
         let mut g = m.lock();
         assert!(cv.wait_timeout(&mut g, Duration::from_millis(5)));
+    }
+
+    #[test]
+    fn try_lock_fails_while_held() {
+        let m = Mutex::new(5);
+        let g = m.lock();
+        assert!(m.try_lock().is_none());
+        drop(g);
+        assert_eq!(*m.try_lock().expect("free now"), 5);
+    }
+
+    #[test]
+    fn instrumented_mutex_counts_uncontended_acquisitions() {
+        let stats = LockStats::shared();
+        let m = InstrumentedMutex::new(0u64, Arc::clone(&stats));
+        for _ in 0..10 {
+            *m.lock() += 1;
+        }
+        let s = stats.snapshot("test");
+        assert_eq!(s.class, "test");
+        assert_eq!(s.acquisitions, 10);
+        assert_eq!(s.contended, 0);
+        assert_eq!(s.wait, Duration::ZERO);
+        assert_eq!(s.contention_ratio(), 0.0);
+        assert_eq!(s.mean_wait(), Duration::ZERO);
+    }
+
+    #[test]
+    fn instrumented_mutex_measures_blocked_time() {
+        let stats = LockStats::shared();
+        let m = Arc::new(InstrumentedMutex::new((), Arc::clone(&stats)));
+        let m2 = Arc::clone(&m);
+        let g = m.lock();
+        let h = std::thread::spawn(move || {
+            let _g = m2.lock(); // must block behind the main thread
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        drop(g);
+        h.join().unwrap();
+        let s = stats.snapshot("blocked");
+        assert_eq!(s.acquisitions, 2);
+        assert_eq!(s.contended, 1);
+        assert!(
+            s.wait >= Duration::from_millis(10),
+            "blocked thread waited ~20ms, recorded {:?}",
+            s.wait
+        );
+        assert!(s.mean_wait() >= Duration::from_millis(10));
+        assert!((s.contention_ratio() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stripes_are_deterministic_and_in_range() {
+        for n in [1usize, 4, 16] {
+            for key in 0..100i64 {
+                let a = stripe_of(&key, n);
+                assert!(a < n);
+                assert_eq!(a, stripe_of(&key, n), "same key, same stripe");
+            }
+        }
+        // n = 0 is clamped rather than dividing by zero.
+        assert_eq!(stripe_of(&1i64, 0), 0);
     }
 
     #[test]

@@ -18,6 +18,8 @@ pub mod retry;
 pub mod runner;
 
 pub use metrics::{KindMetrics, Outcome, RunMetrics};
-pub use report::{ascii_chart, csv_table, render_table, retry_report, Series, SeriesPoint};
+pub use report::{
+    ascii_chart, csv_table, lock_wait_report, render_table, retry_report, Series, SeriesPoint,
+};
 pub use retry::{RetryDecision, RetryPolicy};
 pub use runner::{repeat_summary, run_closed, RunConfig, Workload};

@@ -3,7 +3,7 @@
 //! figures).
 
 use crate::metrics::RunMetrics;
-use sicost_common::Summary;
+use sicost_common::{LockWait, Summary};
 
 /// One point of a series: x (e.g. MPL) and a summarised y (e.g. TPS).
 #[derive(Debug, Clone, Copy)]
@@ -140,6 +140,34 @@ pub fn retry_report(m: &RunMetrics) -> String {
     out
 }
 
+/// Renders an engine's per-lock-class contention breakdown: one row per
+/// named lock class with acquisition count, how many acquisitions
+/// contended, total blocked wall-clock, mean wait per acquisition and the
+/// contention ratio — the view that shows *which* serialization point the
+/// commit pipeline's wall-clock went to.
+pub fn lock_wait_report(classes: &[LockWait]) -> String {
+    let mut out = format!(
+        "{:>16} | {:>12} {:>12} {:>12} {:>12} {:>7}\n",
+        "lock class", "acquired", "contended", "total-wait", "mean-wait", "ratio"
+    );
+    out.push_str(&"-".repeat(out.len()));
+    out.push('\n');
+    for c in classes {
+        out.push_str(&format!(
+            "{:>16} | {:>12} {:>12} {:>10.1?} {:>10.1?} {:>6.1}%\n",
+            c.class,
+            c.acquisitions,
+            c.contended,
+            c.wait,
+            c.mean_wait(),
+            c.contention_ratio() * 100.0,
+        ));
+    }
+    let total: std::time::Duration = classes.iter().map(|c| c.wait).sum();
+    out.push_str(&format!("total blocked wall-clock: {total:.1?}\n"));
+    out
+}
+
 /// A rough terminal line chart (height rows, one glyph per series),
 /// enough to eyeball the figure shapes in CI logs.
 pub fn ascii_chart(series: &[Series], height: usize) -> String {
@@ -262,6 +290,30 @@ mod tests {
         assert!(r.contains("2.00"), "retries/commit column: {r}");
         assert!(r.contains("goodput 1.0 tps from 3 attempts"), "{r}");
         assert!(r.contains("1 give-ups"), "{r}");
+    }
+
+    #[test]
+    fn lock_wait_report_shows_classes_and_total() {
+        use std::time::Duration;
+        let classes = vec![
+            LockWait {
+                class: "commit.seq".into(),
+                acquisitions: 100,
+                contended: 25,
+                wait: Duration::from_millis(40),
+            },
+            LockWait {
+                class: "commit.install".into(),
+                acquisitions: 400,
+                contended: 0,
+                wait: Duration::ZERO,
+            },
+        ];
+        let r = lock_wait_report(&classes);
+        assert!(r.contains("commit.seq"), "{r}");
+        assert!(r.contains("commit.install"), "{r}");
+        assert!(r.contains("25.0%"), "contention ratio column: {r}");
+        assert!(r.contains("total blocked wall-clock: 40.0ms"), "{r}");
     }
 
     #[test]

@@ -72,9 +72,10 @@ const PHASE_DONE: u8 = 2;
 /// current request under [`RunConfig::retry`] until it commits, fails
 /// non-retryably, or exhausts the budget (a give-up). Returns the merged
 /// metrics for the measurement interval only; a whole operation (all of
-/// its attempts) is attributed to the interval in which it *finishes*, so
-/// per-kind attempt counts stay exact multiples of the per-request retry
-/// schedule.
+/// its attempts) is attributed to the measurement interval only when it
+/// both *began* and *finished* inside it, so per-kind attempt counts stay
+/// exact multiples of the per-request retry schedule and no ramp-up
+/// attempts or ramp-up latency leak into the measured numbers.
 pub fn run_closed<W: Workload>(workload: &W, config: RunConfig) -> RunMetrics {
     let kinds = workload.kinds();
     let phase = AtomicU8::new(PHASE_RAMP);
@@ -94,6 +95,11 @@ pub fn run_closed<W: Workload>(workload: &W, config: RunConfig) -> RunMetrics {
                     // completion (or discarded outside the interval).
                     let mut attempts_buf: Vec<Outcome> = Vec::new();
                     while phase_ref.load(Ordering::Acquire) != PHASE_DONE {
+                        // Phase at the operation's *start*: an op that
+                        // straddles the ramp→measure boundary must not
+                        // attribute its ramp-up attempts (or their latency)
+                        // to the measurement interval.
+                        let started_in_measure = phase_ref.load(Ordering::Acquire) == PHASE_MEASURE;
                         let (kind, request) = workload.sample(&mut rng);
                         let op_t0 = Instant::now();
                         let mut attempt = 1u32;
@@ -120,7 +126,8 @@ pub fn run_closed<W: Workload>(workload: &W, config: RunConfig) -> RunMetrics {
                                 }
                             }
                         };
-                        if phase_ref.load(Ordering::Acquire) != PHASE_MEASURE {
+                        if !started_in_measure || phase_ref.load(Ordering::Acquire) != PHASE_MEASURE
+                        {
                             continue;
                         }
                         let op_latency = op_t0.elapsed();
@@ -370,6 +377,66 @@ mod tests {
             "each abandoned operation burned its whole 3-attempt budget"
         );
         assert_eq!(m.give_ups(), k.give_ups);
+    }
+
+    /// The very first attempt (which starts during ramp-up) is slow and
+    /// serialization-fails; every later attempt commits instantly. Before
+    /// the straddle fix, the first *operation* finished inside the
+    /// measurement window and charged its ramp-up failure and ~140ms of
+    /// ramp-up latency to the measured interval.
+    struct SlowStart {
+        calls: AtomicU64,
+    }
+
+    impl Workload for SlowStart {
+        type Request = ();
+
+        fn kinds(&self) -> Vec<&'static str> {
+            vec!["slow_start"]
+        }
+        fn sample(&self, _rng: &mut Xoshiro256) -> (usize, ()) {
+            (0, ())
+        }
+        fn execute(&self, _req: &(), _attempt: u32) -> Outcome {
+            if self.calls.fetch_add(1, Ordering::Relaxed) == 0 {
+                // Outlives the 40ms ramp, lands mid-measurement.
+                std::thread::sleep(Duration::from_millis(140));
+                Outcome::SerializationFailure
+            } else {
+                Outcome::Committed
+            }
+        }
+    }
+
+    #[test]
+    fn op_straddling_ramp_boundary_is_not_measured() {
+        let w = SlowStart {
+            calls: AtomicU64::new(0),
+        };
+        let cfg = RunConfig {
+            mpl: 1,
+            ramp_up: Duration::from_millis(40),
+            measure: Duration::from_millis(200),
+            seed: 1,
+            retry: RetryPolicy {
+                max_attempts: 4,
+                base_backoff: Duration::ZERO,
+                max_backoff: Duration::ZERO,
+                jitter: 0.0,
+            },
+        };
+        let m = run_closed(&w, cfg);
+        let k = m.kind("slow_start").unwrap();
+        assert!(k.commits > 0, "later operations commit inside the window");
+        assert_eq!(
+            k.serialization_failures, 0,
+            "the ramp-started operation's failed attempt must be discarded"
+        );
+        assert!(
+            m.mean_latency() < Duration::from_millis(40),
+            "ramp-up latency must not pollute measured latency: {:?}",
+            m.mean_latency()
+        );
     }
 
     #[test]

@@ -121,9 +121,18 @@ pub struct EngineConfig {
     /// Shared fault injector driving WAL faults and commit-pipeline
     /// crashes/forced aborts. `None` (the default) injects nothing.
     pub faults: Option<Arc<FaultInjector>>,
+    /// Stripe count for the engine's serialization points: the commit
+    /// install locks, the SSI SIREAD/announcement partitions, and the lock
+    /// manager's entry/held maps. `1` reproduces the old fully-global
+    /// behaviour (useful as the ablation baseline); values are clamped to
+    /// at least 1. Sharding changes performance only, never outcomes —
+    /// `crates/smallbank/tests/shard_oracle.rs` enforces that.
+    pub shards: usize,
 }
 
 impl EngineConfig {
+    /// Default stripe count for the engine's serialization points.
+    pub const DEFAULT_SHARDS: usize = 16;
     /// Functional profile: SI/FUW with zero simulated costs. The right
     /// configuration for tests that care about semantics, not timing.
     pub fn functional() -> Self {
@@ -135,6 +144,7 @@ impl EngineConfig {
             vacuum_every: None,
             table_intent_locks: false,
             faults: None,
+            shards: Self::DEFAULT_SHARDS,
         }
     }
 
@@ -155,6 +165,7 @@ impl EngineConfig {
             vacuum_every: Some(20_000),
             table_intent_locks: false,
             faults: None,
+            shards: Self::DEFAULT_SHARDS,
         }
     }
 
@@ -175,6 +186,7 @@ impl EngineConfig {
             vacuum_every: Some(20_000),
             table_intent_locks: false,
             faults: None,
+            shards: Self::DEFAULT_SHARDS,
         }
     }
 
@@ -207,6 +219,13 @@ impl EngineConfig {
     /// drives the whole fault schedule.
     pub fn with_faults(mut self, faults: Arc<FaultInjector>) -> Self {
         self.faults = Some(faults);
+        self
+    }
+
+    /// Sets the serialization-point stripe count (builder-style). `1`
+    /// degenerates to one global lock per serialization point.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
         self
     }
 }
@@ -249,6 +268,20 @@ mod tests {
         let f = EngineConfig::functional();
         assert!(f.cost.is_zero());
         assert!(f.wal.sync_latency.is_zero());
+    }
+
+    #[test]
+    fn shards_default_and_clamp() {
+        assert_eq!(
+            EngineConfig::functional().shards,
+            EngineConfig::DEFAULT_SHARDS
+        );
+        assert_eq!(EngineConfig::functional().with_shards(4).shards, 4);
+        assert_eq!(
+            EngineConfig::functional().with_shards(0).shards,
+            1,
+            "zero is clamped to a single global stripe"
+        );
     }
 
     #[test]

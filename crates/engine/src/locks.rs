@@ -14,7 +14,8 @@
 //!   writes, all held to transaction end (strictness).
 
 use crate::error::TxnError;
-use sicost_common::sync::{Condvar, Mutex};
+use crate::metrics::LockClasses;
+use sicost_common::sync::{stripe_of, Condvar, InstrumentedMutex, Mutex};
 use sicost_common::{TableId, TxnId};
 use sicost_storage::Value;
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -105,21 +106,59 @@ enum AcquireOutcome {
 }
 
 /// The lock manager. One per database.
-#[derive(Default)]
+///
+/// The `entries` and `held` maps are hash-striped (by [`LockTarget`] and
+/// [`TxnId`] respectively) so unrelated targets never contend on manager
+/// bookkeeping; only the `waits_for` deadlock graph stays global — cycle
+/// detection needs a consistent view of every edge, and waits are rare
+/// and already slow.
 pub struct LockManager {
-    entries: Mutex<HashMap<LockTarget, Arc<LockEntry>>>,
-    waits_for: Mutex<HashMap<TxnId, HashSet<TxnId>>>,
-    held: Mutex<HashMap<TxnId, Vec<LockTarget>>>,
+    entries: Vec<InstrumentedMutex<HashMap<LockTarget, Arc<LockEntry>>>>,
+    waits_for: InstrumentedMutex<HashMap<TxnId, HashSet<TxnId>>>,
+    held: Vec<InstrumentedMutex<HashMap<TxnId, Vec<LockTarget>>>>,
+}
+
+impl Default for LockManager {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl LockManager {
-    /// Empty manager.
+    /// Empty manager with the default stripe count and fresh (unattached)
+    /// contention counters. The database wires shared counters through
+    /// [`LockManager::with_shards`] instead.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_shards(
+            crate::config::EngineConfig::DEFAULT_SHARDS,
+            &LockClasses::default(),
+        )
+    }
+
+    /// Empty manager with `shards` stripes, reporting contention to the
+    /// given lock classes.
+    pub(crate) fn with_shards(shards: usize, classes: &LockClasses) -> Self {
+        let shards = shards.max(1);
+        Self {
+            entries: (0..shards)
+                .map(|_| InstrumentedMutex::new(HashMap::new(), Arc::clone(&classes.lock_entries)))
+                .collect(),
+            waits_for: InstrumentedMutex::new(HashMap::new(), Arc::clone(&classes.lock_wait_graph)),
+            held: (0..shards)
+                .map(|_| InstrumentedMutex::new(HashMap::new(), Arc::clone(&classes.lock_held)))
+                .collect(),
+        }
+    }
+
+    fn entry_shard(
+        &self,
+        target: &LockTarget,
+    ) -> &InstrumentedMutex<HashMap<LockTarget, Arc<LockEntry>>> {
+        &self.entries[stripe_of(target, self.entries.len())]
     }
 
     fn entry(&self, target: &LockTarget) -> Arc<LockEntry> {
-        let mut map = self.entries.lock();
+        let mut map = self.entry_shard(target).lock();
         map.entry(target.clone()).or_default().clone()
     }
 
@@ -152,7 +191,7 @@ impl LockManager {
     }
 
     fn note_held(&self, txn: TxnId, target: &LockTarget) {
-        self.held
+        self.held[stripe_of(&txn, self.held.len())]
             .lock()
             .entry(txn)
             .or_default()
@@ -198,6 +237,13 @@ impl LockManager {
             // FIFO queue (standard, else every upgrade self-deadlocks
             // behind queued requests).
             loop {
+                // The entry can be unlinked while we sleep (every holder
+                // released, queue drained): inserting X into the orphan
+                // would leave the lock invisible to the map. Retry on a
+                // fresh entry instead.
+                if inner.dead {
+                    return AcquireOutcome::Retry;
+                }
                 let others: HashSet<TxnId> = inner
                     .holders
                     .keys()
@@ -265,11 +311,14 @@ impl LockManager {
     /// Releases every lock held by `txn` (strictness: called exactly once,
     /// at commit or abort).
     pub fn release_all(&self, txn: TxnId) {
-        let targets = self.held.lock().remove(&txn).unwrap_or_default();
+        let targets = self.held[stripe_of(&txn, self.held.len())]
+            .lock()
+            .remove(&txn)
+            .unwrap_or_default();
         self.clear_wait_edges(txn);
         for target in targets {
-            // Lock ordering: entries map, then entry — same as acquire.
-            let mut map = self.entries.lock();
+            // Lock ordering: entry-map stripe, then entry — same as acquire.
+            let mut map = self.entry_shard(&target).lock();
             let Some(entry) = map.get(&target).cloned() else {
                 continue;
             };
@@ -289,7 +338,7 @@ impl LockManager {
 
     /// Whether `txn` currently holds a lock on `target` covering `mode`.
     pub fn holds(&self, txn: TxnId, target: &LockTarget, mode: LockMode) -> bool {
-        let map = self.entries.lock();
+        let map = self.entry_shard(target).lock();
         let Some(entry) = map.get(target) else {
             return false;
         };
@@ -301,7 +350,7 @@ impl LockManager {
 
     /// Number of distinct locked targets (diagnostics).
     pub fn locked_targets(&self) -> usize {
-        self.entries.lock().len()
+        self.entries.iter().map(|s| s.lock().len()).sum()
     }
 }
 
@@ -515,6 +564,66 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(lm.locked_targets(), 0);
+    }
+
+    /// Regression: the upgrade loop used to check `dead` only on entry.
+    /// If every holder is released while the upgrader sleeps in `cv.wait`
+    /// — emptying and unlinking the entry — the woken upgrader would
+    /// insert its X into the dead orphan: `holds` reports false, the lock
+    /// protects nothing, and a fresh entry for the same target can grant
+    /// a conflicting lock. The fix re-checks `dead` after each wake and
+    /// retries on a fresh entry.
+    #[test]
+    fn upgrade_rechecks_entry_liveness_after_wake() {
+        let lm = Arc::new(LockManager::new());
+        lm.acquire(TxnId(1), &row(7), LockMode::S).unwrap();
+        lm.acquire(TxnId(2), &row(7), LockMode::S).unwrap();
+        let lm2 = Arc::clone(&lm);
+        let h = std::thread::spawn(move || lm2.acquire(TxnId(1), &row(7), LockMode::X));
+        // Let the upgrader block behind T2's S.
+        std::thread::sleep(Duration::from_millis(30));
+        // Rip the entry out from under it: releasing T1 removes the
+        // upgrader's own S (holders = {2}); releasing T2 then empties the
+        // entry, which tombstones (`dead`) and unlinks it.
+        lm.release_all(TxnId(1));
+        lm.release_all(TxnId(2));
+        h.join().unwrap().unwrap();
+        // The X grant must live in the *current* map entry, not an orphan.
+        assert!(
+            lm.holds(TxnId(1), &row(7), LockMode::X),
+            "upgrade must land on a live entry"
+        );
+        lm.release_all(TxnId(1));
+        assert_eq!(lm.locked_targets(), 0);
+    }
+
+    /// Sharding is performance-only: the same grant/conflict behaviour
+    /// must hold at 1 stripe (the old global map) and many.
+    #[test]
+    fn stripe_count_does_not_change_semantics() {
+        for shards in [1usize, 4, 16] {
+            let lm = LockManager::with_shards(shards, &LockClasses::default());
+            for k in 0..32i64 {
+                lm.acquire(TxnId(1), &row(k), LockMode::X).unwrap();
+            }
+            assert_eq!(lm.locked_targets(), 32, "shards={shards}");
+            assert!(lm.holds(TxnId(1), &row(31), LockMode::X));
+            assert!(!lm.holds(TxnId(2), &row(31), LockMode::X));
+            lm.release_all(TxnId(1));
+            assert_eq!(lm.locked_targets(), 0, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn contention_counters_see_manager_traffic() {
+        let classes = LockClasses::default();
+        let lm = LockManager::with_shards(4, &classes);
+        lm.acquire(TxnId(1), &row(1), LockMode::X).unwrap();
+        lm.release_all(TxnId(1));
+        let entries = classes.lock_entries.snapshot("lock.entries");
+        let held = classes.lock_held.snapshot("lock.held");
+        assert!(entries.acquisitions >= 2, "acquire + release touch the map");
+        assert!(held.acquisitions >= 2);
     }
 
     #[test]

@@ -1,7 +1,49 @@
 //! Engine-level counters.
 
 use crate::error::{AbortReason, SerializationKind};
+use sicost_common::{LockStats, LockWait};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared handles to the engine's named lock classes. One instance per
+/// [`crate::Database`]; every stripe of a class reports to the same
+/// counters, so the snapshot is a per-class (not per-stripe) breakdown of
+/// where commit-pipeline wall-clock goes.
+#[derive(Debug, Default)]
+pub(crate) struct LockClasses {
+    /// Commit-timestamp reservation (the tiny sequence lock).
+    pub commit_seq: Arc<LockStats>,
+    /// Striped per-shard version-install locks.
+    pub commit_install: Arc<LockStats>,
+    /// Ordered commit-clock publication gate.
+    pub commit_publish: Arc<LockStats>,
+    /// Lock-manager entry-map stripes.
+    pub lock_entries: Arc<LockStats>,
+    /// The global waits-for deadlock graph.
+    pub lock_wait_graph: Arc<LockStats>,
+    /// Lock-manager held-locks stripes.
+    pub lock_held: Arc<LockStats>,
+    /// SSI per-transaction flag state (the small global map).
+    pub ssi_txns: Arc<LockStats>,
+    /// SSI SIREAD-mark / announcement partitions.
+    pub ssi_reads: Arc<LockStats>,
+}
+
+impl LockClasses {
+    /// Per-class contention snapshot, in stable display order.
+    pub fn snapshot(&self) -> Vec<LockWait> {
+        vec![
+            self.commit_seq.snapshot("commit.seq"),
+            self.commit_install.snapshot("commit.install"),
+            self.commit_publish.snapshot("commit.publish"),
+            self.lock_entries.snapshot("lock.entries"),
+            self.lock_wait_graph.snapshot("lock.wait_graph"),
+            self.lock_held.snapshot("lock.held"),
+            self.ssi_txns.snapshot("ssi.txns"),
+            self.ssi_reads.snapshot("ssi.reads"),
+        ]
+    }
+}
 
 /// Monotonic engine counters, cheap enough to bump on every transaction.
 #[derive(Debug, Default)]
@@ -53,12 +95,13 @@ impl EngineMetricsInner {
             aborts_application: self.aborts_app.load(Ordering::Relaxed),
             aborts_transient: self.aborts_transient.load(Ordering::Relaxed),
             versions_pruned: self.versions_pruned.load(Ordering::Relaxed),
+            lock_waits: Vec::new(),
         }
     }
 }
 
 /// Point-in-time view of the engine counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct EngineMetrics {
     /// Committed transactions (including read-only).
     pub commits: u64,
@@ -78,6 +121,10 @@ pub struct EngineMetrics {
     pub aborts_transient: u64,
     /// Versions reclaimed by the garbage collector.
     pub versions_pruned: u64,
+    /// Per-lock-class contention breakdown (acquisitions, contended
+    /// count, accumulated wait). Filled by [`crate::Database::metrics`];
+    /// empty in a bare [`EngineMetricsInner::snapshot`].
+    pub lock_waits: Vec<LockWait>,
 }
 
 impl EngineMetrics {
@@ -93,6 +140,16 @@ impl EngineMetrics {
             + self.aborts_deadlock
             + self.aborts_application
             + self.aborts_transient
+    }
+
+    /// The contention profile of one named lock class, if present.
+    pub fn lock_wait(&self, class: &str) -> Option<&LockWait> {
+        self.lock_waits.iter().find(|w| w.class == class)
+    }
+
+    /// Total blocked wall-clock across every lock class.
+    pub fn total_lock_wait(&self) -> std::time::Duration {
+        self.lock_waits.iter().map(|w| w.wait).sum()
     }
 }
 
@@ -128,5 +185,34 @@ mod tests {
         assert_eq!(s.versions_pruned, 7);
         assert_eq!(s.serialization_failures(), 3);
         assert_eq!(s.total_aborts(), 6);
+    }
+
+    #[test]
+    fn lock_classes_snapshot_in_stable_order() {
+        let classes = LockClasses::default();
+        let snap = classes.snapshot();
+        let names: Vec<&str> = snap.iter().map(|w| w.class.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "commit.seq",
+                "commit.install",
+                "commit.publish",
+                "lock.entries",
+                "lock.wait_graph",
+                "lock.held",
+                "ssi.txns",
+                "ssi.reads",
+            ]
+        );
+        let mut m = EngineMetrics {
+            lock_waits: snap,
+            ..Default::default()
+        };
+        assert!(m.lock_wait("commit.seq").is_some());
+        assert!(m.lock_wait("nope").is_none());
+        m.lock_waits[0].wait = std::time::Duration::from_millis(2);
+        m.lock_waits[1].wait = std::time::Duration::from_millis(3);
+        assert_eq!(m.total_lock_wait(), std::time::Duration::from_millis(5));
     }
 }

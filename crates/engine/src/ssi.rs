@@ -25,9 +25,21 @@
 //!   writer provenance;
 //! * to close the validation→install window (the engine writes the WAL
 //!   between the two), a committing writer **announces** its write set at
-//!   validation time; readers check announcements under the same mutex
-//!   that registers their SIREAD marks, so every rw edge is discovered by
-//!   exactly one side whatever the interleaving.
+//!   validation time; readers check announcements under the same per-key
+//!   partition lock that registers their SIREAD marks, so every rw edge is
+//!   discovered by at least one side whatever the interleaving.
+//!
+//! **Sharding** (mirroring PostgreSQL's split of predicate-lock partitions
+//! from `SERIALIZABLEXACT` state, Ports & Grittner VLDB 2012): the
+//! SIREAD-mark and announcement maps are hash-partitioned by [`ReadKey`]
+//! behind per-shard mutexes, while the per-transaction flag state lives in
+//! a separate small map behind its own lock. No operation ever holds a
+//! shard lock and the transaction-map lock at once; each side's critical
+//! section is atomic per key ({mark SIREAD, collect announcements} for
+//! readers, {collect readers, announce} for writers), so the edge between
+//! a reader and a writer of the same key is still discovered by at least
+//! one of them. The flag updates that follow may interleave, which can
+//! only *add* conservative aborts — never miss a dangerous structure.
 //!
 //! Doomed transactions discover their fate at their next operation or at
 //! commit, returning [`SerializationKind::SsiPivot`]. A transaction that
@@ -35,10 +47,12 @@
 //! discovering side aborts instead.
 
 use crate::error::{SerializationKind, TxnError};
-use sicost_common::sync::Mutex;
-use sicost_common::{TableId, Ts, TxnId};
+use crate::metrics::LockClasses;
+use sicost_common::sync::{stripe_of, InstrumentedMutex};
+use sicost_common::{LockStats, TableId, Ts, TxnId};
 use sicost_storage::Value;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Key granularity at which SIREAD marks are kept.
 pub type ReadKey = (TableId, Value);
@@ -71,105 +85,117 @@ impl SsiTxn {
     }
 }
 
+type TxnMap = HashMap<TxnId, SsiTxn>;
+
+/// One hash partition of the key-indexed state.
 #[derive(Debug, Default)]
-struct SsiState {
-    txns: HashMap<TxnId, SsiTxn>,
+struct ReadShard {
     /// SIREAD marks: key → readers (active or committed-but-relevant).
     readers: HashMap<ReadKey, Vec<TxnId>>,
     /// Writers past validation, keyed by the items they are installing.
     announced: HashMap<ReadKey, Vec<TxnId>>,
 }
 
-impl SsiState {
-    /// Is `other` concurrent with a transaction that started at `start`?
-    /// Committed transactions stay "concurrent" with anything that started
-    /// before their commit; committing ones are treated as concurrent.
-    /// The comparison is inclusive because read-only transactions commit
-    /// at their snapshot timestamp: a reader and a writer beginning on the
-    /// same clock tick genuinely overlap even though their timestamps tie
-    /// (conservative: ties may add false aborts, never unsoundness).
-    fn concurrent_with(&self, other: TxnId, start: Ts) -> bool {
-        match self.txns.get(&other) {
-            Some(t) => t.commit_ts.map(|c| c >= start).unwrap_or(true),
-            None => false, // unknown ⇒ long gone ⇒ not concurrent
-        }
+/// Is `other` concurrent with a transaction that started at `start`?
+/// Committed transactions stay "concurrent" with anything that started
+/// before their commit; committing ones are treated as concurrent.
+/// The comparison is inclusive because read-only transactions commit
+/// at their snapshot timestamp: a reader and a writer beginning on the
+/// same clock tick genuinely overlap even though their timestamps tie
+/// (conservative: ties may add false aborts, never unsoundness).
+fn concurrent_with(txns: &TxnMap, other: TxnId, start: Ts) -> bool {
+    match txns.get(&other) {
+        Some(t) => t.commit_ts.map(|c| c >= start).unwrap_or(true),
+        None => false, // unknown ⇒ long gone ⇒ not concurrent
     }
+}
 
-    /// Records the rw-antidependency `reader → writer` and applies the
-    /// pivot rule. Returns the error if `me` must abort now.
-    fn mark_rw(&mut self, reader: TxnId, writer: TxnId, me: TxnId) -> Result<(), TxnError> {
-        if reader == writer {
-            return Ok(());
-        }
-        if let Some(r) = self.txns.get_mut(&reader) {
-            r.out_conflict = true;
-        }
-        if let Some(w) = self.txns.get_mut(&writer) {
-            w.in_conflict = true;
-        }
-        // Pivot rule: any transaction with both flags makes the structure
-        // dangerous; abort one abortable participant.
-        for t in [reader, writer] {
-            let Some(rec) = self.txns.get(&t) else {
-                continue;
-            };
-            if rec.in_conflict && rec.out_conflict {
-                if t == me {
-                    return Err(TxnError::Serialization(SerializationKind::SsiPivot));
-                }
-                if rec.abortable() {
-                    // Active pivot elsewhere: doom it, it will notice.
-                    self.txns.get_mut(&t).expect("present").doomed = true;
-                } else {
-                    // Committed/committing pivot: the only abortable
-                    // participant here is me.
-                    return Err(TxnError::Serialization(SerializationKind::SsiPivot));
-                }
+/// Records the rw-antidependency `reader → writer` and applies the
+/// pivot rule. Returns the error if `me` must abort now.
+fn mark_rw(txns: &mut TxnMap, reader: TxnId, writer: TxnId, me: TxnId) -> Result<(), TxnError> {
+    if reader == writer {
+        return Ok(());
+    }
+    if let Some(r) = txns.get_mut(&reader) {
+        r.out_conflict = true;
+    }
+    if let Some(w) = txns.get_mut(&writer) {
+        w.in_conflict = true;
+    }
+    // Pivot rule: any transaction with both flags makes the structure
+    // dangerous; abort one abortable participant.
+    for t in [reader, writer] {
+        let Some(rec) = txns.get(&t) else {
+            continue;
+        };
+        if rec.in_conflict && rec.out_conflict {
+            if t == me {
+                return Err(TxnError::Serialization(SerializationKind::SsiPivot));
             }
-        }
-        Ok(())
-    }
-
-    fn unregister_reads(&mut self, txn: TxnId, keys: &[ReadKey]) {
-        for key in keys {
-            if let Some(marks) = self.readers.get_mut(key) {
-                marks.retain(|r| *r != txn);
-                if marks.is_empty() {
-                    self.readers.remove(key);
-                }
+            if rec.abortable() {
+                // Active pivot elsewhere: doom it, it will notice.
+                txns.get_mut(&t).expect("present").doomed = true;
+            } else {
+                // Committed/committing pivot: the only abortable
+                // participant here is me.
+                return Err(TxnError::Serialization(SerializationKind::SsiPivot));
             }
         }
     }
-
-    fn unannounce(&mut self, txn: TxnId, keys: &[ReadKey]) {
-        for key in keys {
-            if let Some(ws) = self.announced.get_mut(key) {
-                ws.retain(|w| *w != txn);
-                if ws.is_empty() {
-                    self.announced.remove(key);
-                }
-            }
-        }
-    }
+    Ok(())
 }
 
 /// The SSI conflict tracker. One per database; inert unless the engine
 /// runs in [`crate::CcMode::Ssi`].
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct SsiManager {
-    state: Mutex<SsiState>,
+    /// Per-transaction flag state — the small global map.
+    txns: InstrumentedMutex<TxnMap>,
+    /// Key-partitioned SIREAD/announcement state.
+    shards: Vec<InstrumentedMutex<ReadShard>>,
+}
+
+impl Default for SsiManager {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl SsiManager {
-    /// Empty manager.
+    /// Empty manager with the default partition count and fresh
+    /// (unattached) contention counters.
     pub fn new() -> Self {
-        Self::default()
+        let classes = LockClasses::default();
+        Self::with_shards(
+            crate::config::EngineConfig::DEFAULT_SHARDS,
+            Arc::clone(&classes.ssi_txns),
+            Arc::clone(&classes.ssi_reads),
+        )
+    }
+
+    /// Empty manager with `shards` key partitions, reporting contention
+    /// to the given counters.
+    pub(crate) fn with_shards(
+        shards: usize,
+        txns_stats: Arc<LockStats>,
+        shard_stats: Arc<LockStats>,
+    ) -> Self {
+        Self {
+            txns: InstrumentedMutex::new(HashMap::new(), txns_stats),
+            shards: (0..shards.max(1))
+                .map(|_| InstrumentedMutex::new(ReadShard::default(), Arc::clone(&shard_stats)))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, key: &ReadKey) -> &InstrumentedMutex<ReadShard> {
+        &self.shards[stripe_of(key, self.shards.len())]
     }
 
     /// Registers a transaction at begin (or re-registers it after a
     /// snapshot refresh, which is only legal before any reads).
     pub fn begin(&self, txn: TxnId, start_ts: Ts) {
-        self.state.lock().txns.insert(
+        self.txns.lock().insert(
             txn,
             SsiTxn {
                 start_ts,
@@ -186,8 +212,7 @@ impl SsiManager {
 
     /// Fails if `txn` has been doomed by a concurrent pivot detection.
     pub fn check_doomed(&self, txn: TxnId) -> Result<(), TxnError> {
-        let state = self.state.lock();
-        match state.txns.get(&txn) {
+        match self.txns.lock().get(&txn) {
             Some(t) if t.doomed => Err(TxnError::Serialization(SerializationKind::SsiPivot)),
             _ => Ok(()),
         }
@@ -196,36 +221,42 @@ impl SsiManager {
     /// Records a read: leaves an SIREAD mark and marks `txn → writer`
     /// antidependencies against (a) the writers of committed versions
     /// newer than the one observed (`newer_writers`, from the version
-    /// chain), and (b) writers currently announced as installing this key
-    /// — all under one lock acquisition, so a concurrent committer either
-    /// sees our SIREAD mark or we see its announcement.
+    /// chain), and (b) writers currently announced as installing this key.
+    /// The mark and the announcement collection happen atomically under
+    /// the key's partition lock, so a concurrent committer either sees our
+    /// SIREAD mark or we see its announcement.
     pub fn on_read(
         &self,
         txn: TxnId,
         key: ReadKey,
         newer_writers: &[TxnId],
     ) -> Result<(), TxnError> {
-        let mut state = self.state.lock();
-        if let Some(t) = state.txns.get_mut(&txn) {
+        let announced: Vec<TxnId> = {
+            let mut shard = self.shard(&key).lock();
+            let marks = shard.readers.entry(key.clone()).or_default();
+            if !marks.contains(&txn) {
+                marks.push(txn);
+            }
+            shard
+                .announced
+                .get(&key)
+                .map(|ws| ws.iter().copied().filter(|w| *w != txn).collect())
+                .unwrap_or_default()
+        };
+        let mut txns = self.txns.lock();
+        if let Some(t) = txns.get_mut(&txn) {
+            // Record the key first so an abort cleans the mark up even on
+            // the error paths below.
+            t.read_keys.push(key.clone());
             if t.doomed {
                 return Err(TxnError::Serialization(SerializationKind::SsiPivot));
             }
-            t.read_keys.push(key.clone());
-        }
-        let marks = state.readers.entry(key.clone()).or_default();
-        if !marks.contains(&txn) {
-            marks.push(txn);
         }
         for &w in newer_writers {
-            state.mark_rw(txn, w, txn)?;
+            mark_rw(&mut txns, txn, w, txn)?;
         }
-        let announced: Vec<TxnId> = state
-            .announced
-            .get(&key)
-            .map(|ws| ws.iter().copied().filter(|w| *w != txn).collect())
-            .unwrap_or_default();
         for w in announced {
-            state.mark_rw(txn, w, txn)?;
+            mark_rw(&mut txns, txn, w, txn)?;
         }
         Ok(())
     }
@@ -233,90 +264,112 @@ impl SsiManager {
     /// Records a write: marks `reader → txn` antidependencies against every
     /// concurrent SIREAD holder of the key.
     pub fn on_write(&self, txn: TxnId, key: &ReadKey) -> Result<(), TxnError> {
-        let mut state = self.state.lock();
-        let my_start = match state.txns.get(&txn) {
+        let readers: Vec<TxnId> = {
+            let shard = self.shard(key).lock();
+            shard
+                .readers
+                .get(key)
+                .map(|v| v.iter().copied().filter(|r| *r != txn).collect())
+                .unwrap_or_default()
+        };
+        let mut txns = self.txns.lock();
+        let my_start = match txns.get(&txn) {
             Some(t) if t.doomed => {
                 return Err(TxnError::Serialization(SerializationKind::SsiPivot))
             }
             Some(t) => t.start_ts,
             None => return Ok(()),
         };
-        let readers: Vec<TxnId> = state
-            .readers
-            .get(key)
-            .map(|v| {
-                v.iter()
-                    .copied()
-                    .filter(|r| *r != txn && state.concurrent_with(*r, my_start))
-                    .collect()
-            })
-            .unwrap_or_default();
         for r in readers {
-            state.mark_rw(r, txn, txn)?;
+            if concurrent_with(&txns, r, my_start) {
+                mark_rw(&mut txns, r, txn, txn)?;
+            }
         }
         Ok(())
     }
 
     /// Commit-time validation: re-marks reader edges for the write set,
     /// applies the pivot rule to the committer, and — on success —
-    /// transitions it to `committing` and announces its write set. After
+    /// transitions it to `committing` with its write set announced. After
     /// `Ok(())` the transaction must proceed to install and
     /// [`SsiManager::finish_commit`]; it will never be doomed.
+    ///
+    /// The announcement goes up *before* the flag marking (each key's
+    /// {collect readers, announce} step is atomic in its partition); if
+    /// validation then fails, the announcements are retracted. A reader
+    /// that saw the short-lived announcement gains at most a conservative
+    /// edge to an aborting writer — extra caution, never a miss.
     pub fn pre_commit(&self, txn: TxnId, write_keys: &[ReadKey]) -> Result<(), TxnError> {
-        let mut state = self.state.lock();
-        let Some(me) = state.txns.get(&txn) else {
-            return Ok(());
-        };
-        if me.doomed || (me.in_conflict && me.out_conflict) {
-            return Err(TxnError::Serialization(SerializationKind::SsiPivot));
-        }
-        let my_start = me.start_ts;
-        for key in write_keys {
-            let readers: Vec<TxnId> = state
-                .readers
-                .get(key)
-                .map(|v| {
-                    v.iter()
-                        .copied()
-                        .filter(|r| *r != txn && state.concurrent_with(*r, my_start))
-                        .collect()
-                })
-                .unwrap_or_default();
-            for r in readers {
-                state.mark_rw(r, txn, txn)?;
+        {
+            let txns = self.txns.lock();
+            let Some(me) = txns.get(&txn) else {
+                return Ok(());
+            };
+            if me.doomed || (me.in_conflict && me.out_conflict) {
+                return Err(TxnError::Serialization(SerializationKind::SsiPivot));
             }
         }
-        // Validation passed: commit is now inevitable. Announce.
+        let mut seen_readers: Vec<TxnId> = Vec::new();
         for key in write_keys {
-            state.announced.entry(key.clone()).or_default().push(txn);
+            let mut shard = self.shard(key).lock();
+            if let Some(rs) = shard.readers.get(key) {
+                seen_readers.extend(rs.iter().copied().filter(|r| *r != txn));
+            }
+            shard.announced.entry(key.clone()).or_default().push(txn);
         }
-        let me = state.txns.get_mut(&txn).expect("present");
-        me.committing = true;
-        me.announced_keys = write_keys.to_vec();
-        Ok(())
+        seen_readers.sort_unstable();
+        seen_readers.dedup();
+        let result = (|| {
+            let mut txns = self.txns.lock();
+            let Some(me) = txns.get(&txn) else {
+                return Ok(());
+            };
+            let my_start = me.start_ts;
+            for r in seen_readers {
+                if concurrent_with(&txns, r, my_start) {
+                    mark_rw(&mut txns, r, txn, txn)?;
+                }
+            }
+            let me = txns.get_mut(&txn).expect("present");
+            // Re-check: an edge may have landed between the first look at
+            // our flags and this critical section.
+            if me.doomed || (me.in_conflict && me.out_conflict) {
+                return Err(TxnError::Serialization(SerializationKind::SsiPivot));
+            }
+            me.committing = true;
+            me.announced_keys = write_keys.to_vec();
+            Ok(())
+        })();
+        if result.is_err() {
+            // Not committing after all: take the announcements back down.
+            self.unannounce(txn, write_keys);
+        }
+        result
     }
 
     /// Marks the transaction committed and retracts its announcements
     /// (SIREAD marks survive until GC).
     pub fn finish_commit(&self, txn: TxnId, commit_ts: Ts) {
-        let mut state = self.state.lock();
-        let announced = match state.txns.get_mut(&txn) {
-            Some(t) => {
-                t.commit_ts = Some(commit_ts);
-                t.committing = false;
-                std::mem::take(&mut t.announced_keys)
+        let announced = {
+            let mut txns = self.txns.lock();
+            match txns.get_mut(&txn) {
+                Some(t) => {
+                    t.commit_ts = Some(commit_ts);
+                    t.committing = false;
+                    std::mem::take(&mut t.announced_keys)
+                }
+                None => Vec::new(),
             }
-            None => Vec::new(),
         };
-        state.unannounce(txn, &announced);
+        self.unannounce(txn, &announced);
     }
 
     /// Drops all trace of an aborted transaction.
     pub fn on_abort(&self, txn: TxnId) {
-        let mut state = self.state.lock();
-        if let Some(t) = state.txns.remove(&txn) {
-            state.unregister_reads(txn, &t.read_keys);
-            state.unannounce(txn, &t.announced_keys);
+        let removed = self.txns.lock().remove(&txn);
+        if let Some(t) = removed {
+            self.unregister_reads(txn, &t.read_keys);
+            self.unannounce(txn, &t.announced_keys);
         }
     }
 
@@ -324,25 +377,59 @@ impl SsiManager {
     /// anything active (commit timestamp at or before the oldest active
     /// snapshot). Returns the number of transaction records reclaimed.
     pub fn gc(&self, min_active_start: Ts) -> usize {
-        let mut state = self.state.lock();
-        let dead: Vec<TxnId> = state
-            .txns
-            .iter()
-            .filter(|(_, t)| t.commit_ts.map(|c| c <= min_active_start).unwrap_or(false))
-            .map(|(id, _)| *id)
-            .collect();
-        for id in &dead {
-            if let Some(t) = state.txns.remove(id) {
-                state.unregister_reads(*id, &t.read_keys);
-                state.unannounce(*id, &t.announced_keys);
-            }
+        let dead: Vec<(TxnId, SsiTxn)> = {
+            let mut txns = self.txns.lock();
+            let ids: Vec<TxnId> = txns
+                .iter()
+                .filter(|(_, t)| t.commit_ts.map(|c| c <= min_active_start).unwrap_or(false))
+                .map(|(id, _)| *id)
+                .collect();
+            ids.into_iter()
+                .filter_map(|id| txns.remove(&id).map(|t| (id, t)))
+                .collect()
+        };
+        for (id, t) in &dead {
+            self.unregister_reads(*id, &t.read_keys);
+            self.unannounce(*id, &t.announced_keys);
         }
         dead.len()
     }
 
     /// Number of transaction records currently tracked (tests/diagnostics).
     pub fn tracked(&self) -> usize {
-        self.state.lock().txns.len()
+        self.txns.lock().len()
+    }
+
+    fn unregister_reads(&self, txn: TxnId, keys: &[ReadKey]) {
+        for key in keys {
+            let mut shard = self.shard(key).lock();
+            if let Some(marks) = shard.readers.get_mut(key) {
+                marks.retain(|r| *r != txn);
+                if marks.is_empty() {
+                    shard.readers.remove(key);
+                }
+            }
+        }
+    }
+
+    fn unannounce(&self, txn: TxnId, keys: &[ReadKey]) {
+        for key in keys {
+            let mut shard = self.shard(key).lock();
+            if let Some(ws) = shard.announced.get_mut(key) {
+                ws.retain(|w| *w != txn);
+                if ws.is_empty() {
+                    shard.announced.remove(key);
+                }
+            }
+        }
+    }
+
+    /// (tests) The `(in_conflict, out_conflict)` flags of a tracked txn.
+    #[cfg(test)]
+    fn flags(&self, txn: TxnId) -> (bool, bool) {
+        let txns = self.txns.lock();
+        let t = &txns[&txn];
+        (t.in_conflict, t.out_conflict)
     }
 }
 
@@ -460,9 +547,8 @@ mod tests {
         ssi.begin(TxnId(2), Ts(5));
         ssi.on_write(TxnId(2), &key(1)).unwrap();
         ssi.pre_commit(TxnId(2), &[key(1)]).unwrap();
-        let state = ssi.state.lock();
-        assert!(!state.txns[&TxnId(1)].out_conflict);
-        assert!(!state.txns[&TxnId(2)].in_conflict);
+        assert!(!ssi.flags(TxnId(1)).1, "old reader gains no out-edge");
+        assert!(!ssi.flags(TxnId(2)).0, "new writer gains no in-edge");
     }
 
     #[test]
@@ -492,9 +578,7 @@ mod tests {
         ssi.begin(TxnId(2), Ts(10));
         ssi.on_write(TxnId(2), &key(1)).unwrap();
         ssi.on_read(TxnId(2), key(3), &[]).unwrap();
-        let state = ssi.state.lock();
-        assert!(!state.txns[&TxnId(2)].in_conflict);
-        assert!(!state.txns[&TxnId(2)].out_conflict);
+        assert_eq!(ssi.flags(TxnId(2)), (false, false));
     }
 
     #[test]
@@ -523,5 +607,37 @@ mod tests {
         assert_eq!(ssi.gc(Ts(100)), 0, "committing txns must survive GC");
         ssi.finish_commit(TxnId(1), Ts(2));
         assert_eq!(ssi.gc(Ts(100)), 1);
+    }
+
+    /// The pivot detections above must be invariant under the partition
+    /// count — 1 shard is the old global-mutex layout.
+    #[test]
+    fn shard_count_does_not_change_verdicts() {
+        let mut baseline = None;
+        for shards in [1usize, 4, 16] {
+            let ssi = SsiManager::with_shards(shards, Arc::default(), Arc::default());
+            ssi.begin(TxnId(1), Ts(10));
+            ssi.begin(TxnId(2), Ts(10));
+            for k in 0..8 {
+                ssi.on_read(TxnId(1), key(k), &[]).unwrap();
+                ssi.on_read(TxnId(2), key(k), &[]).unwrap();
+            }
+            let r1 = ssi.on_write(TxnId(1), &key(0));
+            let r2 = ssi.on_write(TxnId(2), &key(7));
+            let c1 = r1.and_then(|_| ssi.pre_commit(TxnId(1), &[key(0)]));
+            let c2 = r2.and_then(|_| ssi.pre_commit(TxnId(2), &[key(7)]));
+            assert!(
+                c1.is_err() || c2.is_err(),
+                "shards={shards}: at least one of the skew pair dies"
+            );
+            let verdict = (c1.is_ok(), c2.is_ok());
+            match baseline {
+                None => baseline = Some(verdict),
+                Some(b) => assert_eq!(
+                    verdict, b,
+                    "shards={shards}: verdicts must match the 1-shard baseline"
+                ),
+            }
+        }
     }
 }

@@ -517,8 +517,9 @@ impl<'db> Transaction<'db> {
     }
 
     /// Commits. For updaters this validates (First-Committer-Wins / SSI),
-    /// forces the redo log (group commit), installs the versions at a fresh
-    /// timestamp inside the global install section, and releases locks.
+    /// forces the redo log (group commit), installs the versions at a
+    /// reserved timestamp through the striped install pipeline (publishing
+    /// the commit clock in reservation order), and releases locks.
     /// Read-only transactions skip the WAL and install entirely.
     pub fn commit(mut self) -> Result<Ts, TxnError> {
         self.ensure_active()?;
@@ -595,10 +596,12 @@ impl<'db> Transaction<'db> {
                     return Err(self.fail(TxnError::Transient("crashed after wal append".into())));
                 }
             }
-            // Install at a fresh timestamp; the global section keeps
-            // snapshots transaction-consistent.
-            let _install = self.db.commit_mutex.lock();
-            let ts = Ts(self.db.clock.load(Ordering::Acquire)).next();
+            // Striped install: reserve a timestamp under the tiny sequence
+            // lock, install each version under its shard's install lock,
+            // then publish the clock in reservation order. Snapshots stay
+            // transaction-consistent because the clock only ever advances
+            // to a timestamp whose every predecessor is fully installed.
+            let ts = self.db.reserve_commit_ts();
             let crash_mid_install = faults
                 .as_ref()
                 .is_some_and(|f| f.at_crash_point(CrashPoint::MidInstall));
@@ -606,10 +609,13 @@ impl<'db> Transaction<'db> {
                 if crash_mid_install && i >= self.writes.len().div_ceil(2) {
                     // Died half-way through installation: in-memory state
                     // is torn, but the log is complete — recovery restores
-                    // the whole transaction. The clock is never advanced,
-                    // so the torn prefix stays invisible to snapshots.
+                    // the whole transaction. The reserved timestamp is
+                    // never published, so the torn prefix stays invisible
+                    // to snapshots (and later committers bail out via the
+                    // crash latch in `publish_commit`).
                     break;
                 }
+                let _shard = self.db.install_shard(w.table, &w.key);
                 let t = self.db.catalog.table(w.table);
                 let version = match &w.image {
                     Some(row) => Version::data(ts, self.id, row.clone()),
@@ -623,7 +629,9 @@ impl<'db> Transaction<'db> {
             if crash_mid_install {
                 return Err(self.fail(TxnError::Transient("crashed mid-install".into())));
             }
-            self.db.clock.store(ts.0, Ordering::Release);
+            if let Err(e) = self.db.publish_commit(ts) {
+                return Err(self.fail(e));
+            }
             if let Some(f) = &faults {
                 // AfterInstall latches the crash but the commit happened:
                 // the caller gets Ok and recovery must preserve it.

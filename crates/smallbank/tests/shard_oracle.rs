@@ -1,0 +1,209 @@
+//! Cross-shard oracle: the serialization-point stripe count is a
+//! performance knob, never a semantics knob. Every accepted/rejected
+//! outcome — the scripted SmallBank anomaly across strategies and engine
+//! modes, and a deterministic batch of conflict scripts across the SI/SSI
+//! modes — must be bit-identical at 1, 4 and 16 shards (1 reproduces the
+//! old fully-global engine).
+
+use sicost_common::Money;
+use sicost_engine::{CcMode, EngineConfig};
+use sicost_smallbank::anomaly::run_write_skew_script;
+use sicost_smallbank::{SbError, SmallBank, SmallBankConfig, Strategy};
+use sicost_storage::{Row, Value};
+
+const SHARD_COUNTS: [usize; 3] = [1, 4, 16];
+
+/// Stable rendering of a transaction outcome: success or the error's
+/// class (serialization failures collapse to one tag so message wording
+/// can evolve without breaking the oracle).
+fn tag<T>(r: &Result<T, SbError>) -> String {
+    match r {
+        Ok(_) => "ok".into(),
+        Err(e) if e.is_serialization_failure() => "serialization".into(),
+        Err(e) => format!("err:{e:?}"),
+    }
+}
+
+#[test]
+fn anomaly_verdicts_are_invariant_under_shard_count() {
+    let cases: Vec<(Strategy, EngineConfig, &str)> = vec![
+        (Strategy::BaseSI, EngineConfig::functional(), "base-si"),
+        (
+            Strategy::PromoteWTUpd,
+            EngineConfig::functional(),
+            "promote",
+        ),
+        (
+            Strategy::MaterializeALL,
+            EngineConfig::functional(),
+            "materialize",
+        ),
+        (
+            Strategy::BaseSI,
+            EngineConfig::functional().with_cc(CcMode::Ssi),
+            "ssi",
+        ),
+        (
+            Strategy::BaseSI,
+            EngineConfig::functional().with_cc(CcMode::S2pl),
+            "s2pl",
+        ),
+    ];
+    for (strategy, engine, label) in cases {
+        let mut baseline: Option<String> = None;
+        for shards in SHARD_COUNTS {
+            let bank = SmallBank::new(
+                &SmallBankConfig::small(4),
+                engine.clone().with_shards(shards),
+                strategy,
+            );
+            let o = run_write_skew_script(&bank);
+            let signature = format!(
+                "anomalous={} ts={} wc={} bal={} seen={:?} saving={:?} checking={:?}",
+                o.is_anomalous(),
+                tag(&o.ts_result),
+                tag(&o.wc_result),
+                tag(&o.balance_seen),
+                o.balance_seen.as_ref().ok(),
+                o.final_saving,
+                o.final_checking,
+            );
+            match &baseline {
+                None => baseline = Some(signature),
+                Some(b) => assert_eq!(
+                    &signature, b,
+                    "{label}: shards={shards} diverged from the 1-shard baseline"
+                ),
+            }
+        }
+    }
+}
+
+/// A deterministic, single-threaded batch of conflict scripts against the
+/// raw engine API. Runs under the three snapshot-based modes (S2PL is
+/// covered by the threaded anomaly script above — its blocking semantics
+/// would wedge a single-threaded script). Every per-step outcome, the
+/// final balances, and the final commit clock must match across shard
+/// counts.
+#[test]
+fn scripted_semantics_are_invariant_under_shard_count() {
+    for cc in [
+        CcMode::SiFirstUpdaterWins,
+        CcMode::SiFirstCommitterWins,
+        CcMode::Ssi,
+    ] {
+        let mut baseline: Option<String> = None;
+        for shards in SHARD_COUNTS {
+            let bank = SmallBank::new(
+                &SmallBankConfig::small(8),
+                EngineConfig::functional().with_cc(cc).with_shards(shards),
+                Strategy::BaseSI,
+            );
+            let db = bank.db();
+            let tables = *bank.tables();
+            let mut log: Vec<String> = Vec::new();
+
+            // -- Script 1: stale write. T1 snapshots, T2 updates the same
+            // row and commits, then T1 writes it.
+            {
+                let mut t1 = db.begin();
+                let _ = t1.read(tables.checking, &Value::int(1));
+                let mut t2 = db.begin();
+                let w2 = t2.update(
+                    tables.checking,
+                    &Value::int(1),
+                    Row::new(vec![Value::int(1), Value::int(111)]),
+                );
+                log.push(format!("s1.w2={:?}", w2.is_ok()));
+                log.push(format!("s1.c2={:?}", t2.commit().map(|_| ())));
+                let w1 = t1.update(
+                    tables.checking,
+                    &Value::int(1),
+                    Row::new(vec![Value::int(1), Value::int(222)]),
+                );
+                log.push(format!("s1.w1={w1:?}"));
+                if w1.is_ok() {
+                    log.push(format!("s1.c1={:?}", t1.commit().map(|_| ())));
+                }
+            }
+
+            // -- Script 2: write skew across two accounts.
+            {
+                let mut t1 = db.begin();
+                let mut t2 = db.begin();
+                let _ = t1.read(tables.saving, &Value::int(2));
+                let _ = t1.read(tables.checking, &Value::int(2));
+                let _ = t2.read(tables.saving, &Value::int(2));
+                let _ = t2.read(tables.checking, &Value::int(2));
+                let w2 = t2.update(
+                    tables.saving,
+                    &Value::int(2),
+                    Row::new(vec![Value::int(2), Value::int(5)]),
+                );
+                log.push(format!("s2.w2={:?}", w2.map(|_| ())));
+                log.push(format!("s2.c2={:?}", t2.commit().map(|_| ())));
+                let w1 = t1.update(
+                    tables.checking,
+                    &Value::int(2),
+                    Row::new(vec![Value::int(2), Value::int(7)]),
+                );
+                log.push(format!("s2.w1={:?}", w1.as_ref().map(|_| ())));
+                if w1.is_ok() {
+                    log.push(format!("s2.c1={:?}", t1.commit().map(|_| ())));
+                }
+            }
+
+            // -- Script 3: duplicate-key insert is a constraint error.
+            {
+                let mut t = db.begin();
+                let ins = t.insert(
+                    tables.checking,
+                    Row::new(vec![Value::int(3), Value::int(1)]),
+                );
+                log.push(format!("s3.dup={:?}", ins.is_err()));
+                t.rollback();
+            }
+
+            // -- Script 4: delete then re-read within one txn, commit, and
+            // confirm invisibility after.
+            {
+                let mut t = db.begin();
+                let del = t.delete(tables.saving, &Value::int(4));
+                log.push(format!("s4.del={del:?}"));
+                let gone = t.read(tables.saving, &Value::int(4)).map(|r| r.is_none());
+                log.push(format!("s4.gone={gone:?}"));
+                log.push(format!("s4.c={:?}", t.commit().map(|_| ())));
+            }
+
+            // -- Script 5: procedure-level ops and the conservation scan.
+            log.push(format!(
+                "s5.dep={}",
+                tag(&bank.deposit_checking(
+                    &sicost_smallbank::schema::customer_name(5),
+                    Money::dollars(7)
+                ))
+            ));
+            log.push(format!(
+                "s5.amal={}",
+                tag(&bank.amalgamate(
+                    &sicost_smallbank::schema::customer_name(6),
+                    &sicost_smallbank::schema::customer_name(7),
+                ))
+            ));
+            log.push(format!(
+                "s5.total={:?}",
+                sicost_smallbank::schema::total_balance(db, &tables)
+            ));
+
+            log.push(format!("clock={:?}", db.clock()));
+            let signature = log.join("\n");
+            match &baseline {
+                None => baseline = Some(signature),
+                Some(b) => assert_eq!(
+                    &signature, b,
+                    "cc={cc:?} shards={shards} diverged from the 1-shard baseline"
+                ),
+            }
+        }
+    }
+}

@@ -40,6 +40,7 @@ impl Counters {
             vacuum_every: Some(10_000),
             table_intent_locks: false,
             faults: None,
+            shards: EngineConfig::DEFAULT_SHARDS,
         };
         let db = Database::builder()
             .table(
