@@ -3,11 +3,22 @@
 //! to 3× 2PL's throughput because readers never block).
 
 use sicost_bench::figures::platforms;
-use sicost_bench::{print_figure, run_figure, BenchMode, FigureSpec, StrategyLine};
+use sicost_bench::{print_figure, run_figure, BenchMode, BenchReport, FigureSpec, StrategyLine};
+use sicost_driver::Series;
 use sicost_smallbank::{Strategy, WorkloadParams};
 
 fn main() {
     let mode = BenchMode::from_env();
+    let expectation = "(No paper counterpart — §I folklore check.) Expected: similar \
+         at low MPL; under contention S2PL falls behind because \
+         readers block behind writers and deadlocks appear, while SI \
+         readers never block.";
+    let mut report = BenchReport::new(
+        "ablation_2pl",
+        "Ablation A2 — S2PL vs SI, uniform and contended regimes",
+        mode,
+    );
+    report.expectation = expectation.into();
     for (id, title, params) in [
         (
             "Ablation A2 (uniform)",
@@ -38,13 +49,17 @@ fn main() {
             ],
         };
         let series = run_figure(&spec, mode);
-        print_figure(
-            &spec,
-            &series,
-            "(No paper counterpart — §I folklore check.) Expected: similar \
-             at low MPL; under contention S2PL falls behind because \
-             readers block behind writers and deadlocks appear, while SI \
-             readers never block.",
-        );
+        print_figure(&spec, &series, expectation);
+        // Prefix the regime so both sweeps share one report.
+        let tagged: Vec<Series> = series
+            .iter()
+            .map(|s| {
+                let mut t = s.clone();
+                t.label = format!("{id}: {}", s.label);
+                t
+            })
+            .collect();
+        report.push_series("MPL", &tagged);
     }
+    println!("report: {}", report.write().display());
 }

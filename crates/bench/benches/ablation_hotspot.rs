@@ -3,7 +3,7 @@
 //! gap between well-chosen and blunt strategies open up?
 
 use sicost_bench::figures::platforms;
-use sicost_bench::BenchMode;
+use sicost_bench::{BenchMode, BenchReport};
 use sicost_driver::{repeat_summary, RetryPolicy, RunConfig, Series};
 use sicost_smallbank::{
     SmallBank, SmallBankConfig, SmallBankDriver, SmallBankWorkload, Strategy, WorkloadParams,
@@ -61,12 +61,19 @@ fn main() {
     println!("\nAblation A4 — hotspot-size sweep (60% Balance mix, MPL {mpl})");
     println!("{}", sicost_driver::render_table("hotspot", &all));
     println!("--- CSV ---\n{}", sicost_driver::csv_table("hotspot", &all));
-    println!(
-        "Expectation: at hotspot 1000+ all three run close together (the \
+    let expectation = "At hotspot 1000+ all three run close together (the \
          Figure 4/5 regime); as the hotspot shrinks toward 10 the \
          MaterializeALL line collapses (every pair of transactions on a \
          hot customer now conflicts through the Conflict table) while \
          PromoteWT-upd stays near SI — interpolating between Figures 5 \
-         and 7."
+         and 7.";
+    println!("Expectation: {expectation}");
+    let mut report = BenchReport::new(
+        "ablation_hotspot",
+        format!("Ablation A4 — hotspot-size sweep (60% Balance mix, MPL {mpl})"),
+        mode,
     );
+    report.expectation = expectation.into();
+    report.push_series("hotspot", &all);
+    println!("report: {}", report.write().display());
 }

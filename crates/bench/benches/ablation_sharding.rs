@@ -6,7 +6,7 @@
 //! wait breakdown printed at the end shows where the blocked wall-clock
 //! went in each extreme.
 
-use sicost_bench::BenchMode;
+use sicost_bench::{BenchMode, BenchReport};
 use sicost_driver::{lock_wait_report, repeat_summary, run_closed, RetryPolicy, RunConfig, Series};
 use sicost_engine::EngineConfig;
 use sicost_smallbank::{
@@ -83,6 +83,19 @@ fn main() {
         all.first().unwrap().label,
     );
 
+    let mut report = BenchReport::new(
+        "ablation_sharding",
+        "Ablation A6 — serialization-point sharding sweep (BaseSI, uniform mix)",
+        mode,
+    );
+    report.push_series("MPL", &all);
+    report.notes.push(format!(
+        "speedup at MPL {top_mpl:.0}: {:.2}x ({} vs {})",
+        striped / single.max(1e-9),
+        all.last().unwrap().label,
+        all.first().unwrap().label,
+    ));
+
     // Where did the blocked wall-clock go? One dedicated run per extreme
     // at the highest MPL, reading the engine's lock-class counters.
     for &shards in [shard_counts[0], *shard_counts.last().unwrap()].iter() {
@@ -97,12 +110,17 @@ fn main() {
                 retry: RetryPolicy::disabled(),
             },
         );
+        let breakdown = lock_wait_report(&driver.bank().db().metrics().lock_waits);
         println!("\nlock-wait breakdown, shards={shards}, MPL {top_mpl:.0}:");
-        println!(
-            "{}",
-            lock_wait_report(&driver.bank().db().metrics().lock_waits)
-        );
+        println!("{breakdown}");
+        report.notes.push(format!(
+            "lock-wait breakdown, shards={shards}, MPL {top_mpl:.0}:\n{breakdown}"
+        ));
     }
+    report.expectation = "See the printed expectation: shards=1 flattens against the \
+         global commit/install serialization points; striping dissolves the wait."
+        .into();
+    println!("report: {}", report.write().display());
     println!(
         "Expectation: at MPL 1 the stripe count is irrelevant (every lock \
          is uncontended); as MPL grows the shards=1 line flattens against \

@@ -8,7 +8,7 @@
 //! profile.
 
 use sicost_bench::figures::platforms;
-use sicost_bench::{print_figure, run_figure, BenchMode, FigureSpec, StrategyLine};
+use sicost_bench::{print_figure, run_figure, BenchMode, BenchReport, FigureSpec, StrategyLine};
 use sicost_smallbank::{Strategy, WorkloadParams};
 
 fn main() {
@@ -41,12 +41,13 @@ fn main() {
         ],
     };
     let series = run_figure(&spec, mode);
-    print_figure(
-        &spec,
-        &series,
-        "(No paper counterpart — forward-looking ablation.) Expected: SSI \
+    let expectation = "(No paper counterpart — forward-looking ablation.) Expected: SSI \
          tracks SI closely with a small abort overhead under contention, \
          beating the blunt MaterializeALL while requiring no program \
-         changes; the well-chosen PromoteWT-upd remains competitive.",
-    );
+         changes; the well-chosen PromoteWT-upd remains competitive.";
+    print_figure(&spec, &series, expectation);
+    let mut report = BenchReport::new("ablation_ssi", spec.title, mode);
+    report.expectation = expectation.into();
+    report.push_series("MPL", &series);
+    println!("report: {}", report.write().display());
 }

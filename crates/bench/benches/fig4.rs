@@ -3,7 +3,7 @@
 //! PromoteALL, throughput over MPL.
 
 use sicost_bench::figures::platforms;
-use sicost_bench::{print_figure, run_figure, BenchMode, FigureSpec, StrategyLine};
+use sicost_bench::{print_figure, run_figure, BenchMode, BenchReport, FigureSpec, StrategyLine};
 use sicost_smallbank::{Strategy, WorkloadParams};
 
 fn main() {
@@ -32,12 +32,13 @@ fn main() {
         ],
     };
     let series = run_figure(&spec, mode);
-    print_figure(
-        &spec,
-        &series,
-        "SI rises to a ~1150 TPS plateau; PromoteALL starts ~20% lower \
+    let expectation = "SI rises to a ~1150 TPS plateau; PromoteALL starts ~20% lower \
          (Balance now writes, so every transaction pays a disk write) and \
          converges to ~95% of SI; MaterializeALL peaks ~25% below SI \
-         (conflict-table contention between any pair sharing a customer).",
-    );
+         (conflict-table contention between any pair sharing a customer).";
+    print_figure(&spec, &series, expectation);
+    let mut report = BenchReport::new("fig4", spec.title, mode);
+    report.expectation = expectation.into();
+    report.push_series("MPL", &series);
+    println!("report: {}", report.write().display());
 }

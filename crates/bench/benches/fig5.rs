@@ -3,7 +3,10 @@
 //! relative to SI (panel b).
 
 use sicost_bench::figures::platforms;
-use sicost_bench::{print_figure, run_figure, BenchMode, FigureSpec, StrategyLine};
+use sicost_bench::{
+    certify_figure, print_certification, print_figure, run_figure, BenchMode, BenchReport,
+    FigureSpec, StrategyLine,
+};
 use sicost_smallbank::{Strategy, WorkloadParams};
 
 fn main() {
@@ -27,13 +30,18 @@ fn main() {
         ],
     };
     let series = run_figure(&spec, mode);
-    print_figure(
-        &spec,
-        &series,
-        "PromoteWT-upd indistinguishable from SI; MaterializeWT matches SI \
+    let expectation = "PromoteWT-upd indistinguishable from SI; MaterializeWT matches SI \
          at low MPL then plateaus ~10% below; the BW variants lose ~20% at \
          MPL 1 (Balance becomes an updater: 5/4 more disk-writing \
          transactions) and recover toward SI at high MPL — BW costs are \
-         highest at LOW MPL, the reverse of WT.",
-    );
+         highest at LOW MPL, the reverse of WT.";
+    print_figure(&spec, &series, expectation);
+    let (certs, latency) = certify_figure("fig5", &spec, mode);
+    print_certification(&certs);
+    let mut report = BenchReport::new("fig5", spec.title, mode);
+    report.expectation = expectation.into();
+    report.push_series("MPL", &series);
+    report.certification = certs;
+    report.latency = latency;
+    println!("report: {}", report.write().display());
 }

@@ -3,7 +3,7 @@
 //! strategies.
 
 use sicost_bench::figures::{abort_profile, platforms};
-use sicost_bench::BenchMode;
+use sicost_bench::{BenchMode, BenchReport};
 use sicost_smallbank::{Strategy, WorkloadParams};
 
 fn main() {
@@ -31,6 +31,14 @@ fn main() {
     }
     println!();
     println!("{:-<100}", "");
+    let kinds = [
+        "Balance",
+        "WriteCheck",
+        "TransactSaving",
+        "Amalgamate",
+        "DepositChecking",
+    ];
+    let mut rows = Vec::new();
     for strategy in strategies {
         let profile = abort_profile(&pg, strategy, &params, mode, 20);
         print!("{:<16}", strategy.name());
@@ -41,22 +49,28 @@ fn main() {
                 .map(|(_, r)| *r)
                 .unwrap_or(0.0)
         };
-        for kind in [
-            "Balance",
-            "WriteCheck",
-            "TransactSaving",
-            "Amalgamate",
-            "DepositChecking",
-        ] {
+        let mut row = vec![strategy.name().to_string()];
+        for kind in kinds {
             print!(" | {:>15.2}%", 100.0 * get(kind));
+            row.push(format!("{:.4}", get(kind)));
         }
+        rows.push(row);
         println!();
     }
     println!("{:-<100}", "");
-    println!(
-        "Paper expectation: PromoteBW-upd shows clearly higher abort rates \
+    let expectation = "PromoteBW-upd shows clearly higher abort rates \
          for Balance, DepositChecking and Amalgamate (Bal's promoted \
          Checking write now contends with DC and Amg); the WT strategies \
-         and MaterializeBW stay near SI's profile."
+         and MaterializeBW stay near SI's profile.";
+    println!("Paper expectation: {expectation}");
+    let mut report = BenchReport::new(
+        "fig6",
+        "Figure 6 — serialization-failure abort rate per transaction type (MPL 20)",
+        mode,
     );
+    report.expectation = expectation.into();
+    let mut columns = vec!["strategy".to_string()];
+    columns.extend(kinds.iter().map(|k| format!("{k} abort fraction")));
+    report.push_table("abort rates at MPL 20", columns, rows);
+    println!("report: {}", report.write().display());
 }

@@ -2,7 +2,10 @@
 //! hotspot of 10 customers, 60 % Balance mix.
 
 use sicost_bench::figures::platforms;
-use sicost_bench::{print_figure, run_figure, BenchMode, FigureSpec, StrategyLine};
+use sicost_bench::{
+    certify_figure, print_certification, print_figure, run_figure, BenchMode, BenchReport,
+    FigureSpec, StrategyLine,
+};
 use sicost_smallbank::{Strategy, WorkloadParams};
 
 fn main() {
@@ -27,12 +30,17 @@ fn main() {
         ],
     };
     let series = run_figure(&spec, mode);
-    print_figure(
-        &spec,
-        &series,
-        "SI peaks ~1100 TPS; eliminating the WT edge costs almost nothing; \
+    let expectation = "SI peaks ~1100 TPS; eliminating the WT edge costs almost nothing; \
          MaterializeBW drops to ~560 TPS (~50%); MaterializeALL to ~460 \
          TPS (~60% below SI) — the 'simple' no-SDG strategies are the \
-         most expensive under contention.",
-    );
+         most expensive under contention.";
+    print_figure(&spec, &series, expectation);
+    let (certs, latency) = certify_figure("fig7", &spec, mode);
+    print_certification(&certs);
+    let mut report = BenchReport::new("fig7", spec.title, mode);
+    report.expectation = expectation.into();
+    report.push_series("MPL", &series);
+    report.certification = certs;
+    report.latency = latency;
+    println!("report: {}", report.write().display());
 }

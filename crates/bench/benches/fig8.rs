@@ -3,7 +3,7 @@
 //! penalty): absolute TPS (panel a) and relative-to-SI (panel b).
 
 use sicost_bench::figures::platforms;
-use sicost_bench::{print_figure, run_figure, BenchMode, FigureSpec, StrategyLine};
+use sicost_bench::{print_figure, run_figure, BenchMode, BenchReport, FigureSpec, StrategyLine};
 use sicost_smallbank::{Strategy, WorkloadParams};
 
 fn main() {
@@ -26,14 +26,15 @@ fn main() {
         ],
     };
     let series = run_figure(&spec, mode);
-    print_figure(
-        &spec,
-        &series,
-        "The commercial platform peaks around 800 TPS near MPL 20–25 and \
+    let expectation = "The commercial platform peaks around 800 TPS near MPL 20–25 and \
          then DECLINES (unlike PostgreSQL's plateau). PromoteWT-sfu \
          reaches essentially SI's peak, declining a bit faster past MPL \
          20; PromoteWT-upd matches to the peak then declines faster; \
          materialization does relatively better than promotion here (the \
-         reverse of PostgreSQL).",
-    );
+         reverse of PostgreSQL).";
+    print_figure(&spec, &series, expectation);
+    let mut report = BenchReport::new("fig8", spec.title, mode);
+    report.expectation = expectation.into();
+    report.push_series("MPL", &series);
+    println!("report: {}", report.write().display());
 }

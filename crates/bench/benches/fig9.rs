@@ -3,7 +3,7 @@
 //! (panel b).
 
 use sicost_bench::figures::platforms;
-use sicost_bench::{print_figure, run_figure, BenchMode, FigureSpec, StrategyLine};
+use sicost_bench::{print_figure, run_figure, BenchMode, BenchReport, FigureSpec, StrategyLine};
 use sicost_smallbank::{Strategy, WorkloadParams};
 
 fn main() {
@@ -26,11 +26,12 @@ fn main() {
         ],
     };
     let series = run_figure(&spec, mode);
-    print_figure(
-        &spec,
-        &series,
-        "All BW eliminations do substantially worse on the commercial \
+    let expectation = "All BW eliminations do substantially worse on the commercial \
          platform: peak throughput at least ~10% below SI, with \
-         PromoteBW-upd worst at ~630 TPS (~80% of SI's peak).",
-    );
+         PromoteBW-upd worst at ~630 TPS (~80% of SI's peak).";
+    print_figure(&spec, &series, expectation);
+    let mut report = BenchReport::new("fig9", spec.title, mode);
+    report.expectation = expectation.into();
+    report.push_series("MPL", &series);
+    println!("report: {}", report.write().display());
 }

@@ -7,6 +7,7 @@
 //! cargo bench --bench micro
 //! ```
 
+use sicost_bench::{BenchMode, BenchReport};
 use sicost_common::Xoshiro256;
 use sicost_core::SfuTreatment;
 use sicost_engine::{Database, EngineConfig};
@@ -16,8 +17,9 @@ use sicost_storage::{ColumnDef, ColumnType, Row, TableSchema, Value};
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
-/// Warm up briefly, then time `iters` calls of `f` and report ns/op.
-fn bench(name: &str, mut f: impl FnMut()) {
+/// Warm up briefly, then time `iters` calls of `f`, report ns/op, and
+/// append a report row.
+fn bench(rows: &mut Vec<Vec<String>>, name: &str, mut f: impl FnMut()) {
     for _ in 0..1_000 {
         f();
     }
@@ -32,6 +34,11 @@ fn bench(name: &str, mut f: impl FnMut()) {
         if elapsed >= Duration::from_millis(200) || iters >= 1 << 24 {
             let ns = elapsed.as_nanos() as f64 / iters as f64;
             println!("{name:<45} {ns:>12.1} ns/op   ({iters} iters)");
+            rows.push(vec![
+                name.to_string(),
+                format!("{ns:.1}"),
+                iters.to_string(),
+            ]);
             return;
         }
         iters *= 4;
@@ -64,12 +71,12 @@ fn test_db(rows: i64) -> Database {
     db
 }
 
-fn bench_engine_ops() {
+fn bench_engine_ops(rows: &mut Vec<Vec<String>>) {
     let db = test_db(10_000);
     let tid = db.table_id("T").unwrap();
 
     let mut i = 0i64;
-    bench("engine/read_only_txn_3_reads", || {
+    bench(rows, "engine/read_only_txn_3_reads", || {
         let mut tx = db.begin();
         for k in 0..3 {
             black_box(tx.read(tid, &Value::int((i + k) % 10_000)).unwrap());
@@ -79,7 +86,7 @@ fn bench_engine_ops() {
     });
 
     let mut i = 0i64;
-    bench("engine/update_txn_read_write_commit", || {
+    bench(rows, "engine/update_txn_read_write_commit", || {
         let mut tx = db.begin();
         let key = Value::int(i % 10_000);
         let row = tx.read(tid, &key).unwrap().unwrap();
@@ -91,12 +98,12 @@ fn bench_engine_ops() {
     });
 }
 
-fn bench_lock_manager() {
+fn bench_lock_manager(rows: &mut Vec<Vec<String>>) {
     use sicost_common::{TableId, TxnId};
     use sicost_engine::locks::{LockManager, LockMode, LockTarget};
     let lm = LockManager::new();
     let mut i = 0u64;
-    bench("locks/acquire_release_uncontended", || {
+    bench(rows, "locks/acquire_release_uncontended", || {
         let txn = TxnId(i);
         let t = LockTarget::row(TableId(0), Value::int((i % 1_000) as i64));
         lm.acquire(txn, &t, LockMode::X).unwrap();
@@ -105,7 +112,7 @@ fn bench_lock_manager() {
     });
 }
 
-fn bench_mvsg() {
+fn bench_mvsg(rows: &mut Vec<Vec<String>>) {
     use sicost_common::{TableId, Ts, TxnId};
     use sicost_engine::HistoryEvent;
     // A 10k-transaction history over 100 keys.
@@ -125,32 +132,44 @@ fn bench_mvsg() {
             writes: vec![(TableId(0), key)],
         });
     }
-    bench("mvsg/build_and_certify_10k_txns", || {
+    bench(rows, "mvsg/build_and_certify_10k_txns", || {
         let g = Mvsg::from_events(black_box(&events));
         black_box(g.certify().serializable);
     });
 }
 
-fn bench_sdg() {
-    bench("sdg/analyse_smallbank", || {
+fn bench_sdg(rows: &mut Vec<Vec<String>>) {
+    bench(rows, "sdg/analyse_smallbank", || {
         let sdg = sdg_spec::smallbank_sdg(black_box(SfuTreatment::AsLockOnly));
         black_box(sdg.dangerous_structures().len());
     });
 }
 
-fn bench_sampling() {
+fn bench_sampling(rows: &mut Vec<Vec<String>>) {
     use sicost_smallbank::{SmallBankWorkload, WorkloadParams};
     let wl = SmallBankWorkload::new(WorkloadParams::paper_default());
     let mut rng = Xoshiro256::seed_from_u64(9);
-    bench("workload/sample_request", || {
+    bench(rows, "workload/sample_request", || {
         black_box(wl.sample(&mut rng));
     });
 }
 
 fn main() {
-    bench_engine_ops();
-    bench_lock_manager();
-    bench_mvsg();
-    bench_sdg();
-    bench_sampling();
+    let mut rows = Vec::new();
+    bench_engine_ops(&mut rows);
+    bench_lock_manager(&mut rows);
+    bench_mvsg(&mut rows);
+    bench_sdg(&mut rows);
+    bench_sampling(&mut rows);
+    let mut report = BenchReport::new(
+        "micro",
+        "Micro-benchmarks of the engine primitives",
+        BenchMode::from_env(),
+    );
+    report.push_table(
+        "primitive costs",
+        vec!["benchmark".into(), "ns/op".into(), "iters".into()],
+        rows,
+    );
+    println!("report: {}", report.write().display());
 }

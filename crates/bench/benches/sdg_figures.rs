@@ -6,19 +6,30 @@
 //! each produced by *applying* the strategy through the toolkit and
 //! re-analysing.
 
+use sicost_bench::{BenchMode, BenchReport};
 use sicost_core::{verify_safe, SfuTreatment};
 use sicost_smallbank::sdg_spec::{plan_for, smallbank_sdg};
 use sicost_smallbank::Strategy;
 
-fn show(title: &str, sdg: &sicost_core::Sdg) {
+fn show(rows: &mut Vec<Vec<String>>, title: &str, sdg: &sicost_core::Sdg) {
     println!("\n=== {title} ===");
     println!("{}", sdg.to_ascii());
     println!("DOT:\n{}", sdg.to_dot());
+    rows.push(vec![
+        title.to_string(),
+        sdg.to_ascii(),
+        sdg.is_si_serializable().to_string(),
+    ]);
 }
 
 fn main() {
+    let mut rows = Vec::new();
     let base = smallbank_sdg(SfuTreatment::AsLockOnly);
-    show("Figure 1 — SDG for the SmallBank benchmark", &base);
+    show(
+        &mut rows,
+        "Figure 1 — SDG for the SmallBank benchmark",
+        &base,
+    );
 
     for (figure, strategy) in [
         (
@@ -40,7 +51,7 @@ fn main() {
     ] {
         let (_, re) = verify_safe(&base, &plan_for(strategy), SfuTreatment::AsLockOnly)
             .expect("strategy applies");
-        show(figure, &re);
+        show(&mut rows, figure, &re);
         assert!(re.is_si_serializable(), "{figure} must be safe");
     }
 
@@ -58,13 +69,28 @@ fn main() {
     ] {
         let (_, re) =
             verify_safe(&base_w, &plan_for(strategy), SfuTreatment::AsWrite).expect("applies");
-        show(figure, &re);
+        show(&mut rows, figure, &re);
         assert!(re.is_si_serializable(), "{figure} must be safe");
     }
 
-    println!(
-        "\nPaper expectation: Figure 1 has vulnerable edges Bal→WC, Bal→TS, \
+    let expectation = "Figure 1 has vulnerable edges Bal→WC, Bal→TS, \
          Bal→DC, Bal→Amg, WC→TS and exactly one dangerous structure \
-         Bal→WC→TS; every option's SDG has none."
+         Bal→WC→TS; every option's SDG has none.";
+    println!("\nPaper expectation: {expectation}");
+    let mut report = BenchReport::new(
+        "sdg_figures",
+        "Figures 1–3 — the SmallBank SDG and the SDGs after each option",
+        BenchMode::from_env(),
     );
+    report.expectation = expectation.into();
+    report.push_table(
+        "SDG edge listings",
+        vec![
+            "figure".into(),
+            "edges (ascii, dashed = vulnerable)".into(),
+            "SI-serializable".into(),
+        ],
+        rows,
+    );
+    println!("report: {}", report.write().display());
 }

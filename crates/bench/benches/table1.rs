@@ -4,6 +4,7 @@
 //! strategy makes each of the five programs additionally update, and
 //! prints the table in the paper's layout.
 
+use sicost_bench::{BenchMode, BenchReport};
 use sicost_core::SfuTreatment;
 use sicost_smallbank::sdg_spec::{table_i_row, AMG, BAL, DC, TS, WC};
 use sicost_smallbank::Strategy;
@@ -16,6 +17,7 @@ fn main() {
         "Option / TX", BAL, WC, TS, AMG, DC
     );
     println!("{:-<100}", "");
+    let mut report_rows = Vec::new();
     for strategy in Strategy::all() {
         if strategy == Strategy::BaseSI {
             continue;
@@ -48,11 +50,33 @@ fn main() {
             cell(AMG),
             cell(DC)
         );
+        report_rows.push(vec![
+            strategy.name().to_string(),
+            cell(BAL),
+            cell(WC),
+            cell(TS),
+            cell(AMG),
+            cell(DC),
+        ]);
     }
     println!("{:-<100}", "");
-    println!(
-        "Paper expectation: WT options touch only WC/TS; BW options and the ALL \
+    let expectation = "WT options touch only WC/TS; BW options and the ALL \
          options add writes to the read-only Balance; MaterializeALL puts a \
-         Conflict update in every program (two rows in Amalgamate)."
+         Conflict update in every program (two rows in Amalgamate).";
+    println!("Paper expectation: {expectation}");
+    let mut report = BenchReport::new(
+        "table1",
+        "Table I — tables updated by each option (derived from the SDG toolkit)",
+        BenchMode::from_env(),
     );
+    report.expectation = expectation.into();
+    report.push_table(
+        "tables updated by each option",
+        ["option", BAL, WC, TS, AMG, DC]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        report_rows,
+    );
+    println!("report: {}", report.write().display());
 }

@@ -1,0 +1,125 @@
+//! Folds the per-harness JSON reports in `bench_results/` into one
+//! `BENCH_smallbank.json` at the repository root, and fails (non-zero
+//! exit) when any expected harness has not emitted a usable report —
+//! CI runs this after the smoke-mode bench suite as the "every harness
+//! reported" gate.
+//!
+//! Overrides: `SICOST_BENCH_RESULTS` for the input directory,
+//! `SICOST_BENCH_SUMMARY` for the output path.
+
+use sicost_bench::{results_dir, BenchReport, SCHEMA_VERSION};
+use sicost_common::Json;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Every harness that must have written a report.
+const EXPECTED: &[&str] = &[
+    "table1",
+    "sdg_figures",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "micro",
+    "ablation_ssi",
+    "ablation_2pl",
+    "ablation_groupcommit",
+    "ablation_hotspot",
+    "ablation_tablelock",
+    "ablation_sharding",
+    "ablation_certify",
+];
+
+fn summary_path() -> PathBuf {
+    match std::env::var_os("SICOST_BENCH_SUMMARY") {
+        Some(p) => PathBuf::from(p),
+        None => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_smallbank.json"),
+    }
+}
+
+fn main() -> ExitCode {
+    let dir = results_dir();
+    let mut failures = Vec::new();
+    let mut reports = Vec::new();
+    for name in EXPECTED {
+        let path = dir.join(format!("{name}.json"));
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                failures.push(format!("{name}: missing report {} ({e})", path.display()));
+                continue;
+            }
+        };
+        let report = match BenchReport::parse(&text) {
+            Ok(r) => r,
+            Err(e) => {
+                failures.push(format!("{name}: unparseable report: {e}"));
+                continue;
+            }
+        };
+        if report.name != *name {
+            failures.push(format!(
+                "{name}: report is named `{}` — wrong file?",
+                report.name
+            ));
+            continue;
+        }
+        if report.series.is_empty() && report.tables.is_empty() && report.certification.is_empty() {
+            failures.push(format!("{name}: report carries no data"));
+            continue;
+        }
+        println!(
+            "  {name}: ok ({} series, {} tables, {} certified lines, mode {})",
+            report.series.len(),
+            report.tables.len(),
+            report.certification.len(),
+            report.mode
+        );
+        reports.push(report);
+    }
+    if !failures.is_empty() {
+        eprintln!("bench_summary: {} problem(s):", failures.len());
+        for f in &failures {
+            eprintln!("  - {f}");
+        }
+        return ExitCode::FAILURE;
+    }
+
+    // Fold. Modes can differ per file if the user mixed runs; record each.
+    let certified_lines: u64 = reports.iter().map(|r| r.certification.len() as u64).sum();
+    let total_anomalies: u64 = reports
+        .iter()
+        .flat_map(|r| &r.certification)
+        .map(|c| c.anomalies())
+        .sum();
+    let folded = Json::obj(vec![
+        ("schema_version", Json::int(SCHEMA_VERSION)),
+        ("harnesses", Json::int(reports.len() as u64)),
+        ("certified_lines", Json::int(certified_lines)),
+        ("total_anomalies", Json::int(total_anomalies)),
+        (
+            "reports",
+            Json::Obj(
+                reports
+                    .iter()
+                    .map(|r| (r.name.clone(), r.to_json()))
+                    .collect(),
+            ),
+        ),
+    ]);
+    let out = summary_path();
+    let mut text = folded.pretty();
+    text.push('\n');
+    if let Err(e) = std::fs::write(&out, text) {
+        eprintln!("bench_summary: cannot write {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "bench_summary: folded {} reports into {}",
+        reports.len(),
+        out.display()
+    );
+    ExitCode::SUCCESS
+}

@@ -12,10 +12,21 @@
 //! * `quick` — the default: full MPL grid, short intervals, 2 repeats;
 //! * `full`  — longer intervals and the paper's 5 repeats.
 
+//!
+//! Besides its text tables, every harness writes a versioned JSON
+//! [`BenchReport`] to `bench_results/<name>.json`; the `bench_summary`
+//! binary validates the set and folds it into `BENCH_smallbank.json`.
+
 pub mod figures;
 pub mod mode;
+pub mod report;
 
 pub use figures::{
-    abort_profile, print_figure, run_figure, strategy_engine, FigureSpec, StrategyLine,
+    abort_profile, certify_figure, certify_run, print_certification, print_figure, run_figure,
+    strategy_engine, CertifyOptions, FigureSpec, StrategyLine,
 };
 pub use mode::BenchMode;
+pub use report::{
+    results_dir, BenchReport, CertRecord, LatencyRecord, ReportPoint, ReportSeries, ReportTable,
+    SCHEMA_VERSION,
+};

@@ -24,6 +24,16 @@ impl BenchMode {
         }
     }
 
+    /// The mode's name, as accepted by `SICOST_BENCH_MODE` and stamped
+    /// into reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            BenchMode::Smoke => "smoke",
+            BenchMode::Quick => "quick",
+            BenchMode::Full => "full",
+        }
+    }
+
     /// The MPL sweep (the paper's x axis: 1..30).
     pub fn mpls(self) -> Vec<usize> {
         match self {

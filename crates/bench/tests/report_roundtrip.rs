@@ -1,0 +1,138 @@
+//! The report schema round-trips and its rendered form is stable.
+
+use sicost_bench::{BenchMode, BenchReport, CertRecord, LatencyRecord, ReportPoint, ReportSeries};
+
+fn sample_report() -> BenchReport {
+    let mut report = BenchReport::new("fig_test", "A test figure", BenchMode::Smoke);
+    report.x_label = "MPL".into();
+    report.series.push(ReportSeries {
+        label: "SI".into(),
+        points: vec![
+            ReportPoint {
+                x: 1.0,
+                mean: 812.5,
+                ci95: 10.25,
+                n: 2,
+            },
+            ReportPoint {
+                x: 10.0,
+                mean: 1450.0,
+                ci95: 31.5,
+                n: 2,
+            },
+        ],
+    });
+    report.push_table(
+        "a table",
+        vec!["k".into(), "v".into()],
+        vec![vec!["a".into(), "1".into()], vec!["b".into(), "2".into()]],
+    );
+    report.certification.push(CertRecord {
+        label: "SI".into(),
+        windows_certified: 4,
+        txns_certified: 1024,
+        write_skew: 3,
+        dangerous_structure: 1,
+        other_cycles: 0,
+        witnesses: vec!["T1 -rw(tbl0/5)-> T2 -rw(tbl0/6)-> T1 [write skew]".into()],
+    });
+    report.latency.push(LatencyRecord {
+        kind: "Balance".into(),
+        spans: 100,
+        committed: 98,
+        p50_us: 120.0,
+        p90_us: 340.0,
+        p99_us: 900.0,
+        max_us: 1500.0,
+        wal_sync_mean_us: 0.0,
+        lock_wait_mean_us: 12.5,
+    });
+    report.expectation = "unicode survives: ≥ ±µ §IV".into();
+    report.notes.push("note one".into());
+    report
+}
+
+#[test]
+fn report_round_trips_through_json_text() {
+    let report = sample_report();
+    let text = report.to_json().pretty();
+    let back = BenchReport::parse(&text).expect("parse");
+    assert_eq!(report, back);
+}
+
+#[test]
+fn derived_anomaly_fields_are_emitted_and_recomputed() {
+    let report = sample_report();
+    let json = report.to_json();
+    let cert = &json.get("certification").unwrap().as_array().unwrap()[0];
+    assert_eq!(
+        cert.get("si_anomalies").and_then(|v| v.as_u64()),
+        Some(4),
+        "write_skew + dangerous_structure"
+    );
+    let per_1k = cert
+        .get("anomalies_per_1k")
+        .and_then(|v| v.as_f64())
+        .unwrap();
+    assert!((per_1k - 4.0 * 1000.0 / 1024.0).abs() < 1e-9);
+    // Tampering with the derived field does not survive a round-trip —
+    // it is recomputed from the raw counters.
+    let back = BenchReport::from_json(&json).unwrap();
+    assert_eq!(back.certification[0].si_anomalies(), 4);
+}
+
+#[test]
+fn golden_rendering_is_stable() {
+    // Key order is insertion order (no BTreeMap shuffling), integral
+    // floats render as integers: the compact form is fully deterministic.
+    let mut report = BenchReport::new("g", "golden", BenchMode::Smoke);
+    report.x_label = "MPL".into();
+    report.series.push(ReportSeries {
+        label: "SI".into(),
+        points: vec![ReportPoint {
+            x: 1.0,
+            mean: 100.0,
+            ci95: 0.5,
+            n: 1,
+        }],
+    });
+    report.expectation = "e".into();
+    assert_eq!(
+        report.to_json().render(),
+        "{\"schema_version\":1,\"name\":\"g\",\"title\":\"golden\",\"mode\":\"smoke\",\
+         \"x_label\":\"MPL\",\"series\":[{\"label\":\"SI\",\"points\":[{\"x\":1,\
+         \"mean\":100,\"ci95\":0.5,\"n\":1}]}],\"tables\":[],\"certification\":[],\
+         \"latency\":[],\"expectation\":\"e\",\"notes\":[]}"
+    );
+}
+
+#[test]
+fn newer_schema_versions_are_rejected() {
+    let text = sample_report()
+        .to_json()
+        .render()
+        .replace("\"schema_version\":1", "\"schema_version\":999");
+    let err = BenchReport::parse(&text).unwrap_err();
+    assert!(err.contains("newer"), "{err}");
+}
+
+#[test]
+fn missing_fields_are_reported_by_name() {
+    let err = BenchReport::parse("{\"schema_version\":1}").unwrap_err();
+    assert!(err.contains("name"), "{err}");
+}
+
+#[test]
+fn write_respects_results_dir_override() {
+    let dir = std::env::temp_dir().join(format!("sicost_report_test_{}", std::process::id()));
+    // results_dir() reads the env var per call, so the override applies
+    // to this write even when other tests ran first.
+    std::env::set_var("SICOST_BENCH_RESULTS", &dir);
+    let path = sample_report().write();
+    std::env::remove_var("SICOST_BENCH_RESULTS");
+    assert!(path.starts_with(&dir));
+    let text = std::fs::read_to_string(&path).unwrap();
+    let back = BenchReport::parse(&text).unwrap();
+    assert_eq!(back.name, "fig_test");
+    let _ = std::fs::remove_dir_all(&dir);
+}

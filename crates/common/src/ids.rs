@@ -36,7 +36,7 @@ impl fmt::Display for TxnId {
     }
 }
 
-/// Identifier of a table within a [`sicost-storage`] catalog.
+/// Identifier of a table within a `sicost-storage` catalog.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TableId(pub u32);
 

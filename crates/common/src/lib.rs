@@ -5,12 +5,13 @@
 //! summary statistics and money arithmetic lives here, so that experiment
 //! results are reproducible bit-for-bit from a seed.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod dist;
 pub mod fault;
 pub mod histogram;
 pub mod ids;
+pub mod json;
 pub mod money;
 pub mod rng;
 pub mod stats;
@@ -20,6 +21,7 @@ pub use dist::{DiscreteDist, HotspotSampler, Zipf};
 pub use fault::{CrashPoint, FaultConfig, FaultInjector, FaultStats};
 pub use histogram::{CountHistogram, LatencyHistogram};
 pub use ids::{TableId, Ts, TxnId};
+pub use json::{Json, JsonError};
 pub use money::Money;
 pub use rng::{SplitMix64, Xoshiro256};
 pub use stats::{ci95_half_width, OnlineStats, Summary};

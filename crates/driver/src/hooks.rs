@@ -1,0 +1,38 @@
+//! Driver-side observation hooks.
+//!
+//! The runner itself only aggregates counters; anything that wants to see
+//! individual attempts — the `sicost-trace` span sink, a progress meter —
+//! implements [`AttemptObserver`] and is passed to
+//! [`crate::runner::run_closed_observed`]. The hook fires on the client
+//! thread immediately around each attempt, so an engine-side
+//! `HistoryObserver` on the same thread can correlate the engine events
+//! that follow with the (kind, attempt) the driver announced.
+
+use crate::metrics::Outcome;
+use std::time::Duration;
+
+/// Observes each attempt a client thread makes.
+///
+/// Calls arrive concurrently from every client thread; implementations
+/// must be thread-safe and cheap. For one thread the sequence is always
+/// `attempt_begin` → (the workload's engine work) → `attempt_end`,
+/// repeated per retry of the same request with an incremented `attempt`.
+pub trait AttemptObserver: Send + Sync {
+    /// A client thread is about to run attempt `attempt` (1-based) of a
+    /// request of kind `kind` (index into [`crate::Workload::kinds`],
+    /// whose name is `kind_name`).
+    fn attempt_begin(&self, kind: usize, kind_name: &'static str, attempt: u32);
+
+    /// The attempt just finished with `outcome` after `latency` of
+    /// wall-clock (a single attempt, not the whole retried operation).
+    fn attempt_end(&self, outcome: Outcome, latency: Duration);
+}
+
+/// An observer that discards everything (useful as a default).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullAttemptObserver;
+
+impl AttemptObserver for NullAttemptObserver {
+    fn attempt_begin(&self, _kind: usize, _kind_name: &'static str, _attempt: u32) {}
+    fn attempt_end(&self, _outcome: Outcome, _latency: Duration) {}
+}

@@ -10,16 +10,19 @@
 //! The driver is engine-agnostic: anything implementing [`Workload`] can
 //! be measured. `sicost-smallbank` provides the SmallBank adapter.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
+pub mod hooks;
 pub mod metrics;
 pub mod report;
 pub mod retry;
 pub mod runner;
 
+pub use hooks::{AttemptObserver, NullAttemptObserver};
 pub use metrics::{KindMetrics, Outcome, RunMetrics};
 pub use report::{
-    ascii_chart, csv_table, lock_wait_report, render_table, retry_report, Series, SeriesPoint,
+    ascii_chart, csv_table, latency_report, lock_wait_report, render_table, retry_report, Series,
+    SeriesPoint,
 };
 pub use retry::{RetryDecision, RetryPolicy};
-pub use runner::{repeat_summary, run_closed, RunConfig, Workload};
+pub use runner::{repeat_summary, run_closed, run_closed_observed, RunConfig, Workload};

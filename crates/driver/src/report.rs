@@ -140,6 +140,38 @@ pub fn retry_report(m: &RunMetrics) -> String {
     out
 }
 
+/// Renders the per-kind response-time distribution of one run: commit
+/// count and p50/p90/p99/max/mean latency per transaction kind, from the
+/// driver's per-kind histograms. Kinds that committed nothing in the
+/// window render as zero durations (never NaN — the histogram quantile is
+/// zero-safe on empty samples).
+pub fn latency_report(m: &RunMetrics) -> String {
+    let mut out = format!(
+        "{:>12} | {:>9} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+        "kind", "commits", "p50", "p90", "p99", "max", "mean"
+    );
+    out.push_str(&"-".repeat(out.len()));
+    out.push('\n');
+    for (name, k) in m.kind_names.iter().zip(&m.per_kind) {
+        out.push_str(&format!(
+            "{:>12} | {:>9} {:>8.1?} {:>8.1?} {:>8.1?} {:>8.1?} {:>8.1?}\n",
+            name,
+            k.commits,
+            k.latency.quantile(0.50),
+            k.latency.quantile(0.90),
+            k.latency.quantile(0.99),
+            k.latency.max(),
+            k.latency.mean(),
+        ));
+    }
+    out.push_str(&format!(
+        "overall: {} commits, mean latency {:.1?}\n",
+        m.commits(),
+        m.mean_latency(),
+    ));
+    out
+}
+
 /// Renders an engine's per-lock-class contention breakdown: one row per
 /// named lock class with acquisition count, how many acquisitions
 /// contended, total blocked wall-clock, mean wait per acquisition and the
@@ -314,6 +346,59 @@ mod tests {
         assert!(r.contains("commit.install"), "{r}");
         assert!(r.contains("25.0%"), "contention ratio column: {r}");
         assert!(r.contains("total blocked wall-clock: 40.0ms"), "{r}");
+    }
+
+    #[test]
+    fn latency_report_shows_percentiles() {
+        use crate::metrics::Outcome;
+        use std::time::Duration;
+        let mut m = RunMetrics::new(vec!["bal"], 1);
+        for ms in [1u64, 2, 3, 10] {
+            m.per_kind[0].record(Outcome::Committed, Duration::from_millis(ms));
+        }
+        m.measured = Duration::from_secs(1);
+        let r = latency_report(&m);
+        assert!(r.contains("bal"), "{r}");
+        assert!(r.contains("p99"), "{r}");
+        assert!(r.contains("overall: 4 commits"), "{r}");
+    }
+
+    /// Regression: a measurement window in which *every* attempt aborted
+    /// (zero commits, zero latency samples, zero retry samples) must
+    /// render every report without NaN, inf, or division-by-zero panics.
+    #[test]
+    fn reports_survive_a_window_with_only_aborted_attempts() {
+        use crate::metrics::Outcome;
+        use std::time::Duration;
+        let mut m = RunMetrics::new(vec!["bal", "wc"], 4);
+        // Aborted attempts only; no record_commit_op, no give-up even.
+        for _ in 0..7 {
+            m.per_kind[0].record(Outcome::SerializationFailure, Duration::ZERO);
+        }
+        m.per_kind[1].record(Outcome::Deadlock, Duration::ZERO);
+        m.per_kind[1].record_give_up();
+        m.measured = Duration::from_millis(250);
+        assert_eq!(m.commits(), 0);
+        assert_eq!(m.tps(), 0.0, "zero commits must yield 0 tps, not NaN");
+        assert_eq!(m.retries_per_commit(), 0.0);
+        assert_eq!(m.mean_latency(), Duration::ZERO);
+        for text in [retry_report(&m), latency_report(&m)] {
+            assert!(!text.contains("NaN"), "{text}");
+            assert!(!text.contains("inf"), "{text}");
+        }
+        // And the degenerate zero-measured-duration window.
+        m.measured = Duration::ZERO;
+        let text = retry_report(&m);
+        assert!(!text.contains("NaN") && !text.contains("inf"), "{text}");
+        // An all-idle lock-class breakdown (zero acquisitions) likewise.
+        let idle = vec![LockWait {
+            class: "commit.seq".into(),
+            acquisitions: 0,
+            contended: 0,
+            wait: std::time::Duration::ZERO,
+        }];
+        let text = lock_wait_report(&idle);
+        assert!(!text.contains("NaN") && !text.contains("inf"), "{text}");
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The closed-system runner.
 
+use crate::hooks::AttemptObserver;
 use crate::metrics::{Outcome, RunMetrics};
 use crate::retry::{RetryDecision, RetryPolicy};
 use sicost_common::{OnlineStats, Summary, Xoshiro256};
@@ -77,6 +78,18 @@ const PHASE_DONE: u8 = 2;
 /// exact multiples of the per-request retry schedule and no ramp-up
 /// attempts or ramp-up latency leak into the measured numbers.
 pub fn run_closed<W: Workload>(workload: &W, config: RunConfig) -> RunMetrics {
+    run_closed_observed(workload, config, None)
+}
+
+/// [`run_closed`] with an optional [`AttemptObserver`] that sees every
+/// attempt (including ramp-up ones) on the client thread that runs it.
+/// The observer is how the `sicost-trace` sink learns which kind and
+/// attempt index the engine events that follow belong to.
+pub fn run_closed_observed<W: Workload>(
+    workload: &W,
+    config: RunConfig,
+    hook: Option<&dyn AttemptObserver>,
+) -> RunMetrics {
     let kinds = workload.kinds();
     let phase = AtomicU8::new(PHASE_RAMP);
     let base_rng = Xoshiro256::seed_from_u64(config.seed);
@@ -87,9 +100,9 @@ pub fn run_closed<W: Workload>(workload: &W, config: RunConfig) -> RunMetrics {
         let handles: Vec<_> = (0..config.mpl)
             .map(|i| {
                 let mut rng = base_rng.stream(i as u64);
-                let kinds_len = kinds.len();
+                let kind_names = kinds.clone();
                 s.spawn(move || {
-                    let mut local = RunMetrics::new(vec![""; kinds_len], 0);
+                    let mut local = RunMetrics::new(vec![""; kind_names.len()], 0);
                     // Attempt outcomes of the in-flight operation, buffered
                     // so the whole operation is recorded atomically at its
                     // completion (or discarded outside the interval).
@@ -106,9 +119,15 @@ pub fn run_closed<W: Workload>(workload: &W, config: RunConfig) -> RunMetrics {
                         attempts_buf.clear();
                         let mut last_attempt_time;
                         let (final_outcome, gave_up) = loop {
+                            if let Some(h) = hook {
+                                h.attempt_begin(kind, kind_names[kind], attempt);
+                            }
                             let t0 = Instant::now();
                             let outcome = workload.execute(&request, attempt);
                             last_attempt_time = t0.elapsed();
+                            if let Some(h) = hook {
+                                h.attempt_end(outcome, last_attempt_time);
+                            }
                             attempts_buf.push(outcome);
                             match config.retry.decide(outcome, attempt, &mut rng) {
                                 RetryDecision::Done => break (outcome, false),

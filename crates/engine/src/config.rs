@@ -128,6 +128,13 @@ pub struct EngineConfig {
     /// at least 1. Sharding changes performance only, never outcomes —
     /// `crates/smallbank/tests/shard_oracle.rs` enforces that.
     pub shards: usize,
+    /// When `true` **and** an observer is registered, the engine times
+    /// each row/table lock acquisition and each WAL group-commit wait and
+    /// reports them through [`crate::HistoryObserver::on_lock_wait`] /
+    /// [`crate::HistoryObserver::on_wal_sync`] (consumed by the
+    /// `sicost-trace` sink). Off by default: the hot path then pays no
+    /// clock reads for tracing.
+    pub trace_timings: bool,
 }
 
 impl EngineConfig {
@@ -145,6 +152,7 @@ impl EngineConfig {
             table_intent_locks: false,
             faults: None,
             shards: Self::DEFAULT_SHARDS,
+            trace_timings: false,
         }
     }
 
@@ -166,6 +174,7 @@ impl EngineConfig {
             table_intent_locks: false,
             faults: None,
             shards: Self::DEFAULT_SHARDS,
+            trace_timings: false,
         }
     }
 
@@ -187,6 +196,7 @@ impl EngineConfig {
             table_intent_locks: false,
             faults: None,
             shards: Self::DEFAULT_SHARDS,
+            trace_timings: false,
         }
     }
 
@@ -226,6 +236,13 @@ impl EngineConfig {
     /// degenerates to one global lock per serialization point.
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = shards.max(1);
+        self
+    }
+
+    /// Enables the per-transaction lock-wait / WAL-sync timing hooks
+    /// (builder-style). See [`EngineConfig::trace_timings`].
+    pub fn with_trace_timings(mut self, on: bool) -> Self {
+        self.trace_timings = on;
         self
     }
 }

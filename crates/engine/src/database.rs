@@ -306,6 +306,24 @@ impl Database {
             obs.on_event(event);
         }
     }
+
+    /// True when the timed tracing hooks should fire: requires both the
+    /// config flag and someone listening.
+    pub(crate) fn trace_timings(&self) -> bool {
+        self.config.trace_timings && self.observer.is_some()
+    }
+
+    pub(crate) fn emit_wal_sync(&self, txn: TxnId, wait: Duration) {
+        if let Some(obs) = &self.observer {
+            obs.on_wal_sync(txn, wait);
+        }
+    }
+
+    pub(crate) fn emit_lock_wait(&self, txn: TxnId, wait: Duration) {
+        if let Some(obs) = &self.observer {
+            obs.on_lock_wait(txn, wait);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -9,6 +9,7 @@
 use crate::error::AbortReason;
 use sicost_common::{TableId, Ts, TxnId};
 use sicost_storage::Value;
+use std::time::Duration;
 
 /// One observable event in an execution history.
 #[derive(Debug, Clone, PartialEq)]
@@ -73,6 +74,23 @@ pub trait HistoryObserver: Send + Sync {
     /// transaction's `Begin` precedes its reads, which precede its
     /// `Commit`/`Abort`). Events of different transactions interleave.
     fn on_event(&self, event: HistoryEvent);
+
+    /// Timing hook: `txn` just spent `wait` blocked in the WAL's group
+    /// commit (queueing plus sync). Fired only when
+    /// [`crate::EngineConfig::trace_timings`] is enabled; the default
+    /// implementation discards it, so event-only observers (the MVSG
+    /// recorder) need not care.
+    fn on_wal_sync(&self, txn: TxnId, wait: Duration) {
+        let _ = (txn, wait);
+    }
+
+    /// Timing hook: `txn` just spent `wait` acquiring a row/table lock
+    /// (zero when the lock was free). Fired only when
+    /// [`crate::EngineConfig::trace_timings`] is enabled; discarded by
+    /// default.
+    fn on_lock_wait(&self, txn: TxnId, wait: Duration) {
+        let _ = (txn, wait);
+    }
 }
 
 /// A no-op observer (useful as a default in tests).

@@ -1,6 +1,6 @@
 //! The `sicost` transaction engine.
 //!
-//! A multi-version engine over [`sicost-storage`] with pluggable concurrency
+//! A multi-version engine over `sicost-storage` with pluggable concurrency
 //! control, built to reproduce the behaviours the paper measures:
 //!
 //! * **SI, First-Updater-Wins** ([`CcMode::SiFirstUpdaterWins`]) — the
@@ -27,7 +27,7 @@
 //! transaction, leaving one vulnerable interleaving) versus `IdentityWrite`
 //! (commercial — treated like an update for concurrency control).
 //!
-//! Simulated resources — a [`cpu::CpuStation`] and the [`sicost-wal`] group
+//! Simulated resources — a [`cpu::CpuStation`] and the `sicost-wal` group
 //! commit disk — give transactions the paper's cost structure: reads are
 //! CPU-only, the first write makes commit pay a disk sync, extra writes are
 //! nearly free.

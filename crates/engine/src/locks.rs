@@ -127,7 +127,7 @@ impl Default for LockManager {
 impl LockManager {
     /// Empty manager with the default stripe count and fresh (unattached)
     /// contention counters. The database wires shared counters through
-    /// [`LockManager::with_shards`] instead.
+    /// `LockManager::with_shards` instead.
     pub fn new() -> Self {
         Self::with_shards(
             crate::config::EngineConfig::DEFAULT_SHARDS,

@@ -10,6 +10,7 @@ use sicost_storage::{Predicate, Row, Table, Value, Version};
 use sicost_wal::LogEntry;
 use std::collections::HashMap;
 use std::sync::atomic::Ordering;
+use std::time::Instant;
 
 /// Snapshot used by S2PL reads: always the latest committed version (the
 /// lock, not the snapshot, provides isolation).
@@ -154,10 +155,14 @@ impl<'db> Transaction<'db> {
     }
 
     fn lock(&mut self, target: LockTarget, mode: LockMode) -> Result<(), TxnError> {
-        self.db
-            .locks
-            .acquire(self.id, &target, mode)
-            .map_err(|e| self.fail(e))
+        // Timed variant only when tracing is on: the hot path pays no
+        // clock reads otherwise.
+        let started = self.db.trace_timings().then(Instant::now);
+        let result = self.db.locks.acquire(self.id, &target, mode);
+        if let Some(t0) = started {
+            self.db.emit_lock_wait(self.id, t0.elapsed());
+        }
+        result.map_err(|e| self.fail(e))
     }
 
     /// First-Updater-Wins validation: the newest committed version of the
@@ -585,8 +590,12 @@ impl<'db> Transaction<'db> {
                     image: w.image.clone(),
                 })
                 .collect();
+            let wal_started = self.db.trace_timings().then(Instant::now);
             if let Err(e) = self.db.wal.commit(self.id, entries) {
                 return Err(self.fail(TxnError::Transient(format!("wal: {e}"))));
+            }
+            if let Some(t0) = wal_started {
+                self.db.emit_wal_sync(self.id, t0.elapsed());
             }
             if let Some(f) = &faults {
                 if f.at_crash_point(CrashPoint::AfterWalAppend) {

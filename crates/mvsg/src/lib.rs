@@ -25,12 +25,14 @@
 //! phantoms (a scan whose *emptiness* a later insert would change) are not
 //! captured. None of the workloads in this repository depend on them.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod analysis;
 pub mod graph;
 pub mod history;
+pub mod sampling;
 
 pub use analysis::{Anomaly, SerializabilityReport};
 pub use graph::{EdgeKind, Mvsg, MvsgEdge};
 pub use history::History;
+pub use sampling::{CertStats, SamplerConfig, SamplingCertifier};

@@ -1,0 +1,461 @@
+//! Online sampling certification.
+//!
+//! The offline tests record a whole execution and certify it afterwards;
+//! this module certifies **windows of a live run** instead, so the bench
+//! harnesses can report *measured* anomaly counts (write skew /
+//! dangerous structures observed per thousand committed transactions)
+//! next to their throughput numbers.
+//!
+//! ## Soundness of windowing
+//!
+//! Splitting a history into windows can only *lose* MVSG edges relative
+//! to the full execution, never invent them: `Mvsg::from_events` derives
+//! ww edges from version adjacency (missing intermediate versions merge
+//! consecutive ww edges — a transitive-closure edge of the true graph),
+//! wr edges from the observed version's writer (absent when the writer
+//! committed outside the window), and rw edges to the next installed
+//! version *in the window* (again a closure edge when intermediate
+//! writers are missing). Every edge of a window graph therefore lies in
+//! the transitive closure of the full-execution MVSG, so **any cycle
+//! found in a window corresponds to a real non-serializable execution**
+//! — the sampler undercounts but never false-positives. A strategy that
+//! truly guarantees serializability must score zero here.
+
+use crate::analysis::Anomaly;
+use crate::graph::Mvsg;
+use sicost_common::TxnId;
+use sicost_engine::{HistoryEvent, HistoryObserver};
+use std::collections::HashSet;
+use std::sync::{Arc, Mutex};
+
+/// Tuning knobs of the [`SamplingCertifier`].
+#[derive(Debug, Clone, Copy)]
+pub struct SamplerConfig {
+    /// Commits per certification window. Larger windows catch more
+    /// cross-transaction structure but cost more per certification.
+    pub window_commits: usize,
+    /// Certify every k-th window and discard the rest (1 = certify all).
+    pub sample_every: u64,
+    /// Cap on stored witness strings (counting continues past the cap).
+    pub max_witnesses: usize,
+    /// Safety valve: a window that accumulates this many events without
+    /// filling its commit quota is dropped (counted in
+    /// [`CertStats::windows_dropped`]) rather than growing unboundedly.
+    pub max_window_events: usize,
+    /// Cap on anomaly-extraction rounds within one window (each round
+    /// removes one witness cycle's transactions and re-certifies).
+    pub max_cycles_per_window: usize,
+}
+
+impl Default for SamplerConfig {
+    fn default() -> Self {
+        Self {
+            window_commits: 256,
+            sample_every: 1,
+            max_witnesses: 8,
+            max_window_events: 1 << 20,
+            max_cycles_per_window: 32,
+        }
+    }
+}
+
+/// Counters accumulated by a [`SamplingCertifier`] over a run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CertStats {
+    /// Windows that filled their commit quota.
+    pub windows_seen: u64,
+    /// Windows actually certified (`windows_seen / sample_every`, plus a
+    /// final partial window if [`SamplingCertifier::finish`] was called).
+    pub windows_certified: u64,
+    /// Windows discarded by the event-count safety valve.
+    pub windows_dropped: u64,
+    /// Committed transactions across all certified windows.
+    pub transactions_certified: u64,
+    /// Two-transaction all-rw witness cycles (classic SI write skew).
+    pub write_skew: u64,
+    /// Longer witness cycles with consecutive rw edges (the dangerous
+    /// structure family, including the read-only-transaction anomaly).
+    pub dangerous_structure: u64,
+    /// Any other witness cycle (unexpected under SI).
+    pub other_cycles: u64,
+    /// Human-readable witness cycles, capped at
+    /// [`SamplerConfig::max_witnesses`].
+    pub witnesses: Vec<String>,
+}
+
+impl CertStats {
+    /// Total witness cycles of any class.
+    pub fn anomalies(&self) -> u64 {
+        self.write_skew + self.dangerous_structure + self.other_cycles
+    }
+
+    /// The SI hazard family the paper's strategies eliminate: write skew
+    /// plus dangerous structures. (On SmallBank the concrete witness is
+    /// the three-transaction Bal→WC→TS cycle, which classifies as a
+    /// dangerous structure; window truncation can compress it to a
+    /// two-edge write-skew witness.)
+    pub fn si_anomalies(&self) -> u64 {
+        self.write_skew + self.dangerous_structure
+    }
+
+    /// Witness cycles per thousand certified transactions. Zero-safe:
+    /// returns 0.0 when nothing was certified.
+    pub fn anomalies_per_1k(&self) -> f64 {
+        if self.transactions_certified == 0 {
+            0.0
+        } else {
+            self.anomalies() as f64 * 1000.0 / self.transactions_certified as f64
+        }
+    }
+}
+
+struct WindowState {
+    events: Vec<HistoryEvent>,
+    commits: usize,
+    /// Sequence number of the *next* window to complete (0-based).
+    window_seq: u64,
+}
+
+/// A [`HistoryObserver`] that certifies windows of the live execution.
+///
+/// Attach it to the engine (e.g. `SmallBank::with_observer`) and read
+/// [`SamplingCertifier::stats`] after the run; call
+/// [`SamplingCertifier::finish`] first to also certify the trailing
+/// partial window. Certification runs inline on whichever client thread
+/// completes a window; with the default 256-commit windows that is one
+/// small-graph Tarjan pass every few hundred transactions (see
+/// `DESIGN.md` for measured overhead bounds).
+pub struct SamplingCertifier {
+    config: SamplerConfig,
+    state: Mutex<WindowState>,
+    stats: Mutex<CertStats>,
+}
+
+impl SamplingCertifier {
+    /// Creates a certifier with the given configuration.
+    pub fn new(config: SamplerConfig) -> Arc<Self> {
+        Arc::new(Self {
+            config,
+            state: Mutex::new(WindowState {
+                events: Vec::new(),
+                commits: 0,
+                window_seq: 0,
+            }),
+            stats: Mutex::new(CertStats::default()),
+        })
+    }
+
+    /// Creates a certifier with [`SamplerConfig::default`].
+    pub fn with_defaults() -> Arc<Self> {
+        Self::new(SamplerConfig::default())
+    }
+
+    /// Snapshot of the accumulated counters.
+    pub fn stats(&self) -> CertStats {
+        self.stats.lock().expect("stats lock").clone()
+    }
+
+    /// Certifies the current partial window (if any). Call once after the
+    /// run so short executions that never filled a window still produce a
+    /// verdict.
+    pub fn finish(&self) {
+        let events = {
+            let mut state = self.state.lock().expect("window lock");
+            state.commits = 0;
+            std::mem::take(&mut state.events)
+        };
+        if events
+            .iter()
+            .any(|e| matches!(e, HistoryEvent::Commit { .. }))
+        {
+            self.certify_window(events, true);
+        }
+    }
+
+    /// Certifies one window's events, extracting up to
+    /// `max_cycles_per_window` disjoint witness cycles.
+    fn certify_window(&self, mut events: Vec<HistoryEvent>, count_as_seen: bool) {
+        let mut first = true;
+        let mut rounds = 0usize;
+        let mut found: Vec<(Anomaly, String)> = Vec::new();
+        let mut transactions = 0u64;
+        loop {
+            let graph = Mvsg::from_events(&events);
+            let report = graph.certify();
+            if first {
+                transactions = report.transactions as u64;
+                first = false;
+            }
+            if report.serializable || rounds >= self.config.max_cycles_per_window {
+                break;
+            }
+            rounds += 1;
+            let anomaly = report.anomaly.unwrap_or(Anomaly::Other);
+            found.push((anomaly, format_witness(&report.witness, anomaly)));
+            // Remove the witness transactions and look for further
+            // disjoint cycles in the same window.
+            let cycle_txns: HashSet<TxnId> =
+                report.witness.iter().flat_map(|e| [e.from, e.to]).collect();
+            events.retain(|e| !cycle_txns.contains(&e.txn()));
+        }
+        let mut stats = self.stats.lock().expect("stats lock");
+        if count_as_seen {
+            stats.windows_seen += 1;
+        }
+        stats.windows_certified += 1;
+        stats.transactions_certified += transactions;
+        for (anomaly, witness) in found {
+            match anomaly {
+                Anomaly::WriteSkew => stats.write_skew += 1,
+                Anomaly::DangerousStructure => stats.dangerous_structure += 1,
+                Anomaly::Other => stats.other_cycles += 1,
+            }
+            if stats.witnesses.len() < self.config.max_witnesses {
+                stats.witnesses.push(witness);
+            }
+        }
+    }
+}
+
+/// Renders a witness cycle as one line, e.g.
+/// `T12 -rw(tbl0/5)-> T15 -rw(tbl1/5)-> T12 [write skew]`.
+fn format_witness(cycle: &[crate::graph::MvsgEdge], anomaly: Anomaly) -> String {
+    let mut out = String::new();
+    for e in cycle {
+        out.push_str(&format!(
+            "{} -{}({}/{})-> ",
+            e.from, e.kind, e.item.0, e.item.1
+        ));
+    }
+    if let Some(first) = cycle.first() {
+        out.push_str(&first.from.to_string());
+    }
+    out.push_str(&format!(" [{anomaly}]"));
+    out
+}
+
+impl HistoryObserver for SamplingCertifier {
+    fn on_event(&self, event: HistoryEvent) {
+        let completed = {
+            let mut state = self.state.lock().expect("window lock");
+            let is_commit = matches!(event, HistoryEvent::Commit { .. });
+            state.events.push(event);
+            if state.events.len() > self.config.max_window_events {
+                state.events.clear();
+                state.commits = 0;
+                drop(state);
+                self.stats.lock().expect("stats lock").windows_dropped += 1;
+                return;
+            }
+            if is_commit {
+                state.commits += 1;
+            }
+            if state.commits >= self.config.window_commits {
+                let seq = state.window_seq;
+                state.window_seq += 1;
+                state.commits = 0;
+                let events = std::mem::take(&mut state.events);
+                Some((seq, events))
+            } else {
+                None
+            }
+        };
+        if let Some((seq, events)) = completed {
+            if seq % self.config.sample_every.max(1) == 0 {
+                self.certify_window(events, true);
+            } else {
+                let mut stats = self.stats.lock().expect("stats lock");
+                stats.windows_seen += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sicost_common::{TableId, Ts};
+    use sicost_storage::Value;
+
+    fn read(t: u64, k: i64, observed: Option<u64>) -> HistoryEvent {
+        HistoryEvent::Read {
+            txn: TxnId(t),
+            table: TableId(0),
+            key: Value::int(k),
+            observed: observed.map(Ts),
+        }
+    }
+
+    fn commit(t: u64, cts: u64, writes: &[i64]) -> HistoryEvent {
+        HistoryEvent::Commit {
+            txn: TxnId(t),
+            commit_ts: Ts(cts),
+            writes: writes
+                .iter()
+                .map(|k| (TableId(0), Value::int(*k)))
+                .collect(),
+        }
+    }
+
+    /// The classic write-skew quartet as raw events.
+    fn skew_events(base_txn: u64, base_ts: u64) -> Vec<HistoryEvent> {
+        vec![
+            read(base_txn, 1, None),
+            read(base_txn, 2, None),
+            read(base_txn + 1, 1, None),
+            read(base_txn + 1, 2, None),
+            commit(base_txn, base_ts, &[1]),
+            commit(base_txn + 1, base_ts + 1, &[2]),
+        ]
+    }
+
+    #[test]
+    fn catches_write_skew_in_a_full_window() {
+        let c = SamplingCertifier::new(SamplerConfig {
+            window_commits: 2,
+            ..SamplerConfig::default()
+        });
+        for e in skew_events(1, 5) {
+            c.on_event(e);
+        }
+        let stats = c.stats();
+        assert_eq!(stats.windows_certified, 1);
+        assert_eq!(stats.write_skew, 1);
+        assert_eq!(stats.si_anomalies(), 1);
+        assert_eq!(stats.transactions_certified, 2);
+        assert!(stats.anomalies_per_1k() > 0.0);
+        assert_eq!(stats.witnesses.len(), 1);
+        assert!(
+            stats.witnesses[0].contains("write skew"),
+            "{}",
+            stats.witnesses[0]
+        );
+        assert!(
+            stats.witnesses[0].contains("-rw("),
+            "{}",
+            stats.witnesses[0]
+        );
+    }
+
+    #[test]
+    fn serializable_window_scores_zero() {
+        let c = SamplingCertifier::new(SamplerConfig {
+            window_commits: 3,
+            ..SamplerConfig::default()
+        });
+        let events = vec![
+            commit(1, 5, &[1]),
+            read(2, 1, Some(5)),
+            commit(2, 6, &[1]),
+            read(3, 1, Some(6)),
+            commit(3, 7, &[]),
+        ];
+        for e in events {
+            c.on_event(e);
+        }
+        let stats = c.stats();
+        assert_eq!(stats.windows_certified, 1);
+        assert_eq!(stats.anomalies(), 0);
+        assert!(stats.witnesses.is_empty());
+    }
+
+    #[test]
+    fn finish_certifies_the_trailing_partial_window() {
+        let c = SamplingCertifier::new(SamplerConfig {
+            window_commits: 1000, // never fills
+            ..SamplerConfig::default()
+        });
+        for e in skew_events(1, 5) {
+            c.on_event(e);
+        }
+        assert_eq!(c.stats().windows_certified, 0);
+        c.finish();
+        let stats = c.stats();
+        assert_eq!(stats.windows_certified, 1);
+        assert_eq!(stats.write_skew, 1);
+        // Idempotent-ish: a second finish has nothing left to certify.
+        c.finish();
+        assert_eq!(c.stats().windows_certified, 1);
+    }
+
+    #[test]
+    fn extracts_multiple_disjoint_cycles_per_window() {
+        let c = SamplingCertifier::new(SamplerConfig {
+            window_commits: 4,
+            ..SamplerConfig::default()
+        });
+        // Two independent write-skew pairs on disjoint keys.
+        let mut events = skew_events(1, 5);
+        events.extend(vec![
+            read(10, 11, None),
+            read(10, 12, None),
+            read(11, 11, None),
+            read(11, 12, None),
+            commit(10, 7, &[11]),
+            commit(11, 8, &[12]),
+        ]);
+        for e in events {
+            c.on_event(e);
+        }
+        let stats = c.stats();
+        assert_eq!(stats.write_skew, 2, "both disjoint skews found");
+        assert_eq!(stats.witnesses.len(), 2);
+    }
+
+    #[test]
+    fn sample_every_skips_windows() {
+        let c = SamplingCertifier::new(SamplerConfig {
+            window_commits: 2,
+            sample_every: 2,
+            ..SamplerConfig::default()
+        });
+        // Four windows of skew; only windows 0 and 2 are certified.
+        for w in 0..4u64 {
+            for e in skew_events(100 * (w + 1), 10 * (w + 1)) {
+                c.on_event(e);
+            }
+        }
+        let stats = c.stats();
+        assert_eq!(stats.windows_seen, 4);
+        assert_eq!(stats.windows_certified, 2);
+        assert_eq!(stats.write_skew, 2);
+    }
+
+    #[test]
+    fn event_cap_drops_the_window_instead_of_growing() {
+        let c = SamplingCertifier::new(SamplerConfig {
+            window_commits: 1000,
+            max_window_events: 10,
+            ..SamplerConfig::default()
+        });
+        for i in 0..11u64 {
+            c.on_event(read(1, i as i64, None));
+        }
+        let stats = c.stats();
+        assert_eq!(stats.windows_dropped, 1);
+        assert_eq!(stats.windows_certified, 0);
+    }
+
+    #[test]
+    fn witness_cap_bounds_memory_not_counting() {
+        let c = SamplingCertifier::new(SamplerConfig {
+            window_commits: 2,
+            max_witnesses: 1,
+            ..SamplerConfig::default()
+        });
+        for w in 0..3u64 {
+            for e in skew_events(100 * (w + 1), 10 * (w + 1)) {
+                c.on_event(e);
+            }
+        }
+        let stats = c.stats();
+        assert_eq!(stats.write_skew, 3, "counting continues past the cap");
+        assert_eq!(stats.witnesses.len(), 1);
+    }
+
+    #[test]
+    fn zero_certified_transactions_is_nan_free() {
+        let stats = CertStats::default();
+        assert_eq!(stats.anomalies_per_1k(), 0.0);
+    }
+}

@@ -1,6 +1,6 @@
 //! In-memory multi-version row store.
 //!
-//! This crate is the data plane under [`sicost-engine`]: it stores versioned
+//! This crate is the data plane under `sicost-engine`: it stores versioned
 //! rows and answers snapshot-visible reads, but knows nothing about locks,
 //! write sets, or validation — concurrency control policy lives entirely in
 //! the engine. The separation mirrors how PostgreSQL's heap is policy-free

@@ -1,0 +1,32 @@
+//! Per-transaction span tracing.
+//!
+//! The engine's [`sicost_engine::HistoryObserver`] hooks and the driver's
+//! [`sicost_driver::AttemptObserver`] hooks meet here: a [`TraceSink`]
+//! implements both, assembles one [`TraceSpan`] per transaction attempt —
+//! begin/read/write counts, commit or abort with reason, the driver's
+//! retry attempt index, and (with
+//! [`sicost_engine::EngineConfig::trace_timings`] enabled) the time spent
+//! blocked in WAL group commit and in lock acquisition — and stores
+//! completed spans in a bounded ring buffer.
+//!
+//! Spans aggregate into per-program latency-percentile histograms
+//! ([`TraceSink::summary`], reusing [`sicost_common::LatencyHistogram`])
+//! and export as JSONL ([`TraceSink::to_jsonl`]) for offline analysis.
+//!
+//! ```
+//! use sicost_trace::TraceSink;
+//! let sink = TraceSink::with_capacity(4096);
+//! // … attach to the engine:   .observer(sink.clone())
+//! // … and to the driver:      run_closed_observed(&w, cfg, Some(&*sink))
+//! // … after the run:
+//! let _report = sink.summary_report();
+//! let _jsonl = sink.to_jsonl();
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod sink;
+pub mod span;
+
+pub use sink::{KindSummary, TraceSink};
+pub use span::TraceSpan;

@@ -1,0 +1,435 @@
+//! The span sink: assembly of in-flight spans and the completed-span ring.
+
+use crate::span::TraceSpan;
+use sicost_common::sync::stripe_of;
+use sicost_common::{LatencyHistogram, TxnId};
+use sicost_driver::{AttemptObserver, Outcome};
+use sicost_engine::{HistoryEvent, HistoryObserver};
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+thread_local! {
+    /// What the driver announced for the attempt currently running on
+    /// this thread: (kind name, attempt index). The engine's `Begin`
+    /// event fires on the same client thread, which is how a span learns
+    /// its kind without widening the engine API.
+    static ATTEMPT_CONTEXT: Cell<Option<(&'static str, u32)>> = const { Cell::new(None) };
+}
+
+/// An in-flight span plus its start instant.
+struct Partial {
+    span: TraceSpan,
+    started: Instant,
+}
+
+/// A bounded, lock-free-ish sink of completed [`TraceSpan`]s.
+///
+/// Writers reserve a slot with one atomic fetch-add and take only that
+/// slot's tiny mutex to deposit the span — concurrent completions on
+/// different slots never contend, and when the ring wraps the oldest
+/// spans are overwritten ([`TraceSink::dropped`] counts them). In-flight
+/// spans live in per-stripe maps keyed by transaction id, so the
+/// engine's event hooks touch one stripe lock each.
+///
+/// Attach the sink twice: as the engine's history observer (span
+/// contents) and as the driver's attempt observer (kind + attempt
+/// tagging). Either alone still works — engine-only spans are untagged,
+/// driver-only spans never materialise (no engine events).
+pub struct TraceSink {
+    capacity: usize,
+    slots: Vec<Mutex<Option<TraceSpan>>>,
+    /// Total spans ever pushed; `head % capacity` is the next slot.
+    head: AtomicU64,
+    inflight: Vec<Mutex<HashMap<TxnId, Partial>>>,
+}
+
+/// Per-kind aggregation of recorded spans ([`TraceSink::summary`]).
+#[derive(Debug, Clone)]
+pub struct KindSummary {
+    /// Kind name, or `"(untagged)"` for spans without driver context.
+    pub kind: String,
+    /// Spans recorded (attempts, not operations).
+    pub spans: u64,
+    /// How many committed.
+    pub committed: u64,
+    /// Attempt duration distribution (all outcomes).
+    pub latency: LatencyHistogram,
+    /// WAL group-commit wait distribution (committed writers only show
+    /// non-zero values, and only with `trace_timings` on).
+    pub wal_sync: LatencyHistogram,
+    /// Lock-wait distribution (non-zero only with `trace_timings` on).
+    pub lock_wait: LatencyHistogram,
+}
+
+const INFLIGHT_STRIPES: usize = 16;
+
+impl TraceSink {
+    /// Creates a sink keeping the most recent `capacity` spans (min 1).
+    pub fn with_capacity(capacity: usize) -> Arc<Self> {
+        let capacity = capacity.max(1);
+        Arc::new(Self {
+            capacity,
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            head: AtomicU64::new(0),
+            inflight: (0..INFLIGHT_STRIPES)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+        })
+    }
+
+    /// Total spans ever recorded (including overwritten ones).
+    pub fn recorded(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Spans lost to ring wrap-around.
+    pub fn dropped(&self) -> u64 {
+        self.recorded().saturating_sub(self.capacity as u64)
+    }
+
+    /// Snapshot of the retained spans, oldest first (best-effort order
+    /// under concurrent writes).
+    pub fn spans(&self) -> Vec<TraceSpan> {
+        let head = self.head.load(Ordering::Acquire) as usize;
+        let mut out = Vec::new();
+        for offset in 0..self.capacity {
+            let i = (head + offset) % self.capacity;
+            if let Some(span) = self.slots[i].lock().expect("slot lock").as_ref() {
+                out.push(span.clone());
+            }
+        }
+        out
+    }
+
+    /// Renders every retained span as one JSON object per line (JSONL).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for span in self.spans() {
+            out.push_str(&span.to_json().render());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the JSONL export to a file.
+    pub fn write_jsonl(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_jsonl())
+    }
+
+    /// Aggregates retained spans into per-kind latency-percentile
+    /// histograms, sorted by kind name.
+    pub fn summary(&self) -> Vec<KindSummary> {
+        let mut by_kind: HashMap<String, KindSummary> = HashMap::new();
+        for span in self.spans() {
+            let kind = span.kind.unwrap_or("(untagged)").to_string();
+            let entry = by_kind.entry(kind.clone()).or_insert_with(|| KindSummary {
+                kind,
+                spans: 0,
+                committed: 0,
+                latency: LatencyHistogram::new(),
+                wal_sync: LatencyHistogram::new(),
+                lock_wait: LatencyHistogram::new(),
+            });
+            entry.spans += 1;
+            if span.committed {
+                entry.committed += 1;
+            }
+            entry.latency.record(span.duration);
+            entry.wal_sync.record(span.wal_sync);
+            entry.lock_wait.record(span.lock_wait);
+        }
+        let mut out: Vec<KindSummary> = by_kind.into_values().collect();
+        out.sort_by(|a, b| a.kind.cmp(&b.kind));
+        out
+    }
+
+    /// The summary as an aligned text table: per kind, span count, commit
+    /// count, p50/p95/p99 attempt latency and mean WAL-sync / lock-wait
+    /// time. Zero-safe on an empty sink (renders only the header).
+    pub fn summary_report(&self) -> String {
+        let mut out = format!(
+            "{:>16} | {:>8} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9}\n",
+            "kind", "spans", "commits", "p50", "p95", "p99", "wal-sync", "lock-wait"
+        );
+        out.push_str(&"-".repeat(out.len()));
+        out.push('\n');
+        for s in self.summary() {
+            out.push_str(&format!(
+                "{:>16} | {:>8} {:>8} {:>7.1?} {:>7.1?} {:>7.1?} {:>7.1?} {:>7.1?}\n",
+                s.kind,
+                s.spans,
+                s.committed,
+                s.latency.quantile(0.50),
+                s.latency.quantile(0.95),
+                s.latency.quantile(0.99),
+                s.wal_sync.mean(),
+                s.lock_wait.mean(),
+            ));
+        }
+        if self.dropped() > 0 {
+            out.push_str(&format!(
+                "(ring wrapped: {} of {} spans dropped)\n",
+                self.dropped(),
+                self.recorded()
+            ));
+        }
+        out
+    }
+
+    fn stripe(&self, txn: TxnId) -> &Mutex<HashMap<TxnId, Partial>> {
+        &self.inflight[stripe_of(&txn.0, self.inflight.len())]
+    }
+
+    fn push(&self, span: TraceSpan) {
+        let i = self.head.fetch_add(1, Ordering::AcqRel) as usize % self.capacity;
+        *self.slots[i].lock().expect("slot lock") = Some(span);
+    }
+
+    fn with_partial(&self, txn: TxnId, f: impl FnOnce(&mut Partial)) {
+        let mut stripe = self.stripe(txn).lock().expect("stripe lock");
+        if let Some(partial) = stripe.get_mut(&txn) {
+            f(partial);
+        }
+    }
+
+    fn complete(&self, txn: TxnId, f: impl FnOnce(&mut Partial)) {
+        let partial = self.stripe(txn).lock().expect("stripe lock").remove(&txn);
+        if let Some(mut partial) = partial {
+            partial.span.duration = partial.started.elapsed();
+            f(&mut partial);
+            self.push(partial.span);
+        }
+    }
+}
+
+impl HistoryObserver for TraceSink {
+    fn on_event(&self, event: HistoryEvent) {
+        match event {
+            HistoryEvent::Begin { txn, snapshot } => {
+                let (kind, attempt) = ATTEMPT_CONTEXT.with(|c| c.get()).unzip();
+                let partial = Partial {
+                    span: TraceSpan {
+                        txn: txn.0,
+                        kind,
+                        attempt: attempt.unwrap_or(0),
+                        snapshot: snapshot.0,
+                        commit_ts: None,
+                        reads: 0,
+                        writes: 0,
+                        committed: false,
+                        outcome: String::new(),
+                        duration: Duration::ZERO,
+                        wal_sync: Duration::ZERO,
+                        lock_wait: Duration::ZERO,
+                    },
+                    started: Instant::now(),
+                };
+                self.stripe(txn)
+                    .lock()
+                    .expect("stripe lock")
+                    .insert(txn, partial);
+            }
+            HistoryEvent::Read { txn, .. } => {
+                self.with_partial(txn, |p| p.span.reads += 1);
+            }
+            HistoryEvent::Commit {
+                txn,
+                commit_ts,
+                writes,
+            } => {
+                self.complete(txn, |p| {
+                    p.span.commit_ts = Some(commit_ts.0);
+                    p.span.writes = writes.len() as u32;
+                    p.span.committed = true;
+                    p.span.outcome = "committed".into();
+                });
+            }
+            HistoryEvent::Abort { txn, reason } => {
+                self.complete(txn, |p| {
+                    p.span.committed = false;
+                    p.span.outcome = reason.to_string();
+                });
+            }
+        }
+    }
+
+    fn on_wal_sync(&self, txn: TxnId, wait: Duration) {
+        self.with_partial(txn, |p| p.span.wal_sync += wait);
+    }
+
+    fn on_lock_wait(&self, txn: TxnId, wait: Duration) {
+        self.with_partial(txn, |p| p.span.lock_wait += wait);
+    }
+}
+
+impl AttemptObserver for TraceSink {
+    fn attempt_begin(&self, _kind: usize, kind_name: &'static str, attempt: u32) {
+        ATTEMPT_CONTEXT.with(|c| c.set(Some((kind_name, attempt))));
+    }
+
+    fn attempt_end(&self, _outcome: Outcome, _latency: Duration) {
+        ATTEMPT_CONTEXT.with(|c| c.set(None));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sicost_common::{TableId, Ts};
+    use sicost_engine::AbortReason;
+    use sicost_storage::Value;
+
+    fn begin(t: u64) -> HistoryEvent {
+        HistoryEvent::Begin {
+            txn: TxnId(t),
+            snapshot: Ts(1),
+        }
+    }
+
+    fn commit(t: u64, writes: usize) -> HistoryEvent {
+        HistoryEvent::Commit {
+            txn: TxnId(t),
+            commit_ts: Ts(5),
+            writes: (0..writes)
+                .map(|i| (TableId(0), Value::int(i as i64)))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn assembles_a_committed_span_from_events() {
+        let sink = TraceSink::with_capacity(16);
+        sink.attempt_begin(0, "balance", 3);
+        sink.on_event(begin(7));
+        sink.on_event(HistoryEvent::Read {
+            txn: TxnId(7),
+            table: TableId(0),
+            key: Value::int(1),
+            observed: Some(Ts(1)),
+        });
+        sink.on_wal_sync(TxnId(7), Duration::from_micros(250));
+        sink.on_lock_wait(TxnId(7), Duration::from_micros(40));
+        sink.on_lock_wait(TxnId(7), Duration::from_micros(60));
+        sink.on_event(commit(7, 2));
+        sink.attempt_end(Outcome::Committed, Duration::from_millis(1));
+
+        let spans = sink.spans();
+        assert_eq!(spans.len(), 1);
+        let s = &spans[0];
+        assert_eq!(s.txn, 7);
+        assert_eq!(s.kind, Some("balance"));
+        assert_eq!(s.attempt, 3);
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.writes, 2);
+        assert!(s.committed);
+        assert_eq!(s.commit_ts, Some(5));
+        assert_eq!(s.wal_sync, Duration::from_micros(250));
+        assert_eq!(s.lock_wait, Duration::from_micros(100), "lock waits sum");
+    }
+
+    #[test]
+    fn abort_spans_carry_the_reason_and_no_commit_ts() {
+        let sink = TraceSink::with_capacity(16);
+        sink.on_event(begin(1));
+        sink.on_event(HistoryEvent::Abort {
+            txn: TxnId(1),
+            reason: AbortReason::Deadlock,
+        });
+        let spans = sink.spans();
+        assert_eq!(spans.len(), 1);
+        assert!(!spans[0].committed);
+        assert_eq!(spans[0].outcome, "deadlock");
+        assert_eq!(spans[0].commit_ts, None);
+        assert_eq!(spans[0].kind, None, "no driver context → untagged");
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_drops() {
+        let sink = TraceSink::with_capacity(4);
+        for t in 0..10u64 {
+            sink.on_event(begin(t));
+            sink.on_event(commit(t, 0));
+        }
+        assert_eq!(sink.recorded(), 10);
+        assert_eq!(sink.dropped(), 6);
+        let spans = sink.spans();
+        assert_eq!(spans.len(), 4);
+        let txns: Vec<u64> = spans.iter().map(|s| s.txn).collect();
+        assert_eq!(txns, vec![6, 7, 8, 9], "newest four retained, in order");
+    }
+
+    #[test]
+    fn summary_groups_by_kind_with_percentiles() {
+        let sink = TraceSink::with_capacity(64);
+        for (t, kind) in [(1u64, "bal"), (2, "bal"), (3, "wc")] {
+            sink.attempt_begin(0, kind, 1);
+            sink.on_event(begin(t));
+            sink.on_event(commit(t, 1));
+            sink.attempt_end(Outcome::Committed, Duration::ZERO);
+        }
+        let summary = sink.summary();
+        assert_eq!(summary.len(), 2);
+        assert_eq!(summary[0].kind, "bal");
+        assert_eq!(summary[0].spans, 2);
+        assert_eq!(summary[0].committed, 2);
+        assert_eq!(summary[1].kind, "wc");
+        let report = sink.summary_report();
+        assert!(report.contains("bal"), "{report}");
+        assert!(report.contains("p99"), "{report}");
+    }
+
+    #[test]
+    fn empty_sink_is_harmless() {
+        let sink = TraceSink::with_capacity(8);
+        assert!(sink.spans().is_empty());
+        assert_eq!(sink.to_jsonl(), "");
+        assert!(sink.summary().is_empty());
+        assert!(!sink.summary_report().contains("NaN"));
+        // Events for unknown transactions (e.g. sink attached mid-run)
+        // are ignored, not panics.
+        sink.on_event(commit(99, 1));
+        sink.on_wal_sync(TxnId(99), Duration::from_micros(1));
+        assert!(sink.spans().is_empty());
+    }
+
+    #[test]
+    fn jsonl_lines_parse_individually() {
+        let sink = TraceSink::with_capacity(8);
+        for t in 0..3u64 {
+            sink.on_event(begin(t));
+            sink.on_event(commit(t, 1));
+        }
+        let jsonl = sink.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in lines {
+            let v = sicost_common::Json::parse(line).unwrap();
+            assert!(v.get("txn").is_some());
+        }
+    }
+
+    #[test]
+    fn spans_complete_concurrently() {
+        let sink = TraceSink::with_capacity(1024);
+        std::thread::scope(|s| {
+            for thread in 0..4u64 {
+                let sink = &sink;
+                s.spawn(move || {
+                    for i in 0..100u64 {
+                        let t = thread * 1000 + i;
+                        sink.attempt_begin(0, "load", 1);
+                        sink.on_event(begin(t));
+                        sink.on_event(commit(t, 1));
+                        sink.attempt_end(Outcome::Committed, Duration::ZERO);
+                    }
+                });
+            }
+        });
+        assert_eq!(sink.recorded(), 400);
+        assert_eq!(sink.spans().len(), 400);
+        assert!(sink.spans().iter().all(|s| s.committed));
+    }
+}

@@ -1,0 +1,132 @@
+//! The unit of tracing: one transaction attempt.
+
+use sicost_common::Json;
+use std::time::Duration;
+
+/// One completed transaction attempt, as observed by the engine (events,
+/// timings) and the driver (kind, retry attempt index).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSpan {
+    /// Engine transaction id.
+    pub txn: u64,
+    /// Transaction kind name, when the driver announced one (engine work
+    /// outside a driver attempt — loaders, ad-hoc transactions — has
+    /// none).
+    pub kind: Option<&'static str>,
+    /// 1-based retry attempt index from the driver (0 when untagged).
+    pub attempt: u32,
+    /// Snapshot timestamp the attempt read at.
+    pub snapshot: u64,
+    /// Commit timestamp, for committed attempts.
+    pub commit_ts: Option<u64>,
+    /// Records read.
+    pub reads: u32,
+    /// Records written (including identity writes and deletes).
+    pub writes: u32,
+    /// `true` when the attempt committed.
+    pub committed: bool,
+    /// `"committed"` or the abort reason (e.g. `"deadlock"`,
+    /// `"serialization failure (first-updater-wins)"`).
+    pub outcome: String,
+    /// Wall-clock from begin to commit/abort.
+    pub duration: Duration,
+    /// Time blocked in the WAL's group commit (zero unless
+    /// `trace_timings` is enabled).
+    pub wal_sync: Duration,
+    /// Total time blocked acquiring row/table locks (zero unless
+    /// `trace_timings` is enabled).
+    pub lock_wait: Duration,
+}
+
+fn micros(d: Duration) -> Json {
+    Json::Num(d.as_secs_f64() * 1e6)
+}
+
+impl TraceSpan {
+    /// The span as a JSON object (one JSONL line, durations in µs).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("txn", Json::int(self.txn)),
+            (
+                "kind",
+                match self.kind {
+                    Some(k) => Json::str(k),
+                    None => Json::Null,
+                },
+            ),
+            ("attempt", Json::int(u64::from(self.attempt))),
+            ("snapshot", Json::int(self.snapshot)),
+            (
+                "commit_ts",
+                match self.commit_ts {
+                    Some(ts) => Json::int(ts),
+                    None => Json::Null,
+                },
+            ),
+            ("reads", Json::int(u64::from(self.reads))),
+            ("writes", Json::int(u64::from(self.writes))),
+            ("committed", Json::Bool(self.committed)),
+            ("outcome", Json::str(self.outcome.clone())),
+            ("duration_us", micros(self.duration)),
+            ("wal_sync_us", micros(self.wal_sync)),
+            ("lock_wait_us", micros(self.lock_wait)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_renders_as_json() {
+        let span = TraceSpan {
+            txn: 42,
+            kind: Some("balance"),
+            attempt: 2,
+            snapshot: 7,
+            commit_ts: Some(9),
+            reads: 2,
+            writes: 1,
+            committed: true,
+            outcome: "committed".into(),
+            duration: Duration::from_micros(1500),
+            wal_sync: Duration::from_micros(400),
+            lock_wait: Duration::ZERO,
+        };
+        let line = span.to_json().render();
+        assert!(line.contains("\"txn\":42"), "{line}");
+        assert!(line.contains("\"kind\":\"balance\""), "{line}");
+        assert!(line.contains("\"duration_us\":1500"), "{line}");
+        assert!(line.contains("\"wal_sync_us\":400"), "{line}");
+        // Valid JSON round-trip.
+        let parsed = Json::parse(&line).unwrap();
+        assert_eq!(parsed.get("attempt").and_then(Json::as_u64), Some(2));
+        assert_eq!(parsed.get("committed").and_then(Json::as_bool), Some(true));
+    }
+
+    #[test]
+    fn untagged_aborted_span_has_nulls() {
+        let span = TraceSpan {
+            txn: 1,
+            kind: None,
+            attempt: 0,
+            snapshot: 0,
+            commit_ts: None,
+            reads: 0,
+            writes: 0,
+            committed: false,
+            outcome: "deadlock".into(),
+            duration: Duration::ZERO,
+            wal_sync: Duration::ZERO,
+            lock_wait: Duration::ZERO,
+        };
+        let parsed = Json::parse(&span.to_json().render()).unwrap();
+        assert_eq!(parsed.get("kind"), Some(&Json::Null));
+        assert_eq!(parsed.get("commit_ts"), Some(&Json::Null));
+        assert_eq!(
+            parsed.get("outcome").and_then(Json::as_str),
+            Some("deadlock")
+        );
+    }
+}

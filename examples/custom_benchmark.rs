@@ -41,6 +41,7 @@ impl Counters {
             table_intent_locks: false,
             faults: None,
             shards: EngineConfig::DEFAULT_SHARDS,
+            trace_timings: false,
         };
         let db = Database::builder()
             .table(

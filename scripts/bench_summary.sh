@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Validates that every bench harness emitted its JSON report under
+# bench_results/ and folds them into BENCH_smallbank.json at the repo
+# root. Run after the bench suite, e.g.:
+#
+#   SICOST_BENCH_MODE=smoke cargo bench -p sicost-bench
+#   scripts/bench_summary.sh
+#
+# Exits non-zero when a report is missing, unparseable, or empty.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run -q -p sicost-bench --bin bench_summary "$@"

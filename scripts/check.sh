@@ -18,6 +18,9 @@ else
     echo "    clippy unavailable; skipped"
 fi
 
+echo "==> cargo doc --workspace --no-deps (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "==> cargo build --release"
 cargo build --release
 
