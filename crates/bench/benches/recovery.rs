@@ -1,0 +1,187 @@
+//! **A8** — recovery-time harness: restart cost with and without
+//! steady-state checkpointing.
+//!
+//! A SmallBank instance runs a deterministic single-threaded workload,
+//! then recovery is measured from its durable image (checkpoint slots,
+//! manifests, WAL). The baseline takes exactly one checkpoint right
+//! after population (bulk load bypasses the WAL, so some checkpoint must
+//! cover it) and recovery replays the *entire* workload history; the
+//! other scenarios auto-checkpoint every k commits, and recovery replays
+//! only the suffix since the last one — the O(history) → O(delta) claim,
+//! measured in replayed bytes, replayed records, and restart wall-clock.
+//!
+//! Every recovered instance is audited with the SmallBank
+//! balance-conservation oracle before its numbers are reported.
+
+use sicost_bench::{BenchMode, BenchReport};
+use sicost_common::{Money, OnlineStats, Summary, Xoshiro256};
+use sicost_driver::Series;
+use sicost_engine::EngineConfig;
+use sicost_smallbank::schema::{customer_name, recover_database, total_balance};
+use sicost_smallbank::{SmallBank, SmallBankConfig, Strategy};
+use std::time::Instant;
+
+struct RunStats {
+    appended_bytes: f64,
+    replayed_bytes: f64,
+    replayed_records: f64,
+    recovery_us: f64,
+    checkpoints: f64,
+}
+
+fn run_once(checkpoint_every: Option<u64>, ops: u64, customers: u64, seed: u64) -> RunStats {
+    let engine = match checkpoint_every {
+        Some(k) => EngineConfig::functional().with_checkpoint_every_commits(k),
+        None => EngineConfig::functional(),
+    };
+    let bank = SmallBank::new(&SmallBankConfig::small(customers), engine, Strategy::BaseSI);
+    bank.db()
+        .checkpoint()
+        .expect("initial checkpoint covering the bulk-loaded population");
+
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    for _ in 0..ops {
+        let c = customer_name(rng.range_inclusive(0, customers as i64 - 1) as u64);
+        let amount = Money::cents(rng.range_inclusive(1, 500));
+        // Deposits only: always valid, so the single-threaded run commits
+        // every op and the workload is identical across scenarios.
+        if rng.next_u64() % 2 == 0 {
+            bank.deposit_checking(&c, amount).expect("deposit commits");
+        } else {
+            bank.transact_saving(&c, amount).expect("transact commits");
+        }
+    }
+
+    let live_balance = bank.total_balance();
+    let metrics = bank.db().metrics();
+    let image = bank.db().durable_image();
+    let t0 = Instant::now();
+    let (rdb, rtables, outcome) =
+        recover_database(EngineConfig::functional(), &image).expect("recovery succeeds");
+    let recovery_us = t0.elapsed().as_secs_f64() * 1e6;
+    assert!(
+        outcome.checkpoint.is_some(),
+        "every scenario has at least the post-population checkpoint"
+    );
+    assert_eq!(
+        total_balance(&rdb, &rtables),
+        live_balance,
+        "balance conservation across recovery"
+    );
+    RunStats {
+        appended_bytes: bank.db().wal_stats().appended_bytes as f64,
+        replayed_bytes: outcome.replayed_bytes as f64,
+        replayed_records: outcome.replayed_records as f64,
+        recovery_us,
+        checkpoints: metrics.checkpoints_taken as f64,
+    }
+}
+
+fn summarize(vals: &[f64]) -> Summary {
+    let mut s = OnlineStats::new();
+    for &v in vals {
+        s.push(v);
+    }
+    s.summary()
+}
+
+fn main() {
+    let mode = BenchMode::from_env();
+    let (ops, customers) = match mode {
+        BenchMode::Smoke => (300u64, 32u64),
+        BenchMode::Quick => (2_000, 64),
+        BenchMode::Full => (8_000, 64),
+    };
+    // x = checkpoint interval in commits; 0 = the init-only baseline.
+    let scenarios: Vec<(String, Option<u64>)> = vec![
+        ("init-only".into(), None),
+        (format!("every-{}", ops / 8), Some(ops / 8)),
+        (format!("every-{}", ops / 32), Some(ops / 32)),
+    ];
+
+    println!(
+        "\nA8 — recovery cost after {ops} commits ({} mode)",
+        mode.name()
+    );
+    println!("{:-<100}", "");
+    println!(
+        "{:>16} | {:>10} {:>14} {:>14} {:>14} {:>12} {:>10}",
+        "scenario", "ckpts", "wal appended", "replay bytes", "replay recs", "recovery", "delta%"
+    );
+    println!("{:-<100}", "");
+
+    let mut report = BenchReport::new(
+        "recovery",
+        "A8 — restart cost: full-history replay vs post-checkpoint suffix replay",
+        mode,
+    );
+    let mut bytes_series = Series::new("replayed bytes");
+    let mut time_series = Series::new("recovery µs");
+    let mut rows = Vec::new();
+    let mut baseline_bytes = f64::NAN;
+    for (label, every) in &scenarios {
+        let runs: Vec<RunStats> = (0..mode.repeats())
+            .map(|r| run_once(*every, ops, customers, 0xA8_0000 + r))
+            .collect();
+        let bytes = summarize(&runs.iter().map(|r| r.replayed_bytes).collect::<Vec<_>>());
+        let recs = summarize(&runs.iter().map(|r| r.replayed_records).collect::<Vec<_>>());
+        let us = summarize(&runs.iter().map(|r| r.recovery_us).collect::<Vec<_>>());
+        let appended = runs[0].appended_bytes;
+        let ckpts = runs[0].checkpoints;
+        if every.is_none() {
+            baseline_bytes = bytes.mean;
+        } else {
+            assert!(
+                bytes.mean < baseline_bytes,
+                "suffix replay ({}) must read fewer bytes than full-history replay ({baseline_bytes})",
+                bytes.mean
+            );
+        }
+        let x = every.unwrap_or(0) as f64;
+        bytes_series.push(x, bytes);
+        time_series.push(x, us);
+        let delta = 100.0 * bytes.mean / baseline_bytes;
+        println!(
+            "{label:>16} | {ckpts:>10} {appended:>14.0} {:>14.0} {:>14.0} {:>10.0}µs {delta:>9.1}%",
+            bytes.mean, recs.mean, us.mean
+        );
+        rows.push(vec![
+            label.clone(),
+            format!("{ckpts:.0}"),
+            format!("{appended:.0}"),
+            format!("{:.0}", bytes.mean),
+            format!("{:.0}", recs.mean),
+            format!("{:.0}", us.mean),
+            format!("{delta:.1}"),
+        ]);
+    }
+    println!("{:-<100}", "");
+
+    report.x_label = "checkpoint interval (commits; 0 = init-only)".into();
+    report.push_series("interval", &[bytes_series, time_series]);
+    report.push_table(
+        "recovery cost",
+        vec![
+            "scenario".into(),
+            "checkpoints".into(),
+            "wal bytes appended".into(),
+            "bytes replayed".into(),
+            "records replayed".into(),
+            "recovery µs".into(),
+            "% of full replay".into(),
+        ],
+        rows,
+    );
+    let expectation = "Replayed bytes scale with the checkpoint interval, not the \
+         run length: the init-only baseline replays the whole workload \
+         history, while every auto-checkpointing scenario replays only \
+         the tail since its last checkpoint — strictly fewer bytes, \
+         asserted per run after the balance-conservation audit passes.";
+    println!("Expectation: {expectation}");
+    report.expectation = expectation.into();
+    report.notes.push(format!(
+        "functional engine, {customers} customers, {ops} single-threaded deposit ops, {} repeats",
+        mode.repeats()
+    ));
+    println!("report: {}", report.write().display());
+}

@@ -5,32 +5,14 @@
 //! reported" gate.
 //!
 //! Overrides: `SICOST_BENCH_RESULTS` for the input directory,
-//! `SICOST_BENCH_SUMMARY` for the output path.
+//! `SICOST_BENCH_SUMMARY` for the output path, `SICOST_BENCH_EXPECTED`
+//! (comma-separated names) for the expected-harness set — which
+//! otherwise comes from the crate's `src/harnesses.txt` registry.
 
-use sicost_bench::{results_dir, BenchReport, SCHEMA_VERSION};
+use sicost_bench::{expected_harnesses, results_dir, BenchReport, SCHEMA_VERSION};
 use sicost_common::Json;
 use std::path::PathBuf;
 use std::process::ExitCode;
-
-/// Every harness that must have written a report.
-const EXPECTED: &[&str] = &[
-    "table1",
-    "sdg_figures",
-    "fig4",
-    "fig5",
-    "fig6",
-    "fig7",
-    "fig8",
-    "fig9",
-    "micro",
-    "ablation_ssi",
-    "ablation_2pl",
-    "ablation_groupcommit",
-    "ablation_hotspot",
-    "ablation_tablelock",
-    "ablation_sharding",
-    "ablation_certify",
-];
 
 fn summary_path() -> PathBuf {
     match std::env::var_os("SICOST_BENCH_SUMMARY") {
@@ -41,9 +23,10 @@ fn summary_path() -> PathBuf {
 
 fn main() -> ExitCode {
     let dir = results_dir();
+    let expected = expected_harnesses();
     let mut failures = Vec::new();
     let mut reports = Vec::new();
-    for name in EXPECTED {
+    for name in &expected {
         let path = dir.join(format!("{name}.json"));
         let text = match std::fs::read_to_string(&path) {
             Ok(t) => t,
@@ -59,7 +42,7 @@ fn main() -> ExitCode {
                 continue;
             }
         };
-        if report.name != *name {
+        if report.name != **name {
             failures.push(format!(
                 "{name}: report is named `{}` — wrong file?",
                 report.name

@@ -27,6 +27,6 @@ pub use figures::{
 };
 pub use mode::BenchMode;
 pub use report::{
-    results_dir, BenchReport, CertRecord, LatencyRecord, ReportPoint, ReportSeries, ReportTable,
-    SCHEMA_VERSION,
+    expected_harnesses, results_dir, BenchReport, CertRecord, LatencyRecord, ReportPoint,
+    ReportSeries, ReportTable, SCHEMA_VERSION,
 };

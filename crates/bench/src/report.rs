@@ -466,6 +466,30 @@ pub fn results_dir() -> PathBuf {
     }
 }
 
+/// The names of every harness that must emit a report, in display order.
+///
+/// Data-driven: the canonical list lives in `src/harnesses.txt` (kept in
+/// sync with `benches/*.rs` by a test), so adding a harness means adding
+/// one line there instead of editing `bench_summary`. The
+/// `SICOST_BENCH_EXPECTED` environment variable (comma-separated names)
+/// overrides the list, e.g. to validate a partial local run.
+pub fn expected_harnesses() -> Vec<String> {
+    if let Ok(names) = std::env::var("SICOST_BENCH_EXPECTED") {
+        return names
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(String::from)
+            .collect();
+    }
+    include_str!("harnesses.txt")
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(String::from)
+        .collect()
+}
+
 fn req<'a>(v: &'a Json, key: &str) -> Result<&'a Json, String> {
     v.get(key).ok_or_else(|| format!("missing field `{key}`"))
 }

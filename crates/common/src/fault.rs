@@ -46,6 +46,33 @@ pub enum CrashPoint {
     /// After installation completes: the commit fully happened; recovery
     /// must preserve it.
     AfterInstall,
+    /// While the checkpoint frame is being written to its slot: the slot
+    /// holds a torn frame, but the manifest still points at the previous
+    /// checkpoint — recovery must ignore the torn slot entirely.
+    DuringCheckpointWrite,
+    /// After the checkpoint frame is fully durable, before the manifest
+    /// swap: recovery still uses the previous manifest (or the whole log)
+    /// and must lose nothing.
+    BeforeManifestSwap,
+    /// After the manifest swap is durable, before the log is truncated:
+    /// recovery uses the new checkpoint plus the (untruncated) suffix
+    /// starting at the manifest's offset.
+    AfterManifestSwapBeforeTruncate,
+}
+
+impl CrashPoint {
+    /// Every armed crash point, in pipeline order — the torture harness
+    /// iterates this so new points are covered automatically.
+    pub const ALL: [CrashPoint; 8] = [
+        CrashPoint::BeforeWalAppend,
+        CrashPoint::DuringWalSync,
+        CrashPoint::AfterWalAppend,
+        CrashPoint::MidInstall,
+        CrashPoint::AfterInstall,
+        CrashPoint::DuringCheckpointWrite,
+        CrashPoint::BeforeManifestSwap,
+        CrashPoint::AfterManifestSwapBeforeTruncate,
+    ];
 }
 
 impl fmt::Display for CrashPoint {
@@ -56,6 +83,9 @@ impl fmt::Display for CrashPoint {
             CrashPoint::AfterWalAppend => "after-wal-append",
             CrashPoint::MidInstall => "mid-install",
             CrashPoint::AfterInstall => "after-install",
+            CrashPoint::DuringCheckpointWrite => "during-checkpoint-write",
+            CrashPoint::BeforeManifestSwap => "before-manifest-swap",
+            CrashPoint::AfterManifestSwapBeforeTruncate => "after-manifest-swap-before-truncate",
         };
         write!(f, "{name}")
     }
@@ -140,6 +170,10 @@ pub struct FaultInjector {
     latency_spikes: AtomicU64,
     sync_errors: AtomicU64,
     forced_aborts: AtomicU64,
+    /// Callbacks run exactly once, on the arrival that latches the crash.
+    /// The engine registers a hook that wakes its commit-publication gate,
+    /// so waiters observe the crash latch without polling.
+    crash_hooks: Mutex<Vec<Box<dyn Fn() + Send + Sync>>>,
 }
 
 impl fmt::Debug for FaultInjector {
@@ -162,8 +196,17 @@ impl FaultInjector {
             latency_spikes: AtomicU64::new(0),
             sync_errors: AtomicU64::new(0),
             forced_aborts: AtomicU64::new(0),
+            crash_hooks: Mutex::new(Vec::new()),
             config,
         }
+    }
+
+    /// Registers a callback to run when the armed crash latches. Used for
+    /// targeted wakeups: a crashed committer never notifies its successors,
+    /// so the component that parks them registers a hook here instead of
+    /// polling the latch.
+    pub fn on_crash(&self, hook: Box<dyn Fn() + Send + Sync>) {
+        self.crash_hooks.lock().push(hook);
     }
 
     /// The configuration.
@@ -223,6 +266,9 @@ impl FaultInjector {
         let prev = self.crash_countdown.fetch_sub(1, Ordering::AcqRel);
         if prev == 1 {
             self.crashed.store(true, Ordering::Release);
+            for hook in self.crash_hooks.lock().iter() {
+                hook();
+            }
             true
         } else {
             if prev == 0 {
@@ -296,6 +342,36 @@ mod tests {
         assert!(f.crashed());
         assert!(!f.at_crash_point(CrashPoint::AfterWalAppend), "fires once");
         assert_eq!(f.stats().crashes, 1);
+    }
+
+    #[test]
+    fn crash_hooks_run_exactly_once_when_the_latch_fires() {
+        use std::sync::atomic::AtomicU64;
+        use std::sync::Arc;
+        let f = FaultInjector::new(FaultConfig::crash(CrashPoint::BeforeManifestSwap, 2));
+        let fired = Arc::new(AtomicU64::new(0));
+        let fired2 = Arc::clone(&fired);
+        f.on_crash(Box::new(move || {
+            fired2.fetch_add(1, Ordering::SeqCst);
+        }));
+        assert!(!f.at_crash_point(CrashPoint::BeforeManifestSwap));
+        assert_eq!(fired.load(Ordering::SeqCst), 0);
+        assert!(f.at_crash_point(CrashPoint::BeforeManifestSwap));
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+        assert!(!f.at_crash_point(CrashPoint::BeforeManifestSwap));
+        assert_eq!(fired.load(Ordering::SeqCst), 1, "hooks run once");
+    }
+
+    #[test]
+    fn every_crash_point_is_listed_with_a_unique_name() {
+        let names: Vec<String> = CrashPoint::ALL.iter().map(|p| p.to_string()).collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), CrashPoint::ALL.len());
+        assert!(names.contains(&"during-checkpoint-write".to_string()));
+        assert!(names.contains(&"before-manifest-swap".to_string()));
+        assert!(names.contains(&"after-manifest-swap-before-truncate".to_string()));
     }
 
     #[test]

@@ -281,6 +281,15 @@ impl<T: ?Sized> InstrumentedMutex<T> {
         guard
     }
 
+    /// Acquires the lock only if it is free right now, counting a
+    /// successful acquisition (a failed try is not contention in the
+    /// blocked-wall-clock sense — the caller chose not to wait).
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        let guard = self.inner.try_lock()?;
+        self.stats.record(None);
+        Some(guard)
+    }
+
     /// Mutable access without locking (requires exclusive ownership).
     pub fn get_mut(&mut self) -> &mut T {
         self.inner.get_mut()

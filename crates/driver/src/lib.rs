@@ -21,8 +21,8 @@ pub mod runner;
 pub use hooks::{AttemptObserver, NullAttemptObserver};
 pub use metrics::{KindMetrics, Outcome, RunMetrics};
 pub use report::{
-    ascii_chart, csv_table, latency_report, lock_wait_report, render_table, retry_report, Series,
-    SeriesPoint,
+    ascii_chart, checkpoint_report, csv_table, latency_report, lock_wait_report, render_table,
+    retry_report, Series, SeriesPoint,
 };
 pub use retry::{RetryDecision, RetryPolicy};
 pub use runner::{repeat_summary, run_closed, run_closed_observed, RunConfig, Workload};

@@ -200,6 +200,30 @@ pub fn lock_wait_report(classes: &[LockWait]) -> String {
     out
 }
 
+/// Renders an engine's durability/recovery counters: checkpoints taken,
+/// WAL bytes reclaimed by truncation, and (for a database built through
+/// crash recovery) how many log-suffix bytes replay had to read — the
+/// view that shows whether checkpointing is keeping restart cost
+/// proportional to the delta rather than the history.
+pub fn checkpoint_report(m: &sicost_engine::EngineMetrics) -> String {
+    let mut out = format!("{:>24} | {:>12}\n", "durability counter", "value");
+    out.push_str(&"-".repeat(out.len()));
+    out.push('\n');
+    out.push_str(&format!(
+        "{:>24} | {:>12}\n",
+        "checkpoints taken", m.checkpoints_taken
+    ));
+    out.push_str(&format!(
+        "{:>24} | {:>12}\n",
+        "wal bytes truncated", m.checkpoint_bytes_truncated
+    ));
+    out.push_str(&format!(
+        "{:>24} | {:>12}\n",
+        "recovery replay bytes", m.recovery_replay_bytes
+    ));
+    out
+}
+
 /// A rough terminal line chart (height rows, one glyph per series),
 /// enough to eyeball the figure shapes in CI logs.
 pub fn ascii_chart(series: &[Series], height: usize) -> String {
@@ -346,6 +370,21 @@ mod tests {
         assert!(r.contains("commit.install"), "{r}");
         assert!(r.contains("25.0%"), "contention ratio column: {r}");
         assert!(r.contains("total blocked wall-clock: 40.0ms"), "{r}");
+    }
+
+    #[test]
+    fn checkpoint_report_shows_durability_counters() {
+        let m = sicost_engine::EngineMetrics {
+            checkpoints_taken: 3,
+            checkpoint_bytes_truncated: 4096,
+            recovery_replay_bytes: 128,
+            ..Default::default()
+        };
+        let r = checkpoint_report(&m);
+        assert!(r.contains("checkpoints taken"), "{r}");
+        assert!(r.contains("4096"), "{r}");
+        assert!(r.contains("recovery replay bytes"), "{r}");
+        assert!(r.contains("128"), "{r}");
     }
 
     #[test]

@@ -135,6 +135,15 @@ pub struct EngineConfig {
     /// `sicost-trace` sink). Off by default: the hot path then pays no
     /// clock reads for tracing.
     pub trace_timings: bool,
+    /// Take a fuzzy checkpoint (and truncate the covered WAL prefix) once
+    /// this many log bytes have accumulated since the last one. `None`
+    /// (the default in every preset) = no byte-driven checkpoints.
+    pub checkpoint_every_wal_bytes: Option<u64>,
+    /// Take a fuzzy checkpoint once this many writing commits have
+    /// happened since the last one. `None` = no commit-driven
+    /// checkpoints. Explicit [`crate::Database::checkpoint`] calls work
+    /// regardless of either threshold.
+    pub checkpoint_every_commits: Option<u64>,
 }
 
 impl EngineConfig {
@@ -153,6 +162,8 @@ impl EngineConfig {
             faults: None,
             shards: Self::DEFAULT_SHARDS,
             trace_timings: false,
+            checkpoint_every_wal_bytes: None,
+            checkpoint_every_commits: None,
         }
     }
 
@@ -175,6 +186,8 @@ impl EngineConfig {
             faults: None,
             shards: Self::DEFAULT_SHARDS,
             trace_timings: false,
+            checkpoint_every_wal_bytes: None,
+            checkpoint_every_commits: None,
         }
     }
 
@@ -197,6 +210,8 @@ impl EngineConfig {
             faults: None,
             shards: Self::DEFAULT_SHARDS,
             trace_timings: false,
+            checkpoint_every_wal_bytes: None,
+            checkpoint_every_commits: None,
         }
     }
 
@@ -243,6 +258,18 @@ impl EngineConfig {
     /// (builder-style). See [`EngineConfig::trace_timings`].
     pub fn with_trace_timings(mut self, on: bool) -> Self {
         self.trace_timings = on;
+        self
+    }
+
+    /// Sets the byte-accumulation checkpoint threshold (builder-style).
+    pub fn with_checkpoint_every_wal_bytes(mut self, bytes: u64) -> Self {
+        self.checkpoint_every_wal_bytes = Some(bytes);
+        self
+    }
+
+    /// Sets the commit-count checkpoint threshold (builder-style).
+    pub fn with_checkpoint_every_commits(mut self, commits: u64) -> Self {
+        self.checkpoint_every_commits = Some(commits);
         self
     }
 }
@@ -308,5 +335,22 @@ mod tests {
             .with_sfu(SfuSemantics::IdentityWrite);
         assert_eq!(cfg.cc, CcMode::S2pl);
         assert_eq!(cfg.sfu, SfuSemantics::IdentityWrite);
+    }
+
+    #[test]
+    fn checkpoints_are_off_by_default_and_settable() {
+        for cfg in [
+            EngineConfig::functional(),
+            EngineConfig::postgres_like(),
+            EngineConfig::commercial_like(),
+        ] {
+            assert_eq!(cfg.checkpoint_every_wal_bytes, None);
+            assert_eq!(cfg.checkpoint_every_commits, None);
+        }
+        let cfg = EngineConfig::functional()
+            .with_checkpoint_every_wal_bytes(1 << 20)
+            .with_checkpoint_every_commits(500);
+        assert_eq!(cfg.checkpoint_every_wal_bytes, Some(1 << 20));
+        assert_eq!(cfg.checkpoint_every_commits, Some(500));
     }
 }

@@ -9,13 +9,27 @@ use crate::metrics::{EngineMetrics, EngineMetricsInner, LockClasses};
 use crate::registry::ActiveRegistry;
 use crate::ssi::SsiManager;
 use crate::txn::Transaction;
-use sicost_common::sync::{stripe_of, Condvar, InstrumentedMutex, MutexGuard};
+use sicost_common::sync::{stripe_of, Condvar, InstrumentedMutex, Mutex, MutexGuard};
 use sicost_common::{FaultInjector, TableId, Ts, TxnId};
 use sicost_storage::{Catalog, Row, SchemaError, TableSchema, Value, Version};
-use sicost_wal::{DeviceStats, Wal, WalStats};
+use sicost_wal::{DeviceStats, DurableImage, RecoveryError, RecoveryOutcome, Wal, WalStats};
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// The ordered-publication gate: publishers wait here until every earlier
+/// reserved commit timestamp has been published. Lives in an `Arc` so the
+/// fault injector's crash hook can reach the condvar and wake blocked
+/// publishers the moment the crash latch fires — the wait itself is
+/// untimed (no polling).
+pub(crate) struct PublishGate {
+    /// Guards the clock-advance check. Instrumented as `commit.publish`.
+    pub(crate) lock: InstrumentedMutex<()>,
+    /// Notified on every publication, on in-flight bookkeeping changes,
+    /// and by the crash hook.
+    pub(crate) cv: Condvar,
+}
 
 /// Builder for [`Database`]: declare tables, pick a configuration, attach
 /// an optional history observer, then [`DatabaseBuilder::build`].
@@ -46,9 +60,45 @@ impl DatabaseBuilder {
 
     /// Builds the database.
     pub fn build(self) -> Database {
+        self.build_at(Ts::ZERO)
+    }
+
+    /// Builds the database with catalog contents and the commit clock
+    /// restored from a crashed instance's durable image — the restart
+    /// path. Replays only the WAL suffix past the newest usable
+    /// checkpoint; the bytes replayed are recorded in
+    /// [`EngineMetrics::recovery_replay_bytes`]. Returns the recovery
+    /// outcome alongside the database so callers can assert on what the
+    /// recovery actually did.
+    pub fn recover(
+        self,
+        image: &DurableImage,
+    ) -> Result<(Database, RecoveryOutcome), RecoveryError> {
+        let outcome = sicost_wal::recover_image(image, &self.catalog)?;
+        let db = self.build_at(outcome.end_ts);
+        db.metrics.record_recovery(outcome.replayed_bytes);
+        Ok((db, outcome))
+    }
+
+    fn build_at(self, clock: Ts) -> Database {
         let wal = Wal::with_faults(self.config.wal, self.config.faults.clone());
         let classes = LockClasses::default();
         let shards = self.config.shards.max(1);
+        let publish = Arc::new(PublishGate {
+            lock: InstrumentedMutex::new((), Arc::clone(&classes.commit_publish)),
+            cv: Condvar::new(),
+        });
+        if let Some(faults) = &self.config.faults {
+            // Wake every publisher (and a draining checkpointer) the
+            // instant the crash latch fires: they re-check `crashed()`
+            // under the gate lock, so locking it here before notifying
+            // closes the check-then-wait race.
+            let gate = Arc::clone(&publish);
+            faults.on_crash(Box::new(move || {
+                let _g = gate.lock.lock();
+                gate.cv.notify_all();
+            }));
+        }
         Database {
             catalog: Arc::new(self.catalog),
             cpu: CpuStation::new(self.config.cost),
@@ -60,14 +110,17 @@ impl DatabaseBuilder {
                 Arc::clone(&classes.ssi_txns),
                 Arc::clone(&classes.ssi_reads),
             ),
-            clock: AtomicU64::new(0),
+            clock: AtomicU64::new(clock.0),
             txn_seq: AtomicU64::new(0),
-            commit_seq: InstrumentedMutex::new(0, Arc::clone(&classes.commit_seq)),
+            commit_seq: InstrumentedMutex::new(clock.0, Arc::clone(&classes.commit_seq)),
             install_shards: (0..shards)
                 .map(|_| InstrumentedMutex::new((), Arc::clone(&classes.commit_install)))
                 .collect(),
-            publish: InstrumentedMutex::new((), Arc::clone(&classes.commit_publish)),
-            publish_cv: Condvar::new(),
+            publish,
+            inflight_wal: Mutex::new(HashSet::new()),
+            ckpt_flight: InstrumentedMutex::new((), Arc::clone(&classes.checkpoint)),
+            last_ckpt_offset: AtomicU64::new(0),
+            commits_since_ckpt: AtomicU64::new(0),
             lock_classes: classes,
             config: self.config,
             observer: self.observer,
@@ -102,9 +155,22 @@ pub struct Database {
     /// Publication gate: commit timestamps are published to [`Self::clock`]
     /// strictly in reservation order, so a snapshot at clock `c` always
     /// sees *every* commit `<= c` — transaction-consistency is preserved
-    /// without a global install section.
-    publish: InstrumentedMutex<()>,
-    publish_cv: Condvar,
+    /// without a global install section. Shared with the fault injector's
+    /// crash hook, which wakes all waiters when the latch fires.
+    pub(crate) publish: Arc<PublishGate>,
+    /// WAL-backed committers between their log append and their clock
+    /// publication. The checkpointer snapshots this *after* reading the
+    /// log-end offset `O` and drains it before choosing the checkpoint
+    /// timestamp `C` — the barrier that makes every record below `O`
+    /// carry a timestamp `≤ C` even though appends precede reservations.
+    pub(crate) inflight_wal: Mutex<HashSet<TxnId>>,
+    /// Single-flight checkpoint lock (instrumented as `checkpoint`).
+    ckpt_flight: InstrumentedMutex<()>,
+    /// Log-end offset `O` of the last completed checkpoint; drives the
+    /// byte-accumulation auto-checkpoint threshold.
+    pub(crate) last_ckpt_offset: AtomicU64,
+    /// Writing commits since the last completed checkpoint.
+    pub(crate) commits_since_ckpt: AtomicU64,
     /// Shared contention counters behind every engine lock above.
     lock_classes: LockClasses,
     pub(crate) observer: Option<Arc<dyn HistoryObserver>>,
@@ -173,28 +239,61 @@ impl Database {
 
     /// Publishes `ts` to the commit clock, waiting until every earlier
     /// reservation has published first (in-order publication keeps
-    /// snapshots transaction-consistent). Fails only when the simulated
-    /// process crashes while waiting: a crashed committer never publishes,
-    /// so its successors would otherwise wait forever — they die instead,
-    /// and the unpublished suffix stays invisible, exactly like the old
-    /// global install section's torn-prefix behaviour.
-    pub(crate) fn publish_commit(&self, ts: Ts) -> Result<(), crate::TxnError> {
-        let mut gate = self.publish.lock();
+    /// snapshots transaction-consistent). The wait is untimed: a
+    /// predecessor that crashes mid-install never notifies, but the crash
+    /// hook registered at build time locks this gate and wakes every
+    /// waiter, which then re-checks the latch and dies — the unpublished
+    /// suffix stays invisible, exactly like the old global install
+    /// section's torn-prefix behaviour.
+    ///
+    /// `wal_backed` carries the committer's id when its redo record is in
+    /// the log; publication removes it from the in-flight set in the same
+    /// gate-locked critical section that advances the clock, so a
+    /// draining checkpointer observing the removal also observes the
+    /// published timestamp.
+    pub(crate) fn publish_commit(
+        &self,
+        ts: Ts,
+        wal_backed: Option<TxnId>,
+    ) -> Result<(), crate::TxnError> {
+        let mut gate = self.publish.lock.lock();
         while self.clock.load(Ordering::Acquire) + 1 != ts.0 {
             if self.crashed() {
+                if let Some(id) = wal_backed {
+                    self.inflight_wal.lock().remove(&id);
+                }
+                drop(gate);
+                self.publish.cv.notify_all();
                 return Err(crate::TxnError::Transient(
                     "crashed while awaiting commit publication".into(),
                 ));
             }
-            // Timed wait: a predecessor that crashes mid-install never
-            // notifies, so poll the crash latch.
-            self.publish_cv
-                .wait_timeout(&mut gate, Duration::from_millis(1));
+            self.publish.cv.wait(&mut gate);
         }
         self.clock.store(ts.0, Ordering::Release);
+        if let Some(id) = wal_backed {
+            self.inflight_wal.lock().remove(&id);
+        }
         drop(gate);
-        self.publish_cv.notify_all();
+        self.publish.cv.notify_all();
         Ok(())
+    }
+
+    /// Registers a WAL-backed committer *before* its log append, so any
+    /// checkpoint sampling the log-end offset afterwards knows the commit
+    /// may still be unpublished.
+    pub(crate) fn inflight_insert(&self, id: TxnId) {
+        self.inflight_wal.lock().insert(id);
+    }
+
+    /// Removes a committer that will never publish (its WAL write failed
+    /// or it died before reserving a timestamp), waking any draining
+    /// checkpointer. Gate-locked so the wakeup cannot be missed.
+    pub(crate) fn inflight_remove(&self, id: TxnId) {
+        let gate = self.publish.lock.lock();
+        self.inflight_wal.lock().remove(&id);
+        drop(gate);
+        self.publish.cv.notify_all();
     }
 
     /// Bulk-loads rows into a table, bypassing the WAL and concurrency
@@ -227,8 +326,56 @@ impl Database {
         // The reservation must be published even on error, or every later
         // commit would wait on it forever (partial rows become visible —
         // bulk load is setup-only, documented above).
-        self.publish_commit(ts)?;
+        self.publish_commit(ts, None)?;
         result.map(|_| ts)
+    }
+
+    /// Takes a fuzzy checkpoint right now: snapshots every table at a
+    /// drained, published commit timestamp, writes the frame into the
+    /// inactive slot, swaps the manifest, and truncates the covered WAL
+    /// prefix. Writers keep committing throughout — only the short
+    /// in-flight drain synchronises with the commit pipeline. Blocks if
+    /// another checkpoint is already running.
+    pub fn checkpoint(&self) -> Result<crate::CheckpointOutcome, crate::TxnError> {
+        let _flight = self.ckpt_flight.lock();
+        crate::checkpoint::Checkpointer::new(self).run()
+    }
+
+    /// Called by writing transactions after publication to drive
+    /// threshold-based auto-checkpoints. Runs inline on the committing
+    /// thread (the transaction is already durable and published, so a
+    /// checkpoint failure here is invisible to it); skips when another
+    /// checkpoint is in flight.
+    pub(crate) fn note_commit_for_checkpoint(&self) {
+        let every_commits = self.config.checkpoint_every_commits;
+        let every_bytes = self.config.checkpoint_every_wal_bytes;
+        if every_commits.is_none() && every_bytes.is_none() {
+            return;
+        }
+        let n = self.commits_since_ckpt.fetch_add(1, Ordering::Relaxed) + 1;
+        let due = every_commits.is_some_and(|every| n >= every)
+            || every_bytes.is_some_and(|every| {
+                self.wal
+                    .log_end_offset()
+                    .saturating_sub(self.last_ckpt_offset.load(Ordering::Relaxed))
+                    >= every
+            });
+        if !due {
+            return;
+        }
+        if let Some(_flight) = self.ckpt_flight.try_lock() {
+            // Failure (crash, transient sync error) is non-fatal: the
+            // committed transaction is already safe, and the next
+            // threshold crossing retries.
+            let _ = crate::checkpoint::Checkpointer::new(self).run();
+        }
+    }
+
+    /// The complete durable state — log window, checkpoint slots, and
+    /// manifests — as crash recovery would find it. Feed to
+    /// [`DatabaseBuilder::recover`] to restart after a crash.
+    pub fn durable_image(&self) -> DurableImage {
+        self.wal.durable_image()
     }
 
     /// Garbage-collects versions no active snapshot can see (and SSI
@@ -330,6 +477,7 @@ impl Database {
 mod tests {
     use super::*;
     use sicost_storage::{ColumnDef, ColumnType, Value};
+    use std::time::Instant;
 
     fn simple_db() -> Database {
         Database::builder()
@@ -452,5 +600,164 @@ mod tests {
         db.vacuum();
         assert_eq!(t.version_count(), 1);
         assert!(db.metrics().versions_pruned >= 5);
+    }
+
+    fn schema_t() -> TableSchema {
+        TableSchema::new(
+            "T",
+            vec![
+                ColumnDef::new("id", ColumnType::Int),
+                ColumnDef::new("v", ColumnType::Int),
+            ],
+            0,
+            vec![],
+        )
+        .unwrap()
+    }
+
+    fn update_row(db: &Database, tid: TableId, key: i64, v: i64) -> Ts {
+        let mut tx = db.begin();
+        tx.update(
+            tid,
+            &Value::int(key),
+            Row::new(vec![Value::int(key), Value::int(v)]),
+        )
+        .unwrap();
+        tx.commit().unwrap()
+    }
+
+    /// Full round trip of the fuzzy-checkpoint protocol: the checkpoint
+    /// covers the bulk-loaded population (which bypasses the WAL) plus the
+    /// pre-checkpoint commits, truncation drops the covered prefix, and
+    /// recovery installs the snapshot then replays only the post-checkpoint
+    /// suffix.
+    #[test]
+    fn checkpoint_then_recovery_replays_only_the_suffix() {
+        let db = Database::builder().table(schema_t()).unwrap().build();
+        let tid = db.table_id("T").unwrap();
+        db.bulk_load(
+            tid,
+            (0..4).map(|i| Row::new(vec![Value::int(i), Value::int(0)])),
+        )
+        .unwrap();
+        for i in 0..3 {
+            update_row(&db, tid, i, 100 + i);
+        }
+        let pre_ckpt_bytes = db.wal.log_end_offset();
+        assert!(pre_ckpt_bytes > 0);
+
+        let out = db.checkpoint().unwrap();
+        assert_eq!(out.checkpoint_ts, Ts(4), "bulk load + 3 commits");
+        assert_eq!(out.wal_offset, pre_ckpt_bytes);
+        assert_eq!(out.truncated_bytes, pre_ckpt_bytes);
+        assert_eq!(out.rows, 4);
+        let m = db.metrics();
+        assert_eq!(m.checkpoints_taken, 1);
+        assert_eq!(m.checkpoint_bytes_truncated, pre_ckpt_bytes);
+
+        // Two post-checkpoint commits form the replay suffix.
+        update_row(&db, tid, 3, 333);
+        update_row(&db, tid, 0, 111);
+
+        let image = db.durable_image();
+        let (db2, rec) = Database::builder()
+            .table(schema_t())
+            .unwrap()
+            .recover(&image)
+            .unwrap();
+        let ckpt = rec.checkpoint.expect("manifest must be usable");
+        assert_eq!(ckpt.checkpoint_ts, Ts(4));
+        assert_eq!(rec.checkpoint_rows, 4);
+        assert_eq!(rec.replayed_records, 2, "only the suffix replays");
+        assert!(rec.replayed_bytes > 0 && rec.replayed_bytes < pre_ckpt_bytes);
+        assert_eq!(db2.metrics().recovery_replay_bytes, rec.replayed_bytes);
+        assert_eq!(db2.clock(), rec.end_ts);
+
+        let t2 = db2.catalog().table(tid);
+        let expect = [(0, 111), (1, 101), (2, 102), (3, 333)];
+        for (key, v) in expect {
+            let got = t2.read_at(&Value::int(key), db2.clock()).unwrap();
+            assert_eq!(got.row.as_ref().unwrap().get(1), &Value::int(v));
+        }
+        // The recovered database keeps working.
+        update_row(&db2, tid, 1, 7);
+    }
+
+    /// Threshold-driven auto-checkpointing: every Nth writing commit takes
+    /// a checkpoint inline, and the byte threshold works independently.
+    #[test]
+    fn auto_checkpoint_fires_on_thresholds() {
+        let db = Database::builder()
+            .table(schema_t())
+            .unwrap()
+            .config(EngineConfig::functional().with_checkpoint_every_commits(2))
+            .build();
+        let tid = db.table_id("T").unwrap();
+        db.bulk_load(tid, [Row::new(vec![Value::int(0), Value::int(0)])])
+            .unwrap();
+        for i in 0..5 {
+            update_row(&db, tid, 0, i);
+        }
+        assert_eq!(db.metrics().checkpoints_taken, 2, "commits 2 and 4");
+
+        let db = Database::builder()
+            .table(schema_t())
+            .unwrap()
+            .config(EngineConfig::functional().with_checkpoint_every_wal_bytes(1))
+            .build();
+        let tid = db.table_id("T").unwrap();
+        db.bulk_load(tid, [Row::new(vec![Value::int(0), Value::int(0)])])
+            .unwrap();
+        for i in 0..3 {
+            update_row(&db, tid, 0, i);
+        }
+        assert_eq!(
+            db.metrics().checkpoints_taken,
+            3,
+            "every commit leaves ≥1 byte since the last checkpoint"
+        );
+        assert_eq!(
+            db.wal.log_end_offset(),
+            db.wal.wal_base(),
+            "fully truncated"
+        );
+    }
+
+    /// Satellite 1 regression: a publisher blocked behind a never-arriving
+    /// predecessor must be woken by the crash latch via the publish gate's
+    /// condvar — promptly, without the old 1 ms polling loop.
+    #[test]
+    fn crash_latch_wakes_blocked_publisher() {
+        use sicost_common::{CrashPoint, FaultConfig, FaultInjector};
+        let faults = Arc::new(FaultInjector::new(FaultConfig::crash(
+            CrashPoint::AfterInstall,
+            1,
+        )));
+        let db = Database::builder()
+            .table(schema_t())
+            .unwrap()
+            .config(EngineConfig::functional().with_faults(Arc::clone(&faults)))
+            .build();
+        std::thread::scope(|s| {
+            let db = &db;
+            let waiter = s.spawn(move || {
+                // Clock is 0; Ts(2) can never publish because Ts(1) does
+                // not exist. Only the crash latch can release this wait.
+                let t0 = Instant::now();
+                let res = db.publish_commit(Ts(2), None);
+                (res, t0.elapsed())
+            });
+            std::thread::sleep(Duration::from_millis(50));
+            assert!(!waiter.is_finished(), "waiter must block until the crash");
+            // Latch the crash; the registered hook notifies the gate.
+            assert!(faults.at_crash_point(CrashPoint::AfterInstall));
+            let (res, waited) = waiter.join().unwrap();
+            assert!(matches!(res, Err(crate::TxnError::Transient(_))));
+            assert!(db.crashed());
+            assert!(
+                waited < Duration::from_secs(5),
+                "crash latch must wake the waiter, not time out: {waited:?}"
+            );
+        });
     }
 }

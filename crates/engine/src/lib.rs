@@ -34,6 +34,7 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod config;
 pub mod cpu;
 pub mod database;
@@ -45,9 +46,11 @@ pub mod registry;
 pub mod ssi;
 pub mod txn;
 
+pub use checkpoint::CheckpointOutcome;
 pub use config::{CcMode, CostModel, EngineConfig, SfuSemantics};
 pub use database::{Database, DatabaseBuilder};
 pub use error::{AbortReason, SerializationKind, TxnError};
 pub use history::{HistoryEvent, HistoryObserver};
 pub use metrics::EngineMetrics;
+pub use sicost_wal::{DurableImage, RecoveryError, RecoveryOutcome};
 pub use txn::Transaction;

@@ -27,6 +27,9 @@ pub(crate) struct LockClasses {
     pub ssi_txns: Arc<LockStats>,
     /// SSI SIREAD-mark / announcement partitions.
     pub ssi_reads: Arc<LockStats>,
+    /// The checkpointer's single-flight lock (one checkpoint at a time;
+    /// auto-checkpoints skip instead of queueing).
+    pub checkpoint: Arc<LockStats>,
 }
 
 impl LockClasses {
@@ -41,6 +44,7 @@ impl LockClasses {
             self.lock_held.snapshot("lock.held"),
             self.ssi_txns.snapshot("ssi.txns"),
             self.ssi_reads.snapshot("ssi.reads"),
+            self.checkpoint.snapshot("checkpoint"),
         ]
     }
 }
@@ -57,6 +61,9 @@ pub struct EngineMetricsInner {
     aborts_app: AtomicU64,
     aborts_transient: AtomicU64,
     versions_pruned: AtomicU64,
+    checkpoints_taken: AtomicU64,
+    checkpoint_bytes_truncated: AtomicU64,
+    recovery_replay_bytes: AtomicU64,
 }
 
 impl EngineMetricsInner {
@@ -83,6 +90,17 @@ impl EngineMetricsInner {
         self.versions_pruned.fetch_add(n, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_checkpoint(&self, truncated_bytes: u64) {
+        self.checkpoints_taken.fetch_add(1, Ordering::Relaxed);
+        self.checkpoint_bytes_truncated
+            .fetch_add(truncated_bytes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_recovery(&self, replayed_bytes: u64) {
+        self.recovery_replay_bytes
+            .fetch_add(replayed_bytes, Ordering::Relaxed);
+    }
+
     /// Snapshot of the counters.
     pub fn snapshot(&self) -> EngineMetrics {
         EngineMetrics {
@@ -95,6 +113,9 @@ impl EngineMetricsInner {
             aborts_application: self.aborts_app.load(Ordering::Relaxed),
             aborts_transient: self.aborts_transient.load(Ordering::Relaxed),
             versions_pruned: self.versions_pruned.load(Ordering::Relaxed),
+            checkpoints_taken: self.checkpoints_taken.load(Ordering::Relaxed),
+            checkpoint_bytes_truncated: self.checkpoint_bytes_truncated.load(Ordering::Relaxed),
+            recovery_replay_bytes: self.recovery_replay_bytes.load(Ordering::Relaxed),
             lock_waits: Vec::new(),
         }
     }
@@ -121,6 +142,13 @@ pub struct EngineMetrics {
     pub aborts_transient: u64,
     /// Versions reclaimed by the garbage collector.
     pub versions_pruned: u64,
+    /// Fuzzy checkpoints completed (manifest swapped durably).
+    pub checkpoints_taken: u64,
+    /// WAL-prefix bytes dropped by checkpoint truncation.
+    pub checkpoint_bytes_truncated: u64,
+    /// Log bytes replayed by crash recovery into this database (0 unless
+    /// it was built via [`crate::DatabaseBuilder::recover`]).
+    pub recovery_replay_bytes: u64,
     /// Per-lock-class contention breakdown (acquisitions, contended
     /// count, accumulated wait). Filled by [`crate::Database::metrics`];
     /// empty in a bare [`EngineMetricsInner::snapshot`].
@@ -173,7 +201,13 @@ mod tests {
         m.record_abort(AbortReason::Application);
         m.record_abort(AbortReason::Transient);
         m.record_pruned(7);
+        m.record_checkpoint(1000);
+        m.record_checkpoint(500);
+        m.record_recovery(250);
         let s = m.snapshot();
+        assert_eq!(s.checkpoints_taken, 2);
+        assert_eq!(s.checkpoint_bytes_truncated, 1500);
+        assert_eq!(s.recovery_replay_bytes, 250);
         assert_eq!(s.commits, 2);
         assert_eq!(s.read_only_commits, 1);
         assert_eq!(s.aborts_first_updater, 1);
@@ -203,6 +237,7 @@ mod tests {
                 "lock.held",
                 "ssi.txns",
                 "ssi.reads",
+                "checkpoint",
             ]
         );
         let mut m = EngineMetrics {

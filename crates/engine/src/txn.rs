@@ -591,7 +591,13 @@ impl<'db> Transaction<'db> {
                 })
                 .collect();
             let wal_started = self.db.trace_timings().then(Instant::now);
+            // Registered before the append so the checkpointer's in-flight
+            // barrier sees every committer whose record may land below the
+            // checkpoint's covered offset. Every exit path below — publish
+            // or failure — deregisters.
+            self.db.inflight_insert(self.id);
             if let Err(e) = self.db.wal.commit(self.id, entries) {
+                self.db.inflight_remove(self.id);
                 return Err(self.fail(TxnError::Transient(format!("wal: {e}"))));
             }
             if let Some(t0) = wal_started {
@@ -602,6 +608,7 @@ impl<'db> Transaction<'db> {
                     // The redo record is durable but no version was
                     // installed: the client sees an error, yet recovery
                     // must resurrect this commit from the log.
+                    self.db.inflight_remove(self.id);
                     return Err(self.fail(TxnError::Transient("crashed after wal append".into())));
                 }
             }
@@ -636,9 +643,10 @@ impl<'db> Transaction<'db> {
                     .expect("post-WAL install must not fail (validated earlier)");
             }
             if crash_mid_install {
+                self.db.inflight_remove(self.id);
                 return Err(self.fail(TxnError::Transient("crashed mid-install".into())));
             }
-            if let Err(e) = self.db.publish_commit(ts) {
+            if let Err(e) = self.db.publish_commit(ts, Some(self.id)) {
                 return Err(self.fail(e));
             }
             if let Some(f) = &faults {
@@ -668,6 +676,9 @@ impl<'db> Transaction<'db> {
             writes,
         });
         self.db.note_commit_for_vacuum();
+        if !read_only {
+            self.db.note_commit_for_checkpoint();
+        }
         Ok(commit_ts)
     }
 

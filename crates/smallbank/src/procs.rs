@@ -88,6 +88,17 @@ impl SmallBank {
         }
     }
 
+    /// Wraps an existing database (e.g. one rebuilt by crash recovery
+    /// via [`crate::schema::recover_database`]) without repopulating it.
+    pub fn adopt(db: Database, tables: Tables, strategy: Strategy) -> Self {
+        Self {
+            db,
+            tables,
+            strategy,
+            mods: strategy.mods(),
+        }
+    }
+
     /// The underlying database (metrics, vacuum, log).
     pub fn db(&self) -> &Database {
         &self.db

@@ -1,7 +1,10 @@
 //! Schema, database construction, and population (§III-A, §IV).
 
 use sicost_common::{HotspotSampler, Money, TableId, Xoshiro256};
-use sicost_engine::{Database, EngineConfig, HistoryObserver};
+use sicost_engine::{
+    Database, DatabaseBuilder, DurableImage, EngineConfig, HistoryObserver, RecoveryError,
+    RecoveryOutcome,
+};
 use sicost_storage::{ColumnDef, ColumnType, Row, TableSchema, Value};
 use std::sync::Arc;
 
@@ -57,15 +60,11 @@ pub struct Tables {
     pub conflict: TableId,
 }
 
-/// Builds the SmallBank database: schema, engine config, optional history
-/// observer, and full population (including one `Conflict` row per
-/// customer, as §III-D requires for the materialization strategies).
-pub fn build_database(
-    config: &SmallBankConfig,
-    engine: EngineConfig,
-    observer: Option<Arc<dyn HistoryObserver>>,
-) -> (Database, Tables) {
-    let mut builder = Database::builder()
+/// A [`DatabaseBuilder`] carrying the four-table SmallBank schema and the
+/// given engine config, with no population — the shared starting point
+/// for [`build_database`] and [`recover_database`].
+pub fn schema_builder(engine: EngineConfig) -> DatabaseBuilder {
+    Database::builder()
         .table(
             TableSchema::new(
                 "Account",
@@ -118,17 +117,44 @@ pub fn build_database(
             .expect("static schema"),
         )
         .expect("create Conflict")
-        .config(engine);
-    if let Some(obs) = observer {
-        builder = builder.observer(obs);
-    }
-    let db = builder.build();
-    let tables = Tables {
+        .config(engine)
+}
+
+fn resolve_tables(db: &Database) -> Tables {
+    Tables {
         account: db.table_id("Account").expect("Account exists"),
         saving: db.table_id("Saving").expect("Saving exists"),
         checking: db.table_id("Checking").expect("Checking exists"),
         conflict: db.table_id("Conflict").expect("Conflict exists"),
-    };
+    }
+}
+
+/// Rebuilds a SmallBank database from a crashed instance's durable state
+/// (checkpoint slots, manifests, and WAL) — the restart path the
+/// crash-recovery torture harness and the recovery bench exercise.
+pub fn recover_database(
+    engine: EngineConfig,
+    image: &DurableImage,
+) -> Result<(Database, Tables, RecoveryOutcome), RecoveryError> {
+    let (db, outcome) = schema_builder(engine).recover(image)?;
+    let tables = resolve_tables(&db);
+    Ok((db, tables, outcome))
+}
+
+/// Builds the SmallBank database: schema, engine config, optional history
+/// observer, and full population (including one `Conflict` row per
+/// customer, as §III-D requires for the materialization strategies).
+pub fn build_database(
+    config: &SmallBankConfig,
+    engine: EngineConfig,
+    observer: Option<Arc<dyn HistoryObserver>>,
+) -> (Database, Tables) {
+    let mut builder = schema_builder(engine);
+    if let Some(obs) = observer {
+        builder = builder.observer(obs);
+    }
+    let db = builder.build();
+    let tables = resolve_tables(&db);
 
     let mut rng = Xoshiro256::seed_from_u64(config.seed);
     let n = config.customers;

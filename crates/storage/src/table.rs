@@ -241,6 +241,23 @@ impl Table {
         }
     }
 
+    /// Consistent-snapshot extract for checkpointing: every record whose
+    /// visible version at `snap` is live data, as `(pk, row)` pairs sorted
+    /// by primary key. The MVCC read means writers keep committing newer
+    /// versions while the extract runs (a *fuzzy* checkpoint) — the result
+    /// is still exactly the committed state at `snap`, because version
+    /// chains are immutable below the snapshot horizon.
+    pub fn snapshot_at(&self, snap: Ts) -> Vec<(Value, Row)> {
+        let mut rows = Vec::new();
+        self.scan_at(snap, &Predicate::True, |pk, row, _| {
+            rows.push((pk.clone(), row.clone()));
+        });
+        // Shard iteration order is unspecified; sort so the serialized
+        // checkpoint is byte-deterministic for a given state.
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
+        rows
+    }
+
     /// Number of records whose visible version at `snap` is live data.
     pub fn count_at(&self, snap: Ts) -> usize {
         let mut n = 0;

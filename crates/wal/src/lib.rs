@@ -30,12 +30,17 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod device;
 pub mod record;
 pub mod recovery;
 pub mod writer;
 
+pub use checkpoint::{
+    recover_image, CheckpointImage, DurableImage, Manifest, RecoveryOutcome, CHECKPOINT_BASE_TS,
+    CHECKPOINT_TXN, CHECKPOINT_VERSION,
+};
 pub use device::{DeviceStats, LogDevice, SyncError};
 pub use record::{DecodeError, LogEntry, LogRecord, Lsn, FRAME_HEADER};
-pub use recovery::{recover, replay, scan_log, ScanResult, Truncation};
+pub use recovery::{recover, replay, scan_log, RecoveryError, ScanResult, Truncation};
 pub use writer::{Wal, WalConfig, WalError, WalStats};

@@ -199,23 +199,23 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
-fn put_u32(out: &mut Vec<u8>, v: u32) {
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_u64(out: &mut Vec<u8>, v: u64) {
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn get_u32(b: &[u8]) -> u32 {
+pub(crate) fn get_u32(b: &[u8]) -> u32 {
     u32::from_le_bytes(b[0..4].try_into().expect("length checked"))
 }
 
-fn get_u64(b: &[u8]) -> u64 {
+pub(crate) fn get_u64(b: &[u8]) -> u64 {
     u64::from_le_bytes(b[0..8].try_into().expect("length checked"))
 }
 
-fn encode_value(out: &mut Vec<u8>, v: &Value) {
+pub(crate) fn encode_value(out: &mut Vec<u8>, v: &Value) {
     match v {
         Value::Null => out.push(0),
         Value::Int(i) => {
@@ -230,13 +230,13 @@ fn encode_value(out: &mut Vec<u8>, v: &Value) {
     }
 }
 
-struct Cursor<'a> {
-    buf: &'a [u8],
-    pos: usize,
+pub(crate) struct Cursor<'a> {
+    pub(crate) buf: &'a [u8],
+    pub(crate) pos: usize,
 }
 
 impl Cursor<'_> {
-    fn take(&mut self, n: usize) -> Result<&[u8], DecodeError> {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&[u8], DecodeError> {
         if self.pos + n > self.buf.len() {
             return Err(DecodeError::Malformed("payload underrun"));
         }
@@ -245,20 +245,20 @@ impl Cursor<'_> {
         Ok(s)
     }
 
-    fn u8(&mut self) -> Result<u8, DecodeError> {
+    pub(crate) fn u8(&mut self) -> Result<u8, DecodeError> {
         Ok(self.take(1)?[0])
     }
 
-    fn u32(&mut self) -> Result<u32, DecodeError> {
+    pub(crate) fn u32(&mut self) -> Result<u32, DecodeError> {
         Ok(get_u32(self.take(4)?))
     }
 
-    fn u64(&mut self) -> Result<u64, DecodeError> {
+    pub(crate) fn u64(&mut self) -> Result<u64, DecodeError> {
         Ok(get_u64(self.take(8)?))
     }
 }
 
-fn decode_value(cur: &mut Cursor<'_>) -> Result<Value, DecodeError> {
+pub(crate) fn decode_value(cur: &mut Cursor<'_>) -> Result<Value, DecodeError> {
     match cur.u8()? {
         0 => Ok(Value::Null),
         1 => Ok(Value::Int(cur.u64()? as i64)),

@@ -24,6 +24,12 @@ pub enum RecoveryError {
     UnknownTable(String),
     /// Installation failed (schema or uniqueness violation ⇒ corrupt log).
     Install(String),
+    /// The log prefix below this logical byte offset was truncated away
+    /// and no usable checkpoint covers it: the history cannot be
+    /// reconstructed. Only reachable if the durable manifest area was
+    /// destroyed *after* truncation — the protocol never truncates before
+    /// the manifest swap is durable.
+    MissingPrefix(u64),
 }
 
 impl fmt::Display for RecoveryError {
@@ -31,6 +37,10 @@ impl fmt::Display for RecoveryError {
         match self {
             RecoveryError::UnknownTable(t) => write!(f, "log references unknown table {t}"),
             RecoveryError::Install(e) => write!(f, "log replay failed to install: {e}"),
+            RecoveryError::MissingPrefix(base) => write!(
+                f,
+                "log prefix below byte {base} was truncated and no usable checkpoint covers it"
+            ),
         }
     }
 }

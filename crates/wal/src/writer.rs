@@ -1,5 +1,6 @@
 //! The WAL front end and its group-commit daemon.
 
+use crate::checkpoint::{DurableImage, Manifest};
 use crate::device::{DeviceStats, LogDevice};
 use crate::record::{LogEntry, LogRecord, Lsn};
 use sicost_common::sync::{Condvar, Mutex};
@@ -63,6 +64,11 @@ pub struct WalStats {
     pub max_batch: u64,
     /// Batches whose sync failed transiently (no record durable).
     pub failed_batches: u64,
+    /// Total framed bytes appended to the durable log image (monotone;
+    /// unaffected by truncation).
+    pub appended_bytes: u64,
+    /// Log-prefix bytes dropped by checkpoint truncation.
+    pub truncated_bytes: u64,
 }
 
 /// Why a WAL commit did not make the record durable.
@@ -97,17 +103,54 @@ struct Pending {
     completion: Arc<Completion>,
 }
 
+/// The durable log window under one lock, so a reader can take the base
+/// offset, the byte image, and the decoded record list as one consistent
+/// snapshot (sampling them from separate locks would race with the
+/// daemon's append).
+struct DiskImage {
+    /// Logical byte offset of `bytes[0]`. Starts at 0 and only advances
+    /// when checkpoint truncation drops a prefix.
+    base: u64,
+    /// The surviving framed bytes: what crash-recovery scans (and where a
+    /// torn tail lives).
+    bytes: Vec<u8>,
+    /// Durable records still inside the window, in LSN order, each with
+    /// the logical end offset of its frame — exactly what `bytes` decodes
+    /// to.
+    records: Vec<(LogRecord, u64)>,
+}
+
+impl DiskImage {
+    /// Logical offset one past the last durable byte. Monotone: truncation
+    /// advances `base` and shrinks `bytes` by the same amount.
+    fn end(&self) -> u64 {
+        self.base + self.bytes.len() as u64
+    }
+}
+
+/// The durable checkpoint area: two frame slots, the live manifest, and
+/// the previous manifest (retained across a swap so a torn current
+/// generation can fall back).
+struct CheckpointArea {
+    slots: [Vec<u8>; 2],
+    manifest: Vec<u8>,
+    prev_manifest: Vec<u8>,
+    /// The slot the *next* checkpoint frame goes into — always the one
+    /// the live manifest does not reference, so a torn write can never
+    /// damage the recoverable generation.
+    next_slot: u8,
+}
+
 struct Shared {
     device: LogDevice,
     commit_delay: Duration,
     queue: Mutex<Vec<Pending>>,
     kick: Condvar,
     shutdown: AtomicBool,
-    /// Durable records, in LSN order — exactly what `disk` decodes to.
-    log: Mutex<Vec<LogRecord>>,
-    /// The durable byte image: framed records appended on successful sync.
-    /// This is what crash-recovery scans (and where a torn tail lives).
-    disk: Mutex<Vec<u8>>,
+    /// The durable log window (base offset + bytes + decoded records).
+    image: Mutex<DiskImage>,
+    /// The durable checkpoint slots and manifests.
+    ckpt: Mutex<CheckpointArea>,
     stats: Mutex<WalStats>,
     next_lsn: Mutex<u64>,
     faults: Option<Arc<FaultInjector>>,
@@ -143,8 +186,17 @@ impl Wal {
             queue: Mutex::new(Vec::new()),
             kick: Condvar::new(),
             shutdown: AtomicBool::new(false),
-            log: Mutex::new(Vec::new()),
-            disk: Mutex::new(Vec::new()),
+            image: Mutex::new(DiskImage {
+                base: 0,
+                bytes: Vec::new(),
+                records: Vec::new(),
+            }),
+            ckpt: Mutex::new(CheckpointArea {
+                slots: [Vec::new(), Vec::new()],
+                manifest: Vec::new(),
+                prev_manifest: Vec::new(),
+                next_slot: 0,
+            }),
             stats: Mutex::new(WalStats::default()),
             next_lsn: Mutex::new(0),
             faults,
@@ -200,15 +252,137 @@ impl Wal {
         done.expect("loop exits only when set").map(|()| lsn)
     }
 
-    /// Snapshot of the durable log, in LSN order (recovery and tests).
+    /// Snapshot of the durable log records still inside the surviving
+    /// window, in LSN order (recovery and tests). Checkpoint truncation
+    /// drops the covered prefix from this view too.
     pub fn log_snapshot(&self) -> Vec<LogRecord> {
-        self.shared.log.lock().clone()
+        self.shared
+            .image
+            .lock()
+            .records
+            .iter()
+            .map(|(r, _)| r.clone())
+            .collect()
     }
 
-    /// Snapshot of the durable byte image — the "disk" that crash recovery
-    /// scans. After a mid-sync crash this ends in a torn tail.
+    /// Snapshot of the durable byte image — the "disk" window that crash
+    /// recovery scans. After a mid-sync crash this ends in a torn tail.
     pub fn disk_snapshot(&self) -> Vec<u8> {
-        self.shared.disk.lock().clone()
+        self.shared.image.lock().bytes.clone()
+    }
+
+    /// Logical byte offset of the first surviving log byte (0 until the
+    /// first truncation).
+    pub fn wal_base(&self) -> u64 {
+        self.shared.image.lock().base
+    }
+
+    /// Logical byte offset one past the last durable log byte. Monotone
+    /// across truncation; the checkpointer reads this as the redo
+    /// resume-point `O` before choosing its snapshot timestamp.
+    pub fn log_end_offset(&self) -> u64 {
+        self.shared.image.lock().end()
+    }
+
+    /// The complete durable state — log window, checkpoint slots, and
+    /// manifests — as crash recovery would find it.
+    pub fn durable_image(&self) -> DurableImage {
+        let ckpt = self.shared.ckpt.lock();
+        let image = self.shared.image.lock();
+        DurableImage {
+            manifest: ckpt.manifest.clone(),
+            prev_manifest: ckpt.prev_manifest.clone(),
+            slots: [ckpt.slots[0].clone(), ckpt.slots[1].clone()],
+            wal_base: image.base,
+            wal: image.bytes.clone(),
+        }
+    }
+
+    /// Step 1 of a checkpoint: write the encoded checkpoint frame into the
+    /// inactive slot and sync it. Returns the slot written, for the
+    /// manifest. The live manifest's slot is never touched, so a crash or
+    /// torn write here ([`sicost_common::CrashPoint::DuringCheckpointWrite`])
+    /// leaves the previous generation fully recoverable.
+    pub fn write_checkpoint(&self, frame: &[u8]) -> Result<u8, WalError> {
+        if self.shared.crashed() {
+            return Err(WalError::Crashed);
+        }
+        let mut ckpt = self.shared.ckpt.lock();
+        let slot = ckpt.next_slot;
+        if let Some(f) = &self.shared.faults {
+            if f.at_crash_point(CrashPoint::DuringCheckpointWrite) {
+                // The crash lands mid-write: the slot holds a torn prefix.
+                ckpt.slots[slot as usize] = frame[..frame.len() / 2].to_vec();
+                return Err(WalError::Crashed);
+            }
+        }
+        self.shared
+            .device
+            .sync(1, frame.len() as u64)
+            .map_err(|_| WalError::SyncFailed)?;
+        ckpt.slots[slot as usize] = frame.to_vec();
+        Ok(slot)
+    }
+
+    /// Step 2 of a checkpoint: atomically swap the manifest to point at
+    /// the freshly written slot, retaining the previous manifest bytes for
+    /// fallback. A crash armed at
+    /// [`sicost_common::CrashPoint::BeforeManifestSwap`] fires before any
+    /// byte changes, so recovery still sees the old generation.
+    pub fn swap_manifest(&self, manifest: &Manifest) -> Result<(), WalError> {
+        if self.shared.crashed() {
+            return Err(WalError::Crashed);
+        }
+        if let Some(f) = &self.shared.faults {
+            if f.at_crash_point(CrashPoint::BeforeManifestSwap) {
+                return Err(WalError::Crashed);
+            }
+        }
+        let encoded = manifest.encode();
+        self.shared
+            .device
+            .sync(1, encoded.len() as u64)
+            .map_err(|_| WalError::SyncFailed)?;
+        let mut ckpt = self.shared.ckpt.lock();
+        ckpt.prev_manifest = std::mem::take(&mut ckpt.manifest);
+        ckpt.manifest = encoded;
+        // The slot the new manifest references is now live; the other one
+        // is free for the next generation.
+        ckpt.next_slot = 1 - manifest.slot;
+        Ok(())
+    }
+
+    /// Step 3 of a checkpoint: drop the log prefix below logical offset
+    /// `cut`. Must only be called once the manifest naming `cut` as its
+    /// resume point is durable — which is why the armed crash point
+    /// ([`sicost_common::CrashPoint::AfterManifestSwapBeforeTruncate`])
+    /// fires *before* any byte is dropped: a crash there recovers from the
+    /// new manifest over the still-intact log. Returns the bytes dropped.
+    pub fn truncate_to(&self, cut: u64) -> Result<u64, WalError> {
+        if self.shared.crashed() {
+            return Err(WalError::Crashed);
+        }
+        if let Some(f) = &self.shared.faults {
+            if f.at_crash_point(CrashPoint::AfterManifestSwapBeforeTruncate) {
+                return Err(WalError::Crashed);
+            }
+        }
+        let mut image = self.shared.image.lock();
+        if cut <= image.base {
+            return Ok(0);
+        }
+        assert!(
+            cut <= image.end(),
+            "truncate_to({cut}) past log end {}",
+            image.end()
+        );
+        let dropped = (cut - image.base) as usize;
+        image.bytes.drain(..dropped);
+        image.base = cut;
+        image.records.retain(|(_, end)| *end > cut);
+        drop(image);
+        self.shared.stats.lock().truncated_bytes += dropped as u64;
+        Ok(dropped as u64)
     }
 
     /// Cumulative WAL statistics.
@@ -269,19 +443,22 @@ fn group_commit_loop(shared: &Shared) {
             .as_ref()
             .is_some_and(|f| f.at_crash_point(CrashPoint::DuringWalSync));
         if crash_mid_sync {
-            let mut disk = shared.disk.lock();
-            let mut log = shared.log.lock();
+            let mut image = shared.image.lock();
+            let mut appended = 0u64;
             for (i, p) in batch.iter().enumerate() {
                 let frame = p.record.encode();
                 if i + 1 < batch.len() {
-                    disk.extend_from_slice(&frame);
-                    log.push(p.record.clone());
+                    image.bytes.extend_from_slice(&frame);
+                    let end = image.end();
+                    image.records.push((p.record.clone(), end));
+                    appended += frame.len() as u64;
                 } else {
-                    disk.extend_from_slice(&frame[..frame.len() / 2]);
+                    image.bytes.extend_from_slice(&frame[..frame.len() / 2]);
+                    appended += (frame.len() / 2) as u64;
                 }
             }
-            drop(log);
-            drop(disk);
+            drop(image);
+            shared.stats.lock().appended_bytes += appended;
             complete(batch, Err(WalError::Crashed));
             continue;
         }
@@ -292,13 +469,16 @@ fn group_commit_loop(shared: &Shared) {
 
         let bytes: u64 = batch.iter().map(|p| p.record.size_bytes() as u64).sum();
         let synced = shared.device.sync(batch.len() as u64, bytes);
+        let mut appended = 0u64;
         let result = match synced {
             Ok(()) => {
-                let mut disk = shared.disk.lock();
-                let mut log = shared.log.lock();
+                let mut image = shared.image.lock();
                 for p in &batch {
-                    p.record.encode_into(&mut disk);
-                    log.push(p.record.clone());
+                    let before = image.bytes.len();
+                    p.record.encode_into(&mut image.bytes);
+                    appended += (image.bytes.len() - before) as u64;
+                    let end = image.end();
+                    image.records.push((p.record.clone(), end));
                 }
                 Ok(())
             }
@@ -310,6 +490,7 @@ fn group_commit_loop(shared: &Shared) {
             if result.is_ok() {
                 stats.records += batch.len() as u64;
                 stats.max_batch = stats.max_batch.max(batch.len() as u64);
+                stats.appended_bytes += appended;
             } else {
                 stats.failed_batches += 1;
             }
@@ -456,6 +637,165 @@ mod tests {
         let stats = wal.stats();
         assert_eq!(stats.failed_batches, 1);
         assert_eq!(stats.records, 0);
+    }
+
+    #[test]
+    fn checkpoint_protocol_truncates_and_survives_recovery() {
+        use crate::checkpoint::{recover_image, CheckpointImage, Manifest};
+        use sicost_common::Ts;
+
+        let wal = Wal::new(WalConfig::instant());
+        wal.commit(TxnId(1), vec![entry(1, 10)]).unwrap();
+        wal.commit(TxnId(2), vec![entry(2, 20)]).unwrap();
+        let cut = wal.log_end_offset();
+        assert_eq!(wal.wal_base(), 0);
+
+        // Checkpoint covering both records.
+        let frame = CheckpointImage {
+            ts: Ts(2),
+            tables: vec![(
+                TableId(0),
+                vec![
+                    (Value::int(1), Row::new(vec![Value::int(1), Value::int(10)])),
+                    (Value::int(2), Row::new(vec![Value::int(2), Value::int(20)])),
+                ],
+            )],
+        }
+        .encode();
+        let slot = wal.write_checkpoint(&frame).unwrap();
+        assert_eq!(slot, 0);
+        wal.swap_manifest(&Manifest {
+            slot,
+            checkpoint_ts: Ts(2),
+            wal_offset: cut,
+        })
+        .unwrap();
+        assert_eq!(wal.truncate_to(cut).unwrap(), cut);
+        assert_eq!(wal.wal_base(), cut);
+        assert_eq!(wal.log_end_offset(), cut, "end offset is monotone");
+        assert!(wal.disk_snapshot().is_empty());
+        assert!(wal.log_snapshot().is_empty());
+        let stats = wal.stats();
+        assert_eq!(stats.truncated_bytes, cut);
+        assert_eq!(stats.appended_bytes, cut);
+
+        // A commit after the checkpoint lands in the suffix.
+        wal.commit(TxnId(3), vec![entry(1, 11)]).unwrap();
+        assert_eq!(wal.log_snapshot().len(), 1);
+        assert!(wal.log_end_offset() > cut);
+
+        // And the durable image recovers: checkpoint rows + suffix only.
+        let mut cat = sicost_storage::Catalog::new();
+        cat.create_table(
+            sicost_storage::TableSchema::new(
+                "T",
+                vec![
+                    sicost_storage::ColumnDef::new("id", sicost_storage::ColumnType::Int),
+                    sicost_storage::ColumnDef::new("v", sicost_storage::ColumnType::Int),
+                ],
+                0,
+                vec![],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let out = recover_image(&wal.durable_image(), &cat).unwrap();
+        assert_eq!(out.checkpoint_rows, 2);
+        assert_eq!(out.replayed_records, 1);
+        assert!(out.replayed_bytes < stats.appended_bytes + frame.len() as u64);
+        let t = cat.table(TableId(0));
+        assert_eq!(
+            t.read_at(&Value::int(1), out.end_ts)
+                .unwrap()
+                .row
+                .unwrap()
+                .int(1),
+            11
+        );
+        assert_eq!(
+            t.read_at(&Value::int(2), out.end_ts)
+                .unwrap()
+                .row
+                .unwrap()
+                .int(1),
+            20
+        );
+    }
+
+    #[test]
+    fn checkpoint_slots_alternate_across_generations() {
+        use crate::checkpoint::{CheckpointImage, Manifest};
+        use sicost_common::Ts;
+
+        let wal = Wal::new(WalConfig::instant());
+        for gen in 0..4u64 {
+            let frame = CheckpointImage {
+                ts: Ts(gen + 1),
+                tables: vec![],
+            }
+            .encode();
+            let slot = wal.write_checkpoint(&frame).unwrap();
+            assert_eq!(u64::from(slot), gen % 2, "slots must alternate");
+            wal.swap_manifest(&Manifest {
+                slot,
+                checkpoint_ts: Ts(gen + 1),
+                wal_offset: 0,
+            })
+            .unwrap();
+        }
+        let image = wal.durable_image();
+        let current = Manifest::decode(&image.manifest).unwrap();
+        let prev = Manifest::decode(&image.prev_manifest).unwrap();
+        assert_eq!(current.checkpoint_ts, Ts(4));
+        assert_eq!(prev.checkpoint_ts, Ts(3));
+        assert_ne!(current.slot, prev.slot);
+    }
+
+    #[test]
+    fn crash_during_checkpoint_write_tears_only_the_inactive_slot() {
+        use crate::checkpoint::{CheckpointImage, Manifest};
+        use sicost_common::Ts;
+
+        // Arm the crash for the *second* checkpoint write: generation 1
+        // lands intact in slot 0, generation 2 tears in slot 1.
+        let f = Arc::new(FaultInjector::new(FaultConfig::crash(
+            sicost_common::CrashPoint::DuringCheckpointWrite,
+            2,
+        )));
+        let wal = Wal::with_faults(WalConfig::instant(), Some(f));
+        let g1 = CheckpointImage {
+            ts: Ts(1),
+            tables: vec![],
+        }
+        .encode();
+        let slot = wal.write_checkpoint(&g1).unwrap();
+        wal.swap_manifest(&Manifest {
+            slot,
+            checkpoint_ts: Ts(1),
+            wal_offset: 0,
+        })
+        .unwrap();
+        let g2 = CheckpointImage {
+            ts: Ts(2),
+            tables: vec![],
+        }
+        .encode();
+        assert_eq!(wal.write_checkpoint(&g2), Err(WalError::Crashed));
+        let image = wal.durable_image();
+        // Slot 1 is torn; slot 0 and the manifest naming it are intact.
+        assert!(CheckpointImage::decode(&image.slots[1]).is_err());
+        assert_eq!(CheckpointImage::decode(&image.slots[0]).unwrap().ts, Ts(1));
+        assert_eq!(Manifest::decode(&image.manifest).unwrap().slot, 0);
+    }
+
+    #[test]
+    fn truncate_below_base_is_a_noop() {
+        let wal = Wal::new(WalConfig::instant());
+        wal.commit(TxnId(1), vec![entry(1, 1)]).unwrap();
+        let cut = wal.log_end_offset();
+        assert_eq!(wal.truncate_to(cut).unwrap(), cut);
+        assert_eq!(wal.truncate_to(cut).unwrap(), 0, "idempotent");
+        assert_eq!(wal.truncate_to(cut - 1).unwrap(), 0, "stale cut ignored");
     }
 
     #[test]

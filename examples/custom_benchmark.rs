@@ -38,6 +38,8 @@ impl Counters {
                 contention_knee: 0,
             },
             vacuum_every: Some(10_000),
+            checkpoint_every_wal_bytes: None,
+            checkpoint_every_commits: None,
             table_intent_locks: false,
             faults: None,
             shards: EngineConfig::DEFAULT_SHARDS,

@@ -27,4 +27,10 @@ cargo build --release
 echo "==> cargo test -q (workspace)"
 cargo test --workspace -q
 
+echo "==> crash-recovery torture harness (seeded crash schedules)"
+cargo test -q --test recovery_torture
+
+echo "==> recovery smoke bench (writes bench_results/recovery.json)"
+SICOST_BENCH_MODE=smoke cargo bench -q -p sicost-bench --bench recovery
+
 echo "==> all checks passed"

@@ -1,0 +1,234 @@
+//! Randomized crash-recovery torture: seeded crash schedules across every
+//! armed crash point — including the three checkpoint-protocol points —
+//! each followed by recovery from the durable image and a SmallBank
+//! balance-conservation audit.
+//!
+//! Oracle. Concurrent workers deposit known positive amounts. An
+//! acknowledged (`Ok`) deposit must survive recovery. A deposit that
+//! errored *while the crash latch was up* is indeterminate: its redo
+//! record may or may not have become durable before the crash (e.g. it
+//! appended to the log, then died awaiting publication). With at most one
+//! indeterminate op per worker, the recovered total must equal
+//! `initial + acked + S` for some subset `S` of the indeterminate
+//! amounts — enumerated exhaustively.
+//!
+//! Every schedule also asserts that recovery read only the WAL suffix at
+//! or above the checkpoint manifest's offset, never the whole history.
+
+use sicost::common::{CrashPoint, FaultConfig, FaultInjector, Money, Xoshiro256};
+use sicost::engine::EngineConfig;
+use sicost::smallbank::schema::{customer_name, total_balance};
+use sicost::smallbank::{recover_database, SmallBank, SmallBankConfig, Strategy};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const CUSTOMERS: u64 = 32;
+const MPL: usize = 4;
+const SEEDS_PER_POINT: u64 = 4;
+
+/// Which occurrence of the crash point fires. The three checkpoint-
+/// protocol points count once per checkpoint, and the harness always
+/// completes one post-population checkpoint first (bulk load bypasses
+/// the WAL, so recovery needs a checkpoint that covers the population) —
+/// so those must crash at the 2nd occurrence or later. Commit-pipeline
+/// points count per committing transaction; the spread lands the crash
+/// at different interleavings.
+fn crash_nth(point: CrashPoint, round: u64) -> u64 {
+    match point {
+        CrashPoint::DuringCheckpointWrite
+        | CrashPoint::BeforeManifestSwap
+        | CrashPoint::AfterManifestSwapBeforeTruncate => 2 + round % 2,
+        _ => [3, 11, 31, 77][round as usize % 4],
+    }
+}
+
+struct WorkerOutcome {
+    acked: i64,
+    indeterminate: Option<i64>,
+}
+
+fn run_schedule(point: CrashPoint, round: u64) {
+    let faults = Arc::new(FaultInjector::new(FaultConfig::crash(
+        point,
+        crash_nth(point, round),
+    )));
+    let bank = SmallBank::new(
+        &SmallBankConfig::small(CUSTOMERS),
+        EngineConfig::functional().with_faults(Arc::clone(&faults)),
+        Strategy::BaseSI,
+    );
+    let db = bank.db();
+    let initial = total_balance(db, bank.tables()).as_cents();
+    db.checkpoint()
+        .expect("the post-population checkpoint completes before any crash");
+
+    let stop = AtomicBool::new(false);
+    let outcomes: Vec<WorkerOutcome> = std::thread::scope(|s| {
+        let workers: Vec<_> = (0..MPL)
+            .map(|tid| {
+                let bank = &bank;
+                let stop = &stop;
+                s.spawn(move || {
+                    let mut rng = Xoshiro256::seed_from_u64(0x70A7 ^ (round << 8) ^ tid as u64);
+                    let mut acked = 0i64;
+                    let mut indeterminate = None;
+                    for _ in 0..200_000 {
+                        if stop.load(Ordering::Relaxed) || bank.db().crashed() {
+                            break;
+                        }
+                        let c = customer_name(rng.range_inclusive(0, CUSTOMERS as i64 - 1) as u64);
+                        let amount = rng.range_inclusive(1, 99);
+                        let res = if rng.next_u64() % 2 == 0 {
+                            bank.deposit_checking(&c, Money::cents(amount))
+                        } else {
+                            bank.transact_saving(&c, Money::cents(amount))
+                        };
+                        match res {
+                            Ok(()) => acked += amount,
+                            // An error under the crash latch is
+                            // indeterminate — the redo record may have
+                            // become durable before the crash.
+                            Err(_) if bank.db().crashed() => {
+                                indeterminate = Some(amount);
+                                break;
+                            }
+                            Err(e) if e.is_serialization_failure() => {}
+                            Err(e) => panic!("unexpected SmallBank error: {e:?}"),
+                        }
+                    }
+                    WorkerOutcome {
+                        acked,
+                        indeterminate,
+                    }
+                })
+            })
+            .collect();
+
+        // Main thread drives further checkpoints concurrently with the
+        // workers; for the checkpoint crash points this is where the
+        // crash fires (2nd+ checkpoint), mid-protocol.
+        for _ in 0..200 {
+            if bank.db().crashed() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+            let _ = bank.db().checkpoint();
+        }
+        stop.store(true, Ordering::Relaxed);
+        workers.into_iter().map(|w| w.join().unwrap()).collect()
+    });
+
+    assert!(
+        db.crashed(),
+        "{point}/round {round}: the armed crash point never fired"
+    );
+    let acked_sum: i64 = outcomes.iter().map(|w| w.acked).sum();
+    let indeterminates: Vec<i64> = outcomes.iter().filter_map(|w| w.indeterminate).collect();
+
+    // Recover from the durable image as a restart would find it.
+    let image = db.durable_image();
+    let (rdb, rtables, rec) = recover_database(EngineConfig::functional(), &image)
+        .unwrap_or_else(|e| panic!("{point}/round {round}: recovery failed: {e}"));
+    let manifest = rec
+        .checkpoint
+        .unwrap_or_else(|| panic!("{point}/round {round}: no usable checkpoint manifest"));
+
+    // Suffix-only recovery: replay starts at the manifest offset and
+    // never reaches below it.
+    assert!(
+        manifest.wal_offset >= image.wal_base,
+        "{point}/round {round}: manifest points below the surviving log window"
+    );
+    let suffix_len = image.wal_base + image.wal.len() as u64 - manifest.wal_offset;
+    assert!(
+        rec.replayed_bytes <= suffix_len,
+        "{point}/round {round}: replayed {} bytes but the post-checkpoint suffix is only {}",
+        rec.replayed_bytes,
+        suffix_len
+    );
+
+    // Balance conservation: initial + acked + some subset of the
+    // indeterminate amounts (≤ MPL of them, exhaustively enumerated).
+    let recovered = total_balance(&rdb, &rtables).as_cents();
+    let delta = recovered - initial - acked_sum;
+    let explained = (0..(1u32 << indeterminates.len())).any(|mask| {
+        let subset: i64 = indeterminates
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, amt)| amt)
+            .sum();
+        subset == delta
+    });
+    assert!(
+        explained,
+        "{point}/round {round}: lost or invented money — recovered {recovered}, \
+         initial {initial}, acked {acked_sum}, unexplained delta {delta}, \
+         indeterminates {indeterminates:?}"
+    );
+
+    // The recovered database is live: one more audited deposit.
+    let rbank = SmallBank::adopt(rdb, *bank.tables(), Strategy::BaseSI);
+    rbank
+        .deposit_checking(&customer_name(0), Money::cents(7))
+        .expect("recovered database accepts commits");
+    assert_eq!(
+        total_balance(rbank.db(), rbank.tables()).as_cents(),
+        recovered + 7
+    );
+}
+
+#[test]
+fn torture_all_crash_points_across_seeded_schedules() {
+    let schedules: Vec<(CrashPoint, u64)> = CrashPoint::ALL
+        .iter()
+        .flat_map(|&p| (0..SEEDS_PER_POINT).map(move |r| (p, r)))
+        .collect();
+    assert!(schedules.len() >= 32, "coverage floor: 8 points × 4 seeds");
+    for (point, round) in schedules {
+        run_schedule(point, round);
+    }
+}
+
+/// The headline property, deterministically: after a checkpoint, recovery
+/// replays strictly fewer bytes than a from-zero replay of the same
+/// history would.
+#[test]
+fn post_checkpoint_recovery_replays_strictly_fewer_bytes() {
+    let run = |mid_checkpoint: bool| {
+        let bank = SmallBank::new(
+            &SmallBankConfig::small(CUSTOMERS),
+            EngineConfig::functional(),
+            Strategy::BaseSI,
+        );
+        bank.db().checkpoint().expect("post-population checkpoint");
+        let mut rng = Xoshiro256::seed_from_u64(0xB17E);
+        let mut do_ops = |n: u64| {
+            for _ in 0..n {
+                let c = customer_name(rng.range_inclusive(0, CUSTOMERS as i64 - 1) as u64);
+                bank.deposit_checking(&c, Money::cents(rng.range_inclusive(1, 99)))
+                    .expect("single-threaded deposit");
+            }
+        };
+        do_ops(200);
+        if mid_checkpoint {
+            bank.db().checkpoint().expect("mid-run checkpoint");
+        }
+        do_ops(25);
+        let live = bank.total_balance();
+        let (rdb, rtables, rec) =
+            recover_database(EngineConfig::functional(), &bank.db().durable_image())
+                .expect("recovery");
+        assert_eq!(total_balance(&rdb, &rtables), live);
+        rec.replayed_bytes
+    };
+    let with_checkpoint = run(true);
+    let from_zero = run(false);
+    assert!(with_checkpoint > 0, "the 25-op suffix still replays");
+    assert!(
+        with_checkpoint < from_zero,
+        "suffix replay ({with_checkpoint} bytes) must be strictly cheaper than \
+         full-history replay ({from_zero} bytes)"
+    );
+}
