@@ -7,7 +7,7 @@
 //! sync batch size.
 
 use sicost_bench::{BenchMode, BenchReport};
-use sicost_driver::{run_closed, RetryPolicy, RunConfig};
+use sicost_driver::{run, RetryPolicy, RunConfig};
 use sicost_engine::EngineConfig;
 use sicost_smallbank::{
     SmallBank, SmallBankConfig, SmallBankDriver, SmallBankWorkload, Strategy, WorkloadParams,
@@ -34,15 +34,13 @@ fn main() {
         cfg.customers = params.customers;
         let bank = Arc::new(SmallBank::new(&cfg, engine, Strategy::BaseSI));
         let driver = SmallBankDriver::new(Arc::clone(&bank), SmallBankWorkload::new(params));
-        let metrics = run_closed(
+        let metrics = run(
             &driver,
-            RunConfig {
-                mpl,
-                ramp_up: mode.ramp_up(),
-                measure: mode.measure(),
-                seed: 0x6C,
-                retry: RetryPolicy::disabled(),
-            },
+            &RunConfig::new(mpl)
+                .with_ramp_up(mode.ramp_up())
+                .with_measure(mode.measure())
+                .with_seed(0x6C)
+                .with_retry(RetryPolicy::disabled()),
         );
         let wal = bank.db().wal_stats();
         let dev = bank.db().device_stats();

@@ -40,13 +40,11 @@ fn main() {
                     let bank = Arc::new(SmallBank::new(&cfg, platforms::postgres(), strategy));
                     SmallBankDriver::new(bank, SmallBankWorkload::new(params))
                 },
-                RunConfig {
-                    mpl,
-                    ramp_up: mode.ramp_up(),
-                    measure: mode.measure(),
-                    seed: 0x407 ^ hotspot,
-                    retry: RetryPolicy::disabled(),
-                },
+                RunConfig::new(mpl)
+                    .with_ramp_up(mode.ramp_up())
+                    .with_measure(mode.measure())
+                    .with_seed(0x407 ^ hotspot)
+                    .with_retry(RetryPolicy::disabled()),
                 mode.repeats(),
             );
             series.push(hotspot as f64, summary);

@@ -7,7 +7,7 @@
 //! went in each extreme.
 
 use sicost_bench::{BenchMode, BenchReport};
-use sicost_driver::{lock_wait_report, repeat_summary, run_closed, RetryPolicy, RunConfig, Series};
+use sicost_driver::{lock_wait_report, repeat_summary, run, RetryPolicy, RunConfig, Series};
 use sicost_engine::EngineConfig;
 use sicost_smallbank::{
     MixWeights, SmallBank, SmallBankConfig, SmallBankDriver, SmallBankWorkload, Strategy,
@@ -51,13 +51,11 @@ fn main() {
         for &mpl in mpls {
             let (summary, _) = repeat_summary(
                 |r| make_driver(customers, shards, r),
-                RunConfig {
-                    mpl,
-                    ramp_up: mode.ramp_up(),
-                    measure: mode.measure(),
-                    seed: 0xA6 ^ (shards as u64) << 8 ^ mpl as u64,
-                    retry: RetryPolicy::disabled(),
-                },
+                RunConfig::new(mpl)
+                    .with_ramp_up(mode.ramp_up())
+                    .with_measure(mode.measure())
+                    .with_seed(0xA6 ^ (shards as u64) << 8 ^ mpl as u64)
+                    .with_retry(RetryPolicy::disabled()),
                 mode.repeats(),
             );
             series.push(mpl as f64, summary);
@@ -100,15 +98,13 @@ fn main() {
     // at the highest MPL, reading the engine's lock-class counters.
     for &shards in [shard_counts[0], *shard_counts.last().unwrap()].iter() {
         let driver = make_driver(customers, shards, 0xBEEF);
-        run_closed(
+        run(
             &driver,
-            RunConfig {
-                mpl: *mpls.last().unwrap(),
-                ramp_up: mode.ramp_up(),
-                measure: mode.measure(),
-                seed: 0xA6,
-                retry: RetryPolicy::disabled(),
-            },
+            &RunConfig::new(*mpls.last().unwrap())
+                .with_ramp_up(mode.ramp_up())
+                .with_measure(mode.measure())
+                .with_seed(0xA6)
+                .with_retry(RetryPolicy::disabled()),
         );
         let breakdown = lock_wait_report(&driver.bank().db().metrics().lock_waits);
         println!("\nlock-wait breakdown, shards={shards}, MPL {top_mpl:.0}:");

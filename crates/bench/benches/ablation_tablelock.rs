@@ -44,13 +44,11 @@ fn main() {
                     }
                     SmallBankDriver::new(bank, wl)
                 },
-                RunConfig {
-                    mpl,
-                    ramp_up: mode.ramp_up(),
-                    measure: mode.measure(),
-                    seed: 0x2B1 ^ mpl as u64,
-                    retry: RetryPolicy::disabled(),
-                },
+                RunConfig::new(mpl)
+                    .with_ramp_up(mode.ramp_up())
+                    .with_measure(mode.measure())
+                    .with_seed(0x2B1 ^ mpl as u64)
+                    .with_retry(RetryPolicy::disabled()),
                 mode.repeats(),
             );
             series.push(mpl as f64, summary);

@@ -16,7 +16,7 @@
 use sicost_bench::{BenchMode, BenchReport};
 use sicost_common::{Money, OnlineStats, Summary, Xoshiro256};
 use sicost_driver::Series;
-use sicost_engine::EngineConfig;
+use sicost_engine::{CheckpointPolicy, EngineConfig};
 use sicost_smallbank::schema::{customer_name, recover_database, total_balance};
 use sicost_smallbank::{SmallBank, SmallBankConfig, Strategy};
 use std::time::Instant;
@@ -31,7 +31,7 @@ struct RunStats {
 
 fn run_once(checkpoint_every: Option<u64>, ops: u64, customers: u64, seed: u64) -> RunStats {
     let engine = match checkpoint_every {
-        Some(k) => EngineConfig::functional().with_checkpoint_every_commits(k),
+        Some(k) => EngineConfig::functional().with_checkpoints(CheckpointPolicy::every_commits(k)),
         None => EngineConfig::functional(),
     };
     let bank = SmallBank::new(&SmallBankConfig::small(customers), engine, Strategy::BaseSI);

@@ -3,8 +3,7 @@
 use crate::mode::BenchMode;
 use crate::report::{CertRecord, LatencyRecord};
 use sicost_driver::{
-    ascii_chart, csv_table, render_table, repeat_summary, run_closed, run_closed_observed,
-    RetryPolicy, RunConfig, Series,
+    ascii_chart, csv_table, render_table, repeat_summary, run, RetryPolicy, RunConfig, Series,
 };
 use sicost_engine::{CcMode, EngineConfig, HistoryEvent, HistoryObserver, SfuSemantics};
 use sicost_mvsg::SamplingCertifier;
@@ -73,13 +72,11 @@ pub fn run_figure(spec: &FigureSpec, mode: BenchMode) -> Vec<Series> {
     for line in &spec.lines {
         let mut s = Series::new(line.label.clone());
         for &mpl in &mode.mpls() {
-            let cfg = RunConfig {
-                mpl,
-                ramp_up: mode.ramp_up(),
-                measure: mode.measure(),
-                seed: 0xF1_60 ^ mpl as u64,
-                retry: RetryPolicy::disabled(),
-            };
+            let cfg = RunConfig::new(mpl)
+                .with_ramp_up(mode.ramp_up())
+                .with_measure(mode.measure())
+                .with_seed(0xF1_60 ^ mpl as u64)
+                .with_retry(RetryPolicy::disabled());
             let (summary, _) = repeat_summary(
                 |r| build_driver(&line.engine, line.strategy, &params, r),
                 cfg,
@@ -140,16 +137,12 @@ pub fn abort_profile(
     mpl: usize,
 ) -> Vec<(&'static str, f64)> {
     let driver = build_driver(engine, strategy, params, 7);
-    let metrics = run_closed(
-        &driver,
-        RunConfig {
-            mpl,
-            ramp_up: mode.ramp_up(),
-            measure: mode.measure() * 2,
-            seed: 0xAB0,
-            retry: RetryPolicy::disabled(),
-        },
-    );
+    let cfg = RunConfig::new(mpl)
+        .with_ramp_up(mode.ramp_up())
+        .with_measure(mode.measure() * 2)
+        .with_seed(0xAB0)
+        .with_retry(RetryPolicy::disabled());
+    let metrics = run(&driver, &cfg);
     metrics
         .kind_names
         .iter()
@@ -263,17 +256,13 @@ pub fn certify_run(opts: &CertifyOptions) -> (CertRecord, Vec<LatencyRecord>, Ar
             Some(fanout.clone()),
         ));
         let driver = SmallBankDriver::new(bank, SmallBankWorkload::new(opts.params));
-        run_closed_observed(
-            &driver,
-            RunConfig {
-                mpl: opts.mpl,
-                ramp_up: opts.ramp_up,
-                measure: opts.measure,
-                seed: opts.base_seed ^ (burst.wrapping_mul(0x9E37_79B9)),
-                retry: RetryPolicy::disabled(),
-            },
-            Some(&*sink),
-        );
+        let cfg = RunConfig::new(opts.mpl)
+            .with_ramp_up(opts.ramp_up)
+            .with_measure(opts.measure)
+            .with_seed(opts.base_seed ^ (burst.wrapping_mul(0x9E37_79B9)))
+            .with_retry(RetryPolicy::disabled())
+            .with_observer(sink.clone());
+        run(&driver, &cfg);
         certifier.finish();
     }
     let cert = CertRecord::from_stats(opts.label.clone(), &certifier.stats());

@@ -1,0 +1,336 @@
+//! The admission controller: a bounded queue between the arrival process
+//! and the worker pool.
+//!
+//! Past saturation an open system must choose what to do with work it
+//! cannot start: queue it without limit (latency diverges), shed it at
+//! the door (goodput holds, latency stays bounded, clients see explicit
+//! rejections), or apply backpressure by blocking the submitter for a
+//! bounded time. [`AdmissionPolicy`] names the three choices;
+//! [`AdmissionQueue`] implements them over one mutex + two condvars.
+//!
+//! State machine of one offered request:
+//!
+//! ```text
+//!              ┌────────── queue full? ──────────┐
+//! offered ──►  │ Unbounded        → enqueue      │ ──► queued ──► popped
+//!              │ DropOnFull       → SHED         │       by a worker
+//!              │ BlockWithTimeout → wait not_full│
+//!              │     ├─ space within timeout →   │
+//!              │     │             enqueue       │
+//!              │     └─ deadline passes → TIMEOUT│
+//!              └─────────────────────────────────┘
+//! ```
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// What the admission controller does when the queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Every arrival is queued; the queue grows without bound. Past
+    /// saturation the backlog — and with it end-to-end latency — grows
+    /// linearly for as long as the overload lasts.
+    Unbounded,
+    /// Load shedding: an arrival that finds `capacity` requests already
+    /// queued is rejected immediately ([`Admission::Shed`]). Bounds the
+    /// queue delay of everything that *is* served at roughly
+    /// `capacity × service time ÷ workers`.
+    DropOnFull {
+        /// Maximum queued (not yet started) requests.
+        capacity: usize,
+    },
+    /// Backpressure: the submitter blocks until space frees up or
+    /// `timeout` elapses; expiry surfaces as [`Admission::TimedOut`],
+    /// distinct from a shed. Note that blocking the submitter distorts
+    /// the offered process itself — that is the point of backpressure.
+    BlockWithTimeout {
+        /// Maximum queued requests.
+        capacity: usize,
+        /// How long a submitter is willing to wait for space.
+        timeout: Duration,
+    },
+}
+
+impl AdmissionPolicy {
+    /// Short name for reports (`unbounded` / `drop-on-full` /
+    /// `block-with-timeout`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            AdmissionPolicy::Unbounded => "unbounded",
+            AdmissionPolicy::DropOnFull { .. } => "drop-on-full",
+            AdmissionPolicy::BlockWithTimeout { .. } => "block-with-timeout",
+        }
+    }
+
+    /// The queue bound, when the policy has one.
+    pub fn capacity(&self) -> Option<usize> {
+        match self {
+            AdmissionPolicy::Unbounded => None,
+            AdmissionPolicy::DropOnFull { capacity }
+            | AdmissionPolicy::BlockWithTimeout { capacity, .. } => Some(*capacity),
+        }
+    }
+}
+
+/// The admission controller's verdict on one offered request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Enqueued; a worker will pick it up.
+    Admitted,
+    /// Rejected immediately because the queue was full (`DropOnFull`).
+    Shed,
+    /// The submitter waited the full timeout and space never freed up
+    /// (`BlockWithTimeout`).
+    TimedOut,
+}
+
+struct Inner<T> {
+    queue: VecDeque<T>,
+    closed: bool,
+}
+
+/// A multi-producer multi-consumer admission queue with a configurable
+/// full-queue policy. Producers call [`AdmissionQueue::offer`], workers
+/// loop on [`AdmissionQueue::pop`] until it returns `None` (closed *and*
+/// drained), and the run coordinator calls [`AdmissionQueue::close`]
+/// once the arrival schedule is exhausted.
+pub struct AdmissionQueue<T> {
+    policy: AdmissionPolicy,
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    shed: AtomicU64,
+    timed_out: AtomicU64,
+    admitted: AtomicU64,
+    max_depth: AtomicU64,
+}
+
+impl<T> AdmissionQueue<T> {
+    /// Creates an empty queue under the given policy.
+    pub fn new(policy: AdmissionPolicy) -> Self {
+        Self {
+            policy,
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            shed: AtomicU64::new(0),
+            timed_out: AtomicU64::new(0),
+            admitted: AtomicU64::new(0),
+            max_depth: AtomicU64::new(0),
+        }
+    }
+
+    /// The policy the queue was built with.
+    pub fn policy(&self) -> AdmissionPolicy {
+        self.policy
+    }
+
+    /// Offers one request, applying the policy. Offers against a closed
+    /// queue are shed regardless of policy (shutdown must not block).
+    pub fn offer(&self, item: T) -> Admission {
+        let mut inner = self.inner.lock().expect("admission lock");
+        if inner.closed {
+            self.shed.fetch_add(1, Ordering::Relaxed);
+            return Admission::Shed;
+        }
+        match self.policy {
+            AdmissionPolicy::Unbounded => {}
+            AdmissionPolicy::DropOnFull { capacity } => {
+                if inner.queue.len() >= capacity {
+                    self.shed.fetch_add(1, Ordering::Relaxed);
+                    return Admission::Shed;
+                }
+            }
+            AdmissionPolicy::BlockWithTimeout { capacity, timeout } => {
+                let deadline = Instant::now() + timeout;
+                while inner.queue.len() >= capacity && !inner.closed {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        self.timed_out.fetch_add(1, Ordering::Relaxed);
+                        return Admission::TimedOut;
+                    }
+                    let (guard, _) = self
+                        .not_full
+                        .wait_timeout(inner, deadline - now)
+                        .expect("admission lock");
+                    inner = guard;
+                }
+                if inner.closed {
+                    self.shed.fetch_add(1, Ordering::Relaxed);
+                    return Admission::Shed;
+                }
+            }
+        }
+        inner.queue.push_back(item);
+        let depth = inner.queue.len() as u64;
+        self.max_depth.fetch_max(depth, Ordering::Relaxed);
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+        drop(inner);
+        self.not_empty.notify_one();
+        Admission::Admitted
+    }
+
+    /// Takes the oldest queued request, blocking while the queue is empty
+    /// but open. Returns `None` once the queue is closed *and* drained —
+    /// the worker-pool shutdown signal.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("admission lock");
+        loop {
+            if let Some(item) = inner.queue.pop_front() {
+                drop(inner);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).expect("admission lock");
+        }
+    }
+
+    /// Closes the queue: no further admissions; workers drain what is
+    /// queued and then see `None`. Blocked submitters are released (their
+    /// offers are shed).
+    pub fn close(&self) {
+        self.inner.lock().expect("admission lock").closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Requests currently queued (racy snapshot).
+    pub fn depth(&self) -> usize {
+        self.inner.lock().expect("admission lock").queue.len()
+    }
+
+    /// Deepest the queue ever got.
+    pub fn max_depth(&self) -> u64 {
+        self.max_depth.load(Ordering::Relaxed)
+    }
+
+    /// Total offers admitted.
+    pub fn admitted(&self) -> u64 {
+        self.admitted.load(Ordering::Relaxed)
+    }
+
+    /// Total offers shed (drop-on-full, or any offer after close).
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Total offers that timed out waiting for space.
+    pub fn timed_out(&self) -> u64 {
+        self.timed_out.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn unbounded_admits_everything() {
+        let q = AdmissionQueue::new(AdmissionPolicy::Unbounded);
+        for i in 0..1000 {
+            assert_eq!(q.offer(i), Admission::Admitted);
+        }
+        assert_eq!(q.admitted(), 1000);
+        assert_eq!(q.shed(), 0);
+        assert_eq!(q.max_depth(), 1000);
+    }
+
+    #[test]
+    fn drop_on_full_sheds_and_counts() {
+        let q = AdmissionQueue::new(AdmissionPolicy::DropOnFull { capacity: 3 });
+        assert_eq!(q.offer(1), Admission::Admitted);
+        assert_eq!(q.offer(2), Admission::Admitted);
+        assert_eq!(q.offer(3), Admission::Admitted);
+        assert_eq!(q.offer(4), Admission::Shed, "queue is at capacity");
+        assert_eq!(q.shed(), 1);
+        assert_eq!(q.timed_out(), 0, "a shed is not a timeout");
+        // Popping frees a slot.
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.offer(5), Admission::Admitted);
+        assert_eq!(q.max_depth(), 3);
+    }
+
+    #[test]
+    fn block_with_timeout_times_out_distinctly() {
+        let q = AdmissionQueue::new(AdmissionPolicy::BlockWithTimeout {
+            capacity: 1,
+            timeout: Duration::from_millis(20),
+        });
+        assert_eq!(q.offer(1), Admission::Admitted);
+        let t0 = Instant::now();
+        assert_eq!(q.offer(2), Admission::TimedOut, "no consumer frees space");
+        assert!(
+            t0.elapsed() >= Duration::from_millis(15),
+            "the submitter must actually have waited"
+        );
+        assert_eq!(q.timed_out(), 1);
+        assert_eq!(q.shed(), 0, "a timeout is not a shed");
+    }
+
+    #[test]
+    fn block_with_timeout_admits_once_space_frees_up() {
+        let q = Arc::new(AdmissionQueue::new(AdmissionPolicy::BlockWithTimeout {
+            capacity: 1,
+            timeout: Duration::from_secs(5),
+        }));
+        assert_eq!(q.offer(1u32), Admission::Admitted);
+        let q2 = q.clone();
+        let consumer = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            q2.pop()
+        });
+        // Blocks ~30ms, then the pop frees the slot well inside the budget.
+        assert_eq!(q.offer(2), Admission::Admitted);
+        assert_eq!(consumer.join().unwrap(), Some(1));
+        assert_eq!(q.timed_out(), 0);
+    }
+
+    #[test]
+    fn close_drains_then_stops_workers_and_sheds_late_offers() {
+        let q = AdmissionQueue::new(AdmissionPolicy::Unbounded);
+        q.offer(1);
+        q.offer(2);
+        q.close();
+        assert_eq!(q.pop(), Some(1), "queued work is drained after close");
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None, "drained + closed → shutdown signal");
+        assert_eq!(q.offer(3), Admission::Shed, "offers after close are shed");
+    }
+
+    #[test]
+    fn close_releases_a_blocked_submitter() {
+        let q = Arc::new(AdmissionQueue::new(AdmissionPolicy::BlockWithTimeout {
+            capacity: 1,
+            timeout: Duration::from_secs(30),
+        }));
+        q.offer(1u32);
+        let q2 = q.clone();
+        let submitter = std::thread::spawn(move || q2.offer(2));
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(
+            submitter.join().unwrap(),
+            Admission::Shed,
+            "shutdown must not leave the submitter blocked for the full timeout"
+        );
+    }
+
+    #[test]
+    fn pop_blocks_until_an_offer_arrives() {
+        let q = Arc::new(AdmissionQueue::new(AdmissionPolicy::Unbounded));
+        let q2 = q.clone();
+        let worker = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(Duration::from_millis(10));
+        q.offer(42u32);
+        assert_eq!(worker.join().unwrap(), Some(42));
+    }
+}

@@ -2,11 +2,13 @@
 //!
 //! The runner itself only aggregates counters; anything that wants to see
 //! individual attempts — the `sicost-trace` span sink, a progress meter —
-//! implements [`AttemptObserver`] and is passed to
-//! [`crate::runner::run_closed_observed`]. The hook fires on the client
-//! thread immediately around each attempt, so an engine-side
-//! `HistoryObserver` on the same thread can correlate the engine events
-//! that follow with the (kind, attempt) the driver announced.
+//! implements [`AttemptObserver`] and is attached via
+//! [`crate::runner::RunConfig::with_observer`] (closed system) or
+//! [`crate::open_runner::OpenConfig::with_observer`] (open system). The
+//! hook fires on the client/worker thread immediately around each
+//! attempt, so an engine-side `HistoryObserver` on the same thread can
+//! correlate the engine events that follow with the (kind, attempt) the
+//! driver announced.
 
 use crate::metrics::Outcome;
 use std::time::Duration;
@@ -26,6 +28,16 @@ pub trait AttemptObserver: Send + Sync {
     /// The attempt just finished with `outcome` after `latency` of
     /// wall-clock (a single attempt, not the whole retried operation).
     fn attempt_end(&self, outcome: Outcome, latency: Duration);
+
+    /// The open-system runner dequeued a request of kind `kind` that
+    /// spent `queue_delay` between admission and dispatch. Fires on the
+    /// worker thread immediately before the operation's first
+    /// `attempt_begin`, so a span sink can tag the span that follows
+    /// with its queue delay. Defaults to a no-op — closed-system runs
+    /// have no queue and never call it.
+    fn attempt_queued(&self, kind: usize, kind_name: &'static str, queue_delay: Duration) {
+        let _ = (kind, kind_name, queue_delay);
+    }
 }
 
 /// An observer that discards everything (useful as a default).

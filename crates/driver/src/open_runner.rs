@@ -1,0 +1,381 @@
+//! The open-system runner.
+//!
+//! Where the closed-system runner ([`crate::runner::run`]) couples
+//! submission to completion — `mpl` clients, each issuing its next
+//! request only when the previous one finishes — the open-system runner
+//! decouples them: a generator thread replays a seeded arrival schedule
+//! ([`crate::arrival::ArrivalProcess`]) at a configured *offered* rate,
+//! pushes each arrival through an admission controller
+//! ([`crate::admission::AdmissionQueue`]), and a fixed worker pool serves
+//! whatever was admitted. Past saturation the two regimes behave
+//! completely differently: a closed system's throughput plateaus and its
+//! latency stays bounded by `mpl × service time`, while an open system
+//! must either let the queue (and latency) grow without bound or start
+//! refusing work. The admission policy decides which.
+
+use crate::admission::{Admission, AdmissionPolicy, AdmissionQueue};
+use crate::arrival::ArrivalProcess;
+use crate::hooks::AttemptObserver;
+use crate::metrics::{OpenKindMetrics, OpenMetrics};
+use crate::retry::{RetryDecision, RetryPolicy};
+use crate::runner::Workload;
+use sicost_common::Xoshiro256;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Parameters of one open-system run.
+#[derive(Clone)]
+pub struct OpenConfig {
+    /// Target offered load, in arrivals per second.
+    pub offered_tps: f64,
+    /// Shape of the arrival process.
+    pub process: ArrivalProcess,
+    /// Window over which arrivals are generated. The run itself lasts
+    /// longer whenever a backlog remains to drain at the horizon.
+    pub horizon: Duration,
+    /// Worker threads serving admitted requests (the service capacity).
+    pub workers: usize,
+    /// What the admission controller does when the queue is full.
+    pub admission: AdmissionPolicy,
+    /// Base RNG seed: the generator and each worker use independent
+    /// streams derived from it, and the arrival schedule is a pure
+    /// function of it.
+    pub seed: u64,
+    /// Client retry policy applied to every served request.
+    pub retry: RetryPolicy,
+    /// Observer that sees every queue-delay and attempt on the worker
+    /// thread that runs it (how `sicost-trace` tags spans).
+    pub observer: Option<Arc<dyn AttemptObserver>>,
+}
+
+impl std::fmt::Debug for OpenConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OpenConfig")
+            .field("offered_tps", &self.offered_tps)
+            .field("process", &self.process)
+            .field("horizon", &self.horizon)
+            .field("workers", &self.workers)
+            .field("admission", &self.admission)
+            .field("seed", &self.seed)
+            .field("retry", &self.retry)
+            .field("observer", &self.observer.as_ref().map(|_| "<observer>"))
+            .finish()
+    }
+}
+
+impl OpenConfig {
+    /// A configuration offering `offered_tps` arrivals per second with
+    /// test-friendly defaults: Poisson arrivals over a 300 ms horizon,
+    /// 4 workers, an unbounded queue, retry disabled, no observer.
+    pub fn new(offered_tps: f64) -> Self {
+        Self {
+            offered_tps,
+            process: ArrivalProcess::Poisson,
+            horizon: Duration::from_millis(300),
+            workers: 4,
+            admission: AdmissionPolicy::Unbounded,
+            seed: 0xD1CE,
+            retry: RetryPolicy::disabled(),
+            observer: None,
+        }
+    }
+
+    /// Sets the arrival-process shape (builder-style).
+    pub fn with_process(mut self, process: ArrivalProcess) -> Self {
+        self.process = process;
+        self
+    }
+
+    /// Sets the arrival-generation horizon (builder-style).
+    pub fn with_horizon(mut self, horizon: Duration) -> Self {
+        self.horizon = horizon;
+        self
+    }
+
+    /// Sets the worker-pool size (builder-style).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the admission policy (builder-style).
+    pub fn with_admission(mut self, admission: AdmissionPolicy) -> Self {
+        self.admission = admission;
+        self
+    }
+
+    /// Sets the base RNG seed (builder-style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the retry policy (builder-style).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Attaches an [`AttemptObserver`] (builder-style).
+    pub fn with_observer(mut self, observer: Arc<dyn AttemptObserver>) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+}
+
+/// One admitted request in flight between the generator and a worker.
+struct Job<R> {
+    kind: usize,
+    request: R,
+    /// When the generator offered it — the zero point of both queue
+    /// delay and end-to-end latency.
+    arrival: Instant,
+}
+
+/// Runs the open system: a generator thread paces the seeded arrival
+/// schedule and offers each sampled request to the admission queue;
+/// `workers` threads serve admitted requests with the configured retry
+/// policy. After the last scheduled arrival the queue is closed and the
+/// workers drain what is left, so [`OpenMetrics::elapsed`] — the goodput
+/// denominator — includes the time an unbounded backlog takes to clear.
+///
+/// Every shed and timeout is counted against the kind that was refused;
+/// every served operation records queue delay, service time (execution
+/// only), and end-to-end latency (arrival to final outcome, including
+/// retry backoff).
+pub fn run_open<W: Workload>(workload: &W, config: &OpenConfig) -> OpenMetrics {
+    let kinds = workload.kinds();
+    let hook = config.observer.as_deref();
+    let schedule = config
+        .process
+        .schedule(config.offered_tps, config.horizon, config.seed);
+    let queue: AdmissionQueue<Job<W::Request>> = AdmissionQueue::new(config.admission);
+    let base_rng = Xoshiro256::seed_from_u64(config.seed);
+
+    let mut merged = OpenMetrics::new(kinds.clone());
+    merged.horizon = config.horizon;
+    merged.offered_tps = config.offered_tps;
+    merged.policy = config.admission.name();
+
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        let queue_ref = &queue;
+        let workers: Vec<_> = (0..config.workers)
+            .map(|i| {
+                let mut rng = base_rng.stream(i as u64);
+                let kind_names = kinds.clone();
+                s.spawn(move || {
+                    let mut local: Vec<OpenKindMetrics> = kind_names
+                        .iter()
+                        .map(|_| OpenKindMetrics::default())
+                        .collect();
+                    while let Some(job) = queue_ref.pop() {
+                        let dequeued = Instant::now();
+                        let queue_delay = dequeued.saturating_duration_since(job.arrival);
+                        if let Some(h) = hook {
+                            h.attempt_queued(job.kind, kind_names[job.kind], queue_delay);
+                        }
+                        let mut attempt = 1u32;
+                        let mut service = Duration::ZERO;
+                        let k = &mut local[job.kind];
+                        let gave_up = loop {
+                            if let Some(h) = hook {
+                                h.attempt_begin(job.kind, kind_names[job.kind], attempt);
+                            }
+                            let t0 = Instant::now();
+                            let outcome = workload.execute(&job.request, attempt);
+                            let attempt_time = t0.elapsed();
+                            service += attempt_time;
+                            if let Some(h) = hook {
+                                h.attempt_end(outcome, attempt_time);
+                            }
+                            k.record_attempt(outcome);
+                            match config.retry.decide(outcome, attempt, &mut rng) {
+                                RetryDecision::Done => break false,
+                                RetryDecision::GiveUp => break true,
+                                RetryDecision::Retry(backoff) => {
+                                    if !backoff.is_zero() {
+                                        std::thread::sleep(backoff);
+                                    }
+                                    attempt += 1;
+                                }
+                            }
+                        };
+                        if gave_up {
+                            k.give_ups += 1;
+                        }
+                        let e2e = job.arrival.elapsed();
+                        k.record_served(queue_delay, service, e2e);
+                    }
+                    local
+                })
+            })
+            .collect();
+
+        // The generator runs on this thread: it paces the precomputed
+        // schedule against wall-clock and offers each sampled request.
+        // Falling behind (an offer that blocks under backpressure, or a
+        // slow sample) is not compensated — late arrivals stay late,
+        // which is exactly how a real open client population behaves
+        // when the system pushes back.
+        let mut gen_rng = base_rng.stream(config.workers as u64);
+        let mut offered: Vec<OpenKindMetrics> =
+            kinds.iter().map(|_| OpenKindMetrics::default()).collect();
+        for offset in &schedule {
+            let target = start + *offset;
+            let now = Instant::now();
+            if now < target {
+                std::thread::sleep(target - now);
+            }
+            let (kind, request) = workload.sample(&mut gen_rng);
+            offered[kind].offered += 1;
+            match queue.offer(Job {
+                kind,
+                request,
+                arrival: Instant::now(),
+            }) {
+                Admission::Admitted => {}
+                Admission::Shed => offered[kind].shed += 1,
+                Admission::TimedOut => offered[kind].timed_out += 1,
+            }
+        }
+        // Hold the queue open until the horizon actually elapses (the
+        // last scheduled arrival usually lands short of it), so `elapsed`
+        // is always horizon + drain and goodput denominators compare
+        // across policies.
+        let end = start + config.horizon;
+        let now = Instant::now();
+        if now < end {
+            std::thread::sleep(end - now);
+        }
+        queue.close();
+
+        for (agg, part) in merged.per_kind.iter_mut().zip(&offered) {
+            agg.merge(part);
+        }
+        for h in workers {
+            let local = h.join().expect("open-system worker thread");
+            for (agg, part) in merged.per_kind.iter_mut().zip(&local) {
+                agg.merge(part);
+            }
+        }
+    });
+    merged.elapsed = start.elapsed();
+    merged.max_queue_depth = queue.max_depth();
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Outcome;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// A sleep-bound workload with a fixed per-attempt service time.
+    struct FixedService {
+        service: Duration,
+        executed: AtomicU64,
+    }
+
+    impl FixedService {
+        fn new(service: Duration) -> Self {
+            Self {
+                service,
+                executed: AtomicU64::new(0),
+            }
+        }
+    }
+
+    impl Workload for FixedService {
+        type Request = ();
+
+        fn kinds(&self) -> Vec<&'static str> {
+            vec!["fixed"]
+        }
+        fn sample(&self, _rng: &mut Xoshiro256) -> (usize, ()) {
+            (0, ())
+        }
+        fn execute(&self, _req: &(), _attempt: u32) -> Outcome {
+            self.executed.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(self.service);
+            Outcome::Committed
+        }
+    }
+
+    #[test]
+    fn every_arrival_is_accounted_for() {
+        let w = FixedService::new(Duration::from_micros(200));
+        let cfg = OpenConfig::new(400.0)
+            .with_horizon(Duration::from_millis(200))
+            .with_workers(2)
+            .with_seed(11);
+        let m = run_open(&w, &cfg);
+        assert!(m.offered() > 0, "arrivals must have been generated");
+        assert_eq!(
+            m.served() + m.shed() + m.timed_out(),
+            m.offered(),
+            "served + refused must equal offered"
+        );
+        assert_eq!(m.served(), m.commits(), "this workload always commits");
+        assert_eq!(m.served(), w.executed.load(Ordering::Relaxed));
+        assert_eq!(m.policy, "unbounded");
+        assert!(m.elapsed >= m.horizon, "elapsed includes the drain");
+        assert!(m.goodput() > 0.0);
+    }
+
+    #[test]
+    fn under_capacity_nothing_is_refused_and_queue_delay_is_recorded() {
+        // 2 workers × 200µs service ≈ 10k tps capacity; offer 500 tps.
+        let w = FixedService::new(Duration::from_micros(200));
+        let cfg = OpenConfig::new(500.0)
+            .with_horizon(Duration::from_millis(200))
+            .with_workers(2)
+            .with_admission(AdmissionPolicy::DropOnFull { capacity: 64 })
+            .with_seed(3);
+        let m = run_open(&w, &cfg);
+        assert_eq!(m.shed(), 0, "an underloaded system sheds nothing");
+        assert_eq!(m.timed_out(), 0);
+        let k = m.kind("fixed").unwrap();
+        assert_eq!(
+            k.queue_delay.count(),
+            m.served(),
+            "every served op records its queue delay"
+        );
+        assert_eq!(k.service.count(), m.served());
+        assert!(
+            k.service.mean() >= Duration::from_micros(150),
+            "service time reflects execution: {:?}",
+            k.service.mean()
+        );
+        assert_eq!(m.policy, "drop-on-full");
+    }
+
+    #[test]
+    fn offered_count_is_reproducible_from_the_seed() {
+        let go = |seed| {
+            let w = FixedService::new(Duration::from_micros(100));
+            let cfg = OpenConfig::new(600.0)
+                .with_horizon(Duration::from_millis(150))
+                .with_workers(2)
+                .with_seed(seed);
+            run_open(&w, &cfg).offered()
+        };
+        assert_eq!(go(0xAB), go(0xAB), "same seed, same arrival count");
+    }
+
+    #[test]
+    fn overload_with_drop_on_full_sheds() {
+        // 1 worker × 2ms service ≈ 500 tps capacity; offer 2000 tps into
+        // a capacity-4 queue: most arrivals must be shed.
+        let w = FixedService::new(Duration::from_millis(2));
+        let cfg = OpenConfig::new(2000.0)
+            .with_horizon(Duration::from_millis(200))
+            .with_workers(1)
+            .with_admission(AdmissionPolicy::DropOnFull { capacity: 4 })
+            .with_seed(9);
+        let m = run_open(&w, &cfg);
+        assert!(m.shed() > 0, "4× overload must shed");
+        assert!(m.max_queue_depth <= 4, "the bound must hold");
+        assert_eq!(m.served() + m.shed(), m.offered());
+    }
+}

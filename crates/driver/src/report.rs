@@ -1,9 +1,248 @@
 //! Rendering experiment results: ASCII tables, CSV, and terminal charts
 //! (the bench harnesses print these as their reproduction of the paper's
 //! figures).
+//!
+//! Every diagnostic view implements the [`Report`] trait — a name plus a
+//! `render` — so harnesses can collect heterogeneous reports in one
+//! `Vec<Box<dyn Report>>` and print them uniformly. The historical free
+//! functions (`retry_report`, `latency_report`, `lock_wait_report`,
+//! `checkpoint_report`) remain as thin conveniences over the trait
+//! implementations.
 
-use crate::metrics::RunMetrics;
+use crate::metrics::{OpenMetrics, RunMetrics};
 use sicost_common::{LockWait, Summary};
+
+/// A renderable diagnostic view of one run or engine.
+pub trait Report {
+    /// Short stable identifier (useful as a section heading or filename
+    /// stem).
+    fn name(&self) -> &'static str;
+
+    /// Renders the view as human-readable text, trailing newline
+    /// included. Must be total: empty inputs render as zeros, never NaN
+    /// or a panic.
+    fn render(&self) -> String;
+}
+
+/// [`Report`] over a run's retry/goodput profile (see [`retry_report`]).
+#[derive(Debug, Clone, Copy)]
+pub struct RetryReport<'a>(pub &'a RunMetrics);
+
+/// [`Report`] over a run's per-kind response-time distribution (see
+/// [`latency_report`]).
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyReport<'a>(pub &'a RunMetrics);
+
+/// [`Report`] over an engine's per-lock-class contention breakdown (see
+/// [`lock_wait_report`]).
+#[derive(Debug, Clone, Copy)]
+pub struct LockWaitReport<'a>(pub &'a [LockWait]);
+
+/// [`Report`] over an engine's durability/recovery counters (see
+/// [`checkpoint_report`]).
+#[derive(Debug, Clone, Copy)]
+pub struct CheckpointReport<'a>(pub &'a sicost_engine::EngineMetrics);
+
+/// [`Report`] over an open-system run: per kind, what arrived vs what
+/// was refused vs what was served, with queue-delay and end-to-end
+/// latency quantiles, closing with the goodput-vs-offered-load line.
+#[derive(Debug, Clone, Copy)]
+pub struct OpenLoopReport<'a>(pub &'a OpenMetrics);
+
+impl Report for RetryReport<'_> {
+    fn name(&self) -> &'static str {
+        "retry"
+    }
+    fn render(&self) -> String {
+        let m = self.0;
+        let mut out = format!(
+            "{:>12} | {:>9} {:>9} {:>7} {:>7} {:>9} {:>8} {:>8} {:>12}\n",
+            "kind",
+            "commits",
+            "serfail",
+            "dlock",
+            "faults",
+            "rollback",
+            "giveups",
+            "retries",
+            "retry-time"
+        );
+        out.push_str(&"-".repeat(out.len()));
+        out.push('\n');
+        for (name, k) in m.kind_names.iter().zip(&m.per_kind) {
+            out.push_str(&format!(
+                "{:>12} | {:>9} {:>9} {:>7} {:>7} {:>9} {:>8} {:>8.2} {:>10.1?}\n",
+                name,
+                k.commits,
+                k.serialization_failures,
+                k.deadlocks,
+                k.transient_faults,
+                k.app_rollbacks,
+                k.give_ups,
+                k.retries_per_commit(),
+                k.retry_latency.mean(),
+            ));
+        }
+        out.push_str(&format!(
+            "goodput {:.1} tps from {} attempts ({} commits, {:.2} retries/commit, {} give-ups)\n",
+            m.tps(),
+            m.attempts(),
+            m.commits(),
+            m.retries_per_commit(),
+            m.give_ups(),
+        ));
+        out
+    }
+}
+
+impl Report for LatencyReport<'_> {
+    fn name(&self) -> &'static str {
+        "latency"
+    }
+    fn render(&self) -> String {
+        let m = self.0;
+        let mut out = format!(
+            "{:>12} | {:>9} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+            "kind", "commits", "p50", "p90", "p99", "max", "mean"
+        );
+        out.push_str(&"-".repeat(out.len()));
+        out.push('\n');
+        for (name, k) in m.kind_names.iter().zip(&m.per_kind) {
+            out.push_str(&format!(
+                "{:>12} | {:>9} {:>8.1?} {:>8.1?} {:>8.1?} {:>8.1?} {:>8.1?}\n",
+                name,
+                k.commits,
+                k.latency.quantile(0.50),
+                k.latency.quantile(0.90),
+                k.latency.quantile(0.99),
+                k.latency.max(),
+                k.latency.mean(),
+            ));
+        }
+        out.push_str(&format!(
+            "overall: {} commits, mean latency {:.1?}\n",
+            m.commits(),
+            m.mean_latency(),
+        ));
+        out
+    }
+}
+
+impl Report for LockWaitReport<'_> {
+    fn name(&self) -> &'static str {
+        "lock-wait"
+    }
+    fn render(&self) -> String {
+        let classes = self.0;
+        let mut out = format!(
+            "{:>16} | {:>12} {:>12} {:>12} {:>12} {:>7}\n",
+            "lock class", "acquired", "contended", "total-wait", "mean-wait", "ratio"
+        );
+        out.push_str(&"-".repeat(out.len()));
+        out.push('\n');
+        for c in classes {
+            out.push_str(&format!(
+                "{:>16} | {:>12} {:>12} {:>10.1?} {:>10.1?} {:>6.1}%\n",
+                c.class,
+                c.acquisitions,
+                c.contended,
+                c.wait,
+                c.mean_wait(),
+                c.contention_ratio() * 100.0,
+            ));
+        }
+        let total: std::time::Duration = classes.iter().map(|c| c.wait).sum();
+        out.push_str(&format!("total blocked wall-clock: {total:.1?}\n"));
+        out
+    }
+}
+
+impl Report for CheckpointReport<'_> {
+    fn name(&self) -> &'static str {
+        "checkpoint"
+    }
+    fn render(&self) -> String {
+        let m = self.0;
+        let mut out = format!("{:>24} | {:>12}\n", "durability counter", "value");
+        out.push_str(&"-".repeat(out.len()));
+        out.push('\n');
+        out.push_str(&format!(
+            "{:>24} | {:>12}\n",
+            "checkpoints taken", m.checkpoints_taken
+        ));
+        out.push_str(&format!(
+            "{:>24} | {:>12}\n",
+            "wal bytes truncated", m.checkpoint_bytes_truncated
+        ));
+        out.push_str(&format!(
+            "{:>24} | {:>12}\n",
+            "recovery replay bytes", m.recovery_replay_bytes
+        ));
+        out
+    }
+}
+
+impl Report for OpenLoopReport<'_> {
+    fn name(&self) -> &'static str {
+        "open-loop"
+    }
+    fn render(&self) -> String {
+        let m = self.0;
+        let mut out = format!(
+            "{:>12} | {:>8} {:>7} {:>7} {:>8} {:>8} {:>10} {:>10} {:>10} {:>10}\n",
+            "kind",
+            "offered",
+            "shed",
+            "timeout",
+            "served",
+            "commits",
+            "qd-p50",
+            "qd-p99",
+            "e2e-p50",
+            "e2e-p99"
+        );
+        out.push_str(&"-".repeat(out.len()));
+        out.push('\n');
+        for (name, k) in m.kind_names.iter().zip(&m.per_kind) {
+            out.push_str(&format!(
+                "{:>12} | {:>8} {:>7} {:>7} {:>8} {:>8} {:>8.1?} {:>8.1?} {:>8.1?} {:>8.1?}\n",
+                name,
+                k.offered,
+                k.shed,
+                k.timed_out,
+                k.served(),
+                k.commits,
+                k.queue_delay.quantile(0.50),
+                k.queue_delay.quantile(0.99),
+                k.e2e.quantile(0.50),
+                k.e2e.quantile(0.99),
+            ));
+        }
+        let e2e = m.e2e();
+        out.push_str(&format!(
+            "offered {:.1} tps ({}), goodput {:.1} tps: {} offered, {} shed, {} timed out, \
+             {} served, {} give-ups, max queue depth {}\n",
+            m.offered_tps,
+            m.policy,
+            m.goodput(),
+            m.offered(),
+            m.shed(),
+            m.timed_out(),
+            m.served(),
+            m.give_ups(),
+            m.max_queue_depth,
+        ));
+        out.push_str(&format!(
+            "e2e latency p50 {:.1?} p95 {:.1?} p99 {:.1?} over {:.1?} horizon + {:.1?} drain\n",
+            e2e.quantile(0.50),
+            e2e.quantile(0.95),
+            e2e.quantile(0.99),
+            m.horizon,
+            m.elapsed.saturating_sub(m.horizon),
+        ));
+        out
+    }
+}
 
 /// One point of a series: x (e.g. MPL) and a summarised y (e.g. TPS).
 #[derive(Debug, Clone, Copy)]
@@ -101,43 +340,7 @@ pub fn csv_table(x_label: &str, series: &[Series]) -> String {
 /// mean retry time — the view that separates what clients *submitted*
 /// from what the system *got done*.
 pub fn retry_report(m: &RunMetrics) -> String {
-    let mut out = format!(
-        "{:>12} | {:>9} {:>9} {:>7} {:>7} {:>9} {:>8} {:>8} {:>12}\n",
-        "kind",
-        "commits",
-        "serfail",
-        "dlock",
-        "faults",
-        "rollback",
-        "giveups",
-        "retries",
-        "retry-time"
-    );
-    out.push_str(&"-".repeat(out.len()));
-    out.push('\n');
-    for (name, k) in m.kind_names.iter().zip(&m.per_kind) {
-        out.push_str(&format!(
-            "{:>12} | {:>9} {:>9} {:>7} {:>7} {:>9} {:>8} {:>8.2} {:>10.1?}\n",
-            name,
-            k.commits,
-            k.serialization_failures,
-            k.deadlocks,
-            k.transient_faults,
-            k.app_rollbacks,
-            k.give_ups,
-            k.retries_per_commit(),
-            k.retry_latency.mean(),
-        ));
-    }
-    out.push_str(&format!(
-        "goodput {:.1} tps from {} attempts ({} commits, {:.2} retries/commit, {} give-ups)\n",
-        m.tps(),
-        m.attempts(),
-        m.commits(),
-        m.retries_per_commit(),
-        m.give_ups(),
-    ));
-    out
+    RetryReport(m).render()
 }
 
 /// Renders the per-kind response-time distribution of one run: commit
@@ -146,30 +349,7 @@ pub fn retry_report(m: &RunMetrics) -> String {
 /// window render as zero durations (never NaN — the histogram quantile is
 /// zero-safe on empty samples).
 pub fn latency_report(m: &RunMetrics) -> String {
-    let mut out = format!(
-        "{:>12} | {:>9} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
-        "kind", "commits", "p50", "p90", "p99", "max", "mean"
-    );
-    out.push_str(&"-".repeat(out.len()));
-    out.push('\n');
-    for (name, k) in m.kind_names.iter().zip(&m.per_kind) {
-        out.push_str(&format!(
-            "{:>12} | {:>9} {:>8.1?} {:>8.1?} {:>8.1?} {:>8.1?} {:>8.1?}\n",
-            name,
-            k.commits,
-            k.latency.quantile(0.50),
-            k.latency.quantile(0.90),
-            k.latency.quantile(0.99),
-            k.latency.max(),
-            k.latency.mean(),
-        ));
-    }
-    out.push_str(&format!(
-        "overall: {} commits, mean latency {:.1?}\n",
-        m.commits(),
-        m.mean_latency(),
-    ));
-    out
+    LatencyReport(m).render()
 }
 
 /// Renders an engine's per-lock-class contention breakdown: one row per
@@ -178,26 +358,7 @@ pub fn latency_report(m: &RunMetrics) -> String {
 /// contention ratio — the view that shows *which* serialization point the
 /// commit pipeline's wall-clock went to.
 pub fn lock_wait_report(classes: &[LockWait]) -> String {
-    let mut out = format!(
-        "{:>16} | {:>12} {:>12} {:>12} {:>12} {:>7}\n",
-        "lock class", "acquired", "contended", "total-wait", "mean-wait", "ratio"
-    );
-    out.push_str(&"-".repeat(out.len()));
-    out.push('\n');
-    for c in classes {
-        out.push_str(&format!(
-            "{:>16} | {:>12} {:>12} {:>10.1?} {:>10.1?} {:>6.1}%\n",
-            c.class,
-            c.acquisitions,
-            c.contended,
-            c.wait,
-            c.mean_wait(),
-            c.contention_ratio() * 100.0,
-        ));
-    }
-    let total: std::time::Duration = classes.iter().map(|c| c.wait).sum();
-    out.push_str(&format!("total blocked wall-clock: {total:.1?}\n"));
-    out
+    LockWaitReport(classes).render()
 }
 
 /// Renders an engine's durability/recovery counters: checkpoints taken,
@@ -206,22 +367,7 @@ pub fn lock_wait_report(classes: &[LockWait]) -> String {
 /// view that shows whether checkpointing is keeping restart cost
 /// proportional to the delta rather than the history.
 pub fn checkpoint_report(m: &sicost_engine::EngineMetrics) -> String {
-    let mut out = format!("{:>24} | {:>12}\n", "durability counter", "value");
-    out.push_str(&"-".repeat(out.len()));
-    out.push('\n');
-    out.push_str(&format!(
-        "{:>24} | {:>12}\n",
-        "checkpoints taken", m.checkpoints_taken
-    ));
-    out.push_str(&format!(
-        "{:>24} | {:>12}\n",
-        "wal bytes truncated", m.checkpoint_bytes_truncated
-    ));
-    out.push_str(&format!(
-        "{:>24} | {:>12}\n",
-        "recovery replay bytes", m.recovery_replay_bytes
-    ));
-    out
+    CheckpointReport(m).render()
 }
 
 /// A rough terminal line chart (height rows, one glyph per series),
@@ -438,6 +584,77 @@ mod tests {
         }];
         let text = lock_wait_report(&idle);
         assert!(!text.contains("NaN") && !text.contains("inf"), "{text}");
+    }
+
+    #[test]
+    fn report_trait_unifies_the_views() {
+        use crate::metrics::Outcome;
+        use std::time::Duration;
+        let mut m = RunMetrics::new(vec!["bal"], 1);
+        m.per_kind[0].record(Outcome::Committed, Duration::from_millis(1));
+        m.measured = Duration::from_secs(1);
+        let classes = vec![LockWait {
+            class: "commit.seq".into(),
+            acquisitions: 1,
+            contended: 0,
+            wait: Duration::ZERO,
+        }];
+        let engine = sicost_engine::EngineMetrics::default();
+        let open = OpenMetrics::new(vec!["bal"]);
+        let reports: Vec<Box<dyn Report + '_>> = vec![
+            Box::new(RetryReport(&m)),
+            Box::new(LatencyReport(&m)),
+            Box::new(LockWaitReport(&classes)),
+            Box::new(CheckpointReport(&engine)),
+            Box::new(OpenLoopReport(&open)),
+        ];
+        let names: Vec<_> = reports.iter().map(|r| r.name()).collect();
+        assert_eq!(
+            names,
+            ["retry", "latency", "lock-wait", "checkpoint", "open-loop"]
+        );
+        for r in &reports {
+            let text = r.render();
+            assert!(text.ends_with('\n'), "{}: {text}", r.name());
+            assert!(!text.contains("NaN"), "{}: {text}", r.name());
+        }
+    }
+
+    #[test]
+    fn free_functions_delegate_to_the_trait() {
+        let m = RunMetrics::new(vec!["bal"], 1);
+        assert_eq!(retry_report(&m), RetryReport(&m).render());
+        assert_eq!(latency_report(&m), LatencyReport(&m).render());
+        assert_eq!(lock_wait_report(&[]), LockWaitReport(&[]).render());
+        let e = sicost_engine::EngineMetrics::default();
+        assert_eq!(checkpoint_report(&e), CheckpointReport(&e).render());
+    }
+
+    #[test]
+    fn open_loop_report_shows_admission_and_latency_columns() {
+        use std::time::Duration;
+        let mut m = OpenMetrics::new(vec!["bal"]);
+        let k = &mut m.per_kind[0];
+        k.offered = 10;
+        k.shed = 2;
+        k.timed_out = 1;
+        k.commits = 7;
+        k.record_served(
+            Duration::from_millis(2),
+            Duration::from_millis(1),
+            Duration::from_millis(3),
+        );
+        m.offered_tps = 100.0;
+        m.policy = "drop-on-full";
+        m.horizon = Duration::from_millis(100);
+        m.elapsed = Duration::from_millis(120);
+        m.max_queue_depth = 4;
+        let r = OpenLoopReport(&m).render();
+        assert!(r.contains("offered"), "{r}");
+        assert!(r.contains("drop-on-full"), "{r}");
+        assert!(r.contains("2 shed, 1 timed out"), "{r}");
+        assert!(r.contains("max queue depth 4"), "{r}");
+        assert!(r.contains("e2e latency p50"), "{r}");
     }
 
     #[test]

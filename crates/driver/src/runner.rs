@@ -5,6 +5,7 @@ use crate::metrics::{Outcome, RunMetrics};
 use crate::retry::{RetryDecision, RetryPolicy};
 use sicost_common::{OnlineStats, Summary, Xoshiro256};
 use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Something the driver can measure: a transaction source.
@@ -30,7 +31,12 @@ pub trait Workload: Send + Sync {
 }
 
 /// Parameters of one measured run.
-#[derive(Debug, Clone, Copy)]
+///
+/// Built builder-style from [`RunConfig::new`]; the attempt observer —
+/// previously a separate `run_closed_observed` entry point — is part of
+/// the configuration ([`RunConfig::with_observer`]), so [`run`] is the
+/// single way to execute a closed-system run.
+#[derive(Clone)]
 pub struct RunConfig {
     /// Multiprogramming level: number of closed-loop client threads.
     pub mpl: usize,
@@ -42,24 +48,74 @@ pub struct RunConfig {
     pub seed: u64,
     /// Client retry policy applied to every request.
     pub retry: RetryPolicy,
+    /// Observer that sees every attempt (including ramp-up ones) on the
+    /// client thread that runs it — how the `sicost-trace` sink learns
+    /// which kind and attempt the engine events that follow belong to.
+    pub observer: Option<Arc<dyn AttemptObserver>>,
+}
+
+impl std::fmt::Debug for RunConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunConfig")
+            .field("mpl", &self.mpl)
+            .field("ramp_up", &self.ramp_up)
+            .field("measure", &self.measure)
+            .field("seed", &self.seed)
+            .field("retry", &self.retry)
+            .field("observer", &self.observer.as_ref().map(|_| "<observer>"))
+            .finish()
+    }
 }
 
 impl RunConfig {
-    /// A fast configuration for tests. Retry is disabled so every attempt
-    /// is final, as in the pre-retry driver.
-    pub fn quick(mpl: usize) -> Self {
+    /// A configuration at `mpl` with fast test-friendly defaults (50 ms
+    /// ramp-up, 300 ms measurement, retry disabled, no observer); adjust
+    /// with the `with_*` builders.
+    pub fn new(mpl: usize) -> Self {
         Self {
             mpl,
             ramp_up: Duration::from_millis(50),
             measure: Duration::from_millis(300),
             seed: 0xD1CE,
             retry: RetryPolicy::disabled(),
+            observer: None,
         }
+    }
+
+    /// A fast configuration for tests. Retry is disabled so every attempt
+    /// is final, as in the pre-retry driver. (Alias of [`RunConfig::new`].)
+    pub fn quick(mpl: usize) -> Self {
+        Self::new(mpl)
+    }
+
+    /// Sets the ramp-up period excluded from measurement (builder-style).
+    pub fn with_ramp_up(mut self, ramp_up: Duration) -> Self {
+        self.ramp_up = ramp_up;
+        self
+    }
+
+    /// Sets the measurement interval (builder-style).
+    pub fn with_measure(mut self, measure: Duration) -> Self {
+        self.measure = measure;
+        self
+    }
+
+    /// Sets the base RNG seed (builder-style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
     }
 
     /// Sets the retry policy (builder-style).
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
+        self
+    }
+
+    /// Attaches an [`AttemptObserver`] (builder-style). The observer sees
+    /// every attempt, including ramp-up ones, on the thread running it.
+    pub fn with_observer(mut self, observer: Arc<dyn AttemptObserver>) -> Self {
+        self.observer = Some(observer);
         self
     }
 }
@@ -71,23 +127,43 @@ const PHASE_DONE: u8 = 2;
 /// Runs the closed system: `mpl` threads, each looping
 /// sample–execute–retry with no think time. Each client retries its
 /// current request under [`RunConfig::retry`] until it commits, fails
-/// non-retryably, or exhausts the budget (a give-up). Returns the merged
+/// non-retryably, or exhausts the budget (a give-up). The configured
+/// [`RunConfig::observer`], if any, sees every attempt (including
+/// ramp-up ones) on the client thread that runs it. Returns the merged
 /// metrics for the measurement interval only; a whole operation (all of
 /// its attempts) is attributed to the measurement interval only when it
 /// both *began* and *finished* inside it, so per-kind attempt counts stay
 /// exact multiples of the per-request retry schedule and no ramp-up
 /// attempts or ramp-up latency leak into the measured numbers.
-pub fn run_closed<W: Workload>(workload: &W, config: RunConfig) -> RunMetrics {
-    run_closed_observed(workload, config, None)
+pub fn run<W: Workload>(workload: &W, config: &RunConfig) -> RunMetrics {
+    run_inner(workload, config, config.observer.as_deref())
 }
 
-/// [`run_closed`] with an optional [`AttemptObserver`] that sees every
-/// attempt (including ramp-up ones) on the client thread that runs it.
-/// The observer is how the `sicost-trace` sink learns which kind and
-/// attempt index the engine events that follow belong to.
+/// Pre-consolidation entry point. Use [`run`]; the configuration now
+/// carries the observer ([`RunConfig::with_observer`]).
+#[deprecated(since = "0.1.0", note = "use `run(workload, &config)` instead")]
+pub fn run_closed<W: Workload>(workload: &W, config: RunConfig) -> RunMetrics {
+    run(workload, &config)
+}
+
+/// Pre-consolidation observed entry point. Use [`run`] with
+/// [`RunConfig::with_observer`]; an explicit `hook` here overrides the
+/// configuration's observer for compatibility.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `run(workload, &config)` with `RunConfig::with_observer` instead"
+)]
 pub fn run_closed_observed<W: Workload>(
     workload: &W,
     config: RunConfig,
+    hook: Option<&dyn AttemptObserver>,
+) -> RunMetrics {
+    run_inner(workload, &config, hook.or(config.observer.as_deref()))
+}
+
+fn run_inner<W: Workload>(
+    workload: &W,
+    config: &RunConfig,
     hook: Option<&dyn AttemptObserver>,
 ) -> RunMetrics {
     let kinds = workload.kinds();
@@ -204,9 +280,9 @@ pub fn repeat_summary<W: Workload>(
     let mut runs = Vec::with_capacity(repeats as usize);
     for r in 0..repeats {
         let workload = factory(r);
-        let mut cfg = config;
+        let mut cfg = config.clone();
         cfg.seed = config.seed.wrapping_add(r.wrapping_mul(0x9E37_79B9));
-        let metrics = run_closed(&workload, cfg);
+        let metrics = run(&workload, &cfg);
         stats.push(metrics.tps());
         runs.push(metrics);
     }
@@ -250,7 +326,7 @@ mod tests {
         let toy = Toy {
             attempts: AtomicU64::new(0),
         };
-        let m = run_closed(&toy, RunConfig::quick(4));
+        let m = run(&toy, &RunConfig::quick(4));
         let counted = m.commits() + m.serialization_failures();
         let attempted = toy.attempts.load(Ordering::Relaxed);
         assert!(counted > 0, "something must be measured");
@@ -268,11 +344,11 @@ mod tests {
         let toy = Toy {
             attempts: AtomicU64::new(0),
         };
-        let m1 = run_closed(&toy, RunConfig::quick(1));
+        let m1 = run(&toy, &RunConfig::quick(1));
         let toy2 = Toy {
             attempts: AtomicU64::new(0),
         };
-        let m8 = run_closed(&toy2, RunConfig::quick(8));
+        let m8 = run(&toy2, &RunConfig::quick(8));
         assert!(
             m8.tps() > m1.tps() * 3.0,
             "8 threads must far outrun 1 on a sleep-bound load: {} vs {}",
@@ -300,7 +376,7 @@ mod tests {
         let toy = Toy {
             attempts: AtomicU64::new(0),
         };
-        let m = run_closed(&toy, RunConfig::quick(2));
+        let m = run(&toy, &RunConfig::quick(2));
         let lat = m.mean_latency();
         assert!(
             lat >= Duration::from_micros(400),
@@ -347,8 +423,9 @@ mod tests {
                 max_backoff: Duration::from_micros(400),
                 jitter: 0.5,
             },
+            observer: None,
         };
-        let m = run_closed(&w, cfg);
+        let m = run(&w, &cfg);
         let k = m.kind("flaky").unwrap();
         assert!(k.commits > 0, "the workload commits on attempt {N}");
         // Goodput counts one commit per operation; the metrics must still
@@ -385,8 +462,9 @@ mod tests {
                 max_backoff: Duration::ZERO,
                 jitter: 0.0,
             },
+            observer: None,
         };
-        let m = run_closed(&w, cfg);
+        let m = run(&w, &cfg);
         let k = m.kind("flaky").unwrap();
         assert_eq!(k.commits, 0);
         assert!(k.give_ups > 0);
@@ -443,8 +521,9 @@ mod tests {
                 max_backoff: Duration::ZERO,
                 jitter: 0.0,
             },
+            observer: None,
         };
-        let m = run_closed(&w, cfg);
+        let m = run(&w, &cfg);
         let k = m.kind("slow_start").unwrap();
         assert!(k.commits > 0, "later operations commit inside the window");
         assert_eq!(
@@ -460,28 +539,88 @@ mod tests {
 
     #[test]
     fn backoff_schedule_is_reproducible_from_the_seed() {
-        let run = || {
+        let go = || {
             let w = FlakyN { succeed_on: 3 };
-            let cfg = RunConfig {
-                mpl: 1,
-                ramp_up: Duration::from_millis(10),
-                measure: Duration::from_millis(100),
-                seed: 0xFEED,
-                retry: RetryPolicy {
+            let cfg = RunConfig::new(1)
+                .with_ramp_up(Duration::from_millis(10))
+                .with_measure(Duration::from_millis(100))
+                .with_seed(0xFEED)
+                .with_retry(RetryPolicy {
                     max_attempts: 5,
                     base_backoff: Duration::from_micros(100),
                     max_backoff: Duration::from_millis(1),
                     jitter: 0.5,
-                },
-            };
-            let m = run_closed(&w, cfg);
+                });
+            let m = run(&w, &cfg);
             let k = m.kind("flaky").unwrap();
             (k.commits > 0, k.serialization_failures / k.commits.max(1))
         };
-        let (a_committed, a_ratio) = run();
-        let (b_committed, b_ratio) = run();
+        let (a_committed, a_ratio) = go();
+        let (b_committed, b_ratio) = go();
         assert!(a_committed && b_committed);
         assert_eq!(a_ratio, 2, "always exactly 2 failures per commit");
         assert_eq!(a_ratio, b_ratio);
+    }
+
+    /// A counting observer shared by the consolidation tests below.
+    #[derive(Default)]
+    struct Counting {
+        begins: AtomicU64,
+        ends: AtomicU64,
+    }
+
+    impl AttemptObserver for Counting {
+        fn attempt_begin(&self, _kind: usize, _kind_name: &'static str, _attempt: u32) {
+            self.begins.fetch_add(1, Ordering::Relaxed);
+        }
+        fn attempt_end(&self, _outcome: Outcome, _latency: Duration) {
+            self.ends.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn config_observer_sees_every_attempt() {
+        let toy = Toy {
+            attempts: AtomicU64::new(0),
+        };
+        let obs = Arc::new(Counting::default());
+        let cfg = RunConfig::quick(2).with_observer(obs.clone());
+        let _ = run(&toy, &cfg);
+        let begins = obs.begins.load(Ordering::Relaxed);
+        assert!(begins > 0, "the configured observer must fire");
+        assert_eq!(begins, obs.ends.load(Ordering::Relaxed));
+        assert_eq!(begins, toy.attempts.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_run_closed_still_works() {
+        let toy = Toy {
+            attempts: AtomicU64::new(0),
+        };
+        let m = run_closed(&toy, RunConfig::quick(2));
+        assert!(m.commits() > 0, "the shim must still drive a real run");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_run_closed_observed_hook_overrides_config() {
+        let toy = Toy {
+            attempts: AtomicU64::new(0),
+        };
+        let explicit = Counting::default();
+        let configured = Arc::new(Counting::default());
+        let cfg = RunConfig::quick(2).with_observer(configured.clone());
+        let m = run_closed_observed(&toy, cfg, Some(&explicit));
+        assert!(m.commits() > 0);
+        assert!(
+            explicit.begins.load(Ordering::Relaxed) > 0,
+            "the explicit hook wins, as the old entry point promised"
+        );
+        assert_eq!(
+            configured.begins.load(Ordering::Relaxed),
+            0,
+            "the configured observer is overridden by the explicit hook"
+        );
     }
 }

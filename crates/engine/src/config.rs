@@ -97,6 +97,54 @@ impl Default for CostModel {
     }
 }
 
+/// When the engine takes fuzzy checkpoints on its own (each one also
+/// truncates the covered WAL prefix). Both triggers default to off —
+/// explicit [`crate::Database::checkpoint`] calls work regardless — and
+/// both can be armed at once, in which case whichever threshold trips
+/// first wins and resets both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CheckpointPolicy {
+    /// Checkpoint once this many log bytes accumulate since the last one.
+    pub every_wal_bytes: Option<u64>,
+    /// Checkpoint once this many writing commits happen since the last
+    /// one.
+    pub every_commits: Option<u64>,
+}
+
+impl CheckpointPolicy {
+    /// No automatic checkpoints (the default in every preset).
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Byte-driven checkpoints: one per `bytes` of accumulated WAL.
+    pub fn every_wal_bytes(bytes: u64) -> Self {
+        Self::disabled().with_every_wal_bytes(bytes)
+    }
+
+    /// Commit-driven checkpoints: one per `commits` writing commits.
+    pub fn every_commits(commits: u64) -> Self {
+        Self::disabled().with_every_commits(commits)
+    }
+
+    /// Arms the byte-accumulation trigger (builder-style).
+    pub fn with_every_wal_bytes(mut self, bytes: u64) -> Self {
+        self.every_wal_bytes = Some(bytes);
+        self
+    }
+
+    /// Arms the commit-count trigger (builder-style).
+    pub fn with_every_commits(mut self, commits: u64) -> Self {
+        self.every_commits = Some(commits);
+        self
+    }
+
+    /// True when neither trigger is armed.
+    pub fn is_disabled(&self) -> bool {
+        self.every_wal_bytes.is_none() && self.every_commits.is_none()
+    }
+}
+
 /// Full engine configuration.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
@@ -135,15 +183,9 @@ pub struct EngineConfig {
     /// `sicost-trace` sink). Off by default: the hot path then pays no
     /// clock reads for tracing.
     pub trace_timings: bool,
-    /// Take a fuzzy checkpoint (and truncate the covered WAL prefix) once
-    /// this many log bytes have accumulated since the last one. `None`
-    /// (the default in every preset) = no byte-driven checkpoints.
-    pub checkpoint_every_wal_bytes: Option<u64>,
-    /// Take a fuzzy checkpoint once this many writing commits have
-    /// happened since the last one. `None` = no commit-driven
-    /// checkpoints. Explicit [`crate::Database::checkpoint`] calls work
-    /// regardless of either threshold.
-    pub checkpoint_every_commits: Option<u64>,
+    /// When the engine checkpoints (and truncates WAL) on its own. See
+    /// [`CheckpointPolicy`]; disabled in every preset.
+    pub checkpoints: CheckpointPolicy,
 }
 
 impl EngineConfig {
@@ -162,8 +204,7 @@ impl EngineConfig {
             faults: None,
             shards: Self::DEFAULT_SHARDS,
             trace_timings: false,
-            checkpoint_every_wal_bytes: None,
-            checkpoint_every_commits: None,
+            checkpoints: CheckpointPolicy::disabled(),
         }
     }
 
@@ -186,8 +227,7 @@ impl EngineConfig {
             faults: None,
             shards: Self::DEFAULT_SHARDS,
             trace_timings: false,
-            checkpoint_every_wal_bytes: None,
-            checkpoint_every_commits: None,
+            checkpoints: CheckpointPolicy::disabled(),
         }
     }
 
@@ -210,8 +250,7 @@ impl EngineConfig {
             faults: None,
             shards: Self::DEFAULT_SHARDS,
             trace_timings: false,
-            checkpoint_every_wal_bytes: None,
-            checkpoint_every_commits: None,
+            checkpoints: CheckpointPolicy::disabled(),
         }
     }
 
@@ -261,15 +300,35 @@ impl EngineConfig {
         self
     }
 
-    /// Sets the byte-accumulation checkpoint threshold (builder-style).
-    pub fn with_checkpoint_every_wal_bytes(mut self, bytes: u64) -> Self {
-        self.checkpoint_every_wal_bytes = Some(bytes);
+    /// Sets the automatic-checkpoint policy (builder-style). This is the
+    /// one entry point for checkpoint configuration; build the policy
+    /// with the [`CheckpointPolicy`] constructors.
+    pub fn with_checkpoints(mut self, policy: CheckpointPolicy) -> Self {
+        self.checkpoints = policy;
         self
     }
 
-    /// Sets the commit-count checkpoint threshold (builder-style).
+    /// Pre-consolidation checkpoint knob. Use
+    /// [`EngineConfig::with_checkpoints`] with
+    /// [`CheckpointPolicy::every_wal_bytes`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `with_checkpoints(CheckpointPolicy::every_wal_bytes(bytes))` instead"
+    )]
+    pub fn with_checkpoint_every_wal_bytes(mut self, bytes: u64) -> Self {
+        self.checkpoints = self.checkpoints.with_every_wal_bytes(bytes);
+        self
+    }
+
+    /// Pre-consolidation checkpoint knob. Use
+    /// [`EngineConfig::with_checkpoints`] with
+    /// [`CheckpointPolicy::every_commits`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `with_checkpoints(CheckpointPolicy::every_commits(commits))` instead"
+    )]
     pub fn with_checkpoint_every_commits(mut self, commits: u64) -> Self {
-        self.checkpoint_every_commits = Some(commits);
+        self.checkpoints = self.checkpoints.with_every_commits(commits);
         self
     }
 }
@@ -344,13 +403,33 @@ mod tests {
             EngineConfig::postgres_like(),
             EngineConfig::commercial_like(),
         ] {
-            assert_eq!(cfg.checkpoint_every_wal_bytes, None);
-            assert_eq!(cfg.checkpoint_every_commits, None);
+            assert!(cfg.checkpoints.is_disabled());
         }
+        let cfg = EngineConfig::functional()
+            .with_checkpoints(CheckpointPolicy::every_wal_bytes(1 << 20).with_every_commits(500));
+        assert_eq!(cfg.checkpoints.every_wal_bytes, Some(1 << 20));
+        assert_eq!(cfg.checkpoints.every_commits, Some(500));
+        assert!(!cfg.checkpoints.is_disabled());
+    }
+
+    #[test]
+    fn checkpoint_policy_constructors() {
+        assert!(CheckpointPolicy::disabled().is_disabled());
+        assert_eq!(CheckpointPolicy::every_commits(10).every_commits, Some(10));
+        assert_eq!(CheckpointPolicy::every_commits(10).every_wal_bytes, None);
+        assert_eq!(
+            CheckpointPolicy::every_wal_bytes(4096).every_wal_bytes,
+            Some(4096)
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_checkpoint_builders_still_set_the_policy() {
         let cfg = EngineConfig::functional()
             .with_checkpoint_every_wal_bytes(1 << 20)
             .with_checkpoint_every_commits(500);
-        assert_eq!(cfg.checkpoint_every_wal_bytes, Some(1 << 20));
-        assert_eq!(cfg.checkpoint_every_commits, Some(500));
+        assert_eq!(cfg.checkpoints.every_wal_bytes, Some(1 << 20));
+        assert_eq!(cfg.checkpoints.every_commits, Some(500));
     }
 }

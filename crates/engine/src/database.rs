@@ -347,8 +347,8 @@ impl Database {
     /// checkpoint failure here is invisible to it); skips when another
     /// checkpoint is in flight.
     pub(crate) fn note_commit_for_checkpoint(&self) {
-        let every_commits = self.config.checkpoint_every_commits;
-        let every_bytes = self.config.checkpoint_every_wal_bytes;
+        let every_commits = self.config.checkpoints.every_commits;
+        let every_bytes = self.config.checkpoints.every_wal_bytes;
         if every_commits.is_none() && every_bytes.is_none() {
             return;
         }
@@ -476,6 +476,7 @@ impl Database {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::CheckpointPolicy;
     use sicost_storage::{ColumnDef, ColumnType, Value};
     use std::time::Instant;
 
@@ -690,7 +691,7 @@ mod tests {
         let db = Database::builder()
             .table(schema_t())
             .unwrap()
-            .config(EngineConfig::functional().with_checkpoint_every_commits(2))
+            .config(EngineConfig::functional().with_checkpoints(CheckpointPolicy::every_commits(2)))
             .build();
         let tid = db.table_id("T").unwrap();
         db.bulk_load(tid, [Row::new(vec![Value::int(0), Value::int(0)])])
@@ -703,7 +704,9 @@ mod tests {
         let db = Database::builder()
             .table(schema_t())
             .unwrap()
-            .config(EngineConfig::functional().with_checkpoint_every_wal_bytes(1))
+            .config(
+                EngineConfig::functional().with_checkpoints(CheckpointPolicy::every_wal_bytes(1)),
+            )
             .build();
         let tid = db.table_id("T").unwrap();
         db.bulk_load(tid, [Row::new(vec![Value::int(0), Value::int(0)])])

@@ -47,7 +47,7 @@ pub mod ssi;
 pub mod txn;
 
 pub use checkpoint::CheckpointOutcome;
-pub use config::{CcMode, CostModel, EngineConfig, SfuSemantics};
+pub use config::{CcMode, CheckpointPolicy, CostModel, EngineConfig, SfuSemantics};
 pub use database::{Database, DatabaseBuilder};
 pub use error::{AbortReason, SerializationKind, TxnError};
 pub use history::{HistoryEvent, HistoryObserver};

@@ -62,7 +62,7 @@ mod tests {
     use crate::schema::SmallBankConfig;
     use crate::strategy::Strategy;
     use crate::workload::WorkloadParams;
-    use sicost_driver::{run_closed, RunConfig};
+    use sicost_driver::{run, RunConfig};
     use sicost_engine::EngineConfig;
 
     fn driver(strategy: Strategy) -> SmallBankDriver {
@@ -101,7 +101,7 @@ mod tests {
         // checks flowing, we verify the bank still *balances its books*
         // by re-running the audit twice and checking engine metrics add up.
         let d = driver(Strategy::BaseSI);
-        let metrics = run_closed(&d, RunConfig::quick(4));
+        let metrics = run(&d, &RunConfig::quick(4));
         assert!(metrics.commits() > 0, "the run must make progress");
         let em = d.bank().db().metrics();
         assert!(em.commits >= metrics.commits());
@@ -117,7 +117,7 @@ mod tests {
     fn strategies_run_under_concurrency_without_wedging() {
         for strategy in [Strategy::MaterializeALL, Strategy::PromoteALL] {
             let d = driver(strategy);
-            let metrics = run_closed(&d, RunConfig::quick(4));
+            let metrics = run(&d, &RunConfig::quick(4));
             assert!(
                 metrics.commits() > 0,
                 "{strategy} wedged: {:?}",

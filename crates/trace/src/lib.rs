@@ -17,7 +17,7 @@
 //! use sicost_trace::TraceSink;
 //! let sink = TraceSink::with_capacity(4096);
 //! // … attach to the engine:   .observer(sink.clone())
-//! // … and to the driver:      run_closed_observed(&w, cfg, Some(&*sink))
+//! // … and to the driver:      cfg.with_observer(sink.clone()), then run(&w, &cfg)
 //! // … after the run:
 //! let _report = sink.summary_report();
 //! let _jsonl = sink.to_jsonl();

@@ -17,6 +17,11 @@ thread_local! {
     /// event fires on the same client thread, which is how a span learns
     /// its kind without widening the engine API.
     static ATTEMPT_CONTEXT: Cell<Option<(&'static str, u32)>> = const { Cell::new(None) };
+    /// Queue delay announced by the open-system runner for the operation
+    /// about to start on this thread. Consumed (taken) by the first
+    /// engine `Begin` that follows, so only that attempt's span carries
+    /// it.
+    static QUEUE_DELAY: Cell<Option<Duration>> = const { Cell::new(None) };
 }
 
 /// An in-flight span plus its start instant.
@@ -62,6 +67,9 @@ pub struct KindSummary {
     pub wal_sync: LatencyHistogram,
     /// Lock-wait distribution (non-zero only with `trace_timings` on).
     pub lock_wait: LatencyHistogram,
+    /// Admission-queue delay distribution (non-zero only for spans from
+    /// open-system runs; the closed-system runner has no queue).
+    pub queue_delay: LatencyHistogram,
 }
 
 const INFLIGHT_STRIPES: usize = 16;
@@ -132,6 +140,7 @@ impl TraceSink {
                 latency: LatencyHistogram::new(),
                 wal_sync: LatencyHistogram::new(),
                 lock_wait: LatencyHistogram::new(),
+                queue_delay: LatencyHistogram::new(),
             });
             entry.spans += 1;
             if span.committed {
@@ -140,6 +149,7 @@ impl TraceSink {
             entry.latency.record(span.duration);
             entry.wal_sync.record(span.wal_sync);
             entry.lock_wait.record(span.lock_wait);
+            entry.queue_delay.record(span.queue_delay);
         }
         let mut out: Vec<KindSummary> = by_kind.into_values().collect();
         out.sort_by(|a, b| a.kind.cmp(&b.kind));
@@ -151,14 +161,14 @@ impl TraceSink {
     /// time. Zero-safe on an empty sink (renders only the header).
     pub fn summary_report(&self) -> String {
         let mut out = format!(
-            "{:>16} | {:>8} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9}\n",
-            "kind", "spans", "commits", "p50", "p95", "p99", "wal-sync", "lock-wait"
+            "{:>16} | {:>8} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}\n",
+            "kind", "spans", "commits", "p50", "p95", "p99", "wal-sync", "lock-wait", "queue"
         );
         out.push_str(&"-".repeat(out.len()));
         out.push('\n');
         for s in self.summary() {
             out.push_str(&format!(
-                "{:>16} | {:>8} {:>8} {:>7.1?} {:>7.1?} {:>7.1?} {:>7.1?} {:>7.1?}\n",
+                "{:>16} | {:>8} {:>8} {:>7.1?} {:>7.1?} {:>7.1?} {:>7.1?} {:>7.1?} {:>7.1?}\n",
                 s.kind,
                 s.spans,
                 s.committed,
@@ -167,6 +177,7 @@ impl TraceSink {
                 s.latency.quantile(0.99),
                 s.wal_sync.mean(),
                 s.lock_wait.mean(),
+                s.queue_delay.mean(),
             ));
         }
         if self.dropped() > 0 {
@@ -210,6 +221,7 @@ impl HistoryObserver for TraceSink {
         match event {
             HistoryEvent::Begin { txn, snapshot } => {
                 let (kind, attempt) = ATTEMPT_CONTEXT.with(|c| c.get()).unzip();
+                let queue_delay = QUEUE_DELAY.with(|c| c.take()).unwrap_or(Duration::ZERO);
                 let partial = Partial {
                     span: TraceSpan {
                         txn: txn.0,
@@ -224,6 +236,7 @@ impl HistoryObserver for TraceSink {
                         duration: Duration::ZERO,
                         wal_sync: Duration::ZERO,
                         lock_wait: Duration::ZERO,
+                        queue_delay,
                     },
                     started: Instant::now(),
                 };
@@ -272,6 +285,10 @@ impl AttemptObserver for TraceSink {
 
     fn attempt_end(&self, _outcome: Outcome, _latency: Duration) {
         ATTEMPT_CONTEXT.with(|c| c.set(None));
+    }
+
+    fn attempt_queued(&self, _kind: usize, _kind_name: &'static str, queue_delay: Duration) {
+        QUEUE_DELAY.with(|c| c.set(Some(queue_delay)));
     }
 }
 
@@ -379,6 +396,43 @@ mod tests {
         let report = sink.summary_report();
         assert!(report.contains("bal"), "{report}");
         assert!(report.contains("p99"), "{report}");
+    }
+
+    #[test]
+    fn queue_delay_tags_only_the_first_attempt_span() {
+        let sink = TraceSink::with_capacity(16);
+        // Open-system dispatch: queue delay announced once, then two
+        // attempts of the same operation (a retry).
+        sink.attempt_queued(0, "bal", Duration::from_micros(900));
+        sink.attempt_begin(0, "bal", 1);
+        sink.on_event(begin(1));
+        sink.on_event(HistoryEvent::Abort {
+            txn: TxnId(1),
+            reason: AbortReason::Deadlock,
+        });
+        sink.attempt_end(Outcome::Deadlock, Duration::ZERO);
+        sink.attempt_begin(0, "bal", 2);
+        sink.on_event(begin(2));
+        sink.on_event(commit(2, 1));
+        sink.attempt_end(Outcome::Committed, Duration::ZERO);
+
+        let spans = sink.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(
+            spans[0].queue_delay,
+            Duration::from_micros(900),
+            "the first attempt's span carries the queue delay"
+        );
+        assert_eq!(
+            spans[1].queue_delay,
+            Duration::ZERO,
+            "retry attempts crossed no queue"
+        );
+        let summary = sink.summary();
+        assert_eq!(summary[0].queue_delay.count(), 2);
+        assert!(summary[0].queue_delay.max() >= Duration::from_micros(900));
+        let report = sink.summary_report();
+        assert!(report.contains("queue"), "{report}");
     }
 
     #[test]

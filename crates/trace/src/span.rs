@@ -36,6 +36,11 @@ pub struct TraceSpan {
     /// Total time blocked acquiring row/table locks (zero unless
     /// `trace_timings` is enabled).
     pub lock_wait: Duration,
+    /// Time the request spent in the open-system admission queue before
+    /// this attempt's operation was dispatched. Zero for closed-system
+    /// runs (no queue) and for retry attempts after the first — the
+    /// queue is crossed once per operation.
+    pub queue_delay: Duration,
 }
 
 fn micros(d: Duration) -> Json {
@@ -70,6 +75,7 @@ impl TraceSpan {
             ("duration_us", micros(self.duration)),
             ("wal_sync_us", micros(self.wal_sync)),
             ("lock_wait_us", micros(self.lock_wait)),
+            ("queue_delay_us", micros(self.queue_delay)),
         ])
     }
 }
@@ -93,12 +99,14 @@ mod tests {
             duration: Duration::from_micros(1500),
             wal_sync: Duration::from_micros(400),
             lock_wait: Duration::ZERO,
+            queue_delay: Duration::from_micros(250),
         };
         let line = span.to_json().render();
         assert!(line.contains("\"txn\":42"), "{line}");
         assert!(line.contains("\"kind\":\"balance\""), "{line}");
         assert!(line.contains("\"duration_us\":1500"), "{line}");
         assert!(line.contains("\"wal_sync_us\":400"), "{line}");
+        assert!(line.contains("\"queue_delay_us\":250"), "{line}");
         // Valid JSON round-trip.
         let parsed = Json::parse(&line).unwrap();
         assert_eq!(parsed.get("attempt").and_then(Json::as_u64), Some(2));
@@ -120,6 +128,7 @@ mod tests {
             duration: Duration::ZERO,
             wal_sync: Duration::ZERO,
             lock_wait: Duration::ZERO,
+            queue_delay: Duration::ZERO,
         };
         let parsed = Json::parse(&span.to_json().render()).unwrap();
         assert_eq!(parsed.get("kind"), Some(&Json::Null));

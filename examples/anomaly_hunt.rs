@@ -5,7 +5,7 @@
 //! cargo run --release --example anomaly_hunt
 //! ```
 
-use sicost::driver::{run_closed, RetryPolicy, RunConfig};
+use sicost::driver::{run, RetryPolicy, RunConfig};
 use sicost::engine::{CcMode, EngineConfig};
 use sicost::mvsg::{History, Mvsg};
 use sicost::smallbank::{
@@ -31,15 +31,13 @@ fn hunt(label: &str, strategy: Strategy, engine: EngineConfig) -> bool {
         mix: sicost::smallbank::MixWeights::uniform(),
     });
     let driver = SmallBankDriver::new(bank, workload);
-    let metrics = run_closed(
+    let metrics = run(
         &driver,
-        RunConfig {
-            mpl: 8,
-            ramp_up: Duration::from_millis(20),
-            measure: Duration::from_millis(700),
-            seed: 0xCAFE,
-            retry: RetryPolicy::disabled(),
-        },
+        &RunConfig::new(8)
+            .with_ramp_up(Duration::from_millis(20))
+            .with_measure(Duration::from_millis(700))
+            .with_seed(0xCAFE)
+            .with_retry(RetryPolicy::disabled()),
     );
     let events = history.events();
     let graph = Mvsg::from_events(&events);

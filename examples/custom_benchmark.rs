@@ -7,7 +7,7 @@
 //! ```
 
 use sicost::common::{OnlineStats, Xoshiro256};
-use sicost::driver::{render_table, run_closed, Outcome, RetryPolicy, RunConfig, Series, Workload};
+use sicost::driver::{render_table, run, Outcome, RetryPolicy, RunConfig, Series, Workload};
 use sicost::engine::{CcMode, CostModel, Database, EngineConfig};
 use sicost::storage::{ColumnDef, ColumnType, Row, TableSchema, Value};
 use sicost::wal::WalConfig;
@@ -38,8 +38,7 @@ impl Counters {
                 contention_knee: 0,
             },
             vacuum_every: Some(10_000),
-            checkpoint_every_wal_bytes: None,
-            checkpoint_every_commits: None,
+            checkpoints: sicost::engine::CheckpointPolicy::disabled(),
             table_intent_locks: false,
             faults: None,
             shards: EngineConfig::DEFAULT_SHARDS,
@@ -124,15 +123,13 @@ fn main() {
         let mut series = Series::new(format!("{cc:?}"));
         for &mpl in &mpls {
             let wl = Counters::new(cc);
-            let metrics = run_closed(
+            let metrics = run(
                 &wl,
-                RunConfig {
-                    mpl,
-                    ramp_up: Duration::from_millis(100),
-                    measure: Duration::from_millis(600),
-                    seed: 42,
-                    retry: RetryPolicy::disabled(),
-                },
+                &RunConfig::new(mpl)
+                    .with_ramp_up(Duration::from_millis(100))
+                    .with_measure(Duration::from_millis(600))
+                    .with_seed(42)
+                    .with_retry(RetryPolicy::disabled()),
             );
             let mut stats = OnlineStats::new();
             stats.push(metrics.tps());

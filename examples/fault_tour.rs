@@ -7,7 +7,7 @@
 //! ```
 
 use sicost::common::{CrashPoint, FaultConfig, FaultInjector, Ts, Xoshiro256};
-use sicost::driver::{retry_report, run_closed, Outcome, RetryPolicy, RunConfig, Workload};
+use sicost::driver::{retry_report, run, Outcome, RetryPolicy, RunConfig, Workload};
 use sicost::engine::{Database, EngineConfig, TxnError};
 use sicost::storage::{Catalog, ColumnDef, ColumnType, Row, TableSchema, Value};
 use sicost::wal::recover;
@@ -96,15 +96,13 @@ fn main() {
     // ---- Act 1: transient faults rain, the retry layer absorbs them.
     println!("== Act 1: transient faults vs client retry ==\n");
     let wl = Counters::new(FaultConfig::transient(7, 0.20, 0.10));
-    let metrics = run_closed(
+    let metrics = run(
         &wl,
-        RunConfig {
-            mpl: 4,
-            ramp_up: Duration::from_millis(50),
-            measure: Duration::from_millis(500),
-            seed: 42,
-            retry: RetryPolicy::paper_default(),
-        },
+        &RunConfig::new(4)
+            .with_ramp_up(Duration::from_millis(50))
+            .with_measure(Duration::from_millis(500))
+            .with_seed(42)
+            .with_retry(RetryPolicy::paper_default()),
     );
     println!("{}", retry_report(&metrics));
     let stats = wl.db.faults().unwrap().stats();

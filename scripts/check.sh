@@ -33,4 +33,7 @@ cargo test -q --test recovery_torture
 echo "==> recovery smoke bench (writes bench_results/recovery.json)"
 SICOST_BENCH_MODE=smoke cargo bench -q -p sicost-bench --bench recovery
 
+echo "==> open-loop smoke bench (writes bench_results/openloop.json)"
+SICOST_BENCH_MODE=smoke cargo bench -q -p sicost-bench --bench openloop
+
 echo "==> all checks passed"

@@ -2,7 +2,7 @@
 //! make progress, keep the engine's own books straight, and survive
 //! vacuum running mid-flight.
 
-use sicost::driver::{run_closed, RetryPolicy, RunConfig};
+use sicost::driver::{run, RetryPolicy, RunConfig};
 use sicost::engine::{CcMode, EngineConfig};
 use sicost::smallbank::{
     SmallBank, SmallBankConfig, SmallBankDriver, SmallBankWorkload, Strategy, WorkloadParams,
@@ -21,15 +21,13 @@ fn run_cell(cc: CcMode, strategy: Strategy) {
         Arc::clone(&bank),
         SmallBankWorkload::new(WorkloadParams::paper_default().scaled(64, 8)),
     );
-    let metrics = run_closed(
+    let metrics = run(
         &driver,
-        RunConfig {
-            mpl: 6,
-            ramp_up: Duration::from_millis(20),
-            measure: Duration::from_millis(300),
-            seed: 0x3A7,
-            retry: RetryPolicy::disabled(),
-        },
+        &RunConfig::new(6)
+            .with_ramp_up(Duration::from_millis(20))
+            .with_measure(Duration::from_millis(300))
+            .with_seed(0x3A7)
+            .with_retry(RetryPolicy::disabled()),
     );
     assert!(
         metrics.commits() > 20,
@@ -111,15 +109,13 @@ fn vacuum_during_concurrent_traffic_is_safe() {
             }
             reclaimed
         });
-        let metrics = run_closed(
+        let metrics = run(
             &driver,
-            RunConfig {
-                mpl: 6,
-                ramp_up: Duration::from_millis(20),
-                measure: Duration::from_millis(350),
-                seed: 0x7AC,
-                retry: RetryPolicy::disabled(),
-            },
+            &RunConfig::new(6)
+                .with_ramp_up(Duration::from_millis(20))
+                .with_measure(Duration::from_millis(350))
+                .with_seed(0x7AC)
+                .with_retry(RetryPolicy::disabled()),
         );
         let reclaimed = vacuumer.join().unwrap();
         assert!(metrics.commits() > 20);
@@ -145,15 +141,13 @@ fn paper_profiles_run_end_to_end_briefly() {
             Arc::clone(&bank),
             SmallBankWorkload::new(WorkloadParams::paper_default().scaled(256, 32)),
         );
-        let metrics = run_closed(
+        let metrics = run(
             &driver,
-            RunConfig {
-                mpl: 4,
-                ramp_up: Duration::from_millis(50),
-                measure: Duration::from_millis(400),
-                seed: 0x99,
-                retry: RetryPolicy::disabled(),
-            },
+            &RunConfig::new(4)
+                .with_ramp_up(Duration::from_millis(50))
+                .with_measure(Duration::from_millis(400))
+                .with_seed(0x99)
+                .with_retry(RetryPolicy::disabled()),
         );
         assert!(metrics.commits() > 0);
         // With simulated costs, TPS must be modest (sanity check that the

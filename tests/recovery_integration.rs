@@ -3,7 +3,7 @@
 //! exactly — every balance of every customer.
 
 use sicost::common::{Ts, TxnId, Xoshiro256};
-use sicost::driver::{run_closed, RetryPolicy, RunConfig};
+use sicost::driver::{run, RetryPolicy, RunConfig};
 use sicost::engine::EngineConfig;
 use sicost::smallbank::{
     schema::customer_name, SmallBank, SmallBankConfig, SmallBankDriver, SmallBankWorkload,
@@ -25,15 +25,13 @@ fn wal_replay_reproduces_every_balance() {
         Arc::clone(&bank),
         SmallBankWorkload::new(WorkloadParams::paper_default().scaled(64, 8)),
     );
-    let metrics = run_closed(
+    let metrics = run(
         &driver,
-        RunConfig {
-            mpl: 6,
-            ramp_up: Duration::from_millis(20),
-            measure: Duration::from_millis(400),
-            seed: 0x4EC,
-            retry: RetryPolicy::disabled(),
-        },
+        &RunConfig::new(6)
+            .with_ramp_up(Duration::from_millis(20))
+            .with_measure(Duration::from_millis(400))
+            .with_seed(0x4EC)
+            .with_retry(RetryPolicy::disabled()),
     );
     assert!(metrics.commits() > 50, "need a meaningful log");
 

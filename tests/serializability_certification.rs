@@ -2,7 +2,7 @@
 //! that *should* guarantee serializable executions actually does — under
 //! real concurrency, certified by the MVSG — and plain SI does not.
 
-use sicost::driver::{run_closed, RetryPolicy, RunConfig};
+use sicost::driver::{run, RetryPolicy, RunConfig};
 use sicost::engine::{CcMode, EngineConfig, SfuSemantics};
 use sicost::mvsg::{History, Mvsg};
 use sicost::smallbank::{
@@ -30,15 +30,13 @@ fn certified_burst(strategy: Strategy, engine: EngineConfig, seed: u64) -> (bool
             mix: MixWeights::uniform(),
         }),
     );
-    let metrics = run_closed(
+    let metrics = run(
         &driver,
-        RunConfig {
-            mpl: 8,
-            ramp_up: Duration::from_millis(10),
-            measure: Duration::from_millis(400),
-            seed,
-            retry: RetryPolicy::disabled(),
-        },
+        &RunConfig::new(8)
+            .with_ramp_up(Duration::from_millis(10))
+            .with_measure(Duration::from_millis(400))
+            .with_seed(seed)
+            .with_retry(RetryPolicy::disabled()),
     );
     let graph = Mvsg::from_events(&history.events());
     (graph.is_serializable(), metrics.commits())
@@ -156,15 +154,13 @@ fn table_lock_pivot_certifies_serializable() {
             })
             .with_wc_table_lock(),
         );
-        let metrics = run_closed(
+        let metrics = run(
             &driver,
-            RunConfig {
-                mpl: 8,
-                ramp_up: Duration::from_millis(10),
-                measure: Duration::from_millis(400),
-                seed,
-                retry: RetryPolicy::disabled(),
-            },
+            &RunConfig::new(8)
+                .with_ramp_up(Duration::from_millis(10))
+                .with_measure(Duration::from_millis(400))
+                .with_seed(seed)
+                .with_retry(RetryPolicy::disabled()),
         );
         assert!(metrics.commits() > 0);
         let graph = Mvsg::from_events(&history.events());
