@@ -255,7 +255,14 @@ impl FaultInjector {
     /// Called by the pipeline on arrival at `point`. Returns `true`
     /// exactly once — when the armed countdown for this point reaches
     /// zero — and latches the injector into the crashed state.
+    ///
+    /// Every arrival is also a scheduling point for the deterministic
+    /// simulator ([`crate::sync::sim_yield`]): crash-point probes sit at
+    /// exactly the protocol stages whose interleavings matter, so the
+    /// cooperative scheduler gets to switch tasks there even when the
+    /// probe itself does not fire.
     pub fn at_crash_point(&self, point: CrashPoint) -> bool {
+        crate::sync::sim_yield();
         let Some((armed, _)) = self.config.crash_at else {
             return false;
         };

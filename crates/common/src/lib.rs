@@ -25,4 +25,7 @@ pub use json::{Json, JsonError};
 pub use money::Money;
 pub use rng::{SplitMix64, Xoshiro256};
 pub use stats::{ci95_half_width, OnlineStats, Summary};
-pub use sync::{stripe_of, InstrumentedMutex, LockStats, LockWait};
+pub use sync::{
+    clear_sim_hooks, install_sim_hooks, sim_hooks, sim_sleep, sim_spawn, sim_yield, stripe_of,
+    InstrumentedMutex, LockStats, LockWait, SimHooks, SimJoinHandle,
+};

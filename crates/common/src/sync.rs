@@ -1,4 +1,5 @@
-//! Thin synchronisation wrappers over `std::sync`.
+//! Thin synchronisation wrappers over `std::sync`, with deterministic-
+//! simulation hooks.
 //!
 //! The workspace builds with **zero external crates** (the benchmark
 //! machines have no network access to a registry), so the `parking_lot`
@@ -7,17 +8,244 @@
 //! return guards directly, and `Condvar::wait` takes `&mut MutexGuard` —
 //! while delegating to the standard library underneath.
 //!
+//! # Simulation hooks
+//!
+//! Every blocking operation here doubles as an **instrumented yield
+//! point** for the deterministic-simulation scheduler in `sicost-sim`.
+//! A thread that has [`SimHooks`] installed (via [`install_sim_hooks`],
+//! normally done by the simulator) routes lock blocking, condition-variable
+//! waits/notifies, sleeps ([`sim_sleep`]) and thread spawn/join
+//! ([`sim_spawn`], [`SimJoinHandle::join`]) through the hooks, so a
+//! cooperative scheduler can serialise all threads of a run and replay the
+//! exact interleaving from a seed. With no hooks installed — the default —
+//! the cost is a single relaxed atomic load per operation and everything
+//! falls through to `std`.
+//!
+//! Mixing simulated and unsimulated threads on the *same* lock or condvar
+//! is not supported: within one simulation, every participating thread
+//! must be spawned through [`sim_spawn`] (or have hooks installed
+//! explicitly).
+//!
 //! Poisoning is deliberately ignored: a panic while holding one of these
 //! locks is already a test failure, and the simulated-crash machinery
 //! (see [`crate::fault`]) models crashes explicitly rather than through
 //! unwinding, so propagating poison would only turn one failure into a
 //! cascade of unrelated ones.
 
+use std::cell::RefCell;
 use std::ops::{Deref, DerefMut};
 use std::sync;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Simulation hooks
+// ---------------------------------------------------------------------------
+
+/// The scheduler interface a deterministic simulator implements.
+///
+/// All methods are called from the thread being scheduled (the *current
+/// task*), except none — release/notify calls also come from the current
+/// task, since under cooperative scheduling only one task runs at a time.
+/// `cv` and `lock` identifiers are stable addresses of the primitive for
+/// the duration of the wait.
+pub trait SimHooks: Send + Sync {
+    /// A plain scheduling point: the current task offers to be preempted.
+    fn yield_now(&self);
+    /// A *probabilistic* scheduling point on a lock fast path; the
+    /// scheduler decides (deterministically, from its seed) whether to
+    /// actually switch.
+    fn maybe_preempt(&self);
+    /// The current task failed to acquire `lock` and must block until
+    /// [`SimHooks::mutex_released`] is signalled for it. The caller
+    /// retries the acquisition after this returns.
+    fn mutex_blocked(&self, lock: usize);
+    /// `lock` was just released; tasks blocked on it become runnable.
+    /// Not itself a scheduling point.
+    fn mutex_released(&self, lock: usize);
+    /// Park the current task on condition variable `cv` until notified.
+    /// The caller has already released the associated mutex; the
+    /// release-and-park pair is atomic because no other task can run in
+    /// between.
+    fn cv_wait(&self, cv: usize);
+    /// Like [`SimHooks::cv_wait`] with a virtual-time deadline; returns
+    /// `true` if the wait timed out.
+    fn cv_wait_timeout(&self, cv: usize, timeout: Duration) -> bool;
+    /// Wake one (chosen deterministically by the scheduler) or all tasks
+    /// parked on `cv`. Not itself a scheduling point.
+    fn cv_notify(&self, cv: usize, all: bool);
+    /// Sleep in *virtual* time: the task becomes runnable again once the
+    /// simulated clock reaches now + `d`.
+    fn sleep(&self, d: Duration);
+    /// Pre-registers a child task (called by the spawning task, before the
+    /// OS thread exists, so task identity is assigned deterministically).
+    fn register_task(&self, name: &str) -> u64;
+    /// Called on the child thread: adopt identity `task` and block until
+    /// the scheduler grants it the run token.
+    fn attach(&self, task: u64);
+    /// The current task is finished; hand the token back for good.
+    fn detach(&self);
+    /// Has `task` detached? Used by cooperative join.
+    fn task_done(&self, task: u64) -> bool;
+}
+
+/// Count of threads (process-wide) with hooks installed: the fast-path
+/// gate that keeps unsimulated runs at one relaxed load per operation.
+static SIM_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static SIM_TLS: RefCell<Option<Arc<dyn SimHooks>>> = const { RefCell::new(None) };
+}
+
+/// The hooks installed on the current thread, if any.
+pub fn sim_hooks() -> Option<Arc<dyn SimHooks>> {
+    if SIM_THREADS.load(Ordering::Relaxed) == 0 {
+        return None;
+    }
+    SIM_TLS.with(|h| h.borrow().clone())
+}
+
+/// Installs simulation hooks on the current thread. Affects only this
+/// thread: other tests running in the same process are untouched.
+pub fn install_sim_hooks(hooks: Arc<dyn SimHooks>) {
+    SIM_TLS.with(|h| {
+        let mut slot = h.borrow_mut();
+        if slot.is_none() {
+            SIM_THREADS.fetch_add(1, Ordering::SeqCst);
+        }
+        *slot = Some(hooks);
+    });
+}
+
+/// Removes the current thread's simulation hooks (no-op when absent).
+pub fn clear_sim_hooks() {
+    SIM_TLS.with(|h| {
+        if h.borrow_mut().take().is_some() {
+            SIM_THREADS.fetch_sub(1, Ordering::SeqCst);
+        }
+    });
+}
+
+/// An explicit scheduling point: under simulation the scheduler may switch
+/// tasks here; otherwise free. Placed at protocol-interesting spots (e.g.
+/// crash-point probes) to widen the explored interleaving space.
+pub fn sim_yield() {
+    if let Some(h) = sim_hooks() {
+        h.yield_now();
+    }
+}
+
+/// Sleeps for `d` — in virtual time under simulation, in wall-clock time
+/// otherwise. All model-cost sleeps (CPU stations, log device, group-commit
+/// gather windows) must go through here so simulated runs are instant and
+/// deterministic.
+pub fn sim_sleep(d: Duration) {
+    match sim_hooks() {
+        Some(h) => h.sleep(d),
+        None => {
+            if !d.is_zero() {
+                std::thread::sleep(d);
+            }
+        }
+    }
+}
+
+/// Handle for a thread spawned with [`sim_spawn`]: joins cooperatively
+/// under simulation, exactly like `std::thread::JoinHandle` otherwise.
+#[derive(Debug)]
+pub struct SimJoinHandle<T> {
+    inner: std::thread::JoinHandle<T>,
+    task: Option<u64>,
+}
+
+impl<T> SimJoinHandle<T> {
+    /// Waits for the thread to finish. Under simulation this yields until
+    /// the scheduler reports the task done (never blocking the token), then
+    /// reaps the OS thread.
+    pub fn join(self) -> std::thread::Result<T> {
+        if let Some(id) = self.task {
+            if let Some(h) = sim_hooks() {
+                while !h.task_done(id) {
+                    h.yield_now();
+                }
+            }
+        }
+        self.inner.join()
+    }
+
+    /// Whether the underlying OS thread has finished.
+    pub fn is_finished(&self) -> bool {
+        self.inner.is_finished()
+    }
+}
+
+/// Detaches the task (and clears hooks) when the closure finishes — on
+/// the panic path too, so a dying task cannot wedge the scheduler.
+struct DetachOnDrop(Option<Arc<dyn SimHooks>>);
+
+impl Drop for DetachOnDrop {
+    fn drop(&mut self) {
+        if let Some(h) = self.0.take() {
+            h.detach();
+        }
+        clear_sim_hooks();
+    }
+}
+
+/// Spawns a named thread. If the spawning thread is simulated, the child
+/// is pre-registered with the scheduler (so task identity — and therefore
+/// the schedule — is a pure function of the seed), inherits the hooks, and
+/// participates in cooperative scheduling from its first instruction.
+pub fn sim_spawn<F, T>(name: &str, f: F) -> SimJoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let builder = std::thread::Builder::new().name(name.to_string());
+    match sim_hooks() {
+        Some(h) => {
+            let id = h.register_task(name);
+            let inner = builder
+                .spawn(move || {
+                    install_sim_hooks(Arc::clone(&h));
+                    h.attach(id);
+                    let _detach = DetachOnDrop(Some(Arc::clone(&h)));
+                    f()
+                })
+                .expect("spawn simulated thread");
+            SimJoinHandle {
+                inner,
+                task: Some(id),
+            }
+        }
+        None => SimJoinHandle {
+            inner: builder.spawn(f).expect("spawn thread"),
+            task: None,
+        },
+    }
+}
+
+fn mutex_addr<T: ?Sized>(lock: &sync::Mutex<T>) -> usize {
+    (lock as *const sync::Mutex<T>).cast::<()>() as usize
+}
+
+fn coop_lock<'a, T: ?Sized>(
+    lock: &'a sync::Mutex<T>,
+    hooks: &Arc<dyn SimHooks>,
+) -> sync::MutexGuard<'a, T> {
+    loop {
+        match lock.try_lock() {
+            Ok(g) => return g,
+            Err(sync::TryLockError::Poisoned(p)) => return p.into_inner(),
+            Err(sync::TryLockError::WouldBlock) => hooks.mutex_blocked(mutex_addr(lock)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitives
+// ---------------------------------------------------------------------------
 
 /// A mutual-exclusion lock. `lock()` returns the guard directly.
 #[derive(Default)]
@@ -26,8 +254,13 @@ pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
 /// RAII guard for [`Mutex`]; releases the lock on drop.
 ///
 /// Holds an `Option` internally so [`Condvar::wait`] can take the inner
-/// std guard by value and put the reacquired one back in place.
-pub struct MutexGuard<'a, T: ?Sized>(Option<sync::MutexGuard<'a, T>>);
+/// std guard by value and put the reacquired one back in place; the
+/// mutex reference lets the cooperative wait relock in place and lets
+/// the drop path tell the simulator the lock was released.
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a sync::Mutex<T>,
+    inner: Option<sync::MutexGuard<'a, T>>,
+}
 
 impl<T> Mutex<T> {
     /// Creates a mutex guarding `value`.
@@ -44,18 +277,34 @@ impl<T> Mutex<T> {
 }
 
 impl<T: ?Sized> Mutex<T> {
-    /// Acquires the lock, blocking until available.
+    /// Acquires the lock, blocking until available. Under simulation this
+    /// is a scheduling point: a blocked task parks cooperatively, and even
+    /// an uncontended acquisition may be chosen as a preemption site.
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        MutexGuard(Some(
-            self.0.lock().unwrap_or_else(sync::PoisonError::into_inner),
-        ))
+        if let Some(h) = sim_hooks() {
+            h.maybe_preempt();
+            return MutexGuard {
+                lock: &self.0,
+                inner: Some(coop_lock(&self.0, &h)),
+            };
+        }
+        MutexGuard {
+            lock: &self.0,
+            inner: Some(self.0.lock().unwrap_or_else(sync::PoisonError::into_inner)),
+        }
     }
 
     /// Acquires the lock only if it is free right now.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
         match self.0.try_lock() {
-            Ok(g) => Some(MutexGuard(Some(g))),
-            Err(sync::TryLockError::Poisoned(p)) => Some(MutexGuard(Some(p.into_inner()))),
+            Ok(g) => Some(MutexGuard {
+                lock: &self.0,
+                inner: Some(g),
+            }),
+            Err(sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
+                lock: &self.0,
+                inner: Some(p.into_inner()),
+            }),
             Err(sync::TryLockError::WouldBlock) => None,
         }
     }
@@ -77,7 +326,7 @@ impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
 impl<T: ?Sized> Deref for MutexGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        self.0
+        self.inner
             .as_ref()
             .expect("guard taken only inside Condvar::wait")
     }
@@ -85,13 +334,28 @@ impl<T: ?Sized> Deref for MutexGuard<'_, T> {
 
 impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
-        self.0
+        self.inner
             .as_mut()
             .expect("guard taken only inside Condvar::wait")
     }
 }
 
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.inner.take().is_some() {
+            if let Some(h) = sim_hooks() {
+                h.mutex_released(mutex_addr(self.lock));
+            }
+        }
+    }
+}
+
 /// A reader–writer lock. `read()`/`write()` return guards directly.
+///
+/// Simulation-instrumented like [`Mutex`]: under the cooperative
+/// scheduler a contended acquisition parks the task (instead of blocking
+/// the OS thread while it holds the run token) and guard drops wake the
+/// parked waiters. The storage layer's table latches run on this.
 #[derive(Default)]
 pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
 
@@ -102,15 +366,107 @@ impl<T> RwLock<T> {
     }
 }
 
+fn rwlock_addr<T: ?Sized>(lock: &sync::RwLock<T>) -> usize {
+    (lock as *const sync::RwLock<T>).cast::<()>() as usize
+}
+
+/// Shared-access guard for [`RwLock`]; under simulation its drop wakes
+/// parked writers.
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    lock: &'a sync::RwLock<T>,
+    inner: Option<sync::RwLockReadGuard<'a, T>>,
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard present until drop")
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.inner.take().is_some() {
+            if let Some(h) = sim_hooks() {
+                h.mutex_released(rwlock_addr(self.lock));
+            }
+        }
+    }
+}
+
+/// Exclusive-access guard for [`RwLock`]; under simulation its drop wakes
+/// parked readers and writers.
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    lock: &'a sync::RwLock<T>,
+    inner: Option<sync::RwLockWriteGuard<'a, T>>,
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard present until drop")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard present until drop")
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.inner.take().is_some() {
+            if let Some(h) = sim_hooks() {
+                h.mutex_released(rwlock_addr(self.lock));
+            }
+        }
+    }
+}
+
 impl<T: ?Sized> RwLock<T> {
     /// Acquires shared read access.
-    pub fn read(&self) -> sync::RwLockReadGuard<'_, T> {
-        self.0.read().unwrap_or_else(sync::PoisonError::into_inner)
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        let inner = if let Some(h) = sim_hooks() {
+            h.maybe_preempt();
+            loop {
+                match self.0.try_read() {
+                    Ok(g) => break g,
+                    Err(sync::TryLockError::Poisoned(p)) => break p.into_inner(),
+                    Err(sync::TryLockError::WouldBlock) => {
+                        h.mutex_blocked(rwlock_addr(&self.0));
+                    }
+                }
+            }
+        } else {
+            self.0.read().unwrap_or_else(sync::PoisonError::into_inner)
+        };
+        RwLockReadGuard {
+            lock: &self.0,
+            inner: Some(inner),
+        }
     }
 
     /// Acquires exclusive write access.
-    pub fn write(&self) -> sync::RwLockWriteGuard<'_, T> {
-        self.0.write().unwrap_or_else(sync::PoisonError::into_inner)
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        let inner = if let Some(h) = sim_hooks() {
+            h.maybe_preempt();
+            loop {
+                match self.0.try_write() {
+                    Ok(g) => break g,
+                    Err(sync::TryLockError::Poisoned(p)) => break p.into_inner(),
+                    Err(sync::TryLockError::WouldBlock) => {
+                        h.mutex_blocked(rwlock_addr(&self.0));
+                    }
+                }
+            }
+        } else {
+            self.0.write().unwrap_or_else(sync::PoisonError::into_inner)
+        };
+        RwLockWriteGuard {
+            lock: &self.0,
+            inner: Some(inner),
+        }
     }
 
     /// Mutable access without locking (requires exclusive ownership).
@@ -137,11 +493,25 @@ impl Condvar {
         Self(sync::Condvar::new())
     }
 
+    fn addr(&self) -> usize {
+        self as *const Self as usize
+    }
+
     /// Atomically releases the guard's mutex and blocks until notified,
     /// then reacquires the lock before returning.
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
-        let inner = guard.0.take().expect("guard already taken");
-        guard.0 = Some(
+        if let Some(h) = sim_hooks() {
+            let lock = guard.lock;
+            drop(guard.inner.take().expect("guard already taken"));
+            // Release-then-park is atomic under the cooperative scheduler:
+            // no other task runs between these two calls.
+            h.mutex_released(mutex_addr(lock));
+            h.cv_wait(self.addr());
+            guard.inner = Some(coop_lock(lock, &h));
+            return;
+        }
+        let inner = guard.inner.take().expect("guard already taken");
+        guard.inner = Some(
             self.0
                 .wait(inner)
                 .unwrap_or_else(sync::PoisonError::into_inner),
@@ -149,9 +519,17 @@ impl Condvar {
     }
 
     /// Like [`Condvar::wait`] with a timeout; returns `true` if the wait
-    /// timed out.
+    /// timed out. Under simulation the timeout elapses in virtual time.
     pub fn wait_timeout<T>(&self, guard: &mut MutexGuard<'_, T>, timeout: Duration) -> bool {
-        let inner = guard.0.take().expect("guard already taken");
+        if let Some(h) = sim_hooks() {
+            let lock = guard.lock;
+            drop(guard.inner.take().expect("guard already taken"));
+            h.mutex_released(mutex_addr(lock));
+            let timed_out = h.cv_wait_timeout(self.addr(), timeout);
+            guard.inner = Some(coop_lock(lock, &h));
+            return timed_out;
+        }
+        let inner = guard.inner.take().expect("guard already taken");
         let (inner, result) = match self.0.wait_timeout(inner, timeout) {
             Ok((g, r)) => (g, r),
             Err(poisoned) => {
@@ -159,17 +537,23 @@ impl Condvar {
                 (g, r)
             }
         };
-        guard.0 = Some(inner);
+        guard.inner = Some(inner);
         result.timed_out()
     }
 
     /// Wakes one waiter.
     pub fn notify_one(&self) {
+        if let Some(h) = sim_hooks() {
+            h.cv_notify(self.addr(), false);
+        }
         self.0.notify_one();
     }
 
     /// Wakes all waiters.
     pub fn notify_all(&self) {
+        if let Some(h) = sim_hooks() {
+            h.cv_notify(self.addr(), true);
+        }
         self.0.notify_all();
     }
 }
@@ -435,5 +819,20 @@ mod tests {
         // Poison is ignored: the lock stays usable.
         *m.lock() += 1;
         assert_eq!(*m.lock(), 1);
+    }
+
+    #[test]
+    fn sim_helpers_fall_through_without_hooks() {
+        assert!(sim_hooks().is_none());
+        sim_yield(); // no-op
+        sim_sleep(Duration::ZERO); // no-op
+        let h = sim_spawn("plain", || 7u32);
+        assert_eq!(h.join().unwrap(), 7);
+    }
+
+    #[test]
+    fn clear_without_install_is_a_no_op() {
+        clear_sim_hooks();
+        assert!(sim_hooks().is_none());
     }
 }

@@ -40,14 +40,29 @@ impl ArrivalProcess {
     /// Generates the arrival schedule: instants (offsets from run start,
     /// strictly increasing) of every arrival in `[0, horizon]` at
     /// `rate_tps` arrivals per second. Deterministic in `seed`; an empty
-    /// schedule results from a non-positive rate or a zero horizon.
+    /// schedule results from a degenerate config — a non-positive or
+    /// non-finite rate (NaN/∞ would otherwise spin forever emitting
+    /// zero-width gaps) or a zero horizon.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `rate_tps × horizon` exceeds ~67M arrivals: a schedule
+    /// that size is a configuration error, and generating it would look
+    /// exactly like a hang (or abort on allocation).
     pub fn schedule(self, rate_tps: f64, horizon: Duration, seed: u64) -> Vec<Duration> {
-        if rate_tps <= 0.0 || horizon.is_zero() {
+        if !rate_tps.is_finite() || rate_tps <= 0.0 || horizon.is_zero() {
             return Vec::new();
         }
         let horizon_s = horizon.as_secs_f64();
+        let expected = rate_tps * horizon_s;
+        const MAX_ARRIVALS: f64 = (1u64 << 26) as f64;
+        assert!(
+            expected <= MAX_ARRIVALS,
+            "arrival schedule would contain ~{expected:.0} arrivals \
+             (> {MAX_ARRIVALS:.0}); lower rate_tps or shorten the horizon"
+        );
         let mut rng = Xoshiro256::seed_from_u64(seed);
-        let mut out = Vec::with_capacity((rate_tps * horizon_s).ceil() as usize + 1);
+        let mut out = Vec::with_capacity(expected.ceil() as usize + 1);
         match self {
             ArrivalProcess::Constant => {
                 // Computed per index, not accumulated, so float error
@@ -140,15 +155,48 @@ mod tests {
     }
 
     #[test]
-    fn degenerate_inputs_yield_empty_schedules() {
-        assert!(ArrivalProcess::Poisson
-            .schedule(0.0, Duration::from_secs(1), 1)
-            .is_empty());
-        assert!(ArrivalProcess::Constant
-            .schedule(-5.0, Duration::from_secs(1), 1)
-            .is_empty());
-        assert!(ArrivalProcess::Poisson
-            .schedule(100.0, Duration::ZERO, 1)
-            .is_empty());
+    fn zero_rate_yields_an_empty_schedule() {
+        for process in [ArrivalProcess::Constant, ArrivalProcess::Poisson] {
+            assert!(process.schedule(0.0, Duration::from_secs(1), 1).is_empty());
+            assert!(process.schedule(-5.0, Duration::from_secs(1), 1).is_empty());
+        }
+    }
+
+    #[test]
+    fn zero_horizon_yields_an_empty_schedule() {
+        for process in [ArrivalProcess::Constant, ArrivalProcess::Poisson] {
+            assert!(process.schedule(100.0, Duration::ZERO, 1).is_empty());
+        }
+    }
+
+    #[test]
+    fn non_finite_rates_yield_empty_schedules_instead_of_spinning() {
+        // NaN compares false with everything, so the old `<= 0.0` guard
+        // let it through — Constant then pushed `Duration::from_secs_f64
+        // (NaN)` (a panic) and Poisson span on zero-width gaps. Same for
+        // +∞ (every arrival lands at t = 0).
+        for process in [ArrivalProcess::Constant, ArrivalProcess::Poisson] {
+            assert!(process
+                .schedule(f64::NAN, Duration::from_secs(1), 1)
+                .is_empty());
+            assert!(process
+                .schedule(f64::INFINITY, Duration::from_secs(1), 1)
+                .is_empty());
+        }
+    }
+
+    #[test]
+    fn extreme_but_bounded_rates_still_generate() {
+        // 1e12 tps over 1 µs ≈ a million arrivals — fine, just big.
+        let s = ArrivalProcess::Constant.schedule(1e12, Duration::from_micros(1), 1);
+        assert!((999_000..=1_000_001).contains(&s.len()), "{}", s.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "arrival schedule would contain")]
+    fn absurd_rate_horizon_products_panic_instead_of_hanging() {
+        // 1e30 tps × 1 s used to feed ~1e30 into Vec::with_capacity
+        // (allocation abort) and then spin generating ~1e30 arrivals.
+        let _ = ArrivalProcess::Constant.schedule(1e30, Duration::from_secs(1), 1);
     }
 }

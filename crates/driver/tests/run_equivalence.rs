@@ -1,0 +1,183 @@
+//! Seeded equivalence of the three closed-system entry points.
+//!
+//! The driver consolidation kept `run_closed` and `run_closed_observed`
+//! as deprecated shims over `run(workload, &config)`. These tests pin the
+//! contract the shims promise: for the same seed and configuration, all
+//! three entry points drive the *same* run — same kind names, same MPL,
+//! and the same exact per-kind arithmetic between attempts, failures, and
+//! commits — and the observer-delegation rule (an explicit hook passed to
+//! `run_closed_observed` overrides the configured observer) holds.
+//!
+//! Wall-clock note: the measurement interval is real time, so raw
+//! *counts* differ run to run even at a fixed seed. What is deterministic
+//! is the per-request retry schedule — the workload below commits kind
+//! `clean` on attempt 1 and kind `flaky` on attempt 3, always — so the
+//! measured counters of every entry point must satisfy the same exact
+//! invariants, for any measurement window.
+
+#![allow(deprecated)]
+
+use sicost_common::Xoshiro256;
+use sicost_driver::{
+    run, run_closed, run_closed_observed, AttemptObserver, Outcome, RetryPolicy, RunConfig,
+    RunMetrics, Workload,
+};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Structurally deterministic two-kind workload: `clean` commits on its
+/// first attempt; `flaky` serialization-fails on attempts 1–2 and commits
+/// on attempt 3. The tiny sleep keeps one run from spinning millions of
+/// iterations through the measurement window.
+struct TwoKinds;
+
+impl Workload for TwoKinds {
+    type Request = usize;
+
+    fn kinds(&self) -> Vec<&'static str> {
+        vec!["clean", "flaky"]
+    }
+    fn sample(&self, rng: &mut Xoshiro256) -> (usize, usize) {
+        let kind = usize::from(rng.next_bool(0.5));
+        (kind, kind)
+    }
+    fn execute(&self, kind: &usize, attempt: u32) -> Outcome {
+        std::thread::sleep(Duration::from_micros(200));
+        match (kind, attempt) {
+            (0, _) => Outcome::Committed,
+            (1, 1..=2) => Outcome::SerializationFailure,
+            (1, _) => Outcome::Committed,
+            _ => unreachable!("two kinds only"),
+        }
+    }
+}
+
+fn config(seed: u64) -> RunConfig {
+    RunConfig::new(2)
+        .with_ramp_up(Duration::from_millis(10))
+        .with_measure(Duration::from_millis(80))
+        .with_seed(seed)
+        .with_retry(RetryPolicy {
+            max_attempts: 5,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+            jitter: 0.0,
+        })
+}
+
+/// The exact arithmetic every entry point must produce for `TwoKinds`,
+/// regardless of how many operations the wall-clock window admitted.
+fn assert_projections(m: &RunMetrics, entry_point: &str) {
+    assert_eq!(m.kind_names, vec!["clean", "flaky"], "{entry_point}");
+    assert_eq!(m.mpl, 2, "{entry_point}");
+    assert!(m.commits() > 0, "{entry_point}: nothing was measured");
+    assert_eq!(m.give_ups(), 0, "{entry_point}");
+    assert_eq!(m.deadlocks(), 0, "{entry_point}");
+
+    let clean = m.kind("clean").expect("clean kind exists");
+    assert_eq!(
+        clean.attempts(),
+        clean.commits,
+        "{entry_point}: clean commits first try, so attempts == commits"
+    );
+    assert_eq!(clean.serialization_failures, 0, "{entry_point}");
+
+    let flaky = m.kind("flaky").expect("flaky kind exists");
+    assert_eq!(
+        flaky.attempts(),
+        3 * flaky.commits,
+        "{entry_point}: every flaky commit burns exactly 3 attempts"
+    );
+    assert_eq!(
+        flaky.serialization_failures,
+        2 * flaky.commits,
+        "{entry_point}: exactly 2 failures per flaky commit"
+    );
+    if flaky.commits > 0 {
+        assert_eq!(
+            flaky.attempts_per_commit.bin(3),
+            flaky.commits,
+            "{entry_point}"
+        );
+        assert!(
+            (flaky.attempts_per_commit.mean() - 3.0).abs() < 1e-9,
+            "{entry_point}"
+        );
+    }
+}
+
+#[test]
+fn all_three_entry_points_satisfy_identical_projections() {
+    for seed in [0xD1CE, 0xFEED, 7] {
+        let via_run = run(&TwoKinds, &config(seed));
+        let via_closed = run_closed(&TwoKinds, config(seed));
+        let via_observed = run_closed_observed(&TwoKinds, config(seed), None);
+        for (m, name) in [
+            (&via_run, "run"),
+            (&via_closed, "run_closed"),
+            (&via_observed, "run_closed_observed"),
+        ] {
+            assert_projections(m, &format!("{name}/seed {seed:#x}"));
+        }
+        // The shims must not reshape the report: same kinds, same MPL.
+        assert_eq!(via_run.kind_names, via_closed.kind_names);
+        assert_eq!(via_run.kind_names, via_observed.kind_names);
+        assert_eq!(via_run.mpl, via_closed.mpl);
+        assert_eq!(via_run.mpl, via_observed.mpl);
+    }
+}
+
+/// Counts attempt callbacks; used to pin the delegation rules.
+#[derive(Default)]
+struct Counting {
+    begins: AtomicU64,
+    ends: AtomicU64,
+}
+
+impl AttemptObserver for Counting {
+    fn attempt_begin(&self, _kind: usize, _kind_name: &'static str, _attempt: u32) {
+        self.begins.fetch_add(1, Ordering::Relaxed);
+    }
+    fn attempt_end(&self, _outcome: Outcome, _latency: Duration) {
+        self.ends.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[test]
+fn run_closed_observed_without_hook_falls_back_to_the_config_observer() {
+    let configured = Arc::new(Counting::default());
+    let cfg = config(0xD1CE).with_observer(configured.clone());
+    let m = run_closed_observed(&TwoKinds, cfg, None);
+    assert!(m.commits() > 0);
+    let begins = configured.begins.load(Ordering::Relaxed);
+    assert!(
+        begins > 0,
+        "with no explicit hook the configured observer must fire"
+    );
+    assert_eq!(begins, configured.ends.load(Ordering::Relaxed));
+    assert!(
+        begins >= m.attempts(),
+        "the observer sees every attempt including ramp-up ones \
+         ({begins} observed vs {} measured)",
+        m.attempts()
+    );
+}
+
+#[test]
+fn run_closed_observed_explicit_hook_shadows_the_config_observer() {
+    let explicit = Counting::default();
+    let configured = Arc::new(Counting::default());
+    let cfg = config(0xD1CE).with_observer(configured.clone());
+    let m = run_closed_observed(&TwoKinds, cfg, Some(&explicit));
+    assert!(m.commits() > 0);
+    assert!(
+        explicit.begins.load(Ordering::Relaxed) >= m.attempts(),
+        "the explicit hook sees every attempt"
+    );
+    assert_eq!(
+        configured.begins.load(Ordering::Relaxed),
+        0,
+        "the configured observer must be fully shadowed, not merged"
+    );
+}

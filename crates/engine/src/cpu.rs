@@ -40,7 +40,8 @@ impl CpuStation {
         }
         let t = base.mul_f64(self.penalty(active));
         let _cpu = self.station.lock();
-        std::thread::sleep(t);
+        // Virtual time under the deterministic simulator.
+        sicost_common::sync::sim_sleep(t);
     }
 
     /// Charges one data operation (read / write / scanned row).

@@ -318,6 +318,11 @@ impl<'db> Transaction<'db> {
                 }
             }
         }
+        // Deterministic emission order: HashMap iteration order depends on
+        // the per-instance hash seed, which would make history capture (and
+        // deterministic simulation) diverge between identical runs.
+        let mut hits: Vec<(Value, (Row, Option<Ts>))> = hits.into_iter().collect();
+        hits.sort_unstable_by(|(a, _), (b, _)| a.cmp(b));
         let mut out = Vec::with_capacity(hits.len());
         for (pk, (row, observed)) in hits {
             if let Some(ts) = observed {

@@ -1,0 +1,40 @@
+//! Deterministic simulation testing and model checking for sicost.
+//!
+//! Two complementary attacks on the same target — the SSI/FCW commit
+//! protocol and the crash/recovery machinery around it:
+//!
+//! * **DST runtime** ([`sched`]): a seeded cooperative scheduler with a
+//!   virtual clock. Engine threads spawned through
+//!   `sicost_common::sync::sim_spawn` run one at a time under a token
+//!   passed by a seeded RNG; sleeps and condvar timeouts elapse in
+//!   virtual time. An entire engine run — WAL appends, group commit,
+//!   checkpoints, crashes, recovery — becomes a pure function of a `u64`
+//!   seed: run it twice, get byte-identical histories ([`sched::Sim`]
+//!   reports a schedule fingerprint for divergence detection).
+//! * **Model checker** ([`model`], [`ssi_model`]): a std-only
+//!   explicit-state BFS explorer over a small-model extraction of
+//!   `sicost_engine::ssi` + first-committer-wins validation, checked
+//!   exhaustively against the three invariants of the TLA+ spec at
+//!   `specs/ssi/serializable_snapshot_isolation.tla`
+//!   (`FirstCommitterWins`, `SnapshotRead`, `Serializable`) — and
+//!   required to *find* the write-skew counterexample when the SSI
+//!   dangerous-structure rule is switched off.
+//!
+//! [`oracle`] carries the balance-conservation oracle shared by the
+//! wall-clock and simulated torture harnesses, and [`repro`] the
+//! failing-seed replay plumbing (`SICOST_SIM_REPRO`,
+//! `SICOST_SIM_SCHEDULES`).
+
+#![deny(missing_docs)]
+
+pub mod model;
+pub mod oracle;
+pub mod repro;
+pub mod sched;
+pub mod ssi_model;
+
+pub use model::{check_bfs, CheckReport, Invariant, Model, Violation};
+pub use oracle::BalanceAudit;
+pub use repro::{repro_override, schedules_per_point, write_repro_file, REPRO_ENV, SCHEDULES_ENV};
+pub use sched::{Sim, SimReport};
+pub use ssi_model::{Action, Phase, SsiFcwModel, State, TxnState, INIT_WRITER};

@@ -1,0 +1,128 @@
+//! The crash-recovery balance-conservation oracle, shared by the wall-
+//! clock torture harness (`tests/recovery_torture.rs`) and the DST
+//! schedule sweep (`tests/sim_torture.rs`).
+//!
+//! Workers deposit known positive amounts. An acknowledged (`Ok`) deposit
+//! must survive recovery. A deposit that errored *while the crash latch
+//! was up* is indeterminate: its redo record may or may not have become
+//! durable before the crash. The recovered total must therefore equal
+//! `initial + acked + S` for some subset `S` of the indeterminate
+//! amounts, enumerated exhaustively.
+
+/// Accumulates acknowledged and indeterminate deposit amounts against an
+/// initial balance, then explains (or rejects) a recovered total.
+#[derive(Debug, Clone)]
+pub struct BalanceAudit {
+    initial: i64,
+    acked: i64,
+    indeterminate: Vec<i64>,
+}
+
+impl BalanceAudit {
+    /// Starts an audit from the pre-workload total balance (in cents).
+    pub fn new(initial: i64) -> Self {
+        Self {
+            initial,
+            acked: 0,
+            indeterminate: Vec::new(),
+        }
+    }
+
+    /// Records an acknowledged deposit: it must survive recovery.
+    pub fn ack(&mut self, amount: i64) {
+        self.acked += amount;
+    }
+
+    /// Records an indeterminate deposit (errored under the crash latch):
+    /// it may or may not survive recovery.
+    pub fn undecided(&mut self, amount: i64) {
+        assert!(
+            self.indeterminate.len() < 20,
+            "subset-sum enumeration is exponential; cap indeterminates per run"
+        );
+        self.indeterminate.push(amount);
+    }
+
+    /// Sum of acknowledged deposits.
+    pub fn acked(&self) -> i64 {
+        self.acked
+    }
+
+    /// The recorded indeterminate amounts.
+    pub fn indeterminate(&self) -> &[i64] {
+        &self.indeterminate
+    }
+
+    /// `recovered - initial - acked`: the part a subset of the
+    /// indeterminate amounts must account for.
+    pub fn delta(&self, recovered: i64) -> i64 {
+        recovered - self.initial - self.acked
+    }
+
+    /// Whether some subset of the indeterminate amounts sums exactly to
+    /// [`BalanceAudit::delta`] — i.e. no money was lost or invented.
+    pub fn explained(&self, recovered: i64) -> bool {
+        let delta = self.delta(recovered);
+        (0..(1u32 << self.indeterminate.len())).any(|mask| {
+            let subset: i64 = self
+                .indeterminate
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, amt)| amt)
+                .sum();
+            subset == delta
+        })
+    }
+
+    /// Panics with a diagnostic (prefixed by `context`) unless the
+    /// recovered total is explained.
+    pub fn assert_explained(&self, recovered: i64, context: &str) {
+        assert!(
+            self.explained(recovered),
+            "{context}: lost or invented money — recovered {recovered}, initial {}, \
+             acked {}, unexplained delta {}, indeterminates {:?}",
+            self.initial,
+            self.acked,
+            self.delta(recovered),
+            self.indeterminate
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_acked_total_is_explained() {
+        let mut audit = BalanceAudit::new(1_000);
+        audit.ack(40);
+        audit.ack(2);
+        assert!(audit.explained(1_042));
+        assert!(!audit.explained(1_041));
+        assert!(!audit.explained(1_043));
+        assert_eq!(audit.delta(1_042), 0);
+    }
+
+    #[test]
+    fn any_subset_of_indeterminates_is_explained() {
+        let mut audit = BalanceAudit::new(0);
+        audit.ack(100);
+        audit.undecided(7);
+        audit.undecided(11);
+        for extra in [0, 7, 11, 18] {
+            assert!(audit.explained(100 + extra), "subset {extra} must explain");
+        }
+        for bad in [1, 6, 8, 10, 12, 17, 19] {
+            assert!(!audit.explained(100 + bad), "{bad} matches no subset");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lost or invented money")]
+    fn assert_explained_panics_on_unexplained_delta() {
+        let audit = BalanceAudit::new(10);
+        audit.assert_explained(11, "unit");
+    }
+}

@@ -101,7 +101,9 @@ impl LogDevice {
             failed = f.wal_sync_error();
         }
         if !cost.is_zero() {
-            std::thread::sleep(cost);
+            // Virtual time under the deterministic simulator, wall-clock
+            // otherwise.
+            sicost_common::sync::sim_sleep(cost);
         }
         let mut s = self.stats.lock();
         s.syncs += 1;

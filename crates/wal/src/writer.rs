@@ -3,12 +3,11 @@
 use crate::checkpoint::{DurableImage, Manifest};
 use crate::device::{DeviceStats, LogDevice};
 use crate::record::{LogEntry, LogRecord, Lsn};
-use sicost_common::sync::{Condvar, Mutex};
+use sicost_common::sync::{sim_sleep, sim_spawn, Condvar, Mutex, SimJoinHandle};
 use sicost_common::{CrashPoint, FaultInjector, TxnId};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// WAL tuning parameters.
@@ -166,7 +165,7 @@ impl Shared {
 /// of threads funnel through the group-commit daemon.
 pub struct Wal {
     shared: Arc<Shared>,
-    daemon: Option<JoinHandle<()>>,
+    daemon: Option<SimJoinHandle<()>>,
 }
 
 impl Wal {
@@ -202,10 +201,11 @@ impl Wal {
             faults,
         });
         let daemon_shared = Arc::clone(&shared);
-        let daemon = std::thread::Builder::new()
-            .name("wal-group-commit".into())
-            .spawn(move || group_commit_loop(&daemon_shared))
-            .expect("spawn WAL daemon");
+        // sim_spawn: a plain named thread normally; a scheduled task when
+        // running under the deterministic simulator.
+        let daemon = sim_spawn("wal-group-commit", move || {
+            group_commit_loop(&daemon_shared)
+        });
         Self {
             shared,
             daemon: Some(daemon),
@@ -428,7 +428,7 @@ fn group_commit_loop(shared: &Shared) {
         }
         // Gather window: let concurrent committers join the batch.
         if !shared.commit_delay.is_zero() {
-            std::thread::sleep(shared.commit_delay);
+            sim_sleep(shared.commit_delay);
         }
         let batch: Vec<Pending> = std::mem::take(&mut *shared.queue.lock());
         debug_assert!(!batch.is_empty());

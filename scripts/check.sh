@@ -30,6 +30,11 @@ cargo test --workspace -q
 echo "==> crash-recovery torture harness (seeded crash schedules)"
 cargo test -q --test recovery_torture
 
+echo "==> sim-smoke: DST torture + model checker (SICOST_SIM_SCHEDULES widens the sweep)"
+cargo test -q --test sim_torture
+cargo test -q -p sicost-sim
+cargo test -q -p sicost-driver --test run_equivalence
+
 echo "==> recovery smoke bench (writes bench_results/recovery.json)"
 SICOST_BENCH_MODE=smoke cargo bench -q -p sicost-bench --bench recovery
 

@@ -1,0 +1,299 @@
+---------------------------- MODULE serializable_snapshot_isolation ----------------------------
+(*
+ * Serializable Snapshot Isolation (Cahill, Röhm & Fekete) layered over
+ * first-committer-wins snapshot isolation — the commit protocol of
+ * `crates/engine/src/ssi.rs` + `crates/engine/src/txn.rs`, written at the
+ * abstraction level of the executable Rust model in
+ * `crates/sim/src/ssi_model.rs`:
+ *
+ *   - commit is one atomic action (the engine's validation→install
+ *     window, closed by commit announcements, collapses away; the window
+ *     itself is exercised by the DST harness `tests/sim_torture.rs`);
+ *   - a transaction never re-reads a key it wrote (the engine answers
+ *     those from the write set without touching SSI state);
+ *   - WW conflicts resolve at commit time (first committer wins).
+ *
+ * KEY INSIGHT: snapshot isolation allows write skew. SSI prevents it by
+ * detecting "dangerous structures" — a *pivot* transaction with both an
+ * incoming and an outgoing rw-antidependency to concurrent transactions
+ * (Fekete et al., TODS 2005) — and aborting a participant. This admits
+ * false positives but never false negatives.
+ *
+ * Granularity note: the Rust implementation marks rw edges one at a time
+ * and stops at the first abort, so a failing action may leave *fewer*
+ * flags on bystanders than this spec, which applies each action's edge
+ * set relationally. The difference only adds conservative aborts on the
+ * Rust side; the set of states reachable with all participants live is
+ * identical, and `crates/sim/tests/ssi_crosscheck.rs` replays random
+ * schedules against the real engine to keep the correspondence honest.
+ *
+ * INVARIANTS — named one-to-one with `crates/sim/src/ssi_model.rs`:
+ *   - FirstCommitterWins: no two committed, temporally overlapping
+ *     transactions wrote the same key
+ *   - SnapshotRead: every read observed exactly the newest version at or
+ *     below the reader's snapshot
+ *   - Serializable: the multi-version serialization graph (ww ∪ wr ∪ rw)
+ *     over committed transactions is acyclic
+ *
+ * With SsiEnabled = FALSE (plain SI + FCW), TLC finds the classic
+ * write-skew counterexample to Serializable; with TRUE, all three
+ * invariants hold exhaustively. The Rust checker pins the same pair of
+ * facts in `ssi_small_model_is_exhaustively_safe` and
+ * `plain_si_exhibits_write_skew`.
+ *)
+
+EXTENDS Integers, FiniteSets
+
+CONSTANTS
+    TxnId,          \* transaction identifiers, e.g. {0, 1, 2}
+    Key,            \* keys, e.g. {0, 1}
+    SsiEnabled      \* TRUE: the dangerous-structure (pivot) rule is armed
+
+ASSUME TxnId \subseteq Nat
+
+\* Sentinel writer of the initial (pre-history) version of every key —
+\* the Rust model's INIT_WRITER.
+NoWriter == -1
+
+VARIABLES
+    clock,          \* commit-timestamp clock (initial versions at ts 0)
+    phase,          \* TxnId -> {"not_started","active","committed","aborted"}
+    snapshot,       \* TxnId -> Nat (begin timestamp)
+    commitTs,       \* TxnId -> Nat (meaningful once committed)
+    reads,          \* TxnId -> SUBSET [key: Key, ver: Nat] (ver = observed ts)
+    writes,         \* TxnId -> SUBSET Key (WW validation deferred to commit)
+    inConflict,     \* TxnId -> BOOLEAN: incoming rw-antidependency
+    outConflict,    \* TxnId -> BOOLEAN: outgoing rw-antidependency
+    doomed,         \* TxnId -> BOOLEAN: condemned by a pivot detection
+    versions,       \* Key -> SUBSET [ts: Nat, writer: TxnId \cup {NoWriter}]
+    siread          \* Key -> SUBSET TxnId (SIREAD marks outlive commit)
+
+vars == <<clock, phase, snapshot, commitTs, reads, writes,
+          inConflict, outConflict, doomed, versions, siread>>
+
+-----------------------------------------------------------------------------
+(* TYPE INVARIANT *)
+
+TypeInv ==
+    /\ clock \in Nat
+    /\ phase \in [TxnId -> {"not_started", "active", "committed", "aborted"}]
+    /\ snapshot \in [TxnId -> Nat]
+    /\ commitTs \in [TxnId -> Nat]
+    /\ reads \in [TxnId -> SUBSET [key: Key, ver: Nat]]
+    /\ writes \in [TxnId -> SUBSET Key]
+    /\ inConflict \in [TxnId -> BOOLEAN]
+    /\ outConflict \in [TxnId -> BOOLEAN]
+    /\ doomed \in [TxnId -> BOOLEAN]
+    /\ versions \in [Key -> SUBSET [ts: Nat, writer: TxnId \cup {NoWriter}]]
+    /\ siread \in [Key -> SUBSET TxnId]
+
+-----------------------------------------------------------------------------
+(* HELPERS — ports of the identically named functions in ssi.rs *)
+
+Present(t) == phase[t] \in {"active", "committed"}
+
+\* Only active transactions can be asked to abort (atomic commits: no
+\* "committing" window).
+Abortable(t) == phase[t] = "active"
+
+\* Committed transactions stay concurrent with anything that started at
+\* or before their commit (inclusive tie — read-only transactions commit
+\* at their snapshot, so ties are genuine overlaps; conservative).
+ConcurrentWith(other, start) ==
+    \/ phase[other] = "active"
+    \/ phase[other] = "committed" /\ commitTs[other] >= start
+
+\* Newest committed timestamp at or below `snap` — what an SI read of key
+\* k observes. The initial version at ts 0 is always visible.
+ObservedTs(k, snap) ==
+    LET vis == {v.ts : v \in {u \in versions[k] : u.ts <= snap}}
+    IN CHOOSE ts \in vis : \A o \in vis : o <= ts
+
+\* Relational mark_rw over an edge set E (records [r |-> reader,
+\* w |-> writer]): flags are set on present participants...
+MarkedIn(E) ==
+    [u \in TxnId |-> inConflict[u] \/ (Present(u) /\ \E e \in E : e.w = u)]
+MarkedOut(E) ==
+    [u \in TxnId |-> outConflict[u] \/ (Present(u) /\ \E e \in E : e.r = u)]
+
+\* ...and any participant ending up with both flags is a pivot.
+Pivots(E) ==
+    {u \in TxnId : /\ Present(u)
+                   /\ MarkedIn(E)[u] /\ MarkedOut(E)[u]
+                   /\ \E e \in E : e.r = u \/ e.w = u}
+
+\* The pivot rule, from `me`'s point of view: `me` must abort if it is a
+\* pivot itself or if some pivot in the structure cannot be aborted
+\* (already committed). Abortable pivots elsewhere are doomed instead.
+PivotAborts(t, E) ==
+    \/ t \in Pivots(E)
+    \/ \E u \in Pivots(E) : u # t /\ ~Abortable(u)
+
+DoomedAfter(t, E) ==
+    [u \in TxnId |-> doomed[u] \/ (u \in Pivots(E) /\ u # t /\ Abortable(u))]
+
+\* Abort cleanup (SsiManager::on_abort): the SIREAD marks vanish; stale
+\* flags on the aborted transaction are harmless because Present excludes
+\* it from every rule above.
+SireadWithout(t) == [k \in Key |-> siread[k] \ {t}]
+
+-----------------------------------------------------------------------------
+(* INITIAL STATE *)
+
+Init ==
+    /\ clock = 0
+    /\ phase = [t \in TxnId |-> "not_started"]
+    /\ snapshot = [t \in TxnId |-> 0]
+    /\ commitTs = [t \in TxnId |-> 0]
+    /\ reads = [t \in TxnId |-> {}]
+    /\ writes = [t \in TxnId |-> {}]
+    /\ inConflict = [t \in TxnId |-> FALSE]
+    /\ outConflict = [t \in TxnId |-> FALSE]
+    /\ doomed = [t \in TxnId |-> FALSE]
+    /\ versions = [k \in Key |-> {[ts |-> 0, writer |-> NoWriter]}]
+    /\ siread = [k \in Key |-> {}]
+
+-----------------------------------------------------------------------------
+(* ACTIONS *)
+
+Begin(t) ==
+    /\ phase[t] = "not_started"
+    /\ phase' = [phase EXCEPT ![t] = "active"]
+    /\ snapshot' = [snapshot EXCEPT ![t] = clock]
+    /\ UNCHANGED <<clock, commitTs, reads, writes,
+                   inConflict, outConflict, doomed, versions, siread>>
+
+\* SsiManager::on_read: leave an SIREAD mark, record the read, fail if
+\* doomed, then mark reader → writer edges against the writers of
+\* committed versions newer than the one observed.
+Read(t, k) ==
+    /\ phase[t] = "active"
+    /\ ~\E r \in reads[t] : r.key = k      \* no re-reads
+    /\ k \notin writes[t]                  \* no read-your-own-write
+    /\ LET snap == snapshot[t]
+           obs == ObservedTs(k, snap)
+           newer == {v.writer : v \in {u \in versions[k] :
+                                         u.ts > snap /\ u.writer # NoWriter}}
+           E == IF SsiEnabled /\ ~doomed[t]
+                THEN {[r |-> t, w |-> w] : w \in newer}
+                ELSE {}
+           abortMe == SsiEnabled /\ (doomed[t] \/ PivotAborts(t, E))
+       IN /\ reads' = [reads EXCEPT ![t] = @ \cup {[key |-> k, ver |-> obs]}]
+          /\ phase' = IF abortMe THEN [phase EXCEPT ![t] = "aborted"] ELSE phase
+          /\ siread' = IF abortMe
+                       THEN SireadWithout(t)
+                       ELSE [siread EXCEPT ![k] = @ \cup {t}]
+          /\ inConflict' = MarkedIn(E)
+          /\ outConflict' = MarkedOut(E)
+          /\ doomed' = DoomedAfter(t, E)
+          /\ UNCHANGED <<clock, snapshot, commitTs, writes, versions>>
+
+\* SsiManager::on_write: fail if doomed, then mark reader → t edges from
+\* every concurrent SIREAD holder. The write itself defers WW validation
+\* to commit (first committer wins).
+Write(t, k) ==
+    /\ phase[t] = "active"
+    /\ k \notin writes[t]
+    /\ LET readers == {r \in siread[k] :
+                         r # t /\ ConcurrentWith(r, snapshot[t])}
+           E == IF SsiEnabled /\ ~doomed[t]
+                THEN {[r |-> r, w |-> t] : r \in readers}
+                ELSE {}
+           abortMe == SsiEnabled /\ (doomed[t] \/ PivotAborts(t, E))
+       IN /\ writes' = IF abortMe THEN writes
+                       ELSE [writes EXCEPT ![t] = @ \cup {k}]
+          /\ phase' = IF abortMe THEN [phase EXCEPT ![t] = "aborted"] ELSE phase
+          /\ siread' = IF abortMe THEN SireadWithout(t) ELSE siread
+          /\ inConflict' = MarkedIn(E)
+          /\ outConflict' = MarkedOut(E)
+          /\ doomed' = DoomedAfter(t, E)
+          /\ UNCHANGED <<clock, snapshot, commitTs, reads, versions>>
+
+\* Commit: (1) deferred first-committer-wins validation; (2) SSI
+\* pre-commit — pivot pre-check, re-mark reader edges for the write set,
+\* re-check; (3) atomic install. Read-only transactions commit at their
+\* snapshot without consuming a timestamp, as the engine does.
+Commit(t) ==
+    /\ phase[t] = "active"
+    /\ LET snap == snapshot[t]
+           fcw == \E k \in writes[t] : \E v \in versions[k] : v.ts > snap
+           preAbort == SsiEnabled /\ (doomed[t] \/ (inConflict[t] /\ outConflict[t]))
+           readers == {r \in TxnId :
+                         /\ r # t
+                         /\ \E k \in writes[t] : r \in siread[k]
+                         /\ ConcurrentWith(r, snap)}
+           E == IF SsiEnabled /\ ~fcw /\ ~preAbort
+                THEN {[r |-> r, w |-> t] : r \in readers}
+                ELSE {}
+           abortMe == fcw \/ preAbort \/ (SsiEnabled /\ PivotAborts(t, E))
+           cts == IF writes[t] = {} THEN snap ELSE clock + 1
+       IN /\ phase' = [phase EXCEPT ![t] = IF abortMe THEN "aborted"
+                                                      ELSE "committed"]
+          /\ commitTs' = IF abortMe THEN commitTs
+                         ELSE [commitTs EXCEPT ![t] = cts]
+          /\ clock' = IF abortMe \/ writes[t] = {} THEN clock ELSE clock + 1
+          /\ versions' = IF abortMe \/ writes[t] = {} THEN versions
+                         ELSE [k \in Key |->
+                                 IF k \in writes[t]
+                                 THEN versions[k] \cup {[ts |-> cts, writer |-> t]}
+                                 ELSE versions[k]]
+          /\ siread' = IF abortMe THEN SireadWithout(t) ELSE siread
+          /\ inConflict' = MarkedIn(E)
+          /\ outConflict' = MarkedOut(E)
+          /\ doomed' = DoomedAfter(t, E)
+          /\ UNCHANGED <<snapshot, reads, writes>>
+
+Next ==
+    \/ \E t \in TxnId : Begin(t) \/ Commit(t)
+    \/ \E t \in TxnId, k \in Key : Read(t, k) \/ Write(t, k)
+
+Spec == Init /\ [][Next]_vars
+
+-----------------------------------------------------------------------------
+(* INVARIANTS *)
+
+CommittedTxns == {t \in TxnId : phase[t] = "committed"}
+
+\* Two committed transactions overlap when each began before the other
+\* committed. Overlapping committers must have disjoint write sets.
+FirstCommitterWins ==
+    \A i, j \in CommittedTxns :
+        (/\ i # j
+         /\ snapshot[i] < commitTs[j]
+         /\ snapshot[j] < commitTs[i])
+        => writes[i] \cap writes[j] = {}
+
+\* Every read of a live transaction observed exactly the newest version
+\* at or below its snapshot. Commit timestamps are strictly above every
+\* snapshot taken before them, so checking against the final version
+\* store is equivalent to checking at read time.
+SnapshotRead ==
+    \A t \in TxnId :
+        phase[t] # "aborted" =>
+            \A r \in reads[t] : r.ver = ObservedTs(r.key, snapshot[t])
+
+\* The multi-version serialization graph over committed transactions.
+\* Per key: ww (version order = commit order), wr (observed-version
+\* writer → reader), rw (reader → writers of newer versions).
+MvsgEdges ==
+    {p \in CommittedTxns \X CommittedTxns :
+        /\ p[1] # p[2]
+        /\ \/ \E k \in writes[p[1]] \cap writes[p[2]] :
+                  commitTs[p[1]] < commitTs[p[2]]
+           \/ \E r \in reads[p[2]] :
+                  \E v \in versions[r.key] :
+                      v.ts = r.ver /\ v.writer = p[1]
+           \/ \E r \in reads[p[1]] :
+                  r.key \in writes[p[2]] /\ commitTs[p[2]] > r.ver}
+
+RECURSIVE TC(_)
+TC(R) ==
+    LET next == R \cup {p \in CommittedTxns \X CommittedTxns :
+                          \E q \in R, s \in R :
+                              q[2] = s[1] /\ p = <<q[1], s[2]>>}
+    IN IF next = R THEN R ELSE TC(next)
+
+Serializable ==
+    \A t \in CommittedTxns : <<t, t>> \notin TC(MvsgEdges)
+
+=============================================================================

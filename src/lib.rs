@@ -68,3 +68,8 @@ pub mod smallbank {
 pub mod driver {
     pub use sicost_driver::*;
 }
+
+/// Deterministic simulation runtime and SSI/FCW model checker.
+pub mod sim {
+    pub use sicost_sim::*;
+}

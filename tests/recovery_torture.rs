@@ -17,6 +17,7 @@
 
 use sicost::common::{CrashPoint, FaultConfig, FaultInjector, Money, Xoshiro256};
 use sicost::engine::EngineConfig;
+use sicost::sim::BalanceAudit;
 use sicost::smallbank::schema::{customer_name, total_balance};
 use sicost::smallbank::{recover_database, SmallBank, SmallBankConfig, Strategy};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -123,8 +124,13 @@ fn run_schedule(point: CrashPoint, round: u64) {
         db.crashed(),
         "{point}/round {round}: the armed crash point never fired"
     );
-    let acked_sum: i64 = outcomes.iter().map(|w| w.acked).sum();
-    let indeterminates: Vec<i64> = outcomes.iter().filter_map(|w| w.indeterminate).collect();
+    let mut audit = BalanceAudit::new(initial);
+    for w in &outcomes {
+        audit.ack(w.acked);
+        if let Some(amount) = w.indeterminate {
+            audit.undecided(amount);
+        }
+    }
 
     // Recover from the durable image as a restart would find it.
     let image = db.durable_image();
@@ -149,24 +155,10 @@ fn run_schedule(point: CrashPoint, round: u64) {
     );
 
     // Balance conservation: initial + acked + some subset of the
-    // indeterminate amounts (≤ MPL of them, exhaustively enumerated).
+    // indeterminate amounts (≤ MPL of them, exhaustively enumerated by
+    // the shared oracle — the DST sweep in `sim_torture` uses the same).
     let recovered = total_balance(&rdb, &rtables).as_cents();
-    let delta = recovered - initial - acked_sum;
-    let explained = (0..(1u32 << indeterminates.len())).any(|mask| {
-        let subset: i64 = indeterminates
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| mask & (1 << i) != 0)
-            .map(|(_, amt)| amt)
-            .sum();
-        subset == delta
-    });
-    assert!(
-        explained,
-        "{point}/round {round}: lost or invented money — recovered {recovered}, \
-         initial {initial}, acked {acked_sum}, unexplained delta {delta}, \
-         indeterminates {indeterminates:?}"
-    );
+    audit.assert_explained(recovered, &format!("{point}/round {round}"));
 
     // The recovered database is live: one more audited deposit.
     let rbank = SmallBank::adopt(rdb, *bank.tables(), Strategy::BaseSI);
