@@ -21,9 +21,9 @@
 //!              └─────────────────────────────────┘
 //! ```
 
+use sicost_common::sync::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// What the admission controller does when the queue is full.
@@ -133,7 +133,7 @@ impl<T> AdmissionQueue<T> {
     /// Offers one request, applying the policy. Offers against a closed
     /// queue are shed regardless of policy (shutdown must not block).
     pub fn offer(&self, item: T) -> Admission {
-        let mut inner = self.inner.lock().expect("admission lock");
+        let mut inner = self.inner.lock();
         if inner.closed {
             self.shed.fetch_add(1, Ordering::Relaxed);
             return Admission::Shed;
@@ -147,18 +147,30 @@ impl<T> AdmissionQueue<T> {
                 }
             }
             AdmissionPolicy::BlockWithTimeout { capacity, timeout } => {
-                let deadline = Instant::now() + timeout;
+                // The wait's own expiry is the authoritative timeout
+                // signal: under simulation the timeout elapses in
+                // *virtual* time, so re-deriving it from a wall-clock
+                // deadline would spin forever. `remaining` only shrinks
+                // the budget across spurious wakeups (wall-clock
+                // best-effort; zero under the sim, which is fine — the
+                // virtual wait re-arms with the same budget and expires
+                // deterministically).
+                let mut remaining = timeout;
                 while inner.queue.len() >= capacity && !inner.closed {
-                    let now = Instant::now();
-                    if now >= deadline {
+                    if remaining.is_zero() {
                         self.timed_out.fetch_add(1, Ordering::Relaxed);
                         return Admission::TimedOut;
                     }
-                    let (guard, _) = self
-                        .not_full
-                        .wait_timeout(inner, deadline - now)
-                        .expect("admission lock");
-                    inner = guard;
+                    let waited = Instant::now();
+                    let timed_out = self.not_full.wait_timeout(&mut inner, remaining);
+                    if timed_out {
+                        if inner.queue.len() >= capacity && !inner.closed {
+                            self.timed_out.fetch_add(1, Ordering::Relaxed);
+                            return Admission::TimedOut;
+                        }
+                        break;
+                    }
+                    remaining = remaining.saturating_sub(waited.elapsed());
                 }
                 if inner.closed {
                     self.shed.fetch_add(1, Ordering::Relaxed);
@@ -179,7 +191,7 @@ impl<T> AdmissionQueue<T> {
     /// but open. Returns `None` once the queue is closed *and* drained —
     /// the worker-pool shutdown signal.
     pub fn pop(&self) -> Option<T> {
-        let mut inner = self.inner.lock().expect("admission lock");
+        let mut inner = self.inner.lock();
         loop {
             if let Some(item) = inner.queue.pop_front() {
                 drop(inner);
@@ -189,7 +201,7 @@ impl<T> AdmissionQueue<T> {
             if inner.closed {
                 return None;
             }
-            inner = self.not_empty.wait(inner).expect("admission lock");
+            self.not_empty.wait(&mut inner);
         }
     }
 
@@ -197,14 +209,14 @@ impl<T> AdmissionQueue<T> {
     /// queued and then see `None`. Blocked submitters are released (their
     /// offers are shed).
     pub fn close(&self) {
-        self.inner.lock().expect("admission lock").closed = true;
+        self.inner.lock().closed = true;
         self.not_empty.notify_all();
         self.not_full.notify_all();
     }
 
     /// Requests currently queued (racy snapshot).
     pub fn depth(&self) -> usize {
-        self.inner.lock().expect("admission lock").queue.len()
+        self.inner.lock().queue.len()
     }
 
     /// Deepest the queue ever got.

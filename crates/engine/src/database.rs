@@ -379,7 +379,10 @@ impl Database {
     }
 
     /// Garbage-collects versions no active snapshot can see (and SSI
-    /// bookkeeping, in SSI mode). Returns reclaimed version count.
+    /// bookkeeping, in SSI mode). Returns the total reclaim count:
+    /// pruned table versions plus, in SSI mode, retired SSI transaction
+    /// records (each also reported separately in
+    /// [`EngineMetrics::ssi_txns_reclaimed`]).
     pub fn vacuum(&self) -> u64 {
         let horizon = self
             .registry
@@ -388,10 +391,12 @@ impl Database {
         for t in self.catalog.tables() {
             reclaimed += t.prune(horizon) as u64;
         }
-        if self.config.cc == crate::CcMode::Ssi {
-            self.ssi.gc(horizon);
-        }
         self.metrics.record_pruned(reclaimed);
+        if self.config.cc == crate::CcMode::Ssi {
+            let ssi_reclaimed = self.ssi.gc(horizon) as u64;
+            self.metrics.record_ssi_reclaimed(ssi_reclaimed);
+            reclaimed += ssi_reclaimed;
+        }
         reclaimed
     }
 
@@ -601,6 +606,45 @@ mod tests {
         db.vacuum();
         assert_eq!(t.version_count(), 1);
         assert!(db.metrics().versions_pruned >= 5);
+    }
+
+    /// Vacuum in SSI mode must count the SSI transaction records it
+    /// retires — in the return value and in `ssi_txns_reclaimed` — not
+    /// just pruned table versions. (Regression: the `ssi.gc` return used
+    /// to be dropped on the floor.)
+    #[test]
+    fn vacuum_accounts_for_ssi_reclaimed_records() {
+        let db = Database::builder()
+            .table(schema_t())
+            .unwrap()
+            .config(EngineConfig::functional().with_cc(crate::CcMode::Ssi))
+            .build();
+        let tid = db.table_id("T").unwrap();
+        db.bulk_load(tid, [Row::new(vec![Value::int(1), Value::int(0)])])
+            .unwrap();
+        // Five committed updates: five SSI commit records and four dead
+        // versions (the fifth is the live tip).
+        for i in 1..=5 {
+            let mut tx = db.begin();
+            tx.update(
+                tid,
+                &Value::int(1),
+                Row::new(vec![Value::int(1), Value::int(i)]),
+            )
+            .unwrap();
+            tx.commit().unwrap();
+        }
+        assert_eq!(db.ssi.tracked(), 5, "all five commit records retained");
+        let reclaimed = db.vacuum();
+        let m = db.metrics();
+        assert_eq!(m.ssi_txns_reclaimed, 5, "SSI records counted in metrics");
+        assert_eq!(
+            reclaimed,
+            m.versions_pruned + m.ssi_txns_reclaimed,
+            "vacuum's return covers both version and SSI reclaim"
+        );
+        assert!(m.versions_pruned >= 4, "dead versions pruned too");
+        assert_eq!(db.ssi.tracked(), 0);
     }
 
     fn schema_t() -> TableSchema {

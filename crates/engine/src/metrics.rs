@@ -61,6 +61,7 @@ pub struct EngineMetricsInner {
     aborts_app: AtomicU64,
     aborts_transient: AtomicU64,
     versions_pruned: AtomicU64,
+    ssi_txns_reclaimed: AtomicU64,
     checkpoints_taken: AtomicU64,
     checkpoint_bytes_truncated: AtomicU64,
     recovery_replay_bytes: AtomicU64,
@@ -90,6 +91,10 @@ impl EngineMetricsInner {
         self.versions_pruned.fetch_add(n, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_ssi_reclaimed(&self, n: u64) {
+        self.ssi_txns_reclaimed.fetch_add(n, Ordering::Relaxed);
+    }
+
     pub(crate) fn record_checkpoint(&self, truncated_bytes: u64) {
         self.checkpoints_taken.fetch_add(1, Ordering::Relaxed);
         self.checkpoint_bytes_truncated
@@ -113,6 +118,7 @@ impl EngineMetricsInner {
             aborts_application: self.aborts_app.load(Ordering::Relaxed),
             aborts_transient: self.aborts_transient.load(Ordering::Relaxed),
             versions_pruned: self.versions_pruned.load(Ordering::Relaxed),
+            ssi_txns_reclaimed: self.ssi_txns_reclaimed.load(Ordering::Relaxed),
             checkpoints_taken: self.checkpoints_taken.load(Ordering::Relaxed),
             checkpoint_bytes_truncated: self.checkpoint_bytes_truncated.load(Ordering::Relaxed),
             recovery_replay_bytes: self.recovery_replay_bytes.load(Ordering::Relaxed),
@@ -142,6 +148,10 @@ pub struct EngineMetrics {
     pub aborts_transient: u64,
     /// Versions reclaimed by the garbage collector.
     pub versions_pruned: u64,
+    /// SSI transaction records retired by vacuum (SSI mode only): commit
+    /// metadata whose rw-antidependency edges can no longer form a pivot
+    /// because every concurrent snapshot has drained past them.
+    pub ssi_txns_reclaimed: u64,
     /// Fuzzy checkpoints completed (manifest swapped durably).
     pub checkpoints_taken: u64,
     /// WAL-prefix bytes dropped by checkpoint truncation.

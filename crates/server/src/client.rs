@@ -1,0 +1,479 @@
+//! The client: a transaction session over any [`Transport`], with
+//! request pipelining and a connection pool.
+//!
+//! Ordinary operation errors surface as [`TxnError`] — transport
+//! failures are folded into [`TxnError::Transient`] so workload code
+//! classifies them as retryable, exactly like a driver talking to a
+//! flaky database server would. The one place that folding would be
+//! wrong is commit: a commit whose reply never arrived may or may not
+//! have applied, so [`ClientTxn::commit`] returns a [`CommitOutcome`]
+//! that keeps *definitely-not-committed* ([`CommitOutcome::Failed`])
+//! separate from *unknown* ([`CommitOutcome::Indeterminate`]).
+
+use crate::protocol::{Request, Response, PROTOCOL_VERSION};
+use crate::transport::{NetError, Transport};
+use sicost_common::sync::{Condvar, Mutex};
+use sicost_common::TableId;
+use sicost_engine::TxnError;
+use sicost_storage::{Row, Value};
+use std::collections::VecDeque;
+
+/// A failure below the transaction layer: the connection, the codec, or
+/// the server's protocol state machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// The transport failed.
+    Net(NetError),
+    /// The server's reply did not decode.
+    Wire(String),
+    /// The server sent [`Response::Fatal`]; the connection is dead.
+    Fatal(String),
+    /// The server answered with a reply the protocol does not allow
+    /// here (a server bug, or streams out of sync).
+    Unexpected(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Net(e) => write!(f, "network: {e}"),
+            ClientError::Wire(msg) => write!(f, "wire: {msg}"),
+            ClientError::Fatal(msg) => write!(f, "server fatal: {msg}"),
+            ClientError::Unexpected(msg) => write!(f, "unexpected reply: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl ClientError {
+    /// Folds into the retryable engine-error domain ([`TxnError::Transient`]).
+    pub fn into_txn_error(self) -> TxnError {
+        TxnError::Transient(self.to_string())
+    }
+}
+
+/// How a commit attempt ended, from the client's point of view.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CommitOutcome {
+    /// The server acknowledged the commit.
+    Committed {
+        /// Commit timestamp.
+        ts: u64,
+    },
+    /// The server rolled the transaction back (serialization failure,
+    /// deadlock, constraint, …). Definitely not committed.
+    Aborted(TxnError),
+    /// The attempt failed before the `Commit` frame was handed to the
+    /// transport: the server will see a disconnect mid-transaction and
+    /// roll back. Definitely not committed.
+    Failed(ClientError),
+    /// The `Commit` frame may have reached the server but its reply was
+    /// lost. The transaction may or may not have committed — only the
+    /// database knows.
+    Indeterminate(ClientError),
+}
+
+/// What reply a pipelined request still owes us.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Expected {
+    Began,
+    Ok,
+}
+
+/// One protocol session over a transport. Created by [`Client::connect`],
+/// which runs the version handshake and captures the table catalog.
+pub struct Client<T: Transport> {
+    transport: T,
+    tables: Vec<(String, TableId)>,
+    /// Replies owed by pipelined requests, oldest first.
+    pending: VecDeque<Expected>,
+    /// First engine error drained from a pipelined reply, if any.
+    deferred_err: Option<TxnError>,
+    broken: bool,
+}
+
+impl<T: Transport> Client<T> {
+    /// Performs the `Hello`/`HelloOk` handshake on a fresh transport.
+    pub fn connect(mut transport: T) -> Result<Self, ClientError> {
+        transport
+            .send_frame(
+                &Request::Hello {
+                    version: PROTOCOL_VERSION,
+                }
+                .encode(),
+            )
+            .map_err(ClientError::Net)?;
+        let frame = transport.recv_frame().map_err(ClientError::Net)?;
+        let resp = Response::decode(&frame).map_err(|e| ClientError::Wire(e.to_string()))?;
+        match resp {
+            Response::HelloOk { version, tables } if version == PROTOCOL_VERSION => Ok(Self {
+                transport,
+                tables,
+                pending: VecDeque::new(),
+                deferred_err: None,
+                broken: false,
+            }),
+            Response::HelloOk { version, .. } => Err(ClientError::Unexpected(format!(
+                "server speaks protocol version {version}, not {PROTOCOL_VERSION}"
+            ))),
+            Response::Fatal { message } => Err(ClientError::Fatal(message)),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// The table catalog announced in the handshake (name → id).
+    pub fn tables(&self) -> &[(String, TableId)] {
+        &self.tables
+    }
+
+    /// Looks a table up by name.
+    pub fn table_id(&self, name: &str) -> Option<TableId> {
+        self.tables
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, id)| *id)
+    }
+
+    /// True once the session has failed; a broken client must be
+    /// discarded (the pool does this automatically).
+    pub fn is_broken(&self) -> bool {
+        self.broken
+    }
+
+    /// Starts a transaction. The `Begin` frame is pipelined: it is sent
+    /// immediately, and its `Began` reply is drained by the first
+    /// operation that needs a response.
+    pub fn begin(&mut self) -> Result<ClientTxn<'_, T>, ClientError> {
+        self.deferred_err = None;
+        self.send(Request::Begin)?;
+        self.pending.push_back(Expected::Began);
+        Ok(ClientTxn { client: self })
+    }
+
+    fn send(&mut self, req: Request) -> Result<(), ClientError> {
+        if self.broken {
+            return Err(ClientError::Net(NetError::Disconnected));
+        }
+        self.transport.send_frame(&req.encode()).map_err(|e| {
+            self.broken = true;
+            ClientError::Net(e)
+        })
+    }
+
+    fn recv(&mut self) -> Result<Response, ClientError> {
+        if self.broken {
+            return Err(ClientError::Net(NetError::Disconnected));
+        }
+        let frame = self.transport.recv_frame().map_err(|e| {
+            self.broken = true;
+            ClientError::Net(e)
+        })?;
+        let resp = Response::decode(&frame).map_err(|e| {
+            self.broken = true;
+            ClientError::Wire(e.to_string())
+        })?;
+        if let Response::Fatal { message } = resp {
+            self.broken = true;
+            return Err(ClientError::Fatal(message));
+        }
+        Ok(resp)
+    }
+
+    /// Drains every owed pipelined reply. Engine errors are remembered in
+    /// `deferred_err` (first wins) rather than returned, so the stream
+    /// stays in sync even when an early pipelined write failed.
+    fn drain_pending(&mut self) -> Result<(), ClientError> {
+        while let Some(expected) = self.pending.front().copied() {
+            let resp = self.recv()?;
+            self.pending.pop_front();
+            match (expected, resp) {
+                (Expected::Began, Response::Began) => {}
+                (Expected::Ok, Response::Ok) => {}
+                (_, Response::Err { error }) => {
+                    self.deferred_err.get_or_insert(error);
+                }
+                (_, other) => {
+                    self.broken = true;
+                    return Err(ClientError::Unexpected(format!("{other:?}")));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// An open transaction on a [`Client`]. Exclusively borrows the client —
+/// one transaction per connection, enforced at compile time.
+///
+/// Dropping the handle without calling [`ClientTxn::commit`] or
+/// [`ClientTxn::rollback`] leaves the server-side transaction open until
+/// the next `Begin`'s error or the disconnect rolls it back; call
+/// `rollback` explicitly for prompt cleanup.
+pub struct ClientTxn<'a, T: Transport> {
+    client: &'a mut Client<T>,
+}
+
+impl<T: Transport> ClientTxn<'_, T> {
+    fn txn_err(&mut self) -> Option<TxnError> {
+        self.client.deferred_err.take()
+    }
+
+    /// Runs one synchronous request: drains pipelined replies, sends,
+    /// reads the reply. A previously deferred pipelined error surfaces
+    /// here instead of the request being sent.
+    fn round_trip(&mut self, req: Request) -> Result<Response, TxnError> {
+        self.client
+            .drain_pending()
+            .map_err(ClientError::into_txn_error)?;
+        if let Some(e) = self.txn_err() {
+            return Err(e);
+        }
+        self.client.send(req).map_err(ClientError::into_txn_error)?;
+        let resp = self.client.recv().map_err(ClientError::into_txn_error)?;
+        if let Response::Err { error } = resp {
+            return Err(error);
+        }
+        Ok(resp)
+    }
+
+    fn unexpected(&mut self, resp: Response) -> TxnError {
+        self.client.broken = true;
+        ClientError::Unexpected(format!("{resp:?}")).into_txn_error()
+    }
+
+    /// Snapshot point read.
+    pub fn read(&mut self, table: TableId, key: &Value) -> Result<Option<Row>, TxnError> {
+        match self.round_trip(Request::Read {
+            table,
+            key: key.clone(),
+        })? {
+            Response::RowResult { row } => Ok(row),
+            other => Err(self.unexpected(other)),
+        }
+    }
+
+    /// `SELECT … FOR UPDATE` point read.
+    pub fn read_for_update(
+        &mut self,
+        table: TableId,
+        key: &Value,
+    ) -> Result<Option<Row>, TxnError> {
+        match self.round_trip(Request::ReadForUpdate {
+            table,
+            key: key.clone(),
+        })? {
+            Response::RowResult { row } => Ok(row),
+            other => Err(self.unexpected(other)),
+        }
+    }
+
+    /// Row insert (synchronous).
+    pub fn insert(&mut self, table: TableId, row: Row) -> Result<(), TxnError> {
+        match self.round_trip(Request::Insert { table, row })? {
+            Response::Ok => Ok(()),
+            other => Err(self.unexpected(other)),
+        }
+    }
+
+    /// Row update (synchronous).
+    pub fn update(&mut self, table: TableId, key: &Value, row: Row) -> Result<(), TxnError> {
+        match self.round_trip(Request::Update {
+            table,
+            key: key.clone(),
+            row,
+        })? {
+            Response::Ok => Ok(()),
+            other => Err(self.unexpected(other)),
+        }
+    }
+
+    /// Row update, pipelined: the frame is sent now, the reply is drained
+    /// by the next synchronous operation or by commit. Lets a program's
+    /// trailing writes ride in the same network flush as its `Commit`.
+    pub fn update_pipelined(
+        &mut self,
+        table: TableId,
+        key: &Value,
+        row: Row,
+    ) -> Result<(), TxnError> {
+        self.client
+            .send(Request::Update {
+                table,
+                key: key.clone(),
+                row,
+            })
+            .map_err(ClientError::into_txn_error)?;
+        self.client.pending.push_back(Expected::Ok);
+        Ok(())
+    }
+
+    /// Row delete.
+    pub fn delete(&mut self, table: TableId, key: &Value) -> Result<bool, TxnError> {
+        match self.round_trip(Request::Delete {
+            table,
+            key: key.clone(),
+        })? {
+            Response::Deleted { existed } => Ok(existed),
+            other => Err(self.unexpected(other)),
+        }
+    }
+
+    /// Explicit table lock.
+    pub fn lock_table(&mut self, table: TableId, exclusive: bool) -> Result<(), TxnError> {
+        match self.round_trip(Request::LockTable { table, exclusive })? {
+            Response::Ok => Ok(()),
+            other => Err(self.unexpected(other)),
+        }
+    }
+
+    /// Full-table scan; rows arrive in the engine's deterministic
+    /// (sorted) emission order.
+    pub fn scan(&mut self, table: TableId) -> Result<Vec<(Value, Row)>, TxnError> {
+        match self.round_trip(Request::Scan { table })? {
+            Response::ScanRow { key, row } => {
+                let mut rows = vec![(key, row)];
+                loop {
+                    match self.client.recv().map_err(ClientError::into_txn_error)? {
+                        Response::ScanRow { key, row } => rows.push((key, row)),
+                        Response::ScanEnd { .. } => return Ok(rows),
+                        other => return Err(self.unexpected(other)),
+                    }
+                }
+            }
+            Response::ScanEnd { .. } => Ok(Vec::new()),
+            other => Err(self.unexpected(other)),
+        }
+    }
+
+    /// Commits. The `Commit` frame flushes behind any still-pipelined
+    /// writes; their replies are drained first, and the first engine
+    /// error among them wins (the server already rolled back, so the
+    /// commit reply behind it is the `Inactive` echo, which is
+    /// swallowed).
+    pub fn commit(self) -> CommitOutcome {
+        let client = self.client;
+        // Failure before the Commit frame leaves the transport: the
+        // server can only ever see a disconnect → definitely rolled back.
+        if let Err(e) = client.send(Request::Commit) {
+            return CommitOutcome::Failed(e);
+        }
+        // From here on the Commit frame is in flight: any failure is
+        // indeterminate.
+        if let Err(e) = client.drain_pending() {
+            return CommitOutcome::Indeterminate(e);
+        }
+        let deferred = client.deferred_err.take();
+        let resp = match client.recv() {
+            Ok(resp) => resp,
+            Err(e) => return CommitOutcome::Indeterminate(e),
+        };
+        match (deferred, resp) {
+            // A pipelined write failed: the server rolled back there and
+            // answered the commit with Inactive. Surface the real cause.
+            (Some(cause), Response::Err { .. }) => CommitOutcome::Aborted(cause),
+            (None, Response::Committed { ts }) => CommitOutcome::Committed { ts },
+            (None, Response::Err { error }) => CommitOutcome::Aborted(error),
+            (_, other) => {
+                client.broken = true;
+                CommitOutcome::Failed(ClientError::Unexpected(format!("{other:?}")))
+            }
+        }
+    }
+
+    /// Rolls back. Idempotent server-side; errors are swallowed (the
+    /// disconnect that caused them rolls the transaction back anyway).
+    pub fn rollback(self) {
+        let client = self.client;
+        if client.send(Request::Abort).is_err() {
+            return;
+        }
+        if client.drain_pending().is_err() {
+            return;
+        }
+        client.deferred_err = None;
+        match client.recv() {
+            Ok(Response::Aborted) | Err(_) => {}
+            Ok(other) => {
+                client.broken = true;
+                let _ = other;
+            }
+        }
+    }
+}
+
+/// A bounded pool of connected clients. Checkout blocks (sim-aware) when
+/// every connection is in use; broken clients are discarded on checkin
+/// and replaced lazily through the connect factory.
+pub struct ClientPool<T: Transport> {
+    inner: Mutex<PoolState<T>>,
+    available: Condvar,
+    capacity: usize,
+    connect: Box<dyn Fn() -> Result<Client<T>, ClientError> + Send + Sync>,
+}
+
+struct PoolState<T: Transport> {
+    idle: Vec<Client<T>>,
+    /// Connections that exist (idle + checked out).
+    live: usize,
+}
+
+impl<T: Transport> ClientPool<T> {
+    /// An empty pool of at most `capacity` connections, dialing through
+    /// `connect` on demand.
+    pub fn new(
+        capacity: usize,
+        connect: impl Fn() -> Result<Client<T>, ClientError> + Send + Sync + 'static,
+    ) -> Self {
+        assert!(capacity > 0, "pool capacity must be positive");
+        Self {
+            inner: Mutex::new(PoolState {
+                idle: Vec::new(),
+                live: 0,
+            }),
+            available: Condvar::new(),
+            capacity,
+            connect: Box::new(connect),
+        }
+    }
+
+    /// Checks a client out, dialing a new connection if under capacity,
+    /// blocking otherwise.
+    pub fn checkout(&self) -> Result<Client<T>, ClientError> {
+        let mut state = self.inner.lock();
+        loop {
+            if let Some(c) = state.idle.pop() {
+                return Ok(c);
+            }
+            if state.live < self.capacity {
+                state.live += 1;
+                drop(state);
+                return (self.connect)().inspect_err(|_| {
+                    self.inner.lock().live -= 1;
+                    self.available.notify_one();
+                });
+            }
+            self.available.wait(&mut state);
+        }
+    }
+
+    /// Returns a client; broken ones are dropped and their slot freed.
+    pub fn checkin(&self, client: Client<T>) {
+        let mut state = self.inner.lock();
+        if client.is_broken() {
+            state.live -= 1;
+        } else {
+            state.idle.push(client);
+        }
+        drop(state);
+        self.available.notify_one();
+    }
+
+    /// Runs `f` with a pooled client, checking it back in afterwards.
+    pub fn with<R>(&self, f: impl FnOnce(&mut Client<T>) -> R) -> Result<R, ClientError> {
+        let mut client = self.checkout()?;
+        let out = f(&mut client);
+        self.checkin(client);
+        Ok(out)
+    }
+}

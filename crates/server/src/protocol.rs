@@ -1,0 +1,497 @@
+//! The request/response message vocabulary and its frame encoding.
+//!
+//! One frame carries exactly one message. The client opens with
+//! [`Request::Hello`] and the server answers [`Response::HelloOk`] with
+//! its protocol version and table catalog; after that the connection is
+//! a strict request/response stream (the client may pipeline several
+//! requests before reading replies — the server answers in order, one
+//! response per request, except `Scan`, which streams
+//! [`Response::ScanRow`] frames terminated by [`Response::ScanEnd`]).
+//!
+//! Engine errors cross the wire as [`Response::Err`] carrying a
+//! faithfully re-encoded [`TxnError`]; protocol violations (bad tag,
+//! `Begin` inside a transaction, version mismatch) are
+//! [`Response::Fatal`] followed by connection close.
+
+use crate::wire::{Reader, WireError, Writer};
+use sicost_common::TableId;
+use sicost_engine::{SerializationKind, TxnError};
+use sicost_storage::{Row, Value};
+
+/// Protocol version spoken by this build. The handshake rejects any
+/// mismatch — there is exactly one version so far.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Client → server messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Opens the connection; must be the first frame.
+    Hello {
+        /// The client's [`PROTOCOL_VERSION`].
+        version: u32,
+    },
+    /// Starts a transaction (one per connection at a time).
+    Begin,
+    /// Snapshot point read.
+    Read {
+        /// Target table.
+        table: TableId,
+        /// Primary-key value.
+        key: Value,
+    },
+    /// `SELECT … FOR UPDATE` point read.
+    ReadForUpdate {
+        /// Target table.
+        table: TableId,
+        /// Primary-key value.
+        key: Value,
+    },
+    /// Row insert.
+    Insert {
+        /// Target table.
+        table: TableId,
+        /// Full row image.
+        row: Row,
+    },
+    /// Row update (upsert of the full image under `key`).
+    Update {
+        /// Target table.
+        table: TableId,
+        /// Primary-key value.
+        key: Value,
+        /// Full replacement image.
+        row: Row,
+    },
+    /// Row delete.
+    Delete {
+        /// Target table.
+        table: TableId,
+        /// Primary-key value.
+        key: Value,
+    },
+    /// Explicit table-granularity lock (the paper's §II-D third approach).
+    LockTable {
+        /// Target table.
+        table: TableId,
+        /// Exclusive (`true`) or shared.
+        exclusive: bool,
+    },
+    /// Full-table snapshot scan; the reply is a `ScanRow` stream.
+    Scan {
+        /// Target table.
+        table: TableId,
+    },
+    /// Commits the open transaction.
+    Commit,
+    /// Rolls back the open transaction.
+    Abort,
+}
+
+/// Server → client messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Handshake accepted.
+    HelloOk {
+        /// The server's [`PROTOCOL_VERSION`].
+        version: u32,
+        /// Table catalog: name → id, in catalog order.
+        tables: Vec<(String, TableId)>,
+    },
+    /// Transaction started.
+    Began,
+    /// Point-read result.
+    RowResult {
+        /// The row, if the key exists in the snapshot.
+        row: Option<Row>,
+    },
+    /// Write/lock acknowledged.
+    Ok,
+    /// Delete acknowledged.
+    Deleted {
+        /// Whether a visible row existed.
+        existed: bool,
+    },
+    /// One streamed scan hit.
+    ScanRow {
+        /// Primary-key value.
+        key: Value,
+        /// Row image.
+        row: Row,
+    },
+    /// Scan stream terminator.
+    ScanEnd {
+        /// Rows streamed before this frame.
+        rows: u32,
+    },
+    /// Commit succeeded.
+    Committed {
+        /// Commit timestamp.
+        ts: u64,
+    },
+    /// Abort acknowledged (also the reply to `Abort` with no open
+    /// transaction — aborting nothing is idempotent).
+    Aborted,
+    /// The engine rejected the operation; the transaction (if any) was
+    /// rolled back server-side.
+    Err {
+        /// The engine error, re-encoded.
+        error: TxnError,
+    },
+    /// Protocol violation; the server closes the connection after this.
+    Fatal {
+        /// Human-readable reason.
+        message: String,
+    },
+}
+
+fn put_txn_error(w: &mut Writer, e: &TxnError) {
+    match e {
+        TxnError::Serialization(SerializationKind::FirstUpdaterWins) => w.put_u8(0),
+        TxnError::Serialization(SerializationKind::FirstCommitterWins) => w.put_u8(1),
+        TxnError::Serialization(SerializationKind::SsiPivot) => w.put_u8(2),
+        TxnError::Deadlock => w.put_u8(3),
+        TxnError::Constraint(msg) => {
+            w.put_u8(4);
+            w.put_str(msg);
+        }
+        TxnError::Transient(msg) => {
+            w.put_u8(5);
+            w.put_str(msg);
+        }
+        TxnError::Inactive => w.put_u8(6),
+    }
+}
+
+fn get_txn_error(r: &mut Reader<'_>) -> Result<TxnError, WireError> {
+    Ok(match r.get_u8()? {
+        0 => TxnError::Serialization(SerializationKind::FirstUpdaterWins),
+        1 => TxnError::Serialization(SerializationKind::FirstCommitterWins),
+        2 => TxnError::Serialization(SerializationKind::SsiPivot),
+        3 => TxnError::Deadlock,
+        4 => TxnError::Constraint(r.get_str()?),
+        5 => TxnError::Transient(r.get_str()?),
+        6 => TxnError::Inactive,
+        t => return Err(WireError::Protocol(format!("bad error tag {t:#04x}"))),
+    })
+}
+
+impl Request {
+    /// Encodes into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            Request::Hello { version } => {
+                w.put_u8(0x01);
+                w.put_u32(*version);
+            }
+            Request::Begin => w.put_u8(0x02),
+            Request::Read { table, key } => {
+                w.put_u8(0x03);
+                w.put_table(*table);
+                w.put_value(key);
+            }
+            Request::ReadForUpdate { table, key } => {
+                w.put_u8(0x04);
+                w.put_table(*table);
+                w.put_value(key);
+            }
+            Request::Insert { table, row } => {
+                w.put_u8(0x05);
+                w.put_table(*table);
+                w.put_row(row);
+            }
+            Request::Update { table, key, row } => {
+                w.put_u8(0x06);
+                w.put_table(*table);
+                w.put_value(key);
+                w.put_row(row);
+            }
+            Request::Delete { table, key } => {
+                w.put_u8(0x07);
+                w.put_table(*table);
+                w.put_value(key);
+            }
+            Request::LockTable { table, exclusive } => {
+                w.put_u8(0x08);
+                w.put_table(*table);
+                w.put_bool(*exclusive);
+            }
+            Request::Scan { table } => {
+                w.put_u8(0x09);
+                w.put_table(*table);
+            }
+            Request::Commit => w.put_u8(0x0A),
+            Request::Abort => w.put_u8(0x0B),
+        }
+        w.finish()
+    }
+
+    /// Decodes a frame payload.
+    pub fn decode(payload: &[u8]) -> Result<Request, WireError> {
+        let mut r = Reader::new(payload);
+        let req = match r.get_u8()? {
+            0x01 => Request::Hello {
+                version: r.get_u32()?,
+            },
+            0x02 => Request::Begin,
+            0x03 => Request::Read {
+                table: r.get_table()?,
+                key: r.get_value()?,
+            },
+            0x04 => Request::ReadForUpdate {
+                table: r.get_table()?,
+                key: r.get_value()?,
+            },
+            0x05 => Request::Insert {
+                table: r.get_table()?,
+                row: r.get_row()?,
+            },
+            0x06 => Request::Update {
+                table: r.get_table()?,
+                key: r.get_value()?,
+                row: r.get_row()?,
+            },
+            0x07 => Request::Delete {
+                table: r.get_table()?,
+                key: r.get_value()?,
+            },
+            0x08 => Request::LockTable {
+                table: r.get_table()?,
+                exclusive: r.get_bool()?,
+            },
+            0x09 => Request::Scan {
+                table: r.get_table()?,
+            },
+            0x0A => Request::Commit,
+            0x0B => Request::Abort,
+            t => return Err(WireError::Protocol(format!("bad request tag {t:#04x}"))),
+        };
+        r.expect_end()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Encodes into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            Response::HelloOk { version, tables } => {
+                w.put_u8(0x81);
+                w.put_u32(*version);
+                w.put_u32(tables.len() as u32);
+                for (name, id) in tables {
+                    w.put_str(name);
+                    w.put_table(*id);
+                }
+            }
+            Response::Began => w.put_u8(0x82),
+            Response::RowResult { row } => {
+                w.put_u8(0x83);
+                match row {
+                    Some(row) => {
+                        w.put_bool(true);
+                        w.put_row(row);
+                    }
+                    None => w.put_bool(false),
+                }
+            }
+            Response::Ok => w.put_u8(0x84),
+            Response::Deleted { existed } => {
+                w.put_u8(0x85);
+                w.put_bool(*existed);
+            }
+            Response::ScanRow { key, row } => {
+                w.put_u8(0x86);
+                w.put_value(key);
+                w.put_row(row);
+            }
+            Response::ScanEnd { rows } => {
+                w.put_u8(0x87);
+                w.put_u32(*rows);
+            }
+            Response::Committed { ts } => {
+                w.put_u8(0x88);
+                w.put_u64(*ts);
+            }
+            Response::Aborted => w.put_u8(0x89),
+            Response::Err { error } => {
+                w.put_u8(0x8A);
+                put_txn_error(&mut w, error);
+            }
+            Response::Fatal { message } => {
+                w.put_u8(0x8B);
+                w.put_str(message);
+            }
+        }
+        w.finish()
+    }
+
+    /// Decodes a frame payload.
+    pub fn decode(payload: &[u8]) -> Result<Response, WireError> {
+        let mut r = Reader::new(payload);
+        let resp = match r.get_u8()? {
+            0x81 => {
+                let version = r.get_u32()?;
+                let n = r.get_u32()? as usize;
+                if n > 65_536 {
+                    return Err(WireError::Protocol(format!("catalog with {n} tables")));
+                }
+                let mut tables = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let name = r.get_str()?;
+                    let id = r.get_table()?;
+                    tables.push((name, id));
+                }
+                Response::HelloOk { version, tables }
+            }
+            0x82 => Response::Began,
+            0x83 => {
+                let present = r.get_bool()?;
+                Response::RowResult {
+                    row: if present { Some(r.get_row()?) } else { None },
+                }
+            }
+            0x84 => Response::Ok,
+            0x85 => Response::Deleted {
+                existed: r.get_bool()?,
+            },
+            0x86 => Response::ScanRow {
+                key: r.get_value()?,
+                row: r.get_row()?,
+            },
+            0x87 => Response::ScanEnd { rows: r.get_u32()? },
+            0x88 => Response::Committed { ts: r.get_u64()? },
+            0x89 => Response::Aborted,
+            0x8A => Response::Err {
+                error: get_txn_error(&mut r)?,
+            },
+            0x8B => Response::Fatal {
+                message: r.get_str()?,
+            },
+            t => return Err(WireError::Protocol(format!("bad response tag {t:#04x}"))),
+        };
+        r.expect_end()?;
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_request_round_trips() {
+        let t = TableId(2);
+        let reqs = vec![
+            Request::Hello {
+                version: PROTOCOL_VERSION,
+            },
+            Request::Begin,
+            Request::Read {
+                table: t,
+                key: Value::str("c0000001"),
+            },
+            Request::ReadForUpdate {
+                table: t,
+                key: Value::int(17),
+            },
+            Request::Insert {
+                table: t,
+                row: Row::new(vec![Value::int(1), Value::int(500)]),
+            },
+            Request::Update {
+                table: t,
+                key: Value::int(1),
+                row: Row::new(vec![Value::int(1), Value::int(250)]),
+            },
+            Request::Delete {
+                table: t,
+                key: Value::int(9),
+            },
+            Request::LockTable {
+                table: t,
+                exclusive: true,
+            },
+            Request::Scan { table: t },
+            Request::Commit,
+            Request::Abort,
+        ];
+        for req in reqs {
+            let back = Request::decode(&req.encode()).unwrap();
+            assert_eq!(back, req);
+        }
+    }
+
+    #[test]
+    fn every_response_round_trips() {
+        let resps = vec![
+            Response::HelloOk {
+                version: PROTOCOL_VERSION,
+                tables: vec![
+                    ("Account".into(), TableId(0)),
+                    ("Saving".into(), TableId(1)),
+                ],
+            },
+            Response::Began,
+            Response::RowResult {
+                row: Some(Row::new(vec![Value::int(1), Value::int(77)])),
+            },
+            Response::RowResult { row: None },
+            Response::Ok,
+            Response::Deleted { existed: false },
+            Response::ScanRow {
+                key: Value::int(4),
+                row: Row::new(vec![Value::int(4), Value::int(0)]),
+            },
+            Response::ScanEnd { rows: 12 },
+            Response::Committed { ts: 991 },
+            Response::Aborted,
+            Response::Fatal {
+                message: "begin inside a transaction".into(),
+            },
+        ];
+        for resp in resps {
+            let back = Response::decode(&resp.encode()).unwrap();
+            assert_eq!(back, resp);
+        }
+    }
+
+    #[test]
+    fn every_txn_error_round_trips() {
+        let errors = vec![
+            TxnError::Serialization(SerializationKind::FirstUpdaterWins),
+            TxnError::Serialization(SerializationKind::FirstCommitterWins),
+            TxnError::Serialization(SerializationKind::SsiPivot),
+            TxnError::Deadlock,
+            TxnError::Constraint("unique Name".into()),
+            TxnError::Transient("injected".into()),
+            TxnError::Inactive,
+        ];
+        for error in errors {
+            let resp = Response::Err {
+                error: error.clone(),
+            };
+            match Response::decode(&resp.encode()).unwrap() {
+                Response::Err { error: back } => assert_eq!(back, error),
+                other => panic!("decoded {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_tags_are_rejected() {
+        assert!(matches!(
+            Request::decode(&[0xFF]),
+            Err(WireError::Protocol(_))
+        ));
+        assert!(matches!(
+            Response::decode(&[0x01]),
+            Err(WireError::Protocol(_))
+        ));
+        // Trailing garbage after a valid message.
+        let mut buf = Request::Begin.encode();
+        buf.push(0);
+        assert!(matches!(Request::decode(&buf), Err(WireError::Protocol(_))));
+    }
+}

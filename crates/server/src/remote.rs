@@ -1,0 +1,310 @@
+//! The SmallBank procedures executed over the wire, plus the driver
+//! adapter that makes the remote bank a measurable [`Workload`].
+//!
+//! [`RemoteBank`] mirrors the *base coding* of the five programs in
+//! `sicost_smallbank::procs` statement for statement (same reads, same
+//! arithmetic, same rollback rules) — the only difference is that every
+//! statement is a protocol round trip and the trailing balance writes
+//! are pipelined into the commit flush. Strategy modifications are a
+//! server-side concern the remote coding does not replicate; the
+//! client/server equivalence tests therefore compare against
+//! `Strategy::BaseSI` under each concurrency-control mode.
+
+use crate::client::{ClientError, ClientPool, ClientTxn, CommitOutcome};
+use crate::transport::Transport;
+use sicost_common::{Money, TableId, Xoshiro256};
+use sicost_driver::{Outcome, Workload};
+use sicost_engine::TxnError;
+use sicost_smallbank::schema::Tables;
+use sicost_smallbank::workload::TxnRequest;
+use sicost_smallbank::{SbError, SmallBankWorkload, TxnKind};
+use sicost_storage::{Row, Value};
+
+/// How a remote procedure failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RemoteError {
+    /// The server rolled the transaction back (engine error or
+    /// application rule). Definitely not committed.
+    Sb(SbError),
+    /// The connection failed before the commit was in flight.
+    /// Definitely not committed.
+    NotCommitted(ClientError),
+    /// The commit was in flight when the connection failed. The
+    /// transaction may or may not have applied — only the database
+    /// knows (the recovery-torture oracle's *undecided* class).
+    Indeterminate(ClientError),
+}
+
+impl From<TxnError> for RemoteError {
+    fn from(e: TxnError) -> Self {
+        RemoteError::Sb(SbError::Txn(e))
+    }
+}
+
+impl std::fmt::Display for RemoteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RemoteError::Sb(e) => write!(f, "{e}"),
+            RemoteError::NotCommitted(e) => write!(f, "not committed: {e}"),
+            RemoteError::Indeterminate(e) => write!(f, "indeterminate: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RemoteError {}
+
+impl RemoteError {
+    /// True when the commit fate is unknown.
+    pub fn is_indeterminate(&self) -> bool {
+        matches!(self, RemoteError::Indeterminate(_))
+    }
+}
+
+/// The SmallBank client application: a connection pool plus the table
+/// ids learned from the handshake catalog.
+pub struct RemoteBank<T: Transport> {
+    pool: ClientPool<T>,
+    tables: Tables,
+}
+
+fn commit_outcome(outcome: CommitOutcome) -> Result<(), RemoteError> {
+    match outcome {
+        CommitOutcome::Committed { .. } => Ok(()),
+        CommitOutcome::Aborted(e) => Err(RemoteError::Sb(SbError::Txn(e))),
+        CommitOutcome::Failed(e) => Err(RemoteError::NotCommitted(e)),
+        CommitOutcome::Indeterminate(e) => Err(RemoteError::Indeterminate(e)),
+    }
+}
+
+impl<T: Transport> RemoteBank<T> {
+    /// Wraps a pool, dialing one connection to learn the catalog. The
+    /// server must expose the four SmallBank tables by name.
+    pub fn new(pool: ClientPool<T>) -> Result<Self, ClientError> {
+        let tables = pool.with(|c| {
+            let find = |name: &str| {
+                c.table_id(name)
+                    .ok_or_else(|| ClientError::Unexpected(format!("no table {name:?} in catalog")))
+            };
+            Ok::<Tables, ClientError>(Tables {
+                account: find("Account")?,
+                saving: find("Saving")?,
+                checking: find("Checking")?,
+                conflict: find("Conflict")?,
+            })
+        })??;
+        Ok(Self { pool, tables })
+    }
+
+    /// The table ids in use.
+    pub fn tables(&self) -> &Tables {
+        &self.tables
+    }
+
+    /// Runs `body` inside a fresh transaction on a pooled connection.
+    /// `body` returns the pipelined-commit decision implicitly: it gets
+    /// the open transaction and must end it (commit happens here).
+    fn transact<R>(
+        &self,
+        body: impl FnOnce(&mut ClientTxn<'_, T>) -> Result<R, RemoteError>,
+    ) -> Result<R, RemoteError> {
+        let mut client = match self.pool.checkout() {
+            Ok(c) => c,
+            Err(e) => return Err(RemoteError::NotCommitted(e)),
+        };
+        let result = (|| {
+            let mut txn = client.begin().map_err(RemoteError::NotCommitted)?;
+            match body(&mut txn) {
+                Ok(r) => commit_outcome(txn.commit()).map(|()| r),
+                Err(e) => {
+                    txn.rollback();
+                    Err(e)
+                }
+            }
+        })();
+        self.pool.checkin(client);
+        result
+    }
+
+    /// `SELECT CustomerId FROM Account WHERE Name = :n` — the shared
+    /// lookup fragment.
+    fn lookup_cid(&self, txn: &mut ClientTxn<'_, T>, name: &str) -> Result<Option<i64>, TxnError> {
+        Ok(txn
+            .read(self.tables.account, &Value::str(name))?
+            .map(|row| row.int(1)))
+    }
+
+    fn read_balance(
+        &self,
+        txn: &mut ClientTxn<'_, T>,
+        table: TableId,
+        cid: i64,
+    ) -> Result<Money, TxnError> {
+        let row = txn.read(table, &Value::int(cid))?;
+        Ok(row.map(|r| Money::cents(r.int(1))).unwrap_or(Money::ZERO))
+    }
+
+    /// Pipelined balance write: rides in the commit's network flush.
+    fn write_balance(
+        &self,
+        txn: &mut ClientTxn<'_, T>,
+        table: TableId,
+        cid: i64,
+        balance: Money,
+    ) -> Result<(), TxnError> {
+        txn.update_pipelined(
+            table,
+            &Value::int(cid),
+            Row::new(vec![Value::int(cid), Value::int(balance.as_cents())]),
+        )
+    }
+
+    /// `Balance(N)` — base coding (read-only).
+    pub fn balance(&self, name: &str) -> Result<Money, RemoteError> {
+        self.transact(|txn| {
+            let Some(cid) = self.lookup_cid(txn, name)? else {
+                return Err(RemoteError::Sb(SbError::AccountMissing));
+            };
+            let sav = self.read_balance(txn, self.tables.saving, cid)?;
+            let chk = self.read_balance(txn, self.tables.checking, cid)?;
+            Ok(sav + chk)
+        })
+    }
+
+    /// `DepositChecking(N, V)` — base coding.
+    pub fn deposit_checking(&self, name: &str, v: Money) -> Result<(), RemoteError> {
+        if v.is_negative() {
+            return Err(RemoteError::Sb(SbError::InvalidAmount));
+        }
+        self.transact(|txn| {
+            let Some(cid) = self.lookup_cid(txn, name)? else {
+                return Err(RemoteError::Sb(SbError::AccountMissing));
+            };
+            let chk = self.read_balance(txn, self.tables.checking, cid)?;
+            self.write_balance(txn, self.tables.checking, cid, chk + v)?;
+            Ok(())
+        })
+    }
+
+    /// `TransactSaving(N, V)` — base coding.
+    pub fn transact_saving(&self, name: &str, v: Money) -> Result<(), RemoteError> {
+        self.transact(|txn| {
+            let Some(cid) = self.lookup_cid(txn, name)? else {
+                return Err(RemoteError::Sb(SbError::AccountMissing));
+            };
+            let sav = self.read_balance(txn, self.tables.saving, cid)?;
+            let new = sav + v;
+            if new.is_negative() {
+                return Err(RemoteError::Sb(SbError::InsufficientFunds));
+            }
+            self.write_balance(txn, self.tables.saving, cid, new)?;
+            Ok(())
+        })
+    }
+
+    /// `Amalgamate(N1, N2)` — base coding.
+    pub fn amalgamate(&self, n1: &str, n2: &str) -> Result<(), RemoteError> {
+        self.transact(|txn| {
+            let (Some(cid1), Some(cid2)) = (self.lookup_cid(txn, n1)?, self.lookup_cid(txn, n2)?)
+            else {
+                return Err(RemoteError::Sb(SbError::AccountMissing));
+            };
+            let sav1 = self.read_balance(txn, self.tables.saving, cid1)?;
+            let chk1 = self.read_balance(txn, self.tables.checking, cid1)?;
+            let chk2 = self.read_balance(txn, self.tables.checking, cid2)?;
+            self.write_balance(txn, self.tables.saving, cid1, Money::ZERO)?;
+            self.write_balance(txn, self.tables.checking, cid1, Money::ZERO)?;
+            self.write_balance(txn, self.tables.checking, cid2, chk2 + sav1 + chk1)?;
+            Ok(())
+        })
+    }
+
+    /// `WriteCheck(N, V)` — base coding (no table lock; the pivot-lock
+    /// variant is a server-side strategy).
+    pub fn write_check(&self, name: &str, v: Money) -> Result<(), RemoteError> {
+        self.transact(|txn| {
+            let Some(cid) = self.lookup_cid(txn, name)? else {
+                return Err(RemoteError::Sb(SbError::AccountMissing));
+            };
+            let sav = self.read_balance(txn, self.tables.saving, cid)?;
+            let chk = self.read_balance(txn, self.tables.checking, cid)?;
+            let charge = if (sav + chk) < v {
+                v + Money::dollars(1)
+            } else {
+                v
+            };
+            self.write_balance(txn, self.tables.checking, cid, chk - charge)?;
+            Ok(())
+        })
+    }
+
+    /// Dispatches one sampled request.
+    pub fn execute(&self, req: &TxnRequest) -> Result<(), RemoteError> {
+        match req {
+            TxnRequest::Balance { name } => self.balance(name).map(|_| ()),
+            TxnRequest::DepositChecking { name, v } => self.deposit_checking(name, *v),
+            TxnRequest::TransactSaving { name, v } => self.transact_saving(name, *v),
+            TxnRequest::Amalgamate { n1, n2 } => self.amalgamate(n1, n2),
+            TxnRequest::WriteCheck { name, v } => self.write_check(name, *v),
+        }
+    }
+}
+
+/// Maps a remote result into the driver's outcome taxonomy. Both
+/// network-failure classes count as transient faults — the driver
+/// retries them; the commit-fate distinction matters to the audit
+/// oracle, not the throughput books.
+pub fn classify_remote(result: Result<(), RemoteError>) -> Outcome {
+    match result {
+        Ok(()) => Outcome::Committed,
+        Err(RemoteError::Sb(SbError::Txn(TxnError::Deadlock))) => Outcome::Deadlock,
+        Err(RemoteError::Sb(SbError::Txn(TxnError::Transient(_)))) => Outcome::TransientFault,
+        Err(RemoteError::Sb(SbError::Txn(e))) if e.is_serialization_failure() => {
+            Outcome::SerializationFailure
+        }
+        Err(RemoteError::Sb(_)) => Outcome::ApplicationRollback,
+        Err(RemoteError::NotCommitted(_)) | Err(RemoteError::Indeterminate(_)) => {
+            Outcome::TransientFault
+        }
+    }
+}
+
+/// A measurable over-the-wire SmallBank workload: the remote bank plus
+/// the same request generator the in-process driver uses, so a run with
+/// equal sampling seeds issues the identical request stream.
+pub struct RemoteWorkload<T: Transport> {
+    bank: RemoteBank<T>,
+    workload: SmallBankWorkload,
+}
+
+impl<T: Transport> RemoteWorkload<T> {
+    /// Bundles a remote bank and a request generator.
+    pub fn new(bank: RemoteBank<T>, workload: SmallBankWorkload) -> Self {
+        Self { bank, workload }
+    }
+
+    /// The remote bank under test.
+    pub fn bank(&self) -> &RemoteBank<T> {
+        &self.bank
+    }
+}
+
+impl<T: Transport> Workload for RemoteWorkload<T> {
+    type Request = TxnRequest;
+
+    fn kinds(&self) -> Vec<&'static str> {
+        TxnKind::ALL.iter().map(|k| k.name()).collect()
+    }
+
+    fn sample(&self, rng: &mut Xoshiro256) -> (usize, TxnRequest) {
+        let req = self.workload.sample(rng);
+        let kind_idx = TxnKind::ALL
+            .iter()
+            .position(|k| *k == req.kind())
+            .expect("known kind");
+        (kind_idx, req)
+    }
+
+    fn execute(&self, req: &TxnRequest, _attempt: u32) -> Outcome {
+        classify_remote(self.bank.execute(req))
+    }
+}

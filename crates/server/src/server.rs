@@ -1,0 +1,309 @@
+//! The server: per-connection protocol handling over any transport, and
+//! the multi-client TCP front-end.
+//!
+//! Each connection owns at most one open [`Transaction`] at a time —
+//! per-connection transaction state is the whole session model, exactly
+//! like one PostgreSQL backend. Any engine error on an op rolls the
+//! transaction back server-side before the error crosses the wire (the
+//! in-process coding's "drop the handle on error" semantics); the
+//! client's subsequent `Abort` is then an idempotent no-op. If the
+//! connection dies with a transaction open — including *after* a
+//! `Commit` frame was processed but before its reply was delivered —
+//! the server rolls back what is still open and moves on; whether the
+//! commit applied is decided by the engine, not the socket, which is
+//! why the client must treat a lost commit reply as *indeterminate*.
+
+use crate::protocol::{Request, Response, PROTOCOL_VERSION};
+use crate::transport::{NetError, TcpTransport, Transport};
+use sicost_engine::{Database, Transaction, TxnError};
+use sicost_storage::Predicate;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex as StdMutex};
+use std::thread::JoinHandle;
+
+/// The server's table catalog, as sent in the handshake.
+fn catalog_of(db: &Database) -> Vec<(String, sicost_common::TableId)> {
+    db.catalog()
+        .tables()
+        .filter_map(|t| {
+            let name = t.schema().name.clone();
+            db.table_id(&name).map(|id| (name, id))
+        })
+        .collect()
+}
+
+/// Serves one connection until the client disconnects or commits a
+/// protocol violation. Returns `Ok(())` on a clean close (disconnect at
+/// a frame boundary with no transaction open counts — that is how every
+/// well-behaved client hangs up).
+pub fn serve_connection(db: &Database, transport: &mut dyn Transport) -> Result<(), NetError> {
+    // Handshake: the first frame must be a version-matched Hello.
+    match recv_request(transport)? {
+        Request::Hello { version } if version == PROTOCOL_VERSION => {
+            send(
+                transport,
+                &Response::HelloOk {
+                    version: PROTOCOL_VERSION,
+                    tables: catalog_of(db),
+                },
+            )?;
+        }
+        Request::Hello { version } => {
+            let _ = send(
+                transport,
+                &Response::Fatal {
+                    message: format!(
+                        "protocol version mismatch: client {version}, server {PROTOCOL_VERSION}"
+                    ),
+                },
+            );
+            return Err(NetError::Protocol("version mismatch".into()));
+        }
+        other => {
+            let _ = send(
+                transport,
+                &Response::Fatal {
+                    message: format!("expected Hello, got {other:?}"),
+                },
+            );
+            return Err(NetError::Protocol("handshake violation".into()));
+        }
+    }
+
+    let mut txn: Option<Transaction<'_>> = None;
+    loop {
+        let req = match recv_request(transport) {
+            Ok(req) => req,
+            Err(NetError::Disconnected) if txn.is_none() => return Ok(()),
+            Err(e) => {
+                // The link died mid-session: roll back whatever is open.
+                if let Some(t) = txn.take() {
+                    t.rollback();
+                }
+                return if e == NetError::Disconnected {
+                    Ok(())
+                } else {
+                    Err(e)
+                };
+            }
+        };
+        let reply = match req {
+            Request::Hello { .. } => {
+                let _ = send(
+                    transport,
+                    &Response::Fatal {
+                        message: "Hello after handshake".into(),
+                    },
+                );
+                if let Some(t) = txn.take() {
+                    t.rollback();
+                }
+                return Err(NetError::Protocol("duplicate Hello".into()));
+            }
+            Request::Begin => {
+                if txn.is_some() {
+                    let _ = send(
+                        transport,
+                        &Response::Fatal {
+                            message: "Begin inside an open transaction".into(),
+                        },
+                    );
+                    if let Some(t) = txn.take() {
+                        t.rollback();
+                    }
+                    return Err(NetError::Protocol("nested Begin".into()));
+                }
+                txn = Some(db.begin());
+                Response::Began
+            }
+            Request::Commit => match txn.take() {
+                None => Response::Err {
+                    error: TxnError::Inactive,
+                },
+                Some(t) => match t.commit() {
+                    Ok(ts) => Response::Committed { ts: ts.0 },
+                    Err(error) => Response::Err { error },
+                },
+            },
+            Request::Abort => {
+                if let Some(t) = txn.take() {
+                    t.rollback();
+                }
+                Response::Aborted
+            }
+            Request::Scan { table } => match &mut txn {
+                None => Response::Err {
+                    error: TxnError::Inactive,
+                },
+                Some(t) => match t.scan(table, &Predicate::True) {
+                    Ok(hits) => {
+                        let rows = hits.len() as u32;
+                        for (key, row) in hits {
+                            send(transport, &Response::ScanRow { key, row })?;
+                        }
+                        Response::ScanEnd { rows }
+                    }
+                    Err(error) => {
+                        if let Some(t) = txn.take() {
+                            t.rollback();
+                        }
+                        Response::Err { error }
+                    }
+                },
+            },
+            // Point ops: any engine error aborts the transaction before
+            // the error crosses the wire.
+            op => match &mut txn {
+                None => Response::Err {
+                    error: TxnError::Inactive,
+                },
+                Some(t) => {
+                    let result = apply_op(t, op);
+                    match result {
+                        Ok(reply) => reply,
+                        Err(error) => {
+                            if let Some(t) = txn.take() {
+                                t.rollback();
+                            }
+                            Response::Err { error }
+                        }
+                    }
+                }
+            },
+        };
+        if let Err(e) = send(transport, &reply) {
+            if let Some(t) = txn.take() {
+                t.rollback();
+            }
+            return if e == NetError::Disconnected {
+                Ok(())
+            } else {
+                Err(e)
+            };
+        }
+    }
+}
+
+fn apply_op(t: &mut Transaction<'_>, op: Request) -> Result<Response, TxnError> {
+    Ok(match op {
+        Request::Read { table, key } => Response::RowResult {
+            row: t.read(table, &key)?,
+        },
+        Request::ReadForUpdate { table, key } => Response::RowResult {
+            row: t.read_for_update(table, &key)?,
+        },
+        Request::Insert { table, row } => {
+            t.insert(table, row)?;
+            Response::Ok
+        }
+        Request::Update { table, key, row } => {
+            t.update(table, &key, row)?;
+            Response::Ok
+        }
+        Request::Delete { table, key } => Response::Deleted {
+            existed: t.delete(table, &key)?,
+        },
+        Request::LockTable { table, exclusive } => {
+            t.lock_table(table, exclusive)?;
+            Response::Ok
+        }
+        // Hello/Begin/Commit/Abort/Scan are handled by the caller.
+        other => unreachable!("not a point op: {other:?}"),
+    })
+}
+
+fn recv_request(t: &mut dyn Transport) -> Result<Request, NetError> {
+    let frame = t.recv_frame()?;
+    Request::decode(&frame).map_err(|e| NetError::Protocol(e.to_string()))
+}
+
+fn send(t: &mut dyn Transport, resp: &Response) -> Result<(), NetError> {
+    t.send_frame(&resp.encode())
+}
+
+/// A multi-client TCP front-end: an accept loop plus one thread per
+/// connection, all serving a shared [`Database`].
+pub struct TcpServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    conns: Arc<StdMutex<Vec<JoinHandle<()>>>>,
+}
+
+impl TcpServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts accepting clients.
+    pub fn bind(db: Arc<Database>, addr: &str) -> std::io::Result<TcpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let conns: Arc<StdMutex<Vec<JoinHandle<()>>>> = Arc::default();
+        let accept = {
+            let shutdown = Arc::clone(&shutdown);
+            let conns = Arc::clone(&conns);
+            std::thread::Builder::new()
+                .name("sicost-accept".into())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if shutdown.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        let db = Arc::clone(&db);
+                        let handle = std::thread::Builder::new()
+                            .name("sicost-conn".into())
+                            .spawn(move || {
+                                let mut t = TcpTransport::new(stream);
+                                // Client-side errors (protocol violations,
+                                // abrupt closes) end the connection; the
+                                // database is unaffected.
+                                let _ = serve_connection(&db, &mut t);
+                            })
+                            .expect("spawn connection thread");
+                        conns.lock().expect("conns lock").push(handle);
+                    }
+                })
+                .expect("spawn accept thread")
+        };
+        Ok(TcpServer {
+            addr,
+            shutdown,
+            accept: Some(accept),
+            conns,
+        })
+    }
+
+    /// The bound address (with the real port when bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, waits for the accept loop, and joins every
+    /// connection thread (clients should disconnect first; connected
+    /// clients keep being served until they do).
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.conns.lock().expect("lock"));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        if self.accept.is_some() {
+            self.stop();
+        }
+    }
+}

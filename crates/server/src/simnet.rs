@@ -1,0 +1,387 @@
+//! The deterministic simulated network.
+//!
+//! [`SimNet`] manufactures connected [`SimTransport`] pairs whose every
+//! blocking edge goes through `sicost_common::sync` — so under the
+//! `sicost-sim` cooperative scheduler a full client/server run is a pure
+//! function of the simulation seed. Without a scheduler installed the
+//! same code runs on real threads with real (tiny) sleeps, which is what
+//! the TCP-vs-simnet bench uses.
+//!
+//! ## Fault model
+//!
+//! The link keeps TCP's reliable-or-dead contract: per connection and
+//! direction, frames are FIFO and intact — until a scripted fault kills
+//! the connection. Seeded per-frame latency (base + uniform jitter) is
+//! charged to the *sender* as serialization delay; it reorders
+//! deliveries **across** connections, never within one. Scripted faults
+//! target `(connection, direction, frame index)`:
+//!
+//! - [`FaultKind::Disconnect`] — the frame vanishes and both directions
+//!   die. The receiver sees a clean [`NetError::Disconnected`] at its
+//!   next frame boundary: the drop-the-commit / drop-the-ack cases.
+//! - [`FaultKind::Truncate`] — half the frame is delivered, then both
+//!   directions die. The receiver reads a torn frame and reports
+//!   [`NetError::Truncated`]: the partial-write case.
+
+use crate::transport::{NetError, Transport};
+use crate::wire::MAX_FRAME_LEN;
+use sicost_common::sync::{sim_sleep, Condvar, Mutex};
+use sicost_common::Xoshiro256;
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Which way a frame is travelling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Requests: client → server.
+    ClientToServer,
+    /// Responses: server → client.
+    ServerToClient,
+}
+
+/// What a scripted fault does to the targeted frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The frame is dropped and the connection dies (drop ⇒ dead: a
+    /// reliable stream cannot silently lose a frame and continue).
+    Disconnect,
+    /// The first half of the frame is delivered, then the connection
+    /// dies — a torn write.
+    Truncate,
+}
+
+/// One scripted fault: kill connection `conn`'s link when its
+/// `frame`-th frame (0-based, counted per direction) is sent in `dir`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Connection index, in order of [`SimNet::connect`] calls.
+    pub conn: usize,
+    /// Direction of the targeted frame.
+    pub dir: Direction,
+    /// 0-based frame index within that connection and direction.
+    pub frame: u64,
+    /// What happens to it.
+    pub kind: FaultKind,
+}
+
+/// Simulated-network parameters.
+#[derive(Debug, Clone)]
+pub struct SimNetConfig {
+    /// Seed for per-frame jitter (independent of the scheduler seed).
+    pub seed: u64,
+    /// Fixed one-way per-frame latency.
+    pub base_latency: Duration,
+    /// Uniform extra latency in `[0, jitter)` per frame.
+    pub jitter: Duration,
+    /// Scripted faults.
+    pub faults: Vec<FaultSpec>,
+}
+
+impl SimNetConfig {
+    /// A clean, fast network: 50µs ± 50µs per frame, no faults.
+    pub fn clean(seed: u64) -> Self {
+        Self {
+            seed,
+            base_latency: Duration::from_micros(50),
+            jitter: Duration::from_micros(50),
+            faults: Vec::new(),
+        }
+    }
+
+    /// Adds a scripted fault.
+    pub fn with_fault(mut self, fault: FaultSpec) -> Self {
+        self.faults.push(fault);
+        self
+    }
+}
+
+/// One direction of a connection: an in-memory byte stream with
+/// reliable-or-dead close semantics.
+#[derive(Debug, Default)]
+struct Pipe {
+    state: Mutex<PipeState>,
+    readable: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct PipeState {
+    buf: VecDeque<u8>,
+    closed: bool,
+}
+
+impl Pipe {
+    fn write(&self, bytes: &[u8]) -> Result<(), NetError> {
+        let mut s = self.state.lock();
+        if s.closed {
+            return Err(NetError::Disconnected);
+        }
+        s.buf.extend(bytes);
+        drop(s);
+        self.readable.notify_all();
+        Ok(())
+    }
+
+    fn close(&self) {
+        self.state.lock().closed = true;
+        self.readable.notify_all();
+    }
+
+    /// Reads exactly `n` bytes, blocking for more. On a closed pipe with
+    /// fewer than `n` bytes buffered: a clean disconnect if nothing of
+    /// this read was consumed at a frame boundary, a truncation otherwise.
+    fn read_exact(&self, n: usize, at_boundary: bool) -> Result<Vec<u8>, NetError> {
+        let mut s = self.state.lock();
+        loop {
+            if s.buf.len() >= n {
+                let out: Vec<u8> = s.buf.drain(..n).collect();
+                return Ok(out);
+            }
+            if s.closed {
+                return Err(if at_boundary && s.buf.is_empty() {
+                    NetError::Disconnected
+                } else {
+                    NetError::Truncated
+                });
+            }
+            self.readable.wait(&mut s);
+        }
+    }
+}
+
+/// Factory and fault coordinator for simulated connections.
+#[derive(Debug)]
+pub struct SimNet {
+    cfg: SimNetConfig,
+    next_conn: Mutex<usize>,
+    rng: Mutex<Xoshiro256>,
+}
+
+impl SimNet {
+    /// A network with the given parameters.
+    pub fn new(cfg: SimNetConfig) -> Arc<Self> {
+        Arc::new(Self {
+            rng: Mutex::new(Xoshiro256::seed_from_u64(cfg.seed)),
+            cfg,
+            next_conn: Mutex::new(0),
+        })
+    }
+
+    /// Opens a connection, returning its client-side and server-side
+    /// transports. Connection indices (for fault targeting) count up
+    /// from zero in call order.
+    pub fn connect(self: &Arc<Self>) -> (SimTransport, SimTransport) {
+        let conn = {
+            let mut n = self.next_conn.lock();
+            let c = *n;
+            *n += 1;
+            c
+        };
+        let c2s = Arc::new(Pipe::default());
+        let s2c = Arc::new(Pipe::default());
+        let client = SimTransport {
+            net: Arc::clone(self),
+            conn,
+            dir: Direction::ClientToServer,
+            out: Arc::clone(&c2s),
+            inn: Arc::clone(&s2c),
+            frames_sent: 0,
+        };
+        let server = SimTransport {
+            net: Arc::clone(self),
+            conn,
+            dir: Direction::ServerToClient,
+            out: s2c,
+            inn: c2s,
+            frames_sent: 0,
+        };
+        (client, server)
+    }
+
+    fn latency(&self) -> Duration {
+        let jitter_ns = self.cfg.jitter.as_nanos() as u64;
+        let extra = if jitter_ns == 0 {
+            0
+        } else {
+            self.rng.lock().next_below(jitter_ns)
+        };
+        self.cfg.base_latency + Duration::from_nanos(extra)
+    }
+
+    fn fault_for(&self, conn: usize, dir: Direction, frame: u64) -> Option<FaultKind> {
+        self.cfg
+            .faults
+            .iter()
+            .find(|f| f.conn == conn && f.dir == dir && f.frame == frame)
+            .map(|f| f.kind)
+    }
+}
+
+/// One endpoint of a simulated connection.
+#[derive(Debug)]
+pub struct SimTransport {
+    net: Arc<SimNet>,
+    conn: usize,
+    /// The direction frames *sent from this endpoint* travel.
+    dir: Direction,
+    out: Arc<Pipe>,
+    inn: Arc<Pipe>,
+    frames_sent: u64,
+}
+
+impl SimTransport {
+    /// Kills the connection in both directions (used by tests and by
+    /// dropped endpoints).
+    pub fn kill(&self) {
+        self.out.close();
+        self.inn.close();
+    }
+}
+
+impl Drop for SimTransport {
+    fn drop(&mut self) {
+        // An endpoint going away closes the link, exactly like a dropped
+        // TcpStream — the peer's next read sees a disconnect.
+        self.kill();
+    }
+}
+
+impl Transport for SimTransport {
+    fn send_frame(&mut self, payload: &[u8]) -> Result<(), NetError> {
+        if payload.len() > MAX_FRAME_LEN {
+            return Err(NetError::Protocol(format!(
+                "frame of {} bytes exceeds the {MAX_FRAME_LEN}-byte cap",
+                payload.len()
+            )));
+        }
+        let frame = self.frames_sent;
+        self.frames_sent += 1;
+        let header = (payload.len() as u32).to_le_bytes();
+        match self.net.fault_for(self.conn, self.dir, frame) {
+            Some(FaultKind::Disconnect) => {
+                self.kill();
+                return Err(NetError::Disconnected);
+            }
+            Some(FaultKind::Truncate) => {
+                // Deliver the header and half the payload, then die.
+                let mut torn = header.to_vec();
+                torn.extend_from_slice(&payload[..payload.len() / 2]);
+                let _ = self.out.write(&torn);
+                self.kill();
+                return Err(NetError::Disconnected);
+            }
+            None => {}
+        }
+        // Serialization delay, charged to the sender: under the sim this
+        // advances virtual time (and is a scheduling point); without
+        // hooks it is a real micro-sleep.
+        sim_sleep(self.net.latency());
+        let mut framed = header.to_vec();
+        framed.extend_from_slice(payload);
+        self.out.write(&framed)
+    }
+
+    fn recv_frame(&mut self) -> Result<Vec<u8>, NetError> {
+        let header = self.inn.read_exact(4, true)?;
+        let len = u32::from_le_bytes(header.try_into().unwrap()) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(NetError::Protocol(format!(
+                "peer announced a {len}-byte frame"
+            )));
+        }
+        self.inn.read_exact(len, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip_in_order() {
+        let net = SimNet::new(SimNetConfig {
+            seed: 1,
+            base_latency: Duration::ZERO,
+            jitter: Duration::ZERO,
+            faults: Vec::new(),
+        });
+        let (mut client, mut server) = net.connect();
+        client.send_frame(b"one").unwrap();
+        client.send_frame(b"two").unwrap();
+        assert_eq!(server.recv_frame().unwrap(), b"one");
+        server.send_frame(b"ack").unwrap();
+        assert_eq!(server.recv_frame().unwrap(), b"two");
+        assert_eq!(client.recv_frame().unwrap(), b"ack");
+    }
+
+    #[test]
+    fn disconnect_fault_kills_both_directions() {
+        let net = SimNet::new(SimNetConfig {
+            seed: 1,
+            base_latency: Duration::ZERO,
+            jitter: Duration::ZERO,
+            faults: vec![FaultSpec {
+                conn: 0,
+                dir: Direction::ClientToServer,
+                frame: 1,
+                kind: FaultKind::Disconnect,
+            }],
+        });
+        let (mut client, mut server) = net.connect();
+        client.send_frame(b"first").unwrap();
+        assert_eq!(client.send_frame(b"second"), Err(NetError::Disconnected));
+        // The frame before the fault still arrives; after it, clean EOF.
+        assert_eq!(server.recv_frame().unwrap(), b"first");
+        assert_eq!(server.recv_frame(), Err(NetError::Disconnected));
+        assert_eq!(server.send_frame(b"reply"), Err(NetError::Disconnected));
+    }
+
+    #[test]
+    fn truncate_fault_tears_the_frame() {
+        let net = SimNet::new(SimNetConfig {
+            seed: 1,
+            base_latency: Duration::ZERO,
+            jitter: Duration::ZERO,
+            faults: vec![FaultSpec {
+                conn: 0,
+                dir: Direction::ClientToServer,
+                frame: 0,
+                kind: FaultKind::Truncate,
+            }],
+        });
+        let (mut client, mut server) = net.connect();
+        assert_eq!(
+            client.send_frame(b"0123456789"),
+            Err(NetError::Disconnected)
+        );
+        assert_eq!(server.recv_frame(), Err(NetError::Truncated));
+    }
+
+    #[test]
+    fn dropping_an_endpoint_disconnects_the_peer() {
+        let net = SimNet::new(SimNetConfig::clean(3));
+        let (client, mut server) = net.connect();
+        drop(client);
+        assert_eq!(server.recv_frame(), Err(NetError::Disconnected));
+    }
+
+    #[test]
+    fn faults_only_hit_their_target_connection() {
+        let net = SimNet::new(SimNetConfig {
+            seed: 1,
+            base_latency: Duration::ZERO,
+            jitter: Duration::ZERO,
+            faults: vec![FaultSpec {
+                conn: 0,
+                dir: Direction::ClientToServer,
+                frame: 0,
+                kind: FaultKind::Disconnect,
+            }],
+        });
+        let (mut c0, _s0) = net.connect();
+        let (mut c1, mut s1) = net.connect();
+        assert_eq!(c0.send_frame(b"dead"), Err(NetError::Disconnected));
+        c1.send_frame(b"alive").unwrap();
+        assert_eq!(s1.recv_frame().unwrap(), b"alive");
+    }
+}

@@ -1,0 +1,129 @@
+//! The pluggable frame transport: real TCP or the simulated network.
+//!
+//! A transport moves opaque length-prefixed frames; the protocol layer
+//! above it never sees bytes, and the transport never sees message
+//! structure. Both backends implement the same reliable-or-dead
+//! contract TCP gives: frames arrive intact and in order until the
+//! connection dies, after which every operation fails. The error
+//! taxonomy distinguishes *where* the stream died: between frames
+//! ([`NetError::Disconnected`], a clean close) or inside one
+//! ([`NetError::Truncated`], a torn write — the signal the
+//! disconnect-mid-commit tests care about).
+
+use crate::wire::MAX_FRAME_LEN;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Why the connection is unusable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// The peer closed (or the fault plan cut the link) at a frame
+    /// boundary.
+    Disconnected,
+    /// The stream ended inside a frame: the sender died mid-write, or
+    /// the fault plan truncated the frame.
+    Truncated,
+    /// Operating-system level I/O failure.
+    Io(String),
+    /// The peer announced an impossible frame (over [`MAX_FRAME_LEN`]).
+    Protocol(String),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Disconnected => write!(f, "peer disconnected"),
+            NetError::Truncated => write!(f, "stream truncated mid-frame"),
+            NetError::Io(msg) => write!(f, "i/o error: {msg}"),
+            NetError::Protocol(msg) => write!(f, "transport protocol error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// A bidirectional, ordered, reliable-or-dead frame pipe.
+pub trait Transport: Send {
+    /// Sends one frame (length prefix + payload).
+    fn send_frame(&mut self, payload: &[u8]) -> Result<(), NetError>;
+    /// Receives the next frame's payload, blocking until one arrives or
+    /// the connection dies.
+    fn recv_frame(&mut self) -> Result<Vec<u8>, NetError>;
+}
+
+fn io_err(e: std::io::Error) -> NetError {
+    use std::io::ErrorKind;
+    match e.kind() {
+        ErrorKind::ConnectionReset
+        | ErrorKind::ConnectionAborted
+        | ErrorKind::BrokenPipe
+        | ErrorKind::NotConnected => NetError::Disconnected,
+        _ => NetError::Io(e.to_string()),
+    }
+}
+
+/// Frame transport over a [`TcpStream`].
+#[derive(Debug)]
+pub struct TcpTransport {
+    stream: TcpStream,
+}
+
+impl TcpTransport {
+    /// Wraps a connected stream. `TCP_NODELAY` is set so pipelined
+    /// request bursts are not delayed by Nagle's algorithm.
+    pub fn new(stream: TcpStream) -> Self {
+        let _ = stream.set_nodelay(true);
+        Self { stream }
+    }
+
+    /// Reads exactly `buf.len()` bytes. `at_boundary` selects the error
+    /// for a clean EOF: between frames it is a disconnect, inside a
+    /// frame a truncation.
+    fn read_exact_classified(&mut self, buf: &mut [u8], at_boundary: bool) -> Result<(), NetError> {
+        let mut read = 0;
+        while read < buf.len() {
+            match self.stream.read(&mut buf[read..]) {
+                Ok(0) => {
+                    return Err(if at_boundary && read == 0 {
+                        NetError::Disconnected
+                    } else {
+                        NetError::Truncated
+                    });
+                }
+                Ok(n) => read += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(io_err(e)),
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send_frame(&mut self, payload: &[u8]) -> Result<(), NetError> {
+        if payload.len() > MAX_FRAME_LEN {
+            return Err(NetError::Protocol(format!(
+                "frame of {} bytes exceeds the {MAX_FRAME_LEN}-byte cap",
+                payload.len()
+            )));
+        }
+        let len = (payload.len() as u32).to_le_bytes();
+        self.stream.write_all(&len).map_err(io_err)?;
+        self.stream.write_all(payload).map_err(io_err)?;
+        self.stream.flush().map_err(io_err)
+    }
+
+    fn recv_frame(&mut self) -> Result<Vec<u8>, NetError> {
+        let mut header = [0u8; 4];
+        self.read_exact_classified(&mut header, true)?;
+        let len = u32::from_le_bytes(header) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(NetError::Protocol(format!(
+                "peer announced a {len}-byte frame"
+            )));
+        }
+        let mut payload = vec![0u8; len];
+        self.read_exact_classified(&mut payload, false)?;
+        Ok(payload)
+    }
+}

@@ -1,0 +1,275 @@
+//! Binary encoding primitives for the wire protocol.
+//!
+//! Everything on the wire is little-endian and length-prefixed: a frame
+//! is `u32 length ‖ payload`, strings and byte blobs are `u32 length ‖
+//! bytes`, and every variant-bearing type starts with a one-byte tag.
+//! The encoding is self-contained (no external serialization crates) and
+//! deliberately boring: the interesting failure modes live in the
+//! transport, not the codec.
+
+use sicost_common::TableId;
+use sicost_storage::{Row, Value};
+use std::sync::Arc;
+
+/// Hard ceiling on a single frame (header excluded). A peer announcing a
+/// larger frame is a protocol violation, not an allocation request.
+pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
+/// A malformed payload: truncated, trailing garbage, or an unknown tag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The payload ended before the announced structure did.
+    Truncated,
+    /// Structurally invalid data (unknown tag, oversized length, …).
+    Protocol(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "payload truncated"),
+            WireError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Payload builder.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Empty payload.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes the writer, yielding the encoded payload.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `i64`.
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `bool` as one byte.
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(u8::from(v));
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Appends a [`TableId`].
+    pub fn put_table(&mut self, t: TableId) {
+        self.put_u32(t.0);
+    }
+
+    /// Appends a [`Value`] (tag + payload).
+    pub fn put_value(&mut self, v: &Value) {
+        match v {
+            Value::Null => self.put_u8(0),
+            Value::Int(i) => {
+                self.put_u8(1);
+                self.put_i64(*i);
+            }
+            Value::Str(s) => {
+                self.put_u8(2);
+                self.put_str(s);
+            }
+        }
+    }
+
+    /// Appends a [`Row`] (column count + values).
+    pub fn put_row(&mut self, row: &Row) {
+        self.put_u32(row.arity() as u32);
+        for v in row.cells() {
+            self.put_value(v);
+        }
+    }
+}
+
+/// Payload cursor.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Cursor over a payload.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `i64`.
+    pub fn get_i64(&mut self) -> Result<i64, WireError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a one-byte `bool` (strictly 0 or 1).
+    pub fn get_bool(&mut self) -> Result<bool, WireError> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(WireError::Protocol(format!("bad bool byte {b:#04x}"))),
+        }
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String, WireError> {
+        let len = self.get_u32()? as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(WireError::Protocol(format!("string length {len}")));
+        }
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| WireError::Protocol("non-UTF-8 string".into()))
+    }
+
+    /// Reads a [`TableId`].
+    pub fn get_table(&mut self) -> Result<TableId, WireError> {
+        Ok(TableId(self.get_u32()?))
+    }
+
+    /// Reads a [`Value`].
+    pub fn get_value(&mut self) -> Result<Value, WireError> {
+        match self.get_u8()? {
+            0 => Ok(Value::Null),
+            1 => Ok(Value::Int(self.get_i64()?)),
+            2 => Ok(Value::Str(Arc::from(self.get_str()?.as_str()))),
+            t => Err(WireError::Protocol(format!("bad value tag {t:#04x}"))),
+        }
+    }
+
+    /// Reads a [`Row`].
+    pub fn get_row(&mut self) -> Result<Row, WireError> {
+        let n = self.get_u32()? as usize;
+        if n > 4096 {
+            return Err(WireError::Protocol(format!("row with {n} columns")));
+        }
+        let mut cols = Vec::with_capacity(n);
+        for _ in 0..n {
+            cols.push(self.get_value()?);
+        }
+        Ok(Row::new(cols))
+    }
+
+    /// Asserts the payload was fully consumed (no trailing garbage).
+    pub fn expect_end(&self) -> Result<(), WireError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(WireError::Protocol(format!(
+                "{} trailing bytes",
+                self.buf.len() - self.pos
+            )))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        let mut w = Writer::new();
+        w.put_u8(7);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 1);
+        w.put_i64(-42);
+        w.put_bool(true);
+        w.put_str("héllo");
+        w.put_table(TableId(3));
+        let buf = w.finish();
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.get_i64().unwrap(), -42);
+        assert!(r.get_bool().unwrap());
+        assert_eq!(r.get_str().unwrap(), "héllo");
+        assert_eq!(r.get_table().unwrap(), TableId(3));
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn value_and_row_round_trip() {
+        let row = Row::new(vec![Value::int(5), Value::str("abc"), Value::Null]);
+        let mut w = Writer::new();
+        w.put_row(&row);
+        let buf = w.finish();
+        let mut r = Reader::new(&buf);
+        let back = r.get_row().unwrap();
+        r.expect_end().unwrap();
+        assert_eq!(back, row);
+    }
+
+    #[test]
+    fn truncation_and_garbage_are_detected() {
+        let mut w = Writer::new();
+        w.put_str("hello");
+        let buf = w.finish();
+        // Truncated payload.
+        let mut r = Reader::new(&buf[..buf.len() - 1]);
+        assert_eq!(r.get_str(), Err(WireError::Truncated));
+        // Trailing garbage.
+        let mut long = buf.clone();
+        long.push(0);
+        let mut r = Reader::new(&long);
+        r.get_str().unwrap();
+        assert!(matches!(r.expect_end(), Err(WireError::Protocol(_))));
+        // Unknown value tag.
+        let mut r = Reader::new(&[9]);
+        assert!(matches!(r.get_value(), Err(WireError::Protocol(_))));
+    }
+}

@@ -212,6 +212,53 @@ impl Scheduler {
 
 impl SimHooks for Scheduler {
     fn yield_now(&self) {
+        // A yielding task that is the *only* runnable one must not freeze
+        // the virtual clock: `SimJoinHandle::join` spin-yields until the
+        // joined task finishes, so if that task is sleeping (or parked on
+        // a timed wait) the clock has to move for the join to ever
+        // complete. Advancing to the next timer here is a deterministic
+        // function of task state, so replays are unaffected.
+        {
+            let mut s = self.lock();
+            let me = s
+                .current
+                .expect("scheduling point outside a simulated task");
+            let others_runnable =
+                s.tasks.iter().enumerate().any(|(i, t)| {
+                    i != me && matches!(t.status, Status::Ready | Status::NotStarted)
+                });
+            if !others_runnable {
+                let next: Option<u64> = s
+                    .tasks
+                    .iter()
+                    .filter_map(|t| match t.status {
+                        Status::Sleeping { until } => Some(until),
+                        Status::ParkedCv {
+                            deadline: Some(d), ..
+                        } => Some(d),
+                        _ => None,
+                    })
+                    .min();
+                if let Some(t) = next {
+                    s.now_ns = s.now_ns.max(t);
+                    let now_ns = s.now_ns;
+                    for task in s.tasks.iter_mut() {
+                        match task.status {
+                            Status::Sleeping { until } if until <= now_ns => {
+                                task.status = Status::Ready;
+                            }
+                            Status::ParkedCv {
+                                deadline: Some(d), ..
+                            } if d <= now_ns => {
+                                task.status = Status::Ready;
+                                task.timed_out = true;
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+            }
+        }
         self.switch(Status::Ready);
     }
 

@@ -35,6 +35,10 @@ cargo test -q --test sim_torture
 cargo test -q -p sicost-sim
 cargo test -q -p sicost-driver --test run_equivalence
 
+echo "==> server smoke: sim-net fault sweep + client/server equivalence (fixed seeds)"
+cargo test -q -p sicost-server --test fault_sweep
+cargo test -q -p sicost-server --test client_server
+
 echo "==> recovery smoke bench (writes bench_results/recovery.json)"
 SICOST_BENCH_MODE=smoke cargo bench -q -p sicost-bench --bench recovery
 

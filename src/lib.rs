@@ -73,3 +73,9 @@ pub mod driver {
 pub mod sim {
     pub use sicost_sim::*;
 }
+
+/// Wire-protocol server, TCP and simulated-network transports, and the
+/// remote SmallBank client.
+pub mod server {
+    pub use sicost_server::*;
+}
