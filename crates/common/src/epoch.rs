@@ -1,0 +1,334 @@
+//! Epoch-based memory reclamation for lock-free readers.
+//!
+//! The storage layer publishes immutable snapshots (version chains, shard
+//! maps) through atomic pointers. Readers traverse them without locks; a
+//! writer that replaces a snapshot cannot free the old one immediately,
+//! because a reader may still be dereferencing it. This module provides
+//! the deferred-free machinery, std-only (the workspace builds with zero
+//! external crates):
+//!
+//! * a reader wraps each traversal in [`pin`], which publishes the global
+//!   epoch into its thread-local slot;
+//! * a writer hands the unlinked object to [`retire`], stamped with the
+//!   epoch at which it was unlinked;
+//! * [`collect`] advances the global epoch only when every pinned thread
+//!   has observed it, and frees garbage once the epoch has advanced **two
+//!   steps** past its retirement stamp.
+//!
+//! # Why two epochs ([the correctness argument])
+//!
+//! All epoch operations use `SeqCst`, so they form one total order `S`.
+//! Consider garbage retired at epoch `r`: it was unlinked (swapped out of
+//! its atomic pointer) *before* the retire read the global epoch as `r`.
+//! A thread that pins at epoch `r + 1` or later pins after the advance
+//! `r → r + 1`, which is after the retire, which is after the unlink — so
+//! its subsequent pointer loads can only observe the replacement, never
+//! the retired object. Threads pinned at `≤ r` *can* hold it, but they
+//! block the advance `r + 1 → r + 2` (advancing requires every active
+//! slot to have observed the current epoch). Freeing only at
+//! `global ≥ r + 2` therefore guarantees no pinned thread can still reach
+//! the object. The pin itself closes the publish race with a
+//! store-then-re-check loop: a collector that sampled the slot as
+//! inactive must have done so before the slot store, and the re-check
+//! observes any epoch advance that could have raced with it.
+//!
+//! # Simulation awareness
+//!
+//! [`pin`] routes through [`crate::sync::sim_hooks`]: under the
+//! deterministic simulator every pin is a potential preemption point
+//! (like a mutex acquisition), so `sicost-sim` schedules that interleave
+//! lock-free readers with writers stay a pure function of the seed.
+//!
+//! The participant registry and garbage list deliberately use **raw**
+//! `std` mutexes, not the instrumented [`crate::sync::Mutex`]: garbage
+//! accumulation (and therefore when an automatic [`collect`] fires) is
+//! process-global state that persists across replays of one seed, so if
+//! GC bookkeeping consumed scheduler decisions, replaying a schedule
+//! would diverge. With raw locks the bookkeeping is invisible to the
+//! scheduler — critical sections are short, bounded, and never yield —
+//! and the *only* scheduling point this module introduces is the pin
+//! itself, whose count is a pure function of the schedule.
+//!
+//! # Cost model
+//!
+//! After a thread's first pin (which registers its slot — one allocation,
+//! ever), `pin`/unpin are a handful of atomic operations and **perform no
+//! allocation** — the property the storage read path's zero-allocation
+//! test asserts. `retire` allocates (it boxes the garbage) but only runs
+//! on write paths.
+
+use crate::sync;
+use std::any::Any;
+use std::cell::RefCell;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering::SeqCst};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, Weak};
+
+/// Slot value meaning "not currently pinned".
+const INACTIVE: u64 = u64::MAX;
+
+/// Retired objects buffered before an automatic [`collect`] is attempted.
+const COLLECT_THRESHOLD: usize = 128;
+
+/// The global epoch. Starts at 2 so `retired_epoch + 2 <= global` is
+/// never vacuously true for garbage stamped before any advance.
+static EPOCH: AtomicU64 = AtomicU64::new(2);
+
+/// Every thread that has ever pinned, as weak refs so dead threads are
+/// pruned during [`collect`] rather than leaking slots. Raw `std` mutex:
+/// see the module docs on simulation awareness.
+static PARTICIPANTS: Mutex<Vec<Weak<Slot>>> = Mutex::new(Vec::new());
+
+/// Retired-but-not-yet-freed objects, stamped with their retirement epoch.
+/// Raw `std` mutex: see the module docs on simulation awareness.
+static GARBAGE: Mutex<Vec<(u64, Box<dyn Any + Send>)>> = Mutex::new(Vec::new());
+
+/// Locks a raw bookkeeping mutex, ignoring poison (consistent with
+/// [`crate::sync`]: a panic while holding one is already a test failure).
+fn raw_lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[derive(Debug)]
+struct Slot {
+    /// The epoch this thread pinned at, or [`INACTIVE`].
+    epoch: AtomicU64,
+    /// Reentrant-pin depth; only the outermost pin publishes/clears.
+    depth: AtomicUsize,
+}
+
+thread_local! {
+    static SLOT: RefCell<Option<Arc<Slot>>> = const { RefCell::new(None) };
+}
+
+/// An active pin: while any [`Guard`] lives on a thread, no object retired
+/// at or after the pinned epoch is freed. Not `Send` — a pin is a property
+/// of the pinning thread.
+#[derive(Debug)]
+pub struct Guard {
+    slot: Arc<Slot>,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for Guard {
+    fn drop(&mut self) {
+        if self.slot.depth.fetch_sub(1, SeqCst) == 1 {
+            self.slot.epoch.store(INACTIVE, SeqCst);
+        }
+    }
+}
+
+fn my_slot() -> Arc<Slot> {
+    SLOT.with(|s| {
+        if let Some(a) = s.borrow().as_ref() {
+            return Arc::clone(a);
+        }
+        let a = Arc::new(Slot {
+            epoch: AtomicU64::new(INACTIVE),
+            depth: AtomicUsize::new(0),
+        });
+        raw_lock(&PARTICIPANTS).push(Arc::downgrade(&a));
+        *s.borrow_mut() = Some(Arc::clone(&a));
+        a
+    })
+}
+
+/// Pins the current thread: objects reachable from atomic pointers loaded
+/// while the returned [`Guard`] lives will not be freed underneath it.
+/// Reentrant (nested pins share the outermost epoch); allocation-free
+/// after the thread's first call. Under deterministic simulation this is
+/// a scheduling point.
+pub fn pin() -> Guard {
+    if let Some(h) = sync::sim_hooks() {
+        h.maybe_preempt();
+    }
+    let slot = my_slot();
+    if slot.depth.fetch_add(1, SeqCst) == 0 {
+        // Publish-then-re-check: if the global advanced between our load
+        // and our slot store, a collector may have sampled the slot as
+        // inactive and advanced past us — re-publish at the newer epoch
+        // before touching any shared pointer.
+        loop {
+            let e = EPOCH.load(SeqCst);
+            slot.epoch.store(e, SeqCst);
+            if EPOCH.load(SeqCst) == e {
+                break;
+            }
+        }
+    }
+    Guard {
+        slot,
+        _not_send: PhantomData,
+    }
+}
+
+/// Defers destruction of `value` until every thread pinned at the current
+/// epoch has unpinned. Called by writers after unlinking an object from
+/// all shared pointers. Triggers an automatic [`collect`] once enough
+/// garbage accumulates.
+pub fn retire<T: Send + 'static>(value: T) {
+    let e = EPOCH.load(SeqCst);
+    let pending = {
+        let mut g = raw_lock(&GARBAGE);
+        g.push((e, Box::new(value)));
+        g.len()
+    };
+    if pending >= COLLECT_THRESHOLD {
+        collect();
+    }
+}
+
+/// Tries to advance the epoch and frees every retired object that no pin
+/// can still reach (see the module docs for the invariant). Returns the
+/// number of objects freed. Safe to call from any thread at any time;
+/// vacuum calls it after pruning so reclaimed chains actually return to
+/// the allocator.
+pub fn collect() -> usize {
+    try_advance();
+    let global = EPOCH.load(SeqCst);
+    let min = min_active_epoch();
+    let freed: Vec<(u64, Box<dyn Any + Send>)> = {
+        let mut g = raw_lock(&GARBAGE);
+        let mut keep = Vec::with_capacity(g.len());
+        let mut freed = Vec::new();
+        for item in g.drain(..) {
+            if item.0.saturating_add(2) <= global && item.0 < min {
+                freed.push(item);
+            } else {
+                keep.push(item);
+            }
+        }
+        *g = keep;
+        freed
+    };
+    // Destructors run outside the garbage lock: they may retire more.
+    let n = freed.len();
+    drop(freed);
+    n
+}
+
+/// Number of retired objects still awaiting reclamation (diagnostics).
+pub fn pending() -> usize {
+    raw_lock(&GARBAGE).len()
+}
+
+/// Advance `global` by one step iff every *active* participant has
+/// observed the current value — the discipline that bounds pinned readers
+/// to epochs `{global, global - 1}`.
+fn try_advance() {
+    let global = EPOCH.load(SeqCst);
+    let mut parts = raw_lock(&PARTICIPANTS);
+    parts.retain(|w| w.strong_count() > 0);
+    for w in parts.iter() {
+        if let Some(s) = w.upgrade() {
+            let e = s.epoch.load(SeqCst);
+            if e != INACTIVE && e != global {
+                return;
+            }
+        }
+    }
+    let _ = EPOCH.compare_exchange(global, global + 1, SeqCst, SeqCst);
+}
+
+/// Oldest epoch any thread is currently pinned at ([`INACTIVE`] if none).
+fn min_active_epoch() -> u64 {
+    raw_lock(&PARTICIPANTS)
+        .iter()
+        .filter_map(|w| w.upgrade())
+        .map(|s| s.epoch.load(SeqCst))
+        .min()
+        .unwrap_or(INACTIVE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
+
+    /// Bumps a shared counter when dropped: observable reclamation.
+    struct DropBomb(Arc<AtomicUsize>);
+    impl Drop for DropBomb {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, SeqCst);
+        }
+    }
+
+    /// Loops `collect` until `done()` or a generous bound — other tests in
+    /// this process share the global epoch domain and may briefly hold
+    /// pins of their own.
+    fn collect_until(done: impl Fn() -> bool) -> bool {
+        for _ in 0..10_000 {
+            collect();
+            if done() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_micros(50));
+        }
+        done()
+    }
+
+    #[test]
+    fn retired_object_is_eventually_freed() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        retire(DropBomb(Arc::clone(&drops)));
+        assert!(
+            collect_until(|| drops.load(SeqCst) == 1),
+            "garbage must be reclaimed once no pin can reach it"
+        );
+    }
+
+    #[test]
+    fn pinned_reader_blocks_reclamation() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let guard = pin();
+        retire(DropBomb(Arc::clone(&drops)));
+        // With this thread pinned at the retirement epoch, the epoch
+        // cannot advance two steps; the object must survive.
+        for _ in 0..50 {
+            collect();
+        }
+        assert_eq!(drops.load(SeqCst), 0, "pinned epoch must pin the garbage");
+        drop(guard);
+        assert!(collect_until(|| drops.load(SeqCst) == 1));
+    }
+
+    #[test]
+    fn nested_pins_share_the_outer_epoch() {
+        let outer = pin();
+        let e = outer.slot.epoch.load(SeqCst);
+        let inner = pin();
+        assert_eq!(inner.slot.epoch.load(SeqCst), e);
+        drop(inner);
+        assert_eq!(
+            outer.slot.epoch.load(SeqCst),
+            e,
+            "inner unpin must not deactivate the outer pin"
+        );
+        drop(outer);
+    }
+
+    #[test]
+    fn cross_thread_reclamation() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let drops = Arc::clone(&drops);
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        let _g = pin();
+                        retire(DropBomb(Arc::clone(&drops)));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(
+            collect_until(|| drops.load(SeqCst) == 400),
+            "all 400 retirements reclaim once every thread unpins: {}",
+            drops.load(SeqCst)
+        );
+    }
+}

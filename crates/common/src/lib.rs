@@ -8,6 +8,7 @@
 #![deny(missing_docs)]
 
 pub mod dist;
+pub mod epoch;
 pub mod fault;
 pub mod histogram;
 pub mod ids;

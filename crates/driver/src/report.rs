@@ -43,6 +43,11 @@ pub struct LockWaitReport<'a>(pub &'a [LockWait]);
 #[derive(Debug, Clone, Copy)]
 pub struct CheckpointReport<'a>(pub &'a sicost_engine::EngineMetrics);
 
+/// [`Report`] over an engine's version-GC / memory-model counters (see
+/// [`vacuum_report`]).
+#[derive(Debug, Clone, Copy)]
+pub struct VacuumReport<'a>(pub &'a sicost_engine::EngineMetrics);
+
 /// [`Report`] over an open-system run: per kind, what arrived vs what
 /// was refused vs what was served, with queue-delay and end-to-end
 /// latency quantiles, closing with the goodput-vs-offered-load line.
@@ -178,6 +183,36 @@ impl Report for CheckpointReport<'_> {
             "{:>24} | {:>12}\n",
             "recovery replay bytes", m.recovery_replay_bytes
         ));
+        out
+    }
+}
+
+impl Report for VacuumReport<'_> {
+    fn name(&self) -> &'static str {
+        "vacuum"
+    }
+    fn render(&self) -> String {
+        let m = self.0;
+        let mut out = format!("{:>26} | {:>12}\n", "gc / memory counter", "value");
+        out.push_str(&"-".repeat(out.len()));
+        out.push('\n');
+        let rows: [(&str, String); 9] = [
+            ("vacuum runs", m.vacuum_runs.to_string()),
+            ("versions reclaimed", m.versions_pruned.to_string()),
+            ("ssi records reclaimed", m.ssi_txns_reclaimed.to_string()),
+            ("gc pause total", format!("{:.1?}", m.vacuum_pause)),
+            ("gc pause mean", format!("{:.1?}", m.mean_vacuum_pause())),
+            ("max chain length", m.max_chain_len.to_string()),
+            ("siread entries", m.siread_entries.to_string()),
+            ("publish batches", m.publish_batches.to_string()),
+            (
+                "mean publish batch",
+                format!("{:.2}", m.mean_publish_batch()),
+            ),
+        ];
+        for (label, value) in rows {
+            out.push_str(&format!("{label:>26} | {value:>12}\n"));
+        }
         out
     }
 }
@@ -368,6 +403,15 @@ pub fn lock_wait_report(classes: &[LockWait]) -> String {
 /// proportional to the delta rather than the history.
 pub fn checkpoint_report(m: &sicost_engine::EngineMetrics) -> String {
     CheckpointReport(m).render()
+}
+
+/// Renders an engine's version-GC and memory-model counters: vacuum runs,
+/// versions and SSI bookkeeping records reclaimed, GC pause time, the
+/// live max-chain-length / SIREAD gauges the watermark protocol is meant
+/// to hold flat, and commit-timestamp publication batching — the view
+/// that shows whether sustained load is reaching a memory steady state.
+pub fn vacuum_report(m: &sicost_engine::EngineMetrics) -> String {
+    VacuumReport(m).render()
 }
 
 /// A rough terminal line chart (height rows, one glyph per series),
@@ -606,12 +650,20 @@ mod tests {
             Box::new(LatencyReport(&m)),
             Box::new(LockWaitReport(&classes)),
             Box::new(CheckpointReport(&engine)),
+            Box::new(VacuumReport(&engine)),
             Box::new(OpenLoopReport(&open)),
         ];
         let names: Vec<_> = reports.iter().map(|r| r.name()).collect();
         assert_eq!(
             names,
-            ["retry", "latency", "lock-wait", "checkpoint", "open-loop"]
+            [
+                "retry",
+                "latency",
+                "lock-wait",
+                "checkpoint",
+                "vacuum",
+                "open-loop"
+            ]
         );
         for r in &reports {
             let text = r.render();
@@ -628,6 +680,34 @@ mod tests {
         assert_eq!(lock_wait_report(&[]), LockWaitReport(&[]).render());
         let e = sicost_engine::EngineMetrics::default();
         assert_eq!(checkpoint_report(&e), CheckpointReport(&e).render());
+        assert_eq!(vacuum_report(&e), VacuumReport(&e).render());
+    }
+
+    #[test]
+    fn vacuum_report_shows_gc_counters_and_gauges() {
+        use std::time::Duration;
+        let m = sicost_engine::EngineMetrics {
+            vacuum_runs: 4,
+            versions_pruned: 1200,
+            ssi_txns_reclaimed: 77,
+            vacuum_pause: Duration::from_micros(800),
+            max_chain_len: 3,
+            siread_entries: 42,
+            publish_batches: 10,
+            publish_batched_commits: 25,
+            ..Default::default()
+        };
+        let r = vacuum_report(&m);
+        assert!(r.contains("vacuum runs"), "{r}");
+        assert!(r.contains("1200"), "{r}");
+        assert!(r.contains("ssi records reclaimed"), "{r}");
+        assert!(r.contains("gc pause mean"), "{r}");
+        assert!(r.contains("200.0µs"), "mean pause = 800µs / 4 runs: {r}");
+        assert!(r.contains("max chain length"), "{r}");
+        assert!(r.contains("2.50"), "mean publish batch = 25/10: {r}");
+        // Zeroed metrics must render totally (no NaN from 0/0 means).
+        let empty = vacuum_report(&sicost_engine::EngineMetrics::default());
+        assert!(!empty.contains("NaN") && !empty.contains("inf"), "{empty}");
     }
 
     #[test]

@@ -145,6 +145,55 @@ impl CheckpointPolicy {
     }
 }
 
+/// When the engine vacuums (version GC + SSI record GC) on its own, in
+/// the same shape as [`CheckpointPolicy`]: a commit-count trigger, a
+/// WAL-byte trigger, or both (whichever trips first wins and resets
+/// both). Explicit [`crate::Database::vacuum`] calls work regardless.
+/// Vacuum runs are single-flight: a trigger that fires while a vacuum is
+/// already running is skipped, not queued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct VacuumPolicy {
+    /// Vacuum once this many log bytes accumulate since the last run.
+    pub every_wal_bytes: Option<u64>,
+    /// Vacuum once this many commits (including read-only commits — they
+    /// are what pins the snapshot horizon) happen since the last run.
+    pub every_commits: Option<u64>,
+}
+
+impl VacuumPolicy {
+    /// No automatic vacuum (the functional-profile default).
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Byte-driven vacuum: one run per `bytes` of accumulated WAL.
+    pub fn every_wal_bytes(bytes: u64) -> Self {
+        Self::disabled().with_every_wal_bytes(bytes)
+    }
+
+    /// Commit-driven vacuum: one run per `commits` commits.
+    pub fn every_commits(commits: u64) -> Self {
+        Self::disabled().with_every_commits(commits)
+    }
+
+    /// Arms the byte-accumulation trigger (builder-style).
+    pub fn with_every_wal_bytes(mut self, bytes: u64) -> Self {
+        self.every_wal_bytes = Some(bytes);
+        self
+    }
+
+    /// Arms the commit-count trigger (builder-style).
+    pub fn with_every_commits(mut self, commits: u64) -> Self {
+        self.every_commits = Some(commits);
+        self
+    }
+
+    /// True when neither trigger is armed.
+    pub fn is_disabled(&self) -> bool {
+        self.every_wal_bytes.is_none() && self.every_commits.is_none()
+    }
+}
+
 /// Full engine configuration.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
@@ -156,9 +205,10 @@ pub struct EngineConfig {
     pub wal: WalConfig,
     /// Simulated CPU costs.
     pub cost: CostModel,
-    /// Run the version garbage collector every this many commits
-    /// (`None` = only on explicit [`crate::Database::vacuum`] calls).
-    pub vacuum_every: Option<u64>,
+    /// When the engine vacuums (version GC + SSI record GC) on its own.
+    /// See [`VacuumPolicy`]; disabled means only explicit
+    /// [`crate::Database::vacuum`] calls collect garbage.
+    pub vacuum: VacuumPolicy,
     /// When `true`, SI/SSI writers also take an intention-exclusive lock
     /// on the table before their row locks. Pure overhead for plain SI,
     /// but it makes *explicit* table locks
@@ -199,7 +249,7 @@ impl EngineConfig {
             sfu: SfuSemantics::LockOnly,
             wal: WalConfig::instant(),
             cost: CostModel::zero(),
-            vacuum_every: None,
+            vacuum: VacuumPolicy::disabled(),
             table_intent_locks: false,
             faults: None,
             shards: Self::DEFAULT_SHARDS,
@@ -222,7 +272,7 @@ impl EngineConfig {
                 cpu_contention_factor: 0.0,
                 contention_knee: 0,
             },
-            vacuum_every: Some(20_000),
+            vacuum: VacuumPolicy::every_commits(20_000),
             table_intent_locks: false,
             faults: None,
             shards: Self::DEFAULT_SHARDS,
@@ -245,7 +295,7 @@ impl EngineConfig {
                 cpu_contention_factor: 0.035,
                 contention_knee: 20,
             },
-            vacuum_every: Some(20_000),
+            vacuum: VacuumPolicy::every_commits(20_000),
             table_intent_locks: false,
             faults: None,
             shards: Self::DEFAULT_SHARDS,
@@ -305,6 +355,14 @@ impl EngineConfig {
     /// with the [`CheckpointPolicy`] constructors.
     pub fn with_checkpoints(mut self, policy: CheckpointPolicy) -> Self {
         self.checkpoints = policy;
+        self
+    }
+
+    /// Sets the automatic-vacuum policy (builder-style). Build the policy
+    /// with the [`VacuumPolicy`] constructors; `VacuumPolicy::disabled()`
+    /// turns background GC off (explicit `vacuum` calls still work).
+    pub fn with_vacuum(mut self, policy: VacuumPolicy) -> Self {
+        self.vacuum = policy;
         self
     }
 
@@ -410,6 +468,28 @@ mod tests {
         assert_eq!(cfg.checkpoints.every_wal_bytes, Some(1 << 20));
         assert_eq!(cfg.checkpoints.every_commits, Some(500));
         assert!(!cfg.checkpoints.is_disabled());
+    }
+
+    #[test]
+    fn vacuum_policy_presets_and_builder() {
+        assert!(EngineConfig::functional().vacuum.is_disabled());
+        assert_eq!(
+            EngineConfig::postgres_like().vacuum.every_commits,
+            Some(20_000)
+        );
+        assert_eq!(
+            EngineConfig::commercial_like().vacuum.every_commits,
+            Some(20_000)
+        );
+        let cfg = EngineConfig::functional()
+            .with_vacuum(VacuumPolicy::every_commits(100).with_every_wal_bytes(1 << 16));
+        assert_eq!(cfg.vacuum.every_commits, Some(100));
+        assert_eq!(cfg.vacuum.every_wal_bytes, Some(1 << 16));
+        assert!(VacuumPolicy::disabled().is_disabled());
+        assert_eq!(
+            VacuumPolicy::every_wal_bytes(4096).every_wal_bytes,
+            Some(4096)
+        );
     }
 
     #[test]

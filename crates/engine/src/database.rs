@@ -23,9 +23,16 @@ use std::time::Duration;
 /// fault injector's crash hook can reach the condvar and wake blocked
 /// publishers the moment the crash latch fires — the wait itself is
 /// untimed (no polling).
+///
+/// The payload is the set of reserved-but-unpublished timestamps whose
+/// owners have reached the gate. Whoever holds the gate drains the
+/// consecutive run starting at `clock + 1` with a **single clock store**
+/// (batched group publication): under contention one publisher advances
+/// the clock for many, and the others just observe `clock >= own_ts` and
+/// leave — they never take a turn storing the clock themselves.
 pub(crate) struct PublishGate {
-    /// Guards the clock-advance check. Instrumented as `commit.publish`.
-    pub(crate) lock: InstrumentedMutex<()>,
+    /// Pending publication requests. Instrumented as `commit.publish`.
+    pub(crate) lock: InstrumentedMutex<std::collections::BTreeSet<u64>>,
     /// Notified on every publication, on in-flight bookkeeping changes,
     /// and by the crash hook.
     pub(crate) cv: Condvar,
@@ -85,7 +92,10 @@ impl DatabaseBuilder {
         let classes = LockClasses::default();
         let shards = self.config.shards.max(1);
         let publish = Arc::new(PublishGate {
-            lock: InstrumentedMutex::new((), Arc::clone(&classes.commit_publish)),
+            lock: InstrumentedMutex::new(
+                std::collections::BTreeSet::new(),
+                Arc::clone(&classes.commit_publish),
+            ),
             cv: Condvar::new(),
         });
         if let Some(faults) = &self.config.faults {
@@ -121,6 +131,8 @@ impl DatabaseBuilder {
             ckpt_flight: InstrumentedMutex::new((), Arc::clone(&classes.checkpoint)),
             last_ckpt_offset: AtomicU64::new(0),
             commits_since_ckpt: AtomicU64::new(0),
+            vac_flight: InstrumentedMutex::new((), Arc::clone(&classes.vacuum)),
+            last_vacuum_offset: AtomicU64::new(0),
             lock_classes: classes,
             config: self.config,
             observer: self.observer,
@@ -171,6 +183,12 @@ pub struct Database {
     pub(crate) last_ckpt_offset: AtomicU64,
     /// Writing commits since the last completed checkpoint.
     pub(crate) commits_since_ckpt: AtomicU64,
+    /// Single-flight vacuum lock (instrumented as `vacuum`): explicit
+    /// calls queue behind a running pass; auto-vacuums skip instead.
+    vac_flight: InstrumentedMutex<()>,
+    /// Log-end offset at the last completed vacuum; drives the
+    /// byte-accumulation auto-vacuum threshold.
+    last_vacuum_offset: AtomicU64,
     /// Shared contention counters behind every engine lock above.
     lock_classes: LockClasses,
     pub(crate) observer: Option<Arc<dyn HistoryObserver>>,
@@ -247,18 +265,50 @@ impl Database {
     /// section's torn-prefix behaviour.
     ///
     /// `wal_backed` carries the committer's id when its redo record is in
-    /// the log; publication removes it from the in-flight set in the same
-    /// gate-locked critical section that advances the clock, so a
-    /// draining checkpointer observing the removal also observes the
-    /// published timestamp.
+    /// the log; a committer removes it from the in-flight set in a
+    /// gate-locked critical section only after observing its timestamp
+    /// published, so a draining checkpointer observing the removal also
+    /// observes the published timestamp.
+    ///
+    /// Publication is **batched**: each caller enqueues its timestamp in
+    /// the gate's pending set, and whoever holds the gate drains the
+    /// whole consecutive run starting at `clock + 1` with one clock
+    /// store. Under a publication convoy the gate is taken once per
+    /// batch, not once per commit ([`EngineMetrics::publish_batches`] /
+    /// [`EngineMetrics::publish_batched_commits`] expose the ratio).
     pub(crate) fn publish_commit(
         &self,
         ts: Ts,
         wal_backed: Option<TxnId>,
     ) -> Result<(), crate::TxnError> {
         let mut gate = self.publish.lock.lock();
-        while self.clock.load(Ordering::Acquire) + 1 != ts.0 {
+        gate.insert(ts.0);
+        loop {
+            // Drain the consecutive run starting at clock+1 — publishing
+            // for every waiter whose turn has come, not just ourselves.
+            let mut next = self.clock.load(Ordering::Acquire) + 1;
+            let mut batched = 0u64;
+            while gate.remove(&next) {
+                batched += 1;
+                next += 1;
+            }
+            if batched > 0 {
+                self.clock.store(next - 1, Ordering::Release);
+                self.metrics.record_publish_batch(batched);
+            }
+            if self.clock.load(Ordering::Acquire) >= ts.0 {
+                // Published (by us or by a helper). In-flight removal
+                // happens here, under the gate, strictly after the clock
+                // covers our timestamp.
+                if let Some(id) = wal_backed {
+                    self.inflight_wal.lock().remove(&id);
+                }
+                drop(gate);
+                self.publish.cv.notify_all();
+                return Ok(());
+            }
             if self.crashed() {
+                gate.remove(&ts.0);
                 if let Some(id) = wal_backed {
                     self.inflight_wal.lock().remove(&id);
                 }
@@ -270,13 +320,6 @@ impl Database {
             }
             self.publish.cv.wait(&mut gate);
         }
-        self.clock.store(ts.0, Ordering::Release);
-        if let Some(id) = wal_backed {
-            self.inflight_wal.lock().remove(&id);
-        }
-        drop(gate);
-        self.publish.cv.notify_all();
-        Ok(())
     }
 
     /// Registers a WAL-backed committer *before* its log append, so any
@@ -383,7 +426,21 @@ impl Database {
     /// pruned table versions plus, in SSI mode, retired SSI transaction
     /// records (each also reported separately in
     /// [`EngineMetrics::ssi_txns_reclaimed`]).
+    ///
+    /// The watermark is the oldest active snapshot timestamp from the
+    /// active-transaction registry (falling back to the current clock
+    /// when no transaction is active), so no version visible to any
+    /// active snapshot is ever pruned. Single-flight: blocks if another vacuum
+    /// is running. Each pass is timed into
+    /// [`EngineMetrics::vacuum_pause`].
     pub fn vacuum(&self) -> u64 {
+        let _flight = self.vac_flight.lock();
+        self.run_vacuum()
+    }
+
+    /// The vacuum pass body; caller holds `vac_flight`.
+    fn run_vacuum(&self) -> u64 {
+        let t0 = std::time::Instant::now();
         let horizon = self
             .registry
             .min_active_snapshot(Ts(self.clock.load(Ordering::Acquire)));
@@ -397,23 +454,57 @@ impl Database {
             self.metrics.record_ssi_reclaimed(ssi_reclaimed);
             reclaimed += ssi_reclaimed;
         }
+        // Pruned chain/map snapshots sit in the epoch collector until
+        // every reader pinned before their replacement drains; push the
+        // collector so the memory actually returns under sustained load.
+        sicost_common::epoch::collect();
+        self.last_vacuum_offset
+            .store(self.wal.log_end_offset(), Ordering::Relaxed);
+        self.commits_since_vacuum.store(0, Ordering::Relaxed);
+        self.metrics.record_vacuum(t0.elapsed());
         reclaimed
     }
 
-    /// Called by transactions after each commit to drive auto-vacuum.
+    /// Called by transactions after each commit (read-only included —
+    /// they are what pins the horizon) to drive threshold-based
+    /// auto-vacuum, mirroring [`Database::note_commit_for_checkpoint`]:
+    /// runs inline on the committing thread and skips when another
+    /// vacuum is in flight.
     pub(crate) fn note_commit_for_vacuum(&self) {
-        if let Some(every) = self.config.vacuum_every {
-            let n = self.commits_since_vacuum.fetch_add(1, Ordering::Relaxed) + 1;
-            if n % every == 0 {
-                self.vacuum();
-            }
+        let every_commits = self.config.vacuum.every_commits;
+        let every_bytes = self.config.vacuum.every_wal_bytes;
+        if every_commits.is_none() && every_bytes.is_none() {
+            return;
+        }
+        let n = self.commits_since_vacuum.fetch_add(1, Ordering::Relaxed) + 1;
+        let due = every_commits.is_some_and(|every| n >= every)
+            || every_bytes.is_some_and(|every| {
+                self.wal
+                    .log_end_offset()
+                    .saturating_sub(self.last_vacuum_offset.load(Ordering::Relaxed))
+                    >= every
+            });
+        if !due {
+            return;
+        }
+        if let Some(_flight) = self.vac_flight.try_lock() {
+            self.run_vacuum();
         }
     }
 
-    /// Engine counters, including the per-lock-class contention breakdown.
+    /// Engine counters, including the per-lock-class contention breakdown
+    /// and the live storage gauges ([`EngineMetrics::max_chain_len`],
+    /// [`EngineMetrics::siread_entries`]).
     pub fn metrics(&self) -> EngineMetrics {
         let mut m = self.metrics.snapshot();
         m.lock_waits = self.lock_classes.snapshot();
+        m.max_chain_len = self
+            .catalog
+            .tables()
+            .map(|t| t.max_chain_len())
+            .max()
+            .unwrap_or(0) as u64;
+        m.siread_entries = self.ssi.siread_entries() as u64;
         m
     }
 
@@ -578,6 +669,11 @@ mod tests {
             "every commit reserves under the sequence lock"
         );
         assert!(m.lock_wait("commit.publish").unwrap().acquisitions > 0);
+        // Batched publication: every published timestamp (bulk load + 64
+        // commits) is covered by exactly one batch.
+        assert_eq!(m.publish_batched_commits, 1 + (threads * per_thread) as u64);
+        assert!(m.publish_batches >= 1 && m.publish_batches <= m.publish_batched_commits);
+        assert!(m.mean_publish_batch() >= 1.0);
     }
 
     #[test]
@@ -645,6 +741,35 @@ mod tests {
         );
         assert!(m.versions_pruned >= 4, "dead versions pruned too");
         assert_eq!(db.ssi.tracked(), 0);
+    }
+
+    /// Threshold-driven auto-vacuum mirrors the checkpoint trigger: every
+    /// Nth commit runs a pass inline, pruning dead versions and stamping
+    /// the run/pause metrics.
+    #[test]
+    fn auto_vacuum_fires_on_commit_threshold() {
+        let db = Database::builder()
+            .table(schema_t())
+            .unwrap()
+            .config(
+                EngineConfig::functional()
+                    .with_vacuum(crate::config::VacuumPolicy::every_commits(3)),
+            )
+            .build();
+        let tid = db.table_id("T").unwrap();
+        db.bulk_load(tid, [Row::new(vec![Value::int(0), Value::int(0)])])
+            .unwrap();
+        for i in 0..7 {
+            update_row(&db, tid, 0, i);
+        }
+        let m = db.metrics();
+        assert_eq!(m.vacuum_runs, 2, "commits 3 and 6 trigger passes");
+        assert!(m.versions_pruned >= 4, "dead versions reclaimed: {m:?}");
+        assert!(
+            m.max_chain_len <= 3,
+            "chain stays bounded under auto-vacuum: {}",
+            m.max_chain_len
+        );
     }
 
     fn schema_t() -> TableSchema {

@@ -32,7 +32,7 @@
 //! CPU-only, the first write makes commit pay a disk sync, extra writes are
 //! nearly free.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod checkpoint;
 pub mod config;
@@ -47,7 +47,7 @@ pub mod ssi;
 pub mod txn;
 
 pub use checkpoint::CheckpointOutcome;
-pub use config::{CcMode, CheckpointPolicy, CostModel, EngineConfig, SfuSemantics};
+pub use config::{CcMode, CheckpointPolicy, CostModel, EngineConfig, SfuSemantics, VacuumPolicy};
 pub use database::{Database, DatabaseBuilder};
 pub use error::{AbortReason, SerializationKind, TxnError};
 pub use history::{HistoryEvent, HistoryObserver};

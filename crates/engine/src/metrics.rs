@@ -30,6 +30,9 @@ pub(crate) struct LockClasses {
     /// The checkpointer's single-flight lock (one checkpoint at a time;
     /// auto-checkpoints skip instead of queueing).
     pub checkpoint: Arc<LockStats>,
+    /// The vacuum daemon's single-flight lock (one vacuum at a time;
+    /// auto-vacuums skip instead of queueing).
+    pub vacuum: Arc<LockStats>,
 }
 
 impl LockClasses {
@@ -45,6 +48,7 @@ impl LockClasses {
             self.ssi_txns.snapshot("ssi.txns"),
             self.ssi_reads.snapshot("ssi.reads"),
             self.checkpoint.snapshot("checkpoint"),
+            self.vacuum.snapshot("vacuum"),
         ]
     }
 }
@@ -62,6 +66,10 @@ pub struct EngineMetricsInner {
     aborts_transient: AtomicU64,
     versions_pruned: AtomicU64,
     ssi_txns_reclaimed: AtomicU64,
+    vacuum_runs: AtomicU64,
+    vacuum_pause_nanos: AtomicU64,
+    publish_batches: AtomicU64,
+    publish_batched_commits: AtomicU64,
     checkpoints_taken: AtomicU64,
     checkpoint_bytes_truncated: AtomicU64,
     recovery_replay_bytes: AtomicU64,
@@ -95,6 +103,18 @@ impl EngineMetricsInner {
         self.ssi_txns_reclaimed.fetch_add(n, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_vacuum(&self, pause: std::time::Duration) {
+        self.vacuum_runs.fetch_add(1, Ordering::Relaxed);
+        self.vacuum_pause_nanos
+            .fetch_add(pause.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_publish_batch(&self, batched: u64) {
+        self.publish_batches.fetch_add(1, Ordering::Relaxed);
+        self.publish_batched_commits
+            .fetch_add(batched, Ordering::Relaxed);
+    }
+
     pub(crate) fn record_checkpoint(&self, truncated_bytes: u64) {
         self.checkpoints_taken.fetch_add(1, Ordering::Relaxed);
         self.checkpoint_bytes_truncated
@@ -119,6 +139,14 @@ impl EngineMetricsInner {
             aborts_transient: self.aborts_transient.load(Ordering::Relaxed),
             versions_pruned: self.versions_pruned.load(Ordering::Relaxed),
             ssi_txns_reclaimed: self.ssi_txns_reclaimed.load(Ordering::Relaxed),
+            vacuum_runs: self.vacuum_runs.load(Ordering::Relaxed),
+            vacuum_pause: std::time::Duration::from_nanos(
+                self.vacuum_pause_nanos.load(Ordering::Relaxed),
+            ),
+            publish_batches: self.publish_batches.load(Ordering::Relaxed),
+            publish_batched_commits: self.publish_batched_commits.load(Ordering::Relaxed),
+            max_chain_len: 0,
+            siread_entries: 0,
             checkpoints_taken: self.checkpoints_taken.load(Ordering::Relaxed),
             checkpoint_bytes_truncated: self.checkpoint_bytes_truncated.load(Ordering::Relaxed),
             recovery_replay_bytes: self.recovery_replay_bytes.load(Ordering::Relaxed),
@@ -152,6 +180,27 @@ pub struct EngineMetrics {
     /// metadata whose rw-antidependency edges can no longer form a pivot
     /// because every concurrent snapshot has drained past them.
     pub ssi_txns_reclaimed: u64,
+    /// Completed vacuum passes (explicit + policy-triggered).
+    pub vacuum_runs: u64,
+    /// Accumulated wall-clock spent inside vacuum passes — the GC pause
+    /// budget. Divide by [`EngineMetrics::vacuum_runs`] for the mean.
+    pub vacuum_pause: std::time::Duration,
+    /// Commit-clock publications that advanced the clock (each may cover
+    /// several commits — see `publish_batched_commits`).
+    pub publish_batches: u64,
+    /// Commits whose timestamps were published by those batches;
+    /// `publish_batched_commits / publish_batches` is the mean batch size
+    /// (1.0 = no batching happened).
+    pub publish_batched_commits: u64,
+    /// Live gauge: longest version chain across all tables at snapshot
+    /// time (filled by [`crate::Database::metrics`]; 0 in a bare
+    /// [`EngineMetricsInner::snapshot`]). The headline "is GC keeping up"
+    /// number.
+    pub max_chain_len: u64,
+    /// Live gauge: SIREAD marks currently held by the SSI manager (filled
+    /// by [`crate::Database::metrics`]; 0 in a bare snapshot and in
+    /// non-SSI modes).
+    pub siread_entries: u64,
     /// Fuzzy checkpoints completed (manifest swapped durably).
     pub checkpoints_taken: u64,
     /// WAL-prefix bytes dropped by checkpoint truncation.
@@ -189,6 +238,25 @@ impl EngineMetrics {
     pub fn total_lock_wait(&self) -> std::time::Duration {
         self.lock_waits.iter().map(|w| w.wait).sum()
     }
+
+    /// Mean commits published per clock advance (1.0 when no batching
+    /// ever happened; 0.0 before any publication).
+    pub fn mean_publish_batch(&self) -> f64 {
+        if self.publish_batches == 0 {
+            0.0
+        } else {
+            self.publish_batched_commits as f64 / self.publish_batches as f64
+        }
+    }
+
+    /// Mean wall-clock per vacuum pass.
+    pub fn mean_vacuum_pause(&self) -> std::time::Duration {
+        if self.vacuum_runs == 0 {
+            std::time::Duration::ZERO
+        } else {
+            self.vacuum_pause / self.vacuum_runs as u32
+        }
+    }
 }
 
 #[cfg(test)]
@@ -211,10 +279,20 @@ mod tests {
         m.record_abort(AbortReason::Application);
         m.record_abort(AbortReason::Transient);
         m.record_pruned(7);
+        m.record_vacuum(std::time::Duration::from_micros(30));
+        m.record_vacuum(std::time::Duration::from_micros(10));
+        m.record_publish_batch(3);
+        m.record_publish_batch(1);
         m.record_checkpoint(1000);
         m.record_checkpoint(500);
         m.record_recovery(250);
         let s = m.snapshot();
+        assert_eq!(s.vacuum_runs, 2);
+        assert_eq!(s.vacuum_pause, std::time::Duration::from_micros(40));
+        assert_eq!(s.mean_vacuum_pause(), std::time::Duration::from_micros(20));
+        assert_eq!(s.publish_batches, 2);
+        assert_eq!(s.publish_batched_commits, 4);
+        assert_eq!(s.mean_publish_batch(), 2.0);
         assert_eq!(s.checkpoints_taken, 2);
         assert_eq!(s.checkpoint_bytes_truncated, 1500);
         assert_eq!(s.recovery_replay_bytes, 250);
@@ -248,6 +326,7 @@ mod tests {
                 "ssi.txns",
                 "ssi.reads",
                 "checkpoint",
+                "vacuum",
             ]
         );
         let mut m = EngineMetrics {

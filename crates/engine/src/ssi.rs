@@ -400,6 +400,17 @@ impl SsiManager {
         self.txns.lock().len()
     }
 
+    /// Total SIREAD marks currently held across every partition (one per
+    /// key-reader pair). The memory-bounding gauge for sustained load:
+    /// under vacuum it stays flat, without it it grows with every
+    /// committed reader whose marks cannot be retired.
+    pub fn siread_entries(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().readers.values().map(Vec::len).sum::<usize>())
+            .sum()
+    }
+
     fn unregister_reads(&self, txn: TxnId, keys: &[ReadKey]) {
         for key in keys {
             let mut shard = self.shard(key).lock();

@@ -178,15 +178,15 @@ impl<'db> Transaction<'db> {
 
     /// Writers of committed versions newer than our snapshot (SSI edges).
     fn newer_writers(&self, table: &Table, key: &Value) -> Vec<TxnId> {
-        match table.chain(key) {
-            Some(chain) => chain
-                .read()
-                .iter()
-                .filter(|v| v.ts > self.snapshot)
-                .map(|v| v.writer)
-                .collect(),
-            None => Vec::new(),
-        }
+        table
+            .with_chain(key, |chain| {
+                chain
+                    .iter()
+                    .filter(|v| v.ts > self.snapshot)
+                    .map(|v| v.writer)
+                    .collect()
+            })
+            .unwrap_or_default()
     }
 
     fn own_write(&self, table: TableId, key: &Value) -> Option<&PendingWrite> {

@@ -16,7 +16,7 @@
 //!   committed versions (or deletion tombstones) at commit.
 //! * [`Table::prune`] garbage-collects versions no active snapshot can see.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod catalog;
 pub mod predicate;

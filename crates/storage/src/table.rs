@@ -1,21 +1,45 @@
 //! Tables: sharded maps from primary key to version chain, plus unique
 //! secondary indexes.
+//!
+//! # Read hot path: lock-free via epoch-protected snapshots
+//!
+//! Both levels of the lookup structure — the per-shard `key → record` map
+//! and each record's version chain — are published as **immutable
+//! snapshots behind atomic pointers**. Readers pin an epoch
+//! ([`sicost_common::epoch::pin`]), load the pointers, and traverse
+//! without taking any lock; writers copy the current snapshot, mutate the
+//! copy, swap the pointer, and hand the old snapshot to the epoch
+//! collector. Steady-state reads are therefore wait-free with respect to
+//! writers and **perform no allocation** (asserted by
+//! `tests/lockfree_reads.rs`).
+//!
+//! Write-side costs: an install clones the record's chain (O(chain
+//! length) — bounded by vacuum) and a record create/drop clones one
+//! shard's map (O(records per shard)). Unique secondary indexes remain
+//! `RwLock`-guarded: they are only consulted on write paths (installs and
+//! index lookups), not on the primary-key read path.
+//!
+//! Lock ordering within a table: `Shard::write` before `VersionCell::write`
+//! (only [`Table::prune`] holds both); installers take `Shard::write`
+//! only inside record creation, before acquiring any cell lock.
 
 use crate::predicate::Predicate;
 use crate::row::Row;
 use crate::schema::{SchemaError, TableSchema};
 use crate::value::Value;
 use crate::version::{Version, VersionChain};
-use sicost_common::sync::RwLock;
+use sicost_common::epoch::{self, Guard};
+use sicost_common::sync::{Mutex, RwLock};
 use sicost_common::{TableId, Ts};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
 use std::sync::Arc;
 
-/// Number of hash shards per table. Shards only bound contention on the
-/// key → chain map itself (chain lookups and inserts); per-record state is
-/// protected by each chain's own lock.
+/// Number of hash shards per table. Shards bound the copy cost of a
+/// record create/drop (one shard's map is cloned) and the blast radius of
+/// a vacuum pass; readers never lock a shard.
 const SHARDS: usize = 64;
 
 /// The outcome of a snapshot read: which version was visible and its image.
@@ -51,10 +75,107 @@ impl std::fmt::Display for UniqueViolation {
 
 impl std::error::Error for UniqueViolation {}
 
-type Shard = RwLock<HashMap<Value, Arc<RwLock<VersionChain>>>>;
+/// One record's state: the current chain snapshot behind an atomic
+/// pointer, a writer mutex serialising copy-on-write replacements, and a
+/// `retired` flag set by vacuum when it unlinks the record so a racing
+/// installer knows to re-look-up instead of writing into a dropped cell.
+struct VersionCell {
+    current: AtomicPtr<VersionChain>,
+    write: Mutex<()>,
+    retired: AtomicBool,
+}
+
+impl VersionCell {
+    fn new(chain: VersionChain) -> Self {
+        Self {
+            current: AtomicPtr::new(Box::into_raw(Box::new(chain))),
+            write: Mutex::new(()),
+            retired: AtomicBool::new(false),
+        }
+    }
+
+    /// Borrows the current chain snapshot; the epoch guard keeps the
+    /// pointee alive for the borrow.
+    fn load<'g>(&self, _guard: &'g Guard) -> &'g VersionChain {
+        // SAFETY: `current` always points at a live boxed chain. Replaced
+        // boxes are epoch-retired, never freed directly, and `_guard`
+        // pins the epoch — so the pointee outlives the returned borrow.
+        unsafe { &*self.current.load(Ordering::SeqCst) }
+    }
+
+    /// Publishes `next` as the current snapshot. Caller holds `self.write`
+    /// (replacements must not race each other).
+    fn replace(&self, next: VersionChain) {
+        let old = self
+            .current
+            .swap(Box::into_raw(Box::new(next)), Ordering::SeqCst);
+        // SAFETY: `old` came from `Box::into_raw` and is now unlinked.
+        // Readers pinned before the swap may still hold it, so it goes to
+        // the epoch collector rather than being dropped here.
+        epoch::retire(unsafe { Box::from_raw(old) });
+    }
+}
+
+impl Drop for VersionCell {
+    fn drop(&mut self) {
+        // SAFETY: exclusive access; the pointer is always a live box.
+        drop(unsafe { Box::from_raw(*self.current.get_mut()) });
+    }
+}
+
+type CellMap = HashMap<Value, Arc<VersionCell>>;
+
+/// One hash shard: the current `key → record` map snapshot behind an
+/// atomic pointer plus a writer mutex serialising map replacements
+/// (record creates and vacuum drops).
+struct Shard {
+    map: AtomicPtr<CellMap>,
+    write: Mutex<()>,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Self {
+            map: AtomicPtr::new(Box::into_raw(Box::new(CellMap::new()))),
+            write: Mutex::new(()),
+        }
+    }
+
+    fn load<'g>(&self, _guard: &'g Guard) -> &'g CellMap {
+        // SAFETY: same protocol as `VersionCell::load` — the pointee is
+        // live and epoch-retired on replacement.
+        unsafe { &*self.map.load(Ordering::SeqCst) }
+    }
+
+    /// Publishes `next` as the current map. Caller holds `self.write`.
+    fn replace(&self, next: CellMap) {
+        let old = self
+            .map
+            .swap(Box::into_raw(Box::new(next)), Ordering::SeqCst);
+        // SAFETY: see `VersionCell::replace`.
+        epoch::retire(unsafe { Box::from_raw(old) });
+    }
+}
+
+impl Drop for Shard {
+    fn drop(&mut self) {
+        // SAFETY: exclusive access; the pointer is always a live box.
+        drop(unsafe { Box::from_raw(*self.map.get_mut()) });
+    }
+}
+
+// Compile-time proof that what the unsafe loads share across threads is
+// actually shareable: `load` hands `&VersionChain` / `&CellMap` to any
+// pinned thread.
+const _: fn() = || {
+    fn shareable<T: Send + Sync>() {}
+    let _ = shareable::<VersionChain>;
+    let _ = shareable::<CellMap>;
+};
 
 /// A table: schema + sharded primary-key index over version chains +
-/// committed-state unique secondary indexes.
+/// committed-state unique secondary indexes. Primary-key reads are
+/// lock-free (see the module docs).
 pub struct Table {
     id: TableId,
     schema: TableSchema,
@@ -76,7 +197,7 @@ impl Table {
         Self {
             id,
             schema,
-            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            shards: (0..SHARDS).map(|_| Shard::new()).collect(),
             unique_maps,
         }
     }
@@ -97,31 +218,63 @@ impl Table {
         &self.shards[(h.finish() as usize) % SHARDS]
     }
 
-    /// Returns the version chain for `key`, if the record has ever existed.
-    pub fn chain(&self, key: &Value) -> Option<Arc<RwLock<VersionChain>>> {
-        self.shard_for(key).read().get(key).cloned()
+    /// Lock-free lookup of the record cell for `key` under an epoch pin.
+    fn cell_ref<'g>(&self, key: &Value, guard: &'g Guard) -> Option<&'g VersionCell> {
+        self.shard_for(key).load(guard).get(key).map(|a| a.as_ref())
     }
 
-    /// Returns the version chain for `key`, creating an empty one if absent
-    /// (used by inserts).
-    pub fn chain_or_create(&self, key: &Value) -> Arc<RwLock<VersionChain>> {
-        if let Some(c) = self.chain(key) {
-            return c;
+    /// Returns the record cell for `key`, creating it if absent (used by
+    /// installs, which need an owned handle to lock across the swap).
+    fn cell_or_create(&self, key: &Value) -> Arc<VersionCell> {
+        let shard = self.shard_for(key);
+        {
+            let g = epoch::pin();
+            if let Some(c) = shard.load(&g).get(key) {
+                return Arc::clone(c);
+            }
         }
-        let mut shard = self.shard_for(key).write();
-        shard
-            .entry(key.clone())
-            .or_insert_with(|| Arc::new(RwLock::new(VersionChain::new())))
-            .clone()
+        let _w = shard.write.lock();
+        let g = epoch::pin();
+        let map = shard.load(&g);
+        if let Some(c) = map.get(key) {
+            return Arc::clone(c);
+        }
+        let cell = Arc::new(VersionCell::new(VersionChain::new()));
+        let mut next = map.clone();
+        next.insert(key.clone(), Arc::clone(&cell));
+        shard.replace(next);
+        cell
     }
 
-    /// Snapshot read of one record by primary key.
+    /// Lock-free, allocation-free snapshot read: calls `f` with the
+    /// version of `key` visible at `snap` (or `None`) while an epoch pin
+    /// keeps the chain alive. This is the zero-copy primitive behind
+    /// [`Table::read_at`].
+    pub fn read_with<R>(&self, key: &Value, snap: Ts, f: impl FnOnce(Option<&Version>) -> R) -> R {
+        let g = epoch::pin();
+        match self.cell_ref(key, &g) {
+            Some(cell) => f(cell.load(&g).visible(snap)),
+            None => f(None),
+        }
+    }
+
+    /// Lock-free visitor over the whole version chain of `key` (`None`
+    /// when the record has never existed). The borrow is valid only for
+    /// the duration of `f`; the chain is an immutable snapshot, so
+    /// concurrent installs are not observed mid-scan.
+    pub fn with_chain<R>(&self, key: &Value, f: impl FnOnce(&VersionChain) -> R) -> Option<R> {
+        let g = epoch::pin();
+        self.cell_ref(key, &g).map(|cell| f(cell.load(&g)))
+    }
+
+    /// Snapshot read of one record by primary key. Clones the row image;
+    /// use [`Table::read_with`] when a borrow suffices.
     pub fn read_at(&self, key: &Value, snap: Ts) -> Option<VisibleRead> {
-        let chain = self.chain(key)?;
-        let guard = chain.read();
-        guard.visible(snap).map(|v| VisibleRead {
-            ts: v.ts,
-            row: v.row().cloned(),
+        self.read_with(key, snap, |v| {
+            v.map(|v| VisibleRead {
+                ts: v.ts,
+                row: v.row().cloned(),
+            })
         })
     }
 
@@ -129,9 +282,7 @@ impl Table {
     /// (`None` when the record has never existed). This is what
     /// First-Updater/First-Committer-Wins validation compares against.
     pub fn latest_ts(&self, key: &Value) -> Option<Ts> {
-        let chain = self.chain(key)?;
-        let ts = chain.read().latest_ts();
-        ts
+        self.with_chain(key, |c| c.latest_ts()).flatten()
     }
 
     /// Installs a committed version for `key`, enforcing unique constraints
@@ -150,46 +301,61 @@ impl Table {
                 ))));
             }
         }
-        // Unique maintenance needs the previous image to unlink old entries.
-        let chain = self.chain_or_create(key);
-        let mut guard = chain.write();
-        let old_row = guard.latest().and_then(|v| v.row().cloned());
-        if let Some(new_row) = version.row() {
-            for (slot, &col) in self.schema.unique.iter().enumerate() {
-                let new_val = new_row.get(col);
-                if new_val.is_null() {
-                    continue; // SQL UNIQUE admits multiple NULLs
-                }
-                let map = self.unique_maps[slot].read();
-                if let Some(owner) = map.get(new_val) {
-                    if owner != key {
-                        return Err(InstallError::Unique(UniqueViolation {
-                            table: self.schema.name.clone(),
-                            column: self.schema.columns[col].name.clone(),
-                            value: new_val.clone(),
-                        }));
+        loop {
+            let cell = self.cell_or_create(key);
+            let _w = cell.write.lock();
+            if cell.retired.load(Ordering::SeqCst) {
+                // Vacuum unlinked this record between our lookup and the
+                // lock; the published map no longer references the cell.
+                // Re-look-up — once vacuum publishes the pruned map, the
+                // create path builds a fresh cell.
+                continue;
+            }
+            let g = epoch::pin();
+            let chain = cell.load(&g);
+            // Unique maintenance needs the previous image to unlink old
+            // entries.
+            let old_row = chain.latest().and_then(|v| v.row().cloned());
+            if let Some(new_row) = version.row() {
+                for (slot, &col) in self.schema.unique.iter().enumerate() {
+                    let new_val = new_row.get(col);
+                    if new_val.is_null() {
+                        continue; // SQL UNIQUE admits multiple NULLs
+                    }
+                    let map = self.unique_maps[slot].read();
+                    if let Some(owner) = map.get(new_val) {
+                        if owner != key {
+                            return Err(InstallError::Unique(UniqueViolation {
+                                table: self.schema.name.clone(),
+                                column: self.schema.columns[col].name.clone(),
+                                value: new_val.clone(),
+                            }));
+                        }
                     }
                 }
             }
-        }
-        // Past the checks: mutate the indexes, then install.
-        for (slot, &col) in self.schema.unique.iter().enumerate() {
-            let mut map = self.unique_maps[slot].write();
-            if let Some(old) = &old_row {
-                let old_val = old.get(col);
-                if !old_val.is_null() {
-                    map.remove(old_val);
+            // Past the checks: mutate the indexes, then publish the new
+            // chain snapshot.
+            for (slot, &col) in self.schema.unique.iter().enumerate() {
+                let mut map = self.unique_maps[slot].write();
+                if let Some(old) = &old_row {
+                    let old_val = old.get(col);
+                    if !old_val.is_null() {
+                        map.remove(old_val);
+                    }
+                }
+                if let Some(new_row) = version.row() {
+                    let new_val = new_row.get(col);
+                    if !new_val.is_null() {
+                        map.insert(new_val.clone(), key.clone());
+                    }
                 }
             }
-            if let Some(new_row) = version.row() {
-                let new_val = new_row.get(col);
-                if !new_val.is_null() {
-                    map.insert(new_val.clone(), key.clone());
-                }
-            }
+            let mut next = chain.clone();
+            next.install(version);
+            cell.replace(next);
+            return Ok(());
         }
-        guard.install(version);
-        Ok(())
     }
 
     /// Looks up a primary key through a unique secondary index and verifies
@@ -224,13 +390,14 @@ impl Table {
 
     /// Snapshot scan: calls `f(pk, row, version_ts)` for every record whose
     /// visible version is live data matching `pred`. Iteration order is
-    /// unspecified.
+    /// unspecified. Lock-free: each shard's map is read as an immutable
+    /// snapshot (re-pinned per shard so long scans don't stall reclamation).
     pub fn scan_at(&self, snap: Ts, pred: &Predicate, mut f: impl FnMut(&Value, &Row, Ts)) {
         for shard in &self.shards {
-            let guard = shard.read();
-            for (pk, chain) in guard.iter() {
-                let chain = chain.read();
-                if let Some(v) = chain.visible(snap) {
+            let g = epoch::pin();
+            let map = shard.load(&g);
+            for (pk, cell) in map.iter() {
+                if let Some(v) = cell.load(&g).visible(snap) {
                     if let Some(row) = v.row() {
                         if pred.matches(row) {
                             f(pk, row, v.ts);
@@ -268,30 +435,74 @@ impl Table {
     /// Garbage-collects versions invisible to every snapshot at or after
     /// `horizon`; drops records reduced to a dead tombstone. Returns the
     /// number of versions reclaimed.
+    ///
+    /// Holds `Shard::write` for the duration of each shard pass (blocking
+    /// record creates in that shard — this is the measured GC pause) and
+    /// each record's `VersionCell::write` briefly; readers are never
+    /// blocked, and any reader pinned before a replacement keeps its
+    /// snapshot alive through the epoch collector.
     pub fn prune(&self, horizon: Ts) -> usize {
         let mut reclaimed = 0;
         for shard in &self.shards {
-            let mut guard = shard.write();
-            guard.retain(|_, chain| {
-                let mut c = chain.write();
-                reclaimed += c.prune(horizon);
-                if c.is_dead(horizon) {
-                    reclaimed += c.len();
-                    false
-                } else {
-                    true
+            let _sw = shard.write.lock();
+            let g = epoch::pin();
+            let map = shard.load(&g);
+            let mut dead: Vec<Value> = Vec::new();
+            // Sorted key order, not map order: the per-cell lock sequence
+            // below must be a pure function of the data, never of a
+            // hasher's iteration order, or deterministic-simulation
+            // replays of a vacuum racing concurrent writers would
+            // diverge between runs.
+            let mut entries: Vec<(&Value, &Arc<VersionCell>)> = map.iter().collect();
+            entries.sort_by(|a, b| a.0.cmp(b.0));
+            for (pk, cell) in entries {
+                let _cw = cell.write.lock();
+                let chain = cell.load(&g);
+                let mut next = chain.clone();
+                let n = next.prune(horizon);
+                if next.is_dead(horizon) {
+                    // Mark first, unlink after: an installer that raced us
+                    // to this cell sees `retired` under the cell lock and
+                    // re-looks-up instead of resurrecting a dropped record.
+                    reclaimed += n + next.len();
+                    cell.retired.store(true, Ordering::SeqCst);
+                    dead.push(pk.clone());
+                } else if n > 0 {
+                    reclaimed += n;
+                    cell.replace(next);
                 }
-            });
+            }
+            if !dead.is_empty() {
+                let mut next_map = map.clone();
+                for pk in &dead {
+                    next_map.remove(pk);
+                }
+                shard.replace(next_map);
+            }
         }
         reclaimed
     }
 
     /// Total stored versions across all records (for GC tests/metrics).
     pub fn version_count(&self) -> usize {
+        let g = epoch::pin();
         self.shards
             .iter()
-            .map(|s| s.read().values().map(|c| c.read().len()).sum::<usize>())
+            .map(|s| s.load(&g).values().map(|c| c.load(&g).len()).sum::<usize>())
             .sum()
+    }
+
+    /// Length of the longest version chain in the table — the headline
+    /// "is GC keeping up" gauge.
+    pub fn max_chain_len(&self) -> usize {
+        let g = epoch::pin();
+        let mut max = 0;
+        for shard in &self.shards {
+            for cell in shard.load(&g).values() {
+                max = max.max(cell.load(&g).len());
+            }
+        }
+        max
     }
 }
 
@@ -320,6 +531,7 @@ mod tests {
     use super::*;
     use crate::schema::{ColumnDef, ColumnType};
     use sicost_common::TxnId;
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::SeqCst};
 
     fn accounts() -> Table {
         Table::new(
@@ -539,5 +751,87 @@ mod tests {
         )
         .unwrap();
         assert_eq!(t.latest_ts(&Value::str("alice")), Some(Ts(3)));
+    }
+
+    #[test]
+    fn read_with_and_with_chain_borrow_without_cloning() {
+        let t = accounts();
+        for ts in 1..=3u64 {
+            t.install(
+                &Value::str("alice"),
+                Version::data(Ts(ts), TxnId(1), acct_row("alice", ts as i64)),
+            )
+            .unwrap();
+        }
+        let id = t.read_with(&Value::str("alice"), Ts(2), |v| {
+            v.and_then(|v| v.row()).map(|r| r.int(1))
+        });
+        assert_eq!(id, Some(2));
+        assert!(!t.read_with(&Value::str("nobody"), Ts(2), |v| v.is_some()));
+        let newer: Vec<u64> = t
+            .with_chain(&Value::str("alice"), |c| {
+                c.iter().filter(|v| v.ts > Ts(1)).map(|v| v.ts.0).collect()
+            })
+            .unwrap();
+        assert_eq!(newer, vec![2, 3]);
+        assert!(t.with_chain(&Value::str("nobody"), |_| ()).is_none());
+        assert_eq!(t.max_chain_len(), 3);
+    }
+
+    /// Stress the orphan-cell race: a writer keeps updating, deleting and
+    /// re-inserting two records while a vacuum thread prunes aggressively
+    /// (so the writer regularly races a record drop). The `retired` flag
+    /// protocol must keep the final state exactly what the writer wrote.
+    #[test]
+    fn concurrent_installs_and_prunes_stay_consistent() {
+        let t = std::sync::Arc::new(accounts());
+        let stop = std::sync::Arc::new(AtomicBool::new(false));
+        let hi = std::sync::Arc::new(AtomicU64::new(0));
+        let pruner = {
+            let t = std::sync::Arc::clone(&t);
+            let stop = std::sync::Arc::clone(&stop);
+            let hi = std::sync::Arc::clone(&hi);
+            std::thread::spawn(move || {
+                let mut total = 0;
+                while !stop.load(SeqCst) {
+                    let h = hi.load(SeqCst).saturating_sub(2);
+                    if h > 0 {
+                        total += t.prune(Ts(h));
+                    }
+                    epoch::collect();
+                    std::thread::yield_now();
+                }
+                total
+            })
+        };
+        let last = 600u64;
+        for ts in 1..=last {
+            let (key, name) = if ts % 2 == 0 {
+                (Value::str("alice"), "alice")
+            } else {
+                (Value::str("bob"), "bob")
+            };
+            // Every 7th version is a delete; the next write of that key
+            // re-creates the record (racing the pruner's record drop).
+            let version = if ts % 7 == 0 {
+                Version::tombstone(Ts(ts), TxnId(ts))
+            } else {
+                Version::data(Ts(ts), TxnId(ts), acct_row(name, ts as i64))
+            };
+            t.install(&key, version).unwrap();
+            hi.store(ts, SeqCst);
+        }
+        stop.store(true, SeqCst);
+        let reclaimed = pruner.join().unwrap();
+        assert!(reclaimed > 0, "pruner should have reclaimed something");
+        // Final state: the newest non-deleted write of each key survives.
+        let alice = t.read_at(&Value::str("alice"), Ts(last + 1)).unwrap();
+        assert_eq!(alice.row.unwrap().int(1), 600);
+        let bob = t.read_at(&Value::str("bob"), Ts(last + 1)).unwrap();
+        assert_eq!(bob.row.unwrap().int(1), 599);
+        let final_reclaim = t.prune(Ts(last));
+        let _ = final_reclaim;
+        assert_eq!(t.version_count(), 2);
+        assert!(t.max_chain_len() <= 1);
     }
 }

@@ -37,7 +37,7 @@ impl Counters {
                 cpu_contention_factor: 0.0,
                 contention_knee: 0,
             },
-            vacuum_every: Some(10_000),
+            vacuum: sicost::engine::VacuumPolicy::every_commits(10_000),
             checkpoints: sicost::engine::CheckpointPolicy::disabled(),
             table_intent_locks: false,
             faults: None,

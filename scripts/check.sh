@@ -45,4 +45,7 @@ SICOST_BENCH_MODE=smoke cargo bench -q -p sicost-bench --bench recovery
 echo "==> open-loop smoke bench (writes bench_results/openloop.json)"
 SICOST_BENCH_MODE=smoke cargo bench -q -p sicost-bench --bench openloop
 
+echo "==> vacuum long-run smoke bench (GC-on vs GC-off; writes bench_results/vacuum.json + target/vacuum-trace/)"
+SICOST_BENCH_MODE=smoke cargo bench -q -p sicost-bench --bench vacuum
+
 echo "==> all checks passed"

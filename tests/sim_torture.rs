@@ -21,7 +21,7 @@
 
 use sicost::common::sync::{sim_sleep, sim_spawn};
 use sicost::common::{CrashPoint, FaultConfig, FaultInjector, Money, Xoshiro256};
-use sicost::engine::{EngineConfig, HistoryEvent, HistoryObserver};
+use sicost::engine::{EngineConfig, HistoryEvent, HistoryObserver, VacuumPolicy};
 use sicost::mvsg::History;
 use sicost::sim::{
     repro_override, schedules_per_point, write_repro_file, BalanceAudit, Sim, SimReport,
@@ -71,110 +71,122 @@ struct Fingerprint {
     recovered: i64,
 }
 
-fn run_schedule(point: CrashPoint, round: u64) -> Fingerprint {
+/// `vacuum` arms the version-GC daemon against the same crash: the
+/// engine auto-vacuums on a tight commit cadence *and* the root task
+/// interleaves explicit vacuum passes with its checkpoints, so epoch
+/// reclamation, chain pruning and SIREAD GC race the workers and the
+/// crash point — and must still replay byte-identically.
+fn run_schedule(point: CrashPoint, round: u64, vacuum: bool) -> Fingerprint {
     let context = format!("{point}:{round}");
-    let ((history, audit, recovered), report) =
-        Sim::new(sim_seed(point, round)).with_preempt(0.05).run(|| {
-            let faults = Arc::new(FaultInjector::new(FaultConfig::crash(
-                point,
-                crash_nth(point, round),
-            )));
-            let history = History::new();
-            let bank = Arc::new(SmallBank::with_observer(
-                &SmallBankConfig::small(CUSTOMERS),
-                EngineConfig::functional().with_faults(Arc::clone(&faults)),
-                Strategy::BaseSI,
-                Some(Arc::clone(&history) as Arc<dyn HistoryObserver>),
-            ));
-            let initial = total_balance(bank.db(), bank.tables()).as_cents();
-            bank.db()
-                .checkpoint()
-                .expect("the post-population checkpoint completes before any crash");
+    let seed = sim_seed(point, round) ^ if vacuum { 0x6C } else { 0 };
+    let ((history, audit, recovered), report) = Sim::new(seed).with_preempt(0.05).run(|| {
+        let faults = Arc::new(FaultInjector::new(FaultConfig::crash(
+            point,
+            crash_nth(point, round),
+        )));
+        let mut engine = EngineConfig::functional().with_faults(Arc::clone(&faults));
+        if vacuum {
+            engine = engine.with_vacuum(VacuumPolicy::every_commits(32));
+        }
+        let history = History::new();
+        let bank = Arc::new(SmallBank::with_observer(
+            &SmallBankConfig::small(CUSTOMERS),
+            engine,
+            Strategy::BaseSI,
+            Some(Arc::clone(&history) as Arc<dyn HistoryObserver>),
+        ));
+        let initial = total_balance(bank.db(), bank.tables()).as_cents();
+        bank.db()
+            .checkpoint()
+            .expect("the post-population checkpoint completes before any crash");
 
-            let workers: Vec<_> = (0..MPL)
-                .map(|tid| {
-                    let bank = Arc::clone(&bank);
-                    sim_spawn(&format!("worker-{tid}"), move || {
-                        let mut rng = Xoshiro256::seed_from_u64(0x51D0 ^ (round << 8) ^ tid as u64);
-                        let mut acked = 0i64;
-                        let mut indeterminate = None;
-                        for _ in 0..OPS_PER_WORKER {
-                            if bank.db().crashed() {
+        let workers: Vec<_> = (0..MPL)
+            .map(|tid| {
+                let bank = Arc::clone(&bank);
+                sim_spawn(&format!("worker-{tid}"), move || {
+                    let mut rng = Xoshiro256::seed_from_u64(0x51D0 ^ (round << 8) ^ tid as u64);
+                    let mut acked = 0i64;
+                    let mut indeterminate = None;
+                    for _ in 0..OPS_PER_WORKER {
+                        if bank.db().crashed() {
+                            break;
+                        }
+                        let c = customer_name(rng.range_inclusive(0, CUSTOMERS as i64 - 1) as u64);
+                        let amount = rng.range_inclusive(1, 99);
+                        let res = if rng.next_u64() % 2 == 0 {
+                            bank.deposit_checking(&c, Money::cents(amount))
+                        } else {
+                            bank.transact_saving(&c, Money::cents(amount))
+                        };
+                        match res {
+                            Ok(()) => acked += amount,
+                            Err(_) if bank.db().crashed() => {
+                                indeterminate = Some(amount);
                                 break;
                             }
-                            let c =
-                                customer_name(rng.range_inclusive(0, CUSTOMERS as i64 - 1) as u64);
-                            let amount = rng.range_inclusive(1, 99);
-                            let res = if rng.next_u64() % 2 == 0 {
-                                bank.deposit_checking(&c, Money::cents(amount))
-                            } else {
-                                bank.transact_saving(&c, Money::cents(amount))
-                            };
-                            match res {
-                                Ok(()) => acked += amount,
-                                Err(_) if bank.db().crashed() => {
-                                    indeterminate = Some(amount);
-                                    break;
-                                }
-                                Err(e) if e.is_serialization_failure() => {}
-                                Err(e) => panic!("unexpected SmallBank error: {e:?}"),
-                            }
+                            Err(e) if e.is_serialization_failure() => {}
+                            Err(e) => panic!("unexpected SmallBank error: {e:?}"),
                         }
-                        (acked, indeterminate)
-                    })
+                    }
+                    (acked, indeterminate)
                 })
-                .collect();
+            })
+            .collect();
 
-            // The root task drives checkpoints, as the checkpointer daemon
-            // would; for the checkpoint crash points this is where the
-            // crash fires, mid-protocol, interleaved with the workers.
-            for _ in 0..DRIVER_ROUNDS {
-                if bank.db().crashed() {
-                    break;
-                }
-                sim_sleep(Duration::from_millis(1));
+        // The root task drives checkpoints, as the checkpointer daemon
+        // would; for the checkpoint crash points this is where the
+        // crash fires, mid-protocol, interleaved with the workers.
+        for i in 0..DRIVER_ROUNDS {
+            if bank.db().crashed() {
+                break;
+            }
+            sim_sleep(Duration::from_millis(1));
+            if vacuum && i % 2 == 1 {
+                bank.db().vacuum();
+            } else {
                 let _ = bank.db().checkpoint();
             }
+        }
 
-            let mut audit = BalanceAudit::new(initial);
-            for w in workers {
-                let (acked, indeterminate) = w.join().expect("worker panicked");
-                audit.ack(acked);
-                if let Some(amount) = indeterminate {
-                    audit.undecided(amount);
-                }
+        let mut audit = BalanceAudit::new(initial);
+        for w in workers {
+            let (acked, indeterminate) = w.join().expect("worker panicked");
+            audit.ack(acked);
+            if let Some(amount) = indeterminate {
+                audit.undecided(amount);
             }
-            assert!(
-                bank.db().crashed(),
-                "{point}/round {round}: the armed crash point never fired"
-            );
+        }
+        assert!(
+            bank.db().crashed(),
+            "{point}/round {round}: the armed crash point never fired"
+        );
 
-            // Recover inside the simulation: replay and the recovered
-            // database's WAL daemon are part of the same schedule.
-            let image = bank.db().durable_image();
-            let (rdb, rtables, rec) = recover_database(EngineConfig::functional(), &image)
-                .unwrap_or_else(|e| panic!("{point}/round {round}: recovery failed: {e}"));
-            assert!(
-                rec.checkpoint.is_some(),
-                "{point}/round {round}: no usable checkpoint manifest"
-            );
-            let recovered = total_balance(&rdb, &rtables).as_cents();
+        // Recover inside the simulation: replay and the recovered
+        // database's WAL daemon are part of the same schedule.
+        let image = bank.db().durable_image();
+        let (rdb, rtables, rec) = recover_database(EngineConfig::functional(), &image)
+            .unwrap_or_else(|e| panic!("{point}/round {round}: recovery failed: {e}"));
+        assert!(
+            rec.checkpoint.is_some(),
+            "{point}/round {round}: no usable checkpoint manifest"
+        );
+        let recovered = total_balance(&rdb, &rtables).as_cents();
 
-            // The recovered database is live: one more audited deposit.
-            let rbank = SmallBank::adopt(rdb, *bank.tables(), Strategy::BaseSI);
-            rbank
-                .deposit_checking(&customer_name(0), Money::cents(7))
-                .expect("recovered database accepts commits");
-            assert_eq!(
-                total_balance(rbank.db(), rbank.tables()).as_cents(),
-                recovered + 7
-            );
-            // Drop both databases before the closure returns so their WAL
-            // daemons join and the scheduler sees every task finish.
-            drop(rbank);
-            drop(bank);
-            (history, audit, recovered)
-        });
+        // The recovered database is live: one more audited deposit.
+        let rbank = SmallBank::adopt(rdb, *bank.tables(), Strategy::BaseSI);
+        rbank
+            .deposit_checking(&customer_name(0), Money::cents(7))
+            .expect("recovered database accepts commits");
+        assert_eq!(
+            total_balance(rbank.db(), rbank.tables()).as_cents(),
+            recovered + 7
+        );
+        // Drop both databases before the closure returns so their WAL
+        // daemons join and the scheduler sees every task finish.
+        drop(rbank);
+        drop(bank);
+        (history, audit, recovered)
+    });
 
     audit.assert_explained(recovered, &context);
     Fingerprint {
@@ -188,10 +200,15 @@ fn run_schedule(point: CrashPoint, round: u64) -> Fingerprint {
 
 /// Runs one schedule twice and asserts byte-identical outcomes; on any
 /// panic, writes the `SICOST_SIM_REPRO` recipe file first.
-fn run_schedule_checked(point: CrashPoint, round: u64) {
+fn run_schedule_checked(point: CrashPoint, round: u64, vacuum: bool) {
+    let label = if vacuum {
+        format!("vacuum-{point}")
+    } else {
+        point.to_string()
+    };
     let outcome = std::panic::catch_unwind(|| {
-        let a = run_schedule(point, round);
-        let b = run_schedule(point, round);
+        let a = run_schedule(point, round, vacuum);
+        let b = run_schedule(point, round, vacuum);
         assert!(
             a.report == b.report,
             "{point}/round {round}: scheduler divergence — {:?} vs {:?}",
@@ -219,10 +236,10 @@ fn run_schedule_checked(point: CrashPoint, round: u64) {
             .map(String::as_str)
             .or_else(|| panic.downcast_ref::<&str>().copied())
             .unwrap_or("<non-string panic>");
-        let path = write_repro_file(&point.to_string(), round, msg);
+        let path = write_repro_file(&label, round, msg);
         eprintln!(
-            "schedule {point}:{round} failed; repro file: {:?} — replay with \
-             SICOST_SIM_REPRO={point}:{round}",
+            "schedule {label}:{round} failed; repro file: {:?} — replay with \
+             SICOST_SIM_REPRO={label}:{round}",
             path
         );
         std::panic::resume_unwind(panic);
@@ -232,17 +249,49 @@ fn run_schedule_checked(point: CrashPoint, round: u64) {
 #[test]
 fn sim_torture_all_crash_points_deterministically() {
     if let Some((name, round)) = repro_override() {
+        if name.starts_with("vacuum-") {
+            return; // replayed by the vacuum-racing variant below
+        }
         let point = *CrashPoint::ALL
             .iter()
             .find(|p| p.to_string() == name)
             .unwrap_or_else(|| panic!("SICOST_SIM_REPRO names unknown crash point {name:?}"));
-        run_schedule_checked(point, round);
+        run_schedule_checked(point, round, false);
         return;
     }
     let rounds = schedules_per_point(DEFAULT_ROUNDS);
     for &point in CrashPoint::ALL.iter() {
         for round in 0..rounds {
-            run_schedule_checked(point, round);
+            run_schedule_checked(point, round, false);
+        }
+    }
+}
+
+/// The vacuum daemon racing the workers and the crash: auto-cadence GC
+/// plus explicit passes from the root task, on a WAL-pipeline point and a
+/// checkpoint-protocol point. Each schedule replays byte-identically —
+/// epoch reclamation and chain pruning must be invisible to the
+/// deterministic scheduler.
+#[test]
+fn sim_torture_vacuum_racing_crash_is_deterministic() {
+    if let Some((name, round)) = repro_override() {
+        let Some(bare) = name.strip_prefix("vacuum-") else {
+            return; // replayed by the main sweep above
+        };
+        let point = *CrashPoint::ALL
+            .iter()
+            .find(|p| p.to_string() == bare)
+            .unwrap_or_else(|| panic!("SICOST_SIM_REPRO names unknown crash point {name:?}"));
+        run_schedule_checked(point, round, true);
+        return;
+    }
+    let rounds = schedules_per_point(DEFAULT_ROUNDS);
+    for point in [
+        CrashPoint::AfterWalAppend,
+        CrashPoint::DuringCheckpointWrite,
+    ] {
+        for round in 0..rounds {
+            run_schedule_checked(point, round, true);
         }
     }
 }
@@ -252,8 +301,8 @@ fn sim_torture_all_crash_points_deterministically() {
 /// on one crash point with the trace fingerprint.
 #[test]
 fn different_rounds_explore_different_schedules() {
-    let a = run_schedule(CrashPoint::AfterWalAppend, 0);
-    let b = run_schedule(CrashPoint::AfterWalAppend, 1);
+    let a = run_schedule(CrashPoint::AfterWalAppend, 0, false);
+    let b = run_schedule(CrashPoint::AfterWalAppend, 1, false);
     assert_ne!(
         a.report.trace_hash, b.report.trace_hash,
         "rounds 0 and 1 produced identical schedules"

@@ -1,0 +1,181 @@
+//! Vacuum correctness and effectiveness under the full engine stack:
+//! bounded memory growth when the policy daemon runs, and — the safety
+//! side — no version visible to a live snapshot is ever reclaimed.
+
+use sicost::driver::{run, RetryPolicy, RunConfig};
+use sicost::engine::{CcMode, Database, EngineConfig, VacuumPolicy};
+use sicost::smallbank::{
+    SmallBank, SmallBankConfig, SmallBankDriver, SmallBankWorkload, Strategy, WorkloadParams,
+};
+use sicost::storage::{ColumnDef, ColumnType, Row, TableSchema, Value};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Drives a seeded SSI SmallBank run in two phases and returns the
+/// engine's (max chain length, SIREAD entries) gauge after each.
+fn two_phase_gauges(vacuum: VacuumPolicy, seed: u64) -> [(u64, u64); 2] {
+    let engine = EngineConfig::functional()
+        .with_cc(CcMode::Ssi)
+        .with_vacuum(vacuum);
+    let bank = Arc::new(SmallBank::new(
+        &SmallBankConfig::small(64),
+        engine,
+        Strategy::BaseSI,
+    ));
+    let driver = SmallBankDriver::new(
+        Arc::clone(&bank),
+        SmallBankWorkload::new(WorkloadParams::paper_default().scaled(64, 8)),
+    );
+    let mut gauges = [(0, 0); 2];
+    for (phase, gauge) in gauges.iter_mut().enumerate() {
+        let metrics = run(
+            &driver,
+            &RunConfig::new(4)
+                .with_ramp_up(Duration::from_millis(10))
+                .with_measure(Duration::from_millis(200))
+                .with_seed(seed + phase as u64)
+                .with_retry(RetryPolicy::disabled()),
+        );
+        assert!(metrics.commits() > 20, "phase {phase} barely progressed");
+        let m = bank.db().metrics();
+        *gauge = (m.max_chain_len, m.siread_entries);
+    }
+    gauges
+}
+
+#[test]
+fn gc_bounds_chains_and_sireads_where_no_gc_grows_them() {
+    let off = two_phase_gauges(VacuumPolicy::disabled(), 0xCC0);
+    let on = two_phase_gauges(VacuumPolicy::every_commits(200), 0xCC0);
+    // Without GC both gauges grow monotonically with the commit count.
+    assert!(
+        off[1].0 > off[0].0,
+        "GC-off max chain must keep growing: {off:?}"
+    );
+    assert!(
+        off[1].1 > off[0].1,
+        "GC-off SIREAD footprint must keep growing: {off:?}"
+    );
+    // With the commit-cadence daemon both stay bounded — far under the
+    // unvacuumed endpoint and under an absolute cadence-derived cap.
+    assert!(
+        on[1].0 < off[1].0 && on[1].0 <= 64,
+        "GC-on chain {on:?} must stay bounded vs GC-off {off:?}"
+    );
+    assert!(
+        on[1].1 < off[1].1,
+        "GC-on SIREAD {on:?} must stay bounded vs GC-off {off:?}"
+    );
+}
+
+/// Builds a bare Counters database (no SmallBank) for snapshot tests.
+fn counters_db(rows: i64) -> (Database, sicost::common::TableId) {
+    let db = Database::builder()
+        .table(
+            TableSchema::new(
+                "Counters",
+                vec![
+                    ColumnDef::new("id", ColumnType::Int),
+                    ColumnDef::new("n", ColumnType::Int),
+                ],
+                0,
+                vec![],
+            )
+            .unwrap(),
+        )
+        .unwrap()
+        .config(EngineConfig::functional())
+        .build();
+    let table = db.table_id("Counters").unwrap();
+    db.bulk_load(
+        table,
+        (0..rows).map(|i| Row::new(vec![Value::int(i), Value::int(0)])),
+    )
+    .unwrap();
+    (db, table)
+}
+
+/// The watermark invariant, end to end: a version still visible to *any*
+/// live snapshot survives every vacuum pass, no matter how much newer
+/// churn has piled on top of it.
+#[test]
+fn vacuum_never_reclaims_a_version_a_live_snapshot_can_see() {
+    const ROWS: i64 = 8;
+    const ROUNDS: usize = 6;
+    let (db, table) = counters_db(ROWS);
+
+    // Readers opened between churn rounds: each records what its
+    // snapshot saw at begin time and stays open to the very end.
+    let mut pinned = Vec::new();
+    for round in 0..ROUNDS {
+        let mut reader = db.begin();
+        let mut seen = Vec::new();
+        for id in 0..ROWS {
+            let row = reader
+                .read(table, &Value::int(id))
+                .unwrap()
+                .expect("populated");
+            seen.push(row.int(1));
+        }
+        pinned.push((reader, seen));
+
+        // Churn: overwrite every row several times, vacuuming after each
+        // sweep so any horizon bug would reclaim what a reader still needs.
+        for sweep in 0..4 {
+            for id in 0..ROWS {
+                let mut tx = db.begin();
+                let stamp = (round * 4 + sweep + 1) as i64;
+                tx.update(
+                    table,
+                    &Value::int(id),
+                    Row::new(vec![Value::int(id), Value::int(stamp * ROWS + id)]),
+                )
+                .unwrap();
+                tx.commit().unwrap();
+            }
+            db.vacuum();
+        }
+    }
+    let churned = db.metrics();
+    assert!(churned.vacuum_runs >= (ROUNDS * 4) as u64);
+    // The watermark did its job the conservative way round: with the
+    // round-0 snapshot still live, *all* churn sits above the horizon and
+    // every pass must keep it.
+    assert_eq!(
+        churned.versions_pruned, 0,
+        "no version above the oldest live snapshot may be reclaimed"
+    );
+
+    // Every pinned reader re-reads through its original snapshot and
+    // must see exactly what it saw at begin time.
+    for (round, (mut reader, seen)) in pinned.into_iter().enumerate() {
+        for id in 0..ROWS {
+            let row = reader
+                .read(table, &Value::int(id))
+                .unwrap()
+                .unwrap_or_else(|| panic!("round-{round} reader lost row {id} to vacuum"));
+            assert_eq!(
+                row.int(1),
+                seen[id as usize],
+                "round-{round} reader must re-read its snapshot of row {id}"
+            );
+        }
+        reader.commit().unwrap();
+        // With that snapshot drained, the next vacuum may advance.
+        db.vacuum();
+    }
+
+    // All snapshots gone: vacuum converges the store to one live version
+    // per row, and the deferred churn finally becomes reclaimable.
+    db.vacuum();
+    let m = db.metrics();
+    assert!(
+        m.max_chain_len <= 1,
+        "with no live snapshots every chain collapses, got {}",
+        m.max_chain_len
+    );
+    assert!(
+        m.versions_pruned > 0,
+        "draining the snapshots must release the deferred churn"
+    );
+}
