@@ -15,8 +15,9 @@
 //! 4. apply and re-verify.
 
 use crate::cover::{minimal_edge_cover, CoverSolution, EdgeCost};
-use crate::program::{KeySpec, Program};
-use crate::sdg::{ConflictKind, Sdg, SfuTreatment};
+use crate::program::Program;
+use crate::robustness::technique_for_edge;
+use crate::sdg::{Sdg, SfuTreatment};
 use crate::strategy::{apply, EdgePick, StrategyPlan, Technique};
 
 /// One recommended fix.
@@ -115,22 +116,7 @@ pub fn advise(programs: &[Program], sfu: SfuTreatment, costs: EdgeCost) -> Advic
         let to = sdg.programs()[edge.to].name.clone();
         // Promotion applies only when no vulnerable conflict on this edge
         // anchors on a predicate read (§II-C).
-        let predicate_involved = edge.conflicts.iter().any(|c| {
-            c.kind == ConflictKind::Rw && !c.shielded && matches!(c.from_key, KeySpec::Predicate(_))
-        });
-        let (technique, rationale) = if predicate_involved {
-            (
-                Technique::Materialize,
-                "vulnerable predicate read: promotion inapplicable".to_string(),
-            )
-        } else {
-            (
-                Technique::PromoteUpdate,
-                "single-row reads: identity update is the cheapest fix on \
-                 FUW platforms (§IV-G)"
-                    .to_string(),
-            )
-        };
+        let (technique, rationale) = technique_for_edge(edge);
         recommendations.push(Recommendation {
             from: from.clone(),
             to: to.clone(),
@@ -143,7 +129,10 @@ pub fn advise(programs: &[Program], sfu: SfuTreatment, costs: EdgeCost) -> Advic
             technique,
         });
     }
-    let plan = StrategyPlan { picks };
+    // Deterministic output: recommendations (and the applied plan) are
+    // sorted by (from, to) so reports stay byte-stable across runs.
+    recommendations.sort_by(|a, b| (&a.from, &a.to).cmp(&(&b.from, &b.to)));
+    let plan = StrategyPlan { picks }.sorted();
     let modified = apply(&sdg, &plan).expect("advisor plans always apply");
     let verified = Sdg::build(&modified, sfu);
     Advice {
@@ -159,7 +148,7 @@ pub fn advise(programs: &[Program], sfu: SfuTreatment, costs: EdgeCost) -> Advic
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::program::{Access, AccessMode};
+    use crate::program::{Access, AccessMode, KeySpec};
 
     fn smallbank_like() -> Vec<Program> {
         vec![

@@ -34,6 +34,20 @@ impl Default for EdgeCost {
     }
 }
 
+impl EdgeCost {
+    /// Cost this model assigns to fixing one edge of `sdg`: the base cost,
+    /// plus the penalty when the edge's source program is read-only (its
+    /// fix would add the program's first write, §IV-D).
+    pub fn of_edge(&self, sdg: &Sdg, edge: usize) -> f64 {
+        let e = &sdg.edges()[edge];
+        let mut c = self.base;
+        if sdg.programs()[e.from].is_read_only() {
+            c += self.read_only_penalty;
+        }
+        c
+    }
+}
+
 /// A solution: which vulnerable edges to neutralise.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CoverSolution {
@@ -75,15 +89,7 @@ pub fn minimal_edge_cover(sdg: &Sdg, cost_model: EdgeCost) -> CoverSolution {
         .collect();
     let costs: Vec<f64> = involved
         .iter()
-        .map(|&e| {
-            let edge = &sdg.edges()[e];
-            let src = &sdg.programs()[edge.from];
-            let mut c = cost_model.base;
-            if src.is_read_only() {
-                c += cost_model.read_only_penalty;
-            }
-            c
-        })
+        .map(|&e| cost_model.of_edge(sdg, e))
         .collect();
 
     let (mask, cost, optimal) = if involved.len() <= 32 {

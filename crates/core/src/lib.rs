@@ -29,17 +29,19 @@
 //! a mere lock (PostgreSQL), in which case promotion-by-sfu does **not**
 //! remove vulnerability.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod advisor;
 pub mod cover;
 pub mod program;
 pub mod render;
+pub mod robustness;
 pub mod sdg;
 pub mod strategy;
 
 pub use advisor::{advise, Advice, Recommendation};
 pub use cover::{minimal_edge_cover, CoverSolution, EdgeCost};
 pub use program::{Access, AccessMode, KeySpec, Program};
+pub use robustness::{check, CostDelta, FixEdge, RobustnessReport, Witness, WorkloadSpec};
 pub use sdg::{ConflictKind, DangerousStructure, Sdg, SdgEdge, SfuTreatment};
 pub use strategy::{apply, verify_safe, EdgePick, StrategyPlan, Technique, CONFLICT_TABLE};

@@ -1,0 +1,703 @@
+//! The SI-robustness checker: one call from declared workload to verdict
+//! and (when needed) a verified, irredundant fix set.
+//!
+//! A workload is **robust against SI** when every execution any snapshot
+//! isolation engine can produce is serializable — equivalently (Fekete et
+//! al., TODS 2005), when its static dependency graph has no dangerous
+//! structure. [`check`] decides that by exhaustive enumeration
+//! ([`Sdg::dangerous_structures`]) and, for non-robust workloads, composes
+//! the rest of this crate into a remedy:
+//!
+//! 1. a minimum-cost edge cover over every dangerous pivot pair
+//!    ([`minimal_edge_cover`] — exact branch-and-bound for every mix a
+//!    human would declare);
+//! 2. a technique per covered edge (promotion for single-row reads,
+//!    materialization when a predicate read is involved, §II-C);
+//! 3. **verification**: the patched mix is re-analysed and must have zero
+//!    dangerous structures. Promotion adds writes, and a new write can in
+//!    principle create new vulnerable edges, so verification is not a
+//!    formality — if it fails, the checker falls back to materializing
+//!    every vulnerable edge, which only ever adds writes to the dedicated
+//!    [`CONFLICT_TABLE`] and therefore cannot create new vulnerability;
+//! 4. **pruning to a fixed point**: picks are dropped one at a time while
+//!    the remainder still verifies safe. The emitted fix set is therefore
+//!    *irredundant* — removing any single edge from it makes verification
+//!    fail — on top of being a min-cost cover of the original structures.
+//!
+//! The result is a [`RobustnessReport`]: machine-readable (JSON via
+//! [`RobustnessReport::to_json`]) and byte-stable (all edges, witnesses
+//! and fix entries are sorted by program-name pairs), so golden tests and
+//! same-seed replays compare textually.
+//!
+//! The *dynamic* counterpart of this static verdict is the online MVSG
+//! certifier (`sicost-mvsg`): checker says robust ⇒ the certifier must
+//! observe zero SI anomalies; checker says not-robust ⇒ some schedule
+//! exhibits the predicted dangerous structure, and running the fixed mix
+//! drives the count back to zero. The workload-corpus crate
+//! (`sicost-workloads`) cross-validates both directions end-to-end.
+
+use crate::cover::{minimal_edge_cover, EdgeCost};
+use crate::program::{KeySpec, Program};
+use crate::sdg::{ConflictKind, Sdg, SdgEdge, SfuTreatment};
+use crate::strategy::{apply, EdgePick, StrategyPlan, Technique, CONFLICT_TABLE};
+use sicost_common::Json;
+
+/// A declared workload that the checker (and the bench matrix) can
+/// analyse: a name plus the transaction programs' data footprints.
+///
+/// This is the SDG-spec side of a benchmark. `sicost-smallbank`
+/// implements it for the paper's five programs; every corpus workload in
+/// `sicost-workloads` implements it too, which is what lets one harness
+/// sweep the full workloads × strategies matrix.
+pub trait WorkloadSpec {
+    /// Short stable name used in reports and bench labels.
+    fn name(&self) -> &'static str;
+
+    /// The declared transaction program footprints.
+    fn programs(&self) -> Vec<Program>;
+
+    /// Builds the SDG of the declared mix under `sfu`.
+    fn sdg(&self, sfu: SfuTreatment) -> Sdg {
+        Sdg::build(&self.programs(), sfu)
+    }
+
+    /// Runs the robustness checker on the declared mix.
+    fn check_robustness(&self, sfu: SfuTreatment, costs: EdgeCost) -> RobustnessReport {
+        check(self.name(), &self.programs(), sfu, costs)
+    }
+}
+
+/// A dangerous structure witnessed by program names: two consecutive
+/// vulnerable edges `from --v--> pivot --v--> to` on a cycle.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Witness {
+    /// Source of the incoming vulnerable edge.
+    pub from: String,
+    /// The pivot program (in-doubt transaction of the anomaly).
+    pub pivot: String,
+    /// Target of the outgoing vulnerable edge.
+    pub to: String,
+}
+
+impl std::fmt::Display for Witness {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} --v--> {} --v--> {}", self.from, self.pivot, self.to)
+    }
+}
+
+/// One edge of the fix set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FixEdge {
+    /// Reading-side program (edge source).
+    pub from: String,
+    /// Writing-side program (edge target).
+    pub to: String,
+    /// Chosen technique.
+    pub technique: Technique,
+    /// Why this technique (human-readable).
+    pub rationale: String,
+    /// Cost of this edge under the checker's cost model.
+    pub cost: f64,
+}
+
+/// What the fix set costs the application, measured on the programs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CostDelta {
+    /// Write statements added across all programs (materialization rows
+    /// and identity updates).
+    pub extra_writes: usize,
+    /// Reads upgraded to `SELECT … FOR UPDATE`.
+    pub promoted_reads: usize,
+    /// Read-only programs that became updaters (the §IV-D Balance
+    /// lesson: this is the expensive kind of fix).
+    pub read_only_programs_made_updaters: usize,
+    /// Programs whose text changed at all.
+    pub programs_modified: usize,
+}
+
+/// The checker's full output for one workload under one platform.
+#[derive(Debug, Clone)]
+pub struct RobustnessReport {
+    /// Workload name (from [`WorkloadSpec::name`] or the caller).
+    pub workload: String,
+    /// Platform treatment of `SELECT … FOR UPDATE`.
+    pub sfu: SfuTreatment,
+    /// Number of declared programs.
+    pub programs: usize,
+    /// Every vulnerable edge, as (from, to) program names, sorted.
+    pub vulnerable_edges: Vec<(String, String)>,
+    /// Every dangerous structure, sorted by (from, pivot, to). Empty ⇔
+    /// the workload is robust.
+    pub witnesses: Vec<Witness>,
+    /// The verified, irredundant fix set, sorted by (from, to). Empty
+    /// when robust.
+    pub fix_set: Vec<FixEdge>,
+    /// Total cost of the fix set under the checker's cost model.
+    pub fix_cost: f64,
+    /// True when the fix set is provably minimum-cost: the exact cover
+    /// solver produced it and neither fallback nor pruning changed it.
+    /// (The emitted set is *irredundant* either way.)
+    pub fix_optimal: bool,
+    /// The patched programs (equal to the input when robust).
+    pub fixed_programs: Vec<Program>,
+    /// Application-level cost of the fix set.
+    pub cost_delta: CostDelta,
+    /// Dangerous structures remaining after the fix — always 0; recorded
+    /// so reports self-document the verification step.
+    pub residual_structures: usize,
+}
+
+impl RobustnessReport {
+    /// True when the workload is robust against SI as declared.
+    pub fn robust(&self) -> bool {
+        self.witnesses.is_empty()
+    }
+
+    /// The fix set as an applicable [`StrategyPlan`] (empty when robust).
+    pub fn plan(&self) -> StrategyPlan {
+        StrategyPlan {
+            picks: self
+                .fix_set
+                .iter()
+                .map(|f| EdgePick {
+                    from: f.from.clone(),
+                    to: f.to.clone(),
+                    technique: f.technique,
+                })
+                .collect(),
+        }
+    }
+
+    /// Renders the report as deterministic text (entries pre-sorted).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "workload {} (sfu={}): {}\n",
+            self.workload,
+            self.sfu,
+            if self.robust() {
+                "ROBUST under SI — every execution is serializable"
+            } else {
+                "NOT ROBUST under SI"
+            }
+        ));
+        out.push_str(&format!(
+            "  programs: {}, vulnerable edges: {}, dangerous structures: {}\n",
+            self.programs,
+            self.vulnerable_edges.len(),
+            self.witnesses.len()
+        ));
+        if self.robust() {
+            return out;
+        }
+        out.push_str("  witnesses:\n");
+        for w in &self.witnesses {
+            out.push_str(&format!("    {w}\n"));
+        }
+        out.push_str(&format!(
+            "  fix set (cost {:.0}, {}):\n",
+            self.fix_cost,
+            if self.fix_optimal {
+                "provably minimal"
+            } else {
+                "irredundant"
+            }
+        ));
+        for f in &self.fix_set {
+            out.push_str(&format!(
+                "    {} --v--> {}: {} ({})\n",
+                f.from, f.to, f.technique, f.rationale
+            ));
+        }
+        out.push_str(&format!(
+            "  cost delta: +{} write(s), {} promoted read(s), {} read-only program(s) \
+             made updaters, {} program(s) modified\n",
+            self.cost_delta.extra_writes,
+            self.cost_delta.promoted_reads,
+            self.cost_delta.read_only_programs_made_updaters,
+            self.cost_delta.programs_modified
+        ));
+        out.push_str(&format!(
+            "  re-analysis: {} dangerous structures remain\n",
+            self.residual_structures
+        ));
+        out
+    }
+
+    /// The report as a machine-readable JSON document. Key order and
+    /// array order are deterministic.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("workload", Json::str(&self.workload)),
+            ("sfu", Json::str(self.sfu.to_string())),
+            ("robust", Json::Bool(self.robust())),
+            ("programs", Json::int(self.programs as u64)),
+            (
+                "vulnerable_edges",
+                Json::Arr(
+                    self.vulnerable_edges
+                        .iter()
+                        .map(|(f, t)| Json::obj(vec![("from", Json::str(f)), ("to", Json::str(t))]))
+                        .collect(),
+                ),
+            ),
+            (
+                "witnesses",
+                Json::Arr(
+                    self.witnesses
+                        .iter()
+                        .map(|w| {
+                            Json::obj(vec![
+                                ("from", Json::str(&w.from)),
+                                ("pivot", Json::str(&w.pivot)),
+                                ("to", Json::str(&w.to)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "fix_set",
+                Json::Arr(
+                    self.fix_set
+                        .iter()
+                        .map(|f| {
+                            Json::obj(vec![
+                                ("from", Json::str(&f.from)),
+                                ("to", Json::str(&f.to)),
+                                ("technique", Json::str(f.technique.to_string())),
+                                ("rationale", Json::str(&f.rationale)),
+                                ("cost", Json::Num(f.cost)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("fix_cost", Json::Num(self.fix_cost)),
+            ("fix_optimal", Json::Bool(self.fix_optimal)),
+            (
+                "cost_delta",
+                Json::obj(vec![
+                    (
+                        "extra_writes",
+                        Json::int(self.cost_delta.extra_writes as u64),
+                    ),
+                    (
+                        "promoted_reads",
+                        Json::int(self.cost_delta.promoted_reads as u64),
+                    ),
+                    (
+                        "read_only_programs_made_updaters",
+                        Json::int(self.cost_delta.read_only_programs_made_updaters as u64),
+                    ),
+                    (
+                        "programs_modified",
+                        Json::int(self.cost_delta.programs_modified as u64),
+                    ),
+                ]),
+            ),
+            (
+                "residual_structures",
+                Json::int(self.residual_structures as u64),
+            ),
+        ])
+    }
+}
+
+/// Picks the cheapest applicable technique for one vulnerable edge:
+/// materialization when a vulnerable predicate read is involved (§II-C:
+/// promotion cannot cover rows the predicate did not return), identity
+/// update otherwise (§IV-G: cheapest fix on FUW platforms).
+pub(crate) fn technique_for_edge(edge: &SdgEdge) -> (Technique, String) {
+    let predicate_involved = edge.conflicts.iter().any(|c| {
+        c.kind == ConflictKind::Rw && !c.shielded && matches!(c.from_key, KeySpec::Predicate(_))
+    });
+    if predicate_involved {
+        (
+            Technique::Materialize,
+            "vulnerable predicate read: promotion inapplicable".to_string(),
+        )
+    } else {
+        (
+            Technique::PromoteUpdate,
+            "single-row reads: identity update is the cheapest fix on \
+             FUW platforms (§IV-G)"
+                .to_string(),
+        )
+    }
+}
+
+fn edge_names(sdg: &Sdg, index: usize) -> (String, String) {
+    let e = &sdg.edges()[index];
+    (
+        sdg.programs()[e.from].name.clone(),
+        sdg.programs()[e.to].name.clone(),
+    )
+}
+
+/// True when `plan` applied to `sdg` yields a mix with no dangerous
+/// structure. Application errors count as "not safe".
+fn plan_verifies(sdg: &Sdg, plan: &StrategyPlan, sfu: SfuTreatment) -> bool {
+    match apply(sdg, plan) {
+        Ok(modified) => Sdg::build(&modified, sfu).is_si_serializable(),
+        Err(_) => false,
+    }
+}
+
+/// Drops picks one at a time while the remainder still verifies safe,
+/// looping to a fixed point. On return, removing **any** single pick
+/// makes verification fail (irredundancy).
+fn prune_to_irredundant(sdg: &Sdg, mut plan: StrategyPlan, sfu: SfuTreatment) -> StrategyPlan {
+    loop {
+        let mut removed_any = false;
+        let mut i = 0;
+        while i < plan.picks.len() {
+            let candidate = plan.without(i);
+            if plan_verifies(sdg, &candidate, sfu) {
+                plan = candidate;
+                removed_any = true;
+            } else {
+                i += 1;
+            }
+        }
+        if !removed_any {
+            return plan;
+        }
+    }
+}
+
+fn cost_delta(before: &[Program], after: &[Program]) -> CostDelta {
+    let mut delta = CostDelta::default();
+    for (b, a) in before.iter().zip(after) {
+        if b == a {
+            continue;
+        }
+        delta.programs_modified += 1;
+        delta.extra_writes += a.accesses.len() - b.accesses.len();
+        let sfu_count = |p: &Program| {
+            p.accesses
+                .iter()
+                .filter(|x| x.mode == crate::program::AccessMode::SfuRead)
+                .count()
+        };
+        delta.promoted_reads += sfu_count(a) - sfu_count(b);
+        if b.is_read_only() && !a.is_read_only() {
+            delta.read_only_programs_made_updaters += 1;
+        }
+    }
+    delta
+}
+
+/// Decides SI-robustness of `programs` and computes a verified,
+/// irredundant fix set when the answer is no.
+///
+/// The input programs must not access [`CONFLICT_TABLE`] — that table
+/// belongs to the materialization transform.
+///
+/// # Panics
+/// If a program accesses [`CONFLICT_TABLE`], or (unreachable for
+/// well-formed mixes) the materialize-all fallback fails to verify.
+pub fn check(
+    workload: &str,
+    programs: &[Program],
+    sfu: SfuTreatment,
+    costs: EdgeCost,
+) -> RobustnessReport {
+    for p in programs {
+        assert!(
+            p.accesses.iter().all(|a| a.table != CONFLICT_TABLE),
+            "program {} accesses the reserved table {CONFLICT_TABLE}",
+            p.name
+        );
+    }
+    let sdg = Sdg::build(programs, sfu);
+    let structures = sdg.dangerous_structures();
+
+    let mut vulnerable_edges: Vec<(String, String)> = sdg
+        .vulnerable_edges()
+        .into_iter()
+        .map(|i| edge_names(&sdg, i))
+        .collect();
+    vulnerable_edges.sort();
+    vulnerable_edges.dedup();
+
+    let mut witnesses: Vec<Witness> = structures
+        .iter()
+        .map(|s| {
+            let (from, _) = edge_names(&sdg, s.incoming);
+            let (_, to) = edge_names(&sdg, s.outgoing);
+            Witness {
+                from,
+                pivot: sdg.programs()[s.pivot].name.clone(),
+                to,
+            }
+        })
+        .collect();
+    witnesses.sort();
+    witnesses.dedup();
+
+    if witnesses.is_empty() {
+        return RobustnessReport {
+            workload: workload.to_string(),
+            sfu,
+            programs: programs.len(),
+            vulnerable_edges,
+            witnesses,
+            fix_set: Vec::new(),
+            fix_cost: 0.0,
+            fix_optimal: true,
+            fixed_programs: programs.to_vec(),
+            cost_delta: CostDelta::default(),
+            residual_structures: 0,
+        };
+    }
+
+    // Phase A: min-cost cover + per-edge technique choice.
+    let cover = minimal_edge_cover(&sdg, costs);
+    let mut plan = StrategyPlan {
+        picks: cover
+            .edges
+            .iter()
+            .map(|&ei| {
+                let (from, to) = edge_names(&sdg, ei);
+                let (technique, _) = technique_for_edge(&sdg.edges()[ei]);
+                EdgePick {
+                    from,
+                    to,
+                    technique,
+                }
+            })
+            .collect(),
+    }
+    .sorted();
+    let mut optimal = cover.optimal;
+
+    // Phase B (rare): promotion added a write that opened a new dangerous
+    // structure, or cover edges stopped covering once the graph gained
+    // conflict-table paths. Materializing every vulnerable edge only adds
+    // writes to the dedicated table nobody reads, so it always verifies.
+    if !plan_verifies(&sdg, &plan, sfu) {
+        plan = StrategyPlan::all_vulnerable(&sdg, Technique::Materialize).sorted();
+        optimal = false;
+    }
+
+    let before = plan.picks.len();
+    let plan = prune_to_irredundant(&sdg, plan, sfu);
+    if plan.picks.len() != before {
+        optimal = false;
+    }
+
+    let fixed_programs = apply(&sdg, &plan).expect("a verified plan applies");
+    let residual = Sdg::build(&fixed_programs, sfu)
+        .dangerous_structures()
+        .len();
+    assert_eq!(
+        residual, 0,
+        "checker invariant: the emitted fix set verifies"
+    );
+
+    // Per-edge costs and rationales come from the *original* graph: every
+    // pick names one of its edges.
+    let edge_index_of = |from: &str, to: &str| -> Option<usize> {
+        let f = sdg.programs().iter().position(|x| x.name == from)?;
+        let t = sdg.programs().iter().position(|x| x.name == to)?;
+        sdg.edges().iter().position(|e| e.from == f && e.to == t)
+    };
+    let fix_set: Vec<FixEdge> = plan
+        .picks
+        .iter()
+        .map(|p| {
+            let (rationale, cost) = match edge_index_of(&p.from, &p.to) {
+                Some(ei) => (
+                    technique_for_edge(&sdg.edges()[ei]).1,
+                    costs.of_edge(&sdg, ei),
+                ),
+                None => ("covers a dangerous pivot pair".to_string(), costs.base),
+            };
+            FixEdge {
+                from: p.from.clone(),
+                to: p.to.clone(),
+                technique: p.technique,
+                rationale,
+                cost,
+            }
+        })
+        .collect();
+    let fix_cost = fix_set.iter().map(|f| f.cost).sum();
+
+    RobustnessReport {
+        workload: workload.to_string(),
+        sfu,
+        programs: programs.len(),
+        vulnerable_edges,
+        witnesses,
+        fix_set,
+        fix_cost,
+        fix_optimal: optimal,
+        cost_delta: cost_delta(programs, &fixed_programs),
+        fixed_programs,
+        residual_structures: residual,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{Access, AccessMode};
+
+    fn smallbank_like() -> Vec<Program> {
+        vec![
+            Program::new(
+                "Bal",
+                ["N"],
+                vec![Access::read("Sav", "N"), Access::read("Chk", "N")],
+            ),
+            Program::new(
+                "WC",
+                ["N"],
+                vec![
+                    Access::read("Sav", "N"),
+                    Access::read("Chk", "N"),
+                    Access::write("Chk", "N"),
+                ],
+            ),
+            Program::new(
+                "TS",
+                ["N"],
+                vec![Access::read("Sav", "N"), Access::write("Sav", "N")],
+            ),
+        ]
+    }
+
+    #[test]
+    fn robust_mix_gets_a_clean_verdict() {
+        let p = Program::new(
+            "Inc",
+            ["K"],
+            vec![Access::read("X", "K"), Access::write("X", "K")],
+        );
+        let report = check("inc", &[p], SfuTreatment::AsLockOnly, EdgeCost::default());
+        assert!(report.robust());
+        assert!(report.fix_set.is_empty());
+        assert_eq!(report.cost_delta, CostDelta::default());
+        assert!(report.render().contains("ROBUST"));
+        assert_eq!(
+            report.to_json().get("robust"),
+            Some(&Json::Bool(true)),
+            "machine-readable verdict"
+        );
+    }
+
+    #[test]
+    fn smallbank_shape_yields_the_wt_fix() {
+        let report = check(
+            "smallbank-like",
+            &smallbank_like(),
+            SfuTreatment::AsLockOnly,
+            EdgeCost::default(),
+        );
+        assert!(!report.robust());
+        assert_eq!(report.witnesses.len(), 1);
+        assert_eq!(report.witnesses[0].to_string(), "Bal --v--> WC --v--> TS");
+        assert_eq!(report.fix_set.len(), 1);
+        assert_eq!(report.fix_set[0].from, "WC");
+        assert_eq!(report.fix_set[0].to, "TS");
+        assert!(report.fix_optimal);
+        assert_eq!(report.residual_structures, 0);
+        assert_eq!(report.cost_delta.read_only_programs_made_updaters, 0);
+        assert_eq!(report.cost_delta.extra_writes, 1);
+    }
+
+    #[test]
+    fn reports_are_byte_stable() {
+        let a = check(
+            "sb",
+            &smallbank_like(),
+            SfuTreatment::AsLockOnly,
+            EdgeCost::default(),
+        );
+        let b = check(
+            "sb",
+            &smallbank_like(),
+            SfuTreatment::AsLockOnly,
+            EdgeCost::default(),
+        );
+        assert_eq!(a.render(), b.render());
+        assert_eq!(a.to_json().pretty(), b.to_json().pretty());
+        // Witnesses and fix entries are sorted.
+        let mut ws = a.witnesses.clone();
+        ws.sort();
+        assert_eq!(ws, a.witnesses);
+    }
+
+    #[test]
+    fn fix_plan_round_trips_through_verify_safe() {
+        let report = check(
+            "sb",
+            &smallbank_like(),
+            SfuTreatment::AsLockOnly,
+            EdgeCost::default(),
+        );
+        let sdg = Sdg::build(&smallbank_like(), SfuTreatment::AsLockOnly);
+        let (_, re) =
+            crate::strategy::verify_safe(&sdg, &report.plan(), SfuTreatment::AsLockOnly).unwrap();
+        assert!(re.is_si_serializable());
+    }
+
+    #[test]
+    fn conflict_table_inputs_are_rejected() {
+        let p = Program::new("Bad", ["K"], vec![Access::write(CONFLICT_TABLE, "K")]);
+        let r = std::panic::catch_unwind(|| {
+            check("bad", &[p], SfuTreatment::AsLockOnly, EdgeCost::default())
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn spec_trait_default_methods_drive_the_checker() {
+        struct Spec;
+        impl WorkloadSpec for Spec {
+            fn name(&self) -> &'static str {
+                "spec"
+            }
+            fn programs(&self) -> Vec<Program> {
+                smallbank_like()
+            }
+        }
+        let report = Spec.check_robustness(SfuTreatment::AsLockOnly, EdgeCost::default());
+        assert_eq!(report.workload, "spec");
+        assert!(!report.robust());
+        assert!(!Spec.sdg(SfuTreatment::AsLockOnly).is_si_serializable());
+    }
+
+    #[test]
+    fn predicate_mixes_materialize_and_still_verify() {
+        let mix = vec![
+            Program::new(
+                "Scan",
+                [],
+                vec![
+                    Access {
+                        table: "X".into(),
+                        key: KeySpec::Predicate("v>0".into()),
+                        mode: AccessMode::Read,
+                    },
+                    Access::write("Y", "K"),
+                ],
+            ),
+            Program::new(
+                "Upd",
+                ["K"],
+                vec![Access::write("X", "K"), Access::read("Y", "K")],
+            ),
+        ];
+        let report = check("pred", &mix, SfuTreatment::AsLockOnly, EdgeCost::default());
+        assert!(!report.robust());
+        assert_eq!(report.residual_structures, 0);
+        for f in &report.fix_set {
+            if f.from == "Scan" {
+                assert_eq!(f.technique, Technique::Materialize);
+            }
+        }
+    }
+}

@@ -14,6 +14,15 @@ pub enum SfuTreatment {
     AsLockOnly,
 }
 
+impl std::fmt::Display for SfuTreatment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SfuTreatment::AsWrite => write!(f, "as-write"),
+            SfuTreatment::AsLockOnly => write!(f, "lock-only"),
+        }
+    }
+}
+
 /// The kind of one inter-program conflict.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ConflictKind {

@@ -81,6 +81,24 @@ impl StrategyPlan {
             .collect();
         Self { picks }
     }
+
+    /// The same plan with picks sorted by (from, to): [`apply`] is
+    /// order-insensitive (each added statement is deduplicated), so
+    /// sorting canonicalises a plan for byte-stable reports and replays.
+    pub fn sorted(mut self) -> Self {
+        self.picks
+            .sort_by(|a, b| (&a.from, &a.to).cmp(&(&b.from, &b.to)));
+        self
+    }
+
+    /// The same plan with the pick at `index` removed (for minimality
+    /// probes: a fix set is irredundant when every such reduction fails
+    /// to verify).
+    pub fn without(&self, index: usize) -> Self {
+        let mut picks = self.picks.clone();
+        picks.remove(index);
+        Self { picks }
+    }
 }
 
 /// Errors from applying a plan.

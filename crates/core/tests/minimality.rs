@@ -1,0 +1,102 @@
+//! Seeded property coverage for `strategy::apply` fix-set minimality.
+//!
+//! For randomly generated program mixes, every fix set the robustness
+//! checker emits must (a) pass `verify_safe` — zero dangerous structures
+//! after application — and (b) be *irredundant*: removing any single edge
+//! from the set makes verification fail. Property (b) is what "minimal"
+//! means operationally; the checker additionally starts from a min-cost
+//! cover, but only irredundancy is machine-checkable without solving the
+//! NP-hard problem twice.
+
+use sicost_common::Xoshiro256;
+use sicost_core::{check, Access, AccessMode, EdgeCost, KeySpec, Program, Sdg, SfuTreatment};
+
+const TABLES: [&str; 3] = ["X", "Y", "Z"];
+const PARAMS: [&str; 2] = ["K", "L"];
+
+fn random_program(rng: &mut Xoshiro256, name: String) -> Program {
+    let n_accesses = 2 + rng.next_below(3) as usize;
+    let mut accesses = Vec::new();
+    for _ in 0..n_accesses {
+        let table = TABLES[rng.next_below(TABLES.len() as u64) as usize];
+        let key = match rng.next_below(4) {
+            0 => KeySpec::Const(format!("c{}", rng.next_below(2))),
+            _ => KeySpec::Param(PARAMS[rng.next_below(PARAMS.len() as u64) as usize].into()),
+        };
+        let mode = match rng.next_below(3) {
+            0 => AccessMode::Write,
+            _ => AccessMode::Read,
+        };
+        accesses.push(Access {
+            table: table.into(),
+            key,
+            mode,
+        });
+    }
+    Program::new(&name, PARAMS, accesses)
+}
+
+fn random_mix(rng: &mut Xoshiro256) -> Vec<Program> {
+    let n = 2 + rng.next_below(3) as usize;
+    (0..n)
+        .map(|i| random_program(rng, format!("P{i}")))
+        .collect()
+}
+
+#[test]
+fn every_emitted_fix_set_verifies_and_is_irredundant() {
+    let mut rng = Xoshiro256::seed_from_u64(0x0B05_7CEC);
+    let mut nonrobust_seen = 0;
+    for round in 0..200 {
+        let mix = random_mix(&mut rng);
+        for sfu in [SfuTreatment::AsLockOnly, SfuTreatment::AsWrite] {
+            let report = check("prop", &mix, sfu, EdgeCost::default());
+            let sdg = Sdg::build(&mix, sfu);
+            if report.robust() {
+                assert!(
+                    sdg.is_si_serializable(),
+                    "round {round}: robust verdict but the SDG has structures"
+                );
+                assert!(report.fix_set.is_empty());
+                continue;
+            }
+            nonrobust_seen += 1;
+            let plan = report.plan();
+            assert!(!plan.picks.is_empty(), "round {round}: empty fix set");
+
+            // (a) The full fix set verifies safe.
+            let (_, re) = sicost_core::verify_safe(&sdg, &plan, sfu)
+                .unwrap_or_else(|e| panic!("round {round}: plan failed to apply: {e}"));
+            assert!(
+                re.is_si_serializable(),
+                "round {round}: fix set does not verify:\n{}",
+                report.render()
+            );
+            assert_eq!(report.residual_structures, 0);
+
+            // (b) Irredundancy: dropping any single pick breaks it.
+            for i in 0..plan.picks.len() {
+                let reduced = plan.without(i);
+                let still_safe = match sicost_core::verify_safe(&sdg, &reduced, sfu) {
+                    Ok((_, re)) => re.is_si_serializable(),
+                    Err(_) => false,
+                };
+                assert!(
+                    !still_safe,
+                    "round {round}: pick {} -> {} is redundant in\n{}",
+                    plan.picks[i].from,
+                    plan.picks[i].to,
+                    report.render()
+                );
+            }
+
+            // Determinism: same input, same bytes.
+            let again = check("prop", &mix, sfu, EdgeCost::default());
+            assert_eq!(report.render(), again.render());
+        }
+    }
+    assert!(
+        nonrobust_seen >= 50,
+        "generator must exercise non-robust mixes (saw {nonrobust_seen})"
+    );
+}

@@ -18,6 +18,13 @@ pub enum Outcome {
     /// failure): retryable, like a serialization failure, but counted
     /// separately so fault-injection runs can tell the two apart.
     TransientFault,
+    /// The commit's fate is unknown — the request reached the server but
+    /// the acknowledgement was lost (e.g. the connection died after the
+    /// commit frame went out). **Never retryable**: the commit may have
+    /// applied, and re-running the transaction could double-apply its
+    /// effects. Resolution needs an application-level read-back, not a
+    /// blind retry.
+    Indeterminate,
 }
 
 /// Counters for one transaction kind.
@@ -33,6 +40,8 @@ pub struct KindMetrics {
     pub app_rollbacks: u64,
     /// Transient-fault aborts (injected faults absorbed by retry).
     pub transient_faults: u64,
+    /// Attempts whose commit fate is unknown (lost acknowledgement).
+    pub indeterminates: u64,
     /// Operations abandoned after the retry budget ran out.
     pub give_ups: u64,
     /// Attempts each *committed* operation needed (1 = first try).
@@ -53,6 +62,7 @@ impl KindMetrics {
             + self.deadlocks
             + self.app_rollbacks
             + self.transient_faults
+            + self.indeterminates
     }
 
     /// Serialization-failure abort rate among attempts (Figure 6's
@@ -77,6 +87,7 @@ impl KindMetrics {
             Outcome::Deadlock => self.deadlocks += 1,
             Outcome::ApplicationRollback => self.app_rollbacks += 1,
             Outcome::TransientFault => self.transient_faults += 1,
+            Outcome::Indeterminate => self.indeterminates += 1,
         }
     }
 
@@ -112,6 +123,7 @@ impl KindMetrics {
         self.deadlocks += other.deadlocks;
         self.app_rollbacks += other.app_rollbacks;
         self.transient_faults += other.transient_faults;
+        self.indeterminates += other.indeterminates;
         self.give_ups += other.give_ups;
         self.attempts_per_commit.merge(&other.attempts_per_commit);
         self.latency.merge(&other.latency);
@@ -167,6 +179,11 @@ impl RunMetrics {
     /// Total transient-fault aborts.
     pub fn transient_faults(&self) -> u64 {
         self.per_kind.iter().map(|k| k.transient_faults).sum()
+    }
+
+    /// Total attempts whose commit fate is unknown.
+    pub fn indeterminates(&self) -> u64 {
+        self.per_kind.iter().map(|k| k.indeterminates).sum()
     }
 
     /// Total operations abandoned after exhausting the retry budget.
@@ -248,6 +265,8 @@ pub struct OpenKindMetrics {
     pub app_rollbacks: u64,
     /// Transient-fault attempt aborts.
     pub transient_faults: u64,
+    /// Attempts whose commit fate is unknown (lost acknowledgement).
+    pub indeterminates: u64,
     /// Served operations abandoned after the retry budget ran out.
     pub give_ups: u64,
     /// Time between admission and a worker dequeuing the request (for
@@ -271,6 +290,7 @@ impl OpenKindMetrics {
             Outcome::Deadlock => self.deadlocks += 1,
             Outcome::ApplicationRollback => self.app_rollbacks += 1,
             Outcome::TransientFault => self.transient_faults += 1,
+            Outcome::Indeterminate => self.indeterminates += 1,
         }
     }
 
@@ -293,6 +313,7 @@ impl OpenKindMetrics {
             + self.deadlocks
             + self.app_rollbacks
             + self.transient_faults
+            + self.indeterminates
     }
 
     /// Merges another kind's counters (worker/generator aggregation).
@@ -305,6 +326,7 @@ impl OpenKindMetrics {
         self.deadlocks += other.deadlocks;
         self.app_rollbacks += other.app_rollbacks;
         self.transient_faults += other.transient_faults;
+        self.indeterminates += other.indeterminates;
         self.give_ups += other.give_ups;
         self.queue_delay.merge(&other.queue_delay);
         self.service.merge(&other.service);

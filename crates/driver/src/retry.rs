@@ -78,12 +78,20 @@ impl RetryPolicy {
     /// Whether this outcome class is worth re-executing. Serialization
     /// failures, deadlocks and transient faults are scheduling accidents —
     /// the same request can succeed later. Application rollbacks encode a
-    /// business rule (e.g. insufficient funds) that would recur.
+    /// business rule (e.g. insufficient funds) that would recur. The match
+    /// is exhaustive on purpose: a new outcome class must make an explicit
+    /// retryability decision here.
     pub fn retryable(outcome: Outcome) -> bool {
-        matches!(
-            outcome,
-            Outcome::SerializationFailure | Outcome::Deadlock | Outcome::TransientFault
-        )
+        match outcome {
+            Outcome::Committed => false,
+            Outcome::SerializationFailure | Outcome::Deadlock | Outcome::TransientFault => true,
+            Outcome::ApplicationRollback => false,
+            // An indeterminate commit may already have applied on the
+            // server; re-executing the transaction could double-apply its
+            // effects. The safe client answer is to surface the doubt,
+            // never to retry blindly.
+            Outcome::Indeterminate => false,
+        }
     }
 
     /// The backoff before attempt `attempt + 1`, given that `attempt`
@@ -137,6 +145,23 @@ mod tests {
         );
         assert_eq!(
             p.decide(Outcome::ApplicationRollback, 1, &mut rng),
+            RetryDecision::Done
+        );
+    }
+
+    #[test]
+    fn indeterminate_commits_are_never_retried() {
+        // Regression: an indeterminate commit fate (ack lost after the
+        // commit frame went out) must be final even under the most
+        // generous policy — retrying can double-apply.
+        let p = RetryPolicy {
+            max_attempts: u32::MAX,
+            ..RetryPolicy::paper_default()
+        };
+        let mut rng = Xoshiro256::seed_from_u64(7);
+        assert!(!RetryPolicy::retryable(Outcome::Indeterminate));
+        assert_eq!(
+            p.decide(Outcome::Indeterminate, 1, &mut rng),
             RetryDecision::Done
         );
     }

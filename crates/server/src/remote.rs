@@ -249,10 +249,17 @@ impl<T: Transport> RemoteBank<T> {
     }
 }
 
-/// Maps a remote result into the driver's outcome taxonomy. Both
-/// network-failure classes count as transient faults — the driver
-/// retries them; the commit-fate distinction matters to the audit
-/// oracle, not the throughput books.
+/// Maps a remote result into the driver's outcome taxonomy. The two
+/// network-failure classes part ways here: a connection that died
+/// *before* the commit frame went out ([`RemoteError::NotCommitted`])
+/// provably left no state behind and is a retryable transient fault,
+/// while a lost acknowledgement ([`RemoteError::Indeterminate`]) maps to
+/// [`Outcome::Indeterminate`], which [`RetryPolicy`] classifies as
+/// non-retryable — the commit may have applied, and re-running the
+/// transaction could double-apply it (the fault-sweep regression test
+/// demonstrates exactly that).
+///
+/// [`RetryPolicy`]: sicost_driver::RetryPolicy
 pub fn classify_remote(result: Result<(), RemoteError>) -> Outcome {
     match result {
         Ok(()) => Outcome::Committed,
@@ -262,9 +269,8 @@ pub fn classify_remote(result: Result<(), RemoteError>) -> Outcome {
             Outcome::SerializationFailure
         }
         Err(RemoteError::Sb(_)) => Outcome::ApplicationRollback,
-        Err(RemoteError::NotCommitted(_)) | Err(RemoteError::Indeterminate(_)) => {
-            Outcome::TransientFault
-        }
+        Err(RemoteError::NotCommitted(_)) => Outcome::TransientFault,
+        Err(RemoteError::Indeterminate(_)) => Outcome::Indeterminate,
     }
 }
 

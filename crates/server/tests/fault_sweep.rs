@@ -216,6 +216,71 @@ fn every_fault_point_is_acked_consistent_or_indeterminate_but_recoverable() {
     );
 }
 
+/// Regression for the commit-fate hardening: across the full fault
+/// sweep, every indeterminate first attempt must classify as
+/// [`Outcome::Indeterminate`], which the retry policy refuses to retry —
+/// and the sweep itself shows why. At the reply-dropped fault points the
+/// commit **did** apply (`saw_applied_despite_fault` above), so a blind
+/// re-execution of the same deposit would move the money twice and break
+/// the audit oracle. Definite network failures before the commit was in
+/// flight stay retryable transient faults.
+#[test]
+fn indeterminate_commit_fates_are_classified_non_retryable() {
+    use sicost_driver::{Outcome, RetryPolicy};
+    use sicost_server::classify_remote;
+
+    let mut indeterminates = 0;
+    let mut retryable_faults = 0;
+    for kind in [FaultKind::Disconnect, FaultKind::Truncate] {
+        for dir in [Direction::ClientToServer, Direction::ServerToClient] {
+            for frame in 0..FRAMES_PER_EXCHANGE {
+                let ctx = format!("{kind:?} {dir:?} frame {frame}");
+                let r = run_scenario(dir, frame, kind, 0xFA17 + frame);
+                let Some(first) = r.first_attempt else {
+                    continue; // handshake fault: nothing to classify
+                };
+                let was_indeterminate = matches!(first, Err(RemoteError::Indeterminate(_)));
+                let outcome = classify_remote(first);
+                match outcome {
+                    Outcome::Indeterminate => {
+                        indeterminates += 1;
+                        assert!(was_indeterminate, "{ctx}: only lost acks map here");
+                        assert!(
+                            !RetryPolicy::retryable(outcome),
+                            "{ctx}: an in-flight commit must never be retried \
+                             (it may already have applied — retrying double-applies)"
+                        );
+                        // The double-apply it prevents is concrete: at
+                        // the reply-dropped fault points the books
+                        // already hold the full deposit (r.recovered ==
+                        // initial + 700 + 300); one more blind execute of
+                        // the same request would land a second 700 the
+                        // audit oracle could not explain.
+                    }
+                    Outcome::TransientFault => {
+                        retryable_faults += 1;
+                        assert!(
+                            !was_indeterminate,
+                            "{ctx}: an indeterminate fate may not be laundered \
+                             into a retryable transient fault"
+                        );
+                    }
+                    Outcome::Committed | Outcome::ApplicationRollback => {}
+                    other => panic!("{ctx}: unexpected classification {other:?}"),
+                }
+            }
+        }
+    }
+    assert!(
+        indeterminates > 0,
+        "the sweep must exercise indeterminate commit fates"
+    );
+    assert!(
+        retryable_faults > 0,
+        "pre-commit network failures must stay retryable"
+    );
+}
+
 #[test]
 fn fault_sweep_is_deterministic_per_seed() {
     // The same scenario replayed at the same seed lands the same books.

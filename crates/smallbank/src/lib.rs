@@ -32,5 +32,6 @@ pub mod workload;
 pub use driver_adapter::SmallBankDriver;
 pub use procs::{SbError, SmallBank};
 pub use schema::{recover_database, schema_builder, SmallBankConfig};
+pub use sdg_spec::SmallBankSpec;
 pub use strategy::Strategy;
 pub use workload::{MixWeights, SmallBankWorkload, TxnKind, WorkloadParams};

@@ -1,0 +1,412 @@
+//! The generic footprint interpreter and the strategy matrix.
+//!
+//! [`CorpusDb`] turns *any* program mix into an executable database: one
+//! `(Id INT PRIMARY KEY, Val INT)` table per table named in the
+//! footprints (plus the reserved [`CONFLICT_TABLE`], so strategy-
+//! transformed mixes run unchanged), populated with a small parameter
+//! domain and one fixed row per `Const` key. Program instances execute
+//! access-by-access against the real engine: `Read` is a snapshot read,
+//! `SfuRead` a `SELECT … FOR UPDATE`, `Write` an update of the selected
+//! row. The MVSG certifier cares only about which rows are read and
+//! written, so this direct interpretation is exactly what the SDG
+//! analyses — no application semantics needed.
+//!
+//! [`FixStrategy`] names the four program variants every corpus workload
+//! is swept under, mirroring SmallBank's strategy axis: the declared mix,
+//! the checker's minimal fix, and the two sledgehammers.
+
+use sicost_common::{TableId, Xoshiro256};
+use sicost_core::{
+    apply, AccessMode, EdgeCost, KeySpec, Program, Sdg, SfuTreatment, StrategyPlan, Technique,
+    WorkloadSpec, CONFLICT_TABLE,
+};
+use sicost_engine::{Database, EngineConfig, HistoryObserver, Transaction, TxnError};
+use sicost_storage::{ColumnDef, ColumnType, Row, TableSchema, Value};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// Default parameter domain: `Param` keys bind to rows `0..PARAM_ROWS`.
+/// Small on purpose — the corpus exists to *provoke* conflicts.
+pub const PARAM_ROWS: i64 = 4;
+
+/// First row id used for `Const` keys, clear of the parameter domain.
+const CONST_BASE: i64 = 1_000;
+
+/// A parameter binding: one concrete row id per parameter name.
+///
+/// Bindings are what turn a program (a parameterised footprint) into an
+/// instance (a transaction). The same binding object can serve several
+/// programs at once — parameter names are global within a script, which
+/// is how the witness script ties the colliding parameters of its three
+/// instances to one row.
+#[derive(Debug, Clone, Default)]
+pub struct Binding(BTreeMap<String, i64>);
+
+impl Binding {
+    /// An empty binding (sufficient for all-`Const` mixes).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Binds `param` to `row` (builder-style).
+    pub fn with(mut self, param: impl Into<String>, row: i64) -> Self {
+        self.0.insert(param.into(), row);
+        self
+    }
+
+    /// Draws a uniform binding for `params` over `0..param_rows`.
+    pub fn sample(params: &[String], rng: &mut Xoshiro256, param_rows: i64) -> Self {
+        let mut b = Self::new();
+        for p in params {
+            b.0.insert(p.clone(), rng.next_below(param_rows as u64) as i64);
+        }
+        b
+    }
+
+    /// Binds every parameter of every program to row 0 — the collision
+    /// scenario the SDG's vulnerability analysis reasons about.
+    pub fn zero(programs: &[Program]) -> Self {
+        let mut b = Self::new();
+        for p in programs {
+            for param in &p.params {
+                b.0.insert(param.clone(), 0);
+            }
+        }
+        b
+    }
+
+    /// The row bound to `param`.
+    ///
+    /// # Panics
+    /// If the parameter is unbound — a binding/footprint mismatch is a
+    /// harness bug, not a runtime condition.
+    pub fn row(&self, param: &str) -> i64 {
+        *self
+            .0
+            .get(param)
+            .unwrap_or_else(|| panic!("parameter :{param} is unbound"))
+    }
+}
+
+/// An executable database synthesised from a program mix.
+pub struct CorpusDb {
+    db: Database,
+    tables: BTreeMap<String, TableId>,
+    const_ids: BTreeMap<String, i64>,
+    param_rows: i64,
+}
+
+impl CorpusDb {
+    /// Builds and populates a database able to execute `programs`.
+    ///
+    /// Every table named by any footprint exists (plus the reserved
+    /// [`CONFLICT_TABLE`]), each with rows `0..param_rows` and one row
+    /// per distinct `Const` key name (shared across tables, so equal
+    /// constants collide exactly as the SDG assumes).
+    ///
+    /// # Panics
+    /// On schema or population failure — both are static properties of
+    /// the mix, so failing loudly at build time is correct.
+    pub fn build(
+        programs: &[Program],
+        param_rows: i64,
+        engine: EngineConfig,
+        observer: Option<Arc<dyn HistoryObserver>>,
+    ) -> Self {
+        let mut table_names: BTreeSet<String> = programs
+            .iter()
+            .flat_map(|p| p.accesses.iter().map(|a| a.table.clone()))
+            .collect();
+        table_names.insert(CONFLICT_TABLE.to_string());
+        let const_names: BTreeSet<String> = programs
+            .iter()
+            .flat_map(|p| p.accesses.iter())
+            .filter_map(|a| match &a.key {
+                KeySpec::Const(c) => Some(c.clone()),
+                _ => None,
+            })
+            .collect();
+        let const_ids: BTreeMap<String, i64> = const_names
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| (c, CONST_BASE + i as i64))
+            .collect();
+
+        let mut builder = Database::builder();
+        for name in &table_names {
+            builder = builder
+                .table(
+                    TableSchema::new(
+                        name,
+                        vec![
+                            ColumnDef::new("Id", ColumnType::Int),
+                            ColumnDef::new("Val", ColumnType::Int),
+                        ],
+                        0,
+                        vec![],
+                    )
+                    .expect("static corpus schema"),
+                )
+                .unwrap_or_else(|e| panic!("create table {name}: {e}"));
+        }
+        builder = builder.config(engine);
+        if let Some(obs) = observer {
+            builder = builder.observer(obs);
+        }
+        let db = builder.build();
+
+        let mut tables = BTreeMap::new();
+        for name in &table_names {
+            let id = db.table_id(name).expect("just created");
+            let rows = (0..param_rows)
+                .chain(const_ids.values().copied())
+                .map(|i| Row::new(vec![Value::int(i), Value::int(0)]))
+                .collect::<Vec<_>>();
+            db.bulk_load(id, rows).expect("populate corpus table");
+            tables.insert(name.clone(), id);
+        }
+        Self {
+            db,
+            tables,
+            const_ids,
+            param_rows,
+        }
+    }
+
+    /// The underlying engine database.
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// The parameter domain size this database was populated for.
+    pub fn param_rows(&self) -> i64 {
+        self.param_rows
+    }
+
+    /// Resolves a key spec to the concrete row id under `binding`.
+    ///
+    /// # Panics
+    /// On `Predicate` keys: the interpreter executes single-row
+    /// footprints only (the corpus declares none, and the strategy
+    /// transformations materialize predicate conflicts onto a `Const`
+    /// row, which *is* supported).
+    pub fn resolve(&self, key: &KeySpec, binding: &Binding) -> i64 {
+        match key {
+            KeySpec::Param(p) => binding.row(p),
+            KeySpec::Const(c) => *self
+                .const_ids
+                .get(c)
+                .unwrap_or_else(|| panic!("const key '{c}' not in the built mix")),
+            KeySpec::Predicate(p) => {
+                panic!("the corpus interpreter does not execute predicate reads ({p})")
+            }
+        }
+    }
+
+    /// Executes one access of a program instance inside `tx`.
+    ///
+    /// Writes store `tag` in `Val` — a blind single-row update. Values
+    /// carry no application semantics here; conflicts (and therefore the
+    /// MVSG) depend only on which rows each transaction reads and writes.
+    pub fn step(
+        &self,
+        tx: &mut Transaction<'_>,
+        access: &sicost_core::Access,
+        binding: &Binding,
+        tag: i64,
+    ) -> Result<(), TxnError> {
+        let table = *self
+            .tables
+            .get(&access.table)
+            .unwrap_or_else(|| panic!("table {} not in the built mix", access.table));
+        let id = self.resolve(&access.key, binding);
+        let key = Value::int(id);
+        match access.mode {
+            AccessMode::Read => {
+                tx.read(table, &key)?;
+            }
+            AccessMode::SfuRead => {
+                tx.read_for_update(table, &key)?;
+            }
+            AccessMode::Write => {
+                tx.update(table, &key, Row::new(vec![Value::int(id), Value::int(tag)]))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs one full instance of `program` under `binding`: begin, every
+    /// access in footprint order, commit. On any engine error the
+    /// transaction is rolled back and the error returned.
+    pub fn run_program(
+        &self,
+        program: &Program,
+        binding: &Binding,
+        tag: i64,
+    ) -> Result<(), TxnError> {
+        let mut tx = self.db.begin();
+        for access in &program.accesses {
+            if let Err(e) = self.step(&mut tx, access, binding, tag) {
+                tx.rollback();
+                return Err(e);
+            }
+        }
+        tx.commit().map(|_| ())
+    }
+}
+
+/// The strategy axis of the corpus sweep — which program variant runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FixStrategy {
+    /// The declared mix, untouched (plain SI).
+    Base,
+    /// The robustness checker's verified minimal fix set
+    /// ([`sicost_core::RobustnessReport::plan`]). Identical to `Base`
+    /// when the workload is already robust.
+    MinimalFix,
+    /// Materialize every vulnerable edge (the paper's MaterializeALL).
+    MaterializeAll,
+    /// Promote every vulnerable edge's read to an update (PromoteALL).
+    PromoteAll,
+}
+
+impl FixStrategy {
+    /// All strategies, in sweep order.
+    pub const ALL: [FixStrategy; 4] = [
+        FixStrategy::Base,
+        FixStrategy::MinimalFix,
+        FixStrategy::MaterializeAll,
+        FixStrategy::PromoteAll,
+    ];
+
+    /// Stable label used in reports and trace files.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FixStrategy::Base => "base",
+            FixStrategy::MinimalFix => "minimal-fix",
+            FixStrategy::MaterializeAll => "materialize-all",
+            FixStrategy::PromoteAll => "promote-all",
+        }
+    }
+}
+
+impl std::fmt::Display for FixStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The executable program set of one (workload × strategy) cell.
+///
+/// `Base` returns the declared programs; `MinimalFix` the checker's
+/// verified fix ([`sicost_core::check`]); the ALL variants apply the
+/// corresponding blanket plan to every vulnerable edge.
+///
+/// # Panics
+/// If a blanket promotion hits a predicate read (the corpus declares
+/// none) — [`FixStrategy::PromoteAll`] is only defined for mixes where
+/// promotion applies.
+pub fn strategy_programs(
+    spec: &dyn WorkloadSpec,
+    strategy: FixStrategy,
+    sfu: SfuTreatment,
+) -> Vec<Program> {
+    let base = spec.programs();
+    match strategy {
+        FixStrategy::Base => base,
+        FixStrategy::MinimalFix => {
+            spec.check_robustness(sfu, EdgeCost::default())
+                .fixed_programs
+        }
+        FixStrategy::MaterializeAll => {
+            let sdg = Sdg::build(&base, sfu);
+            let plan = StrategyPlan::all_vulnerable(&sdg, Technique::Materialize);
+            apply(&sdg, &plan).expect("materialize-all always applies")
+        }
+        FixStrategy::PromoteAll => {
+            let sdg = Sdg::build(&base, sfu);
+            let plan = StrategyPlan::all_vulnerable(&sdg, Technique::PromoteUpdate);
+            apply(&sdg, &plan).expect("promote-all applies to predicate-free mixes")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sicost_core::Access;
+
+    fn tiny_mix() -> Vec<Program> {
+        vec![
+            Program::new(
+                "Writer",
+                ["N"],
+                vec![Access::read("T", "N"), Access::write("T", "N")],
+            ),
+            Program::new(
+                "Reader",
+                ["N"],
+                vec![
+                    Access::read("T", "N"),
+                    Access {
+                        table: "U".into(),
+                        key: KeySpec::Const("hot".into()),
+                        mode: AccessMode::Read,
+                    },
+                ],
+            ),
+        ]
+    }
+
+    #[test]
+    fn interpreter_builds_and_commits_footprints() {
+        let mix = tiny_mix();
+        let db = CorpusDb::build(&mix, PARAM_ROWS, EngineConfig::functional(), None);
+        let binding = Binding::new().with("N", 2);
+        db.run_program(&mix[0], &binding, 7)
+            .expect("writer commits");
+        db.run_program(&mix[1], &binding, 8)
+            .expect("reader commits");
+        // The blind write landed: row 2 of T now holds Val = 7.
+        let t = db.db().table_id("T").expect("table T");
+        let mut tx = db.db().begin();
+        let row = tx.read(t, &Value::int(2)).expect("read back").expect("row");
+        assert_eq!(row.int(1), 7);
+        tx.rollback();
+    }
+
+    #[test]
+    fn const_keys_resolve_to_one_shared_row() {
+        let mix = tiny_mix();
+        let db = CorpusDb::build(&mix, PARAM_ROWS, EngineConfig::functional(), None);
+        let a = db.resolve(&KeySpec::Const("hot".into()), &Binding::new());
+        let b = db.resolve(&KeySpec::Const("hot".into()), &Binding::new());
+        assert_eq!(a, b);
+        assert!(
+            a >= super::CONST_BASE,
+            "consts live outside the param domain"
+        );
+    }
+
+    #[test]
+    fn zero_binding_covers_every_parameter() {
+        let mix = tiny_mix();
+        let b = Binding::zero(&mix);
+        assert_eq!(b.row("N"), 0);
+    }
+
+    #[test]
+    fn base_strategy_returns_the_declared_programs() {
+        struct S;
+        impl WorkloadSpec for S {
+            fn name(&self) -> &'static str {
+                "tiny"
+            }
+            fn programs(&self) -> Vec<Program> {
+                tiny_mix()
+            }
+        }
+        let progs = strategy_programs(&S, FixStrategy::Base, SfuTreatment::AsLockOnly);
+        assert_eq!(progs, tiny_mix());
+    }
+}

@@ -1,0 +1,53 @@
+//! The **anomaly workload corpus** and its executable model.
+//!
+//! SmallBank is the paper's single worked example; this crate grows it
+//! into a corpus of declared transaction mixes whose SI-robustness is
+//! known from the literature, each expressed as
+//! [`sicost_core::WorkloadSpec`] footprints:
+//!
+//! * [`CorpusWorkload::DoctorsOnCall`] — the classic write-skew pair
+//!   (two doctors may not both go off call): **not robust**;
+//! * [`CorpusWorkload::LongFork`] — two blind writers and an auditor
+//!   reading both rows: **robust** against SI (the long-fork anomaly
+//!   needs *parallel* SI, which SI itself forbids);
+//! * [`CorpusWorkload::ReadOnlyTriple`] — Fekete, O'Neil & O'Neil's
+//!   read-only-transaction anomaly as a three-program mix: **not
+//!   robust**, with a three-edge witness cycle;
+//! * [`CorpusWorkload::TpccLite`] — a reduced order/payment/status/
+//!   delivery mix in the shape that makes full TPC-C run serializably
+//!   under SI: vulnerable edges exist but none are consecutive, so it is
+//!   **robust**.
+//!
+//! What makes the corpus more than a list of [`sicost_core::Program`]
+//! declarations is the **generic footprint interpreter** ([`CorpusDb`]):
+//! it synthesises a database schema from any program mix (one `(Id,
+//! Val)` table per footprint table plus the reserved `Conflict` table)
+//! and executes program instances access-by-access against the real
+//! engine. The MVSG certifier only sees reads and writes, so executing
+//! footprints *directly* is enough to test the SDG theory end to end —
+//! every static verdict from [`sicost_core::check`] is confronted with
+//! dynamic evidence:
+//!
+//! * concurrent seeded driver runs with a sampling certifier attached
+//!   (robust mixes must show **zero** SI anomalies);
+//! * the deterministic [`run_witness_script`] that turns a static
+//!   [`sicost_core::Witness`] `P --v--> Q --v--> R` into a concrete
+//!   interleaving (not-robust mixes must exhibit a non-serializable
+//!   history; after the checker's minimal fix the same script must
+//!   certify serializable).
+//!
+//! [`FixStrategy`] enumerates the program variants swept by the
+//! `robustness` bench harness and the `cross_validate` test.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod corpus;
+pub mod driver_adapter;
+pub mod exec;
+pub mod witness;
+
+pub use corpus::CorpusWorkload;
+pub use driver_adapter::{CorpusDriver, CorpusRequest};
+pub use exec::{strategy_programs, Binding, CorpusDb, FixStrategy};
+pub use witness::{run_witness_script, ScriptOutcome};

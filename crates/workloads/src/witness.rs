@@ -1,0 +1,175 @@
+//! Deterministic execution of a static anomaly witness.
+//!
+//! The checker's [`Witness`] names a dangerous structure
+//! `P --v--> Q --v--> R`: the pivot `Q` reads stale data relative to `R`
+//! (outgoing rw edge) while `P` reads stale data relative to `Q`
+//! (incoming rw edge), and a dependency path closes the cycle. This
+//! module replays exactly that shape against the real engine:
+//!
+//! ```text
+//! begin(Q);  Q's reads                   ── pivot on the old snapshot
+//! R runs to completion and commits       ── Q now reads-stale w.r.t. R
+//! P runs to completion and commits       ── P misses Q's pending writes
+//! Q's writes; commit(Q)
+//! ```
+//!
+//! Every parameter of all three instances is bound to row 0 — the
+//! collision scenario under which the SDG declared the edges vulnerable.
+//! The schedule is single-threaded, so it is deterministic by
+//! construction; the captured history is certified offline with the
+//! MVSG. For a mix the checker calls **not robust**, the script must
+//! yield a non-serializable history (all three commit under plain SI).
+//! For the checker-fixed mix, the very same schedule must either abort
+//! the pivot (first-committer-wins on the added write) or certify
+//! serializable — that agreement is what `tests/cross_validate.rs`
+//! asserts for every cell of the corpus × strategy matrix.
+
+use crate::exec::{Binding, CorpusDb, PARAM_ROWS};
+use sicost_core::{AccessMode, Program, Witness};
+use sicost_engine::{EngineConfig, HistoryObserver};
+use sicost_mvsg::{History, Mvsg, SerializabilityReport};
+use std::sync::Arc;
+
+/// What one scripted witness run produced.
+#[derive(Debug)]
+pub struct ScriptOutcome {
+    /// Did the incoming-edge source `P` commit?
+    pub from_committed: bool,
+    /// Did the pivot `Q` commit?
+    pub pivot_committed: bool,
+    /// Did the outgoing-edge target `R` commit?
+    pub to_committed: bool,
+    /// Offline MVSG certification of the committed history.
+    pub report: SerializabilityReport,
+}
+
+impl ScriptOutcome {
+    /// True when the script realised the predicted anomaly: everything
+    /// committed and the history is not serializable.
+    pub fn anomalous(&self) -> bool {
+        self.from_committed
+            && self.pivot_committed
+            && self.to_committed
+            && !self.report.serializable
+    }
+}
+
+/// Runs the witness schedule for `witness` over `programs` on a fresh
+/// database under `engine`, and certifies the resulting history.
+///
+/// # Panics
+/// If the witness names a program absent from `programs` — witnesses are
+/// only meaningful against the mix that produced them.
+pub fn run_witness_script(
+    programs: &[Program],
+    witness: &Witness,
+    engine: EngineConfig,
+) -> ScriptOutcome {
+    let find = |name: &str| {
+        programs
+            .iter()
+            .find(|p| p.name == name)
+            .unwrap_or_else(|| panic!("witness program {name} not in the mix"))
+    };
+    let p = find(&witness.from);
+    let q = find(&witness.pivot);
+    let r = find(&witness.to);
+
+    let history = History::new();
+    let db = CorpusDb::build(
+        programs,
+        PARAM_ROWS,
+        engine,
+        Some(history.clone() as Arc<dyn HistoryObserver>),
+    );
+    let binding = Binding::zero(programs);
+
+    // Pivot: reads on the pre-script snapshot.
+    let mut pivot_tx = db.db().begin();
+    let mut pivot_ok = true;
+    for access in q.accesses.iter().filter(|a| a.mode != AccessMode::Write) {
+        if db.step(&mut pivot_tx, access, &binding, 1).is_err() {
+            pivot_ok = false;
+            break;
+        }
+    }
+    // The outgoing edge's target, then the incoming edge's source, each
+    // as a complete transaction.
+    let to_committed = db.run_program(r, &binding, 2).is_ok();
+    let from_committed = db.run_program(p, &binding, 3).is_ok();
+    // Pivot: writes (including any strategy-added ones) and commit.
+    if pivot_ok {
+        for access in q.accesses.iter().filter(|a| a.mode == AccessMode::Write) {
+            if db.step(&mut pivot_tx, access, &binding, 1).is_err() {
+                pivot_ok = false;
+                break;
+            }
+        }
+    }
+    let pivot_committed = if pivot_ok {
+        pivot_tx.commit().is_ok()
+    } else {
+        pivot_tx.rollback();
+        false
+    };
+
+    let report = Mvsg::from_events(&history.events()).certify();
+    ScriptOutcome {
+        from_committed,
+        pivot_committed,
+        to_committed,
+        report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::CorpusWorkload;
+    use crate::exec::{strategy_programs, FixStrategy};
+    use sicost_core::{EdgeCost, SfuTreatment, WorkloadSpec};
+
+    #[test]
+    fn doctors_witness_exhibits_write_skew_under_plain_si() {
+        let wl = CorpusWorkload::DoctorsOnCall;
+        let report = wl.check_robustness(SfuTreatment::AsLockOnly, EdgeCost::default());
+        for witness in &report.witnesses {
+            let outcome = run_witness_script(&wl.programs(), witness, EngineConfig::functional());
+            assert!(
+                outcome.anomalous(),
+                "{witness}: expected the anomaly, got {outcome:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn doctors_minimal_fix_kills_the_anomaly_under_the_same_schedule() {
+        let wl = CorpusWorkload::DoctorsOnCall;
+        let report = wl.check_robustness(SfuTreatment::AsLockOnly, EdgeCost::default());
+        let fixed = strategy_programs(&wl, FixStrategy::MinimalFix, SfuTreatment::AsLockOnly);
+        for witness in &report.witnesses {
+            let outcome = run_witness_script(&fixed, witness, EngineConfig::functional());
+            assert!(
+                outcome.report.serializable,
+                "{witness}: fixed mix must certify serializable, got {outcome:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn read_only_triple_witness_is_a_three_transaction_cycle() {
+        let wl = CorpusWorkload::ReadOnlyTriple;
+        let report = wl.check_robustness(SfuTreatment::AsLockOnly, EdgeCost::default());
+        let outcome = run_witness_script(
+            &wl.programs(),
+            &report.witnesses[0],
+            EngineConfig::functional(),
+        );
+        assert!(outcome.anomalous(), "{outcome:?}");
+        assert!(
+            outcome.report.witness.len() >= 3,
+            "the read-only anomaly needs all three transactions: {:?}",
+            outcome.report.witness
+        );
+    }
+}

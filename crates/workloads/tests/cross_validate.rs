@@ -1,0 +1,201 @@
+//! Static/dynamic cross-validation over the full corpus × strategy
+//! matrix — the end-to-end contract of the robustness checker.
+//!
+//! For every cell (workload × fix strategy) the test derives the cell's
+//! executable programs, takes the **static** verdict by re-analysing
+//! exactly those programs, and confronts it with two kinds of **dynamic**
+//! evidence on the real engine:
+//!
+//! * a seeded concurrent driver run with a sampling MVSG certifier
+//!   attached — a statically robust cell must certify **zero** SI
+//!   anomalies (the certifier is sound: it never reports a false
+//!   anomaly);
+//! * the deterministic witness schedule — every dangerous structure the
+//!   analysis predicts for a non-robust cell must be *realised* (all
+//!   three transactions commit, history not serializable), and for the
+//!   strategy-fixed variants of a non-robust workload the very same
+//!   schedules must come back serializable.
+//!
+//! Each cell appends one JSON line to
+//! `target/robustness-trace/cross_validate.jsonl`; CI uploads the file
+//! when the matrix disagrees.
+
+use sicost_common::Json;
+use sicost_core::{EdgeCost, Sdg, SfuTreatment, Witness, WorkloadSpec};
+use sicost_driver::{run, RetryPolicy, RunConfig};
+use sicost_engine::{EngineConfig, HistoryObserver};
+use sicost_mvsg::SamplingCertifier;
+use sicost_workloads::{
+    run_witness_script, strategy_programs, CorpusDriver, CorpusWorkload, FixStrategy,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+const SFU: SfuTreatment = SfuTreatment::AsLockOnly;
+const SEED: u64 = 0x00C0_FFEE;
+
+/// Dangerous structures of an analysed mix, by program names. (The
+/// checker's `check` entry point refuses mixes that touch the reserved
+/// `Conflict` table; materialized cells legitimately do, so the cell
+/// verdict re-derives witnesses straight from the SDG.)
+fn witnesses_of(sdg: &Sdg) -> Vec<Witness> {
+    let name = |i: usize| sdg.programs()[i].name.clone();
+    let mut out: Vec<Witness> = sdg
+        .dangerous_structures()
+        .iter()
+        .map(|s| Witness {
+            from: name(sdg.edges()[s.incoming].from),
+            pivot: name(s.pivot),
+            to: name(sdg.edges()[s.outgoing].to),
+        })
+        .collect();
+    out.sort();
+    out.dedup();
+    out
+}
+
+#[test]
+fn every_cell_of_the_matrix_agrees_statically_and_dynamically() {
+    let mut trace: Vec<String> = Vec::new();
+    let mut checked_cells = 0;
+
+    for workload in CorpusWorkload::ALL {
+        // The checker must agree with the literature on the base mix.
+        let base_report = workload.check_robustness(SFU, EdgeCost::default());
+        assert_eq!(
+            base_report.robust(),
+            workload.expected_robust(),
+            "{}: checker disagrees with ground truth",
+            workload.name()
+        );
+
+        for strategy in FixStrategy::ALL {
+            let programs = strategy_programs(&workload, strategy, SFU);
+            let cell_sdg = Sdg::build(&programs, SFU);
+            let static_robust = cell_sdg.is_si_serializable();
+            let cell_witnesses = witnesses_of(&cell_sdg);
+
+            // Any strategy other than Base must leave a non-robust
+            // workload robust — the fixes are verified transformations.
+            if strategy != FixStrategy::Base {
+                assert!(
+                    static_robust,
+                    "{} × {strategy}: a fix strategy left the mix unsafe",
+                    workload.name()
+                );
+            }
+
+            // Dynamic side 1: seeded concurrent run, online certifier.
+            let certifier = SamplingCertifier::with_defaults();
+            let driver = CorpusDriver::new(
+                workload,
+                strategy,
+                SFU,
+                EngineConfig::functional(),
+                Some(Arc::clone(&certifier) as Arc<dyn HistoryObserver>),
+            );
+            let metrics = run(
+                &driver,
+                &RunConfig::new(4)
+                    .with_seed(SEED ^ checked_cells)
+                    .with_measure(Duration::from_millis(150))
+                    .with_retry(RetryPolicy::paper_default()),
+            );
+            certifier.finish();
+            let stats = certifier.stats();
+            assert!(
+                metrics.commits() > 0,
+                "{} × {strategy}: the cell made no progress",
+                workload.name()
+            );
+            if static_robust {
+                assert_eq!(
+                    stats.si_anomalies(),
+                    0,
+                    "{} × {strategy}: statically robust but the certifier \
+                     found SI anomalies: {:?}",
+                    workload.name(),
+                    stats
+                );
+            }
+
+            // Dynamic side 2: deterministic witness schedules. Every
+            // structure predicted for the cell must be realisable …
+            let mut scripted = Vec::new();
+            for witness in &cell_witnesses {
+                let outcome = run_witness_script(&programs, witness, EngineConfig::functional());
+                assert!(
+                    outcome.anomalous(),
+                    "{} × {strategy}: predicted structure {witness} did not \
+                     materialise: {outcome:?}",
+                    workload.name()
+                );
+                scripted.push((witness.clone(), false));
+            }
+            // … and for fixed variants, the base mix's structures must
+            // no longer be: the same schedule aborts the pivot or
+            // certifies serializable.
+            if strategy != FixStrategy::Base {
+                for witness in &base_report.witnesses {
+                    let outcome =
+                        run_witness_script(&programs, witness, EngineConfig::functional());
+                    assert!(
+                        outcome.report.serializable,
+                        "{} × {strategy}: base anomaly {witness} survived the \
+                         fix: {outcome:?}",
+                        workload.name()
+                    );
+                    scripted.push((witness.clone(), true));
+                }
+            }
+
+            trace.push(
+                Json::obj(vec![
+                    ("workload", Json::str(workload.name())),
+                    ("strategy", Json::str(strategy.name())),
+                    ("static_robust", Json::Bool(static_robust)),
+                    (
+                        "witnesses",
+                        Json::Arr(
+                            cell_witnesses
+                                .iter()
+                                .map(|w| Json::str(w.to_string()))
+                                .collect(),
+                        ),
+                    ),
+                    ("commits", Json::int(metrics.commits())),
+                    ("si_anomalies", Json::int(stats.si_anomalies())),
+                    (
+                        "scripted",
+                        Json::Arr(
+                            scripted
+                                .iter()
+                                .map(|(w, fixed)| {
+                                    Json::obj(vec![
+                                        ("witness", Json::str(w.to_string())),
+                                        ("against_fixed", Json::Bool(*fixed)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+                .render(),
+            );
+            checked_cells += 1;
+        }
+    }
+
+    assert_eq!(
+        checked_cells as usize,
+        CorpusWorkload::ALL.len() * FixStrategy::ALL.len(),
+        "the sweep must cover every cell"
+    );
+
+    // Per-cell trace for CI artifact upload on failure (and local
+    // inspection either way).
+    let dir =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/robustness-trace");
+    std::fs::create_dir_all(&dir).expect("create trace dir");
+    std::fs::write(dir.join("cross_validate.jsonl"), trace.join("\n") + "\n").expect("write trace");
+}

@@ -39,6 +39,10 @@ echo "==> server smoke: sim-net fault sweep + client/server equivalence (fixed s
 cargo test -q -p sicost-server --test fault_sweep
 cargo test -q -p sicost-server --test client_server
 
+echo "==> robustness smoke: corpus x strategy cross-validation + A13 matrix (trace in target/robustness-trace/)"
+cargo test -q -p sicost-workloads
+SICOST_BENCH_MODE=smoke cargo bench -q -p sicost-bench --bench robustness
+
 echo "==> recovery smoke bench (writes bench_results/recovery.json)"
 SICOST_BENCH_MODE=smoke cargo bench -q -p sicost-bench --bench recovery
 

@@ -64,6 +64,11 @@ pub mod smallbank {
     pub use sicost_smallbank::*;
 }
 
+/// The anomaly workload corpus and its footprint interpreter.
+pub mod workloads {
+    pub use sicost_workloads::*;
+}
+
 /// The closed-system workload driver.
 pub mod driver {
     pub use sicost_driver::*;
