@@ -12,6 +12,12 @@
 //!
 //! Every recovered instance is audited with the SmallBank
 //! balance-conservation oracle before its numbers are reported.
+//!
+//! A second section compares what one mid-run checkpoint *writes* on the
+//! two storage backends: the in-memory engine snapshots every table into
+//! the checkpoint frame, while the paged engine flushes only the dirty
+//! pages and writes a fixed-size frame — the incremental-checkpoint
+//! claim, asserted as a >10x frame-size gap on the same workload.
 
 use sicost_bench::{BenchMode, BenchReport};
 use sicost_common::{Money, OnlineStats, Summary, Xoshiro256};
@@ -19,6 +25,7 @@ use sicost_driver::Series;
 use sicost_engine::{CheckpointPolicy, EngineConfig};
 use sicost_smallbank::schema::{customer_name, recover_database, total_balance};
 use sicost_smallbank::{SmallBank, SmallBankConfig, Strategy};
+use sicost_storage::{PagedConfig, StoragePolicy};
 use std::time::Instant;
 
 struct RunStats {
@@ -83,6 +90,47 @@ fn summarize(vals: &[f64]) -> Summary {
         s.push(v);
     }
     s.summary()
+}
+
+/// What one mid-run checkpoint costs on a backend: the frame it wrote
+/// (a whole-table image in memory, a fixed-size page manifest on the
+/// paged backend) and the dirty pages it flushed.
+struct CheckpointCost {
+    image_bytes: u64,
+    rows: u64,
+    pages_flushed: u64,
+}
+
+/// Runs the same deterministic deposit prefix on `storage`, takes one
+/// measured checkpoint, then recovers and audits the balance.
+fn checkpoint_cost(storage: StoragePolicy, ops: u64, customers: u64) -> CheckpointCost {
+    let engine = || EngineConfig::functional().with_storage(storage);
+    let bank = SmallBank::new(
+        &SmallBankConfig::small(customers),
+        engine(),
+        Strategy::BaseSI,
+    );
+    bank.db().checkpoint().expect("post-population checkpoint");
+    let mut rng = Xoshiro256::seed_from_u64(0xA8F1);
+    for _ in 0..ops {
+        let c = customer_name(rng.range_inclusive(0, customers as i64 - 1) as u64);
+        bank.deposit_checking(&c, Money::cents(rng.range_inclusive(1, 99)))
+            .expect("single-threaded deposit");
+    }
+    let out = bank.db().checkpoint().expect("measured checkpoint");
+    let live = bank.total_balance();
+    let (rdb, rtables, _) =
+        recover_database(engine(), &bank.db().durable_image()).expect("recovery succeeds");
+    assert_eq!(
+        total_balance(&rdb, &rtables),
+        live,
+        "balance conservation across recovery on {storage}"
+    );
+    CheckpointCost {
+        image_bytes: out.image_bytes,
+        rows: out.rows as u64,
+        pages_flushed: out.pages_flushed,
+    }
 }
 
 fn main() {
@@ -157,6 +205,34 @@ fn main() {
     }
     println!("{:-<100}", "");
 
+    // --- Incremental vs full-image checkpoint cost. The same deposit
+    // prefix runs on both backends; the mid-run checkpoint then writes a
+    // whole-table image in memory but only the dirty pages plus a
+    // fixed-size frame on the paged backend.
+    let ckpt_ops = ops / 4;
+    let full_img = checkpoint_cost(StoragePolicy::InMemory, ckpt_ops, customers);
+    let paged_img = checkpoint_cost(
+        StoragePolicy::Paged(PagedConfig::default()),
+        ckpt_ops,
+        customers,
+    );
+    assert!(
+        paged_img.image_bytes < full_img.image_bytes / 10,
+        "the paged checkpoint frame ({} bytes) must be a small fraction of the \
+         full-table image ({} bytes)",
+        paged_img.image_bytes,
+        full_img.image_bytes
+    );
+    assert_eq!(paged_img.rows, 0, "paged checkpoints snapshot no rows");
+    assert!(paged_img.pages_flushed > 0, "dirty pages must have flushed");
+    assert_eq!(full_img.pages_flushed, 0, "in-memory flushes no pages");
+    println!(
+        "checkpoint frame after {ckpt_ops} commits: in-memory {} bytes ({} rows) vs \
+         paged {} bytes (+{} dirty pages flushed)",
+        full_img.image_bytes, full_img.rows, paged_img.image_bytes, paged_img.pages_flushed
+    );
+    println!("{:-<100}", "");
+
     report.x_label = "checkpoint interval (commits; 0 = init-only)".into();
     report.push_series("interval", &[bytes_series, time_series]);
     report.push_table(
@@ -171,6 +247,29 @@ fn main() {
             "% of full replay".into(),
         ],
         rows,
+    );
+    report.push_table(
+        "incremental vs full-image checkpoint",
+        vec![
+            "backend".into(),
+            "frame bytes".into(),
+            "rows snapshotted".into(),
+            "dirty pages flushed".into(),
+        ],
+        vec![
+            vec![
+                "in-memory".into(),
+                full_img.image_bytes.to_string(),
+                full_img.rows.to_string(),
+                full_img.pages_flushed.to_string(),
+            ],
+            vec![
+                "paged".into(),
+                paged_img.image_bytes.to_string(),
+                paged_img.rows.to_string(),
+                paged_img.pages_flushed.to_string(),
+            ],
+        ],
     );
     let expectation = "Replayed bytes scale with the checkpoint interval, not the \
          run length: the init-only baseline replays the whole workload \

@@ -160,9 +160,12 @@ fn main() {
     );
     println!("{:-<100}", "");
 
-    std::fs::create_dir_all("target/vacuum-trace").expect("create trace dir");
+    // Anchored at the workspace root (cargo runs benches from the
+    // package dir), matching the CI artifact path target/vacuum-trace/.
+    let trace_dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/vacuum-trace");
+    std::fs::create_dir_all(trace_dir).expect("create trace dir");
     let mut trace = std::io::BufWriter::new(
-        std::fs::File::create("target/vacuum-trace/trace.jsonl").expect("create GC trace"),
+        std::fs::File::create(format!("{trace_dir}/trace.jsonl")).expect("create GC trace"),
     );
 
     // Closed-system calibration on a throwaway GC-on engine: the open

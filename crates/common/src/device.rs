@@ -1,7 +1,13 @@
-//! The simulated log device.
+//! The simulated synchronous-write device.
+//!
+//! One model serves both durable media in the system: the WAL's log disk
+//! and the paged heap's data disk. Keeping it here (rather than in the WAL
+//! crate) lets `sicost-storage` charge page reads and write-backs through
+//! the very same cost/fault/sim layer the log uses, without a dependency
+//! cycle.
 
-use sicost_common::sync::Mutex;
-use sicost_common::FaultInjector;
+use crate::sync::Mutex;
+use crate::FaultInjector;
 use std::fmt;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -103,7 +109,7 @@ impl LogDevice {
         if !cost.is_zero() {
             // Virtual time under the deterministic simulator, wall-clock
             // otherwise.
-            sicost_common::sync::sim_sleep(cost);
+            crate::sync::sim_sleep(cost);
         }
         let mut s = self.stats.lock();
         s.syncs += 1;
@@ -141,7 +147,7 @@ impl LogDevice {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sicost_common::FaultConfig;
+    use crate::FaultConfig;
 
     #[test]
     fn instant_device_is_free() {

@@ -58,12 +58,17 @@ pub enum CrashPoint {
     /// recovery uses the new checkpoint plus the (untruncated) suffix
     /// starting at the manifest's offset.
     AfterManifestSwapBeforeTruncate,
+    /// While the paged heap is writing a page frame (eviction write-back
+    /// or checkpoint flush): the frame's slot holds a torn byte prefix.
+    /// The page's *other* slot still holds the previous valid image, so
+    /// recovery must fail the torn slot's checksum and fall back to it.
+    DuringPageFlush,
 }
 
 impl CrashPoint {
     /// Every armed crash point, in pipeline order — the torture harness
     /// iterates this so new points are covered automatically.
-    pub const ALL: [CrashPoint; 8] = [
+    pub const ALL: [CrashPoint; 9] = [
         CrashPoint::BeforeWalAppend,
         CrashPoint::DuringWalSync,
         CrashPoint::AfterWalAppend,
@@ -72,6 +77,7 @@ impl CrashPoint {
         CrashPoint::DuringCheckpointWrite,
         CrashPoint::BeforeManifestSwap,
         CrashPoint::AfterManifestSwapBeforeTruncate,
+        CrashPoint::DuringPageFlush,
     ];
 }
 
@@ -86,6 +92,7 @@ impl fmt::Display for CrashPoint {
             CrashPoint::DuringCheckpointWrite => "during-checkpoint-write",
             CrashPoint::BeforeManifestSwap => "before-manifest-swap",
             CrashPoint::AfterManifestSwapBeforeTruncate => "after-manifest-swap-before-truncate",
+            CrashPoint::DuringPageFlush => "during-page-flush",
         };
         write!(f, "{name}")
     }
@@ -379,6 +386,7 @@ mod tests {
         assert!(names.contains(&"during-checkpoint-write".to_string()));
         assert!(names.contains(&"before-manifest-swap".to_string()));
         assert!(names.contains(&"after-manifest-swap-before-truncate".to_string()));
+        assert!(names.contains(&"during-page-flush".to_string()));
     }
 
     #[test]

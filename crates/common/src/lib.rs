@@ -7,9 +7,11 @@
 
 #![deny(missing_docs)]
 
+pub mod device;
 pub mod dist;
 pub mod epoch;
 pub mod fault;
+pub mod hash;
 pub mod histogram;
 pub mod ids;
 pub mod json;
@@ -18,8 +20,10 @@ pub mod rng;
 pub mod stats;
 pub mod sync;
 
+pub use device::{DeviceStats, LogDevice, SyncError};
 pub use dist::{DiscreteDist, HotspotSampler, Zipf};
 pub use fault::{CrashPoint, FaultConfig, FaultInjector, FaultStats};
+pub use hash::fnv1a;
 pub use histogram::{CountHistogram, LatencyHistogram};
 pub use ids::{TableId, Ts, TxnId};
 pub use json::{Json, JsonError};

@@ -82,6 +82,32 @@ impl StrategyPlan {
         Self { picks }
     }
 
+    /// Plan fixing **every** vulnerable edge, choosing per edge the
+    /// cheapest applicable technique: identity-update promotion for
+    /// single-row reads, falling back to materialization on edges whose
+    /// vulnerable conflict is a predicate read (§II-C: promotion cannot
+    /// identity-update rows the predicate did not return). This is the
+    /// blanket-promotion strategy that stays runnable on mixes with
+    /// predicate reads, where a uniform
+    /// [`StrategyPlan::all_vulnerable`]`(…, PromoteUpdate)` would fail to
+    /// apply.
+    pub fn all_vulnerable_auto(sdg: &Sdg) -> Self {
+        let picks = sdg
+            .vulnerable_edges()
+            .into_iter()
+            .map(|i| {
+                let e = &sdg.edges()[i];
+                let (technique, _) = crate::robustness::technique_for_edge(e);
+                EdgePick {
+                    from: sdg.programs()[e.from].name.clone(),
+                    to: sdg.programs()[e.to].name.clone(),
+                    technique,
+                }
+            })
+            .collect();
+        Self { picks }
+    }
+
     /// The same plan with picks sorted by (from, to): [`apply`] is
     /// order-insensitive (each added statement is deduplicated), so
     /// sorting canonicalises a plan for byte-stable reports and replays.

@@ -41,5 +41,3 @@ pub use report::{
 };
 pub use retry::{RetryDecision, RetryPolicy};
 pub use runner::{repeat_summary, run, RunConfig, Workload};
-#[allow(deprecated)]
-pub use runner::{run_closed, run_closed_observed};

@@ -139,28 +139,6 @@ pub fn run<W: Workload>(workload: &W, config: &RunConfig) -> RunMetrics {
     run_inner(workload, config, config.observer.as_deref())
 }
 
-/// Pre-consolidation entry point. Use [`run`]; the configuration now
-/// carries the observer ([`RunConfig::with_observer`]).
-#[deprecated(since = "0.1.0", note = "use `run(workload, &config)` instead")]
-pub fn run_closed<W: Workload>(workload: &W, config: RunConfig) -> RunMetrics {
-    run(workload, &config)
-}
-
-/// Pre-consolidation observed entry point. Use [`run`] with
-/// [`RunConfig::with_observer`]; an explicit `hook` here overrides the
-/// configuration's observer for compatibility.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `run(workload, &config)` with `RunConfig::with_observer` instead"
-)]
-pub fn run_closed_observed<W: Workload>(
-    workload: &W,
-    config: RunConfig,
-    hook: Option<&dyn AttemptObserver>,
-) -> RunMetrics {
-    run_inner(workload, &config, hook.or(config.observer.as_deref()))
-}
-
 fn run_inner<W: Workload>(
     workload: &W,
     config: &RunConfig,
@@ -590,37 +568,5 @@ mod tests {
         assert!(begins > 0, "the configured observer must fire");
         assert_eq!(begins, obs.ends.load(Ordering::Relaxed));
         assert_eq!(begins, toy.attempts.load(Ordering::Relaxed));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_run_closed_still_works() {
-        let toy = Toy {
-            attempts: AtomicU64::new(0),
-        };
-        let m = run_closed(&toy, RunConfig::quick(2));
-        assert!(m.commits() > 0, "the shim must still drive a real run");
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_run_closed_observed_hook_overrides_config() {
-        let toy = Toy {
-            attempts: AtomicU64::new(0),
-        };
-        let explicit = Counting::default();
-        let configured = Arc::new(Counting::default());
-        let cfg = RunConfig::quick(2).with_observer(configured.clone());
-        let m = run_closed_observed(&toy, cfg, Some(&explicit));
-        assert!(m.commits() > 0);
-        assert!(
-            explicit.begins.load(Ordering::Relaxed) > 0,
-            "the explicit hook wins, as the old entry point promised"
-        );
-        assert_eq!(
-            configured.begins.load(Ordering::Relaxed),
-            0,
-            "the configured observer is overridden by the explicit hook"
-        );
     }
 }

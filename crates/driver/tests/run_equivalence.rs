@@ -1,27 +1,22 @@
-//! Seeded equivalence of the three closed-system entry points.
+//! Seeded behavioural contract of the closed-system entry point.
 //!
-//! The driver consolidation kept `run_closed` and `run_closed_observed`
-//! as deprecated shims over `run(workload, &config)`. These tests pin the
-//! contract the shims promise: for the same seed and configuration, all
-//! three entry points drive the *same* run — same kind names, same MPL,
-//! and the same exact per-kind arithmetic between attempts, failures, and
-//! commits — and the observer-delegation rule (an explicit hook passed to
-//! `run_closed_observed` overrides the configured observer) holds.
+//! The driver consolidation collapsed the old `run_closed` /
+//! `run_closed_observed` shims into `run(workload, &config)`; those shims
+//! are gone now. These tests pin the contract `run` carries forward: the
+//! per-kind arithmetic between attempts, failures, and commits is exact
+//! for a structurally deterministic workload, and the configured
+//! [`RunConfig::with_observer`] sees every attempt (the only observer
+//! path — there is no out-of-band hook anymore).
 //!
 //! Wall-clock note: the measurement interval is real time, so raw
 //! *counts* differ run to run even at a fixed seed. What is deterministic
 //! is the per-request retry schedule — the workload below commits kind
 //! `clean` on attempt 1 and kind `flaky` on attempt 3, always — so the
-//! measured counters of every entry point must satisfy the same exact
-//! invariants, for any measurement window.
-
-#![allow(deprecated)]
+//! measured counters must satisfy the same exact invariants, for any
+//! measurement window.
 
 use sicost_common::Xoshiro256;
-use sicost_driver::{
-    run, run_closed, run_closed_observed, AttemptObserver, Outcome, RetryPolicy, RunConfig,
-    RunMetrics, Workload,
-};
+use sicost_driver::{run, AttemptObserver, Outcome, RetryPolicy, RunConfig, RunMetrics, Workload};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -66,69 +61,52 @@ fn config(seed: u64) -> RunConfig {
         })
 }
 
-/// The exact arithmetic every entry point must produce for `TwoKinds`,
-/// regardless of how many operations the wall-clock window admitted.
-fn assert_projections(m: &RunMetrics, entry_point: &str) {
-    assert_eq!(m.kind_names, vec!["clean", "flaky"], "{entry_point}");
-    assert_eq!(m.mpl, 2, "{entry_point}");
-    assert!(m.commits() > 0, "{entry_point}: nothing was measured");
-    assert_eq!(m.give_ups(), 0, "{entry_point}");
-    assert_eq!(m.deadlocks(), 0, "{entry_point}");
+/// The exact arithmetic `run` must produce for `TwoKinds`, regardless of
+/// how many operations the wall-clock window admitted.
+fn assert_projections(m: &RunMetrics, label: &str) {
+    assert_eq!(m.kind_names, vec!["clean", "flaky"], "{label}");
+    assert_eq!(m.mpl, 2, "{label}");
+    assert!(m.commits() > 0, "{label}: nothing was measured");
+    assert_eq!(m.give_ups(), 0, "{label}");
+    assert_eq!(m.deadlocks(), 0, "{label}");
 
     let clean = m.kind("clean").expect("clean kind exists");
     assert_eq!(
         clean.attempts(),
         clean.commits,
-        "{entry_point}: clean commits first try, so attempts == commits"
+        "{label}: clean commits first try, so attempts == commits"
     );
-    assert_eq!(clean.serialization_failures, 0, "{entry_point}");
+    assert_eq!(clean.serialization_failures, 0, "{label}");
 
     let flaky = m.kind("flaky").expect("flaky kind exists");
     assert_eq!(
         flaky.attempts(),
         3 * flaky.commits,
-        "{entry_point}: every flaky commit burns exactly 3 attempts"
+        "{label}: every flaky commit burns exactly 3 attempts"
     );
     assert_eq!(
         flaky.serialization_failures,
         2 * flaky.commits,
-        "{entry_point}: exactly 2 failures per flaky commit"
+        "{label}: exactly 2 failures per flaky commit"
     );
     if flaky.commits > 0 {
-        assert_eq!(
-            flaky.attempts_per_commit.bin(3),
-            flaky.commits,
-            "{entry_point}"
-        );
+        assert_eq!(flaky.attempts_per_commit.bin(3), flaky.commits, "{label}");
         assert!(
             (flaky.attempts_per_commit.mean() - 3.0).abs() < 1e-9,
-            "{entry_point}"
+            "{label}"
         );
     }
 }
 
 #[test]
-fn all_three_entry_points_satisfy_identical_projections() {
+fn run_satisfies_the_retry_schedule_projections_across_seeds() {
     for seed in [0xD1CE, 0xFEED, 7] {
-        let via_run = run(&TwoKinds, &config(seed));
-        let via_closed = run_closed(&TwoKinds, config(seed));
-        let via_observed = run_closed_observed(&TwoKinds, config(seed), None);
-        for (m, name) in [
-            (&via_run, "run"),
-            (&via_closed, "run_closed"),
-            (&via_observed, "run_closed_observed"),
-        ] {
-            assert_projections(m, &format!("{name}/seed {seed:#x}"));
-        }
-        // The shims must not reshape the report: same kinds, same MPL.
-        assert_eq!(via_run.kind_names, via_closed.kind_names);
-        assert_eq!(via_run.kind_names, via_observed.kind_names);
-        assert_eq!(via_run.mpl, via_closed.mpl);
-        assert_eq!(via_run.mpl, via_observed.mpl);
+        let m = run(&TwoKinds, &config(seed));
+        assert_projections(&m, &format!("run/seed {seed:#x}"));
     }
 }
 
-/// Counts attempt callbacks; used to pin the delegation rules.
+/// Counts attempt callbacks; used to pin the observer contract.
 #[derive(Default)]
 struct Counting {
     begins: AtomicU64,
@@ -145,16 +123,13 @@ impl AttemptObserver for Counting {
 }
 
 #[test]
-fn run_closed_observed_without_hook_falls_back_to_the_config_observer() {
+fn configured_observer_sees_every_attempt_including_ramp_up() {
     let configured = Arc::new(Counting::default());
     let cfg = config(0xD1CE).with_observer(configured.clone());
-    let m = run_closed_observed(&TwoKinds, cfg, None);
+    let m = run(&TwoKinds, &cfg);
     assert!(m.commits() > 0);
     let begins = configured.begins.load(Ordering::Relaxed);
-    assert!(
-        begins > 0,
-        "with no explicit hook the configured observer must fire"
-    );
+    assert!(begins > 0, "the configured observer must fire");
     assert_eq!(begins, configured.ends.load(Ordering::Relaxed));
     assert!(
         begins >= m.attempts(),
@@ -165,19 +140,14 @@ fn run_closed_observed_without_hook_falls_back_to_the_config_observer() {
 }
 
 #[test]
-fn run_closed_observed_explicit_hook_shadows_the_config_observer() {
-    let explicit = Counting::default();
+fn run_without_observer_reports_the_same_projections() {
+    // Attaching an observer must not perturb the measured arithmetic:
+    // the projections hold identically with and without one.
     let configured = Arc::new(Counting::default());
-    let cfg = config(0xD1CE).with_observer(configured.clone());
-    let m = run_closed_observed(&TwoKinds, cfg, Some(&explicit));
-    assert!(m.commits() > 0);
-    assert!(
-        explicit.begins.load(Ordering::Relaxed) >= m.attempts(),
-        "the explicit hook sees every attempt"
-    );
-    assert_eq!(
-        configured.begins.load(Ordering::Relaxed),
-        0,
-        "the configured observer must be fully shadowed, not merged"
-    );
+    let with_obs = run(&TwoKinds, &config(7).with_observer(configured.clone()));
+    let without = run(&TwoKinds, &config(7));
+    assert_projections(&with_obs, "run+observer");
+    assert_projections(&without, "run");
+    assert_eq!(with_obs.kind_names, without.kind_names);
+    assert_eq!(with_obs.mpl, without.mpl);
 }

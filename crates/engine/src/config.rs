@@ -2,6 +2,7 @@
 //! and the simulated cost model.
 
 use sicost_common::FaultInjector;
+use sicost_storage::StoragePolicy;
 use sicost_wal::WalConfig;
 use std::sync::Arc;
 use std::time::Duration;
@@ -236,6 +237,11 @@ pub struct EngineConfig {
     /// When the engine checkpoints (and truncates WAL) on its own. See
     /// [`CheckpointPolicy`]; disabled in every preset.
     pub checkpoints: CheckpointPolicy,
+    /// Which backend tables live on: fully resident (the default in every
+    /// preset) or paged behind a buffer pool. See
+    /// [`StoragePolicy`] / [`sicost_storage::PagedConfig`]; under `Paged` checkpoints
+    /// become incremental (dirty pages + a tiny frame) automatically.
+    pub storage: StoragePolicy,
 }
 
 impl EngineConfig {
@@ -255,6 +261,7 @@ impl EngineConfig {
             shards: Self::DEFAULT_SHARDS,
             trace_timings: false,
             checkpoints: CheckpointPolicy::disabled(),
+            storage: StoragePolicy::InMemory,
         }
     }
 
@@ -278,6 +285,7 @@ impl EngineConfig {
             shards: Self::DEFAULT_SHARDS,
             trace_timings: false,
             checkpoints: CheckpointPolicy::disabled(),
+            storage: StoragePolicy::InMemory,
         }
     }
 
@@ -301,6 +309,7 @@ impl EngineConfig {
             shards: Self::DEFAULT_SHARDS,
             trace_timings: false,
             checkpoints: CheckpointPolicy::disabled(),
+            storage: StoragePolicy::InMemory,
         }
     }
 
@@ -366,27 +375,12 @@ impl EngineConfig {
         self
     }
 
-    /// Pre-consolidation checkpoint knob. Use
-    /// [`EngineConfig::with_checkpoints`] with
-    /// [`CheckpointPolicy::every_wal_bytes`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `with_checkpoints(CheckpointPolicy::every_wal_bytes(bytes))` instead"
-    )]
-    pub fn with_checkpoint_every_wal_bytes(mut self, bytes: u64) -> Self {
-        self.checkpoints = self.checkpoints.with_every_wal_bytes(bytes);
-        self
-    }
-
-    /// Pre-consolidation checkpoint knob. Use
-    /// [`EngineConfig::with_checkpoints`] with
-    /// [`CheckpointPolicy::every_commits`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `with_checkpoints(CheckpointPolicy::every_commits(commits))` instead"
-    )]
-    pub fn with_checkpoint_every_commits(mut self, commits: u64) -> Self {
-        self.checkpoints = self.checkpoints.with_every_commits(commits);
+    /// Sets the storage backend (builder-style) — the policy-struct entry
+    /// point, same shape as [`EngineConfig::with_checkpoints`] and
+    /// [`EngineConfig::with_vacuum`]. Build the policy with the
+    /// [`StoragePolicy`] constructors and [`sicost_storage::PagedConfig`] builders.
+    pub fn with_storage(mut self, storage: StoragePolicy) -> Self {
+        self.storage = storage;
         self
     }
 }
@@ -504,12 +498,20 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_checkpoint_builders_still_set_the_policy() {
-        let cfg = EngineConfig::functional()
-            .with_checkpoint_every_wal_bytes(1 << 20)
-            .with_checkpoint_every_commits(500);
-        assert_eq!(cfg.checkpoints.every_wal_bytes, Some(1 << 20));
-        assert_eq!(cfg.checkpoints.every_commits, Some(500));
+    fn storage_policy_defaults_and_builder() {
+        for cfg in [
+            EngineConfig::functional(),
+            EngineConfig::postgres_like(),
+            EngineConfig::commercial_like(),
+        ] {
+            assert!(!cfg.storage.is_paged(), "presets default to resident");
+        }
+        let cfg = EngineConfig::functional().with_storage(StoragePolicy::Paged(
+            sicost_storage::PagedConfig::default().with_pool_pages(8),
+        ));
+        match cfg.storage {
+            StoragePolicy::Paged(p) => assert_eq!(p.pool_pages, 8),
+            other => panic!("expected paged, got {other:?}"),
+        }
     }
 }

@@ -2,6 +2,7 @@
 
 use crate::error::{AbortReason, SerializationKind};
 use sicost_common::{LockStats, LockWait};
+use sicost_storage::PoolStats;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -72,6 +73,7 @@ pub struct EngineMetricsInner {
     publish_batched_commits: AtomicU64,
     checkpoints_taken: AtomicU64,
     checkpoint_bytes_truncated: AtomicU64,
+    checkpoint_pages_flushed: AtomicU64,
     recovery_replay_bytes: AtomicU64,
 }
 
@@ -115,10 +117,12 @@ impl EngineMetricsInner {
             .fetch_add(batched, Ordering::Relaxed);
     }
 
-    pub(crate) fn record_checkpoint(&self, truncated_bytes: u64) {
+    pub(crate) fn record_checkpoint(&self, truncated_bytes: u64, pages_flushed: u64) {
         self.checkpoints_taken.fetch_add(1, Ordering::Relaxed);
         self.checkpoint_bytes_truncated
             .fetch_add(truncated_bytes, Ordering::Relaxed);
+        self.checkpoint_pages_flushed
+            .fetch_add(pages_flushed, Ordering::Relaxed);
     }
 
     pub(crate) fn record_recovery(&self, replayed_bytes: u64) {
@@ -149,7 +153,9 @@ impl EngineMetricsInner {
             siread_entries: 0,
             checkpoints_taken: self.checkpoints_taken.load(Ordering::Relaxed),
             checkpoint_bytes_truncated: self.checkpoint_bytes_truncated.load(Ordering::Relaxed),
+            checkpoint_pages_flushed: self.checkpoint_pages_flushed.load(Ordering::Relaxed),
             recovery_replay_bytes: self.recovery_replay_bytes.load(Ordering::Relaxed),
+            pool: None,
             lock_waits: Vec::new(),
         }
     }
@@ -205,9 +211,16 @@ pub struct EngineMetrics {
     pub checkpoints_taken: u64,
     /// WAL-prefix bytes dropped by checkpoint truncation.
     pub checkpoint_bytes_truncated: u64,
+    /// Dirty pages written back by paged-backend checkpoints (0 on the
+    /// resident backend, whose checkpoints serialize full images instead).
+    pub checkpoint_pages_flushed: u64,
     /// Log bytes replayed by crash recovery into this database (0 unless
     /// it was built via [`crate::DatabaseBuilder::recover`]).
     pub recovery_replay_bytes: u64,
+    /// Live gauge: buffer-pool counters on the paged backend (filled by
+    /// [`crate::Database::metrics`]; `None` on the resident backend and in
+    /// a bare [`EngineMetricsInner::snapshot`]).
+    pub pool: Option<PoolStats>,
     /// Per-lock-class contention breakdown (acquisitions, contended
     /// count, accumulated wait). Filled by [`crate::Database::metrics`];
     /// empty in a bare [`EngineMetricsInner::snapshot`].
@@ -283,8 +296,8 @@ mod tests {
         m.record_vacuum(std::time::Duration::from_micros(10));
         m.record_publish_batch(3);
         m.record_publish_batch(1);
-        m.record_checkpoint(1000);
-        m.record_checkpoint(500);
+        m.record_checkpoint(1000, 4);
+        m.record_checkpoint(500, 0);
         m.record_recovery(250);
         let s = m.snapshot();
         assert_eq!(s.vacuum_runs, 2);
@@ -295,6 +308,8 @@ mod tests {
         assert_eq!(s.mean_publish_batch(), 2.0);
         assert_eq!(s.checkpoints_taken, 2);
         assert_eq!(s.checkpoint_bytes_truncated, 1500);
+        assert_eq!(s.checkpoint_pages_flushed, 4);
+        assert_eq!(s.pool, None, "bare snapshot carries no pool gauge");
         assert_eq!(s.recovery_replay_bytes, 250);
         assert_eq!(s.commits, 2);
         assert_eq!(s.read_only_commits, 1);

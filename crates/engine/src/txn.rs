@@ -6,7 +6,7 @@ use crate::history::HistoryEvent;
 use crate::locks::{LockMode, LockTarget};
 use crate::Database;
 use sicost_common::{CrashPoint, TableId, Ts, TxnId};
-use sicost_storage::{Predicate, Row, Table, Value, Version};
+use sicost_storage::{Predicate, Row, TableStore, Value, Version};
 use sicost_wal::LogEntry;
 use std::collections::HashMap;
 use std::sync::atomic::Ordering;
@@ -167,7 +167,7 @@ impl<'db> Transaction<'db> {
 
     /// First-Updater-Wins validation: the newest committed version of the
     /// key must be within our snapshot.
-    fn fuw_check(&mut self, table: &Table, key: &Value) -> Result<(), TxnError> {
+    fn fuw_check(&mut self, table: &dyn TableStore, key: &Value) -> Result<(), TxnError> {
         match table.latest_ts(key) {
             Some(ts) if ts > self.snapshot => {
                 Err(self.fail(TxnError::Serialization(SerializationKind::FirstUpdaterWins)))
@@ -177,7 +177,7 @@ impl<'db> Transaction<'db> {
     }
 
     /// Writers of committed versions newer than our snapshot (SSI edges).
-    fn newer_writers(&self, table: &Table, key: &Value) -> Vec<TxnId> {
+    fn newer_writers(&self, table: &dyn TableStore, key: &Value) -> Vec<TxnId> {
         table
             .with_chain(key, |chain| {
                 chain
@@ -217,7 +217,7 @@ impl<'db> Transaction<'db> {
             observed: vis.as_ref().map(|v| v.ts),
         });
         if self.cc() == CcMode::Ssi {
-            let newer = self.newer_writers(t, key);
+            let newer = self.newer_writers(t.as_ref(), key);
             if let Err(e) = self.db.ssi.on_read(self.id, (table, key.clone()), &newer) {
                 return Err(self.fail(e));
             }
@@ -245,7 +245,7 @@ impl<'db> Transaction<'db> {
             self.lock(LockTarget::row(table, key.clone()), LockMode::X)?;
             let t = self.db.catalog.table(table);
             if self.cc().eager_write_validation() {
-                self.fuw_check(t, key)?;
+                self.fuw_check(t.as_ref(), key)?;
             }
         }
         let t = self.db.catalog.table(table);
@@ -260,7 +260,7 @@ impl<'db> Transaction<'db> {
                     observed: vis.as_ref().map(|v| v.ts),
                 });
                 if self.cc() == CcMode::Ssi {
-                    let newer = self.newer_writers(t, key);
+                    let newer = self.newer_writers(t.as_ref(), key);
                     if let Err(e) = self.db.ssi.on_read(self.id, (table, key.clone()), &newer) {
                         return Err(self.fail(e));
                     }
@@ -408,7 +408,7 @@ impl<'db> Transaction<'db> {
                 }
                 self.lock(LockTarget::row(table, key.clone()), LockMode::X)?;
                 if self.cc().eager_write_validation() {
-                    self.fuw_check(t, &key)?;
+                    self.fuw_check(t.as_ref(), &key)?;
                 }
             }
         }

@@ -1,4 +1,4 @@
-//! In-memory multi-version row store.
+//! Multi-version row storage behind a backend trait.
 //!
 //! This crate is the data plane under `sicost-engine`: it stores versioned
 //! rows and answers snapshot-visible reads, but knows nothing about locks,
@@ -8,28 +8,37 @@
 //!
 //! # Model
 //!
-//! * A [`Catalog`] holds [`Table`]s created from [`TableSchema`]s.
+//! * A [`Catalog`] holds tables created from [`TableSchema`]s, on one of
+//!   two backends selected by [`StoragePolicy`] and addressed uniformly
+//!   through the [`TableStore`] trait:
+//!   - [`Table`] — fully resident, lock-free sharded version chains;
+//!   - [`PagedTable`] — version chains packed into pages behind a bounded
+//!     [`paged::BufferPool`] over a simulated-disk [`paged::HeapStore`].
 //! * Each table maps a primary-key [`Value`] to a [`VersionChain`]: committed
 //!   versions ordered by commit timestamp, newest last.
 //! * A read at snapshot `s` returns the newest version with `ts <= s`.
 //! * Writers never mutate versions in place; the engine *installs* new
 //!   committed versions (or deletion tombstones) at commit.
-//! * [`Table::prune`] garbage-collects versions no active snapshot can see.
+//! * `prune` garbage-collects versions no active snapshot can see.
 
 #![deny(missing_docs)]
 
 pub mod catalog;
+pub mod paged;
 pub mod predicate;
 pub mod row;
 pub mod schema;
+pub mod store;
 pub mod table;
 pub mod value;
 pub mod version;
 
 pub use catalog::Catalog;
+pub use paged::{FlushStats, HeapImage, PageIoError, PagedTable, PoolStats};
 pub use predicate::Predicate;
 pub use row::Row;
 pub use schema::{ColumnDef, ColumnType, SchemaError, TableSchema};
-pub use table::{Table, UniqueViolation};
+pub use store::{PagedConfig, StoragePolicy, TableStore};
+pub use table::{InstallError, Table, UniqueViolation, VisibleRead};
 pub use value::Value;
 pub use version::{Version, VersionChain, VersionKind};

@@ -1,0 +1,398 @@
+//! The on-disk table heap: a byte-durable page store over the simulated
+//! device layer.
+//!
+//! The heap is to the paged backend what the WAL's disk image is to the
+//! log: the *only* state that survives a crash. Pages are addressed by
+//! `(table, page_no)` and each address owns two frame slots (see
+//! [`super::codec`]); a write targets the slot holding the older frame so
+//! the newer one is never at risk. Writes pay a [`LogDevice`] sync (with
+//! the shared [`FaultInjector`]'s latency spikes and transient errors);
+//! reads pay a separate read device with no fault draws, so a pool miss
+//! costs I/O time but cannot spuriously fail.
+//!
+//! Crash semantics mirror the WAL writer: the [`CrashPoint::DuringPageFlush`]
+//! probe fires *mid-write*, leaving a torn byte prefix in the target slot,
+//! and once the injector has latched `crashed()`, all further writes are
+//! silently dropped — the durable image is frozen at the instant of the
+//! crash, and [`HeapStore::snapshot`] hands that image to recovery.
+
+use super::codec::{self, PageCells};
+use sicost_common::sync::Mutex;
+use sicost_common::{CrashPoint, FaultInjector, LogDevice, TableId, Ts};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A page address: table id and page number within that table's fan-out.
+pub(crate) type PageAddr = (u32, u32);
+
+/// The two on-disk frame slots of one page. Empty vectors are unwritten
+/// slots.
+type PageSlots = [Vec<u8>; 2];
+
+/// A page write failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageIoError {
+    /// The fault injector crashed the process; the write did not become
+    /// durable (or became durable only as a torn prefix).
+    Crashed,
+}
+
+impl std::fmt::Display for PageIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PageIoError::Crashed => write!(f, "simulated crash during page i/o"),
+        }
+    }
+}
+
+impl std::error::Error for PageIoError {}
+
+/// A point-in-time copy of the heap's durable bytes — the paged
+/// counterpart of the WAL's disk image, carried inside `DurableImage` so
+/// crash tests recover from exactly what was on "disk".
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HeapImage {
+    /// Raw frame slots per page address, in address order.
+    pub pages: BTreeMap<PageAddr, [Vec<u8>; 2]>,
+}
+
+impl HeapImage {
+    /// Total durable bytes across all slots.
+    pub fn bytes(&self) -> u64 {
+        self.pages
+            .values()
+            .map(|s| (s[0].len() + s[1].len()) as u64)
+            .sum()
+    }
+
+    /// True when no page has ever been flushed.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+}
+
+/// The simulated data disk holding every table's pages.
+pub struct HeapStore {
+    /// Serves write-backs and checkpoint flushes; carries the shared
+    /// fault injector so heap writes suffer the same latency spikes and
+    /// transient errors as WAL syncs.
+    write_dev: LogDevice,
+    /// Serves pool misses; pure latency, no fault draws.
+    read_dev: LogDevice,
+    faults: Option<Arc<FaultInjector>>,
+    disk: Mutex<BTreeMap<PageAddr, PageSlots>>,
+}
+
+impl HeapStore {
+    /// Creates a heap over devices with the given per-page latencies.
+    pub fn new(
+        read_latency: Duration,
+        write_latency: Duration,
+        faults: Option<Arc<FaultInjector>>,
+    ) -> Self {
+        Self {
+            write_dev: LogDevice::new(write_latency, Duration::ZERO).with_faults(faults.clone()),
+            read_dev: LogDevice::new(read_latency, Duration::ZERO),
+            faults,
+            disk: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    fn crashed(&self) -> bool {
+        self.faults.as_ref().is_some_and(|f| f.crashed())
+    }
+
+    /// Makes `cells` the durable image of `addr`. Returns the framed byte
+    /// size on success. Transient device errors are retried internally —
+    /// the heap is the backing store, there is no caller who can tolerate
+    /// a lost page — so the only failure is a latched crash.
+    pub fn write_page(&self, addr: PageAddr, cells: &PageCells) -> Result<u64, PageIoError> {
+        if self.crashed() {
+            return Err(PageIoError::Crashed);
+        }
+        let payload = codec::encode_page(cells);
+
+        let mut disk = self.disk.lock();
+        let slots = disk.entry(addr).or_default();
+        // Target the slot holding the older frame; an unreadable slot
+        // (empty or torn by an earlier crash) counts as oldest.
+        let seq0 = codec::unframe_page(&slots[0]).map(|(s, _)| s);
+        let seq1 = codec::unframe_page(&slots[1]).map(|(s, _)| s);
+        let target = if seq0.unwrap_or(0) <= seq1.unwrap_or(0) {
+            0
+        } else {
+            1
+        };
+        let next_seq = seq0.max(seq1).map_or(1, |s| s + 1);
+        let frame = codec::frame_page(next_seq, &payload);
+
+        if let Some(f) = &self.faults {
+            if f.at_crash_point(CrashPoint::DuringPageFlush) {
+                // The crash interrupts the slot write partway: a torn
+                // byte prefix lands on disk, the other slot keeps the
+                // previous valid image.
+                slots[target] = frame[..frame.len() / 2].to_vec();
+                return Err(PageIoError::Crashed);
+            }
+        }
+
+        loop {
+            match self.write_dev.sync(1, frame.len() as u64) {
+                Ok(()) => break,
+                Err(_) if self.crashed() => return Err(PageIoError::Crashed),
+                // Transient sync error: the device driver retries.
+                Err(_) => continue,
+            }
+        }
+        let len = frame.len() as u64;
+        slots[target] = frame;
+        Ok(len)
+    }
+
+    /// Reads the durable image of `addr`: the highest-sequence
+    /// checksum-valid slot, or an empty page if the address was never
+    /// written. Charges one read-device sync.
+    pub fn read_page(&self, addr: PageAddr) -> PageCells {
+        // Pure latency; the read device carries no injector, so this
+        // cannot fail — but it does yield to the simulated scheduler.
+        let _ = self.read_dev.sync(1, 0);
+        let disk = self.disk.lock();
+        match disk.get(&addr) {
+            None => PageCells::new(),
+            Some(slots) => best_slot_cells(slots).unwrap_or_default(),
+        }
+    }
+
+    /// Copies the durable bytes for crash-recovery tests.
+    pub fn snapshot(&self) -> HeapImage {
+        HeapImage {
+            pages: self.disk.lock().clone(),
+        }
+    }
+
+    /// Stats of the write device (syncs = pages written).
+    pub fn write_stats(&self) -> sicost_common::DeviceStats {
+        self.write_dev.stats()
+    }
+
+    /// Stats of the read device (syncs = pages read).
+    pub fn read_stats(&self) -> sicost_common::DeviceStats {
+        self.read_dev.stats()
+    }
+}
+
+/// Decodes the best (highest-seq valid) slot of a page. `None` when
+/// neither slot holds a readable frame.
+fn best_slot_cells(slots: &PageSlots) -> Option<PageCells> {
+    let mut best: Option<(u64, &[u8])> = None;
+    for slot in slots {
+        if let Some((seq, payload)) = codec::unframe_page(slot) {
+            if best.map_or(true, |(bseq, _)| seq > bseq) {
+                best = Some((seq, payload));
+            }
+        }
+    }
+    best.and_then(|(_, payload)| codec::decode_page(payload).ok())
+}
+
+/// Why a heap image could not be loaded at recovery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PageLoadError {
+    /// A page has bytes in some slot but no slot validates — more damage
+    /// than a single torn write can explain. Recovery falls back to the
+    /// previous manifest, exactly as for a corrupt full-image checkpoint.
+    NoValidSlot {
+        /// Owning table.
+        table: TableId,
+        /// Page number within the table.
+        page: u32,
+    },
+}
+
+impl std::fmt::Display for PageLoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PageLoadError::NoValidSlot { table, page } => {
+                write!(f, "page {}/{page} has no checksum-valid slot", table.0)
+            }
+        }
+    }
+}
+
+impl std::error::Error for PageLoadError {}
+
+/// One table's recovered rows: `(primary key, row)` pairs sorted by key.
+pub type TableRows = Vec<(crate::Value, crate::Row)>;
+
+/// Extracts, from a durable heap image, every record version visible at
+/// `at` — the paged equivalent of a full-image checkpoint's row list.
+/// Returns `(table, rows)` pairs with rows sorted by primary key.
+///
+/// A page whose only bytes are one torn slot is treated as empty: a
+/// single crash tears at most the frame being written, and if no other
+/// slot validates the page had no durable image before that write — so
+/// its contents postdate the checkpoint and the WAL suffix replays them.
+pub fn load_visible_rows(
+    image: &HeapImage,
+    at: Ts,
+) -> Result<Vec<(TableId, TableRows)>, PageLoadError> {
+    let mut out: Vec<(TableId, TableRows)> = Vec::new();
+    for (&(table, page), slots) in &image.pages {
+        let both_empty = slots[0].is_empty() && slots[1].is_empty();
+        let cells = match best_slot_cells(slots) {
+            Some(cells) => cells,
+            None if both_empty => PageCells::new(),
+            None => {
+                let valid = slots.iter().any(|s| codec::unframe_page(s).is_some());
+                if valid {
+                    // unreachable in practice: valid frame but decode failed
+                    return Err(PageLoadError::NoValidSlot {
+                        table: TableId(table),
+                        page,
+                    });
+                }
+                // One torn slot, nothing else: first-ever flush was
+                // interrupted — the page held nothing durable before it.
+                if slots.iter().filter(|s| !s.is_empty()).count() > 1 {
+                    return Err(PageLoadError::NoValidSlot {
+                        table: TableId(table),
+                        page,
+                    });
+                }
+                PageCells::new()
+            }
+        };
+        let rows: &mut Vec<_> = match out.last_mut() {
+            Some((t, rows)) if *t == TableId(table) => rows,
+            _ => {
+                out.push((TableId(table), Vec::new()));
+                &mut out.last_mut().unwrap().1
+            }
+        };
+        for (key, chain) in &cells {
+            if let Some(v) = chain.visible(at) {
+                if let Some(row) = v.row() {
+                    rows.push((key.clone(), row.clone()));
+                }
+            }
+        }
+    }
+    for (_, rows) in &mut out {
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::version::Version;
+    use crate::{Row, Value};
+    use sicost_common::{FaultConfig, TxnId};
+
+    fn cells_with(key: i64, val: i64, ts: u64) -> PageCells {
+        let mut cells = PageCells::new();
+        let mut chain = crate::VersionChain::new();
+        chain.install(Version::data(
+            Ts(ts),
+            TxnId(1),
+            Row::new(vec![Value::int(key), Value::int(val)]),
+        ));
+        cells.insert(Value::int(key), chain);
+        cells
+    }
+
+    #[test]
+    fn write_read_round_trip_and_slot_alternation() {
+        let heap = HeapStore::new(Duration::ZERO, Duration::ZERO, None);
+        let addr = (0, 3);
+        assert!(heap.read_page(addr).is_empty());
+
+        heap.write_page(addr, &cells_with(1, 10, 2)).unwrap();
+        assert_eq!(heap.read_page(addr).len(), 1);
+
+        // Second write goes to the other slot; the newest image wins.
+        heap.write_page(addr, &cells_with(1, 20, 4)).unwrap();
+        let got = heap.read_page(addr);
+        let v = got[&Value::int(1)].visible(Ts(9)).unwrap();
+        assert_eq!(v.row().unwrap().int(1), 20);
+
+        let img = heap.snapshot();
+        let slots = &img.pages[&addr];
+        assert!(!slots[0].is_empty() && !slots[1].is_empty());
+        assert_eq!(heap.write_stats().syncs, 2);
+        assert_eq!(heap.read_stats().syncs, 3);
+    }
+
+    #[test]
+    fn crash_mid_flush_leaves_previous_image_readable() {
+        let faults = Arc::new(FaultInjector::new(FaultConfig::crash(
+            CrashPoint::DuringPageFlush,
+            2,
+        )));
+        let heap = HeapStore::new(Duration::ZERO, Duration::ZERO, Some(faults.clone()));
+        let addr = (1, 0);
+        heap.write_page(addr, &cells_with(5, 50, 2)).unwrap();
+        // Second write arms the crash: torn prefix in the older slot.
+        assert_eq!(
+            heap.write_page(addr, &cells_with(5, 60, 4)),
+            Err(PageIoError::Crashed)
+        );
+        assert!(faults.crashed());
+        // Further writes are frozen out.
+        assert_eq!(
+            heap.write_page(addr, &cells_with(5, 70, 6)),
+            Err(PageIoError::Crashed)
+        );
+
+        // Recovery sees the pre-crash image through the surviving slot.
+        let rows = load_visible_rows(&heap.snapshot(), Ts(9)).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].0, TableId(1));
+        assert_eq!(rows[0].1.len(), 1);
+        assert_eq!(rows[0].1[0].1.int(1), 50);
+    }
+
+    #[test]
+    fn first_ever_flush_torn_reads_as_empty_page() {
+        let faults = Arc::new(FaultInjector::new(FaultConfig::crash(
+            CrashPoint::DuringPageFlush,
+            1,
+        )));
+        let heap = HeapStore::new(Duration::ZERO, Duration::ZERO, Some(faults));
+        assert_eq!(
+            heap.write_page((0, 0), &cells_with(1, 10, 2)),
+            Err(PageIoError::Crashed)
+        );
+        let rows = load_visible_rows(&heap.snapshot(), Ts(9)).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].1.is_empty());
+    }
+
+    #[test]
+    fn tombstones_and_future_versions_excluded_from_visible_rows() {
+        let heap = HeapStore::new(Duration::ZERO, Duration::ZERO, None);
+        let mut cells = PageCells::new();
+        let mut dead = crate::VersionChain::new();
+        dead.install(Version::data(
+            Ts(2),
+            TxnId(1),
+            Row::new(vec![Value::int(1), Value::int(10)]),
+        ));
+        dead.install(Version::tombstone(Ts(3), TxnId(2)));
+        cells.insert(Value::int(1), dead);
+        let mut future = crate::VersionChain::new();
+        future.install(Version::data(
+            Ts(8),
+            TxnId(3),
+            Row::new(vec![Value::int(2), Value::int(20)]),
+        ));
+        cells.insert(Value::int(2), future);
+        heap.write_page((0, 0), &cells).unwrap();
+
+        let rows = load_visible_rows(&heap.snapshot(), Ts(5)).unwrap();
+        // Key 1 is deleted at ts 3, key 2 does not exist yet at ts 5.
+        assert!(rows[0].1.is_empty());
+    }
+}

@@ -1,0 +1,15 @@
+//! The paged storage backend: page codec, on-disk heap, buffer pool and
+//! the [`PagedTable`] built on them.
+//!
+//! See DESIGN.md §13 for the architecture and the dirty-page checkpoint
+//! ordering argument.
+
+pub mod codec;
+pub mod heap;
+pub mod pool;
+pub mod table;
+
+pub use codec::{PageCells, PageDecodeError, PAGE_FRAME_HEADER};
+pub use heap::{load_visible_rows, HeapImage, HeapStore, PageIoError, PageLoadError, TableRows};
+pub use pool::{BufferPool, FlushStats, PageHandle, PoolStats};
+pub use table::PagedTable;

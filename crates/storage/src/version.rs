@@ -58,7 +58,7 @@ impl Version {
 /// timestamp. Uncommitted data never appears here: transactions buffer
 /// writes privately and the engine installs them at commit, so every entry
 /// is immediately visible to (only) the snapshots it should be.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct VersionChain {
     versions: Vec<Version>,
 }

@@ -31,15 +31,19 @@
 #![warn(missing_docs)]
 
 pub mod checkpoint;
-pub mod device;
 pub mod record;
 pub mod recovery;
 pub mod writer;
 
 pub use checkpoint::{
-    recover_image, CheckpointImage, DurableImage, Manifest, RecoveryOutcome, CHECKPOINT_BASE_TS,
-    CHECKPOINT_TXN, CHECKPOINT_VERSION,
+    recover_image, CheckpointFrame, CheckpointImage, DurableImage, Manifest, PagedCheckpoint,
+    RecoveryOutcome, CHECKPOINT_BASE_TS, CHECKPOINT_TXN, CHECKPOINT_VERSION,
+    PAGED_CHECKPOINT_VERSION,
 };
+/// The simulated device layer, shared with the paged heap (re-exported
+/// from `sicost-common`, where it moved so `sicost-storage` can use it).
+pub use sicost_common::device;
+
 pub use device::{DeviceStats, LogDevice, SyncError};
 pub use record::{DecodeError, LogEntry, LogRecord, Lsn, FRAME_HEADER};
 pub use recovery::{recover, replay, scan_log, RecoveryError, ScanResult, Truncation};

@@ -188,16 +188,9 @@ impl fmt::Display for DecodeError {
 
 impl std::error::Error for DecodeError {}
 
-/// FNV-1a 64-bit hash: the per-record checksum. Not cryptographic, but it
-/// reliably catches torn writes and bit flips, and needs no tables.
-pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
+/// FNV-1a 64-bit hash: the per-record checksum (the workspace-wide
+/// implementation lives in [`sicost_common::hash`]).
+pub use sicost_common::hash::fnv1a;
 
 pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());

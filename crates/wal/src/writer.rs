@@ -295,6 +295,9 @@ impl Wal {
             slots: [ckpt.slots[0].clone(), ckpt.slots[1].clone()],
             wal_base: image.base,
             wal: image.bytes.clone(),
+            // The WAL doesn't own the heap; a paged engine merges the
+            // catalog's heap snapshot into this image itself.
+            heap: Default::default(),
         }
     }
 

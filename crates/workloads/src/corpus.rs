@@ -29,6 +29,15 @@ fn write_const(table: &str, name: &str) -> Access {
     }
 }
 
+/// A predicate read over `table` (`Predicate` key: a row *set*).
+fn read_pred(table: &str, pred: &str) -> Access {
+    Access {
+        table: table.into(),
+        key: KeySpec::Predicate(pred.into()),
+        mode: AccessMode::Read,
+    }
+}
+
 /// The anomaly workload corpus.
 ///
 /// The variants double as [`WorkloadSpec`] implementations; use
@@ -63,22 +72,34 @@ pub enum CorpusWorkload {
     /// vulnerable edges leave the read-only status program and no
     /// dangerous structure forms. **Robust.**
     TpccLite,
+    /// **Predicate skew**: the doctors' write skew restated with the
+    /// guard as a *predicate* read (`COUNT(*) WHERE on_call`) instead of
+    /// two point reads — each doctor scans the duty roster before
+    /// writing only their own row. Same two symmetric dangerous
+    /// structures, but promotion is **inapplicable** (§II-C: an identity
+    /// update cannot cover rows the predicate did not return), so the
+    /// minimal fix — and the `PromoteAll` sweep cell — must fall back to
+    /// materialization on one shared conflict row. **Not robust.**
+    PredicateSkew,
 }
 
 impl CorpusWorkload {
     /// The whole corpus, in report order.
-    pub const ALL: [CorpusWorkload; 4] = [
+    pub const ALL: [CorpusWorkload; 5] = [
         CorpusWorkload::DoctorsOnCall,
         CorpusWorkload::LongFork,
         CorpusWorkload::ReadOnlyTriple,
         CorpusWorkload::TpccLite,
+        CorpusWorkload::PredicateSkew,
     ];
 
     /// Ground-truth SI-robustness of the declared mix, hand-derived in
     /// the variant docs. The checker must agree (tested).
     pub fn expected_robust(&self) -> bool {
         match self {
-            CorpusWorkload::DoctorsOnCall | CorpusWorkload::ReadOnlyTriple => false,
+            CorpusWorkload::DoctorsOnCall
+            | CorpusWorkload::ReadOnlyTriple
+            | CorpusWorkload::PredicateSkew => false,
             CorpusWorkload::LongFork | CorpusWorkload::TpccLite => true,
         }
     }
@@ -92,6 +113,7 @@ impl CorpusWorkload {
             CorpusWorkload::LongFork => &["CreditX", "CreditY", "Audit"],
             CorpusWorkload::ReadOnlyTriple => &["Deposit", "WriteCheck", "Audit"],
             CorpusWorkload::TpccLite => &["NewOrder", "Payment", "OrderStatus", "Delivery"],
+            CorpusWorkload::PredicateSkew => &["VacateX", "VacateY"],
         }
     }
 }
@@ -103,6 +125,7 @@ impl WorkloadSpec for CorpusWorkload {
             CorpusWorkload::LongFork => "long-fork",
             CorpusWorkload::ReadOnlyTriple => "read-only-triple",
             CorpusWorkload::TpccLite => "tpcc-lite",
+            CorpusWorkload::PredicateSkew => "predicate-skew",
         }
     }
 
@@ -199,6 +222,18 @@ impl WorkloadSpec for CorpusWorkload {
                     ],
                 ),
             ],
+            CorpusWorkload::PredicateSkew => vec![
+                Program::new(
+                    "VacateX",
+                    [],
+                    vec![read_pred("Duty", "on_call"), write_const("Duty", "dr-x")],
+                ),
+                Program::new(
+                    "VacateY",
+                    [],
+                    vec![read_pred("Duty", "on_call"), write_const("Duty", "dr-y")],
+                ),
+            ],
         }
     }
 }
@@ -270,6 +305,33 @@ mod tests {
         );
         assert_eq!(report.cost_delta.read_only_programs_made_updaters, 0);
         assert!(report.fix_optimal);
+    }
+
+    /// The predicate entry exists to pin the Materialize-only corner:
+    /// promotion is undefined on its vulnerable edges, so the verified
+    /// minimal fix must consist of materializations — and like the
+    /// doctors, one materialized edge shields the symmetric one for free.
+    #[test]
+    fn predicate_skew_minimal_fix_is_materialize_only() {
+        let report = CorpusWorkload::PredicateSkew
+            .check_robustness(SfuTreatment::AsLockOnly, EdgeCost::default());
+        assert!(!report.robust());
+        assert_eq!(report.witnesses.len(), 2, "{}", report.render());
+        assert!(!report.fix_set.is_empty());
+        for fix in &report.fix_set {
+            assert_eq!(
+                fix.technique,
+                Technique::Materialize,
+                "promotion is inapplicable to a predicate read: {}",
+                report.render()
+            );
+        }
+        assert_eq!(
+            report.fix_set.len(),
+            1,
+            "one materialized edge shields the symmetric structure too"
+        );
+        assert_eq!(report.residual_structures, 0, "the fix verifies safe");
     }
 
     #[test]

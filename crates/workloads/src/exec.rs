@@ -21,7 +21,7 @@ use sicost_core::{
     WorkloadSpec, CONFLICT_TABLE,
 };
 use sicost_engine::{Database, EngineConfig, HistoryObserver, Transaction, TxnError};
-use sicost_storage::{ColumnDef, ColumnType, Row, TableSchema, Value};
+use sicost_storage::{ColumnDef, ColumnType, Predicate, Row, TableSchema, Value};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
@@ -183,13 +183,12 @@ impl CorpusDb {
         self.param_rows
     }
 
-    /// Resolves a key spec to the concrete row id under `binding`.
+    /// Resolves a single-row key spec to the concrete row id under
+    /// `binding`.
     ///
     /// # Panics
-    /// On `Predicate` keys: the interpreter executes single-row
-    /// footprints only (the corpus declares none, and the strategy
-    /// transformations materialize predicate conflicts onto a `Const`
-    /// row, which *is* supported).
+    /// On `Predicate` keys, which denote *sets* of rows — [`CorpusDb::step`]
+    /// executes those as table scans instead of resolving a row id.
     pub fn resolve(&self, key: &KeySpec, binding: &Binding) -> i64 {
         match key {
             KeySpec::Param(p) => binding.row(p),
@@ -198,7 +197,7 @@ impl CorpusDb {
                 .get(c)
                 .unwrap_or_else(|| panic!("const key '{c}' not in the built mix")),
             KeySpec::Predicate(p) => {
-                panic!("the corpus interpreter does not execute predicate reads ({p})")
+                panic!("predicate key ({p}) denotes a row set, not a single row")
             }
         }
     }
@@ -208,6 +207,18 @@ impl CorpusDb {
     /// Writes store `tag` in `Val` — a blind single-row update. Values
     /// carry no application semantics here; conflicts (and therefore the
     /// MVSG) depend only on which rows each transaction reads and writes.
+    ///
+    /// A `Predicate` read executes as a whole-table snapshot scan: the
+    /// footprint model treats a predicate as denoting an arbitrary
+    /// parameter-dependent row set, and reading every row is the superset
+    /// that realises every conflict the SDG conservatively assumes
+    /// (including the phantom-shaped ones a selective predicate would
+    /// produce under some binding).
+    ///
+    /// # Panics
+    /// On a `Predicate` key in `SfuRead` or `Write` mode — the strategy
+    /// transformations never produce those (promotion is inapplicable to
+    /// predicate reads; materialization lands on a `Const` row).
     pub fn step(
         &self,
         tx: &mut Transaction<'_>,
@@ -219,6 +230,14 @@ impl CorpusDb {
             .tables
             .get(&access.table)
             .unwrap_or_else(|| panic!("table {} not in the built mix", access.table));
+        if let KeySpec::Predicate(p) = &access.key {
+            assert!(
+                access.mode == AccessMode::Read,
+                "predicate key ({p}) is only executable as a plain read"
+            );
+            tx.scan(table, &Predicate::True)?;
+            return Ok(());
+        }
         let id = self.resolve(&access.key, binding);
         let key = Value::int(id);
         match access.mode {
@@ -300,12 +319,11 @@ impl std::fmt::Display for FixStrategy {
 ///
 /// `Base` returns the declared programs; `MinimalFix` the checker's
 /// verified fix ([`sicost_core::check`]); the ALL variants apply the
-/// corresponding blanket plan to every vulnerable edge.
-///
-/// # Panics
-/// If a blanket promotion hits a predicate read (the corpus declares
-/// none) — [`FixStrategy::PromoteAll`] is only defined for mixes where
-/// promotion applies.
+/// corresponding blanket plan to every vulnerable edge. `PromoteAll`
+/// promotes every edge where promotion is defined and falls back to
+/// materialization on vulnerable predicate reads
+/// ([`StrategyPlan::all_vulnerable_auto`]), so every corpus entry —
+/// including predicate mixes — runs under all four strategies.
 pub fn strategy_programs(
     spec: &dyn WorkloadSpec,
     strategy: FixStrategy,
@@ -325,8 +343,8 @@ pub fn strategy_programs(
         }
         FixStrategy::PromoteAll => {
             let sdg = Sdg::build(&base, sfu);
-            let plan = StrategyPlan::all_vulnerable(&sdg, Technique::PromoteUpdate);
-            apply(&sdg, &plan).expect("promote-all applies to predicate-free mixes")
+            let plan = StrategyPlan::all_vulnerable_auto(&sdg);
+            apply(&sdg, &plan).expect("the per-edge auto plan always applies")
         }
     }
 }

@@ -16,7 +16,11 @@
 //! * [`CorpusWorkload::TpccLite`] — a reduced order/payment/status/
 //!   delivery mix in the shape that makes full TPC-C run serializably
 //!   under SI: vulnerable edges exist but none are consecutive, so it is
-//!   **robust**.
+//!   **robust**;
+//! * [`CorpusWorkload::PredicateSkew`] — the write skew restated with a
+//!   *predicate* guard read, so promotion is inapplicable and the only
+//!   admissible fix is materialization: **not robust**. The interpreter
+//!   executes the predicate read as a whole-table snapshot scan.
 //!
 //! What makes the corpus more than a list of [`sicost_core::Program`]
 //! declarations is the **generic footprint interpreter** ([`CorpusDb`]):

@@ -39,6 +39,7 @@ impl Counters {
             },
             vacuum: sicost::engine::VacuumPolicy::every_commits(10_000),
             checkpoints: sicost::engine::CheckpointPolicy::disabled(),
+            storage: sicost::storage::StoragePolicy::InMemory,
             table_intent_locks: false,
             faults: None,
             shards: EngineConfig::DEFAULT_SHARDS,

@@ -52,4 +52,7 @@ SICOST_BENCH_MODE=smoke cargo bench -q -p sicost-bench --bench openloop
 echo "==> vacuum long-run smoke bench (GC-on vs GC-off; writes bench_results/vacuum.json + target/vacuum-trace/)"
 SICOST_BENCH_MODE=smoke cargo bench -q -p sicost-bench --bench vacuum
 
+echo "==> paged-storage smoke bench (pool pressure sweep; writes bench_results/paged.json + target/paged-trace/)"
+SICOST_BENCH_MODE=smoke cargo bench -q -p sicost-bench --bench paged
+
 echo "==> all checks passed"

@@ -7,11 +7,29 @@ use sicost::engine::{CcMode, EngineConfig};
 use sicost::smallbank::{
     SmallBank, SmallBankConfig, SmallBankDriver, SmallBankWorkload, Strategy, WorkloadParams,
 };
+use sicost::storage::{PagedConfig, StoragePolicy};
 use std::sync::Arc;
 use std::time::Duration;
 
+/// Paged backend with the pool deliberately smaller than the working set
+/// (64 customers spread over 16 pages/table × 3+ tables, only 12 pool
+/// pages), so the matrix cells run with clock eviction and heap i/o on
+/// the hot path.
+fn paged_storage() -> StoragePolicy {
+    StoragePolicy::Paged(
+        PagedConfig::default()
+            .with_pages_per_table(16)
+            .with_pool_pages(12),
+    )
+}
+
 fn run_cell(cc: CcMode, strategy: Strategy) {
-    let engine = EngineConfig::functional().with_cc(cc);
+    run_cell_on(cc, strategy, StoragePolicy::InMemory);
+}
+
+fn run_cell_on(cc: CcMode, strategy: Strategy, storage: StoragePolicy) {
+    let paged = matches!(storage, StoragePolicy::Paged(_));
+    let engine = EngineConfig::functional().with_cc(cc).with_storage(storage);
     let bank = Arc::new(SmallBank::new(
         &SmallBankConfig::small(64),
         engine,
@@ -54,6 +72,21 @@ fn run_cell(cc: CcMode, strategy: Strategy) {
     }
     // No transaction left behind: the registry must drain.
     assert_eq!(bank.db().active_transactions(), 0, "{cc:?}/{strategy}");
+    // Under the undersized pool the cell must actually have churned the
+    // buffer pool, not silently fallen back to resident pages.
+    if paged {
+        let pool = em.pool.expect("paged backend exports the pool gauge");
+        assert!(pool.resident <= pool.capacity, "{cc:?}/{strategy}");
+        assert!(
+            pool.evictions > 0,
+            "{cc:?}/{strategy}: pool ({} pages) holds a working set it cannot fit, \
+             yet nothing was evicted",
+            pool.capacity
+        );
+        assert!(pool.hits > 0, "{cc:?}/{strategy}: no pool hits at all");
+    } else {
+        assert_eq!(em.pool, None, "{cc:?}/{strategy}: in-memory has no pool");
+    }
 }
 
 #[test]
@@ -86,6 +119,38 @@ fn matrix_ssi() {
 #[test]
 fn matrix_s2pl() {
     run_cell(CcMode::S2pl, Strategy::BaseSI);
+}
+
+/// Every concurrency-control mode on the paged backend with an
+/// undersized pool: same progress, bookkeeping and abort-classification
+/// contract as in-memory, now with eviction and heap i/o in the loop.
+#[test]
+fn matrix_all_cc_modes_on_the_paged_backend() {
+    for cc in [
+        CcMode::SiFirstUpdaterWins,
+        CcMode::SiFirstCommitterWins,
+        CcMode::Ssi,
+        CcMode::S2pl,
+    ] {
+        run_cell_on(cc, Strategy::BaseSI, paged_storage());
+    }
+}
+
+/// Paper fix strategies on the paged backend — the Conflict table's hot
+/// materialized rows and promoted guard reads must behave identically
+/// when their version chains live on pages.
+#[test]
+fn matrix_fix_strategies_on_the_paged_backend() {
+    run_cell_on(
+        CcMode::SiFirstUpdaterWins,
+        Strategy::MaterializeWT,
+        paged_storage(),
+    );
+    run_cell_on(
+        CcMode::SiFirstCommitterWins,
+        Strategy::PromoteWTSfu,
+        paged_storage(),
+    );
 }
 
 #[test]

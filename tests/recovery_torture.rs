@@ -1,7 +1,7 @@
 //! Randomized crash-recovery torture: seeded crash schedules across every
-//! armed crash point — including the three checkpoint-protocol points —
-//! each followed by recovery from the durable image and a SmallBank
-//! balance-conservation audit.
+//! armed crash point — including the three checkpoint-protocol points and
+//! the paged backend's mid-page-flush point — each followed by recovery
+//! from the durable image and a SmallBank balance-conservation audit.
 //!
 //! Oracle. Concurrent workers deposit known positive amounts. An
 //! acknowledged (`Ok`) deposit must survive recovery. A deposit that
@@ -20,6 +20,7 @@ use sicost::engine::EngineConfig;
 use sicost::sim::BalanceAudit;
 use sicost::smallbank::schema::{customer_name, total_balance};
 use sicost::smallbank::{recover_database, SmallBank, SmallBankConfig, Strategy};
+use sicost::storage::{PagedConfig, StoragePolicy};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -34,7 +35,9 @@ const SEEDS_PER_POINT: u64 = 4;
 /// the WAL, so recovery needs a checkpoint that covers the population) —
 /// so those must crash at the 2nd occurrence or later. Commit-pipeline
 /// points count per committing transaction; the spread lands the crash
-/// at different interleavings.
+/// at different interleavings. `DuringPageFlush` counts per page write
+/// and is armed in [`run_schedule`] from a dry-run measurement, because
+/// the post-population checkpoint's page count must pass uncrashed.
 fn crash_nth(point: CrashPoint, round: u64) -> u64 {
     match point {
         CrashPoint::DuringCheckpointWrite
@@ -44,19 +47,52 @@ fn crash_nth(point: CrashPoint, round: u64) -> u64 {
     }
 }
 
+/// `DuringPageFlush` only exists under the paged backend; the pool is
+/// sized to hold every page (3 tables × 8 pages) so the sole source of
+/// page writes is the checkpoint flush — which is exactly the window the
+/// torn-page double-write protocol has to survive.
+fn engine_for(point: CrashPoint) -> EngineConfig {
+    let base = EngineConfig::functional();
+    if point == CrashPoint::DuringPageFlush {
+        base.with_storage(StoragePolicy::Paged(
+            PagedConfig::default()
+                .with_pages_per_table(8)
+                .with_pool_pages(32),
+        ))
+    } else {
+        base
+    }
+}
+
 struct WorkerOutcome {
     acked: i64,
     indeterminate: Option<i64>,
 }
 
 fn run_schedule(point: CrashPoint, round: u64) {
-    let faults = Arc::new(FaultInjector::new(FaultConfig::crash(
-        point,
-        crash_nth(point, round),
-    )));
+    let nth = if point == CrashPoint::DuringPageFlush {
+        // Population and its checkpoint are deterministic, so a
+        // fault-free dry run tells exactly how many page writes the
+        // mandatory post-population checkpoint performs; arm the crash
+        // a few page writes into a later checkpoint's flush.
+        let dry = SmallBank::new(
+            &SmallBankConfig::small(CUSTOMERS),
+            engine_for(point),
+            Strategy::BaseSI,
+        );
+        let base = dry
+            .db()
+            .checkpoint()
+            .expect("dry-run checkpoint")
+            .pages_flushed;
+        base + 1 + round
+    } else {
+        crash_nth(point, round)
+    };
+    let faults = Arc::new(FaultInjector::new(FaultConfig::crash(point, nth)));
     let bank = SmallBank::new(
         &SmallBankConfig::small(CUSTOMERS),
-        EngineConfig::functional().with_faults(Arc::clone(&faults)),
+        engine_for(point).with_faults(Arc::clone(&faults)),
         Strategy::BaseSI,
     );
     let db = bank.db();
@@ -134,7 +170,7 @@ fn run_schedule(point: CrashPoint, round: u64) {
 
     // Recover from the durable image as a restart would find it.
     let image = db.durable_image();
-    let (rdb, rtables, rec) = recover_database(EngineConfig::functional(), &image)
+    let (rdb, rtables, rec) = recover_database(engine_for(point), &image)
         .unwrap_or_else(|e| panic!("{point}/round {round}: recovery failed: {e}"));
     let manifest = rec
         .checkpoint
@@ -177,7 +213,7 @@ fn torture_all_crash_points_across_seeded_schedules() {
         .iter()
         .flat_map(|&p| (0..SEEDS_PER_POINT).map(move |r| (p, r)))
         .collect();
-    assert!(schedules.len() >= 32, "coverage floor: 8 points × 4 seeds");
+    assert!(schedules.len() >= 36, "coverage floor: 9 points × 4 seeds");
     for (point, round) in schedules {
         run_schedule(point, round);
     }

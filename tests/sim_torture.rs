@@ -28,6 +28,7 @@ use sicost::sim::{
 };
 use sicost::smallbank::schema::{customer_name, total_balance};
 use sicost::smallbank::{recover_database, SmallBank, SmallBankConfig, Strategy};
+use sicost::storage::{PagedConfig, StoragePolicy};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -48,6 +49,39 @@ fn crash_nth(point: CrashPoint, round: u64) -> u64 {
         | CrashPoint::AfterManifestSwapBeforeTruncate => 2 + round % 2,
         _ => [3, 11, 31, 77][round as usize % 4],
     }
+}
+
+/// Paged backend sized so every page stays resident (3 tables × 4 pages
+/// ≤ 16 pool pages): the only page writes are checkpoint flushes, which
+/// keeps the `DuringPageFlush` occurrence count predictable.
+fn storage_for(paged: bool) -> StoragePolicy {
+    if paged {
+        StoragePolicy::Paged(
+            PagedConfig::default()
+                .with_pages_per_table(4)
+                .with_pool_pages(16),
+        )
+    } else {
+        StoragePolicy::InMemory
+    }
+}
+
+/// `DuringPageFlush` counts per page write; the post-population
+/// checkpoint must complete uncrashed, so measure its page count with a
+/// deterministic fault-free dry run and arm the crash a few page writes
+/// into a later checkpoint's flush.
+fn page_flush_nth(round: u64) -> u64 {
+    let dry = SmallBank::new(
+        &SmallBankConfig::small(CUSTOMERS),
+        EngineConfig::functional().with_storage(storage_for(true)),
+        Strategy::BaseSI,
+    );
+    let base = dry
+        .db()
+        .checkpoint()
+        .expect("dry-run checkpoint")
+        .pages_flushed;
+    base + 1 + round
 }
 
 fn sim_seed(point: CrashPoint, round: u64) -> u64 {
@@ -76,15 +110,21 @@ struct Fingerprint {
 /// interleaves explicit vacuum passes with its checkpoints, so epoch
 /// reclamation, chain pruning and SIREAD GC race the workers and the
 /// crash point — and must still replay byte-identically.
-fn run_schedule(point: CrashPoint, round: u64, vacuum: bool) -> Fingerprint {
+fn run_schedule(point: CrashPoint, round: u64, vacuum: bool, paged: bool) -> Fingerprint {
     let context = format!("{point}:{round}");
-    let seed = sim_seed(point, round) ^ if vacuum { 0x6C } else { 0 };
+    let seed =
+        sim_seed(point, round) ^ if vacuum { 0x6C } else { 0 } ^ if paged { 0x9A00 } else { 0 };
+    let nth = if point == CrashPoint::DuringPageFlush {
+        assert!(paged, "DuringPageFlush only exists under the paged backend");
+        page_flush_nth(round)
+    } else {
+        crash_nth(point, round)
+    };
     let ((history, audit, recovered), report) = Sim::new(seed).with_preempt(0.05).run(|| {
-        let faults = Arc::new(FaultInjector::new(FaultConfig::crash(
-            point,
-            crash_nth(point, round),
-        )));
-        let mut engine = EngineConfig::functional().with_faults(Arc::clone(&faults));
+        let faults = Arc::new(FaultInjector::new(FaultConfig::crash(point, nth)));
+        let mut engine = EngineConfig::functional()
+            .with_storage(storage_for(paged))
+            .with_faults(Arc::clone(&faults));
         if vacuum {
             engine = engine.with_vacuum(VacuumPolicy::every_commits(32));
         }
@@ -164,8 +204,11 @@ fn run_schedule(point: CrashPoint, round: u64, vacuum: bool) -> Fingerprint {
         // Recover inside the simulation: replay and the recovered
         // database's WAL daemon are part of the same schedule.
         let image = bank.db().durable_image();
-        let (rdb, rtables, rec) = recover_database(EngineConfig::functional(), &image)
-            .unwrap_or_else(|e| panic!("{point}/round {round}: recovery failed: {e}"));
+        let (rdb, rtables, rec) = recover_database(
+            EngineConfig::functional().with_storage(storage_for(paged)),
+            &image,
+        )
+        .unwrap_or_else(|e| panic!("{point}/round {round}: recovery failed: {e}"));
         assert!(
             rec.checkpoint.is_some(),
             "{point}/round {round}: no usable checkpoint manifest"
@@ -200,15 +243,17 @@ fn run_schedule(point: CrashPoint, round: u64, vacuum: bool) -> Fingerprint {
 
 /// Runs one schedule twice and asserts byte-identical outcomes; on any
 /// panic, writes the `SICOST_SIM_REPRO` recipe file first.
-fn run_schedule_checked(point: CrashPoint, round: u64, vacuum: bool) {
+fn run_schedule_checked(point: CrashPoint, round: u64, vacuum: bool, paged: bool) {
     let label = if vacuum {
         format!("vacuum-{point}")
+    } else if paged && point != CrashPoint::DuringPageFlush {
+        format!("paged-{point}")
     } else {
         point.to_string()
     };
     let outcome = std::panic::catch_unwind(|| {
-        let a = run_schedule(point, round, vacuum);
-        let b = run_schedule(point, round, vacuum);
+        let a = run_schedule(point, round, vacuum, paged);
+        let b = run_schedule(point, round, vacuum, paged);
         assert!(
             a.report == b.report,
             "{point}/round {round}: scheduler divergence — {:?} vs {:?}",
@@ -249,20 +294,23 @@ fn run_schedule_checked(point: CrashPoint, round: u64, vacuum: bool) {
 #[test]
 fn sim_torture_all_crash_points_deterministically() {
     if let Some((name, round)) = repro_override() {
-        if name.starts_with("vacuum-") {
-            return; // replayed by the vacuum-racing variant below
+        if name.starts_with("vacuum-") || name.starts_with("paged-") {
+            return; // replayed by the matching variant test below
         }
         let point = *CrashPoint::ALL
             .iter()
             .find(|p| p.to_string() == name)
             .unwrap_or_else(|| panic!("SICOST_SIM_REPRO names unknown crash point {name:?}"));
-        run_schedule_checked(point, round, false);
+        run_schedule_checked(point, round, false, point == CrashPoint::DuringPageFlush);
         return;
     }
     let rounds = schedules_per_point(DEFAULT_ROUNDS);
     for &point in CrashPoint::ALL.iter() {
         for round in 0..rounds {
-            run_schedule_checked(point, round, false);
+            // The mid-page-flush point only exists under the paged
+            // backend; its rounds double as the paged determinism sweep
+            // (each schedule still replays byte-identically).
+            run_schedule_checked(point, round, false, point == CrashPoint::DuringPageFlush);
         }
     }
 }
@@ -282,7 +330,7 @@ fn sim_torture_vacuum_racing_crash_is_deterministic() {
             .iter()
             .find(|p| p.to_string() == bare)
             .unwrap_or_else(|| panic!("SICOST_SIM_REPRO names unknown crash point {name:?}"));
-        run_schedule_checked(point, round, true);
+        run_schedule_checked(point, round, true, false);
         return;
     }
     let rounds = schedules_per_point(DEFAULT_ROUNDS);
@@ -291,7 +339,33 @@ fn sim_torture_vacuum_racing_crash_is_deterministic() {
         CrashPoint::DuringCheckpointWrite,
     ] {
         for round in 0..rounds {
-            run_schedule_checked(point, round, true);
+            run_schedule_checked(point, round, true, false);
+        }
+    }
+}
+
+/// The paged backend under the deterministic scheduler, crashed on a
+/// WAL-pipeline point rather than mid-flush: pool lookups, clock
+/// eviction bookkeeping and heap i/o must all be schedule-pure, so the
+/// same seed replays byte-identically — the paged analogue of the
+/// in-memory determinism contract.
+#[test]
+fn sim_torture_paged_backend_is_deterministic_on_pipeline_crash() {
+    if let Some((name, round)) = repro_override() {
+        let Some(bare) = name.strip_prefix("paged-") else {
+            return; // replayed by the main sweep above
+        };
+        let point = *CrashPoint::ALL
+            .iter()
+            .find(|p| p.to_string() == bare)
+            .unwrap_or_else(|| panic!("SICOST_SIM_REPRO names unknown crash point {name:?}"));
+        run_schedule_checked(point, round, false, true);
+        return;
+    }
+    let rounds = schedules_per_point(DEFAULT_ROUNDS);
+    for point in [CrashPoint::AfterWalAppend, CrashPoint::BeforeManifestSwap] {
+        for round in 0..rounds {
+            run_schedule_checked(point, round, false, true);
         }
     }
 }
@@ -301,8 +375,8 @@ fn sim_torture_vacuum_racing_crash_is_deterministic() {
 /// on one crash point with the trace fingerprint.
 #[test]
 fn different_rounds_explore_different_schedules() {
-    let a = run_schedule(CrashPoint::AfterWalAppend, 0, false);
-    let b = run_schedule(CrashPoint::AfterWalAppend, 1, false);
+    let a = run_schedule(CrashPoint::AfterWalAppend, 0, false, false);
+    let b = run_schedule(CrashPoint::AfterWalAppend, 1, false, false);
     assert_ne!(
         a.report.trace_hash, b.report.trace_hash,
         "rounds 0 and 1 produced identical schedules"
